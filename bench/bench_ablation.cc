@@ -1,0 +1,196 @@
+// Ablations of the design choices DESIGN.md calls out:
+//   1. ICA mixing weight α (attribute vs link contribution, Eq 3.5);
+//   2. BP damping factor vs convergence on the loopy attack graph;
+//   3. greedy vulnerable-link selection vs random link removal;
+//   4. discretization granularity d of the chapter-4 strategy search vs the
+//      exact LP;
+//   5. pairwise-tree vs independent DP synthesis (see bench_dp_synthesis).
+//
+//   $ ./bench_ablation [--scale 0.35] [--seed 7]
+#include <string>
+
+#include "bench_util.h"
+#include "classify/evaluation.h"
+#include "classify/community.h"
+#include "classify/gibbs.h"
+#include "classify/community.h"
+#include "classify/gibbs.h"
+#include "classify/naive_bayes.h"
+#include "classify/relational.h"
+#include "core/ppdp.h"
+#include "tradeoff/attribute_strategy.h"
+#include "tradeoff/link_strategy.h"
+#include "tradeoff/utility_loss.h"
+
+int main(int argc, char** argv) {
+  ppdp::bench::BenchEnv env(argc, argv, /*default_scale=*/1.0);
+  ppdp::graph::SocialGraph g =
+      GenerateSyntheticGraph(ppdp::graph::CaltechLikeConfig(env.scale, env.seed + 1));
+  ppdp::Rng rng(env.seed + 31);
+  auto known = ppdp::classify::SampleKnownMask(g, 0.7, rng);
+
+  // --- 1. ICA mixing weight. ------------------------------------------------
+  {
+    ppdp::Table table({"alpha", "beta", "CC accuracy", "iterations"});
+    for (double alpha : {0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+      ppdp::classify::CollectiveConfig config;
+      config.alpha = alpha;
+      config.beta = 1.0 - alpha;
+      ppdp::classify::NaiveBayesClassifier nb;
+      auto result = CollectiveInference(g, known, nb, config);
+      table.AddRow({ppdp::Table::FormatDouble(alpha, 1),
+                    ppdp::Table::FormatDouble(1.0 - alpha, 1),
+                    ppdp::Table::FormatDouble(ppdp::classify::Accuracy(g, known, result.distributions), 4),
+                    std::to_string(result.iterations)});
+    }
+    env.Emit(table, "ablation_ica_alpha", "Ablation 1 - ICA mixing weight alpha");
+  }
+
+  // --- 2. BP damping. ---------------------------------------------------------
+  {
+    ppdp::Rng genome_rng(env.seed);
+    ppdp::genomics::SyntheticCatalogConfig config;
+    config.num_snps = 300;
+    config.snps_per_trait = 6;
+    auto catalog = GenerateSyntheticCatalog(config, genome_rng);
+    auto person = SampleIndividual(catalog, genome_rng);
+    auto view = MakeTargetView(catalog, person, {});
+    // Hide half the SNP evidence so messages actually propagate.
+    for (size_t s = 0; s < catalog.num_snps(); s += 2) view.snp_known[s] = false;
+
+    ppdp::Table table({"damping", "iterations", "converged"});
+    for (double damping : {0.0, 0.1, 0.3, 0.5, 0.7}) {
+      ppdp::genomics::FactorGraph::BpOptions options;
+      options.damping = damping;
+      options.max_iterations = 200;
+      auto attack = RunGenomeInference(catalog, view,
+                                       ppdp::genomics::AttackMethod::kBeliefPropagation,
+                                       options);
+      table.AddRow({ppdp::Table::FormatDouble(damping, 1), std::to_string(attack.bp_iterations),
+                    attack.converged ? "yes" : "no"});
+    }
+    env.Emit(table, "ablation_bp_damping", "Ablation 2 - BP damping vs convergence");
+  }
+
+  // --- 3. Vulnerable vs random link removal. ----------------------------------
+  {
+    ppdp::Table table({"links removed", "vulnerable greedy", "random"});
+    for (size_t links : {0, 10, 20, 40, 80}) {
+      auto measure = [&](bool greedy_links) {
+        ppdp::graph::SocialGraph copy = g;
+        ppdp::Rng local_rng(env.seed + 37);
+        ppdp::classify::NaiveBayesClassifier nb;
+        nb.Train(copy, known);
+        auto estimates = ppdp::classify::BootstrapDistributions(copy, known, nb);
+        if (greedy_links) {
+          ppdp::tradeoff::RemoveVulnerableLinks(copy, known, estimates, /*epsilon_budget=*/1e9, links);
+        } else {
+          ppdp::tradeoff::RemoveRandomLinks(copy, /*epsilon_budget=*/1e9, links, local_rng);
+        }
+        auto local = ppdp::classify::MakeLocalClassifier(ppdp::classify::LocalModel::kNaiveBayes);
+        auto attack = ppdp::classify::RunAttack(copy, known,
+                                                ppdp::classify::AttackModel::kCollective, *local);
+        return ppdp::tradeoff::LatentPrivacyOfGraph(copy, known, attack.distributions);
+      };
+      table.AddRow({std::to_string(links), ppdp::Table::FormatDouble(measure(true), 4),
+                    ppdp::Table::FormatDouble(measure(false), 4)});
+    }
+    env.Emit(table, "ablation_links", "Ablation 3 - vulnerable greedy vs random link removal");
+  }
+
+  // --- 5. Gibbs sampling vs ICA collective inference. --------------------------
+  {
+    ppdp::Table table({"algorithm", "accuracy", "sweeps/iterations"});
+    ppdp::classify::NaiveBayesClassifier nb_ica;
+    auto ica = CollectiveInference(g, known, nb_ica, {});
+    table.AddRow({"ICA", ppdp::Table::FormatDouble(
+                             ppdp::classify::Accuracy(g, known, ica.distributions), 4),
+                  std::to_string(ica.iterations)});
+    for (size_t samples : {20, 80, 200}) {
+      ppdp::classify::GibbsConfig config;
+      config.samples = samples;
+      config.seed = env.seed;
+      ppdp::classify::NaiveBayesClassifier nb_gibbs;
+      auto gibbs = GibbsCollectiveInference(g, known, nb_gibbs, config);
+      table.AddRow({"Gibbs (" + std::to_string(samples) + " samples)",
+                    ppdp::Table::FormatDouble(
+                        ppdp::classify::Accuracy(g, known, gibbs.distributions), 4),
+                    std::to_string(gibbs.iterations)});
+    }
+    env.Emit(table, "ablation_gibbs", "Ablation 5 - Gibbs sampling vs ICA");
+  }
+
+  // --- 6. Attack family comparison incl. the community baseline. ---------------
+  {
+    ppdp::Table table({"attack", "accuracy", "macro recall"});
+    auto add = [&](const char* name, const std::vector<ppdp::classify::LabelDistribution>& d) {
+      auto matrix = ppdp::classify::BuildConfusionMatrix(g, known, d);
+      table.AddRow({name, ppdp::Table::FormatDouble(matrix.Accuracy(), 4),
+                    ppdp::Table::FormatDouble(matrix.MacroRecall(), 4)});
+    };
+    for (auto attack : {ppdp::classify::AttackModel::kAttrOnly,
+                        ppdp::classify::AttackModel::kLinkOnly,
+                        ppdp::classify::AttackModel::kCollective,
+                        ppdp::classify::AttackModel::kGibbs}) {
+      auto local = ppdp::classify::MakeLocalClassifier(ppdp::classify::LocalModel::kNaiveBayes);
+      add(ppdp::classify::AttackModelName(attack),
+          RunAttack(g, known, attack, *local).distributions);
+    }
+    auto communities = ppdp::classify::DetectCommunities(g, 30, env.seed);
+    add("Community", ppdp::classify::CommunityAttack(g, known, communities));
+    env.Emit(table, "ablation_attacks",
+             "Ablation 6 - attack families incl. the community-majority baseline");
+  }
+
+  // --- 7. Synthesizer parent count. ---------------------------------------------
+  {
+    ppdp::Rng data_rng(env.seed);
+    ppdp::genomics::SyntheticCatalogConfig catalog_config;
+    catalog_config.num_snps = 40;
+    auto catalog = GenerateSyntheticCatalog(catalog_config, data_rng);
+    ppdp::dp::CategoricalData data;
+    for (int i = 0; i < 800; ++i) {
+      auto person = SampleIndividual(catalog, data_rng);
+      ppdp::dp::CategoricalRow row(40);
+      for (size_t s = 0; s < 40; ++s) row[s] = person.genotypes[s];
+      data.push_back(std::move(row));
+    }
+    ppdp::Table table({"epsilon", "max parents", "marginal L1", "pairwise L1"});
+    for (double epsilon : {0.5, 2.0, 10.0}) {
+      for (size_t parents : {1, 2}) {
+        ppdp::dp::SynthesizerConfig config;
+        config.epsilon = epsilon;
+        config.max_parents = parents;
+        config.seed = env.seed;
+        auto model = ppdp::dp::PrivateSynthesizer::Fit(data, config);
+        if (!model.ok()) continue;
+        ppdp::Rng sample_rng(env.seed + 1);
+        auto synthetic = model->Sample(800, sample_rng);
+        table.AddRow({ppdp::Table::FormatDouble(epsilon, 1), std::to_string(parents),
+                      ppdp::Table::FormatDouble(ppdp::dp::MarginalL1Error(data, synthetic, 3), 4),
+                      ppdp::Table::FormatDouble(ppdp::dp::PairwiseL1Error(data, synthetic, 3), 4)});
+      }
+    }
+    env.Emit(table, "ablation_parents",
+             "Ablation 7 - synthesizer parent count (budget vs expressiveness)");
+  }
+
+  // --- 4. LP vs discretized strategy search. ----------------------------------
+  {
+    ppdp::core::TradeoffPublisher publisher(g, 0.7, env.seed);
+    auto problem = publisher.BuildProblem(/*delta=*/0.4);
+    auto lp = ppdp::tradeoff::SolveOptimalStrategy(problem);
+    ppdp::Table table({"method", "granularity d", "samples", "latent privacy"});
+    if (lp.ok()) {
+      table.AddRow({"exact LP", "-", "-", ppdp::Table::FormatDouble(lp->latent_privacy, 4)});
+    }
+    for (size_t d : {2, 4, 8, 16}) {
+      ppdp::Rng search_rng(env.seed + 41);
+      auto grid = ppdp::tradeoff::SolveDiscretizedStrategy(problem, d, /*samples=*/500, search_rng);
+      table.AddRow({"discretized", std::to_string(d), "500",
+                    ppdp::Table::FormatDouble(grid.latent_privacy, 4)});
+    }
+    env.Emit(table, "ablation_lp", "Ablation 4 - exact LP vs discretized search");
+  }
+  return 0;
+}

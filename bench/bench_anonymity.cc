@@ -1,0 +1,78 @@
+// Quantifies the dissertation's argument against syntactic anonymity
+// (Sections 2.1/3.5): k-anonymity / l-diversity bound re-identification but
+// leave latent-data (inference) privacy unaddressed — the link channel in
+// particular survives untouched. Compares against the collective method at
+// matched utility.
+//
+//   $ ./bench_anonymity [--scale 0.5] [--seed 9]
+#include <string>
+
+#include "anonymize/kanonymity.h"
+#include "bench_util.h"
+#include "classify/evaluation.h"
+#include "graph/graph_generators.h"
+#include "graph/rewire.h"
+#include "sanitize/collective_sanitizer.h"
+
+int main(int argc, char** argv) {
+  ppdp::bench::BenchEnv env(argc, argv, /*default_scale=*/0.5);
+  ppdp::graph::SocialGraph original =
+      GenerateSyntheticGraph(ppdp::graph::CaltechLikeConfig(env.scale, env.seed + 1));
+  ppdp::Rng rng(env.seed + 3);
+  auto known = ppdp::classify::SampleKnownMask(original, 0.7, rng);
+
+  auto measure = [&](const ppdp::graph::SocialGraph& g) {
+    auto pu = ppdp::sanitize::MeasurePrivacyUtility(g, known, /*utility_category=*/0,
+                                                    ppdp::classify::LocalModel::kNaiveBayes);
+    auto local = ppdp::classify::MakeLocalClassifier(ppdp::classify::LocalModel::kNaiveBayes);
+    double link_only =
+        ppdp::classify::RunAttack(g, known, ppdp::classify::AttackModel::kLinkOnly, *local)
+            .accuracy;
+    return std::tuple<double, double, double>(pu.privacy_accuracy, link_only,
+                                              pu.utility_accuracy);
+  };
+
+  ppdp::Table table({"defense", "achieved k", "l-div", "CC attack", "LinkOnly attack",
+                     "utility accuracy"});
+  {
+    auto [cc, link, utility] = measure(original);
+    table.AddRow({"none", std::to_string(ppdp::anonymize::MinEquivalenceClassSize(original)),
+                  std::to_string(ppdp::anonymize::MinLDiversity(original)),
+                  ppdp::Table::FormatDouble(cc, 4), ppdp::Table::FormatDouble(link, 4),
+                  ppdp::Table::FormatDouble(utility, 4)});
+  }
+  for (size_t k : {2, 5, 10, 25}) {
+    ppdp::graph::SocialGraph g = original;
+    auto report = ppdp::anonymize::EnforceKAnonymity(g, k);
+    auto [cc, link, utility] = measure(g);
+    table.AddRow({"k-anonymity k=" + std::to_string(k), std::to_string(report.achieved_k),
+                  std::to_string(ppdp::anonymize::MinLDiversity(g)),
+                  ppdp::Table::FormatDouble(cc, 4), ppdp::Table::FormatDouble(link, 4),
+                  ppdp::Table::FormatDouble(utility, 4)});
+  }
+  {
+    // Degree-preserving edge rewiring: the classical graph-modification
+    // anonymization — kills the link channel but nothing else.
+    ppdp::graph::SocialGraph g = original;
+    ppdp::Rng rewire_rng(env.seed + 5);
+    ppdp::graph::RewireEdges(g, g.num_edges() * 5, rewire_rng);
+    auto [cc, link, utility] = measure(g);
+    table.AddRow({"edge rewiring", std::to_string(ppdp::anonymize::MinEquivalenceClassSize(g)),
+                  std::to_string(ppdp::anonymize::MinLDiversity(g)),
+                  ppdp::Table::FormatDouble(cc, 4), ppdp::Table::FormatDouble(link, 4),
+                  ppdp::Table::FormatDouble(utility, 4)});
+  }
+  {
+    ppdp::graph::SocialGraph g = original;
+    ppdp::sanitize::CollectiveSanitize(g, {.utility_category = 0, .generalization_level = 5});
+    auto [cc, link, utility] = measure(g);
+    table.AddRow({"collective method",
+                  std::to_string(ppdp::anonymize::MinEquivalenceClassSize(g)),
+                  std::to_string(ppdp::anonymize::MinLDiversity(g)),
+                  ppdp::Table::FormatDouble(cc, 4), ppdp::Table::FormatDouble(link, 4),
+                  ppdp::Table::FormatDouble(utility, 4)});
+  }
+  env.Emit(table, "anonymity_comparison",
+           "Syntactic anonymity vs inference privacy (LinkOnly survives k-anonymity)");
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Reproduces Fig 3.2: sensitive-attribute prediction accuracy on the
+// SNAP-like dataset under attribute and link removal (six panels).
+//
+//   $ ./bench_fig3_2 [--scale 0.5] [--seed 7]
+#include "fig3_common.h"
+
+int main(int argc, char** argv) {
+  ppdp::bench::BenchEnv env(argc, argv, /*default_scale=*/1.0);
+  ppdp::bench::Fig3Config config;
+  config.figure_id = "fig3_2";
+  config.dataset = ppdp::graph::SnapLikeConfig(env.scale, env.seed);
+  config.attr_sweep = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  for (size_t links : {0, 200, 400, 600, 800, 1000}) {
+    config.link_sweep.push_back(static_cast<size_t>(static_cast<double>(links) * env.scale));
+  }
+  RunFig3(config, env);
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Reproduces Fig 3.3: sensitive-attribute prediction accuracy on the
+// Caltech-like dataset under attribute and link removal (six panels).
+//
+//   $ ./bench_fig3_3 [--scale 0.5] [--seed 7]
+#include "fig3_common.h"
+
+int main(int argc, char** argv) {
+  ppdp::bench::BenchEnv env(argc, argv, /*default_scale=*/1.0);
+  ppdp::bench::Fig3Config config;
+  config.figure_id = "fig3_3";
+  config.dataset = ppdp::graph::CaltechLikeConfig(env.scale, env.seed + 1);
+  config.attr_sweep = {0, 1, 2, 3, 4};
+  for (size_t links : {0, 500, 1000, 1500, 2000}) {
+    config.link_sweep.push_back(static_cast<size_t>(static_cast<double>(links) * env.scale));
+  }
+  RunFig3(config, env);
+  return 0;
+}

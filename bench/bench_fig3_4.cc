@@ -1,0 +1,18 @@
+// Reproduces Fig 3.4: sensitive-attribute prediction accuracy on the
+// MIT-like dataset under attribute and link removal (six panels).
+//
+//   $ ./bench_fig3_4 [--scale 0.12] [--seed 7]
+#include "fig3_common.h"
+
+int main(int argc, char** argv) {
+  ppdp::bench::BenchEnv env(argc, argv, /*default_scale=*/0.25);
+  ppdp::bench::Fig3Config config;
+  config.figure_id = "fig3_4";
+  config.dataset = ppdp::graph::MitLikeConfig(env.scale, env.seed + 2);
+  config.attr_sweep = {0, 1, 2, 3, 4};
+  for (size_t links : {0, 1000, 2000, 3000, 4000, 5000}) {
+    config.link_sweep.push_back(static_cast<size_t>(static_cast<double>(links) * env.scale));
+  }
+  RunFig3(config, env);
+  return 0;
+}

@@ -1,0 +1,182 @@
+// google-benchmark microbenchmarks of the performance-critical kernels:
+// belief propagation (the chapter-5 "linear complexity" claim), collective
+// inference, reduct computation, the simplex solver and link scoring.
+//
+//   $ ./bench_micro [--benchmark_filter=...]
+#include <benchmark/benchmark.h>
+
+#include "classify/evaluation.h"
+#include "classify/naive_bayes.h"
+#include "classify/relational.h"
+#include "common/rng.h"
+#include "genomics/genome_data.h"
+#include "genomics/gwas_catalog.h"
+#include "genomics/inference_attack.h"
+#include "graph/graph_generators.h"
+#include "graph/centrality.h"
+#include "opt/simplex.h"
+#include "opt/submodular.h"
+#include "rst/information_system.h"
+#include "rst/reduct.h"
+#include "sanitize/link_selection.h"
+
+namespace {
+
+using ppdp::Rng;
+
+/// BP inference cost as the SNP panel grows — the dissertation's headline
+/// linear-complexity claim: time should scale ~linearly in the number of
+/// associations (variables + factors), not exponentially in the unknowns.
+void BM_BeliefPropagationAttack(benchmark::State& state) {
+  size_t num_snps = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  ppdp::genomics::SyntheticCatalogConfig config;
+  config.num_snps = num_snps;
+  config.snps_per_trait = num_snps / 16;
+  auto catalog = GenerateSyntheticCatalog(config, rng);
+  auto person = SampleIndividual(catalog, rng);
+  auto view = MakeTargetView(catalog, person, {});
+  for (size_t s = 0; s < num_snps; s += 2) view.snp_known[s] = false;
+  for (auto _ : state) {
+    auto result = RunGenomeInference(catalog, view,
+                                     ppdp::genomics::AttackMethod::kBeliefPropagation);
+    benchmark::DoNotOptimize(result.trait_marginals);
+  }
+  state.SetComplexityN(static_cast<int64_t>(catalog.associations().size()));
+}
+BENCHMARK(BM_BeliefPropagationAttack)->RangeMultiplier(2)->Range(64, 1024)->Complexity();
+
+void BM_NaiveBayesAttack(benchmark::State& state) {
+  size_t num_snps = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  ppdp::genomics::SyntheticCatalogConfig config;
+  config.num_snps = num_snps;
+  config.snps_per_trait = num_snps / 16;
+  auto catalog = GenerateSyntheticCatalog(config, rng);
+  auto person = SampleIndividual(catalog, rng);
+  auto view = MakeTargetView(catalog, person, {});
+  for (auto _ : state) {
+    auto result =
+        RunGenomeInference(catalog, view, ppdp::genomics::AttackMethod::kNaiveBayes);
+    benchmark::DoNotOptimize(result.trait_marginals);
+  }
+}
+BENCHMARK(BM_NaiveBayesAttack)->RangeMultiplier(2)->Range(64, 1024);
+
+void BM_CollectiveInference(benchmark::State& state) {
+  double scale = static_cast<double>(state.range(0)) / 100.0;
+  auto g = GenerateSyntheticGraph(ppdp::graph::CaltechLikeConfig(scale, 3));
+  Rng rng(7);
+  auto known = ppdp::classify::SampleKnownMask(g, 0.7, rng);
+  for (auto _ : state) {
+    ppdp::classify::NaiveBayesClassifier nb;
+    auto result = CollectiveInference(g, known, nb, {});
+    benchmark::DoNotOptimize(result.distributions);
+  }
+}
+BENCHMARK(BM_CollectiveInference)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_GreedyReduct(benchmark::State& state) {
+  double scale = static_cast<double>(state.range(0)) / 100.0;
+  auto g = GenerateSyntheticGraph(ppdp::graph::SnapLikeConfig(scale, 3));
+  auto is = ppdp::rst::InformationSystem::FromGraph(g);
+  for (auto _ : state) {
+    auto reduct = ppdp::rst::GreedyReduct(is);
+    benchmark::DoNotOptimize(reduct);
+  }
+}
+BENCHMARK(BM_GreedyReduct)->Arg(25)->Arg(50);
+
+void BM_SimplexSolve(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(11);
+  std::vector<double> c(n);
+  for (double& v : c) v = rng.UniformReal();
+  for (auto _ : state) {
+    ppdp::opt::SimplexSolver lp(c);
+    Rng row_rng(13);
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<double> a(n);
+      for (double& v : a) v = row_rng.UniformReal();
+      lp.AddLessEqual(std::move(a), 1.0 + row_rng.UniformReal());
+    }
+    auto result = lp.Solve();
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SimplexSolve)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_RankIndistinguishableLinks(benchmark::State& state) {
+  double scale = static_cast<double>(state.range(0)) / 100.0;
+  auto g = GenerateSyntheticGraph(ppdp::graph::CaltechLikeConfig(scale, 3));
+  Rng rng(7);
+  auto known = ppdp::classify::SampleKnownMask(g, 0.7, rng);
+  ppdp::classify::NaiveBayesClassifier nb;
+  nb.Train(g, known);
+  auto estimates = ppdp::classify::BootstrapDistributions(g, known, nb);
+  for (auto _ : state) {
+    auto ranked = ppdp::sanitize::RankIndistinguishableLinks(g, known, estimates);
+    benchmark::DoNotOptimize(ranked);
+  }
+}
+BENCHMARK(BM_RankIndistinguishableLinks)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_MaxProductReconstruction(benchmark::State& state) {
+  size_t num_snps = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  ppdp::genomics::SyntheticCatalogConfig config;
+  config.num_snps = num_snps;
+  config.snps_per_trait = num_snps / 16;
+  auto catalog = GenerateSyntheticCatalog(config, rng);
+  auto person = SampleIndividual(catalog, rng);
+  auto view = MakeTargetView(catalog, person, {});
+  for (size_t s = 0; s < num_snps; s += 2) view.snp_known[s] = false;
+  for (auto _ : state) {
+    auto result = ppdp::genomics::ReconstructGenome(catalog, view);
+    benchmark::DoNotOptimize(result.genotypes);
+  }
+}
+BENCHMARK(BM_MaxProductReconstruction)->RangeMultiplier(4)->Range(64, 1024);
+
+void BM_BetweennessCentrality(benchmark::State& state) {
+  double scale = static_cast<double>(state.range(0)) / 100.0;
+  auto g = GenerateSyntheticGraph(ppdp::graph::CaltechLikeConfig(scale, 3));
+  for (auto _ : state) {
+    auto centrality = ppdp::graph::BetweennessCentrality(g);
+    benchmark::DoNotOptimize(centrality);
+  }
+}
+BENCHMARK(BM_BetweennessCentrality)->Arg(10)->Arg(20);
+
+void BM_GreedySubmodular(benchmark::State& state) {
+  const bool lazy = state.range(0) != 0;
+  Rng rng(5);
+  const size_t ground = 64;
+  std::vector<std::vector<int>> sets(ground);
+  for (auto& s : sets) {
+    for (int i = 0; i < 6; ++i) s.push_back(static_cast<int>(rng.Uniform(128)));
+  }
+  auto coverage = [&](const std::vector<size_t>& selected) {
+    std::vector<bool> covered(128, false);
+    double total = 0.0;
+    for (size_t e : selected) {
+      for (int p : sets[e]) {
+        if (!covered[static_cast<size_t>(p)]) {
+          covered[static_cast<size_t>(p)] = true;
+          total += 1.0;
+        }
+      }
+    }
+    return total;
+  };
+  for (auto _ : state) {
+    auto result = lazy ? ppdp::opt::LazyGreedyCardinalityMaximize(ground, coverage, 16)
+                       : ppdp::opt::GreedyCardinalityMaximize(ground, coverage, 16);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_GreedySubmodular)->Arg(0)->Arg(1);  // 0 = plain, 1 = lazy
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,21 @@
+// Reproduces Table 5.3: the seven diseases and prevalence rates used by
+// the chapter-5 experiments, plus the AMD trait the panel indexes on.
+//
+//   $ ./bench_table5_3
+#include "bench_util.h"
+#include "genomics/gwas_catalog.h"
+
+int main(int argc, char** argv) {
+  ppdp::bench::BenchEnv env(argc, argv, /*default_scale=*/1.0);
+  ppdp::Table table({"Disease", "Prevalence rate"});
+  for (const auto& trait : ppdp::genomics::Table53Diseases()) {
+    table.AddRow({trait.name, ppdp::Table::FormatDouble(trait.prevalence, 6)});
+  }
+  env.Emit(table, "table5_3", "Table 5.3 - diseases and prevalence rates (verbatim)");
+
+  ppdp::Table amd({"Index trait", "Prevalence (substitution)"});
+  amd.AddRow({"Age-related macular degeneration",
+              ppdp::Table::FormatDouble(ppdp::genomics::kAmdPrevalence, 4)});
+  env.Emit(amd, "table5_3_amd", "AMD index trait prevalence (documented substitution)");
+  return 0;
+}

@@ -1,0 +1,47 @@
+#ifndef PPDP_BENCH_BENCH_UTIL_H_
+#define PPDP_BENCH_BENCH_UTIL_H_
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "common/flags.h"
+#include "common/table.h"
+
+namespace ppdp::bench {
+
+/// Common knobs of the reproduction benches. Every bench accepts
+///   --seed N        (default 7)    generator / mask seed
+///   --scale X       (default per bench)  dataset scale factor
+///   --out DIR       (default "bench_out")  CSV output directory
+struct BenchEnv {
+  uint64_t seed = 7;
+  double scale = 1.0;
+  std::string out_dir = "bench_out";
+
+  BenchEnv(int argc, char** argv, double default_scale) {
+    Flags flags(argc, argv);
+    seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+    scale = flags.GetDouble("scale", default_scale);
+    out_dir = flags.GetString("out", "bench_out");
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+  }
+
+  /// Prints `table` under a heading and writes it to <out>/<name>.csv.
+  void Emit(const Table& table, const std::string& name, const std::string& heading) const {
+    std::cout << "== " << heading << " ==\n";
+    table.Print(std::cout);
+    std::string path = out_dir + "/" + name + ".csv";
+    Status status = table.WriteCsv(path);
+    if (status.ok()) {
+      std::cout << "(csv: " << path << ")\n\n";
+    } else {
+      std::cout << "(csv write failed: " << status.ToString() << ")\n\n";
+    }
+  }
+};
+
+}  // namespace ppdp::bench
+
+#endif  // PPDP_BENCH_BENCH_UTIL_H_

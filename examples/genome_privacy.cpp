@@ -1,0 +1,64 @@
+// Chapter-5 walkthrough: genomic inference attacks and δ-private publishing.
+//
+//   $ ./genome_privacy [--snps 300] [--seed 5] [--delta 0.5]
+//
+// Builds a synthetic GWAS catalog over the Table-5.3 diseases (plus AMD),
+// samples a target individual, shows what a belief-propagation attacker
+// learns about the hidden traits from the published SNPs, and then uses the
+// greedy GPUT sanitizer to publish with δ-privacy while keeping as many
+// SNPs public as possible.
+#include <cstdio>
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/ppdp.h"
+
+int main(int argc, char** argv) {
+  ppdp::Flags flags(argc, argv);
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 5));
+  double delta = flags.GetDouble("delta", 0.5);
+
+  ppdp::Rng rng(seed);
+  ppdp::genomics::SyntheticCatalogConfig config;
+  config.num_snps = static_cast<size_t>(flags.GetInt("snps", 300));
+  config.snps_per_trait = 5;
+  auto catalog = ppdp::genomics::GenerateSyntheticCatalog(config, rng);
+
+  std::printf("GWAS catalog: %zu SNPs, %zu traits, %zu associations\n", catalog.num_snps(),
+              catalog.num_traits(), catalog.associations().size());
+
+  auto person = ppdp::genomics::SampleIndividual(catalog, rng);
+  ppdp::core::GenomePublisher publisher(
+      catalog, ppdp::genomics::MakeTargetView(catalog, person, /*known_traits=*/{}));
+  std::printf("target publishes %zu associated SNPs; every trait is hidden\n\n",
+              publisher.ReleasedSnps());
+
+  // What does the attacker learn about each trait?
+  auto bp = publisher.Attack(ppdp::genomics::AttackMethod::kBeliefPropagation);
+  auto nb = publisher.Attack(ppdp::genomics::AttackMethod::kNaiveBayes);
+  ppdp::Table table({"trait", "prevalence", "truth", "BP posterior", "NB posterior", "entropy"});
+  std::vector<size_t> targets;
+  for (size_t t = 0; t < catalog.num_traits(); ++t) {
+    targets.push_back(t);
+    table.AddRow({catalog.traits()[t].name,
+                  ppdp::Table::FormatDouble(catalog.traits()[t].prevalence, 4),
+                  person.traits[t] == ppdp::genomics::kTraitPresent ? "present" : "absent",
+                  ppdp::Table::FormatDouble(bp.trait_marginals[t][1], 3),
+                  ppdp::Table::FormatDouble(nb.trait_marginals[t][1], 3),
+                  ppdp::Table::FormatDouble(
+                      ppdp::genomics::EntropyPrivacy(bp.trait_marginals[t]), 3)});
+  }
+  table.Print(std::cout);
+
+  // δ-private publishing.
+  std::printf("\npublishing with δ = %.2f on all traits...\n", delta);
+  auto result = publisher.PublishWithDeltaPrivacy(delta, targets);
+  std::printf("sanitized %zu SNPs (%zu still public); δ-privacy %s\n",
+              result.sanitized.size(), result.released,
+              result.satisfied ? "satisfied" : "NOT reachable for every trait");
+  std::printf("min-entropy trace:");
+  for (double h : result.privacy_trace) std::printf(" %.3f", h);
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// §6.1 walkthrough: privacy-preserving IoT data collection. A fleet of
+// simulated devices reports categorical sensor readings through the
+// budget-enforcing local-DP privacy proxy; the aggregation server debiases
+// the stream and we watch service quality vs the users' ε preferences.
+//
+//   $ ./iot_collection [--devices 2000] [--seed 3]
+#include <cstdio>
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "iot/collection.h"
+
+int main(int argc, char** argv) {
+  ppdp::Flags flags(argc, argv);
+  size_t devices = static_cast<size_t>(flags.GetInt("devices", 2000));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 3));
+
+  std::vector<ppdp::iot::SensorSchema> schema = {{"activity", 5}, {"occupancy", 2}};
+  std::vector<double> activity_truth = {0.4, 0.25, 0.15, 0.15, 0.05};
+  std::vector<double> occupancy_truth = {0.7, 0.3};
+
+  std::printf("simulating %zu devices; 'occupancy' is sensitive (tight budget),\n", devices);
+  std::printf("'activity' is not (loose budget)\n\n");
+
+  // Toolset 1: each device enforces its own preferences. Here every device
+  // shares one preference profile: ε=0.5/reading for occupancy with a tiny
+  // lifetime budget; ε=2.0/reading for activity.
+  ppdp::iot::AggregationServer server(schema);
+  ppdp::Rng rng(seed);
+  size_t refused = 0;
+  for (size_t d = 0; d < devices; ++d) {
+    ppdp::iot::PrivacyProxy proxy(schema, {{2.0, 20.0}, {0.5, 1.0}}, seed + d);
+    // Each device reports 3 activity readings and tries 3 occupancy ones;
+    // the occupancy budget (1.0 total at 0.5 each) only covers two.
+    for (int r = 0; r < 3; ++r) {
+      auto activity = proxy.Report(0, rng.Categorical(activity_truth));
+      if (activity.ok()) (void)server.Ingest(*activity);
+      auto occupancy = proxy.Report(1, rng.Categorical(occupancy_truth));
+      if (occupancy.ok()) {
+        (void)server.Ingest(*occupancy);
+      } else {
+        ++refused;
+      }
+    }
+  }
+  std::printf("proxy refused %zu occupancy readings (lifetime budgets exhausted)\n\n", refused);
+
+  // Toolset 2: the server's view and its quality.
+  ppdp::Table table({"sensor", "readings", "estimate", "truth", "service quality"});
+  auto show = [&](size_t sensor, const std::vector<double>& truth) {
+    auto estimate = server.EstimateFrequencies(sensor).value();
+    std::string est_text, truth_text;
+    for (size_t v = 0; v < truth.size(); ++v) {
+      est_text += (v ? " " : "") + ppdp::Table::FormatDouble(estimate[v], 2);
+      truth_text += (v ? " " : "") + ppdp::Table::FormatDouble(truth[v], 2);
+    }
+    table.AddRow({schema[sensor].name, std::to_string(server.ReadingCount(sensor)), est_text,
+                  truth_text,
+                  ppdp::Table::FormatDouble(ppdp::iot::ServiceQuality(estimate, truth), 4)});
+  };
+  show(0, activity_truth);
+  show(1, occupancy_truth);
+  table.Print(std::cout);
+
+  std::printf("\nthe loose-budget sensor is estimated accurately; the sensitive one\n");
+  std::printf("trades quality for its tight per-reading epsilon — Toolset 2's tradeoff\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Chapter-3 walkthrough: inference attacks and collective data-sanitization
+// on a synthetic Facebook-like graph.
+//
+//   $ ./social_network_publishing [--scale 0.3] [--seed 7] [--known 0.7]
+//
+// Reproduces the experimental design of Section 3.7 in miniature:
+//   1. attack the raw graph with AttrOnly / LinkOnly / collective (ICA)
+//      under all three local classifiers (Bayes, KNN, RST);
+//   2. remove privacy-dependent attributes and indistinguishable links and
+//      watch the attack degrade;
+//   3. run the collective method (Algorithm 2) and report the
+//      utility/privacy ratio it achieves.
+#include <cstdio>
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/ppdp.h"
+
+namespace {
+
+using ppdp::classify::AttackModel;
+using ppdp::classify::LocalModel;
+
+void AttackMatrix(const ppdp::core::SocialPublisher& publisher) {
+  ppdp::Table table({"local model", "AttrOnly", "LinkOnly", "CC"});
+  for (LocalModel local : {LocalModel::kNaiveBayes, LocalModel::kKnn, LocalModel::kRst}) {
+    std::vector<std::string> row = {ppdp::classify::LocalModelName(local)};
+    for (AttackModel attack :
+         {AttackModel::kAttrOnly, AttackModel::kLinkOnly, AttackModel::kCollective}) {
+      row.push_back(ppdp::Table::FormatDouble(publisher.AttackAccuracy(attack, local), 3));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ppdp::Flags flags(argc, argv);
+  double scale = flags.GetDouble("scale", 0.3);
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  double known = flags.GetDouble("known", 0.7);
+
+  ppdp::graph::SocialGraph graph =
+      ppdp::graph::GenerateSyntheticGraph(ppdp::graph::SnapLikeConfig(scale, seed));
+  std::printf("SNAP-like graph: %zu nodes, %zu edges, %zu categories, %d labels\n\n",
+              graph.num_nodes(), graph.num_edges(), graph.num_categories(), graph.num_labels());
+
+  ppdp::core::SocialPublisher publisher(graph, known, seed);
+  std::printf("-- attack accuracy on the raw graph (prior %.3f) --\n",
+              publisher.PriorAccuracy());
+  AttackMatrix(publisher);
+
+  std::printf("\n-- after removing 4 most privacy-dependent attributes --\n");
+  publisher.RemoveTopPrivacyAttributes(4, /*utility_category=*/1);
+  AttackMatrix(publisher);
+
+  std::printf("\n-- after additionally removing 200 indistinguishable links --\n");
+  publisher.RemoveIndistinguishableLinks(200);
+  AttackMatrix(publisher);
+
+  std::printf("\n-- collective method (Algorithm 2) on a fresh copy --\n");
+  ppdp::core::SocialPublisher collective(graph, known, seed);
+  auto report = collective.SanitizeCollective({.utility_category = 1, .generalization_level = 6});
+  std::printf("PDAs: %zu, UDAs: %zu, Core: %zu -> removed %zu, perturbed %zu\n",
+              report.analysis.privacy_dependent.size(), report.analysis.utility_dependent.size(),
+              report.analysis.core.size(), report.removed_categories.size(),
+              report.perturbed_categories.size());
+  auto pu = collective.MeasurePrivacyUtility(1, LocalModel::kNaiveBayes);
+  std::printf("privacy accuracy %.3f | utility accuracy %.3f | utility/privacy %.4f\n",
+              pu.privacy_accuracy, pu.utility_accuracy, pu.Ratio());
+  return 0;
+}

@@ -1,0 +1,124 @@
+#include "anonymize/kanonymity.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+#include "sanitize/generalization.h"
+
+namespace ppdp::anonymize {
+
+std::vector<std::vector<graph::NodeId>> EquivalenceClasses(const graph::SocialGraph& g) {
+  std::map<std::vector<graph::AttributeValue>, std::vector<graph::NodeId>> groups;
+  std::vector<graph::AttributeValue> key(g.num_categories());
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (size_t c = 0; c < g.num_categories(); ++c) key[c] = g.Attribute(u, c);
+    groups[key].push_back(u);
+  }
+  std::vector<std::vector<graph::NodeId>> classes;
+  classes.reserve(groups.size());
+  for (auto& [unused_key, members] : groups) classes.push_back(std::move(members));
+  return classes;
+}
+
+size_t MinEquivalenceClassSize(const graph::SocialGraph& g) {
+  size_t smallest = g.num_nodes();
+  for (const auto& eq_class : EquivalenceClasses(g)) {
+    smallest = std::min(smallest, eq_class.size());
+  }
+  return smallest;
+}
+
+bool IsKAnonymous(const graph::SocialGraph& g, size_t k) {
+  return MinEquivalenceClassSize(g) >= k;
+}
+
+size_t MinLDiversity(const graph::SocialGraph& g) {
+  size_t smallest = static_cast<size_t>(g.num_labels());
+  bool any = false;
+  for (const auto& eq_class : EquivalenceClasses(g)) {
+    std::set<graph::Label> labels;
+    for (graph::NodeId u : eq_class) {
+      graph::Label y = g.GetLabel(u);
+      if (y != graph::kUnknownLabel) labels.insert(y);
+    }
+    if (labels.empty()) continue;
+    any = true;
+    smallest = std::min(smallest, labels.size());
+  }
+  return any ? smallest : 0;
+}
+
+bool IsLDiverse(const graph::SocialGraph& g, size_t l) { return MinLDiversity(g) >= l; }
+
+namespace {
+
+/// Number of distinct published values of one category.
+size_t DistinctValues(const graph::SocialGraph& g, size_t category) {
+  std::set<graph::AttributeValue> values;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    graph::AttributeValue v = g.Attribute(u, category);
+    if (v != graph::kMissingAttribute) values.insert(v);
+  }
+  return values.size();
+}
+
+}  // namespace
+
+AnonymizationReport EnforceKAnonymity(graph::SocialGraph& g, size_t k) {
+  PPDP_CHECK(k >= 1);
+  PPDP_CHECK(k <= g.num_nodes()) << "cannot make " << g.num_nodes() << " rows " << k
+                                 << "-anonymous";
+  AnonymizationReport report;
+  std::vector<bool> suppressed(g.num_categories(), false);
+
+  while (!IsKAnonymous(g, k)) {
+    // Generalize the category with the most distinct published values: it
+    // is the one fragmenting the equivalence classes hardest.
+    size_t pick = g.num_categories();
+    size_t pick_distinct = 1;
+    for (size_t c = 0; c < g.num_categories(); ++c) {
+      if (suppressed[c]) continue;
+      size_t distinct = DistinctValues(g, c);
+      if (distinct > pick_distinct) {
+        pick_distinct = distinct;
+        pick = c;
+      }
+    }
+    if (pick == g.num_categories()) {
+      // No category has more than one published value, yet rows still
+      // differ through their missing-value patterns: suppress everything,
+      // collapsing the table into a single class of size |V| >= k.
+      for (size_t c = 0; c < g.num_categories(); ++c) {
+        if (!suppressed[c]) {
+          g.MaskCategory(c);
+          suppressed[c] = true;
+          report.suppressed.push_back(c);
+        }
+      }
+      break;
+    }
+    if (pick_distinct <= 2) {
+      g.MaskCategory(pick);
+      suppressed[pick] = true;
+      report.suppressed.push_back(pick);
+    } else {
+      // Halve the resolution (binning at level = ceil(distinct / 2)).
+      sanitize::GeneralizeNumericCategory(g, pick,
+                                          static_cast<int32_t>((pick_distinct + 1) / 2));
+      ++report.generalization_steps;
+      if (DistinctValues(g, pick) <= 1) {
+        g.MaskCategory(pick);
+        suppressed[pick] = true;
+        report.suppressed.push_back(pick);
+      }
+    }
+  }
+  report.achieved_k = MinEquivalenceClassSize(g);
+  report.num_classes = EquivalenceClasses(g).size();
+  std::sort(report.suppressed.begin(), report.suppressed.end());
+  return report;
+}
+
+}  // namespace ppdp::anonymize

@@ -1,0 +1,55 @@
+#ifndef PPDP_ANONYMIZE_KANONYMITY_H_
+#define PPDP_ANONYMIZE_KANONYMITY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/social_graph.h"
+
+namespace ppdp::anonymize {
+
+/// The classical syntactic-privacy notions the dissertation contrasts its
+/// methods against (Sections 2.1 / 3.5): k-anonymity (Sweeney) and
+/// l-diversity (Machanavajjhala et al.). They are defined over the
+/// *published attribute table* — every category is treated as a
+/// quasi-identifier, the node label as the sensitive value — and, as the
+/// chapter argues, they do not address latent-data (inference) privacy.
+/// bench_anonymity quantifies that claim.
+
+/// Equivalence classes of identical published attribute vectors. Each inner
+/// vector lists node ids; missing values count as a distinguished value.
+std::vector<std::vector<graph::NodeId>> EquivalenceClasses(const graph::SocialGraph& g);
+
+/// Size of the smallest equivalence class (the achieved k).
+size_t MinEquivalenceClassSize(const graph::SocialGraph& g);
+
+/// True when every equivalence class has at least k members.
+bool IsKAnonymous(const graph::SocialGraph& g, size_t k);
+
+/// Minimum number of distinct (known) sensitive labels per equivalence
+/// class — the achieved l of distinct l-diversity. Classes containing only
+/// unknown-label nodes are skipped.
+size_t MinLDiversity(const graph::SocialGraph& g);
+
+bool IsLDiverse(const graph::SocialGraph& g, size_t l);
+
+/// What EnforceKAnonymity did to the table.
+struct AnonymizationReport {
+  size_t achieved_k = 0;           ///< min class size afterwards
+  size_t num_classes = 0;
+  size_t generalization_steps = 0; ///< level-halving passes applied
+  std::vector<size_t> suppressed;  ///< categories fully masked
+};
+
+/// Greedy global-recoding anonymizer: while the table is not k-anonymous,
+/// generalize the category with the most distinct published values by
+/// halving its value resolution (Algorithm-4-style binning); a category
+/// reduced to a single bin is suppressed outright. Terminates because each
+/// step strictly reduces total distinct values; in the limit every category
+/// is suppressed and all rows collapse into one class of size |V| >= k.
+/// Requires k <= num_nodes.
+AnonymizationReport EnforceKAnonymity(graph::SocialGraph& g, size_t k);
+
+}  // namespace ppdp::anonymize
+
+#endif  // PPDP_ANONYMIZE_KANONYMITY_H_

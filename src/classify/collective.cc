@@ -1,0 +1,53 @@
+#include "classify/collective.h"
+
+#include <algorithm>
+
+#include "classify/relational.h"
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace ppdp::classify {
+
+CollectiveResult CollectiveInference(const SocialGraph& g, const std::vector<bool>& known,
+                                     AttributeClassifier& local, const CollectiveConfig& config) {
+  PPDP_CHECK(known.size() == g.num_nodes());
+  PPDP_CHECK(config.alpha >= 0.0 && config.beta >= 0.0 && config.alpha + config.beta > 0.0)
+      << "alpha/beta must be non-negative and not both zero";
+
+  local.Train(g, known);
+
+  CollectiveResult result;
+  result.distributions = BootstrapDistributions(g, known, local);
+
+  // Cache the (fixed) attribute posteriors; only P_L changes per round.
+  std::vector<LabelDistribution> attribute_posterior(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (!known[u]) attribute_posterior[u] = local.Predict(g, u);
+  }
+
+  const double norm = config.alpha + config.beta;
+  for (size_t iter = 0; iter < config.max_iterations; ++iter) {
+    double max_change = 0.0;
+    std::vector<LabelDistribution> next = result.distributions;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (known[u]) continue;
+      LabelDistribution link = RelationalPredict(g, u, result.distributions);
+      LabelDistribution mixed(link.size());
+      for (size_t y = 0; y < mixed.size(); ++y) {
+        mixed[y] = (config.alpha * attribute_posterior[u][y] + config.beta * link[y]) / norm;
+      }
+      NormalizeInPlace(mixed);
+      max_change = std::max(max_change, L1Distance(mixed, result.distributions[u]));
+      next[u] = std::move(mixed);
+    }
+    result.distributions = std::move(next);
+    result.iterations = iter + 1;
+    if (max_change < config.convergence_tol) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace ppdp::classify

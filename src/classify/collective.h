@@ -1,0 +1,40 @@
+#ifndef PPDP_CLASSIFY_COLLECTIVE_H_
+#define PPDP_CLASSIFY_COLLECTIVE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "classify/classifier.h"
+
+namespace ppdp::classify {
+
+/// Parameters of the collective-inference attack (Algorithm 1 / Eq. 3.5).
+struct CollectiveConfig {
+  double alpha = 0.5;            ///< weight of the attribute classifier P_A
+  double beta = 0.5;             ///< weight of the link classifier P_L
+  size_t max_iterations = 10;    ///< ICA refinement rounds
+  double convergence_tol = 1e-4; ///< stop when max per-node L1 change drops below
+};
+
+/// Output of the collective attack.
+struct CollectiveResult {
+  std::vector<LabelDistribution> distributions;  ///< per node (known = one-hot)
+  size_t iterations = 0;                          ///< refinement rounds executed
+  bool converged = false;
+};
+
+/// Iterative Classification Algorithm with a pluggable local classifier
+/// (ICA-RST / ICA-Bayes / ICA-KNN, Algorithm 1):
+///   1. train M_A on the attacker-visible labels,
+///   2. bootstrap every unknown node from M_A,
+///   3. repeat: re-estimate each unknown node as
+///        α · P_A(y | attributes) + β · P_L(y | neighbor estimates)
+///      until the estimates converge or max_iterations is hit.
+/// `local` must be untrained or retrainable; Train is invoked inside.
+CollectiveResult CollectiveInference(const SocialGraph& g, const std::vector<bool>& known,
+                                     AttributeClassifier& local,
+                                     const CollectiveConfig& config = {});
+
+}  // namespace ppdp::classify
+
+#endif  // PPDP_CLASSIFY_COLLECTIVE_H_

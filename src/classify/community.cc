@@ -1,0 +1,89 @@
+#include "classify/community.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace ppdp::classify {
+
+std::vector<uint32_t> DetectCommunities(const SocialGraph& g, size_t max_sweeps,
+                                        uint64_t seed) {
+  std::vector<uint32_t> community(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) community[u] = u;
+
+  Rng rng(seed);
+  std::vector<NodeId> order(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) order[u] = u;
+
+  for (size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    rng.Shuffle(order);
+    bool changed = false;
+    std::map<uint32_t, size_t> votes;
+    for (NodeId u : order) {
+      const auto& neighbors = g.Neighbors(u);
+      if (neighbors.empty()) continue;
+      votes.clear();
+      for (NodeId v : neighbors) ++votes[community[v]];
+      // Most frequent neighbor community; ties toward the smaller id so the
+      // result is deterministic given the visiting order.
+      uint32_t best = community[u];
+      size_t best_votes = 0;
+      for (const auto& [id, count] : votes) {
+        if (count > best_votes || (count == best_votes && id < best)) {
+          best_votes = count;
+          best = id;
+        }
+      }
+      if (best != community[u]) {
+        community[u] = best;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return community;
+}
+
+size_t NumCommunities(const std::vector<uint32_t>& communities) {
+  std::map<uint32_t, size_t> seen;
+  for (uint32_t c : communities) ++seen[c];
+  return seen.size();
+}
+
+std::vector<LabelDistribution> CommunityAttack(const SocialGraph& g,
+                                               const std::vector<bool>& known,
+                                               const std::vector<uint32_t>& communities) {
+  PPDP_CHECK(known.size() == g.num_nodes());
+  PPDP_CHECK(communities.size() == g.num_nodes());
+  const size_t labels = static_cast<size_t>(g.num_labels());
+
+  // Known-label tallies per community plus the global fallback.
+  std::map<uint32_t, std::vector<double>> tallies;
+  std::vector<double> global(labels, 1.0);  // +1 smoothing
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (!known[u]) continue;
+    graph::Label y = g.GetLabel(u);
+    if (y == graph::kUnknownLabel) continue;
+    auto [it, unused_inserted] = tallies.try_emplace(communities[u],
+                                                     std::vector<double>(labels, 0.0));
+    it->second[static_cast<size_t>(y)] += 1.0;
+    global[static_cast<size_t>(y)] += 1.0;
+  }
+
+  std::vector<LabelDistribution> result(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (known[u] && g.GetLabel(u) != graph::kUnknownLabel) {
+      result[u].assign(labels, 0.0);
+      result[u][static_cast<size_t>(g.GetLabel(u))] = 1.0;
+      continue;
+    }
+    auto it = tallies.find(communities[u]);
+    result[u] = Normalized(it == tallies.end() ? global : it->second);
+  }
+  return result;
+}
+
+}  // namespace ppdp::classify

@@ -1,0 +1,35 @@
+#ifndef PPDP_CLASSIFY_COMMUNITY_H_
+#define PPDP_CLASSIFY_COMMUNITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "classify/classifier.h"
+
+namespace ppdp::classify {
+
+/// The community-based inference family from the related work (Section 2.1,
+/// [5] Mislove et al.): detect communities, then exploit the assumption that
+/// "users in a community are more likely to share common attributes".
+
+/// Asynchronous label-propagation community detection: every node adopts
+/// the most frequent community among its neighbors until a sweep changes
+/// nothing (or max_sweeps). Returns a community id per node (isolated nodes
+/// keep their own singleton community). Deterministic given the seed, which
+/// only randomizes the node visiting order.
+std::vector<uint32_t> DetectCommunities(const SocialGraph& g, size_t max_sweeps, uint64_t seed);
+
+/// Number of distinct community ids in an assignment.
+size_t NumCommunities(const std::vector<uint32_t>& communities);
+
+/// The community-majority attack: each hidden node's label distribution is
+/// the empirical distribution of known labels inside its community;
+/// communities without known labels fall back to the global known-label
+/// distribution. Known nodes come back one-hot.
+std::vector<LabelDistribution> CommunityAttack(const SocialGraph& g,
+                                               const std::vector<bool>& known,
+                                               const std::vector<uint32_t>& communities);
+
+}  // namespace ppdp::classify
+
+#endif  // PPDP_CLASSIFY_COMMUNITY_H_

@@ -1,0 +1,244 @@
+#include "classify/evaluation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "classify/gibbs.h"
+#include "classify/knn.h"
+#include "classify/naive_bayes.h"
+#include "classify/relational.h"
+#include "classify/rst_classifier.h"
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace ppdp::classify {
+
+const char* AttackModelName(AttackModel model) {
+  switch (model) {
+    case AttackModel::kAttrOnly:
+      return "AttrOnly";
+    case AttackModel::kLinkOnly:
+      return "LinkOnly";
+    case AttackModel::kCollective:
+      return "CC";
+    case AttackModel::kGibbs:
+      return "Gibbs";
+  }
+  return "?";
+}
+
+const char* LocalModelName(LocalModel model) {
+  switch (model) {
+    case LocalModel::kNaiveBayes:
+      return "Bayes";
+    case LocalModel::kKnn:
+      return "KNN";
+    case LocalModel::kRst:
+      return "RST";
+  }
+  return "?";
+}
+
+std::unique_ptr<AttributeClassifier> MakeLocalClassifier(LocalModel model) {
+  switch (model) {
+    case LocalModel::kNaiveBayes:
+      return std::make_unique<NaiveBayesClassifier>();
+    case LocalModel::kKnn:
+      return std::make_unique<KnnClassifier>();
+    case LocalModel::kRst:
+      return std::make_unique<RstClassifier>();
+  }
+  return nullptr;
+}
+
+AttackOutcome RunAttack(const SocialGraph& g, const std::vector<bool>& known, AttackModel model,
+                        AttributeClassifier& local, const CollectiveConfig& config) {
+  PPDP_CHECK(known.size() == g.num_nodes());
+  AttackOutcome outcome;
+  switch (model) {
+    case AttackModel::kAttrOnly: {
+      local.Train(g, known);
+      outcome.distributions = BootstrapDistributions(g, known, local);
+      break;
+    }
+    case AttackModel::kLinkOnly: {
+      local.Train(g, known);
+      outcome.distributions = LinkOnlyInference(g, known, local, /*passes=*/1);
+      break;
+    }
+    case AttackModel::kCollective: {
+      CollectiveResult cc = CollectiveInference(g, known, local, config);
+      outcome.distributions = std::move(cc.distributions);
+      break;
+    }
+    case AttackModel::kGibbs: {
+      GibbsConfig gibbs;
+      gibbs.alpha = config.alpha;
+      gibbs.beta = config.beta;
+      CollectiveResult cc = GibbsCollectiveInference(g, known, local, gibbs);
+      outcome.distributions = std::move(cc.distributions);
+      break;
+    }
+  }
+  outcome.accuracy = Accuracy(g, known, outcome.distributions);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (!known[u] && g.GetLabel(u) != graph::kUnknownLabel) ++outcome.evaluated;
+  }
+  return outcome;
+}
+
+std::vector<bool> SampleKnownMask(const SocialGraph& g, double known_fraction, Rng& rng) {
+  PPDP_CHECK(known_fraction >= 0.0 && known_fraction <= 1.0);
+  std::vector<bool> known(g.num_nodes(), false);
+  size_t target = static_cast<size_t>(known_fraction * static_cast<double>(g.num_nodes()));
+  for (size_t idx : rng.SampleWithoutReplacement(g.num_nodes(), target)) known[idx] = true;
+  return known;
+}
+
+double Accuracy(const SocialGraph& g, const std::vector<bool>& known,
+                const std::vector<LabelDistribution>& distributions) {
+  PPDP_CHECK(distributions.size() == g.num_nodes());
+  size_t correct = 0;
+  size_t total = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (known[u]) continue;
+    graph::Label truth = g.GetLabel(u);
+    if (truth == graph::kUnknownLabel) continue;
+    ++total;
+    if (static_cast<graph::Label>(ArgMax(distributions[u])) == truth) ++correct;
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+double ConfusionMatrix::Accuracy() const {
+  if (total == 0) return 0.0;
+  size_t correct = 0;
+  for (size_t y = 0; y < counts.size(); ++y) correct += counts[y][y];
+  return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+double ConfusionMatrix::Recall(graph::Label label) const {
+  PPDP_CHECK(label >= 0 && static_cast<size_t>(label) < counts.size());
+  size_t row_total = 0;
+  for (size_t p = 0; p < counts.size(); ++p) row_total += counts[static_cast<size_t>(label)][p];
+  if (row_total == 0) return 0.0;
+  return static_cast<double>(counts[static_cast<size_t>(label)][static_cast<size_t>(label)]) /
+         static_cast<double>(row_total);
+}
+
+double ConfusionMatrix::Precision(graph::Label label) const {
+  PPDP_CHECK(label >= 0 && static_cast<size_t>(label) < counts.size());
+  size_t column_total = 0;
+  for (size_t y = 0; y < counts.size(); ++y) {
+    column_total += counts[y][static_cast<size_t>(label)];
+  }
+  if (column_total == 0) return 0.0;
+  return static_cast<double>(counts[static_cast<size_t>(label)][static_cast<size_t>(label)]) /
+         static_cast<double>(column_total);
+}
+
+double ConfusionMatrix::MacroRecall() const {
+  double sum = 0.0;
+  size_t classes = 0;
+  for (size_t y = 0; y < counts.size(); ++y) {
+    size_t row_total = 0;
+    for (size_t p = 0; p < counts.size(); ++p) row_total += counts[y][p];
+    if (row_total == 0) continue;
+    sum += static_cast<double>(counts[y][y]) / static_cast<double>(row_total);
+    ++classes;
+  }
+  return classes == 0 ? 0.0 : sum / static_cast<double>(classes);
+}
+
+ConfusionMatrix BuildConfusionMatrix(const SocialGraph& g, const std::vector<bool>& known,
+                                     const std::vector<LabelDistribution>& distributions) {
+  PPDP_CHECK(known.size() == g.num_nodes());
+  PPDP_CHECK(distributions.size() == g.num_nodes());
+  ConfusionMatrix matrix;
+  size_t labels = static_cast<size_t>(g.num_labels());
+  matrix.counts.assign(labels, std::vector<size_t>(labels, 0));
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (known[u]) continue;
+    graph::Label truth = g.GetLabel(u);
+    if (truth == graph::kUnknownLabel) continue;
+    size_t predicted = ArgMax(distributions[u]);
+    ++matrix.counts[static_cast<size_t>(truth)][predicted];
+    ++matrix.total;
+  }
+  return matrix;
+}
+
+RepeatedAttackResult RepeatedAttack(const SocialGraph& g, double known_fraction, size_t repeats,
+                                    AttackModel model, LocalModel local_model,
+                                    const CollectiveConfig& config, uint64_t seed) {
+  PPDP_CHECK(repeats >= 1);
+  RepeatedAttackResult result;
+  Rng rng(seed);
+  for (size_t r = 0; r < repeats; ++r) {
+    std::vector<bool> known = SampleKnownMask(g, known_fraction, rng);
+    auto local = MakeLocalClassifier(local_model);
+    result.accuracies.push_back(RunAttack(g, known, model, *local, config).accuracy);
+  }
+  result.mean = Mean(result.accuracies);
+  result.stddev = std::sqrt(Variance(result.accuracies));
+  return result;
+}
+
+AlphaBetaChoice TuneAlphaBeta(const SocialGraph& g, const std::vector<bool>& known,
+                              LocalModel local_model, const std::vector<double>& grid,
+                              double validation_fraction, uint64_t seed) {
+  PPDP_CHECK(!grid.empty()) << "alpha grid is empty";
+  PPDP_CHECK(validation_fraction > 0.0 && validation_fraction < 1.0);
+  PPDP_CHECK(known.size() == g.num_nodes());
+
+  // Carve a validation set out of the *known* nodes: their labels are
+  // hidden during tuning and scored against, so the true test set (the
+  // attacker's actual targets) is never touched.
+  std::vector<NodeId> known_nodes;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (known[u] && g.GetLabel(u) != graph::kUnknownLabel) known_nodes.push_back(u);
+  }
+  PPDP_CHECK(known_nodes.size() >= 4) << "too few known labels to tune on";
+  Rng rng(seed);
+  rng.Shuffle(known_nodes);
+  size_t validation_size = std::max<size_t>(
+      1, static_cast<size_t>(validation_fraction * static_cast<double>(known_nodes.size())));
+
+  std::vector<bool> tuning_known = known;
+  std::vector<bool> is_validation(g.num_nodes(), false);
+  for (size_t i = 0; i < validation_size; ++i) {
+    tuning_known[known_nodes[i]] = false;
+    is_validation[known_nodes[i]] = true;
+  }
+
+  AlphaBetaChoice best;
+  best.validation_accuracy = -1.0;
+  for (double alpha : grid) {
+    PPDP_CHECK(alpha >= 0.0 && alpha <= 1.0) << "alpha out of [0,1]: " << alpha;
+    CollectiveConfig config;
+    config.alpha = alpha;
+    config.beta = 1.0 - alpha;
+    auto local = MakeLocalClassifier(local_model);
+    auto outcome = RunAttack(g, tuning_known, AttackModel::kCollective, *local, config);
+    // Score only the validation nodes.
+    size_t correct = 0, total = 0;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (!is_validation[u]) continue;
+      ++total;
+      if (static_cast<graph::Label>(ArgMax(outcome.distributions[u])) == g.GetLabel(u)) {
+        ++correct;
+      }
+    }
+    double accuracy =
+        total == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(total);
+    if (accuracy > best.validation_accuracy) {
+      best.validation_accuracy = accuracy;
+      best.alpha = alpha;
+      best.beta = 1.0 - alpha;
+    }
+  }
+  return best;
+}
+
+}  // namespace ppdp::classify

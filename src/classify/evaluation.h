@@ -1,0 +1,105 @@
+#ifndef PPDP_CLASSIFY_EVALUATION_H_
+#define PPDP_CLASSIFY_EVALUATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "classify/classifier.h"
+#include "classify/collective.h"
+#include "common/rng.h"
+
+namespace ppdp::classify {
+
+/// The attack models compared throughout Section 3.7: attributes only,
+/// links only (with attribute bootstrap), and collective inference — via
+/// ICA or Gibbs sampling (the two algorithms Section 3.4 names).
+enum class AttackModel { kAttrOnly, kLinkOnly, kCollective, kGibbs };
+
+const char* AttackModelName(AttackModel model);
+
+/// The three local classifier families.
+enum class LocalModel { kNaiveBayes, kKnn, kRst };
+
+const char* LocalModelName(LocalModel model);
+
+/// Creates a fresh local classifier of the given family.
+std::unique_ptr<AttributeClassifier> MakeLocalClassifier(LocalModel model);
+
+/// Result of running an attack against a graph view.
+struct AttackOutcome {
+  double accuracy = 0.0;  ///< fraction of hidden labels predicted correctly
+  size_t evaluated = 0;   ///< number of hidden-label nodes scored
+  std::vector<LabelDistribution> distributions;  ///< per node
+};
+
+/// Runs `model` with local classifier `local` against the graph where only
+/// labels with known[u]==true are attacker-visible; scores predictions on
+/// the remaining nodes against the graph's ground-truth labels.
+AttackOutcome RunAttack(const SocialGraph& g, const std::vector<bool>& known, AttackModel model,
+                        AttributeClassifier& local, const CollectiveConfig& config = {});
+
+/// Samples an attacker-visible mask covering ~`known_fraction` of nodes.
+std::vector<bool> SampleKnownMask(const SocialGraph& g, double known_fraction, Rng& rng);
+
+/// Fraction of hidden nodes whose argmax predicted label matches ground
+/// truth.
+double Accuracy(const SocialGraph& g, const std::vector<bool>& known,
+                const std::vector<LabelDistribution>& distributions);
+
+/// Per-class breakdown of an attack's predictions on the hidden nodes.
+struct ConfusionMatrix {
+  /// counts[truth][predicted].
+  std::vector<std::vector<size_t>> counts;
+  size_t total = 0;
+
+  double Accuracy() const;
+  /// Recall of one class (0 when the class never occurs).
+  double Recall(graph::Label label) const;
+  /// Precision of one class (0 when it is never predicted).
+  double Precision(graph::Label label) const;
+  /// Unweighted mean recall over classes that occur — the balanced accuracy
+  /// that exposes majority-class-only predictors on the 65-72 % majority
+  /// datasets.
+  double MacroRecall() const;
+};
+
+/// Builds the confusion matrix of `distributions` (argmax decisions) on the
+/// hidden labeled nodes.
+ConfusionMatrix BuildConfusionMatrix(const SocialGraph& g, const std::vector<bool>& known,
+                                     const std::vector<LabelDistribution>& distributions);
+
+/// Accuracy statistics over repeated random attacker-visibility splits —
+/// the repeated-holdout protocol that turns the single-split numbers of the
+/// benches into mean ± deviation.
+struct RepeatedAttackResult {
+  std::vector<double> accuracies;  ///< one per repeat
+  double mean = 0.0;
+  double stddev = 0.0;             ///< population standard deviation
+};
+
+/// Runs `model` with `local_model` against `repeats` independently sampled
+/// known-masks covering `known_fraction` of nodes (seeded, reproducible).
+RepeatedAttackResult RepeatedAttack(const SocialGraph& g, double known_fraction, size_t repeats,
+                                    AttackModel model, LocalModel local_model,
+                                    const CollectiveConfig& config = {}, uint64_t seed = 1);
+
+/// The §3.7.2 α/β selection procedure: "we study a set of experiments with
+/// multiple combinations and find the optimal one that renders the best
+/// prediction accuracy for CC". Evaluates the collective attack on a
+/// *validation* subset of the known labels (so tuning never peeks at the
+/// hidden test labels) for every α on `grid` (β = 1 − α) and returns the
+/// winner with its validation accuracy.
+struct AlphaBetaChoice {
+  double alpha = 0.5;
+  double beta = 0.5;
+  double validation_accuracy = 0.0;
+};
+
+AlphaBetaChoice TuneAlphaBeta(const SocialGraph& g, const std::vector<bool>& known,
+                              LocalModel local_model, const std::vector<double>& grid,
+                              double validation_fraction = 0.25, uint64_t seed = 1);
+
+}  // namespace ppdp::classify
+
+#endif  // PPDP_CLASSIFY_EVALUATION_H_

@@ -1,0 +1,84 @@
+#include "classify/gibbs.h"
+
+#include "classify/relational.h"
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace ppdp::classify {
+
+CollectiveResult GibbsCollectiveInference(const SocialGraph& g, const std::vector<bool>& known,
+                                          AttributeClassifier& local,
+                                          const GibbsConfig& config) {
+  PPDP_CHECK(known.size() == g.num_nodes());
+  PPDP_CHECK(config.alpha >= 0.0 && config.beta >= 0.0 && config.alpha + config.beta > 0.0);
+  PPDP_CHECK(config.samples >= 1);
+
+  local.Train(g, known);
+  Rng rng(config.seed);
+  const size_t labels = static_cast<size_t>(g.num_labels());
+  const double norm = config.alpha + config.beta;
+
+  // Fixed attribute posteriors; current hard assignment per node.
+  std::vector<LabelDistribution> attribute_posterior(g.num_nodes());
+  std::vector<graph::Label> state(g.num_nodes(), 0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (known[u]) {
+      graph::Label y = g.GetLabel(u);
+      PPDP_CHECK(y != graph::kUnknownLabel) << "known node " << u << " has no label";
+      state[u] = y;
+    } else {
+      attribute_posterior[u] = local.Predict(g, u);
+      state[u] = static_cast<graph::Label>(rng.Categorical(attribute_posterior[u]));
+    }
+  }
+
+  // Weighted hard-label vote of u's neighborhood under the current state.
+  auto link_vote = [&](NodeId u) {
+    LabelDistribution vote(labels, 0.0);
+    double total = 0.0;
+    for (NodeId v : g.Neighbors(u)) {
+      double w = g.LinkWeight(u, v);
+      if (w <= 0.0) continue;
+      total += w;
+      vote[static_cast<size_t>(state[v])] += w;
+    }
+    if (total <= 0.0) return LabelDistribution(labels, 1.0 / static_cast<double>(labels));
+    for (double& p : vote) p /= total;
+    return vote;
+  };
+
+  std::vector<std::vector<double>> tallies(g.num_nodes(), std::vector<double>(labels, 0.0));
+  const size_t total_sweeps = config.burn_in + config.samples;
+  for (size_t sweep = 0; sweep < total_sweeps; ++sweep) {
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (known[u]) continue;
+      LabelDistribution vote = link_vote(u);
+      LabelDistribution conditional(labels);
+      for (size_t y = 0; y < labels; ++y) {
+        conditional[y] = (config.alpha * attribute_posterior[u][y] + config.beta * vote[y]) / norm;
+      }
+      state[u] = static_cast<graph::Label>(rng.Categorical(conditional));
+    }
+    if (sweep >= config.burn_in) {
+      for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        tallies[u][static_cast<size_t>(state[u])] += 1.0;
+      }
+    }
+  }
+
+  CollectiveResult result;
+  result.iterations = total_sweeps;
+  result.converged = true;  // fixed-length chain by construction
+  result.distributions.resize(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (known[u]) {
+      result.distributions[u].assign(labels, 0.0);
+      result.distributions[u][static_cast<size_t>(g.GetLabel(u))] = 1.0;
+    } else {
+      result.distributions[u] = Normalized(tallies[u]);
+    }
+  }
+  return result;
+}
+
+}  // namespace ppdp::classify

@@ -1,0 +1,39 @@
+#ifndef PPDP_CLASSIFY_GIBBS_H_
+#define PPDP_CLASSIFY_GIBBS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "classify/classifier.h"
+#include "classify/collective.h"
+#include "common/rng.h"
+
+namespace ppdp::classify {
+
+/// Parameters of the Gibbs-sampling collective classifier (the second
+/// collective-classification algorithm Section 3.4 names alongside ICA).
+struct GibbsConfig {
+  double alpha = 0.5;        ///< attribute-posterior weight, as in Eq. 3.5
+  double beta = 0.5;         ///< link-vote weight
+  size_t burn_in = 20;       ///< sweeps discarded before collecting
+  size_t samples = 80;       ///< sweeps averaged into the output beliefs
+  uint64_t seed = 1;
+};
+
+/// Gibbs-sampling collective inference: unknown labels are initialized by
+/// sampling from the local classifier's posterior, then resampled
+/// node-by-node from the α/β mixture of the (fixed) attribute posterior and
+/// the weighted vote of the neighbors' *current hard labels*. After burn-in,
+/// per-node label frequencies across sweeps become the output distributions.
+///
+/// Compared with ICA (collective.h) this explores the joint label space
+/// stochastically instead of propagating soft beliefs — the classic
+/// trade-off the collective-classification literature the chapter cites
+/// studies. `local` is trained inside.
+CollectiveResult GibbsCollectiveInference(const SocialGraph& g, const std::vector<bool>& known,
+                                          AttributeClassifier& local,
+                                          const GibbsConfig& config = {});
+
+}  // namespace ppdp::classify
+
+#endif  // PPDP_CLASSIFY_GIBBS_H_

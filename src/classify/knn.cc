@@ -1,0 +1,68 @@
+#include "classify/knn.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace ppdp::classify {
+
+void KnnClassifier::Train(const SocialGraph& g, const std::vector<bool>& known) {
+  PPDP_CHECK(known.size() == g.num_nodes());
+  PPDP_CHECK(k_ >= 1);
+  num_labels_ = g.num_labels();
+  train_rows_.clear();
+  train_labels_.clear();
+  prior_.assign(static_cast<size_t>(num_labels_), 1.0);  // Laplace prior
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (!known[u]) continue;
+    graph::Label y = g.GetLabel(u);
+    PPDP_CHECK(y != graph::kUnknownLabel) << "training node " << u << " has no label";
+    std::vector<graph::AttributeValue> row(g.num_categories());
+    for (size_t c = 0; c < g.num_categories(); ++c) row[c] = g.Attribute(u, c);
+    train_rows_.push_back(std::move(row));
+    train_labels_.push_back(y);
+    prior_[static_cast<size_t>(y)] += 1.0;
+  }
+  NormalizeInPlace(prior_);
+}
+
+LabelDistribution KnnClassifier::Predict(const SocialGraph& g, NodeId u) const {
+  PPDP_CHECK(num_labels_ > 0) << "Predict before Train";
+  if (train_rows_.empty()) return prior_;
+
+  std::vector<graph::AttributeValue> query(g.num_categories());
+  for (size_t c = 0; c < g.num_categories(); ++c) query[c] = g.Attribute(u, c);
+
+  std::vector<std::pair<double, size_t>> distances;
+  distances.reserve(train_rows_.size());
+  for (size_t i = 0; i < train_rows_.size(); ++i) {
+    double d = 0.0;
+    for (size_t c = 0; c < query.size(); ++c) {
+      graph::AttributeValue a = query[c];
+      graph::AttributeValue b = train_rows_[i][c];
+      if (a == graph::kMissingAttribute && b == graph::kMissingAttribute) continue;
+      if (a == graph::kMissingAttribute || b == graph::kMissingAttribute) {
+        d += 0.5;
+      } else if (a != b) {
+        d += 1.0;
+      }
+    }
+    distances.emplace_back(d, i);
+  }
+
+  size_t k = std::min(k_, distances.size());
+  std::nth_element(distances.begin(), distances.begin() + static_cast<ptrdiff_t>(k - 1),
+                   distances.end());
+  double kth = distances[k - 1].first;
+
+  LabelDistribution votes(static_cast<size_t>(num_labels_), 0.0);
+  // All neighbors at distance <= kth vote (ties at the boundary included).
+  for (const auto& [d, i] : distances) {
+    if (d <= kth) votes[static_cast<size_t>(train_labels_[i])] += 1.0;
+  }
+  NormalizeInPlace(votes);
+  return votes;
+}
+
+}  // namespace ppdp::classify

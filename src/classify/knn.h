@@ -1,0 +1,35 @@
+#ifndef PPDP_CLASSIFY_KNN_H_
+#define PPDP_CLASSIFY_KNN_H_
+
+#include <string>
+#include <vector>
+
+#include "classify/classifier.h"
+
+namespace ppdp::classify {
+
+/// K-nearest-neighbor classifier over attribute sets. Distance is Hamming
+/// over categories where both nodes publish a value, plus a half-mismatch
+/// penalty per category where exactly one side is missing (so sparsely
+/// published profiles don't look spuriously close). Ties at the k-th rank
+/// all enter the vote; votes are support counts normalized to a
+/// distribution.
+class KnnClassifier : public AttributeClassifier {
+ public:
+  explicit KnnClassifier(size_t k = 7) : k_(k) {}
+
+  void Train(const SocialGraph& g, const std::vector<bool>& known) override;
+  LabelDistribution Predict(const SocialGraph& g, NodeId u) const override;
+  std::string name() const override { return "KNN"; }
+
+ private:
+  size_t k_;
+  int32_t num_labels_ = 0;
+  std::vector<std::vector<graph::AttributeValue>> train_rows_;
+  std::vector<graph::Label> train_labels_;
+  LabelDistribution prior_;
+};
+
+}  // namespace ppdp::classify
+
+#endif  // PPDP_CLASSIFY_KNN_H_

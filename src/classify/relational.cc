@@ -1,0 +1,63 @@
+#include "classify/relational.h"
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace ppdp::classify {
+
+LabelDistribution RelationalPredict(const SocialGraph& g, NodeId u,
+                                    const std::vector<LabelDistribution>& current) {
+  PPDP_CHECK(current.size() == g.num_nodes());
+  const size_t labels = static_cast<size_t>(g.num_labels());
+  const auto& neighbors = g.Neighbors(u);
+  if (neighbors.empty()) return current[u];
+
+  LabelDistribution combined(labels, 0.0);
+  double weight_total = 0.0;
+  for (NodeId v : neighbors) {
+    double w = g.LinkWeight(u, v);
+    if (w <= 0.0) continue;
+    weight_total += w;
+    for (size_t y = 0; y < labels; ++y) combined[y] += w * current[v][y];
+  }
+  if (weight_total <= 0.0) return current[u];
+  for (double& p : combined) p /= weight_total;
+  return combined;
+}
+
+std::vector<LabelDistribution> BootstrapDistributions(const SocialGraph& g,
+                                                      const std::vector<bool>& known,
+                                                      const AttributeClassifier& local) {
+  PPDP_CHECK(known.size() == g.num_nodes());
+  const size_t labels = static_cast<size_t>(g.num_labels());
+  std::vector<LabelDistribution> dists(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (known[u]) {
+      graph::Label y = g.GetLabel(u);
+      PPDP_CHECK(y != graph::kUnknownLabel) << "known node " << u << " has no label";
+      dists[u].assign(labels, 0.0);
+      dists[u][static_cast<size_t>(y)] = 1.0;
+    } else {
+      dists[u] = local.Predict(g, u);
+    }
+  }
+  return dists;
+}
+
+std::vector<LabelDistribution> LinkOnlyInference(const SocialGraph& g,
+                                                 const std::vector<bool>& known,
+                                                 const AttributeClassifier& local,
+                                                 size_t passes) {
+  std::vector<LabelDistribution> dists = BootstrapDistributions(g, known, local);
+  for (size_t pass = 0; pass < passes; ++pass) {
+    std::vector<LabelDistribution> next = dists;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (known[u]) continue;
+      next[u] = RelationalPredict(g, u, dists);
+    }
+    dists = std::move(next);
+  }
+  return dists;
+}
+
+}  // namespace ppdp::classify

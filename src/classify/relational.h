@@ -1,0 +1,36 @@
+#ifndef PPDP_CLASSIFY_RELATIONAL_H_
+#define PPDP_CLASSIFY_RELATIONAL_H_
+
+#include <vector>
+
+#include "classify/classifier.h"
+
+namespace ppdp::classify {
+
+/// One weighted-vote relational-neighbor (wvRN) estimate for node u
+/// (Equation 4.3): the attribute-overlap-weighted average of the neighbors'
+/// current label distributions,
+///   P(l_t | N_i) = Σ_j P(l_t^j) · W_{i,j} / Σ_k W_{i,k}.
+/// Falls back to `current[u]` when u has no neighbors or all weights vanish.
+LabelDistribution RelationalPredict(const SocialGraph& g, NodeId u,
+                                    const std::vector<LabelDistribution>& current);
+
+/// The LinkOnly attack model of Section 3.7.2: bootstrap the unknown nodes'
+/// distributions with the local attribute classifier (required because few
+/// unknown nodes have labeled neighbors), then run `passes` rounds of
+/// relational refinement over the unknown nodes. Known nodes keep their
+/// one-hot true label throughout. Returns one distribution per node.
+std::vector<LabelDistribution> LinkOnlyInference(const SocialGraph& g,
+                                                 const std::vector<bool>& known,
+                                                 const AttributeClassifier& local,
+                                                 size_t passes = 1);
+
+/// Builds the initial per-node distributions: one-hot for known nodes,
+/// local-classifier posterior for unknown nodes.
+std::vector<LabelDistribution> BootstrapDistributions(const SocialGraph& g,
+                                                      const std::vector<bool>& known,
+                                                      const AttributeClassifier& local);
+
+}  // namespace ppdp::classify
+
+#endif  // PPDP_CLASSIFY_RELATIONAL_H_

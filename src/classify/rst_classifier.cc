@@ -1,0 +1,38 @@
+#include "classify/rst_classifier.h"
+
+#include "common/logging.h"
+#include "rst/information_system.h"
+#include "rst/reduct.h"
+
+namespace ppdp::classify {
+
+void RstClassifier::Train(const SocialGraph& g, const std::vector<bool>& known) {
+  PPDP_CHECK(known.size() == g.num_nodes());
+  std::vector<std::string> names;
+  names.reserve(g.num_categories());
+  for (const auto& cat : g.categories()) names.push_back(cat.name);
+  rst::InformationSystem is(std::move(names), g.num_labels());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (!known[u]) continue;
+    graph::Label y = g.GetLabel(u);
+    PPDP_CHECK(y != graph::kUnknownLabel) << "training node " << u << " has no label";
+    std::vector<graph::AttributeValue> row(g.num_categories());
+    for (size_t c = 0; c < g.num_categories(); ++c) row[c] = g.Attribute(u, c);
+    is.AddObject(std::move(row), y);
+  }
+  rules_ = rst::RuleSet::Learn(is, rst::GreedyReduct(is));
+}
+
+LabelDistribution RstClassifier::Predict(const SocialGraph& g, NodeId u) const {
+  PPDP_CHECK(rules_.has_value()) << "Predict before Train";
+  std::vector<graph::AttributeValue> row(g.num_categories());
+  for (size_t c = 0; c < g.num_categories(); ++c) row[c] = g.Attribute(u, c);
+  return rules_->Classify(row);
+}
+
+const std::vector<size_t>& RstClassifier::reduct() const {
+  PPDP_CHECK(rules_.has_value()) << "reduct() before Train";
+  return rules_->reduct();
+}
+
+}  // namespace ppdp::classify

@@ -1,0 +1,35 @@
+#ifndef PPDP_CLASSIFY_RST_CLASSIFIER_H_
+#define PPDP_CLASSIFY_RST_CLASSIFIER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "classify/classifier.h"
+#include "rst/decision_rules.h"
+
+namespace ppdp::classify {
+
+/// The dissertation's Rough-Set-Theory local classifier: builds an
+/// information system from the attacker-visible nodes, computes a greedy
+/// reduct, extracts decision rules (Section 3.3.2) and classifies by rule
+/// lookup with nearest-rule fallback. Robust to the incomplete / uncertain
+/// attribute data motivating RST in Section 3.2.3.
+class RstClassifier : public AttributeClassifier {
+ public:
+  RstClassifier() = default;
+
+  void Train(const SocialGraph& g, const std::vector<bool>& known) override;
+  LabelDistribution Predict(const SocialGraph& g, NodeId u) const override;
+  std::string name() const override { return "RST"; }
+
+  /// The reduct used by the learned rule set (empty before Train).
+  const std::vector<size_t>& reduct() const;
+
+ private:
+  std::optional<rst::RuleSet> rules_;
+};
+
+}  // namespace ppdp::classify
+
+#endif  // PPDP_CLASSIFY_RST_CLASSIFIER_H_

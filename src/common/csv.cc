@@ -1,0 +1,79 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace ppdp {
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(const std::string& content) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_started = false;  // row has at least one cell boundary
+
+  for (size_t i = 0; i < content.size(); ++i) {
+    char c = content[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < content.size() && content[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!cell.empty()) {
+          return Status::InvalidArgument("quote inside unquoted cell near offset " +
+                                         std::to_string(i));
+        }
+        in_quotes = true;
+        cell_started = true;
+        break;
+      case ',':
+        row.push_back(std::move(cell));
+        cell.clear();
+        cell_started = true;
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        if (cell_started || !cell.empty() || !row.empty()) {
+          row.push_back(std::move(cell));
+          cell.clear();
+          rows.push_back(std::move(row));
+          row.clear();
+          cell_started = false;
+        } else {
+          // blank line: skip
+        }
+        break;
+      default:
+        cell += c;
+        cell_started = true;
+        break;
+    }
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated quoted cell");
+  if (cell_started || !cell.empty() || !row.empty()) {
+    row.push_back(std::move(cell));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<std::vector<std::vector<std::string>>> ReadCsv(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str());
+}
+
+}  // namespace ppdp

@@ -1,0 +1,22 @@
+#ifndef PPDP_COMMON_CSV_H_
+#define PPDP_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ppdp {
+
+/// Parses an RFC-4180-ish CSV file into rows of cells. Handles quoted
+/// cells, escaped quotes ("") and embedded commas/newlines inside quotes.
+/// The counterpart of Table::WriteCsv. Fails with kNotFound when the file
+/// cannot be opened and kInvalidArgument on malformed quoting.
+Result<std::vector<std::vector<std::string>>> ReadCsv(const std::string& path);
+
+/// Parses CSV content from a string (same grammar as ReadCsv).
+Result<std::vector<std::vector<std::string>>> ParseCsv(const std::string& content);
+
+}  // namespace ppdp
+
+#endif  // PPDP_COMMON_CSV_H_

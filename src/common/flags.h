@@ -1,0 +1,34 @@
+#ifndef PPDP_COMMON_FLAGS_H_
+#define PPDP_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ppdp {
+
+/// Minimal "--key=value" / "--key value" command-line parser used by the
+/// benchmark and example binaries (the library itself never parses argv).
+/// Unknown flags are kept and can be listed; a bare "--help" sets help().
+class Flags {
+ public:
+  /// Parses argv. Arguments not starting with "--" are ignored.
+  Flags(int argc, char** argv);
+
+  /// Returns the flag value or `fallback` when absent/unparsable.
+  std::string GetString(const std::string& name, const std::string& fallback) const;
+  int64_t GetInt(const std::string& name, int64_t fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+  bool help() const { return help_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool help_ = false;
+};
+
+}  // namespace ppdp
+
+#endif  // PPDP_COMMON_FLAGS_H_

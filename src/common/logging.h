@@ -1,0 +1,55 @@
+#ifndef PPDP_COMMON_LOGGING_H_
+#define PPDP_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace ppdp {
+namespace internal_logging {
+
+/// Accumulates a fatal message; aborts the process when destroyed. Used only
+/// via the PPDP_CHECK family of macros — invariant violations are programmer
+/// errors, not recoverable conditions.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << "PPDP_CHECK failed at " << file << ":" << line << ": " << condition << " ";
+  }
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+  ~FatalMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lowers a streamed expression to void so it can sit in the false arm of
+/// the PPDP_CHECK ternary. operator& binds looser than operator<<, so the
+/// whole streamed chain is consumed first.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace ppdp
+
+/// Dies with a message when `condition` is false. Extra context can be
+/// streamed: PPDP_CHECK(n > 0) << "n=" << n;
+#define PPDP_CHECK(condition)                         \
+  (condition) ? static_cast<void>(0)                  \
+              : ::ppdp::internal_logging::Voidify() & \
+                    ::ppdp::internal_logging::FatalMessage(__FILE__, __LINE__, #condition).stream()
+
+#define PPDP_CHECK_OK(status_expr)                                         \
+  do {                                                                     \
+    const ::ppdp::Status ppdp_check_status_ = (status_expr);               \
+    PPDP_CHECK(ppdp_check_status_.ok()) << ppdp_check_status_.ToString();  \
+  } while (false)
+
+#endif  // PPDP_COMMON_LOGGING_H_

@@ -1,0 +1,83 @@
+#include "common/math_util.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ppdp {
+
+double Entropy(const std::vector<double>& probs, bool base2) {
+  double total = 0.0;
+  for (double p : probs) {
+    PPDP_CHECK(p >= 0.0) << "negative probability " << p;
+    total += p;
+  }
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double p : probs) {
+    if (p <= 0.0) continue;
+    double q = p / total;
+    h -= q * std::log(q);
+  }
+  return base2 ? h / std::log(2.0) : h;
+}
+
+double NormalizedEntropy(const std::vector<double>& probs) {
+  if (probs.size() <= 1) return 0.0;
+  return Entropy(probs) / std::log(static_cast<double>(probs.size()));
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double mu = Mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - mu) * (v - mu);
+  return acc / static_cast<double>(values.size());
+}
+
+size_t ArgMax(const std::vector<double>& values) {
+  PPDP_CHECK(!values.empty()) << "ArgMax of empty vector";
+  size_t best = 0;
+  for (size_t i = 1; i < values.size(); ++i) {
+    if (values[i] > values[best]) best = i;
+  }
+  return best;
+}
+
+void NormalizeInPlace(std::vector<double>& values) {
+  PPDP_CHECK(!values.empty()) << "normalizing empty vector";
+  double total = 0.0;
+  for (double v : values) {
+    PPDP_CHECK(v >= 0.0) << "negative entry " << v;
+    total += v;
+  }
+  if (total <= 0.0) {
+    double uniform = 1.0 / static_cast<double>(values.size());
+    for (double& v : values) v = uniform;
+    return;
+  }
+  for (double& v : values) v /= total;
+}
+
+std::vector<double> Normalized(std::vector<double> values) {
+  NormalizeInPlace(values);
+  return values;
+}
+
+double L1Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  PPDP_CHECK(a.size() == b.size());
+  double d = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) d += std::fabs(a[i] - b[i]);
+  return d;
+}
+
+bool NearlyEqual(double a, double b, double tol) { return std::fabs(a - b) <= tol; }
+
+}  // namespace ppdp

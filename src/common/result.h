@@ -1,0 +1,70 @@
+#ifndef PPDP_COMMON_RESULT_H_
+#define PPDP_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace ppdp {
+
+/// A value-or-error holder, analogous to absl::StatusOr / arrow::Result.
+/// Either contains a T (status is OK) or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+
+  /// Constructs a Result holding an error. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT: implicit by design
+    PPDP_CHECK(!status_.ok()) << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; dies if this holds an error.
+  const T& value() const& {
+    PPDP_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    PPDP_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    PPDP_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when holding an error.
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_ = Status::Internal("empty Result");
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error
+/// Status from the enclosing function. The temporary's name embeds the line
+/// number (via the double-expansion idiom) so multiple uses can share a
+/// scope.
+#define PPDP_INTERNAL_CONCAT_(a, b) a##b
+#define PPDP_INTERNAL_CONCAT(a, b) PPDP_INTERNAL_CONCAT_(a, b)
+#define PPDP_ASSIGN_OR_RETURN(lhs, expr) \
+  PPDP_ASSIGN_OR_RETURN_IMPL_(PPDP_INTERNAL_CONCAT(ppdp_result_, __LINE__), lhs, expr)
+#define PPDP_ASSIGN_OR_RETURN_IMPL_(var, lhs, expr) \
+  auto var = (expr);                                \
+  if (!var.ok()) return var.status();               \
+  lhs = std::move(var).value()
+
+}  // namespace ppdp
+
+#endif  // PPDP_COMMON_RESULT_H_

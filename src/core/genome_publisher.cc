@@ -1,0 +1,32 @@
+#include "core/genome_publisher.h"
+
+#include <utility>
+
+namespace ppdp::core {
+
+GenomePublisher::GenomePublisher(genomics::GwasCatalog catalog, genomics::TargetView view)
+    : catalog_(std::move(catalog)), view_(std::move(view)) {}
+
+genomics::GenomeAttackResult GenomePublisher::Attack(
+    genomics::AttackMethod method, const genomics::FactorGraph::BpOptions& options) const {
+  return genomics::RunGenomeInference(catalog_, view_, method, options);
+}
+
+genomics::PrivacyReport GenomePublisher::Privacy(const std::vector<size_t>& target_traits,
+                                                 genomics::AttackMethod method) const {
+  return genomics::EvaluateTraitPrivacy(Attack(method), target_traits);
+}
+
+genomics::GputResult GenomePublisher::PublishWithDeltaPrivacy(
+    double delta, const std::vector<size_t>& target_traits, genomics::AttackMethod method) {
+  genomics::GputOptions options;
+  options.delta = delta;
+  options.method = method;
+  genomics::TargetView sanitized;
+  genomics::GputResult result =
+      genomics::GreedySanitize(catalog_, view_, target_traits, options, &sanitized);
+  view_ = std::move(sanitized);
+  return result;
+}
+
+}  // namespace ppdp::core

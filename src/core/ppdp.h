@@ -1,0 +1,28 @@
+#ifndef PPDP_CORE_PPDP_H_
+#define PPDP_CORE_PPDP_H_
+
+/// Umbrella header for the ppdp library — privacy-preserving data
+/// publishing per He (2018), "Privacy Preserving Data Publishing":
+///
+///  * core/social_publisher.h   — chapter 3: collective inference attacks
+///    and collective data-sanitization for social graphs.
+///  * core/tradeoff_publisher.h — chapter 4: optimal privacy-utility
+///    tradeoff with customized data utility.
+///  * core/genome_publisher.h   — chapter 5: genomic inference attacks
+///    (factor graphs + belief propagation) and SNP sanitization.
+///  * dp/synthesizer.h          — the differential-privacy synthesis
+///    methodology for high-dimensional data.
+///
+/// Lower-level building blocks live in graph/, rst/, classify/, sanitize/,
+/// tradeoff/, genomics/, dp/ and opt/.
+
+#include "classify/evaluation.h"
+#include "core/genome_publisher.h"
+#include "core/social_publisher.h"
+#include "core/tradeoff_publisher.h"
+#include "dp/mechanisms.h"
+#include "dp/synthesizer.h"
+#include "graph/graph_generators.h"
+#include "graph/graph_metrics.h"
+
+#endif  // PPDP_CORE_PPDP_H_

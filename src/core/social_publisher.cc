@@ -1,0 +1,55 @@
+#include "core/social_publisher.h"
+
+#include "classify/naive_bayes.h"
+#include "classify/relational.h"
+#include "sanitize/attribute_selection.h"
+#include "sanitize/link_selection.h"
+
+namespace ppdp::core {
+
+SocialPublisher::SocialPublisher(graph::SocialGraph graph, double known_fraction, uint64_t seed)
+    : graph_(std::move(graph)) {
+  Rng rng(seed);
+  known_ = classify::SampleKnownMask(graph_, known_fraction, rng);
+}
+
+double SocialPublisher::AttackAccuracy(classify::AttackModel attack, classify::LocalModel local,
+                                       const classify::CollectiveConfig& config) const {
+  auto classifier = classify::MakeLocalClassifier(local);
+  return classify::RunAttack(graph_, known_, attack, *classifier, config).accuracy;
+}
+
+double SocialPublisher::PriorAccuracy() const {
+  return sanitize::PriorOnlyAccuracy(graph_, known_);
+}
+
+size_t SocialPublisher::RemoveTopPrivacyAttributes(size_t count, size_t utility_category) {
+  auto ranked = sanitize::RankPrivacyDependence(graph_, utility_category);
+  size_t removed = 0;
+  for (const auto& [category, unused_gamma] : ranked) {
+    if (removed >= count) break;
+    graph_.MaskCategory(category);
+    ++removed;
+  }
+  return removed;
+}
+
+size_t SocialPublisher::RemoveIndistinguishableLinks(size_t count) {
+  classify::NaiveBayesClassifier nb;
+  nb.Train(graph_, known_);
+  auto estimates = classify::BootstrapDistributions(graph_, known_, nb);
+  return sanitize::RemoveIndistinguishableLinks(graph_, known_, estimates, count);
+}
+
+sanitize::SanitizeReport SocialPublisher::SanitizeCollective(
+    const sanitize::CollectiveSanitizeOptions& options) {
+  return sanitize::CollectiveSanitize(graph_, options);
+}
+
+sanitize::PrivacyUtility SocialPublisher::MeasurePrivacyUtility(
+    size_t utility_category, classify::LocalModel local,
+    const classify::CollectiveConfig& config) const {
+  return sanitize::MeasurePrivacyUtility(graph_, known_, utility_category, local, config);
+}
+
+}  // namespace ppdp::core

@@ -1,0 +1,63 @@
+#ifndef PPDP_CORE_SOCIAL_PUBLISHER_H_
+#define PPDP_CORE_SOCIAL_PUBLISHER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "classify/evaluation.h"
+#include "common/rng.h"
+#include "graph/social_graph.h"
+#include "sanitize/collective_sanitizer.h"
+
+namespace ppdp::core {
+
+/// High-level chapter-3 API: owns a working copy of a social graph plus an
+/// attacker-visibility mask, exposes the attack models for measurement and
+/// the sanitization moves (attribute removal, indistinguishable-link
+/// removal, the collective method) for defense. Typical flow:
+///
+///   SocialPublisher pub(graph, /*known_fraction=*/0.7, /*seed=*/1);
+///   double before = pub.AttackAccuracy(AttackModel::kCollective, LocalModel::kRst);
+///   pub.SanitizeCollective({.utility_category = 1});
+///   double after = pub.AttackAccuracy(AttackModel::kCollective, LocalModel::kRst);
+class SocialPublisher {
+ public:
+  /// Takes a working copy of `graph`; `known_fraction` of node labels are
+  /// attacker-visible (sampled with `seed`).
+  SocialPublisher(graph::SocialGraph graph, double known_fraction, uint64_t seed);
+
+  /// Accuracy of the given attack against the current (possibly sanitized)
+  /// graph.
+  double AttackAccuracy(classify::AttackModel attack, classify::LocalModel local,
+                        const classify::CollectiveConfig& config = {}) const;
+
+  /// Majority-class baseline accuracy (the prior of Definition 3.2.6).
+  double PriorAccuracy() const;
+
+  /// Masks the `count` most privacy-dependent attribute categories
+  /// (conditions exclude `utility_category`). Returns how many were masked.
+  size_t RemoveTopPrivacyAttributes(size_t count, size_t utility_category);
+
+  /// Removes the `count` most indistinguishable links (Definition 3.5.1).
+  /// Returns how many were removed.
+  size_t RemoveIndistinguishableLinks(size_t count);
+
+  /// Applies the full collective method (Algorithm 2).
+  sanitize::SanitizeReport SanitizeCollective(const sanitize::CollectiveSanitizeOptions& options);
+
+  /// Privacy/utility measurement for the tradeoff tables.
+  sanitize::PrivacyUtility MeasurePrivacyUtility(
+      size_t utility_category, classify::LocalModel local,
+      const classify::CollectiveConfig& config = {}) const;
+
+  const graph::SocialGraph& graph() const { return graph_; }
+  const std::vector<bool>& known() const { return known_; }
+
+ private:
+  graph::SocialGraph graph_;
+  std::vector<bool> known_;
+};
+
+}  // namespace ppdp::core
+
+#endif  // PPDP_CORE_SOCIAL_PUBLISHER_H_

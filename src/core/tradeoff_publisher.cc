@@ -1,0 +1,35 @@
+#include "core/tradeoff_publisher.h"
+
+#include "classify/evaluation.h"
+#include "common/rng.h"
+
+namespace ppdp::core {
+
+TradeoffPublisher::TradeoffPublisher(graph::SocialGraph graph, double known_fraction,
+                                     uint64_t seed)
+    : graph_(std::move(graph)) {
+  Rng rng(seed);
+  known_ = classify::SampleKnownMask(graph_, known_fraction, rng);
+}
+
+tradeoff::StrategyProblem TradeoffPublisher::BuildProblem(double delta, size_t max_sets) const {
+  tradeoff::StrategyProblem problem;
+  problem.profile = tradeoff::BuildProfileFromGraph(graph_, max_sets);
+  problem.utility_disparity = tradeoff::HammingDisparity(problem.profile);
+  problem.latent_guess = tradeoff::LatentGuessPerSet(graph_, problem.profile);
+  problem.num_labels = graph_.num_labels();
+  problem.delta = delta;
+  return problem;
+}
+
+Result<tradeoff::StrategyResult> TradeoffPublisher::OptimizeAttributeStrategy(
+    double delta, size_t max_sets) const {
+  return tradeoff::SolveOptimalStrategy(BuildProblem(delta, max_sets));
+}
+
+tradeoff::TradeoffOutcome TradeoffPublisher::Apply(tradeoff::Strategy strategy,
+                                                   const tradeoff::TradeoffConfig& config) const {
+  return tradeoff::ApplyStrategy(graph_, known_, strategy, config);
+}
+
+}  // namespace ppdp::core

@@ -1,0 +1,49 @@
+#ifndef PPDP_CORE_TRADEOFF_PUBLISHER_H_
+#define PPDP_CORE_TRADEOFF_PUBLISHER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/social_graph.h"
+#include "tradeoff/attribute_strategy.h"
+#include "tradeoff/collective_strategy.h"
+#include "tradeoff/profile.h"
+
+namespace ppdp::core {
+
+/// High-level chapter-4 API: builds the candidate-space profile from a
+/// graph, solves the optimal attribute-sanitization LP under a
+/// prediction-utility threshold, and runs the graph-level strategy
+/// comparisons. Typical flow:
+///
+///   TradeoffPublisher pub(graph, /*known_fraction=*/0.7, /*seed=*/1);
+///   auto optimal = pub.OptimizeAttributeStrategy(/*delta=*/0.4);
+///   auto outcome = pub.Apply(tradeoff::Strategy::kCollectiveSanitization, config);
+class TradeoffPublisher {
+ public:
+  TradeoffPublisher(graph::SocialGraph graph, double known_fraction, uint64_t seed);
+
+  /// Builds the (ε, δ)-UtiOptPri attribute-side problem over the
+  /// `max_sets` most frequent attribute vectors.
+  tradeoff::StrategyProblem BuildProblem(double delta, size_t max_sets = 6) const;
+
+  /// Solves the LP of Section 4.5.1 exactly.
+  Result<tradeoff::StrategyResult> OptimizeAttributeStrategy(double delta,
+                                                             size_t max_sets = 6) const;
+
+  /// Runs one of the Fig-4.1 strategies on a copy of the graph and measures
+  /// the tradeoff.
+  tradeoff::TradeoffOutcome Apply(tradeoff::Strategy strategy,
+                                  const tradeoff::TradeoffConfig& config) const;
+
+  const graph::SocialGraph& graph() const { return graph_; }
+  const std::vector<bool>& known() const { return known_; }
+
+ private:
+  graph::SocialGraph graph_;
+  std::vector<bool> known_;
+};
+
+}  // namespace ppdp::core
+
+#endif  // PPDP_CORE_TRADEOFF_PUBLISHER_H_

@@ -1,0 +1,67 @@
+#ifndef PPDP_DP_AGGREGATION_H_
+#define PPDP_DP_AGGREGATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace ppdp::dp {
+
+/// Differentially private aggregation primitives for the Section 6.2
+/// research direction ("differentially private algorithms for big data
+/// aggregation" — range counting, quantiles, histograms). All operate on a
+/// fixed integer domain [0, domain_size) under add/remove-one adjacency.
+
+/// ε-DP histogram: per-bucket counts + Laplace(1/ε) noise (sensitivity 1 by
+/// parallel composition — each record lands in one bucket). Negative noisy
+/// counts are clamped to 0.
+std::vector<double> NoisyHistogram(const std::vector<int64_t>& data, size_t domain_size,
+                                   double epsilon, Rng& rng);
+
+/// A dyadic-interval range-counting structure: materializes noisy counts of
+/// every dyadic interval over the domain so that any range query [lo, hi]
+/// is answered from O(log |domain|) noisy nodes instead of O(|domain|)
+/// noisy buckets — the standard hierarchical-histogram construction whose
+/// error grows polylogarithmically in the domain size.
+///
+/// Privacy: each record contributes to exactly one node per level, so with
+/// per-level budget ε / levels the whole structure is ε-DP.
+class RangeCountSketch {
+ public:
+  /// Builds the structure over `data` (values in [0, domain_size)).
+  /// domain_size is rounded up to a power of two internally.
+  static Result<RangeCountSketch> Build(const std::vector<int64_t>& data, size_t domain_size,
+                                        double epsilon, Rng& rng);
+
+  /// Noisy count of values in [lo, hi] (inclusive). kInvalidArgument when
+  /// the range is empty or out of domain.
+  Result<double> RangeCount(int64_t lo, int64_t hi) const;
+
+  size_t domain_size() const { return domain_size_; }
+  size_t levels() const { return levels_; }
+  double epsilon() const { return epsilon_; }
+
+ private:
+  RangeCountSketch() = default;
+
+  size_t domain_size_ = 0;  ///< requested domain (queries bounded by this)
+  size_t padded_ = 0;       ///< power-of-two internal width
+  size_t levels_ = 0;
+  double epsilon_ = 0.0;
+  /// tree_[level][node]: level 0 = root (whole domain), deepest = leaves.
+  std::vector<std::vector<double>> tree_;
+};
+
+/// ε-DP q-quantile via the exponential mechanism over domain positions:
+/// utility(x) = −|#{data < x} − q·n|, sensitivity 1. Returns a domain value.
+Result<int64_t> PrivateQuantile(const std::vector<int64_t>& data, size_t domain_size, double q,
+                                double epsilon, Rng& rng);
+
+/// ε-DP count of `data` (Laplace, sensitivity 1).
+double NoisyCount(size_t true_count, double epsilon, Rng& rng);
+
+}  // namespace ppdp::dp
+
+#endif  // PPDP_DP_AGGREGATION_H_

@@ -1,0 +1,317 @@
+#include "genomics/factor_graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace ppdp::genomics {
+
+size_t FactorGraph::AddVariable(size_t domain_size) {
+  PPDP_CHECK(domain_size >= 2) << "variable needs at least two states";
+  domains_.push_back(domain_size);
+  evidence_.push_back(-1);
+  factors_of_variable_.emplace_back();
+  return domains_.size() - 1;
+}
+
+size_t FactorGraph::AddFactor(std::vector<size_t> variables, std::vector<double> table) {
+  PPDP_CHECK(!variables.empty()) << "factor needs at least one variable";
+  size_t expected = 1;
+  for (size_t v : variables) {
+    PPDP_CHECK(v < domains_.size()) << "variable " << v << " out of range";
+    expected *= domains_[v];
+  }
+  for (size_t i = 0; i < variables.size(); ++i) {
+    for (size_t j = i + 1; j < variables.size(); ++j) {
+      PPDP_CHECK(variables[i] != variables[j]) << "factor repeats variable " << variables[i];
+    }
+  }
+  PPDP_CHECK(table.size() == expected)
+      << "table has " << table.size() << " entries, expected " << expected;
+  for (double v : table) PPDP_CHECK(v >= 0.0) << "negative factor entry " << v;
+
+  size_t id = factors_.size();
+  for (size_t v : variables) factors_of_variable_[v].push_back(id);
+  factors_.push_back({std::move(variables), std::move(table)});
+  return id;
+}
+
+void FactorGraph::SetEvidence(size_t variable, size_t value) {
+  PPDP_CHECK(variable < domains_.size());
+  PPDP_CHECK(value < domains_[variable]) << "evidence value out of domain";
+  evidence_[variable] = static_cast<int64_t>(value);
+}
+
+void FactorGraph::ClearEvidence(size_t variable) {
+  PPDP_CHECK(variable < domains_.size());
+  evidence_[variable] = -1;
+}
+
+bool FactorGraph::HasEvidence(size_t variable) const {
+  PPDP_CHECK(variable < domains_.size());
+  return evidence_[variable] >= 0;
+}
+
+double FactorGraph::TableValue(const Factor& f, const std::vector<size_t>& assignment) const {
+  size_t index = 0;
+  for (size_t k = 0; k < f.variables.size(); ++k) {
+    index = index * domains_[f.variables[k]] + assignment[k];
+  }
+  return f.table[index];
+}
+
+FactorGraph::BpResult FactorGraph::RunBeliefPropagation() const {
+  return RunBeliefPropagation(BpOptions());
+}
+
+FactorGraph::MapResult FactorGraph::RunMaxProduct() const { return RunMaxProduct(BpOptions()); }
+
+FactorGraph::BpResult FactorGraph::RunBeliefPropagation(const BpOptions& options) const {
+  Messages messages = RunMessagePassing(options, /*max_product=*/false);
+  BpResult result;
+  result.iterations = messages.iterations;
+  result.converged = messages.converged;
+  result.marginals = Beliefs(messages);
+  return result;
+}
+
+FactorGraph::MapResult FactorGraph::RunMaxProduct(const BpOptions& options) const {
+  Messages messages = RunMessagePassing(options, /*max_product=*/true);
+  MapResult result;
+  result.iterations = messages.iterations;
+  result.converged = messages.converged;
+  std::vector<std::vector<double>> beliefs = Beliefs(messages);
+  result.assignment.resize(domains_.size());
+  for (size_t v = 0; v < domains_.size(); ++v) {
+    size_t best = 0;
+    for (size_t x = 1; x < beliefs[v].size(); ++x) {
+      if (beliefs[v][x] > beliefs[v][best]) best = x;
+    }
+    result.assignment[v] = best;
+  }
+  return result;
+}
+
+FactorGraph::Messages FactorGraph::RunMessagePassing(const BpOptions& options,
+                                                     bool max_product) const {
+  // Messages are indexed by (factor, position-within-factor).
+  Messages messages;
+  auto& to_factor = messages.to_factor;
+  auto& to_variable = messages.to_variable;
+  to_factor.resize(factors_.size());
+  to_variable.resize(factors_.size());
+  for (size_t f = 0; f < factors_.size(); ++f) {
+    const auto& vars = factors_[f].variables;
+    to_factor[f].resize(vars.size());
+    to_variable[f].resize(vars.size());
+    for (size_t k = 0; k < vars.size(); ++k) {
+      double uniform = 1.0 / static_cast<double>(domains_[vars[k]]);
+      to_factor[f][k].assign(domains_[vars[k]], uniform);
+      to_variable[f][k].assign(domains_[vars[k]], uniform);
+    }
+  }
+
+  // Evidence indicator for a variable, or nullptr when free.
+  auto evidence_message = [&](size_t v) {
+    std::vector<double> msg(domains_[v], 0.0);
+    msg[static_cast<size_t>(evidence_[v])] = 1.0;
+    return msg;
+  };
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Variable -> factor.
+    for (size_t f = 0; f < factors_.size(); ++f) {
+      const auto& vars = factors_[f].variables;
+      for (size_t k = 0; k < vars.size(); ++k) {
+        size_t v = vars[k];
+        if (evidence_[v] >= 0) {
+          to_factor[f][k] = evidence_message(v);
+          continue;
+        }
+        std::vector<double> msg(domains_[v], 1.0);
+        for (size_t other_f : factors_of_variable_[v]) {
+          if (other_f == f) continue;
+          const auto& other_vars = factors_[other_f].variables;
+          for (size_t k2 = 0; k2 < other_vars.size(); ++k2) {
+            if (other_vars[k2] != v) continue;
+            for (size_t x = 0; x < domains_[v]; ++x) msg[x] *= to_variable[other_f][k2][x];
+          }
+        }
+        NormalizeInPlace(msg);
+        to_factor[f][k] = std::move(msg);
+      }
+    }
+
+    // Factor -> variable.
+    double max_change = 0.0;
+    for (size_t f = 0; f < factors_.size(); ++f) {
+      const auto& vars = factors_[f].variables;
+      std::vector<size_t> assignment(vars.size(), 0);
+      std::vector<std::vector<double>> fresh(vars.size());
+      for (size_t k = 0; k < vars.size(); ++k) fresh[k].assign(domains_[vars[k]], 0.0);
+      // One sweep over the joint table accumulates every outgoing message.
+      for (;;) {
+        double value = TableValue(factors_[f], assignment);
+        if (value > 0.0) {
+          // Precompute the product of all incoming messages, then divide out
+          // each position's own (guarding zero messages with a direct product).
+          for (size_t k = 0; k < vars.size(); ++k) {
+            double partial = value;
+            for (size_t k2 = 0; k2 < vars.size(); ++k2) {
+              if (k2 == k) continue;
+              partial *= to_factor[f][k2][assignment[k2]];
+            }
+            if (max_product) {
+              fresh[k][assignment[k]] = std::max(fresh[k][assignment[k]], partial);
+            } else {
+              fresh[k][assignment[k]] += partial;
+            }
+          }
+        }
+        // Mixed-radix increment (last variable fastest); exit on wrap-around.
+        size_t pos = vars.size();
+        bool wrapped = false;
+        for (;;) {
+          if (pos == 0) {
+            wrapped = true;
+            break;
+          }
+          --pos;
+          if (++assignment[pos] < domains_[vars[pos]]) break;
+          assignment[pos] = 0;
+        }
+        if (wrapped) break;
+      }
+      for (size_t k = 0; k < vars.size(); ++k) {
+        NormalizeInPlace(fresh[k]);
+        if (options.damping > 0.0) {
+          for (size_t x = 0; x < fresh[k].size(); ++x) {
+            fresh[k][x] = (1.0 - options.damping) * fresh[k][x] +
+                          options.damping * to_variable[f][k][x];
+          }
+          NormalizeInPlace(fresh[k]);
+        }
+        max_change = std::max(max_change, L1Distance(fresh[k], to_variable[f][k]));
+        to_variable[f][k] = std::move(fresh[k]);
+      }
+    }
+
+    messages.iterations = iter + 1;
+    if (max_change < options.tolerance) {
+      messages.converged = true;
+      break;
+    }
+  }
+  return messages;
+}
+
+std::vector<std::vector<double>> FactorGraph::Beliefs(const Messages& messages) const {
+  // Beliefs: product of incoming factor messages (and evidence).
+  std::vector<std::vector<double>> beliefs(domains_.size());
+  for (size_t v = 0; v < domains_.size(); ++v) {
+    if (evidence_[v] >= 0) {
+      std::vector<double> one_hot(domains_[v], 0.0);
+      one_hot[static_cast<size_t>(evidence_[v])] = 1.0;
+      beliefs[v] = std::move(one_hot);
+      continue;
+    }
+    std::vector<double> belief(domains_[v], 1.0);
+    for (size_t f : factors_of_variable_[v]) {
+      const auto& vars = factors_[f].variables;
+      for (size_t k = 0; k < vars.size(); ++k) {
+        if (vars[k] != v) continue;
+        for (size_t x = 0; x < domains_[v]; ++x) belief[x] *= messages.to_variable[f][k][x];
+      }
+    }
+    NormalizeInPlace(belief);
+    beliefs[v] = std::move(belief);
+  }
+  return beliefs;
+}
+
+std::vector<size_t> FactorGraph::ExactMap(size_t max_states) const {
+  size_t states = 1;
+  for (size_t d : domains_) {
+    PPDP_CHECK(states <= max_states / d) << "joint space too large for exact MAP";
+    states *= d;
+  }
+  std::vector<size_t> assignment(domains_.size(), 0);
+  std::vector<size_t> best_assignment(domains_.size(), 0);
+  double best_weight = -1.0;
+  std::vector<size_t> local;
+  for (size_t state = 0; state < states; ++state) {
+    bool consistent = true;
+    for (size_t v = 0; v < domains_.size() && consistent; ++v) {
+      if (evidence_[v] >= 0 && assignment[v] != static_cast<size_t>(evidence_[v])) {
+        consistent = false;
+      }
+    }
+    if (consistent) {
+      double weight = 1.0;
+      for (const Factor& f : factors_) {
+        local.clear();
+        for (size_t v : f.variables) local.push_back(assignment[v]);
+        weight *= TableValue(f, local);
+        if (weight == 0.0) break;
+      }
+      if (weight > best_weight) {
+        best_weight = weight;
+        best_assignment = assignment;
+      }
+    }
+    for (size_t v = domains_.size(); v > 0; --v) {
+      if (++assignment[v - 1] < domains_[v - 1]) break;
+      assignment[v - 1] = 0;
+    }
+  }
+  PPDP_CHECK(best_weight > 0.0) << "all joint states have zero probability";
+  return best_assignment;
+}
+
+std::vector<std::vector<double>> FactorGraph::ExactMarginals(size_t max_states) const {
+  size_t states = 1;
+  for (size_t d : domains_) {
+    PPDP_CHECK(states <= max_states / d) << "joint space too large for exact enumeration";
+    states *= d;
+  }
+  std::vector<std::vector<double>> marginals(domains_.size());
+  for (size_t v = 0; v < domains_.size(); ++v) marginals[v].assign(domains_[v], 0.0);
+
+  std::vector<size_t> assignment(domains_.size(), 0);
+  double total = 0.0;
+  for (size_t state = 0; state < states; ++state) {
+    bool consistent = true;
+    for (size_t v = 0; v < domains_.size() && consistent; ++v) {
+      if (evidence_[v] >= 0 && assignment[v] != static_cast<size_t>(evidence_[v])) {
+        consistent = false;
+      }
+    }
+    if (consistent) {
+      double weight = 1.0;
+      std::vector<size_t> local;
+      for (const Factor& f : factors_) {
+        local.clear();
+        for (size_t v : f.variables) local.push_back(assignment[v]);
+        weight *= TableValue(f, local);
+        if (weight == 0.0) break;
+      }
+      if (weight > 0.0) {
+        total += weight;
+        for (size_t v = 0; v < domains_.size(); ++v) marginals[v][assignment[v]] += weight;
+      }
+    }
+    // Mixed-radix increment.
+    for (size_t v = domains_.size(); v > 0; --v) {
+      if (++assignment[v - 1] < domains_[v - 1]) break;
+      assignment[v - 1] = 0;
+    }
+  }
+  PPDP_CHECK(total > 0.0) << "all joint states have zero probability";
+  for (auto& m : marginals) {
+    for (double& p : m) p /= total;
+  }
+  return marginals;
+}
+
+}  // namespace ppdp::genomics

@@ -1,0 +1,108 @@
+#include "genomics/genome_data.h"
+
+#include "common/logging.h"
+
+namespace ppdp::genomics {
+
+namespace {
+
+/// Draws a genotype from Hardy-Weinberg at the given RAF.
+Genotype SampleGenotype(double raf, Rng& rng) {
+  return static_cast<Genotype>(rng.Categorical(HardyWeinberg(raf)));
+}
+
+/// Copies LD-correlated genotypes: for each catalog LD pair, locus b echoes
+/// locus a with the pair's correlation (matching the attack model's factor).
+void ApplyLinkageDisequilibrium(const GwasCatalog& catalog, Individual& person, Rng& rng) {
+  for (const LdPair& ld : catalog.ld_pairs()) {
+    if (rng.Bernoulli(ld.correlation)) person.genotypes[ld.b] = person.genotypes[ld.a];
+  }
+}
+
+/// Samples the individual's genotypes given already-fixed trait statuses.
+void SampleGenotypesGivenTraits(const GwasCatalog& catalog, Individual& person, Rng& rng) {
+  person.genotypes.assign(catalog.num_snps(), kUnknownGenotype);
+  for (size_t s = 0; s < catalog.num_snps(); ++s) {
+    const auto& assoc_ids = catalog.AssociationsOfSnp(s);
+    if (assoc_ids.empty()) {
+      person.genotypes[s] = SampleGenotype(catalog.BackgroundRaf(s), rng);
+      continue;
+    }
+    // Condition on the first association whose trait is present; otherwise
+    // the control frequency applies.
+    const SnpTraitAssociation* active = nullptr;
+    for (size_t id : assoc_ids) {
+      const auto& a = catalog.associations()[id];
+      if (person.traits[a.trait] == kTraitPresent) {
+        active = &a;
+        break;
+      }
+    }
+    if (active != nullptr) {
+      person.genotypes[s] =
+          SampleGenotype(CaseRafFromControl(active->control_raf, active->odds_ratio), rng);
+    } else {
+      person.genotypes[s] = SampleGenotype(catalog.associations()[assoc_ids.front()].control_raf,
+                                           rng);
+    }
+  }
+}
+
+}  // namespace
+
+Individual SampleIndividual(const GwasCatalog& catalog, Rng& rng) {
+  Individual person;
+  person.traits.assign(catalog.num_traits(), kTraitAbsent);
+  for (size_t t = 0; t < catalog.num_traits(); ++t) {
+    person.traits[t] = rng.Bernoulli(catalog.traits()[t].prevalence) ? kTraitPresent
+                                                                     : kTraitAbsent;
+  }
+  SampleGenotypesGivenTraits(catalog, person, rng);
+  ApplyLinkageDisequilibrium(catalog, person, rng);
+  return person;
+}
+
+CaseControlPanel GenerateAmdLike(const GwasCatalog& catalog, size_t index_trait, size_t cases,
+                                 size_t controls, Rng& rng) {
+  PPDP_CHECK(index_trait < catalog.num_traits());
+  CaseControlPanel panel;
+  panel.index_trait = index_trait;
+  panel.individuals.reserve(cases + controls);
+  panel.is_case.reserve(cases + controls);
+  for (size_t i = 0; i < cases + controls; ++i) {
+    bool is_case = i < cases;
+    Individual person;
+    person.traits.assign(catalog.num_traits(), kTraitAbsent);
+    for (size_t t = 0; t < catalog.num_traits(); ++t) {
+      if (t == index_trait) {
+        person.traits[t] = is_case ? kTraitPresent : kTraitAbsent;
+      } else {
+        person.traits[t] = rng.Bernoulli(catalog.traits()[t].prevalence) ? kTraitPresent
+                                                                         : kTraitAbsent;
+      }
+    }
+    SampleGenotypesGivenTraits(catalog, person, rng);
+    ApplyLinkageDisequilibrium(catalog, person, rng);
+    panel.individuals.push_back(std::move(person));
+    panel.is_case.push_back(is_case);
+  }
+  return panel;
+}
+
+TargetView MakeTargetView(const GwasCatalog& catalog, const Individual& individual,
+                          const std::vector<size_t>& known_traits) {
+  PPDP_CHECK(individual.genotypes.size() == catalog.num_snps());
+  PPDP_CHECK(individual.traits.size() == catalog.num_traits());
+  TargetView view;
+  view.individual = individual;
+  view.snp_known.assign(catalog.num_snps(), false);
+  for (const auto& a : catalog.associations()) view.snp_known[a.snp] = true;
+  view.trait_known.assign(catalog.num_traits(), false);
+  for (size_t t : known_traits) {
+    PPDP_CHECK(t < catalog.num_traits());
+    view.trait_known[t] = true;
+  }
+  return view;
+}
+
+}  // namespace ppdp::genomics

@@ -1,0 +1,60 @@
+#ifndef PPDP_GENOMICS_GENOME_DATA_H_
+#define PPDP_GENOMICS_GENOME_DATA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "genomics/gwas_catalog.h"
+#include "genomics/snp.h"
+
+namespace ppdp::genomics {
+
+/// One individual's record: genotypes across the catalog's SNP panel plus
+/// trait statuses. kUnknownGenotype/kUnknownTrait mark unpublished entries
+/// (from the attacker's point of view).
+struct Individual {
+  std::vector<Genotype> genotypes;
+  std::vector<TraitStatus> traits;
+};
+
+/// A case/control panel in the shape of the AMD dataset (Section 5.6.1):
+/// `individuals[i]` with `is_case[i]` indicating membership of the case
+/// group for the panel's index trait.
+struct CaseControlPanel {
+  std::vector<Individual> individuals;
+  std::vector<bool> is_case;
+  size_t index_trait = 0;  ///< the trait defining case/control membership
+};
+
+/// Samples one individual consistently with the catalog: trait statuses are
+/// drawn from the prevalence rates, then each SNP's genotype from
+/// Hardy-Weinberg at the case or control RAF of its (first) association —
+/// present traits pull associated SNPs toward the case frequencies.
+/// Unassociated SNPs draw from the background RAF.
+Individual SampleIndividual(const GwasCatalog& catalog, Rng& rng);
+
+/// Generates an AMD-style case/control panel: `cases` individuals
+/// conditioned on having the index trait, `controls` conditioned on not
+/// having it (the real dataset: 96 cases / 50 controls over 90 449 SNPs;
+/// the synthetic catalog scales the SNP count).
+CaseControlPanel GenerateAmdLike(const GwasCatalog& catalog, size_t index_trait, size_t cases,
+                                 size_t controls, Rng& rng);
+
+/// The attacker's view of a target individual: which SNPs/traits are
+/// published (S^K, T^K) vs hidden (S^U, T^U). Hidden entries in
+/// `individual` stay as ground truth for scoring.
+struct TargetView {
+  Individual individual;             ///< ground truth
+  std::vector<bool> snp_known;       ///< S^K membership
+  std::vector<bool> trait_known;     ///< T^K membership
+};
+
+/// Builds a view where every associated SNP is published and every trait is
+/// hidden except those in `known_traits`.
+TargetView MakeTargetView(const GwasCatalog& catalog, const Individual& individual,
+                          const std::vector<size_t>& known_traits);
+
+}  // namespace ppdp::genomics
+
+#endif  // PPDP_GENOMICS_GENOME_DATA_H_

@@ -1,0 +1,46 @@
+#ifndef PPDP_GENOMICS_GENOME_DP_H_
+#define PPDP_GENOMICS_GENOME_DP_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "genomics/genome_data.h"
+
+namespace ppdp::genomics {
+
+/// The dissertation's headline DP claim, end to end: "approximate the
+/// high-dimensional distribution of the original genomic data with a set of
+/// well-chosen low-dimensional distributions; then, noise with differential
+/// privacy guarantee can be injected into them. Finally, synthetic genomes
+/// are sampled from the approximate distribution." (Abstract / §6.3.)
+///
+/// Synthesizes an ε-DP replacement for a case/control panel: one
+/// PrivBayes-style model is fitted per group (case/control membership is
+/// assumed public, as in a published GWAS), each with the full ε (parallel
+/// composition over disjoint record sets); group sizes are reproduced
+/// as-is. Trait columns other than the index trait are resampled from the
+/// synthetic genotypes' own statistics and marked unknown (the utility
+/// target of such releases is the genotype distribution).
+struct DpPanelConfig {
+  double epsilon = 1.0;
+  double structure_fraction = 0.3;
+  uint64_t seed = 1;
+};
+
+Result<CaseControlPanel> SynthesizeDpPanel(const CaseControlPanel& real,
+                                           const DpPanelConfig& config);
+
+/// GWAS service-quality metric: the mean absolute error, over SNPs, of the
+/// case-vs-control risk-allele-frequency gap between the real and the
+/// synthetic panel — i.e. how well the release preserves exactly the
+/// association signal a GWAS computes. 0 = perfect preservation.
+double GwasSignalError(const CaseControlPanel& real, const CaseControlPanel& synthetic);
+
+/// Per-group risk-allele frequency of one SNP in a panel (cases when
+/// `cases` is true). Individuals with unknown genotype at the locus are
+/// skipped; returns 0.5 when the group is empty.
+double GroupRaf(const CaseControlPanel& panel, size_t snp, bool cases);
+
+}  // namespace ppdp::genomics
+
+#endif  // PPDP_GENOMICS_GENOME_DP_H_

@@ -1,0 +1,96 @@
+#include "genomics/genome_io.h"
+
+#include <cstdlib>
+
+#include "common/csv.h"
+#include "common/table.h"
+
+namespace ppdp::genomics {
+
+namespace {
+
+Result<int64_t> ParseInt(const std::string& cell) {
+  if (cell.empty()) return Status::InvalidArgument("empty integer cell");
+  char* end = nullptr;
+  int64_t v = std::strtoll(cell.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return Status::InvalidArgument("not an integer: '" + cell + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+Status SavePanel(const CaseControlPanel& panel, const std::string& path) {
+  if (panel.individuals.empty()) return Status::InvalidArgument("empty panel");
+  size_t num_traits = panel.individuals[0].traits.size();
+  size_t num_snps = panel.individuals[0].genotypes.size();
+  std::vector<std::string> columns = {"case"};
+  for (size_t t = 0; t < num_traits; ++t) columns.push_back("t" + std::to_string(t));
+  for (size_t s = 0; s < num_snps; ++s) columns.push_back("s" + std::to_string(s));
+  Table table(columns);
+  for (size_t i = 0; i < panel.individuals.size(); ++i) {
+    const Individual& person = panel.individuals[i];
+    if (person.traits.size() != num_traits || person.genotypes.size() != num_snps) {
+      return Status::InvalidArgument("ragged panel");
+    }
+    std::vector<std::string> row = {panel.is_case[i] ? "1" : "0"};
+    for (TraitStatus t : person.traits) {
+      row.push_back(t == kUnknownTrait ? "" : std::to_string(static_cast<int>(t)));
+    }
+    for (Genotype g : person.genotypes) {
+      row.push_back(g == kUnknownGenotype ? "" : std::to_string(static_cast<int>(g)));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table.WriteCsv(path);
+}
+
+Result<CaseControlPanel> LoadPanel(const std::string& path) {
+  PPDP_ASSIGN_OR_RETURN(auto rows, ReadCsv(path));
+  if (rows.size() < 2) return Status::InvalidArgument("panel file has no data rows");
+  const auto& header = rows[0];
+  if (header.empty() || header[0] != "case") {
+    return Status::InvalidArgument("panel header must start with 'case'");
+  }
+  size_t num_traits = 0;
+  size_t num_snps = 0;
+  for (size_t c = 1; c < header.size(); ++c) {
+    if (!header[c].empty() && header[c][0] == 't') {
+      ++num_traits;
+    } else if (!header[c].empty() && header[c][0] == 's') {
+      ++num_snps;
+    } else {
+      return Status::InvalidArgument("unexpected panel column '" + header[c] + "'");
+    }
+  }
+
+  CaseControlPanel panel;
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() != 1 + num_traits + num_snps) {
+      return Status::InvalidArgument("panel row " + std::to_string(r) + " has wrong width");
+    }
+    PPDP_ASSIGN_OR_RETURN(int64_t is_case, ParseInt(row[0]));
+    Individual person;
+    person.traits.resize(num_traits, kUnknownTrait);
+    for (size_t t = 0; t < num_traits; ++t) {
+      if (row[1 + t].empty()) continue;
+      PPDP_ASSIGN_OR_RETURN(int64_t v, ParseInt(row[1 + t]));
+      if (v < 0 || v > 1) return Status::InvalidArgument("trait status out of range");
+      person.traits[t] = static_cast<TraitStatus>(v);
+    }
+    person.genotypes.resize(num_snps, kUnknownGenotype);
+    for (size_t s = 0; s < num_snps; ++s) {
+      if (row[1 + num_traits + s].empty()) continue;
+      PPDP_ASSIGN_OR_RETURN(int64_t v, ParseInt(row[1 + num_traits + s]));
+      if (v < 0 || v >= kNumGenotypes) return Status::InvalidArgument("genotype out of range");
+      person.genotypes[s] = static_cast<Genotype>(v);
+    }
+    panel.individuals.push_back(std::move(person));
+    panel.is_case.push_back(is_case != 0);
+  }
+  return panel;
+}
+
+}  // namespace ppdp::genomics

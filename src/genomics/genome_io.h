@@ -1,0 +1,23 @@
+#ifndef PPDP_GENOMICS_GENOME_IO_H_
+#define PPDP_GENOMICS_GENOME_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "genomics/genome_data.h"
+#include "genomics/gwas_catalog.h"
+
+namespace ppdp::genomics {
+
+/// Persists a case/control genotype panel as CSV: one row per individual,
+/// columns `case,t0..tk,s0..sn` with genotypes as risk-allele counts and
+/// unknown entries blank. Round-trips through LoadPanel.
+Status SavePanel(const CaseControlPanel& panel, const std::string& path);
+
+/// Loads a panel saved by SavePanel. `num_traits`/`num_snps` are recovered
+/// from the header.
+Result<CaseControlPanel> LoadPanel(const std::string& path);
+
+}  // namespace ppdp::genomics
+
+#endif  // PPDP_GENOMICS_GENOME_IO_H_

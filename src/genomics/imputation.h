@@ -1,0 +1,54 @@
+#ifndef PPDP_GENOMICS_IMPUTATION_H_
+#define PPDP_GENOMICS_IMPUTATION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "genomics/factor_graph.h"
+#include "genomics/genome_data.h"
+
+namespace ppdp::genomics {
+
+/// Genotype imputation over a linkage-disequilibrium chain — the
+/// related-work line the chapter builds on (genotype imputation [57] and
+/// the "pre-phasing" strategy [56]): loci are positionally ordered and
+/// adjacent loci correlate; missing genotypes are recovered by exact
+/// forward-backward inference on the chain (a tree, so BP is exact).
+///
+/// The chain model per adjacent pair (i, i+1):
+///   P(g_{i+1} | g_i) = c_i · [g_{i+1} = g_i] + (1 − c_i) · HWE_{i+1}(g_{i+1}).
+
+/// A fitted chain: per-locus background RAFs plus adjacent correlations.
+struct LdChain {
+  std::vector<double> raf;          ///< per locus
+  std::vector<double> correlation;  ///< size num_loci − 1, in [0, 1]
+  size_t num_loci() const { return raf.size(); }
+};
+
+/// Estimates the chain from a reference panel (the publicly available
+/// resource real imputation uses): RAFs from allele counts, correlations by
+/// inverting the chain model against the empirical same-genotype rate of
+/// each adjacent pair. Entries with no usable rows fall back to RAF 0.25 /
+/// correlation 0. Fails on an empty panel.
+Result<LdChain> EstimateLdChain(const CaseControlPanel& reference);
+
+/// Posterior marginals of every locus of `person` given its known
+/// genotypes, under the chain (unknown entries get informative posteriors,
+/// known entries come back one-hot).
+std::vector<std::vector<double>> ImputeGenotypes(const Individual& person,
+                                                 const LdChain& chain);
+
+/// Fills kUnknownGenotype entries with the posterior mode.
+Individual ImputeFill(const Individual& person, const LdChain& chain);
+
+/// Imputation accuracy experiment helper: hides `mask_fraction` of the
+/// genotypes of each individual of `panel` (seeded), imputes them back with
+/// the chain fitted on the *unmasked* panel, and returns the fraction
+/// recovered exactly. `baseline_accuracy` (optional out) receives the
+/// accuracy of the no-LD HWE-mode guesser on the same mask.
+double MaskedImputationAccuracy(const CaseControlPanel& panel, double mask_fraction,
+                                uint64_t seed, double* baseline_accuracy = nullptr);
+
+}  // namespace ppdp::genomics
+
+#endif  // PPDP_GENOMICS_IMPUTATION_H_

@@ -1,0 +1,255 @@
+#include "genomics/pedigree.h"
+
+#include <limits>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace ppdp::genomics {
+
+size_t Pedigree::AddFounder() {
+  father_.push_back(-1);
+  mother_.push_back(-1);
+  return father_.size() - 1;
+}
+
+size_t Pedigree::AddChild(size_t father, size_t mother) {
+  PPDP_CHECK(father < father_.size()) << "father index out of range";
+  PPDP_CHECK(mother < father_.size()) << "mother index out of range";
+  PPDP_CHECK(father != mother) << "parents must be distinct members";
+  father_.push_back(static_cast<int64_t>(father));
+  mother_.push_back(static_cast<int64_t>(mother));
+  return father_.size() - 1;
+}
+
+bool Pedigree::IsFounder(size_t member) const {
+  PPDP_CHECK(member < father_.size());
+  return father_[member] < 0;
+}
+
+size_t Pedigree::Father(size_t member) const {
+  PPDP_CHECK(!IsFounder(member)) << "founder has no recorded father";
+  return static_cast<size_t>(father_[member]);
+}
+
+size_t Pedigree::Mother(size_t member) const {
+  PPDP_CHECK(!IsFounder(member)) << "founder has no recorded mother";
+  return static_cast<size_t>(mother_[member]);
+}
+
+Pedigree Pedigree::NuclearFamily(size_t children) {
+  Pedigree pedigree;
+  size_t father = pedigree.AddFounder();
+  size_t mother = pedigree.AddFounder();
+  for (size_t c = 0; c < children; ++c) pedigree.AddChild(father, mother);
+  return pedigree;
+}
+
+std::vector<double> MendelianTable() {
+  // P(child = gc | father = gf, mother = gm): each parent transmits a risk
+  // allele with probability (risk-allele count)/2.
+  std::vector<double> table(static_cast<size_t>(kNumGenotypes) * kNumGenotypes * kNumGenotypes);
+  for (int gf = 0; gf < kNumGenotypes; ++gf) {
+    double pf = static_cast<double>(gf) / 2.0;
+    for (int gm = 0; gm < kNumGenotypes; ++gm) {
+      double pm = static_cast<double>(gm) / 2.0;
+      double p[kNumGenotypes] = {(1.0 - pf) * (1.0 - pm), pf * (1.0 - pm) + (1.0 - pf) * pm,
+                                 pf * pm};
+      for (int gc = 0; gc < kNumGenotypes; ++gc) {
+        size_t index = (static_cast<size_t>(gf) * kNumGenotypes + static_cast<size_t>(gm)) *
+                           kNumGenotypes +
+                       static_cast<size_t>(gc);
+        table[index] = p[gc];
+      }
+    }
+  }
+  return table;
+}
+
+std::vector<Individual> SampleFamily(const GwasCatalog& catalog, const Pedigree& pedigree,
+                                     Rng& rng) {
+  std::vector<Individual> family;
+  family.reserve(pedigree.num_members());
+  for (size_t m = 0; m < pedigree.num_members(); ++m) {
+    if (pedigree.IsFounder(m)) {
+      family.push_back(SampleIndividual(catalog, rng));
+      continue;
+    }
+    PPDP_CHECK(pedigree.Father(m) < m && pedigree.Mother(m) < m)
+        << "parents must be sampled before children";
+    const Individual& father = family[pedigree.Father(m)];
+    const Individual& mother = family[pedigree.Mother(m)];
+    Individual child;
+    child.genotypes.resize(catalog.num_snps());
+    for (size_t s = 0; s < catalog.num_snps(); ++s) {
+      int allele_f = rng.Bernoulli(static_cast<double>(father.genotypes[s]) / 2.0) ? 1 : 0;
+      int allele_m = rng.Bernoulli(static_cast<double>(mother.genotypes[s]) / 2.0) ? 1 : 0;
+      child.genotypes[s] = static_cast<Genotype>(allele_f + allele_m);
+    }
+    // Traits from the Bayes posterior given the child's genotype at each
+    // trait's first associated SNP.
+    child.traits.assign(catalog.num_traits(), kTraitAbsent);
+    for (size_t t = 0; t < catalog.num_traits(); ++t) {
+      double p = catalog.traits()[t].prevalence;
+      const auto& assoc_ids = catalog.AssociationsOfTrait(t);
+      if (!assoc_ids.empty()) {
+        const SnpTraitAssociation& a = catalog.associations()[assoc_ids.front()];
+        p = TraitGivenGenotype(a.control_raf, a.odds_ratio, p,
+                               child.genotypes[a.snp])[1];
+      }
+      child.traits[t] = rng.Bernoulli(p) ? kTraitPresent : kTraitAbsent;
+    }
+    family.push_back(std::move(child));
+  }
+  return family;
+}
+
+KinView MakeKinView(const GwasCatalog& catalog, std::vector<Individual> family,
+                    const std::vector<size_t>& publishing_members) {
+  KinView view;
+  size_t members = family.size();
+  view.members = std::move(family);
+  view.snp_known.assign(members, std::vector<bool>(catalog.num_snps(), false));
+  view.trait_known.assign(members, std::vector<bool>(catalog.num_traits(), false));
+  for (size_t m : publishing_members) {
+    PPDP_CHECK(m < members) << "publishing member out of range";
+    for (const auto& a : catalog.associations()) view.snp_known[m][a.snp] = true;
+    for (const auto& ld : catalog.ld_pairs()) {
+      view.snp_known[m][ld.a] = true;
+      view.snp_known[m][ld.b] = true;
+    }
+  }
+  return view;
+}
+
+GenomeAttackResult RunKinInference(const GwasCatalog& catalog, const Pedigree& pedigree,
+                                   const KinView& view, size_t target_member,
+                                   const FactorGraph::BpOptions& options) {
+  PPDP_CHECK(view.members.size() == pedigree.num_members());
+  PPDP_CHECK(target_member < pedigree.num_members());
+
+  FactorGraph graph;
+  std::vector<std::vector<size_t>> trait_vars(pedigree.num_members());
+  std::vector<std::vector<size_t>> snp_vars(pedigree.num_members());
+  for (size_t m = 0; m < pedigree.num_members(); ++m) {
+    AddIndividualAttackFactors(graph, catalog, &trait_vars[m], &snp_vars[m]);
+    ClampIndividualEvidence(graph, view.members[m], view.snp_known[m], view.trait_known[m],
+                            trait_vars[m], snp_vars[m]);
+  }
+
+  // Mendelian factors per (child, modeled SNP locus).
+  const std::vector<double> mendel = MendelianTable();
+  constexpr size_t kNoVar = std::numeric_limits<size_t>::max();
+  for (size_t m = 0; m < pedigree.num_members(); ++m) {
+    if (pedigree.IsFounder(m)) continue;
+    size_t f = pedigree.Father(m);
+    size_t mo = pedigree.Mother(m);
+    for (size_t s = 0; s < catalog.num_snps(); ++s) {
+      if (snp_vars[m][s] == kNoVar || snp_vars[f][s] == kNoVar || snp_vars[mo][s] == kNoVar) {
+        continue;
+      }
+      graph.AddFactor({snp_vars[f][s], snp_vars[mo][s], snp_vars[m][s]}, mendel);
+    }
+  }
+
+  FactorGraph::BpResult bp = graph.RunBeliefPropagation(options);
+
+  GenomeAttackResult result;
+  result.bp_iterations = bp.iterations;
+  result.converged = bp.converged;
+  result.trait_marginals.resize(catalog.num_traits());
+  for (size_t t = 0; t < catalog.num_traits(); ++t) {
+    result.trait_marginals[t] = bp.marginals[trait_vars[target_member][t]];
+  }
+  result.snp_marginals.resize(catalog.num_snps());
+  for (size_t s = 0; s < catalog.num_snps(); ++s) {
+    if (snp_vars[target_member][s] == kNoVar) {
+      result.snp_marginals[s] = HardyWeinberg(catalog.BackgroundRaf(s));
+    } else {
+      result.snp_marginals[s] = bp.marginals[snp_vars[target_member][s]];
+    }
+  }
+  return result;
+}
+
+namespace {
+
+/// Attacker's mean confidence in the target's true genotypes over the
+/// distinct associated loci.
+double TruthConfidence(const GwasCatalog& catalog, const Pedigree& pedigree,
+                       const KinView& view, size_t target,
+                       const FactorGraph::BpOptions& options) {
+  GenomeAttackResult result = RunKinInference(catalog, pedigree, view, target, options);
+  double total = 0.0;
+  size_t count = 0;
+  std::vector<bool> seen(catalog.num_snps(), false);
+  for (const auto& a : catalog.associations()) {
+    if (seen[a.snp]) continue;
+    seen[a.snp] = true;
+    total += result.snp_marginals[a.snp][static_cast<size_t>(
+        view.members[target].genotypes[a.snp])];
+    ++count;
+  }
+  PPDP_CHECK(count > 0) << "catalog has no associations";
+  return total / static_cast<double>(count);
+}
+
+}  // namespace
+
+KinSanitizeResult GreedyKinSanitize(const GwasCatalog& catalog, const Pedigree& pedigree,
+                                    KinView view, size_t target_member,
+                                    const KinSanitizeOptions& options,
+                                    KinView* sanitized_view) {
+  PPDP_CHECK(target_member < pedigree.num_members());
+
+  // Candidate pool: every published (member, SNP) entry of the relatives.
+  std::vector<KinSanitizedEntry> pool;
+  for (size_t m = 0; m < pedigree.num_members(); ++m) {
+    if (m == target_member) continue;
+    for (size_t s = 0; s < catalog.num_snps(); ++s) {
+      if (view.snp_known[m][s] && view.members[m].genotypes[s] != kUnknownGenotype) {
+        pool.push_back({m, s});
+      }
+    }
+  }
+
+  KinSanitizeResult result;
+  double current = TruthConfidence(catalog, pedigree, view, target_member, options.bp);
+  result.confidence_trace.push_back(current);
+
+  while (current > options.max_truth_confidence && !pool.empty() &&
+         result.sanitized.size() < options.max_sanitized) {
+    size_t best_index = pool.size();
+    double best_confidence = current;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      view.snp_known[pool[i].member][pool[i].snp] = false;
+      double confidence = TruthConfidence(catalog, pedigree, view, target_member, options.bp);
+      view.snp_known[pool[i].member][pool[i].snp] = true;
+      if (confidence < best_confidence - 1e-12) {
+        best_confidence = confidence;
+        best_index = i;
+      }
+    }
+    if (best_index == pool.size()) break;  // nothing helps anymore
+    KinSanitizedEntry pick = pool[best_index];
+    view.snp_known[pick.member][pick.snp] = false;
+    pool.erase(pool.begin() + static_cast<ptrdiff_t>(best_index));
+    current = best_confidence;
+    result.sanitized.push_back(pick);
+    result.confidence_trace.push_back(current);
+  }
+
+  result.satisfied = current <= options.max_truth_confidence + 1e-12;
+  for (size_t m = 0; m < pedigree.num_members(); ++m) {
+    if (m == target_member) continue;
+    for (size_t s = 0; s < catalog.num_snps(); ++s) {
+      if (view.snp_known[m][s] && view.members[m].genotypes[s] != kUnknownGenotype) {
+        ++result.released;
+      }
+    }
+  }
+  if (sanitized_view != nullptr) *sanitized_view = std::move(view);
+  return result;
+}
+
+}  // namespace ppdp::genomics

@@ -1,0 +1,41 @@
+#include "genomics/snp.h"
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace ppdp::genomics {
+
+double CaseRafFromControl(double control_raf, double odds_ratio) {
+  PPDP_CHECK(control_raf > 0.0 && control_raf < 1.0)
+      << "control RAF must be in (0,1), got " << control_raf;
+  PPDP_CHECK(odds_ratio > 0.0) << "odds ratio must be positive, got " << odds_ratio;
+  return odds_ratio * control_raf / (1.0 + control_raf * (odds_ratio - 1.0));
+}
+
+std::vector<double> HardyWeinberg(double raf) {
+  PPDP_CHECK(raf >= 0.0 && raf <= 1.0) << "RAF out of [0,1]: " << raf;
+  double q = 1.0 - raf;
+  return {q * q, 2.0 * raf * q, raf * raf};
+}
+
+std::vector<double> GenotypeGivenTrait(double control_raf, double odds_ratio,
+                                       bool trait_present) {
+  double raf = trait_present ? CaseRafFromControl(control_raf, odds_ratio) : control_raf;
+  return HardyWeinberg(raf);
+}
+
+std::vector<double> TraitGivenGenotype(double control_raf, double odds_ratio, double prevalence,
+                                       Genotype genotype) {
+  PPDP_CHECK(genotype >= 0 && genotype < kNumGenotypes) << "bad genotype " << int(genotype);
+  PPDP_CHECK(prevalence > 0.0 && prevalence < 1.0) << "prevalence out of (0,1): " << prevalence;
+  double g_given_present =
+      GenotypeGivenTrait(control_raf, odds_ratio, true)[static_cast<size_t>(genotype)];
+  double g_given_absent =
+      GenotypeGivenTrait(control_raf, odds_ratio, false)[static_cast<size_t>(genotype)];
+  std::vector<double> posterior = {g_given_absent * (1.0 - prevalence),
+                                   g_given_present * prevalence};
+  NormalizeInPlace(posterior);
+  return posterior;
+}
+
+}  // namespace ppdp::genomics

@@ -1,0 +1,53 @@
+#ifndef PPDP_GENOMICS_SNP_H_
+#define PPDP_GENOMICS_SNP_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ppdp::genomics {
+
+/// A genotype at one SNP locus, encoded as the risk-allele count relative to
+/// the locus's risk allele r: 0 = ρρ (non-risk homozygote), 1 = rρ
+/// (heterozygote), 2 = rr (risk homozygote). These correspond to the
+/// dissertation's {bb, Bb, BB} per Section 5.2.1 with B read as the risk
+/// allele of the association under discussion.
+using Genotype = int8_t;
+
+inline constexpr Genotype kUnknownGenotype = -1;
+inline constexpr int kNumGenotypes = 3;
+
+/// Trait (phenotype) status of an individual.
+using TraitStatus = int8_t;
+inline constexpr TraitStatus kTraitAbsent = 0;
+inline constexpr TraitStatus kTraitPresent = 1;
+inline constexpr TraitStatus kUnknownTrait = -1;
+
+/// Risk-allele frequency in the case group f^a, derived from the control
+/// frequency f^o and the per-allele odds ratio O reported by GWAS Catalog
+/// (Section 5.3.1; the derivation the text attributes to [49]):
+///   O = [f^a/(1-f^a)] / [f^o/(1-f^o)]  =>  f^a = O f^o / (1 + f^o (O - 1)).
+/// Requires f^o in (0, 1) and O > 0.
+double CaseRafFromControl(double control_raf, double odds_ratio);
+
+/// Genotype distribution under Hardy-Weinberg equilibrium for risk-allele
+/// frequency f: {(1-f)^2, 2f(1-f), f^2} indexed by risk-allele count.
+///
+/// Note: the dissertation's Table 5.2 prints the homozygote entries as √f;
+/// those rows do not normalize and are treated as typographical — HWE is the
+/// standard population-genetics model the table is clearly built from (its
+/// heterozygote row is the HWE term).
+std::vector<double> HardyWeinberg(double raf);
+
+/// P(genotype | trait status) for an association with the given control RAF
+/// and odds ratio (Tables 5.1/5.2): Hardy-Weinberg at f^a when the trait is
+/// present, at f^o when absent. Returned indexed by risk-allele count.
+std::vector<double> GenotypeGivenTrait(double control_raf, double odds_ratio, bool trait_present);
+
+/// P(trait | genotype) by Bayes' rule from GenotypeGivenTrait and the trait
+/// prevalence p: returns {P(absent|g), P(present|g)}.
+std::vector<double> TraitGivenGenotype(double control_raf, double odds_ratio, double prevalence,
+                                       Genotype genotype);
+
+}  // namespace ppdp::genomics
+
+#endif  // PPDP_GENOMICS_SNP_H_

@@ -1,0 +1,125 @@
+#include "genomics/snp_sanitizer.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace ppdp::genomics {
+
+namespace {
+
+/// Traits directly associated with any SNP in `snps`.
+std::set<size_t> TraitsOfSnps(const GwasCatalog& catalog, const std::set<size_t>& snps) {
+  std::set<size_t> traits;
+  for (size_t s : snps) {
+    for (size_t id : catalog.AssociationsOfSnp(s)) {
+      traits.insert(catalog.associations()[id].trait);
+    }
+  }
+  return traits;
+}
+
+/// SNPs directly associated with any trait in `traits`.
+std::set<size_t> SnpsOfTraits(const GwasCatalog& catalog, const std::set<size_t>& traits) {
+  std::set<size_t> snps;
+  for (size_t t : traits) {
+    for (size_t id : catalog.AssociationsOfTrait(t)) {
+      snps.insert(catalog.associations()[id].snp);
+    }
+  }
+  return snps;
+}
+
+}  // namespace
+
+std::vector<size_t> NeighborSnpsOfTrait(const GwasCatalog& catalog, size_t trait) {
+  PPDP_CHECK(trait < catalog.num_traits());
+  // Case 1: directly associated SNPs.
+  std::set<size_t> snps = SnpsOfTraits(catalog, {trait});
+  // Case 2: SNPs of traits that share SNPs with `trait`.
+  std::set<size_t> sharing_traits = TraitsOfSnps(catalog, snps);
+  std::set<size_t> case2 = SnpsOfTraits(catalog, sharing_traits);
+  snps.insert(case2.begin(), case2.end());
+  // Case 3: SNPs sharing traits with the case-2 SNPs.
+  std::set<size_t> case3 = SnpsOfTraits(catalog, TraitsOfSnps(catalog, case2));
+  snps.insert(case3.begin(), case3.end());
+  return {snps.begin(), snps.end()};
+}
+
+std::vector<size_t> NeighborSnpsOfSnp(const GwasCatalog& catalog, size_t snp) {
+  PPDP_CHECK(snp < catalog.num_snps());
+  // Case 1: SNPs sharing a trait with `snp`.
+  std::set<size_t> own_traits = TraitsOfSnps(catalog, {snp});
+  std::set<size_t> snps = SnpsOfTraits(catalog, own_traits);
+  // Case 2: SNPs of traits associated with the case-1 SNPs.
+  std::set<size_t> case2 = SnpsOfTraits(catalog, TraitsOfSnps(catalog, snps));
+  snps.insert(case2.begin(), case2.end());
+  // Case 3: SNPs sharing traits with the case-2 SNPs.
+  std::set<size_t> case3 = SnpsOfTraits(catalog, TraitsOfSnps(catalog, case2));
+  snps.insert(case3.begin(), case3.end());
+  snps.erase(snp);
+  return {snps.begin(), snps.end()};
+}
+
+GputResult GreedySanitize(const GwasCatalog& catalog, TargetView view,
+                          const std::vector<size_t>& target_traits, const GputOptions& options,
+                          TargetView* sanitized_view) {
+  PPDP_CHECK(!target_traits.empty()) << "no target traits to protect";
+  PPDP_CHECK(options.delta >= 0.0 && options.delta <= 1.0);
+
+  auto evaluate = [&](const TargetView& v) {
+    GenomeAttackResult attack = RunGenomeInference(catalog, v, options.method, options.bp);
+    return EvaluateTraitPrivacy(attack, target_traits);
+  };
+
+  // Candidate pool: published neighbor SNPs of any target trait.
+  std::set<size_t> pool;
+  for (size_t t : target_traits) {
+    PPDP_CHECK(t < catalog.num_traits());
+    for (size_t s : NeighborSnpsOfTrait(catalog, t)) {
+      if (view.snp_known[s] && view.individual.genotypes[s] != kUnknownGenotype) pool.insert(s);
+    }
+  }
+
+  GputResult result;
+  PrivacyReport current = evaluate(view);
+  result.privacy_trace.push_back(current.min_entropy);
+
+  while (current.min_entropy < options.delta && !pool.empty() &&
+         result.sanitized.size() < options.max_sanitized) {
+    size_t best_snp = catalog.num_snps();
+    PrivacyReport best_report;
+    double best_key = -1.0;
+    for (size_t s : pool) {
+      view.snp_known[s] = false;
+      PrivacyReport report = evaluate(view);
+      view.snp_known[s] = true;
+      // Lexicographic: raise the worst-protected target first, then mean.
+      double key = report.min_entropy + 1e-3 * report.mean_entropy;
+      if (key > best_key) {
+        best_key = key;
+        best_snp = s;
+        best_report = report;
+      }
+    }
+    if (best_snp == catalog.num_snps()) break;
+    // A vulnerable neighbor SNP must actually help; stop when nothing does.
+    if (best_report.min_entropy <= current.min_entropy + 1e-12 &&
+        best_report.mean_entropy <= current.mean_entropy + 1e-12) {
+      break;
+    }
+    view.snp_known[best_snp] = false;
+    pool.erase(best_snp);
+    current = best_report;
+    result.sanitized.push_back(best_snp);
+    result.privacy_trace.push_back(current.min_entropy);
+  }
+
+  result.satisfied = current.min_entropy >= options.delta - 1e-12;
+  result.released = ReleasedSnpCount(view);
+  if (sanitized_view != nullptr) *sanitized_view = std::move(view);
+  return result;
+}
+
+}  // namespace ppdp::genomics

@@ -1,0 +1,52 @@
+#ifndef PPDP_GENOMICS_SNP_SANITIZER_H_
+#define PPDP_GENOMICS_SNP_SANITIZER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "genomics/genome_data.h"
+#include "genomics/inference_attack.h"
+#include "genomics/privacy_metrics.h"
+
+namespace ppdp::genomics {
+
+/// Neighbor SNPs of a trait (Definition 5.5.3): SNPs directly associated
+/// with the trait, SNPs of traits sharing SNPs with it, and SNPs sharing
+/// traits with those — i.e. the two-and-a-half-hop closure in the bipartite
+/// association graph. Returned sorted ascending.
+std::vector<size_t> NeighborSnpsOfTrait(const GwasCatalog& catalog, size_t trait);
+
+/// Neighbor SNPs of a SNP (Definition 5.5.4), analogous closure; the SNP
+/// itself is excluded.
+std::vector<size_t> NeighborSnpsOfSnp(const GwasCatalog& catalog, size_t snp);
+
+/// Options of the GPUT greedy solver (Definition 5.5.6).
+struct GputOptions {
+  double delta = 0.8;                 ///< δ-privacy target on every hidden trait
+  size_t max_sanitized = SIZE_MAX;    ///< cap on removed SNPs
+  AttackMethod method = AttackMethod::kBeliefPropagation;
+  FactorGraph::BpOptions bp;
+};
+
+/// What the greedy sanitizer did.
+struct GputResult {
+  std::vector<size_t> sanitized;       ///< SNPs hidden, in pick order
+  std::vector<double> privacy_trace;   ///< min target entropy after each pick
+                                       ///< (index 0 = before any sanitization)
+  bool satisfied = false;              ///< δ-privacy reached
+  size_t released = 0;                 ///< SNPs still published (the utility)
+};
+
+/// Greedy GPUT: starting from `view`, repeatedly hides the vulnerable
+/// neighbor SNP whose removal most raises the minimum entropy privacy of
+/// the hidden `target_traits` (Theorems 5.5.1/5.5.2 justify greedy on this
+/// monotone submodular objective), until δ-privacy holds, the candidate
+/// pool is exhausted, or `max_sanitized` is hit. Mutates nothing outside
+/// the returned structures; the sanitized view is also returned.
+GputResult GreedySanitize(const GwasCatalog& catalog, TargetView view,
+                          const std::vector<size_t>& target_traits, const GputOptions& options,
+                          TargetView* sanitized_view = nullptr);
+
+}  // namespace ppdp::genomics
+
+#endif  // PPDP_GENOMICS_SNP_SANITIZER_H_

@@ -1,0 +1,108 @@
+#include "graph/centrality.h"
+
+#include <cmath>
+#include <deque>
+
+#include "common/logging.h"
+
+namespace ppdp::graph {
+
+std::vector<double> DegreeCentrality(const SocialGraph& g) {
+  std::vector<double> centrality(g.num_nodes(), 0.0);
+  if (g.num_nodes() <= 1) return centrality;
+  double denom = static_cast<double>(g.num_nodes() - 1);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    centrality[u] = static_cast<double>(g.Degree(u)) / denom;
+  }
+  return centrality;
+}
+
+std::vector<double> ClosenessCentrality(const SocialGraph& g) {
+  const size_t n = g.num_nodes();
+  std::vector<double> centrality(n, 0.0);
+  if (n <= 1) return centrality;
+  std::vector<int64_t> dist(n);
+  for (NodeId source = 0; source < n; ++source) {
+    std::fill(dist.begin(), dist.end(), -1);
+    dist[source] = 0;
+    std::deque<NodeId> queue{source};
+    int64_t total = 0;
+    size_t reachable = 1;
+    while (!queue.empty()) {
+      NodeId u = queue.front();
+      queue.pop_front();
+      for (NodeId v : g.Neighbors(u)) {
+        if (dist[v] >= 0) continue;
+        dist[v] = dist[u] + 1;
+        total += dist[v];
+        ++reachable;
+        queue.push_back(v);
+      }
+    }
+    if (reachable <= 1 || total == 0) continue;
+    double r = static_cast<double>(reachable - 1);
+    centrality[source] =
+        (r / static_cast<double>(total)) * (r / static_cast<double>(n - 1));
+  }
+  return centrality;
+}
+
+std::vector<double> BetweennessCentrality(const SocialGraph& g) {
+  const size_t n = g.num_nodes();
+  std::vector<double> centrality(n, 0.0);
+  // Brandes (2001): one BFS per source with path counting, then dependency
+  // accumulation in reverse finish order.
+  std::vector<int64_t> dist(n);
+  std::vector<double> sigma(n), delta(n);
+  std::vector<std::vector<NodeId>> predecessors(n);
+  std::vector<NodeId> order;
+  order.reserve(n);
+
+  for (NodeId source = 0; source < n; ++source) {
+    std::fill(dist.begin(), dist.end(), -1);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    for (auto& p : predecessors) p.clear();
+    order.clear();
+
+    dist[source] = 0;
+    sigma[source] = 1.0;
+    std::deque<NodeId> queue{source};
+    while (!queue.empty()) {
+      NodeId u = queue.front();
+      queue.pop_front();
+      order.push_back(u);
+      for (NodeId v : g.Neighbors(u)) {
+        if (dist[v] < 0) {
+          dist[v] = dist[u] + 1;
+          queue.push_back(v);
+        }
+        if (dist[v] == dist[u] + 1) {
+          sigma[v] += sigma[u];
+          predecessors[v].push_back(u);
+        }
+      }
+    }
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      NodeId w = *it;
+      for (NodeId u : predecessors[w]) {
+        delta[u] += (sigma[u] / sigma[w]) * (1.0 + delta[w]);
+      }
+      if (w != source) centrality[w] += delta[w];
+    }
+  }
+  // Each undirected pair was counted from both endpoints.
+  for (double& c : centrality) c /= 2.0;
+  return centrality;
+}
+
+double CentralityDisparity(const std::vector<double>& before,
+                           const std::vector<double>& after) {
+  PPDP_CHECK(before.size() == after.size()) << "centrality vectors differ in size";
+  if (before.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < before.size(); ++i) total += std::fabs(before[i] - after[i]);
+  return total / static_cast<double>(before.size());
+}
+
+}  // namespace ppdp::graph

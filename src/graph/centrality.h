@@ -1,0 +1,34 @@
+#ifndef PPDP_GRAPH_CENTRALITY_H_
+#define PPDP_GRAPH_CENTRALITY_H_
+
+#include <vector>
+
+#include "graph/social_graph.h"
+
+namespace ppdp::graph {
+
+/// Centrality measures for the chapter-4 structure-preservation goal
+/// ("social network structure should be preserved such as node degree,
+/// centrality, betweenness"). All run on unweighted shortest paths.
+
+/// Degree centrality: degree(u) / (n - 1), in [0, 1].
+std::vector<double> DegreeCentrality(const SocialGraph& g);
+
+/// Closeness centrality: (reachable - 1) / Σ distances, scaled by the
+/// reachable fraction (the Wasserman-Faust formula, well-defined on
+/// disconnected graphs). Isolated nodes get 0.
+std::vector<double> ClosenessCentrality(const SocialGraph& g);
+
+/// Betweenness centrality via Brandes' algorithm (exact, O(V·E)),
+/// undirected counting: each shortest path contributes to its interior
+/// nodes; scores are halved to de-duplicate direction.
+std::vector<double> BetweennessCentrality(const SocialGraph& g);
+
+/// Mean absolute per-node difference of a centrality vector between two
+/// same-sized graphs — a structure-disparity measurer M(G, G') usable for
+/// the chapter-3 (ε)-utility condition (Definition 3.2.7(i)).
+double CentralityDisparity(const std::vector<double>& before, const std::vector<double>& after);
+
+}  // namespace ppdp::graph
+
+#endif  // PPDP_GRAPH_CENTRALITY_H_

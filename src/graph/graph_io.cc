@@ -1,0 +1,117 @@
+#include "graph/graph_io.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/csv.h"
+#include "common/table.h"
+
+namespace ppdp::graph {
+
+namespace {
+
+Result<int64_t> ParseInt(const std::string& cell) {
+  if (cell.empty()) return Status::InvalidArgument("empty integer cell");
+  char* end = nullptr;
+  int64_t v = std::strtoll(cell.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return Status::InvalidArgument("not an integer: '" + cell + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+Status SaveGraph(const SocialGraph& g, const std::string& base_path) {
+  {
+    Table schema({"category", "name", "num_values"});
+    schema.AddRow({"labels", "decision", std::to_string(g.num_labels())});
+    for (size_t c = 0; c < g.num_categories(); ++c) {
+      schema.AddRow({std::to_string(c), g.categories()[c].name,
+                     std::to_string(g.categories()[c].num_values)});
+    }
+    PPDP_RETURN_IF_ERROR(schema.WriteCsv(base_path + ".schema.csv"));
+  }
+  {
+    std::vector<std::string> columns = {"node", "label"};
+    for (const auto& cat : g.categories()) columns.push_back(cat.name);
+    Table nodes(columns);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      std::vector<std::string> row = {std::to_string(u)};
+      Label y = g.GetLabel(u);
+      row.push_back(y == kUnknownLabel ? "" : std::to_string(y));
+      for (size_t c = 0; c < g.num_categories(); ++c) {
+        AttributeValue v = g.Attribute(u, c);
+        row.push_back(v == kMissingAttribute ? "" : std::to_string(v));
+      }
+      nodes.AddRow(std::move(row));
+    }
+    PPDP_RETURN_IF_ERROR(nodes.WriteCsv(base_path + ".nodes.csv"));
+  }
+  {
+    Table edges({"u", "v"});
+    for (const auto& [u, v] : g.Edges()) {
+      edges.AddRow({std::to_string(u), std::to_string(v)});
+    }
+    PPDP_RETURN_IF_ERROR(edges.WriteCsv(base_path + ".edges.csv"));
+  }
+  return Status::Ok();
+}
+
+Result<SocialGraph> LoadGraph(const std::string& base_path) {
+  PPDP_ASSIGN_OR_RETURN(auto schema_rows, ReadCsv(base_path + ".schema.csv"));
+  if (schema_rows.size() < 2) return Status::InvalidArgument("schema file too short");
+
+  int32_t num_labels = 0;
+  std::vector<AttributeCategory> categories;
+  for (size_t r = 1; r < schema_rows.size(); ++r) {
+    const auto& row = schema_rows[r];
+    if (row.size() != 3) return Status::InvalidArgument("schema row needs 3 cells");
+    PPDP_ASSIGN_OR_RETURN(int64_t count, ParseInt(row[2]));
+    if (row[0] == "labels") {
+      num_labels = static_cast<int32_t>(count);
+    } else {
+      categories.push_back({row[1], static_cast<int32_t>(count)});
+    }
+  }
+  if (num_labels < 2) return Status::InvalidArgument("schema is missing the labels row");
+
+  SocialGraph g(categories, num_labels);
+
+  PPDP_ASSIGN_OR_RETURN(auto node_rows, ReadCsv(base_path + ".nodes.csv"));
+  if (node_rows.empty()) return Status::InvalidArgument("empty nodes file");
+  for (size_t r = 1; r < node_rows.size(); ++r) {
+    const auto& row = node_rows[r];
+    if (row.size() != 2 + categories.size()) {
+      return Status::InvalidArgument("nodes row " + std::to_string(r) + " has wrong width");
+    }
+    Label label = kUnknownLabel;
+    if (!row[1].empty()) {
+      PPDP_ASSIGN_OR_RETURN(int64_t y, ParseInt(row[1]));
+      label = static_cast<Label>(y);
+    }
+    std::vector<AttributeValue> attrs(categories.size(), kMissingAttribute);
+    for (size_t c = 0; c < categories.size(); ++c) {
+      if (row[2 + c].empty()) continue;
+      PPDP_ASSIGN_OR_RETURN(int64_t v, ParseInt(row[2 + c]));
+      attrs[c] = static_cast<AttributeValue>(v);
+    }
+    g.AddNode(std::move(attrs), label);
+  }
+
+  PPDP_ASSIGN_OR_RETURN(auto edge_rows, ReadCsv(base_path + ".edges.csv"));
+  for (size_t r = 1; r < edge_rows.size(); ++r) {
+    const auto& row = edge_rows[r];
+    if (row.size() != 2) return Status::InvalidArgument("edges row needs 2 cells");
+    PPDP_ASSIGN_OR_RETURN(int64_t u, ParseInt(row[0]));
+    PPDP_ASSIGN_OR_RETURN(int64_t v, ParseInt(row[1]));
+    if (u < 0 || v < 0 || static_cast<size_t>(u) >= g.num_nodes() ||
+        static_cast<size_t>(v) >= g.num_nodes()) {
+      return Status::InvalidArgument("edge endpoint out of range");
+    }
+    g.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  return g;
+}
+
+}  // namespace ppdp::graph

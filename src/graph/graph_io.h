@@ -1,0 +1,24 @@
+#ifndef PPDP_GRAPH_GRAPH_IO_H_
+#define PPDP_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/social_graph.h"
+
+namespace ppdp::graph {
+
+/// Persists a social graph as three CSV files next to `base_path`:
+///   <base>.schema.csv  category,name,num_values  (+ a "labels" row)
+///   <base>.nodes.csv   node,label,h1,...,hk      (missing values blank)
+///   <base>.edges.csv   u,v                       (each edge once, u < v)
+/// The format round-trips exactly through LoadGraph and is easy to produce
+/// from external datasets (e.g. a real Facebook100 export).
+Status SaveGraph(const SocialGraph& g, const std::string& base_path);
+
+/// Loads a graph saved by SaveGraph (or hand-written in the same format).
+Result<SocialGraph> LoadGraph(const std::string& base_path);
+
+}  // namespace ppdp::graph
+
+#endif  // PPDP_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,156 @@
+#include "graph/graph_metrics.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace ppdp::graph {
+
+namespace {
+
+constexpr uint32_t kUnassigned = std::numeric_limits<uint32_t>::max();
+
+/// BFS distances from `source`; unreachable nodes get SIZE_MAX.
+std::vector<size_t> BfsDistances(const SocialGraph& g, NodeId source) {
+  std::vector<size_t> dist(g.num_nodes(), std::numeric_limits<size_t>::max());
+  std::deque<NodeId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : g.Neighbors(u)) {
+      if (dist[v] != std::numeric_limits<size_t>::max()) continue;
+      dist[v] = dist[u] + 1;
+      queue.push_back(v);
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+uint32_t Components::LargestId() const {
+  PPDP_CHECK(!sizes.empty()) << "no components in empty graph";
+  uint32_t best = 0;
+  for (uint32_t i = 1; i < sizes.size(); ++i) {
+    if (sizes[i] > sizes[best]) best = i;
+  }
+  return best;
+}
+
+Components FindComponents(const SocialGraph& g) {
+  Components comps;
+  comps.component_of.assign(g.num_nodes(), kUnassigned);
+  for (NodeId start = 0; start < g.num_nodes(); ++start) {
+    if (comps.component_of[start] != kUnassigned) continue;
+    uint32_t id = static_cast<uint32_t>(comps.sizes.size());
+    comps.sizes.push_back(0);
+    std::deque<NodeId> queue{start};
+    comps.component_of[start] = id;
+    while (!queue.empty()) {
+      NodeId u = queue.front();
+      queue.pop_front();
+      ++comps.sizes[id];
+      for (NodeId v : g.Neighbors(u)) {
+        if (comps.component_of[v] != kUnassigned) continue;
+        comps.component_of[v] = id;
+        queue.push_back(v);
+      }
+    }
+  }
+  return comps;
+}
+
+ComponentStats StatsForComponent(const SocialGraph& g, const Components& comps, uint32_t id) {
+  ComponentStats stats;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (comps.component_of[u] != id) continue;
+    ++stats.nodes;
+    for (NodeId v : g.Neighbors(u)) {
+      if (u < v && comps.component_of[v] == id) ++stats.edges;
+    }
+  }
+  return stats;
+}
+
+size_t Eccentricity(const SocialGraph& g, NodeId source) {
+  std::vector<size_t> dist = BfsDistances(g, source);
+  size_t ecc = 0;
+  for (size_t d : dist) {
+    if (d != std::numeric_limits<size_t>::max()) ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+size_t ApproxDiameter(const SocialGraph& g, size_t sweeps) {
+  if (g.num_nodes() == 0) return 0;
+  Components comps = FindComponents(g);
+  uint32_t giant = comps.LargestId();
+  // Start from the lowest-id node of the giant component, then repeatedly
+  // jump to the farthest node found (double sweep).
+  NodeId start = 0;
+  while (comps.component_of[start] != giant) ++start;
+  size_t best = 0;
+  NodeId cursor = start;
+  for (size_t round = 0; round < sweeps; ++round) {
+    std::vector<size_t> dist = BfsDistances(g, cursor);
+    NodeId farthest = cursor;
+    size_t far_dist = 0;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (dist[u] == std::numeric_limits<size_t>::max()) continue;
+      if (dist[u] > far_dist) {
+        far_dist = dist[u];
+        farthest = u;
+      }
+    }
+    best = std::max(best, far_dist);
+    if (farthest == cursor) break;
+    cursor = farthest;
+  }
+  return best;
+}
+
+size_t SharedFriends(const SocialGraph& g, NodeId u, NodeId v) {
+  const auto& nu = g.Neighbors(u);
+  const auto& nv = g.Neighbors(v);
+  const auto& smaller = nu.size() <= nv.size() ? nu : nv;
+  NodeId other = nu.size() <= nv.size() ? v : u;
+  size_t shared = 0;
+  for (NodeId w : smaller) {
+    if (w != u && w != v && g.HasEdge(w, other)) ++shared;
+  }
+  return shared;
+}
+
+double ClusteringCoefficient(const SocialGraph& g, NodeId u) {
+  const auto& neighbors = g.Neighbors(u);
+  size_t k = neighbors.size();
+  if (k < 2) return 0.0;
+  size_t closed = 0;
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i + 1; j < k; ++j) {
+      if (g.HasEdge(neighbors[i], neighbors[j])) ++closed;
+    }
+  }
+  return 2.0 * static_cast<double>(closed) / (static_cast<double>(k) * static_cast<double>(k - 1));
+}
+
+double AverageClustering(const SocialGraph& g) {
+  if (g.num_nodes() == 0) return 0.0;
+  double total = 0.0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) total += ClusteringCoefficient(g, u);
+  return total / static_cast<double>(g.num_nodes());
+}
+
+std::vector<size_t> DegreeHistogram(const SocialGraph& g) {
+  size_t max_degree = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) max_degree = std::max(max_degree, g.Degree(u));
+  std::vector<size_t> histogram(max_degree + 1, 0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) ++histogram[g.Degree(u)];
+  return histogram;
+}
+
+}  // namespace ppdp::graph

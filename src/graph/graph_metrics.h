@@ -1,0 +1,55 @@
+#ifndef PPDP_GRAPH_GRAPH_METRICS_H_
+#define PPDP_GRAPH_GRAPH_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/social_graph.h"
+
+namespace ppdp::graph {
+
+/// Connected-component decomposition: component id per node plus sizes.
+struct Components {
+  std::vector<uint32_t> component_of;  // node -> component id
+  std::vector<size_t> sizes;           // component id -> node count
+  size_t num_components() const { return sizes.size(); }
+  /// Id of the largest component (ties toward the lower id).
+  uint32_t LargestId() const;
+};
+
+/// Labels connected components with BFS.
+Components FindComponents(const SocialGraph& g);
+
+/// Node and edge counts restricted to one component.
+struct ComponentStats {
+  size_t nodes = 0;
+  size_t edges = 0;
+};
+ComponentStats StatsForComponent(const SocialGraph& g, const Components& comps, uint32_t id);
+
+/// BFS eccentricity of `source` (max finite distance).
+size_t Eccentricity(const SocialGraph& g, NodeId source);
+
+/// Lower-bounds the diameter of the largest component with `sweeps` rounds
+/// of the double-sweep heuristic (exact on trees, near-exact on social
+/// graphs). Table 3.3's "diameter longest shortest path" row is reported
+/// with this estimator.
+size_t ApproxDiameter(const SocialGraph& g, size_t sweeps = 4);
+
+/// Number of common neighbors — the Ch.4 structure-utility value S_j of a
+/// friend (Definition 4.4.2 instantiates structure utility as shared
+/// friends).
+size_t SharedFriends(const SocialGraph& g, NodeId u, NodeId v);
+
+/// Local clustering coefficient of u in [0, 1].
+double ClusteringCoefficient(const SocialGraph& g, NodeId u);
+
+/// Average of local clustering coefficients over all nodes.
+double AverageClustering(const SocialGraph& g);
+
+/// Histogram of node degrees (index = degree).
+std::vector<size_t> DegreeHistogram(const SocialGraph& g);
+
+}  // namespace ppdp::graph
+
+#endif  // PPDP_GRAPH_GRAPH_METRICS_H_

@@ -1,0 +1,47 @@
+#include "graph/rewire.h"
+
+#include "common/logging.h"
+
+namespace ppdp::graph {
+
+size_t RewireEdges(SocialGraph& g, size_t swaps, Rng& rng) {
+  auto edges = g.Edges();
+  if (edges.size() < 2) return 0;
+  size_t performed = 0;
+  size_t attempts = 0;
+  const size_t max_attempts = swaps * 20 + 100;
+  while (performed < swaps && attempts < max_attempts) {
+    ++attempts;
+    size_t i = rng.Uniform(edges.size());
+    size_t j = rng.Uniform(edges.size());
+    if (i == j) continue;
+    auto [a, b] = edges[i];
+    auto [c, d] = edges[j];
+    // Candidate rewiring (a,d), (c,b); reject degenerate or conflicting.
+    if (a == d || c == b || a == c || b == d) continue;
+    if (g.HasEdge(a, d) || g.HasEdge(c, b)) continue;
+    PPDP_CHECK(g.RemoveEdge(a, b));
+    PPDP_CHECK(g.RemoveEdge(c, d));
+    PPDP_CHECK(g.AddEdge(a, d));
+    PPDP_CHECK(g.AddEdge(c, b));
+    edges[i] = {std::min(a, d), std::max(a, d)};
+    edges[j] = {std::min(c, b), std::max(c, b)};
+    ++performed;
+  }
+  return performed;
+}
+
+double SameLabelEdgeFraction(const SocialGraph& g) {
+  size_t same = 0;
+  size_t labeled = 0;
+  for (const auto& [u, v] : g.Edges()) {
+    Label yu = g.GetLabel(u);
+    Label yv = g.GetLabel(v);
+    if (yu == kUnknownLabel || yv == kUnknownLabel) continue;
+    ++labeled;
+    if (yu == yv) ++same;
+  }
+  return labeled == 0 ? 0.0 : static_cast<double>(same) / static_cast<double>(labeled);
+}
+
+}  // namespace ppdp::graph

@@ -1,0 +1,29 @@
+#ifndef PPDP_GRAPH_REWIRE_H_
+#define PPDP_GRAPH_REWIRE_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "graph/social_graph.h"
+
+namespace ppdp::graph {
+
+/// Degree-preserving randomization by double-edge swaps: repeatedly picks
+/// two edges (a,b), (c,d) and rewires them to (a,d), (c,b) when that
+/// creates no self-loop or duplicate. Every node keeps its exact degree
+/// while label homophily and local structure wash out — the classical
+/// graph-anonymization baseline (the "graph modification approaches" of the
+/// survey the dissertation cites in Section 2.1) and a natural opponent for
+/// the link sanitizers.
+///
+/// Attempts up to `swaps` swaps; returns the number actually performed.
+size_t RewireEdges(SocialGraph& g, size_t swaps, Rng& rng);
+
+/// Fraction of edges whose endpoints share a label — the homophily signal
+/// the link-based attacks feed on; rewiring drives it toward the random
+/// mixing baseline. Returns 0 on edgeless graphs.
+double SameLabelEdgeFraction(const SocialGraph& g);
+
+}  // namespace ppdp::graph
+
+#endif  // PPDP_GRAPH_REWIRE_H_

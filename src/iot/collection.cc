@@ -1,0 +1,102 @@
+#include "iot/collection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace ppdp::iot {
+
+PrivacyProxy::PrivacyProxy(std::vector<SensorSchema> schema,
+                           std::vector<PrivacyPreference> preferences, uint64_t seed)
+    : schema_(std::move(schema)), preferences_(std::move(preferences)), rng_(seed) {
+  PPDP_CHECK(schema_.size() == preferences_.size())
+      << "one preference per sensor required: " << schema_.size() << " sensors, "
+      << preferences_.size() << " preferences";
+  for (const SensorSchema& s : schema_) {
+    PPDP_CHECK(s.domain_size >= 2) << "sensor " << s.name << " needs a domain of at least 2";
+  }
+  for (const PrivacyPreference& p : preferences_) {
+    PPDP_CHECK(p.epsilon_per_reading >= 0.0);
+    PPDP_CHECK(p.total_budget >= 0.0);
+  }
+  spent_.assign(schema_.size(), 0.0);
+}
+
+Result<PerturbedReading> PrivacyProxy::Report(size_t sensor, size_t raw_value) {
+  if (sensor >= schema_.size()) return Status::InvalidArgument("unknown sensor");
+  if (raw_value >= schema_[sensor].domain_size) {
+    return Status::InvalidArgument("reading out of the sensor's domain");
+  }
+  const PrivacyPreference& pref = preferences_[sensor];
+  if (pref.epsilon_per_reading <= 0.0) {
+    return Status::FailedPrecondition("user preference forbids reporting " +
+                                      schema_[sensor].name);
+  }
+  if (spent_[sensor] + pref.epsilon_per_reading > pref.total_budget + 1e-12) {
+    return Status::FailedPrecondition("lifetime privacy budget of " + schema_[sensor].name +
+                                      " exhausted");
+  }
+  dp::RandomizedResponse mechanism(schema_[sensor].domain_size, pref.epsilon_per_reading);
+  PerturbedReading reading;
+  reading.sensor = sensor;
+  reading.value = mechanism.Perturb(raw_value, rng_);
+  reading.epsilon = pref.epsilon_per_reading;
+  spent_[sensor] += pref.epsilon_per_reading;
+  return reading;
+}
+
+double PrivacyProxy::RemainingBudget(size_t sensor) const {
+  PPDP_CHECK(sensor < schema_.size());
+  return preferences_[sensor].total_budget - spent_[sensor];
+}
+
+AggregationServer::AggregationServer(std::vector<SensorSchema> schema)
+    : schema_(std::move(schema)) {
+  counts_.resize(schema_.size());
+  for (size_t s = 0; s < schema_.size(); ++s) counts_[s].assign(schema_[s].domain_size, 0.0);
+  epsilon_.assign(schema_.size(), 0.0);
+  totals_.assign(schema_.size(), 0);
+}
+
+Status AggregationServer::Ingest(const PerturbedReading& reading) {
+  if (reading.sensor >= schema_.size()) return Status::InvalidArgument("unknown sensor");
+  if (reading.value >= schema_[reading.sensor].domain_size) {
+    return Status::InvalidArgument("reading out of domain");
+  }
+  if (reading.epsilon <= 0.0) return Status::InvalidArgument("reading carries no budget");
+  if (epsilon_[reading.sensor] == 0.0) {
+    epsilon_[reading.sensor] = reading.epsilon;
+  } else if (std::fabs(epsilon_[reading.sensor] - reading.epsilon) > 1e-9) {
+    return Status::InvalidArgument("mixed epsilons for one sensor are not supported");
+  }
+  counts_[reading.sensor][reading.value] += 1.0;
+  ++totals_[reading.sensor];
+  return Status::Ok();
+}
+
+Result<std::vector<double>> AggregationServer::EstimateFrequencies(size_t sensor) const {
+  if (sensor >= schema_.size()) return Status::InvalidArgument("unknown sensor");
+  if (totals_[sensor] == 0) return Status::FailedPrecondition("no readings for this sensor");
+  dp::RandomizedResponse mechanism(schema_[sensor].domain_size, epsilon_[sensor]);
+  std::vector<double> estimate(schema_[sensor].domain_size);
+  double n = static_cast<double>(totals_[sensor]);
+  for (size_t v = 0; v < estimate.size(); ++v) {
+    estimate[v] = std::max(0.0, mechanism.Debias(counts_[sensor][v] / n));
+  }
+  NormalizeInPlace(estimate);
+  return estimate;
+}
+
+size_t AggregationServer::ReadingCount(size_t sensor) const {
+  PPDP_CHECK(sensor < schema_.size());
+  return totals_[sensor];
+}
+
+double ServiceQuality(const std::vector<double>& estimated, const std::vector<double>& truth) {
+  PPDP_CHECK(estimated.size() == truth.size());
+  return std::max(0.0, 1.0 - L1Distance(estimated, truth) / 2.0);
+}
+
+}  // namespace ppdp::iot

@@ -1,0 +1,105 @@
+#ifndef PPDP_IOT_COLLECTION_H_
+#define PPDP_IOT_COLLECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "dp/mechanisms.h"
+
+namespace ppdp::iot {
+
+/// The Section-6.1 research program made concrete: privacy-preserving
+/// multi-modal sensory data collection for the Internet of Things.
+///
+///  * Toolset 1 — "enable users to express, regulate and enforce their
+///    privacy preferences": a per-sensor PrivacyPreference vocabulary and a
+///    PrivacyProxy that perturbs every reading client-side (k-ary
+///    randomized response) under a per-user budget, so raw values never
+///    leave the device.
+///  * Toolset 2 — "understand the tradeoff between service quality and
+///    privacy": an AggregationServer that debiases the perturbed stream
+///    into population frequency estimates, and a ServiceQuality metric
+///    (L1 distance of estimated vs true frequencies) the benches sweep
+///    against ε.
+
+/// One categorical sensor modality (activity class, room occupancy bucket,
+/// coarse location cell, ...).
+struct SensorSchema {
+  std::string name;
+  size_t domain_size = 2;
+};
+
+/// A user's per-sensor privacy preference: the local-DP budget the user is
+/// willing to spend per reading of that sensor; 0 means "never report".
+struct PrivacyPreference {
+  double epsilon_per_reading = 1.0;
+  double total_budget = 50.0;  ///< lifetime budget across this sensor's readings
+};
+
+/// One perturbed reading as it leaves the device.
+struct PerturbedReading {
+  size_t sensor = 0;
+  size_t value = 0;      ///< already randomized
+  double epsilon = 0.0;  ///< budget this reading consumed
+};
+
+/// Client-side enforcement of the user's preferences (Toolset 1). Owns a
+/// per-sensor budget accountant; once a sensor's lifetime budget is
+/// exhausted — or the preference is "never" — readings are refused rather
+/// than silently weakened.
+class PrivacyProxy {
+ public:
+  /// Preferences must match the schema size.
+  PrivacyProxy(std::vector<SensorSchema> schema, std::vector<PrivacyPreference> preferences,
+               uint64_t seed);
+
+  /// Perturbs one raw reading of `sensor`. Fails with kFailedPrecondition
+  /// when the sensor's lifetime budget cannot cover another reading, and
+  /// kInvalidArgument on bad sensor/value.
+  Result<PerturbedReading> Report(size_t sensor, size_t raw_value);
+
+  /// Remaining lifetime budget of a sensor.
+  double RemainingBudget(size_t sensor) const;
+
+  const std::vector<SensorSchema>& schema() const { return schema_; }
+
+ private:
+  std::vector<SensorSchema> schema_;
+  std::vector<PrivacyPreference> preferences_;
+  std::vector<double> spent_;
+  Rng rng_;
+};
+
+/// Server-side estimation (Toolset 2): collects perturbed readings and
+/// produces debiased per-sensor frequency estimates.
+class AggregationServer {
+ public:
+  explicit AggregationServer(std::vector<SensorSchema> schema);
+
+  /// Ingests one reading; its epsilon must match the sensor's first
+  /// reading's epsilon (the estimator assumes one mechanism per sensor).
+  Status Ingest(const PerturbedReading& reading);
+
+  /// Debiased frequency estimate for a sensor (sums to ~1; entries clamped
+  /// to >= 0 then renormalized). kFailedPrecondition with no data.
+  Result<std::vector<double>> EstimateFrequencies(size_t sensor) const;
+
+  size_t ReadingCount(size_t sensor) const;
+
+ private:
+  std::vector<SensorSchema> schema_;
+  std::vector<std::vector<double>> counts_;   ///< raw perturbed counts
+  std::vector<double> epsilon_;               ///< per-sensor mechanism budget (0 = unset)
+  std::vector<size_t> totals_;
+};
+
+/// Service quality of an estimate against the true frequencies: 1 − L1/2
+/// (total-variation agreement), in [0, 1]; 1 = perfect.
+double ServiceQuality(const std::vector<double>& estimated, const std::vector<double>& truth);
+
+}  // namespace ppdp::iot
+
+#endif  // PPDP_IOT_COLLECTION_H_

@@ -1,0 +1,232 @@
+#include "opt/simplex.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace ppdp::opt {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Dense canonical-form tableau. `rows x (num_cols + 1)`; the last column is
+/// the right-hand side. `basis[i]` is the column basic in row i. A reduced
+/// cost row is maintained alongside and updated by each pivot.
+struct Tableau {
+  size_t rows = 0;
+  size_t cols = 0;  // excludes the rhs column
+  std::vector<std::vector<double>> a;
+  std::vector<size_t> basis;
+  std::vector<double> reduced;  // size cols
+  double objective_value = 0.0;
+  size_t pivots = 0;
+
+  double& rhs(size_t i) { return a[i][cols]; }
+  double rhs(size_t i) const { return a[i][cols]; }
+
+  void Pivot(size_t row, size_t col) {
+    double pivot = a[row][col];
+    PPDP_CHECK(std::fabs(pivot) > kEps) << "pivot on ~zero element";
+    for (size_t j = 0; j <= cols; ++j) a[row][j] /= pivot;
+    for (size_t i = 0; i < rows; ++i) {
+      if (i == row) continue;
+      double factor = a[i][col];
+      if (std::fabs(factor) <= kEps) continue;
+      for (size_t j = 0; j <= cols; ++j) a[i][j] -= factor * a[row][j];
+    }
+    double rfactor = reduced[col];
+    if (std::fabs(rfactor) > kEps) {
+      for (size_t j = 0; j < cols; ++j) reduced[j] -= rfactor * a[row][j];
+      objective_value += rfactor * rhs(row);
+    }
+    basis[row] = col;
+    ++pivots;
+  }
+
+  /// Prices the cost vector `cost` against the current basis, producing the
+  /// reduced-cost row and current objective value.
+  void PriceOut(const std::vector<double>& cost) {
+    reduced = cost;
+    objective_value = 0.0;
+    for (size_t i = 0; i < rows; ++i) {
+      double cb = cost[basis[i]];
+      if (cb == 0.0) continue;
+      for (size_t j = 0; j < cols; ++j) reduced[j] -= cb * a[i][j];
+      objective_value += cb * rhs(i);
+    }
+  }
+
+  /// Runs primal simplex (maximization) with Bland's rule. `allowed[j]`
+  /// gates which columns may enter. Returns false when unbounded.
+  bool Maximize(const std::vector<bool>& allowed) {
+    for (;;) {
+      // Bland: lowest-index column with positive reduced cost enters.
+      size_t enter = cols;
+      for (size_t j = 0; j < cols; ++j) {
+        if (allowed[j] && reduced[j] > kEps) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter == cols) return true;  // optimal
+      // Ratio test; Bland tie-break on the smallest basis column index.
+      size_t leave = rows;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < rows; ++i) {
+        if (a[i][enter] <= kEps) continue;
+        double ratio = rhs(i) / a[i][enter];
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps && (leave == rows || basis[i] < basis[leave]))) {
+          best_ratio = ratio;
+          leave = i;
+        }
+      }
+      if (leave == rows) return false;  // unbounded
+      Pivot(leave, enter);
+    }
+  }
+};
+
+}  // namespace
+
+SimplexSolver::SimplexSolver(std::vector<double> objective) : objective_(std::move(objective)) {
+  PPDP_CHECK(!objective_.empty()) << "LP needs at least one variable";
+}
+
+void SimplexSolver::AddConstraint(Constraint constraint) {
+  PPDP_CHECK(constraint.coefficients.size() == objective_.size())
+      << "constraint has " << constraint.coefficients.size() << " coefficients, LP has "
+      << objective_.size() << " variables";
+  constraints_.push_back(std::move(constraint));
+}
+
+void SimplexSolver::AddLessEqual(std::vector<double> coefficients, double rhs) {
+  AddConstraint({std::move(coefficients), ConstraintSense::kLessEqual, rhs});
+}
+
+void SimplexSolver::AddGreaterEqual(std::vector<double> coefficients, double rhs) {
+  AddConstraint({std::move(coefficients), ConstraintSense::kGreaterEqual, rhs});
+}
+
+void SimplexSolver::AddEqual(std::vector<double> coefficients, double rhs) {
+  AddConstraint({std::move(coefficients), ConstraintSense::kEqual, rhs});
+}
+
+Result<LpSolution> SimplexSolver::Solve() const {
+  const size_t n = objective_.size();
+  const size_t m = constraints_.size();
+
+  // Normalize: rhs >= 0 for every row (flip senses as needed), then assign
+  // slack (<=), surplus (>=) and artificial (>=, =) columns.
+  struct Row {
+    std::vector<double> coef;
+    ConstraintSense sense;
+    double rhs;
+  };
+  std::vector<Row> norm;
+  norm.reserve(m);
+  for (const Constraint& c : constraints_) {
+    Row r{c.coefficients, c.sense, c.rhs};
+    if (r.rhs < 0.0) {
+      for (double& v : r.coef) v = -v;
+      r.rhs = -r.rhs;
+      if (r.sense == ConstraintSense::kLessEqual) {
+        r.sense = ConstraintSense::kGreaterEqual;
+      } else if (r.sense == ConstraintSense::kGreaterEqual) {
+        r.sense = ConstraintSense::kLessEqual;
+      }
+    }
+    norm.push_back(std::move(r));
+  }
+
+  size_t num_slack = 0, num_artificial = 0;
+  for (const Row& r : norm) {
+    if (r.sense != ConstraintSense::kEqual) ++num_slack;
+    if (r.sense != ConstraintSense::kLessEqual) ++num_artificial;
+  }
+
+  Tableau t;
+  t.rows = m;
+  t.cols = n + num_slack + num_artificial;
+  t.a.assign(m, std::vector<double>(t.cols + 1, 0.0));
+  t.basis.assign(m, 0);
+
+  std::vector<bool> is_artificial(t.cols, false);
+  size_t slack_at = n;
+  size_t art_at = n + num_slack;
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) t.a[i][j] = norm[i].coef[j];
+    t.rhs(i) = norm[i].rhs;
+    switch (norm[i].sense) {
+      case ConstraintSense::kLessEqual:
+        t.a[i][slack_at] = 1.0;
+        t.basis[i] = slack_at++;
+        break;
+      case ConstraintSense::kGreaterEqual:
+        t.a[i][slack_at] = -1.0;
+        ++slack_at;
+        t.a[i][art_at] = 1.0;
+        is_artificial[art_at] = true;
+        t.basis[i] = art_at++;
+        break;
+      case ConstraintSense::kEqual:
+        t.a[i][art_at] = 1.0;
+        is_artificial[art_at] = true;
+        t.basis[i] = art_at++;
+        break;
+    }
+  }
+
+  std::vector<bool> allow_all(t.cols, true);
+  if (num_artificial > 0) {
+    // Phase 1: maximize -sum(artificials); optimum 0 <=> feasible.
+    std::vector<double> phase1_cost(t.cols, 0.0);
+    for (size_t j = 0; j < t.cols; ++j) {
+      if (is_artificial[j]) phase1_cost[j] = -1.0;
+    }
+    t.PriceOut(phase1_cost);
+    if (!t.Maximize(allow_all)) {
+      return Status::Internal("phase-1 LP unbounded (should be impossible)");
+    }
+    if (t.objective_value < -1e-7) {
+      return Status::FailedPrecondition("LP infeasible");
+    }
+    // Drive any residual basic artificials out of the basis (degenerate at
+    // zero). Rows with no eligible pivot are redundant and harmless, but the
+    // artificial column must never re-enter, which phase 2's gating ensures.
+    for (size_t i = 0; i < m; ++i) {
+      if (!is_artificial[t.basis[i]]) continue;
+      for (size_t j = 0; j < n + num_slack; ++j) {
+        if (std::fabs(t.a[i][j]) > kEps) {
+          t.Pivot(i, j);
+          break;
+        }
+      }
+    }
+  }
+
+  // Phase 2: the real objective; artificial columns may not enter.
+  std::vector<double> cost(t.cols, 0.0);
+  for (size_t j = 0; j < n; ++j) cost[j] = objective_[j];
+  t.PriceOut(cost);
+  std::vector<bool> allowed(t.cols, true);
+  for (size_t j = 0; j < t.cols; ++j) {
+    if (is_artificial[j]) allowed[j] = false;
+  }
+  if (!t.Maximize(allowed)) {
+    return Status::OutOfRange("LP unbounded");
+  }
+
+  LpSolution solution;
+  solution.x.assign(n, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    if (t.basis[i] < n) solution.x[t.basis[i]] = t.rhs(i);
+  }
+  solution.objective = t.objective_value;
+  solution.iterations = t.pivots;
+  return solution;
+}
+
+}  // namespace ppdp::opt

@@ -1,0 +1,65 @@
+#ifndef PPDP_OPT_SIMPLEX_H_
+#define PPDP_OPT_SIMPLEX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ppdp::opt {
+
+/// Direction of a linear constraint a·x {<=,>=,=} rhs.
+enum class ConstraintSense { kLessEqual, kGreaterEqual, kEqual };
+
+/// One linear constraint over the LP's variables.
+struct Constraint {
+  std::vector<double> coefficients;  // one per variable
+  ConstraintSense sense = ConstraintSense::kLessEqual;
+  double rhs = 0.0;
+};
+
+/// Solution of a linear program.
+struct LpSolution {
+  std::vector<double> x;     // optimal primal point
+  double objective = 0.0;    // optimal objective value
+  size_t iterations = 0;     // simplex pivots performed (both phases)
+};
+
+/// Dense two-phase primal simplex solver for
+///
+///     maximize    c·x
+///     subject to  A x {<=,>=,=} b,   x >= 0
+///
+/// Bland's anti-cycling rule guarantees termination. Suited to the small
+/// dense programs produced by the chapter-4 privacy-utility tradeoff (tens
+/// of variables/constraints); not intended for large sparse LPs.
+class SimplexSolver {
+ public:
+  /// Creates a program with `num_variables` non-negative variables and the
+  /// (maximization) objective vector `objective`.
+  explicit SimplexSolver(std::vector<double> objective);
+
+  /// Adds a constraint; coefficient count must equal the variable count.
+  void AddConstraint(Constraint constraint);
+
+  /// Convenience wrappers.
+  void AddLessEqual(std::vector<double> coefficients, double rhs);
+  void AddGreaterEqual(std::vector<double> coefficients, double rhs);
+  void AddEqual(std::vector<double> coefficients, double rhs);
+
+  size_t num_variables() const { return objective_.size(); }
+  size_t num_constraints() const { return constraints_.size(); }
+
+  /// Solves the program. Fails with kFailedPrecondition when infeasible and
+  /// kOutOfRange when unbounded.
+  Result<LpSolution> Solve() const;
+
+ private:
+  std::vector<double> objective_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace ppdp::opt
+
+#endif  // PPDP_OPT_SIMPLEX_H_

@@ -1,0 +1,150 @@
+#include "opt/submodular.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace ppdp::opt {
+
+namespace {
+
+constexpr double kTol = 1e-12;
+
+/// One greedy sweep. When `cost_benefit` is true, candidates are ranked by
+/// marginal gain divided by cost; otherwise by raw marginal gain. Elements
+/// whose cost would exceed the remaining budget are skipped (not aborted
+/// on), matching the standard knapsack-greedy formulation.
+SubmodularResult GreedySweep(size_t ground_size, const SetFunction& f,
+                             const std::vector<double>& costs, double budget,
+                             bool cost_benefit) {
+  SubmodularResult result;
+  std::vector<bool> taken(ground_size, false);
+  std::vector<size_t> current;
+  double current_value = f(current);
+  ++result.oracle_calls;
+  double spent = 0.0;
+
+  for (;;) {
+    size_t best = ground_size;
+    double best_score = kTol;
+    double best_gain = 0.0;
+    for (size_t e = 0; e < ground_size; ++e) {
+      if (taken[e]) continue;
+      if (spent + costs[e] > budget + kTol) continue;
+      current.push_back(e);
+      double gain = f(current) - current_value;
+      ++result.oracle_calls;
+      current.pop_back();
+      double score = cost_benefit ? (costs[e] > kTol ? gain / costs[e] : gain / kTol) : gain;
+      if (score > best_score) {
+        best_score = score;
+        best_gain = gain;
+        best = e;
+      }
+    }
+    if (best == ground_size) break;
+    taken[best] = true;
+    current.push_back(best);
+    current_value += best_gain;
+    spent += costs[best];
+    result.selected.push_back(best);
+  }
+  result.value = current_value;
+  result.cost = spent;
+  return result;
+}
+
+}  // namespace
+
+SubmodularResult GreedyKnapsackMaximize(size_t ground_size, const SetFunction& f,
+                                        const std::vector<double>& costs, double budget) {
+  PPDP_CHECK(costs.size() == ground_size)
+      << "costs has " << costs.size() << " entries, ground set has " << ground_size;
+
+  SubmodularResult by_ratio = GreedySweep(ground_size, f, costs, budget, /*cost_benefit=*/true);
+  SubmodularResult by_gain = GreedySweep(ground_size, f, costs, budget, /*cost_benefit=*/false);
+
+  // Best feasible singleton, which bounds the loss of either greedy.
+  SubmodularResult best_single;
+  best_single.oracle_calls = 0;
+  best_single.value = f({});
+  ++best_single.oracle_calls;
+  for (size_t e = 0; e < ground_size; ++e) {
+    if (costs[e] > budget + kTol) continue;
+    double v = f({e});
+    ++best_single.oracle_calls;
+    if (v > best_single.value) {
+      best_single.value = v;
+      best_single.selected = {e};
+      best_single.cost = costs[e];
+    }
+  }
+
+  SubmodularResult* best = &by_ratio;
+  if (by_gain.value > best->value) best = &by_gain;
+  if (best_single.value > best->value) best = &best_single;
+  best->oracle_calls =
+      by_ratio.oracle_calls + by_gain.oracle_calls + best_single.oracle_calls;
+  return *best;
+}
+
+SubmodularResult GreedyCardinalityMaximize(size_t ground_size, const SetFunction& f, size_t k) {
+  std::vector<double> unit_costs(ground_size, 1.0);
+  return GreedySweep(ground_size, f, unit_costs, static_cast<double>(std::min(k, ground_size)),
+                     /*cost_benefit=*/false);
+}
+
+SubmodularResult LazyGreedyCardinalityMaximize(size_t ground_size, const SetFunction& f,
+                                               size_t k) {
+  SubmodularResult result;
+  std::vector<size_t> current;
+  double current_value = f(current);
+  ++result.oracle_calls;
+
+  // Max-heap of (cached marginal gain, element); `computed_at[e]` records
+  // the solution size the cached gain was evaluated against, so stale upper
+  // bounds are recognized and refreshed before acceptance.
+  struct Entry {
+    double gain;
+    size_t element;
+    bool operator<(const Entry& other) const {
+      if (gain != other.gain) return gain < other.gain;
+      return element > other.element;  // lower index wins ties, like the plain greedy
+    }
+  };
+  std::priority_queue<Entry> heap;
+  std::vector<size_t> computed_at(ground_size, 0);  // solution size the gain refers to
+  for (size_t e = 0; e < ground_size; ++e) {
+    current.push_back(e);
+    double gain = f(current) - current_value;
+    ++result.oracle_calls;
+    current.pop_back();
+    heap.push({gain, e});
+  }
+
+  k = std::min(k, ground_size);
+  while (result.selected.size() < k && !heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    if (computed_at[top.element] != result.selected.size()) {
+      // Stale bound: re-evaluate against the current solution and re-insert.
+      current.push_back(top.element);
+      double gain = f(current) - current_value;
+      ++result.oracle_calls;
+      current.pop_back();
+      computed_at[top.element] = result.selected.size();
+      heap.push({gain, top.element});
+      continue;
+    }
+    if (top.gain <= kTol) break;  // nothing positive remains
+    current.push_back(top.element);
+    current_value += top.gain;
+    result.selected.push_back(top.element);
+    result.cost += 1.0;
+  }
+  result.value = current_value;
+  return result;
+}
+
+}  // namespace ppdp::opt

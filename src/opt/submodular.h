@@ -1,0 +1,49 @@
+#ifndef PPDP_OPT_SUBMODULAR_H_
+#define PPDP_OPT_SUBMODULAR_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace ppdp::opt {
+
+/// Value oracle for a set function over ground-set indices [0, n).
+using SetFunction = std::function<double(const std::vector<size_t>&)>;
+
+/// Result of a greedy submodular maximization.
+struct SubmodularResult {
+  std::vector<size_t> selected;  // chosen ground-set elements, pick order
+  double value = 0.0;            // f(selected)
+  double cost = 0.0;             // total cost of selected
+  size_t oracle_calls = 0;       // number of f() evaluations
+};
+
+/// Greedy maximization of a monotone set function under a knapsack
+/// constraint sum(costs[selected]) <= budget.
+///
+/// Runs both the cost-benefit greedy (marginal gain per unit cost) and the
+/// unit-cost greedy, also compares against the best feasible singleton, and
+/// returns the best of the three — the classic constant-factor heuristic for
+/// monotone submodular knapsack (cf. Sviridenko 2004), which the
+/// dissertation invokes for vulnerable-link and vulnerable-SNP selection.
+///
+/// `f` must be non-negative and monotone for the guarantee to apply; the
+/// routine itself only requires it to be well-defined.
+SubmodularResult GreedyKnapsackMaximize(size_t ground_size, const SetFunction& f,
+                                        const std::vector<double>& costs, double budget);
+
+/// Greedy maximization under a cardinality constraint |S| <= k (unit costs).
+/// For monotone submodular f this is the (1 - 1/e)-approximate greedy.
+SubmodularResult GreedyCardinalityMaximize(size_t ground_size, const SetFunction& f, size_t k);
+
+/// Lazy (Minoux-accelerated) greedy under a cardinality constraint: for
+/// submodular f it selects a set of the same value as the plain greedy while
+/// typically evaluating the oracle far fewer times — marginal gains can only
+/// shrink as the solution grows, so a stale upper bound that still tops the
+/// priority queue after re-evaluation is certainly the best pick.
+SubmodularResult LazyGreedyCardinalityMaximize(size_t ground_size, const SetFunction& f,
+                                               size_t k);
+
+}  // namespace ppdp::opt
+
+#endif  // PPDP_OPT_SUBMODULAR_H_

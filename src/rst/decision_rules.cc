@@ -1,0 +1,95 @@
+#include "rst/decision_rules.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "rst/indiscernibility.h"
+
+namespace ppdp::rst {
+
+RuleSet RuleSet::Learn(const InformationSystem& is, std::vector<size_t> reduct) {
+  RuleSet set;
+  set.reduct_ = std::move(reduct);
+  set.num_decisions_ = is.num_decisions();
+  set.prior_.assign(static_cast<size_t>(is.num_decisions()), 0.0);
+  for (size_t obj = 0; obj < is.num_objects(); ++obj) {
+    set.prior_[static_cast<size_t>(is.Decision(obj))] += 1.0;
+  }
+  if (is.num_objects() > 0) {
+    NormalizeInPlace(set.prior_);
+  } else {
+    double uniform = 1.0 / static_cast<double>(is.num_decisions());
+    for (double& p : set.prior_) p = uniform;
+  }
+
+  for (const auto& eq_class : IndiscernibilityClasses(is, set.reduct_)) {
+    DecisionRule rule;
+    rule.values.resize(set.reduct_.size());
+    for (size_t k = 0; k < set.reduct_.size(); ++k) {
+      rule.values[k] = is.Value(eq_class.front(), set.reduct_[k]);
+    }
+    rule.decision_distribution.assign(static_cast<size_t>(is.num_decisions()), 0.0);
+    for (size_t obj : eq_class) {
+      rule.decision_distribution[static_cast<size_t>(is.Decision(obj))] += 1.0;
+    }
+    rule.support = eq_class.size();
+    size_t nonzero = 0;
+    for (double v : rule.decision_distribution) {
+      if (v > 0.0) ++nonzero;
+    }
+    rule.deterministic = nonzero == 1;
+    NormalizeInPlace(rule.decision_distribution);
+    set.index_[rule.values] = set.rules_.size();
+    set.rules_.push_back(std::move(rule));
+  }
+  return set;
+}
+
+std::vector<double> RuleSet::Classify(const std::vector<AttributeValue>& full_row) const {
+  std::vector<AttributeValue> key(reduct_.size());
+  for (size_t k = 0; k < reduct_.size(); ++k) {
+    PPDP_CHECK(reduct_[k] < full_row.size())
+        << "row has " << full_row.size() << " values, reduct needs category " << reduct_[k];
+    key[k] = full_row[reduct_[k]];
+  }
+
+  auto it = index_.find(key);
+  if (it != index_.end()) return rules_[it->second].decision_distribution;
+
+  if (rules_.empty()) return prior_;
+
+  // Nearest rules by Hamming distance over the reduct columns; aggregate
+  // their distributions weighted by support.
+  size_t best_distance = std::numeric_limits<size_t>::max();
+  for (const DecisionRule& rule : rules_) {
+    size_t d = 0;
+    for (size_t k = 0; k < key.size(); ++k) {
+      if (rule.values[k] != key[k]) ++d;
+    }
+    best_distance = std::min(best_distance, d);
+  }
+  std::vector<double> combined(static_cast<size_t>(num_decisions_), 0.0);
+  for (const DecisionRule& rule : rules_) {
+    size_t d = 0;
+    for (size_t k = 0; k < key.size(); ++k) {
+      if (rule.values[k] != key[k]) ++d;
+    }
+    if (d != best_distance) continue;
+    for (size_t y = 0; y < combined.size(); ++y) {
+      combined[y] += static_cast<double>(rule.support) * rule.decision_distribution[y];
+    }
+  }
+  NormalizeInPlace(combined);
+  return combined;
+}
+
+size_t RuleSet::num_deterministic() const {
+  return static_cast<size_t>(
+      std::count_if(rules_.begin(), rules_.end(), [](const DecisionRule& r) {
+        return r.deterministic;
+      }));
+}
+
+}  // namespace ppdp::rst

@@ -1,0 +1,52 @@
+#ifndef PPDP_RST_DECISION_RULES_H_
+#define PPDP_RST_DECISION_RULES_H_
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "rst/information_system.h"
+
+namespace ppdp::rst {
+
+/// A decision rule extracted from a reduct system (Section 3.3.2): one
+/// equivalence class of the reduct-indiscernibility relation, carrying the
+/// empirical distribution of decisions among its members. Deterministic
+/// rules (Pi ⊆ Qj) have a single non-zero decision probability.
+struct DecisionRule {
+  std::vector<AttributeValue> values;         ///< condition values over the reduct
+  std::vector<double> decision_distribution;  ///< over decision labels, sums to 1
+  size_t support = 0;                         ///< objects covered in training
+  bool deterministic = false;                 ///< single decision class
+};
+
+/// A learned set of RST decision rules over a fixed reduct. Classification
+/// first looks for an exactly matching rule; when none exists it aggregates
+/// the support-weighted distributions of the nearest rules by Hamming
+/// distance over the reduct columns, falling back to the label prior.
+class RuleSet {
+ public:
+  /// Learns rules from `is` grouped by the categories in `reduct`
+  /// (typically the output of GreedyReduct).
+  static RuleSet Learn(const InformationSystem& is, std::vector<size_t> reduct);
+
+  /// Returns P(decision | condition row). `full_row` is indexed by the
+  /// original category ids (the rule set picks out its reduct columns).
+  std::vector<double> Classify(const std::vector<AttributeValue>& full_row) const;
+
+  const std::vector<size_t>& reduct() const { return reduct_; }
+  const std::vector<DecisionRule>& rules() const { return rules_; }
+  const std::vector<double>& prior() const { return prior_; }
+  size_t num_deterministic() const;
+
+ private:
+  std::vector<size_t> reduct_;
+  std::vector<DecisionRule> rules_;
+  std::map<std::vector<AttributeValue>, size_t> index_;  ///< values -> rule
+  std::vector<double> prior_;
+  int32_t num_decisions_ = 0;
+};
+
+}  // namespace ppdp::rst
+
+#endif  // PPDP_RST_DECISION_RULES_H_

@@ -1,0 +1,53 @@
+#include "rst/information_system.h"
+
+#include "common/logging.h"
+
+namespace ppdp::rst {
+
+InformationSystem::InformationSystem(std::vector<std::string> category_names,
+                                     int32_t num_decisions)
+    : category_names_(std::move(category_names)), num_decisions_(num_decisions) {
+  PPDP_CHECK(num_decisions_ >= 2) << "decision attribute needs at least two values";
+}
+
+size_t InformationSystem::AddObject(std::vector<AttributeValue> condition, Label decision) {
+  PPDP_CHECK(condition.size() == category_names_.size())
+      << "object has " << condition.size() << " values, system has " << category_names_.size()
+      << " categories";
+  PPDP_CHECK(decision >= 0 && decision < num_decisions_) << "decision " << decision
+                                                         << " out of range";
+  rows_.push_back(std::move(condition));
+  decisions_.push_back(decision);
+  return decisions_.size() - 1;
+}
+
+AttributeValue InformationSystem::Value(size_t object, size_t category) const {
+  PPDP_CHECK(object < rows_.size());
+  PPDP_CHECK(category < category_names_.size());
+  return rows_[object][category];
+}
+
+Label InformationSystem::Decision(size_t object) const {
+  PPDP_CHECK(object < decisions_.size());
+  return decisions_[object];
+}
+
+InformationSystem InformationSystem::FromGraph(const graph::SocialGraph& g,
+                                               std::vector<graph::NodeId>* object_to_node) {
+  std::vector<std::string> names;
+  names.reserve(g.num_categories());
+  for (const auto& cat : g.categories()) names.push_back(cat.name);
+  InformationSystem is(std::move(names), g.num_labels());
+  if (object_to_node != nullptr) object_to_node->clear();
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    Label label = g.GetLabel(u);
+    if (label == graph::kUnknownLabel) continue;
+    std::vector<AttributeValue> row(g.num_categories());
+    for (size_t c = 0; c < g.num_categories(); ++c) row[c] = g.Attribute(u, c);
+    is.AddObject(std::move(row), label);
+    if (object_to_node != nullptr) object_to_node->push_back(u);
+  }
+  return is;
+}
+
+}  // namespace ppdp::rst

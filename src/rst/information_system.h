@@ -1,0 +1,55 @@
+#ifndef PPDP_RST_INFORMATION_SYSTEM_H_
+#define PPDP_RST_INFORMATION_SYSTEM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/social_graph.h"
+
+namespace ppdp::rst {
+
+using graph::AttributeValue;
+using graph::kMissingAttribute;
+using graph::Label;
+
+/// A Rough-Set-Theory information system Γ = (V, H = C ∪ D)
+/// (Definition 3.3.1): a table of objects over condition attribute
+/// categories C plus a single decision attribute D. Missing values
+/// (kMissingAttribute) are treated as a distinguished value, which keeps the
+/// indiscernibility relation an equivalence relation.
+class InformationSystem {
+ public:
+  /// Creates an empty system with the given condition-category names and
+  /// decision cardinality.
+  InformationSystem(std::vector<std::string> category_names, int32_t num_decisions);
+
+  /// Appends an object. `condition` must have one value per category; the
+  /// decision must be in [0, num_decisions).
+  size_t AddObject(std::vector<AttributeValue> condition, Label decision);
+
+  size_t num_objects() const { return decisions_.size(); }
+  size_t num_categories() const { return category_names_.size(); }
+  int32_t num_decisions() const { return num_decisions_; }
+  const std::vector<std::string>& category_names() const { return category_names_; }
+
+  AttributeValue Value(size_t object, size_t category) const;
+  Label Decision(size_t object) const;
+
+  /// Builds an information system from the labeled nodes of a social graph:
+  /// conditions are the node's attribute values, the decision is the node
+  /// label. Nodes with kUnknownLabel are skipped; `object_to_node` (when
+  /// non-null) receives the node id behind each object row.
+  static InformationSystem FromGraph(const graph::SocialGraph& g,
+                                     std::vector<graph::NodeId>* object_to_node = nullptr);
+
+ private:
+  std::vector<std::string> category_names_;
+  int32_t num_decisions_;
+  std::vector<std::vector<AttributeValue>> rows_;
+  std::vector<Label> decisions_;
+};
+
+}  // namespace ppdp::rst
+
+#endif  // PPDP_RST_INFORMATION_SYSTEM_H_

@@ -1,0 +1,93 @@
+#include "rst/reduct.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "rst/indiscernibility.h"
+
+namespace ppdp::rst {
+
+namespace {
+
+std::vector<size_t> AllCategories(const InformationSystem& is) {
+  std::vector<size_t> all(is.num_categories());
+  for (size_t c = 0; c < all.size(); ++c) all[c] = c;
+  return all;
+}
+
+}  // namespace
+
+std::vector<size_t> GreedyReduct(const InformationSystem& is) {
+  std::vector<size_t> current = AllCategories(is);
+  if (current.empty()) return current;
+  const std::vector<bool> full_pos = PositiveRegion(is, current);
+
+  // Try dropping the least individually-informative categories first so the
+  // strong predictors survive into the reduct.
+  std::vector<std::pair<size_t, double>> ranked = SingleCategoryDependencies(is);
+  std::vector<size_t> drop_order;
+  drop_order.reserve(ranked.size());
+  for (auto it = ranked.rbegin(); it != ranked.rend(); ++it) drop_order.push_back(it->first);
+
+  for (size_t candidate : drop_order) {
+    if (current.size() <= 1) break;
+    std::vector<size_t> without;
+    without.reserve(current.size() - 1);
+    for (size_t c : current) {
+      if (c != candidate) without.push_back(c);
+    }
+    if (PositiveRegion(is, without) == full_pos) current = std::move(without);
+  }
+  return current;
+}
+
+std::vector<std::vector<size_t>> AllReducts(const InformationSystem& is, size_t max_categories) {
+  const size_t k = is.num_categories();
+  PPDP_CHECK(k <= max_categories) << "AllReducts limited to " << max_categories
+                                  << " categories, got " << k;
+  const std::vector<bool> full_pos = PositiveRegion(is, AllCategories(is));
+
+  // preserves[mask] caches whether the subset keeps the full positive region.
+  const size_t num_masks = size_t{1} << k;
+  std::vector<char> preserves(num_masks, 0);
+  auto subset_of = [&](size_t mask) {
+    std::vector<size_t> cats;
+    for (size_t c = 0; c < k; ++c) {
+      if (mask & (size_t{1} << c)) cats.push_back(c);
+    }
+    return cats;
+  };
+  for (size_t mask = 0; mask < num_masks; ++mask) {
+    preserves[mask] = PositiveRegion(is, subset_of(mask)) == full_pos ? 1 : 0;
+  }
+
+  std::vector<std::vector<size_t>> reducts;
+  for (size_t mask = 1; mask < num_masks; ++mask) {
+    if (!preserves[mask]) continue;
+    bool minimal = true;
+    for (size_t c = 0; c < k && minimal; ++c) {
+      size_t bit = size_t{1} << c;
+      if ((mask & bit) && preserves[mask & ~bit]) minimal = false;
+    }
+    if (minimal) reducts.push_back(subset_of(mask));
+  }
+  return reducts;
+}
+
+std::vector<std::pair<size_t, double>> SingleCategoryDependencies(const InformationSystem& is) {
+  std::vector<std::pair<size_t, double>> result;
+  result.reserve(is.num_categories());
+  // Information gain: stays sensitive on noisy and class-imbalanced data
+  // where both the strict positive-region γ and the majority-consistency
+  // degree flatline (see InformationGain).
+  for (size_t c = 0; c < is.num_categories(); ++c) {
+    result.emplace_back(c, InformationGain(is, {c}));
+  }
+  std::sort(result.begin(), result.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return result;
+}
+
+}  // namespace ppdp::rst

@@ -1,0 +1,35 @@
+#ifndef PPDP_RST_REDUCT_H_
+#define PPDP_RST_REDUCT_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "rst/information_system.h"
+
+namespace ppdp::rst {
+
+/// Computes a reduct (Definition 3.3.5) by backward elimination: starting
+/// from all condition categories, repeatedly drops a category whose removal
+/// leaves the positive region POS(D) unchanged, trying the least
+/// individually-dependent categories first. The result preserves
+/// POS_R(D) = POS_C(D) and is minimal under single removals.
+std::vector<size_t> GreedyReduct(const InformationSystem& is);
+
+/// Enumerates every reduct exhaustively. Intended for tests and small
+/// systems; refuses systems with more than `max_categories` condition
+/// categories (2^k subsets are examined).
+std::vector<std::vector<size_t>> AllReducts(const InformationSystem& is,
+                                            size_t max_categories = 16);
+
+/// Dependency of the decision attribute on each single condition category,
+/// as (category, dependency) pairs sorted descending (ties by ascending
+/// category id), using the majority-consistency degree (see
+/// MajorityDependencyDegree) so the ranking stays informative on noisy
+/// data. This ranking drives privacy-/utility-dependent attribute selection
+/// (Section 3.5.1).
+std::vector<std::pair<size_t, double>> SingleCategoryDependencies(const InformationSystem& is);
+
+}  // namespace ppdp::rst
+
+#endif  // PPDP_RST_REDUCT_H_

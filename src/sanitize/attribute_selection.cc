@@ -1,0 +1,150 @@
+#include "sanitize/attribute_selection.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "rst/indiscernibility.h"
+#include "rst/information_system.h"
+#include "rst/reduct.h"
+
+namespace ppdp::sanitize {
+
+namespace {
+
+using graph::SocialGraph;
+
+/// Condition categories: all except the utility category.
+std::vector<size_t> ConditionCategories(const SocialGraph& g, size_t utility_category) {
+  std::vector<size_t> conditions;
+  conditions.reserve(g.num_categories() - 1);
+  for (size_t c = 0; c < g.num_categories(); ++c) {
+    if (c != utility_category) conditions.push_back(c);
+  }
+  return conditions;
+}
+
+/// Information system with the node label as decision over `conditions`.
+rst::InformationSystem LabelSystem(const SocialGraph& g, const std::vector<size_t>& conditions) {
+  std::vector<std::string> names;
+  names.reserve(conditions.size());
+  for (size_t c : conditions) names.push_back(g.categories()[c].name);
+  rst::InformationSystem is(std::move(names), g.num_labels());
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    graph::Label y = g.GetLabel(u);
+    if (y == graph::kUnknownLabel) continue;
+    std::vector<graph::AttributeValue> row(conditions.size());
+    for (size_t k = 0; k < conditions.size(); ++k) row[k] = g.Attribute(u, conditions[k]);
+    is.AddObject(std::move(row), y);
+  }
+  return is;
+}
+
+/// Information system with the utility category's value as decision.
+rst::InformationSystem UtilitySystem(const SocialGraph& g, size_t utility_category,
+                                     const std::vector<size_t>& conditions) {
+  std::vector<std::string> names;
+  names.reserve(conditions.size());
+  for (size_t c : conditions) names.push_back(g.categories()[c].name);
+  rst::InformationSystem is(std::move(names), g.categories()[utility_category].num_values);
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    graph::AttributeValue decision = g.Attribute(u, utility_category);
+    if (decision == graph::kMissingAttribute) continue;
+    std::vector<graph::AttributeValue> row(conditions.size());
+    for (size_t k = 0; k < conditions.size(); ++k) row[k] = g.Attribute(u, conditions[k]);
+    is.AddObject(std::move(row), decision);
+  }
+  return is;
+}
+
+/// Maps information-system category positions back to graph category ids.
+std::vector<size_t> MapBack(const std::vector<size_t>& positions,
+                            const std::vector<size_t>& conditions) {
+  std::vector<size_t> mapped;
+  mapped.reserve(positions.size());
+  for (size_t p : positions) mapped.push_back(conditions[p]);
+  std::sort(mapped.begin(), mapped.end());
+  return mapped;
+}
+
+}  // namespace
+
+namespace {
+
+/// Picks the dependent categories from a single-category dependency ranking:
+/// everything whose lift over the decision prior exceeds `fraction` of the
+/// best category's lift (and a small absolute floor). This realizes the
+/// paper's "n_t-most dependent attributes" selection without a hand-tuned n
+/// per dataset.
+std::vector<size_t> SelectDependent(const rst::InformationSystem& is,
+                                    const std::vector<size_t>& conditions,
+                                    double fraction = 0.35) {
+  std::vector<std::pair<size_t, double>> ranked = rst::SingleCategoryDependencies(is);
+  double max_gain = 0.0;
+  for (const auto& [unused_c, gain] : ranked) max_gain = std::max(max_gain, gain);
+  std::vector<size_t> selected;
+  for (const auto& [c, gain] : ranked) {
+    if (gain >= fraction * max_gain && gain > 0.005) selected.push_back(c);
+  }
+  return MapBack(selected, conditions);
+}
+
+}  // namespace
+
+DependencyAnalysis AnalyzeDependencies(const SocialGraph& g, size_t utility_category) {
+  PPDP_CHECK(utility_category < g.num_categories());
+  PPDP_CHECK(g.num_categories() >= 2) << "need at least one condition category";
+  std::vector<size_t> conditions = ConditionCategories(g, utility_category);
+
+  DependencyAnalysis result;
+  result.privacy_dependent = SelectDependent(LabelSystem(g, conditions), conditions);
+  result.utility_dependent =
+      SelectDependent(UtilitySystem(g, utility_category, conditions), conditions);
+
+  std::set_intersection(result.privacy_dependent.begin(), result.privacy_dependent.end(),
+                        result.utility_dependent.begin(), result.utility_dependent.end(),
+                        std::back_inserter(result.core));
+  std::set_difference(result.privacy_dependent.begin(), result.privacy_dependent.end(),
+                      result.core.begin(), result.core.end(),
+                      std::back_inserter(result.pda_minus_core));
+  return result;
+}
+
+std::vector<size_t> LabelReduct(const SocialGraph& g, size_t utility_category) {
+  PPDP_CHECK(utility_category < g.num_categories());
+  std::vector<size_t> conditions = ConditionCategories(g, utility_category);
+  return MapBack(rst::GreedyReduct(LabelSystem(g, conditions)), conditions);
+}
+
+std::vector<std::pair<size_t, double>> RankPrivacyDependence(const SocialGraph& g,
+                                                             size_t utility_category) {
+  PPDP_CHECK(utility_category < g.num_categories());
+  std::vector<size_t> conditions = ConditionCategories(g, utility_category);
+  rst::InformationSystem is = LabelSystem(g, conditions);
+  std::vector<std::pair<size_t, double>> ranked = rst::SingleCategoryDependencies(is);
+  for (auto& [category, unused_gamma] : ranked) category = conditions[category];
+  return ranked;
+}
+
+SocialGraph WithDecisionCategory(const SocialGraph& g, size_t category) {
+  PPDP_CHECK(category < g.num_categories());
+  std::vector<graph::AttributeCategory> remaining;
+  remaining.reserve(g.num_categories() - 1);
+  for (size_t c = 0; c < g.num_categories(); ++c) {
+    if (c != category) remaining.push_back(g.categories()[c]);
+  }
+  SocialGraph derived(std::move(remaining), g.categories()[category].num_values);
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    std::vector<graph::AttributeValue> attrs;
+    attrs.reserve(g.num_categories() - 1);
+    for (size_t c = 0; c < g.num_categories(); ++c) {
+      if (c != category) attrs.push_back(g.Attribute(u, c));
+    }
+    graph::AttributeValue decision = g.Attribute(u, category);
+    derived.AddNode(std::move(attrs),
+                    decision == graph::kMissingAttribute ? graph::kUnknownLabel : decision);
+  }
+  for (const auto& [u, v] : g.Edges()) derived.AddEdge(u, v);
+  return derived;
+}
+
+}  // namespace ppdp::sanitize

@@ -1,0 +1,50 @@
+#ifndef PPDP_SANITIZE_ATTRIBUTE_SELECTION_H_
+#define PPDP_SANITIZE_ATTRIBUTE_SELECTION_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "graph/social_graph.h"
+
+namespace ppdp::sanitize {
+
+/// Output of the double dependency analysis of Sections 3.5.1/3.6.1 over a
+/// graph with a sensitive decision attribute (the node label) and one
+/// designated utility attribute category. All vectors hold graph category
+/// indices; the utility category itself is never a condition attribute.
+struct DependencyAnalysis {
+  std::vector<size_t> privacy_dependent;  ///< PDAs: most label-dependent categories
+  std::vector<size_t> utility_dependent;  ///< UDAs: most utility-dependent categories
+  std::vector<size_t> core;               ///< PDAs ∩ UDAs (Definition 3.6.1)
+  std::vector<size_t> pda_minus_core;     ///< PDAs \ core — safe to remove outright
+};
+
+/// Runs the dependency analysis. Condition attributes are all categories
+/// except `utility_category`; the PDA side ranks by (majority-consistency)
+/// dependency on the node label, the UDA side on the utility category's
+/// values (nodes missing a value there are skipped for that side). A
+/// category counts as dependent when its lift over the decision prior
+/// reaches a fraction of the best category's lift — the paper's "n_t-most
+/// dependent attributes" made data-driven.
+DependencyAnalysis AnalyzeDependencies(const graph::SocialGraph& g, size_t utility_category);
+
+/// Greedy reduct of the condition categories w.r.t. the node label (the
+/// strict RST notion used by Table 3.4), mapped to graph category indices.
+std::vector<size_t> LabelReduct(const graph::SocialGraph& g, size_t utility_category);
+
+/// Ranks condition categories (everything but `utility_category`) by
+/// dependency degree γ({c}, label) descending — the "most privacy-dependent
+/// attributes" order used by the attribute-removal sweeps of Figs 3.2-3.4.
+std::vector<std::pair<size_t, double>> RankPrivacyDependence(const graph::SocialGraph& g,
+                                                             size_t utility_category);
+
+/// Builds a derived graph whose node label is the value of `category`
+/// (nodes with a missing value get kUnknownLabel) and whose attribute set is
+/// every other category. Used to measure utility-side prediction accuracy
+/// with the same attack machinery.
+graph::SocialGraph WithDecisionCategory(const graph::SocialGraph& g, size_t category);
+
+}  // namespace ppdp::sanitize
+
+#endif  // PPDP_SANITIZE_ATTRIBUTE_SELECTION_H_

@@ -1,0 +1,87 @@
+#include "sanitize/collective_sanitizer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "sanitize/generalization.h"
+
+namespace ppdp::sanitize {
+
+SanitizeReport CollectiveSanitize(graph::SocialGraph& g,
+                                  const CollectiveSanitizeOptions& options) {
+  SanitizeReport report;
+  report.analysis = AnalyzeDependencies(g, options.utility_category);
+
+  if (report.analysis.core.empty()) {
+    // No shared attributes: PDAs contribute nothing to utility, remove them.
+    for (size_t c : report.analysis.privacy_dependent) {
+      g.MaskCategory(c);
+      report.removed_categories.push_back(c);
+    }
+    return report;
+  }
+  // Shared attributes exist: remove PDA − Core, perturb the Core.
+  for (size_t c : report.analysis.pda_minus_core) {
+    g.MaskCategory(c);
+    report.removed_categories.push_back(c);
+  }
+  for (size_t c : report.analysis.core) {
+    GeneralizeNumericCategory(g, c, options.generalization_level);
+    report.perturbed_categories.push_back(c);
+  }
+  return report;
+}
+
+PrivacyUtility MeasurePrivacyUtility(const graph::SocialGraph& g, const std::vector<bool>& known,
+                                     size_t utility_category, classify::LocalModel local_model,
+                                     const classify::CollectiveConfig& config) {
+  PPDP_CHECK(utility_category < g.num_categories());
+  PrivacyUtility result;
+  {
+    auto local = classify::MakeLocalClassifier(local_model);
+    result.privacy_accuracy =
+        classify::RunAttack(g, known, classify::AttackModel::kCollective, *local, config).accuracy;
+  }
+  {
+    graph::SocialGraph utility_view = WithDecisionCategory(g, utility_category);
+    // On the utility side the same mask defines the train/test split; nodes
+    // without a published utility value are unusable for either role.
+    std::vector<bool> utility_known(known);
+    for (graph::NodeId u = 0; u < utility_view.num_nodes(); ++u) {
+      if (utility_view.GetLabel(u) == graph::kUnknownLabel) utility_known[u] = false;
+    }
+    auto local = classify::MakeLocalClassifier(local_model);
+    result.utility_accuracy =
+        classify::RunAttack(utility_view, utility_known, classify::AttackModel::kCollective,
+                            *local, config)
+            .accuracy;
+  }
+  return result;
+}
+
+double PriorOnlyAccuracy(const graph::SocialGraph& g, const std::vector<bool>& known) {
+  PPDP_CHECK(known.size() == g.num_nodes());
+  std::map<graph::Label, size_t> counts;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (known[u] && g.GetLabel(u) != graph::kUnknownLabel) ++counts[g.GetLabel(u)];
+  }
+  graph::Label majority = 0;
+  size_t best = 0;
+  for (const auto& [label, count] : counts) {
+    if (count > best) {
+      best = count;
+      majority = label;
+    }
+  }
+  size_t correct = 0;
+  size_t total = 0;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (known[u] || g.GetLabel(u) == graph::kUnknownLabel) continue;
+    ++total;
+    if (g.GetLabel(u) == majority) ++correct;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+}  // namespace ppdp::sanitize

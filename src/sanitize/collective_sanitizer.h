@@ -1,0 +1,57 @@
+#ifndef PPDP_SANITIZE_COLLECTIVE_SANITIZER_H_
+#define PPDP_SANITIZE_COLLECTIVE_SANITIZER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "classify/evaluation.h"
+#include "graph/social_graph.h"
+#include "sanitize/attribute_selection.h"
+
+namespace ppdp::sanitize {
+
+/// Options of the collective sanitization method (Algorithm 2).
+struct CollectiveSanitizeOptions {
+  size_t utility_category = 0;        ///< the designated utility attribute
+  int32_t generalization_level = 6;   ///< Algorithm 4's L for Core perturbation
+};
+
+/// What the collective sanitizer did to the graph.
+struct SanitizeReport {
+  DependencyAnalysis analysis;
+  std::vector<size_t> removed_categories;    ///< masked outright (PDA − Core)
+  std::vector<size_t> perturbed_categories;  ///< generalized in place (Core)
+};
+
+/// Algorithm 2: removes PDA−Core categories (no utility contribution) and
+/// perturbs the Core categories by numeric generalization at the configured
+/// level. Mutates `g`; returns what was done.
+SanitizeReport CollectiveSanitize(graph::SocialGraph& g, const CollectiveSanitizeOptions& options);
+
+/// Joint privacy/utility measurement used by Tables 3.7-3.12: privacy is
+/// the collective-attack accuracy on the sensitive label; utility is the
+/// collective-attack accuracy on the utility category (via
+/// WithDecisionCategory). The dissertation's tradeoff criterion is
+/// utility/privacy — higher is better for the defender.
+struct PrivacyUtility {
+  double privacy_accuracy = 0.0;
+  double utility_accuracy = 0.0;
+  double Ratio() const { return privacy_accuracy > 0.0 ? utility_accuracy / privacy_accuracy : 0.0; }
+};
+
+/// Measures both accuracies on `g` with the given local model family and
+/// collective config. `known` is the attacker-visible mask over the
+/// sensitive labels; on the utility side nodes publishing the utility value
+/// act as training data and the accuracy is scored on a held-out fraction
+/// determined by the same mask.
+PrivacyUtility MeasurePrivacyUtility(const graph::SocialGraph& g, const std::vector<bool>& known,
+                                     size_t utility_category, classify::LocalModel local_model,
+                                     const classify::CollectiveConfig& config = {});
+
+/// Accuracy of the prior-only attacker (majority known label), the baseline
+/// of the (Δ, C)-privacy definition (Definition 3.2.6).
+double PriorOnlyAccuracy(const graph::SocialGraph& g, const std::vector<bool>& known);
+
+}  // namespace ppdp::sanitize
+
+#endif  // PPDP_SANITIZE_COLLECTIVE_SANITIZER_H_

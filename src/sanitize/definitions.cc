@@ -1,0 +1,68 @@
+#include "sanitize/definitions.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "graph/centrality.h"
+#include "sanitize/attribute_selection.h"
+#include "sanitize/collective_sanitizer.h"
+
+namespace ppdp::sanitize {
+
+namespace {
+
+/// Best accuracy over the classifier set against `g` (labels per `known`).
+double BestAccuracy(const graph::SocialGraph& g, const std::vector<bool>& known,
+                    const ClassifierSet& classifiers) {
+  double best = 0.0;
+  for (classify::AttackModel attack : classifiers.attacks) {
+    for (classify::LocalModel local_model : classifiers.locals) {
+      auto local = classify::MakeLocalClassifier(local_model);
+      best = std::max(best,
+                      classify::RunAttack(g, known, attack, *local, classifiers.config).accuracy);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+DeltaPrivacyVerdict CheckDeltaPrivacy(const graph::SocialGraph& g,
+                                      const std::vector<bool>& known, double delta,
+                                      const ClassifierSet& classifiers) {
+  PPDP_CHECK(delta >= 0.0) << "Δ must be non-negative";
+  DeltaPrivacyVerdict verdict;
+  verdict.best_accuracy = BestAccuracy(g, known, classifiers);
+  verdict.prior_accuracy = PriorOnlyAccuracy(g, known);
+  verdict.gain = std::max(0.0, verdict.best_accuracy - verdict.prior_accuracy);
+  verdict.is_private = verdict.gain <= delta + 1e-12;
+  return verdict;
+}
+
+UtilityVerdict CheckUtility(const graph::SocialGraph& original,
+                            const graph::SocialGraph& sanitized,
+                            const std::vector<bool>& known, size_t utility_category,
+                            double epsilon, double delta, const ClassifierSet& classifiers) {
+  PPDP_CHECK(original.num_nodes() == sanitized.num_nodes())
+      << "sanitization must not add or remove users";
+  PPDP_CHECK(utility_category < sanitized.num_categories());
+
+  UtilityVerdict verdict;
+  verdict.structure_disparity = graph::CentralityDisparity(
+      graph::DegreeCentrality(original), graph::DegreeCentrality(sanitized));
+  verdict.structure_ok = verdict.structure_disparity <= epsilon + 1e-12;
+
+  graph::SocialGraph view = WithDecisionCategory(sanitized, utility_category);
+  std::vector<bool> utility_known(known);
+  for (graph::NodeId u = 0; u < view.num_nodes(); ++u) {
+    if (view.GetLabel(u) == graph::kUnknownLabel) utility_known[u] = false;
+  }
+  verdict.best_accuracy = BestAccuracy(view, utility_known, classifiers);
+  verdict.prior_accuracy = PriorOnlyAccuracy(view, utility_known);
+  verdict.gain = std::max(0.0, verdict.best_accuracy - verdict.prior_accuracy);
+  verdict.prediction_ok = verdict.gain >= delta - 1e-12;
+  verdict.satisfied = verdict.structure_ok && verdict.prediction_ok;
+  return verdict;
+}
+
+}  // namespace ppdp::sanitize

@@ -1,0 +1,72 @@
+#ifndef PPDP_SANITIZE_DEFINITIONS_H_
+#define PPDP_SANITIZE_DEFINITIONS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "classify/evaluation.h"
+#include "graph/social_graph.h"
+
+namespace ppdp::sanitize {
+
+/// The chapter-3 formal definitions as executable checkers.
+///
+/// Definition 3.2.6 ((Δ, C)-privacy): G is (Δ, C)-private when, for the
+/// sensitive category, the best classifier in C gains at most Δ prediction
+/// accuracy from G over the best prior-only guess:
+///     max_c Λ(G, K) − max_c' Λ(K) <= Δ.
+/// Definition 3.2.7 ((ε, δ)-utility): the sanitized G' satisfies it when
+/// (i) the structural disparity M(G, G') stays within ε and (ii) the best
+/// classifier still gains at least δ accuracy on the non-sensitive
+/// (utility) category.
+
+/// The classifier set C: every (attack, local classifier) combination to
+/// evaluate. Defaults to the nine combinations of Section 3.7.2.
+struct ClassifierSet {
+  std::vector<classify::AttackModel> attacks = {classify::AttackModel::kAttrOnly,
+                                                classify::AttackModel::kLinkOnly,
+                                                classify::AttackModel::kCollective};
+  std::vector<classify::LocalModel> locals = {classify::LocalModel::kNaiveBayes,
+                                              classify::LocalModel::kKnn,
+                                              classify::LocalModel::kRst};
+  classify::CollectiveConfig config;
+};
+
+/// Verdict of the (Δ, C)-privacy check.
+struct DeltaPrivacyVerdict {
+  double best_accuracy = 0.0;   ///< max_c Λ^{hr}_c(G, K)
+  double prior_accuracy = 0.0;  ///< max_c' Λ^{hr}_c'(K): the majority-prior guess
+  double gain = 0.0;            ///< best − prior (clamped at 0)
+  bool is_private = false;      ///< gain <= Δ
+};
+
+/// Evaluates Definition 3.2.6 for the sensitive decision attribute (the
+/// node label) under the attacker-visibility mask `known`.
+DeltaPrivacyVerdict CheckDeltaPrivacy(const graph::SocialGraph& g,
+                                      const std::vector<bool>& known, double delta,
+                                      const ClassifierSet& classifiers = {});
+
+/// Verdict of the (ε, δ)-utility check on a sanitized graph.
+struct UtilityVerdict {
+  double structure_disparity = 0.0;  ///< M(G, G'): mean degree-centrality shift
+  double best_accuracy = 0.0;        ///< best classifier on the utility category of G'
+  double prior_accuracy = 0.0;       ///< majority-prior guess on the utility category
+  double gain = 0.0;                 ///< best − prior (clamped at 0)
+  bool structure_ok = false;         ///< condition (i): disparity <= ε
+  bool prediction_ok = false;        ///< condition (ii): gain >= δ
+  bool satisfied = false;            ///< both
+};
+
+/// Evaluates Definition 3.2.7 for `sanitized` against the `original` graph,
+/// with the utility category's values as the non-sensitive target. The
+/// structural measurer M is the mean absolute degree-centrality difference
+/// (a cheap instance of the chapter-4 structure metrics).
+UtilityVerdict CheckUtility(const graph::SocialGraph& original,
+                            const graph::SocialGraph& sanitized,
+                            const std::vector<bool>& known, size_t utility_category,
+                            double epsilon, double delta,
+                            const ClassifierSet& classifiers = {});
+
+}  // namespace ppdp::sanitize
+
+#endif  // PPDP_SANITIZE_DEFINITIONS_H_

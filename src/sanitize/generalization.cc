@@ -1,0 +1,80 @@
+#include "sanitize/generalization.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/result.h"
+
+namespace ppdp::sanitize {
+
+GenericAttributeHierarchy::GenericAttributeHierarchy(std::string root) : root_(std::move(root)) {
+  parent_[root_] = root_;
+}
+
+Status GenericAttributeHierarchy::AddConcept(const std::string& parent,
+                                             const std::string& child) {
+  if (parent_.find(parent) == parent_.end()) {
+    return Status::NotFound("parent concept '" + parent + "' not in hierarchy");
+  }
+  if (parent_.find(child) != parent_.end()) {
+    return Status::InvalidArgument("concept '" + child + "' already in hierarchy");
+  }
+  parent_[child] = parent;
+  return Status::Ok();
+}
+
+Result<std::string> GenericAttributeHierarchy::Generalize(const std::string& value,
+                                                          int levels) const {
+  auto it = parent_.find(value);
+  if (it == parent_.end()) return Status::NotFound("concept '" + value + "' not in hierarchy");
+  std::string current = value;
+  for (int i = 0; i < levels; ++i) {
+    const std::string& parent = parent_.at(current);
+    if (parent == current) break;  // reached the root
+    current = parent;
+  }
+  return current;
+}
+
+Result<int> GenericAttributeHierarchy::Depth(const std::string& value) const {
+  auto it = parent_.find(value);
+  if (it == parent_.end()) return Status::NotFound("concept '" + value + "' not in hierarchy");
+  int depth = 0;
+  std::string current = value;
+  while (parent_.at(current) != current) {
+    current = parent_.at(current);
+    ++depth;
+    PPDP_CHECK(depth <= static_cast<int>(parent_.size())) << "cycle in hierarchy";
+  }
+  return depth;
+}
+
+void GeneralizeNumericCategory(graph::SocialGraph& g, size_t category, int32_t level) {
+  PPDP_CHECK(category < g.num_categories());
+  PPDP_CHECK(level >= 1) << "generalization level must be positive";
+
+  graph::AttributeValue min_value = 0;
+  graph::AttributeValue max_value = 0;
+  bool seen = false;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    graph::AttributeValue v = g.Attribute(u, category);
+    if (v == graph::kMissingAttribute) continue;
+    if (!seen) {
+      min_value = max_value = v;
+      seen = true;
+    } else {
+      min_value = std::min(min_value, v);
+      max_value = std::max(max_value, v);
+    }
+  }
+  if (!seen) return;
+
+  graph::AttributeValue range = (max_value - min_value) / level + 1;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    graph::AttributeValue v = g.Attribute(u, category);
+    if (v == graph::kMissingAttribute) continue;
+    g.SetAttribute(u, category, (v - min_value) / range);
+  }
+}
+
+}  // namespace ppdp::sanitize

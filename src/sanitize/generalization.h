@@ -1,0 +1,53 @@
+#ifndef PPDP_SANITIZE_GENERALIZATION_H_
+#define PPDP_SANITIZE_GENERALIZATION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "graph/social_graph.h"
+
+namespace ppdp::sanitize {
+
+/// A Generic Attribute Hierarchy (Definition 3.6.2): a rooted tree whose
+/// leaves are concrete attribute values and whose internal levels are
+/// progressively coarser generalizations ("Star Wars" → "Fantasy" →
+/// "American film"). Used by the semantic perturbation path; the numeric
+/// datasets use GeneralizeNumericCategory instead (Algorithm 4).
+class GenericAttributeHierarchy {
+ public:
+  /// Creates a hierarchy with a single root concept (level 0).
+  explicit GenericAttributeHierarchy(std::string root);
+
+  /// Adds `child` under `parent`; the parent must already exist. Returns an
+  /// error (kNotFound) otherwise, or kInvalidArgument on duplicates.
+  Status AddConcept(const std::string& parent, const std::string& child);
+
+  /// Generalizes `value` up `levels` ancestors (clamped at the root).
+  /// kNotFound when the value is not in the hierarchy.
+  Result<std::string> Generalize(const std::string& value, int levels) const;
+
+  /// Depth of a concept (root = 0); kNotFound when absent.
+  Result<int> Depth(const std::string& value) const;
+
+  size_t size() const { return parent_.size(); }
+
+ private:
+  std::string root_;
+  std::map<std::string, std::string> parent_;  ///< concept -> parent (root maps to itself)
+};
+
+/// Algorithm 4: numeric generalization at level L. Maps each published
+/// value v of `category` to floor((v - MIN) / Range) with
+/// Range = floor((MAX - MIN) / L) + 1; MIN/MAX are taken over published
+/// values. Larger L means finer bins (less perturbation), matching the
+/// dissertation's observation that perturbing degree decreases as L grows.
+/// Missing values stay missing. No-op on categories nobody publishes.
+void GeneralizeNumericCategory(graph::SocialGraph& g, size_t category, int32_t level);
+
+}  // namespace ppdp::sanitize
+
+#endif  // PPDP_SANITIZE_GENERALIZATION_H_

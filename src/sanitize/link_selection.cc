@@ -1,0 +1,70 @@
+#include "sanitize/link_selection.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace ppdp::sanitize {
+
+namespace {
+
+/// Relational estimate for u excluding the link to `excluded`, mirroring
+/// classify::RelationalPredict.
+classify::LabelDistribution PredictWithout(const graph::SocialGraph& g, graph::NodeId u,
+                                           graph::NodeId excluded,
+                                           const std::vector<classify::LabelDistribution>& est) {
+  const size_t labels = static_cast<size_t>(g.num_labels());
+  classify::LabelDistribution combined(labels, 0.0);
+  double total = 0.0;
+  for (graph::NodeId v : g.Neighbors(u)) {
+    if (v == excluded) continue;
+    double w = g.LinkWeight(u, v);
+    if (w <= 0.0) continue;
+    total += w;
+    for (size_t y = 0; y < labels; ++y) combined[y] += w * est[v][y];
+  }
+  if (total <= 0.0) return est[u];
+  for (double& p : combined) p /= total;
+  return combined;
+}
+
+}  // namespace
+
+std::vector<ScoredLink> RankIndistinguishableLinks(
+    const graph::SocialGraph& g, const std::vector<bool>& known,
+    const std::vector<classify::LabelDistribution>& estimates) {
+  PPDP_CHECK(known.size() == g.num_nodes());
+  PPDP_CHECK(estimates.size() == g.num_nodes());
+  std::vector<ScoredLink> scored;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (known[u]) continue;  // only hidden-label users need protection
+    for (graph::NodeId v : g.Neighbors(u)) {
+      ScoredLink link;
+      link.u = u;
+      link.v = v;
+      link.variance = Variance(PredictWithout(g, u, v, estimates));
+      scored.push_back(link);
+    }
+  }
+  std::sort(scored.begin(), scored.end(), [](const ScoredLink& a, const ScoredLink& b) {
+    if (a.variance != b.variance) return a.variance < b.variance;
+    if (a.u != b.u) return a.u < b.u;
+    return a.v < b.v;
+  });
+  return scored;
+}
+
+size_t RemoveIndistinguishableLinks(graph::SocialGraph& g, const std::vector<bool>& known,
+                                    const std::vector<classify::LabelDistribution>& estimates,
+                                    size_t count) {
+  std::vector<ScoredLink> ranked = RankIndistinguishableLinks(g, known, estimates);
+  size_t removed = 0;
+  for (const ScoredLink& link : ranked) {
+    if (removed >= count) break;
+    if (g.RemoveEdge(link.u, link.v)) ++removed;
+  }
+  return removed;
+}
+
+}  // namespace ppdp::sanitize

@@ -1,0 +1,206 @@
+#include "tradeoff/attribute_strategy.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "opt/simplex.h"
+
+namespace ppdp::tradeoff {
+
+namespace {
+
+void CheckProblem(const StrategyProblem& p) {
+  const size_t n = p.profile.size();
+  PPDP_CHECK(n >= 1) << "empty profile";
+  PPDP_CHECK(p.utility_disparity.size() == n);
+  for (const auto& row : p.utility_disparity) PPDP_CHECK(row.size() == n);
+  PPDP_CHECK(p.latent_guess.size() == n);
+  PPDP_CHECK(p.num_labels >= 2);
+  PPDP_CHECK(p.delta >= 0.0);
+}
+
+/// 0/1 privacy disparity between the latent guess of set i and label z.
+double Dp(const StrategyProblem& p, size_t i, graph::Label z) {
+  return p.latent_guess[i] == z ? 0.0 : 1.0;
+}
+
+}  // namespace
+
+const char* AdversaryKnowledgeName(AdversaryKnowledge knowledge) {
+  switch (knowledge) {
+    case AdversaryKnowledge::kProfileAndStrategy:
+      return "Collective";
+    case AdversaryKnowledge::kProfileOnly:
+      return "ProfileOnly";
+    case AdversaryKnowledge::kStrategyOnly:
+      return "StrategyOnly";
+    case AdversaryKnowledge::kUnknownBoth:
+      return "UnknownBoth";
+  }
+  return "?";
+}
+
+Result<StrategyResult> SolveOptimalStrategy(const StrategyProblem& problem) {
+  CheckProblem(problem);
+  const size_t n = problem.profile.size();
+  const size_t num_f = n * n;
+  const size_t num_vars = num_f + n;  // f(i->j) then P_j
+  auto f_index = [n](size_t i, size_t j) { return i * n + j; };
+  auto p_index = [num_f](size_t j) { return num_f + j; };
+
+  std::vector<double> objective(num_vars, 0.0);
+  for (size_t j = 0; j < n; ++j) objective[p_index(j)] = 1.0;
+  opt::SimplexSolver lp(objective);
+
+  // P_j <= Σ_i ψ_i f(i->j) d_p(Z_i, ẑ)  for every output j and guess ẑ.
+  for (size_t j = 0; j < n; ++j) {
+    for (graph::Label z = 0; z < problem.num_labels; ++z) {
+      std::vector<double> row(num_vars, 0.0);
+      row[p_index(j)] = 1.0;
+      for (size_t i = 0; i < n; ++i) {
+        row[f_index(i, j)] = -problem.profile.prior[i] * Dp(problem, i, z);
+      }
+      lp.AddLessEqual(std::move(row), 0.0);
+    }
+  }
+  // Prediction-utility loss bound.
+  {
+    std::vector<double> row(num_vars, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        row[f_index(i, j)] = problem.profile.prior[i] * problem.utility_disparity[i][j];
+      }
+    }
+    lp.AddLessEqual(std::move(row), problem.delta);
+  }
+  // Rows of f sum to one.
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> row(num_vars, 0.0);
+    for (size_t j = 0; j < n; ++j) row[f_index(i, j)] = 1.0;
+    lp.AddEqual(std::move(row), 1.0);
+  }
+
+  PPDP_ASSIGN_OR_RETURN(opt::LpSolution solution, lp.Solve());
+
+  StrategyResult result;
+  result.strategy.assign(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) result.strategy[i][j] = solution.x[f_index(i, j)];
+  }
+  result.latent_privacy = solution.objective;
+  result.prediction_utility_loss = PredictionLossOfStrategy(problem, result.strategy);
+  return result;
+}
+
+double PredictionLossOfStrategy(const StrategyProblem& problem,
+                                const std::vector<std::vector<double>>& f) {
+  CheckProblem(problem);
+  const size_t n = problem.profile.size();
+  double loss = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      loss += problem.profile.prior[i] * f[i][j] * problem.utility_disparity[i][j];
+    }
+  }
+  return loss;
+}
+
+double EvaluatePrivacyUnderAdversary(const StrategyProblem& problem,
+                                     const std::vector<std::vector<double>>& f,
+                                     AdversaryKnowledge knowledge) {
+  CheckProblem(problem);
+  const size_t n = problem.profile.size();
+  const auto& psi = problem.profile.prior;
+
+  // Per published set j, the adversary commits to a guess; privacy is the
+  // expected 0/1 error under the true (ψ, f) joint.
+  auto error_with_guesses = [&](const std::vector<graph::Label>& guess_for_output) {
+    double error = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        error += psi[i] * f[i][j] * Dp(problem, i, guess_for_output[j]);
+      }
+    }
+    return error;
+  };
+
+  std::vector<graph::Label> guesses(n, 0);
+  switch (knowledge) {
+    case AdversaryKnowledge::kProfileAndStrategy: {
+      // Bayes-optimal per output: maximize the posterior mass agreeing with
+      // the guess under the true prior and strategy.
+      for (size_t j = 0; j < n; ++j) {
+        std::vector<double> agreement(static_cast<size_t>(problem.num_labels), 0.0);
+        for (size_t i = 0; i < n; ++i) {
+          agreement[static_cast<size_t>(problem.latent_guess[i])] += psi[i] * f[i][j];
+        }
+        guesses[j] = static_cast<graph::Label>(ArgMax(agreement));
+      }
+      break;
+    }
+    case AdversaryKnowledge::kProfileOnly: {
+      // No strategy knowledge: the best constant guess under the prior.
+      std::vector<double> agreement(static_cast<size_t>(problem.num_labels), 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        agreement[static_cast<size_t>(problem.latent_guess[i])] += psi[i];
+      }
+      graph::Label constant = static_cast<graph::Label>(ArgMax(agreement));
+      std::fill(guesses.begin(), guesses.end(), constant);
+      break;
+    }
+    case AdversaryKnowledge::kStrategyOnly: {
+      // Knows f, assumes a uniform prior.
+      for (size_t j = 0; j < n; ++j) {
+        std::vector<double> agreement(static_cast<size_t>(problem.num_labels), 0.0);
+        for (size_t i = 0; i < n; ++i) {
+          agreement[static_cast<size_t>(problem.latent_guess[i])] += f[i][j];
+        }
+        guesses[j] = static_cast<graph::Label>(ArgMax(agreement));
+      }
+      break;
+    }
+    case AdversaryKnowledge::kUnknownBoth: {
+      // Takes the published set at face value.
+      for (size_t j = 0; j < n; ++j) guesses[j] = problem.latent_guess[j];
+      break;
+    }
+  }
+  return error_with_guesses(guesses);
+}
+
+StrategyResult SolveDiscretizedStrategy(const StrategyProblem& problem, size_t granularity,
+                                        size_t samples, Rng& rng) {
+  CheckProblem(problem);
+  PPDP_CHECK(granularity >= 1);
+  const size_t n = problem.profile.size();
+
+  // Start from the identity strategy (zero utility loss, always feasible).
+  StrategyResult best;
+  best.strategy.assign(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) best.strategy[i][i] = 1.0;
+  best.latent_privacy = EvaluatePrivacyUnderAdversary(problem, best.strategy,
+                                                      AdversaryKnowledge::kProfileAndStrategy);
+  best.prediction_utility_loss = PredictionLossOfStrategy(problem, best.strategy);
+
+  for (size_t s = 0; s < samples; ++s) {
+    std::vector<std::vector<double>> f(n, std::vector<double>(n, 0.0));
+    for (size_t i = 0; i < n; ++i) {
+      // Multinomial over the grid: d unit chunks dropped into n cells.
+      for (size_t unit = 0; unit < granularity; ++unit) {
+        f[i][rng.Uniform(n)] += 1.0 / static_cast<double>(granularity);
+      }
+    }
+    if (PredictionLossOfStrategy(problem, f) > problem.delta + 1e-12) continue;
+    double privacy = EvaluatePrivacyUnderAdversary(problem, f,
+                                                   AdversaryKnowledge::kProfileAndStrategy);
+    if (privacy > best.latent_privacy) {
+      best.strategy = std::move(f);
+      best.latent_privacy = privacy;
+      best.prediction_utility_loss = PredictionLossOfStrategy(problem, best.strategy);
+    }
+  }
+  return best;
+}
+
+}  // namespace ppdp::tradeoff

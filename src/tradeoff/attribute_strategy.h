@@ -1,0 +1,78 @@
+#ifndef PPDP_TRADEOFF_ATTRIBUTE_STRATEGY_H_
+#define PPDP_TRADEOFF_ATTRIBUTE_STRATEGY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "tradeoff/profile.h"
+
+namespace ppdp::tradeoff {
+
+/// One instance of the (ε, δ)-UtiOptPri attribute side (Definition 4.5.1):
+/// choose the sanitization strategy f(X'|X) over the profile's candidate
+/// space that maximizes the adversary's minimum expected estimation error
+/// subject to a prediction-utility-loss bound δ.
+struct StrategyProblem {
+  Profile profile;
+  /// d_u(X, X'): prediction-utility disparity, |profile| x |profile|.
+  std::vector<std::vector<double>> utility_disparity;
+  /// Z_X: the latent label the adversary would infer from each true set.
+  std::vector<graph::Label> latent_guess;
+  int32_t num_labels = 2;
+  /// δ: bound on Σ ψ(X) f(X'|X) d_u(X, X').
+  double delta = 0.5;
+};
+
+/// A solved strategy.
+struct StrategyResult {
+  /// f[i][j] = P(publish candidate j | true candidate i); rows sum to 1.
+  std::vector<std::vector<double>> strategy;
+  /// Σ_X' P_X' — the adversary's minimum expected 0/1 estimation error, the
+  /// "latent-data privacy" the user maximizes (Equations 4.5-4.8).
+  double latent_privacy = 0.0;
+  /// Achieved Σ ψ f d_u (must be <= δ).
+  double prediction_utility_loss = 0.0;
+};
+
+/// Solves the LP of Section 4.5.1 exactly with the dense simplex solver:
+///   max Σ_X' P_X'
+///   s.t. P_X' <= Σ_X ψ(X) f(X'|X) [Z_X != Ẑ]   for every X', Ẑ
+///        Σ_{X,X'} ψ(X) f(X'|X) d_u(X,X') <= δ
+///        Σ_X' f(X'|X) = 1, f >= 0.
+/// Fails (kFailedPrecondition) when no strategy satisfies δ, which cannot
+/// happen for δ >= 0 since the identity strategy has zero loss.
+Result<StrategyResult> SolveOptimalStrategy(const StrategyProblem& problem);
+
+/// The dissertation's discretized fallback (Section 4.5.2): each row of f is
+/// drawn from the grid {0, 1/d, ..., 1}; `samples` random feasible
+/// strategies are scored and the best kept. Used as the ablation baseline
+/// against the exact LP.
+StrategyResult SolveDiscretizedStrategy(const StrategyProblem& problem, size_t granularity,
+                                        size_t samples, Rng& rng);
+
+/// What the adversary knows when inverting the published set (Fig. 4.3).
+enum class AdversaryKnowledge {
+  kProfileAndStrategy,  ///< full knowledge: the Bayes-optimal attack
+  kProfileOnly,         ///< knows ψ, assumes the identity strategy
+  kStrategyOnly,        ///< knows f, assumes a uniform prior
+  kUnknownBoth,         ///< reads the published set at face value
+};
+
+const char* AdversaryKnowledgeName(AdversaryKnowledge knowledge);
+
+/// Expected 0/1 estimation error of an adversary with the given knowledge
+/// against strategy `f` (rows of f must sum to 1). Full knowledge yields the
+/// lowest privacy; every deficit can only help the user.
+double EvaluatePrivacyUnderAdversary(const StrategyProblem& problem,
+                                     const std::vector<std::vector<double>>& f,
+                                     AdversaryKnowledge knowledge);
+
+/// Achieved prediction-utility loss Σ ψ f d_u of a strategy.
+double PredictionLossOfStrategy(const StrategyProblem& problem,
+                                const std::vector<std::vector<double>>& f);
+
+}  // namespace ppdp::tradeoff
+
+#endif  // PPDP_TRADEOFF_ATTRIBUTE_STRATEGY_H_

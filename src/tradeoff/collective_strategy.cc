@@ -1,0 +1,155 @@
+#include "tradeoff/collective_strategy.h"
+
+#include <algorithm>
+
+#include "classify/naive_bayes.h"
+#include "classify/relational.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "sanitize/attribute_selection.h"
+#include "sanitize/generalization.h"
+#include "tradeoff/link_strategy.h"
+#include "tradeoff/utility_loss.h"
+
+namespace ppdp::tradeoff {
+
+namespace {
+
+using graph::SocialGraph;
+
+/// Current attacker estimates used to score vulnerable links.
+std::vector<classify::LabelDistribution> AttackerEstimates(const SocialGraph& g,
+                                                           const std::vector<bool>& known) {
+  classify::NaiveBayesClassifier nb;
+  nb.Train(g, known);
+  return classify::BootstrapDistributions(g, known, nb);
+}
+
+/// Sanitizes up to `count` attribute categories. In removal mode the top
+/// privacy-dependent categories are masked; in perturb mode they are
+/// generalized. Returns how many were touched.
+size_t SanitizeAttributes(SocialGraph& g, size_t utility_category, size_t count, bool perturb,
+                          int32_t level) {
+  auto ranked = sanitize::RankPrivacyDependence(g, utility_category);
+  size_t done = 0;
+  for (const auto& [category, unused_gamma] : ranked) {
+    if (done >= count) break;
+    if (perturb) {
+      sanitize::GeneralizeNumericCategory(g, category, level);
+    } else {
+      g.MaskCategory(category);
+    }
+    ++done;
+  }
+  return done;
+}
+
+/// Collective attribute pass: removes PDA−Core first, then perturbs Core,
+/// for a total of `count` categories (Algorithm 2 restricted to a budget).
+size_t CollectiveAttributes(SocialGraph& g, size_t utility_category, size_t count, int32_t level) {
+  sanitize::DependencyAnalysis analysis = sanitize::AnalyzeDependencies(g, utility_category);
+  size_t done = 0;
+  for (size_t c : analysis.pda_minus_core) {
+    if (done >= count) return done;
+    g.MaskCategory(c);
+    ++done;
+  }
+  for (size_t c : analysis.core) {
+    if (done >= count) return done;
+    sanitize::GeneralizeNumericCategory(g, c, level);
+    ++done;
+  }
+  return done;
+}
+
+}  // namespace
+
+const char* StrategyName(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kAttributeRemoval:
+      return "AttributeRemoval";
+    case Strategy::kAttributePerturbing:
+      return "AttributePerturbing";
+    case Strategy::kLinkRemoval:
+      return "LinkRemoval";
+    case Strategy::kRandomLinkRemoval:
+      return "RandomLinkRemoval";
+    case Strategy::kCollectiveSanitization:
+      return "CollectiveSanitization";
+  }
+  return "?";
+}
+
+double UtilityAccuracy(const SocialGraph& g, const std::vector<bool>& known,
+                       const TradeoffConfig& config) {
+  SocialGraph view = sanitize::WithDecisionCategory(g, config.utility_category);
+  std::vector<bool> utility_known(known);
+  for (graph::NodeId u = 0; u < view.num_nodes(); ++u) {
+    if (view.GetLabel(u) == graph::kUnknownLabel) utility_known[u] = false;
+  }
+  auto local = classify::MakeLocalClassifier(config.local_model);
+  return classify::RunAttack(view, utility_known, classify::AttackModel::kCollective, *local,
+                             config.attack)
+      .accuracy;
+}
+
+TradeoffOutcome ApplyStrategy(const SocialGraph& original, const std::vector<bool>& known,
+                              Strategy strategy, const TradeoffConfig& config) {
+  PPDP_CHECK(config.utility_category < original.num_categories());
+  TradeoffOutcome outcome;
+  SocialGraph g = original;
+  Rng rng(config.seed);
+
+  switch (strategy) {
+    case Strategy::kAttributeRemoval:
+      outcome.attributes_sanitized =
+          SanitizeAttributes(g, config.utility_category, config.num_attributes,
+                             /*perturb=*/false, config.perturb_level);
+      break;
+    case Strategy::kAttributePerturbing:
+      outcome.attributes_sanitized =
+          SanitizeAttributes(g, config.utility_category, config.num_attributes,
+                             /*perturb=*/true, config.perturb_level);
+      break;
+    case Strategy::kLinkRemoval: {
+      auto estimates = AttackerEstimates(g, known);
+      LinkStrategyResult links =
+          RemoveVulnerableLinks(g, known, estimates, config.epsilon, config.num_links);
+      outcome.links_removed = links.removed.size();
+      outcome.structure_loss = links.structure_loss;
+      break;
+    }
+    case Strategy::kRandomLinkRemoval: {
+      LinkStrategyResult links = RemoveRandomLinks(g, config.epsilon, config.num_links, rng);
+      outcome.links_removed = links.removed.size();
+      outcome.structure_loss = links.structure_loss;
+      break;
+    }
+    case Strategy::kCollectiveSanitization: {
+      outcome.attributes_sanitized = CollectiveAttributes(g, config.utility_category,
+                                                          config.num_attributes,
+                                                          config.perturb_level);
+      auto estimates = AttackerEstimates(g, known);
+      LinkStrategyResult links =
+          RemoveVulnerableLinks(g, known, estimates, config.epsilon, config.num_links);
+      outcome.links_removed = links.removed.size();
+      outcome.structure_loss = links.structure_loss;
+      break;
+    }
+  }
+
+  // Latent privacy: collective attack on the sanitized graph.
+  {
+    auto local = classify::MakeLocalClassifier(config.local_model);
+    auto attack =
+        classify::RunAttack(g, known, classify::AttackModel::kCollective, *local, config.attack);
+    outcome.latent_privacy = LatentPrivacyOfGraph(g, known, attack.distributions);
+  }
+  // Prediction utility loss: NSLA accuracy drop relative to the original.
+  double before = UtilityAccuracy(original, known, config);
+  double after = UtilityAccuracy(g, known, config);
+  outcome.prediction_loss = std::max(0.0, before - after);
+  return outcome;
+}
+
+}  // namespace ppdp::tradeoff

@@ -1,0 +1,59 @@
+#ifndef PPDP_TRADEOFF_COLLECTIVE_STRATEGY_H_
+#define PPDP_TRADEOFF_COLLECTIVE_STRATEGY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "classify/evaluation.h"
+#include "graph/social_graph.h"
+
+namespace ppdp::tradeoff {
+
+/// The data-sanitization strategies compared in Section 4.6 (Fig 4.1).
+enum class Strategy {
+  kAttributeRemoval,        ///< mask the most indicative attributes for the SLA
+  kAttributePerturbing,     ///< generalize them instead
+  kLinkRemoval,             ///< remove vulnerable links greedily
+  kRandomLinkRemoval,       ///< remove random links (baseline)
+  kCollectiveSanitization,  ///< the dissertation's combined method
+};
+
+const char* StrategyName(Strategy strategy);
+
+/// Knobs of one tradeoff experiment.
+struct TradeoffConfig {
+  size_t num_attributes = 0;        ///< attributes to sanitize (removal/perturb/collective)
+  size_t num_links = 0;             ///< links to sanitize (link strategies/collective)
+  double epsilon = 180.0;           ///< ε: structure-utility loss budget
+  double delta = 0.4;               ///< δ: prediction-utility loss threshold
+  size_t utility_category = 1;      ///< NSLA stand-in category
+  int32_t perturb_level = 3;        ///< generalization level for perturbing
+  classify::LocalModel local_model = classify::LocalModel::kNaiveBayes;
+  classify::CollectiveConfig attack;
+  uint64_t seed = 1;
+};
+
+/// Measured outcome of applying a strategy.
+struct TradeoffOutcome {
+  double latent_privacy = 0.0;     ///< adversary 0/1 error on the SLA (higher = safer)
+  double structure_loss = 0.0;     ///< achieved ζ over removed links
+  double prediction_loss = 0.0;    ///< NSLA accuracy drop vs. the unsanitized graph
+  size_t attributes_sanitized = 0;
+  size_t links_removed = 0;
+};
+
+/// Applies `strategy` to a copy of `original` (the attacker sees labels per
+/// `known`), runs the collective attack on the sanitized graph and measures
+/// latent privacy plus both utility losses against the original.
+TradeoffOutcome ApplyStrategy(const graph::SocialGraph& original, const std::vector<bool>& known,
+                              Strategy strategy, const TradeoffConfig& config);
+
+/// NSLA prediction accuracy of the collective attacker on the utility
+/// category of `g` (helper shared with the benches).
+double UtilityAccuracy(const graph::SocialGraph& g, const std::vector<bool>& known,
+                       const TradeoffConfig& config);
+
+}  // namespace ppdp::tradeoff
+
+#endif  // PPDP_TRADEOFF_COLLECTIVE_STRATEGY_H_

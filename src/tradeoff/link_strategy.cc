@@ -1,0 +1,99 @@
+#include "tradeoff/link_strategy.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "tradeoff/utility_loss.h"
+
+namespace ppdp::tradeoff {
+
+namespace {
+
+/// Confidence the relational estimate assigns to u's true label when the
+/// link to `excluded` is dropped (graph::kUnknownLabel excluded earlier).
+double TruthConfidenceWithout(const graph::SocialGraph& g, graph::NodeId u, graph::NodeId excluded,
+                              const std::vector<classify::LabelDistribution>& estimates,
+                              graph::Label truth) {
+  double total = 0.0;
+  double truth_mass = 0.0;
+  for (graph::NodeId v : g.Neighbors(u)) {
+    if (v == excluded) continue;
+    double w = g.LinkWeight(u, v);
+    if (w <= 0.0) continue;
+    total += w;
+    truth_mass += w * estimates[v][static_cast<size_t>(truth)];
+  }
+  if (total <= 0.0) return estimates[u][static_cast<size_t>(truth)];
+  return truth_mass / total;
+}
+
+struct Candidate {
+  graph::NodeId u = 0;
+  graph::NodeId v = 0;
+  double gain = 0.0;  ///< privacy gained by removing the link
+  double cost = 0.0;  ///< structure utility lost
+};
+
+}  // namespace
+
+LinkStrategyResult RemoveVulnerableLinks(graph::SocialGraph& g, const std::vector<bool>& known,
+                                         const std::vector<classify::LabelDistribution>& estimates,
+                                         double epsilon_budget, size_t max_links) {
+  PPDP_CHECK(known.size() == g.num_nodes());
+  PPDP_CHECK(estimates.size() == g.num_nodes());
+
+  std::vector<Candidate> candidates;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (known[u]) continue;
+    graph::Label truth = g.GetLabel(u);
+    if (truth == graph::kUnknownLabel) continue;
+    double with_all = TruthConfidenceWithout(g, u, /*excluded=*/u, estimates, truth);
+    for (graph::NodeId v : g.Neighbors(u)) {
+      Candidate c;
+      c.u = u;
+      c.v = v;
+      // Vulnerable link (Definition 4.3.1): removal lowers the attacker's
+      // confidence in the truth; the gain is that drop.
+      c.gain = with_all - TruthConfidenceWithout(g, u, v, estimates, truth);
+      c.cost = StructureUtilityValue(g, u, v);
+      if (c.gain > 0.0) candidates.push_back(c);
+    }
+  }
+
+  // Modular objective: cost-benefit greedy is the natural knapsack order.
+  std::sort(candidates.begin(), candidates.end(), [](const Candidate& a, const Candidate& b) {
+    double ra = a.gain / std::max(a.cost, 0.5);
+    double rb = b.gain / std::max(b.cost, 0.5);
+    if (ra != rb) return ra > rb;
+    if (a.u != b.u) return a.u < b.u;
+    return a.v < b.v;
+  });
+
+  LinkStrategyResult result;
+  for (const Candidate& c : candidates) {
+    if (result.removed.size() >= max_links) break;
+    if (result.structure_loss + c.cost > epsilon_budget + 1e-9) continue;
+    if (!g.RemoveEdge(c.u, c.v)) continue;  // already removed via the twin direction
+    result.removed.emplace_back(c.u, c.v);
+    result.structure_loss += c.cost;
+  }
+  return result;
+}
+
+LinkStrategyResult RemoveRandomLinks(graph::SocialGraph& g, double epsilon_budget, size_t count,
+                                     Rng& rng) {
+  auto edges = g.Edges();
+  rng.Shuffle(edges);
+  LinkStrategyResult result;
+  for (const auto& [u, v] : edges) {
+    if (result.removed.size() >= count) break;
+    double cost = StructureUtilityValue(g, u, v);
+    if (result.structure_loss + cost > epsilon_budget + 1e-9) continue;
+    PPDP_CHECK(g.RemoveEdge(u, v));
+    result.removed.emplace_back(u, v);
+    result.structure_loss += cost;
+  }
+  return result;
+}
+
+}  // namespace ppdp::tradeoff

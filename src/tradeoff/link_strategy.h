@@ -1,0 +1,41 @@
+#ifndef PPDP_TRADEOFF_LINK_STRATEGY_H_
+#define PPDP_TRADEOFF_LINK_STRATEGY_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "classify/classifier.h"
+#include "common/rng.h"
+#include "graph/social_graph.h"
+
+namespace ppdp::tradeoff {
+
+/// Result of a link-sanitization pass.
+struct LinkStrategyResult {
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> removed;
+  double structure_loss = 0.0;  ///< ζ over the removed links (pre-removal values)
+};
+
+/// Greedy vulnerable-link selection (Section 4.3.2 + Theorems 4.5.1/4.5.2):
+/// candidate links are edges incident to hidden-label nodes; each link's
+/// privacy gain is the drop in the owner's confidence-in-truth when the link
+/// is dropped from the relational estimate (a vulnerable link per
+/// Definition 4.3.1); its cost is the structure utility value S (shared
+/// friends). Links are picked by the knapsack greedy until the ε budget or
+/// `max_links` is exhausted, then removed from `g`.
+///
+/// `estimates` are the current per-node label-distribution estimates the
+/// attacker would hold (e.g. from classify::BootstrapDistributions).
+LinkStrategyResult RemoveVulnerableLinks(graph::SocialGraph& g, const std::vector<bool>& known,
+                                         const std::vector<classify::LabelDistribution>& estimates,
+                                         double epsilon_budget, size_t max_links);
+
+/// Baseline of Fig 4.1(b): removes `count` uniformly random links subject to
+/// the same ε structure budget.
+LinkStrategyResult RemoveRandomLinks(graph::SocialGraph& g, double epsilon_budget, size_t count,
+                                     Rng& rng);
+
+}  // namespace ppdp::tradeoff
+
+#endif  // PPDP_TRADEOFF_LINK_STRATEGY_H_

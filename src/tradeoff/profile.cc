@@ -1,0 +1,157 @@
+#include "tradeoff/profile.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace ppdp::tradeoff {
+
+size_t HammingDistance(const std::vector<graph::AttributeValue>& a,
+                       const std::vector<graph::AttributeValue>& b) {
+  PPDP_CHECK(a.size() == b.size());
+  size_t d = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) ++d;
+  }
+  return d;
+}
+
+Profile BuildProfileFromGraph(const graph::SocialGraph& g, size_t max_sets) {
+  PPDP_CHECK(max_sets >= 1);
+  std::map<std::vector<graph::AttributeValue>, size_t> counts;
+  // Per-label vector frequencies, so the candidate space covers users whose
+  // latent guesses differ — without this stratification the most frequent
+  // vectors all belong to the majority class and every strategy is
+  // equally transparent to the adversary.
+  std::map<graph::Label, std::map<std::vector<graph::AttributeValue>, size_t>> by_label;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    std::vector<graph::AttributeValue> row(g.num_categories());
+    for (size_t c = 0; c < g.num_categories(); ++c) row[c] = g.Attribute(u, c);
+    ++counts[row];
+    graph::Label y = g.GetLabel(u);
+    if (y != graph::kUnknownLabel) ++by_label[y][row];
+  }
+  PPDP_CHECK(!counts.empty()) << "profile over empty graph";
+
+  // Round-robin across labels, most frequent unused vector of each.
+  std::vector<std::vector<std::pair<std::vector<graph::AttributeValue>, size_t>>> queues;
+  for (auto& [unused_label, table] : by_label) {
+    std::vector<std::pair<std::vector<graph::AttributeValue>, size_t>> q(table.begin(),
+                                                                         table.end());
+    std::sort(q.begin(), q.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    queues.push_back(std::move(q));
+  }
+  std::map<std::vector<graph::AttributeValue>, size_t> chosen;  // vector -> total count
+  std::vector<size_t> cursor(queues.size(), 0);
+  while (chosen.size() < std::min(max_sets, counts.size())) {
+    bool progressed = false;
+    for (size_t q = 0; q < queues.size() && chosen.size() < max_sets; ++q) {
+      while (cursor[q] < queues[q].size() && chosen.count(queues[q][cursor[q]].first) > 0) {
+        ++cursor[q];
+      }
+      if (cursor[q] >= queues[q].size()) continue;
+      const auto& vec = queues[q][cursor[q]].first;
+      chosen[vec] = counts[vec];
+      ++cursor[q];
+      progressed = true;
+    }
+    if (!progressed) break;
+  }
+
+  std::vector<std::pair<std::vector<graph::AttributeValue>, size_t>> ranked(chosen.begin(),
+                                                                            chosen.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+
+  Profile profile;
+  size_t keep = ranked.size();
+  profile.attribute_sets.reserve(keep);
+  profile.prior.assign(keep, 0.0);
+  for (size_t i = 0; i < keep; ++i) {
+    profile.attribute_sets.push_back(ranked[i].first);
+    profile.prior[i] = static_cast<double>(ranked[i].second);
+  }
+  // Fold every non-selected vector's mass into the nearest candidate.
+  std::vector<std::pair<std::vector<graph::AttributeValue>, size_t>> all_ranked;
+  for (const auto& [vec, count] : counts) {
+    if (chosen.count(vec) == 0) all_ranked.emplace_back(vec, count);
+  }
+  // (reuse the fold loop below with `ranked` = the leftover vectors)
+  std::swap(ranked, all_ranked);
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    size_t best = 0;
+    size_t best_d = HammingDistance(ranked[i].first, profile.attribute_sets[0]);
+    for (size_t j = 1; j < keep; ++j) {
+      size_t d = HammingDistance(ranked[i].first, profile.attribute_sets[j]);
+      if (d < best_d) {
+        best_d = d;
+        best = j;
+      }
+    }
+    profile.prior[best] += static_cast<double>(ranked[i].second);
+  }
+  NormalizeInPlace(profile.prior);
+  return profile;
+}
+
+std::vector<std::vector<double>> HammingDisparity(const Profile& profile) {
+  const size_t n = profile.size();
+  std::vector<std::vector<double>> du(n, std::vector<double>(n, 0.0));
+  if (n == 0) return du;
+  const double width = static_cast<double>(profile.attribute_sets[0].size());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      du[i][j] = width > 0.0
+                     ? static_cast<double>(
+                           HammingDistance(profile.attribute_sets[i], profile.attribute_sets[j])) /
+                           width
+                     : 0.0;
+    }
+  }
+  return du;
+}
+
+std::vector<graph::Label> LatentGuessPerSet(const graph::SocialGraph& g, const Profile& profile) {
+  const size_t n = profile.size();
+  const size_t labels = static_cast<size_t>(g.num_labels());
+  std::vector<std::vector<double>> votes(n, std::vector<double>(labels, 0.0));
+  std::vector<double> base(labels, 1.0);  // +1 smoothing
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    graph::Label y = g.GetLabel(u);
+    if (y == graph::kUnknownLabel) continue;
+    base[static_cast<size_t>(y)] += 1.0;
+    std::vector<graph::AttributeValue> row(g.num_categories());
+    for (size_t c = 0; c < g.num_categories(); ++c) row[c] = g.Attribute(u, c);
+    size_t best = 0;
+    size_t best_d = HammingDistance(row, profile.attribute_sets[0]);
+    for (size_t j = 1; j < n; ++j) {
+      size_t d = HammingDistance(row, profile.attribute_sets[j]);
+      if (d < best_d) {
+        best_d = d;
+        best = j;
+      }
+    }
+    votes[best][static_cast<size_t>(y)] += 1.0;
+  }
+  // Class-balanced vote: a candidate set is assigned the label it
+  // over-represents relative to the base rate (the likelihood-ratio guess),
+  // so under heavy class imbalance the candidate space still distinguishes
+  // users — the raw majority vote would tag every candidate with the
+  // majority label, making every strategy equally transparent.
+  std::vector<graph::Label> guesses(n, 0);
+  for (size_t j = 0; j < n; ++j) {
+    std::vector<double> ratio(labels);
+    for (size_t y = 0; y < labels; ++y) ratio[y] = votes[j][y] / base[y];
+    guesses[j] = static_cast<graph::Label>(ArgMax(ratio));
+  }
+  return guesses;
+}
+
+}  // namespace ppdp::tradeoff

@@ -1,0 +1,47 @@
+#ifndef PPDP_TRADEOFF_PROFILE_H_
+#define PPDP_TRADEOFF_PROFILE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/social_graph.h"
+
+namespace ppdp::tradeoff {
+
+/// A user profile (Definition 4.2.7): a prior ψ over a finite set of
+/// candidate attribute sets X_1..X_k. The chapter-4 machinery — the
+/// adversary's posterior, the attribute-sanitization strategy f(X'|X), the
+/// prediction-utility loss — all operate over this candidate space.
+struct Profile {
+  /// Candidate attribute vectors (one value per graph category).
+  std::vector<std::vector<graph::AttributeValue>> attribute_sets;
+  /// ψ(X_i); non-negative, sums to 1.
+  std::vector<double> prior;
+
+  size_t size() const { return attribute_sets.size(); }
+};
+
+/// Builds a profile from a graph by taking the `max_sets` most frequent
+/// published attribute vectors (prior = empirical frequency, renormalized).
+/// Vectors beyond the cutoff are folded into their nearest retained vector
+/// by Hamming distance, so the prior reflects the whole population.
+Profile BuildProfileFromGraph(const graph::SocialGraph& g, size_t max_sets = 6);
+
+/// Attribute-set disparity matrix d_u(X_i, X_j) (Definition 4.4.3):
+/// normalized Hamming distance between candidate vectors in [0, 1]. One of
+/// the pluggable measurers the chapter names (Hamming / Euclidean / ...).
+std::vector<std::vector<double>> HammingDisparity(const Profile& profile);
+
+/// The adversary's latent-attribute guess Z_X per candidate set: the
+/// majority ground-truth label among graph nodes whose published vector is
+/// nearest to the candidate (the prediction method of Section 4.3.1 reduced
+/// to the candidate space).
+std::vector<graph::Label> LatentGuessPerSet(const graph::SocialGraph& g, const Profile& profile);
+
+/// Hamming distance helper between attribute vectors of equal length.
+size_t HammingDistance(const std::vector<graph::AttributeValue>& a,
+                       const std::vector<graph::AttributeValue>& b);
+
+}  // namespace ppdp::tradeoff
+
+#endif  // PPDP_TRADEOFF_PROFILE_H_

@@ -1,0 +1,35 @@
+#include "tradeoff/utility_loss.h"
+
+#include "common/logging.h"
+#include "graph/graph_metrics.h"
+
+namespace ppdp::tradeoff {
+
+double StructureUtilityValue(const graph::SocialGraph& g, graph::NodeId u, graph::NodeId v) {
+  return static_cast<double>(graph::SharedFriends(g, u, v));
+}
+
+double StructureUtilityLoss(const graph::SocialGraph& g,
+                            const std::vector<std::pair<graph::NodeId, graph::NodeId>>& links) {
+  double total = 0.0;
+  for (const auto& [u, v] : links) total += StructureUtilityValue(g, u, v);
+  return total;
+}
+
+double LatentPrivacyOfGraph(const graph::SocialGraph& g, const std::vector<bool>& known,
+                            const std::vector<classify::LabelDistribution>& attack_distributions) {
+  PPDP_CHECK(known.size() == g.num_nodes());
+  PPDP_CHECK(attack_distributions.size() == g.num_nodes());
+  double error = 0.0;
+  size_t hidden = 0;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (known[u]) continue;
+    graph::Label truth = g.GetLabel(u);
+    if (truth == graph::kUnknownLabel) continue;
+    ++hidden;
+    error += 1.0 - attack_distributions[u][static_cast<size_t>(truth)];
+  }
+  return hidden == 0 ? 0.0 : error / static_cast<double>(hidden);
+}
+
+}  // namespace ppdp::tradeoff

@@ -1,0 +1,33 @@
+#ifndef PPDP_TRADEOFF_UTILITY_LOSS_H_
+#define PPDP_TRADEOFF_UTILITY_LOSS_H_
+
+#include <utility>
+#include <vector>
+
+#include "classify/classifier.h"
+#include "graph/social_graph.h"
+
+namespace ppdp::tradeoff {
+
+/// Structure utility value S_j of keeping the link (u, v): the number of
+/// friends u and v share (Definition 4.4.2's instantiation — unfriending a
+/// heavily-embedded friend hurts the clustering coefficient most).
+double StructureUtilityValue(const graph::SocialGraph& g, graph::NodeId u, graph::NodeId v);
+
+/// ε-structure utility loss of removing `links` from `g`: the additive sum
+/// ζ(S_A) = Σ S_j over the removed links, measured on the graph *before*
+/// removal.
+double StructureUtilityLoss(const graph::SocialGraph& g,
+                            const std::vector<std::pair<graph::NodeId, graph::NodeId>>& links);
+
+/// Latent-data privacy of a published graph: the expected 0/1 estimation
+/// error of the collective attacker over the hidden-label nodes,
+///   mean_u (1 - P_attack(true label of u)).
+/// Higher is better for the user. This is the graph-level counterpart of
+/// the candidate-space metric in attribute_strategy.h.
+double LatentPrivacyOfGraph(const graph::SocialGraph& g, const std::vector<bool>& known,
+                            const std::vector<classify::LabelDistribution>& attack_distributions);
+
+}  // namespace ppdp::tradeoff
+
+#endif  // PPDP_TRADEOFF_UTILITY_LOSS_H_

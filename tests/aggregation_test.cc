@@ -1,0 +1,148 @@
+#include "dp/aggregation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace ppdp::dp {
+namespace {
+
+std::vector<int64_t> UniformData(size_t n, size_t domain, Rng& rng) {
+  std::vector<int64_t> data(n);
+  for (auto& v : data) v = static_cast<int64_t>(rng.Uniform(domain));
+  return data;
+}
+
+TEST(NoisyHistogramTest, HighEpsilonNearExact) {
+  Rng rng(1);
+  std::vector<int64_t> data = {0, 0, 0, 1, 1, 3};
+  auto histogram = NoisyHistogram(data, 4, /*epsilon=*/50.0, rng);
+  ASSERT_EQ(histogram.size(), 4u);
+  EXPECT_NEAR(histogram[0], 3.0, 0.5);
+  EXPECT_NEAR(histogram[1], 2.0, 0.5);
+  EXPECT_NEAR(histogram[2], 0.0, 0.5);
+  EXPECT_NEAR(histogram[3], 1.0, 0.5);
+}
+
+TEST(NoisyHistogramTest, CountsStayNonNegative) {
+  Rng rng(2);
+  std::vector<int64_t> data = {0};
+  for (int i = 0; i < 100; ++i) {
+    auto histogram = NoisyHistogram(data, 8, /*epsilon=*/0.1, rng);
+    for (double c : histogram) EXPECT_GE(c, 0.0);
+  }
+}
+
+TEST(RangeCountTest, ExactAtHighEpsilon) {
+  Rng rng(3);
+  std::vector<int64_t> data = UniformData(2000, 64, rng);
+  auto sketch = RangeCountSketch::Build(data, 64, /*epsilon=*/200.0, rng);
+  ASSERT_TRUE(sketch.ok()) << sketch.status().ToString();
+  for (auto [lo, hi] : std::vector<std::pair<int64_t, int64_t>>{
+           {0, 63}, {0, 0}, {10, 20}, {31, 32}, {63, 63}}) {
+    int64_t truth = 0;
+    for (int64_t v : data) truth += (v >= lo && v <= hi) ? 1 : 0;
+    auto result = sketch->RangeCount(lo, hi);
+    ASSERT_TRUE(result.ok());
+    EXPECT_NEAR(*result, static_cast<double>(truth), 5.0) << "[" << lo << "," << hi << "]";
+  }
+}
+
+TEST(RangeCountTest, FullRangeEqualsTotal) {
+  Rng rng(4);
+  std::vector<int64_t> data = UniformData(500, 10, rng);  // non-power-of-two domain
+  auto sketch = RangeCountSketch::Build(data, 10, 100.0, rng);
+  ASSERT_TRUE(sketch.ok());
+  EXPECT_EQ(sketch->domain_size(), 10u);
+  auto result = sketch->RangeCount(0, 9);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(*result, 500.0, 10.0);
+}
+
+TEST(RangeCountTest, InvalidQueriesRejected) {
+  Rng rng(4);
+  auto sketch = RangeCountSketch::Build({0, 1, 2}, 4, 1.0, rng);
+  ASSERT_TRUE(sketch.ok());
+  EXPECT_FALSE(sketch->RangeCount(2, 1).ok());
+  EXPECT_FALSE(sketch->RangeCount(-1, 2).ok());
+  EXPECT_FALSE(sketch->RangeCount(0, 4).ok());
+}
+
+TEST(RangeCountTest, BadInputsRejected) {
+  Rng rng(4);
+  EXPECT_FALSE(RangeCountSketch::Build({5}, 4, 1.0, rng).ok());   // out of domain
+  EXPECT_FALSE(RangeCountSketch::Build({0}, 4, -1.0, rng).ok());  // bad epsilon
+  EXPECT_FALSE(RangeCountSketch::Build({0}, 0, 1.0, rng).ok());   // empty domain
+}
+
+TEST(RangeCountTest, HierarchyBeatsNaiveBucketsOnWideRanges) {
+  // The point of the dyadic structure: a wide range sums O(log D) noisy
+  // nodes instead of O(W) noisy buckets. The variance advantage kicks in
+  // once the range width dwarfs log^3(D) — hence the large domain here
+  // (naive error ~ sqrt(W)/ε vs hierarchical ~ log^1.5(D)/ε).
+  Rng rng(5);
+  const size_t domain = 1 << 16;
+  std::vector<int64_t> data = UniformData(8000, domain, rng);
+  const int64_t lo = 100, hi = 65000;
+  int64_t truth = 0;
+  for (int64_t v : data) truth += (v >= lo && v <= hi) ? 1 : 0;
+
+  double sketch_error = 0.0, naive_error = 0.0;
+  const int trials = 15;
+  for (int trial = 0; trial < trials; ++trial) {
+    auto sketch = RangeCountSketch::Build(data, domain, /*epsilon=*/1.0, rng);
+    ASSERT_TRUE(sketch.ok());
+    sketch_error += std::fabs(sketch->RangeCount(lo, hi).value() - static_cast<double>(truth));
+    auto histogram = NoisyHistogram(data, domain, /*epsilon=*/1.0, rng);
+    double naive = std::accumulate(histogram.begin() + lo, histogram.begin() + hi + 1, 0.0);
+    naive_error += std::fabs(naive - static_cast<double>(truth));
+  }
+  EXPECT_LT(sketch_error / trials, naive_error / trials);
+}
+
+TEST(PrivateQuantileTest, MedianNearTruth) {
+  Rng rng(6);
+  std::vector<int64_t> data;
+  for (int64_t v = 0; v < 1000; ++v) data.push_back(v % 100);  // uniform over [0,100)
+  auto median = PrivateQuantile(data, 100, 0.5, /*epsilon=*/5.0, rng);
+  ASSERT_TRUE(median.ok());
+  EXPECT_NEAR(static_cast<double>(*median), 50.0, 10.0);
+}
+
+TEST(PrivateQuantileTest, ExtremeQuantiles) {
+  Rng rng(7);
+  std::vector<int64_t> data(500, 20);  // everything at 20
+  auto q0 = PrivateQuantile(data, 64, 0.0, 5.0, rng);
+  auto q1 = PrivateQuantile(data, 64, 1.0, 5.0, rng);
+  ASSERT_TRUE(q0.ok());
+  ASSERT_TRUE(q1.ok());
+  // The utility is flat on the correct side of the point mass (any x <= 20
+  // has zero records below it; any x > 20 has all of them), so the
+  // mechanism lands uniformly on the right plateau — the invariant is the
+  // side, not a specific value.
+  EXPECT_LE(*q0, 20);
+  EXPECT_GT(*q1, 20);
+}
+
+TEST(PrivateQuantileTest, InvalidInputsRejected) {
+  Rng rng(8);
+  EXPECT_FALSE(PrivateQuantile({}, 10, 0.5, 1.0, rng).ok());
+  EXPECT_FALSE(PrivateQuantile({1}, 10, 1.5, 1.0, rng).ok());
+  EXPECT_FALSE(PrivateQuantile({1}, 10, 0.5, 0.0, rng).ok());
+}
+
+TEST(NoisyCountTest, ConcentratesWithEpsilon) {
+  Rng rng(9);
+  double tight = 0.0, loose = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    tight += std::fabs(NoisyCount(100, 10.0, rng) - 100.0);
+    loose += std::fabs(NoisyCount(100, 0.1, rng) - 100.0);
+  }
+  EXPECT_LT(tight, loose);
+}
+
+}  // namespace
+}  // namespace ppdp::dp

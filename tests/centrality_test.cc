@@ -1,0 +1,99 @@
+#include "graph/centrality.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_generators.h"
+
+namespace ppdp::graph {
+namespace {
+
+SocialGraph EmptyNodes(size_t n) {
+  SocialGraph g({{"h", 2}}, 2);
+  for (size_t i = 0; i < n; ++i) g.AddNode({0}, 0);
+  return g;
+}
+
+SocialGraph Star(size_t leaves) {
+  SocialGraph g = EmptyNodes(leaves + 1);
+  for (NodeId leaf = 1; leaf <= leaves; ++leaf) g.AddEdge(0, leaf);
+  return g;
+}
+
+SocialGraph Path(size_t n) {
+  SocialGraph g = EmptyNodes(n);
+  for (NodeId u = 0; u + 1 < n; ++u) g.AddEdge(u, u + 1);
+  return g;
+}
+
+TEST(DegreeCentralityTest, StarValues) {
+  auto c = DegreeCentrality(Star(4));
+  EXPECT_DOUBLE_EQ(c[0], 1.0);          // hub connected to all others
+  EXPECT_DOUBLE_EQ(c[1], 0.25);         // leaf: 1 / 4
+}
+
+TEST(ClosenessCentralityTest, StarHubIsMaximal) {
+  auto c = ClosenessCentrality(Star(4));
+  EXPECT_DOUBLE_EQ(c[0], 1.0);  // hub at distance 1 from everyone
+  // Leaf: distances {1, 2, 2, 2} -> 4/7.
+  EXPECT_NEAR(c[1], 4.0 / 7.0, 1e-12);
+  for (NodeId leaf = 1; leaf < 5; ++leaf) EXPECT_LT(c[leaf], c[0]);
+}
+
+TEST(ClosenessCentralityTest, DisconnectedNodesHandled) {
+  SocialGraph g = EmptyNodes(3);
+  g.AddEdge(0, 1);  // node 2 isolated
+  auto c = ClosenessCentrality(g);
+  EXPECT_DOUBLE_EQ(c[2], 0.0);
+  // Node 0: reachable 1 node at distance 1, scaled by (1/2 reachable share).
+  EXPECT_DOUBLE_EQ(c[0], 0.5);
+}
+
+TEST(BetweennessCentralityTest, PathInteriorDominates) {
+  // Path 0-1-2-3-4: betweenness of node 2 is 4 (pairs {0,1}x{3,4} plus... )
+  // exact values: b(0)=b(4)=0, b(1)=b(3)=3, b(2)=4.
+  auto c = BetweennessCentrality(Path(5));
+  EXPECT_DOUBLE_EQ(c[0], 0.0);
+  EXPECT_DOUBLE_EQ(c[4], 0.0);
+  EXPECT_DOUBLE_EQ(c[1], 3.0);
+  EXPECT_DOUBLE_EQ(c[3], 3.0);
+  EXPECT_DOUBLE_EQ(c[2], 4.0);
+}
+
+TEST(BetweennessCentralityTest, StarHubCarriesAllPairs) {
+  // Star with 4 leaves: hub lies on all C(4,2) = 6 leaf pairs.
+  auto c = BetweennessCentrality(Star(4));
+  EXPECT_DOUBLE_EQ(c[0], 6.0);
+  for (NodeId leaf = 1; leaf < 5; ++leaf) EXPECT_DOUBLE_EQ(c[leaf], 0.0);
+}
+
+TEST(BetweennessCentralityTest, SplitShortestPathsShareCredit) {
+  // Square 0-1-2-3-0: each pair of opposite corners has two shortest paths,
+  // each interior node gets 1/2 from one opposite pair -> every node 0.5.
+  SocialGraph g = EmptyNodes(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 0);
+  auto c = BetweennessCentrality(g);
+  for (NodeId u = 0; u < 4; ++u) EXPECT_DOUBLE_EQ(c[u], 0.5);
+}
+
+TEST(CentralityDisparityTest, RemovalPerturbsStructure) {
+  SocialGraph g = GenerateSyntheticGraph(CaltechLikeConfig(0.2, 3));
+  auto before = DegreeCentrality(g);
+  SocialGraph pruned = g;
+  auto edges = pruned.Edges();
+  for (size_t i = 0; i < 50 && i < edges.size(); ++i) {
+    pruned.RemoveEdge(edges[i].first, edges[i].second);
+  }
+  auto after = DegreeCentrality(pruned);
+  EXPECT_GT(CentralityDisparity(before, after), 0.0);
+  EXPECT_DOUBLE_EQ(CentralityDisparity(before, before), 0.0);
+}
+
+TEST(CentralityDisparityDeathTest, SizeMismatchDies) {
+  EXPECT_DEATH(CentralityDisparity({1.0}, {1.0, 2.0}), "size");
+}
+
+}  // namespace
+}  // namespace ppdp::graph

@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "classify/collective.h"
+#include "classify/evaluation.h"
+#include "classify/knn.h"
+#include "classify/naive_bayes.h"
+#include "classify/relational.h"
+#include "classify/rst_classifier.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "graph/graph_generators.h"
+
+namespace ppdp::classify {
+namespace {
+
+using graph::kMissingAttribute;
+using graph::kUnknownLabel;
+using graph::SocialGraph;
+
+/// Tiny graph where attribute 0 fully determines the label.
+SocialGraph DeterministicGraph() {
+  SocialGraph g({{"h1", 2}, {"h2", 3}}, 2);
+  for (int i = 0; i < 10; ++i) {
+    graph::Label y = i % 2;
+    g.AddNode({y, static_cast<graph::AttributeValue>(i % 3)}, y);
+  }
+  return g;
+}
+
+std::vector<bool> AllKnownExcept(size_t n, std::vector<size_t> hidden) {
+  std::vector<bool> known(n, true);
+  for (size_t h : hidden) known[h] = false;
+  return known;
+}
+
+TEST(NaiveBayesTest, LearnsDeterministicDependency) {
+  SocialGraph g = DeterministicGraph();
+  NaiveBayesClassifier nb;
+  nb.Train(g, AllKnownExcept(g.num_nodes(), {0, 1}));
+  auto dist0 = nb.Predict(g, 0);  // attribute 0 == 0 -> label 0
+  auto dist1 = nb.Predict(g, 1);  // attribute 0 == 1 -> label 1
+  EXPECT_GT(dist0[0], 0.7);
+  EXPECT_GT(dist1[1], 0.7);
+}
+
+TEST(NaiveBayesTest, OutputIsDistribution) {
+  SocialGraph g = DeterministicGraph();
+  NaiveBayesClassifier nb;
+  nb.Train(g, AllKnownExcept(g.num_nodes(), {0}));
+  auto dist = nb.Predict(g, 0);
+  double sum = 0.0;
+  for (double p : dist) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(NaiveBayesTest, MissingAttributesSkipped) {
+  SocialGraph g({{"h1", 2}}, 2);
+  g.AddNode({0}, 0);
+  g.AddNode({1}, 1);
+  g.AddNode({kMissingAttribute}, 0);
+  NaiveBayesClassifier nb;
+  nb.Train(g, {true, true, false});
+  // The all-missing node gets (smoothed) prior ~ 50/50.
+  auto dist = nb.Predict(g, 2);
+  EXPECT_NEAR(dist[0], 0.5, 0.05);
+}
+
+TEST(KnnTest, NearestNeighborWins) {
+  SocialGraph g = DeterministicGraph();
+  KnnClassifier knn(3);
+  knn.Train(g, AllKnownExcept(g.num_nodes(), {0, 1}));
+  auto dist0 = knn.Predict(g, 0);
+  EXPECT_GT(dist0[0], 0.5);
+}
+
+TEST(KnnTest, FallsBackToPriorWithoutTrainingData) {
+  SocialGraph g = DeterministicGraph();
+  KnnClassifier knn(3);
+  knn.Train(g, std::vector<bool>(g.num_nodes(), false));
+  auto dist = knn.Predict(g, 0);
+  EXPECT_NEAR(dist[0], 0.5, 1e-9);
+}
+
+TEST(RstClassifierTest, LearnsRulesAndExposesReduct) {
+  SocialGraph g = DeterministicGraph();
+  RstClassifier rst;
+  rst.Train(g, AllKnownExcept(g.num_nodes(), {0, 1}));
+  // Attribute 0 determines the label, so the reduct should be just {0}.
+  EXPECT_EQ(rst.reduct(), std::vector<size_t>{0});
+  auto dist = rst.Predict(g, 0);
+  EXPECT_DOUBLE_EQ(dist[0], 1.0);
+}
+
+TEST(RelationalTest, AveragesNeighborsByWeight) {
+  // Node 0 (query, hidden) connects to nodes 1 and 2 with equal weights;
+  // node 1 is surely label 0, node 2 surely label 1.
+  SocialGraph g({{"h1", 2}}, 2);
+  g.AddNode({0}, kUnknownLabel);
+  g.AddNode({0}, 0);
+  g.AddNode({0}, 1);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  std::vector<LabelDistribution> est = {{0.5, 0.5}, {1.0, 0.0}, {0.0, 1.0}};
+  auto dist = RelationalPredict(g, 0, est);
+  EXPECT_NEAR(dist[0], 0.5, 1e-9);
+  EXPECT_NEAR(dist[1], 0.5, 1e-9);
+}
+
+TEST(RelationalTest, IsolatedNodeKeepsCurrentEstimate) {
+  SocialGraph g({{"h1", 2}}, 2);
+  g.AddNode({0}, kUnknownLabel);
+  std::vector<LabelDistribution> est = {{0.9, 0.1}};
+  auto dist = RelationalPredict(g, 0, est);
+  EXPECT_DOUBLE_EQ(dist[0], 0.9);
+}
+
+TEST(RelationalTest, WeightsSkewTowardSimilarNeighbor) {
+  // Neighbor 1 shares the attribute with node 0 (weight 1); neighbor 2 does
+  // not (weight 0) -> prediction follows neighbor 1.
+  SocialGraph g({{"h1", 3}}, 2);
+  g.AddNode({0}, kUnknownLabel);
+  g.AddNode({0}, 0);
+  g.AddNode({2}, 1);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  std::vector<LabelDistribution> est = {{0.5, 0.5}, {1.0, 0.0}, {0.0, 1.0}};
+  auto dist = RelationalPredict(g, 0, est);
+  EXPECT_NEAR(dist[0], 1.0, 1e-9);
+}
+
+TEST(BootstrapTest, KnownNodesAreOneHot) {
+  SocialGraph g = DeterministicGraph();
+  NaiveBayesClassifier nb;
+  auto known = AllKnownExcept(g.num_nodes(), {3});
+  nb.Train(g, known);
+  auto dists = BootstrapDistributions(g, known, nb);
+  EXPECT_DOUBLE_EQ(dists[0][static_cast<size_t>(g.GetLabel(0))], 1.0);
+  EXPECT_LT(dists[3][0], 1.0);  // hidden node gets a soft posterior
+}
+
+TEST(CollectiveTest, ConvergesOnSmallGraph) {
+  SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.15, 3));
+  Rng rng(1);
+  auto known = SampleKnownMask(g, 0.7, rng);
+  NaiveBayesClassifier nb;
+  CollectiveConfig config;
+  config.max_iterations = 20;
+  auto result = CollectiveInference(g, known, nb, config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.iterations, 20u);
+  for (const auto& dist : result.distributions) {
+    double sum = 0.0;
+    for (double p : dist) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+}
+
+TEST(CollectiveTest, AlphaOneMatchesAttrOnly) {
+  SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.15, 3));
+  Rng rng(1);
+  auto known = SampleKnownMask(g, 0.7, rng);
+  NaiveBayesClassifier nb1, nb2;
+  CollectiveConfig config;
+  config.alpha = 1.0;
+  config.beta = 0.0;
+  auto collective = CollectiveInference(g, known, nb1, config);
+  auto attr_only = RunAttack(g, known, AttackModel::kAttrOnly, nb2);
+  EXPECT_NEAR(Accuracy(g, known, collective.distributions), attr_only.accuracy, 1e-9);
+}
+
+TEST(EvaluationTest, AccuracyOnPerfectPredictions) {
+  SocialGraph g = DeterministicGraph();
+  std::vector<bool> known(g.num_nodes(), false);
+  std::vector<LabelDistribution> dists(g.num_nodes());
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    dists[u] = {0.0, 0.0};
+    dists[u][static_cast<size_t>(g.GetLabel(u))] = 1.0;
+  }
+  EXPECT_DOUBLE_EQ(Accuracy(g, known, dists), 1.0);
+}
+
+TEST(EvaluationTest, SampleKnownMaskFraction) {
+  SocialGraph g = GenerateSyntheticGraph(graph::SnapLikeConfig(0.5, 3));
+  Rng rng(2);
+  auto known = SampleKnownMask(g, 0.6, rng);
+  size_t count = 0;
+  for (bool b : known) count += b ? 1 : 0;
+  EXPECT_EQ(count, static_cast<size_t>(0.6 * static_cast<double>(g.num_nodes())));
+}
+
+TEST(EvaluationTest, CollectiveBeatsPriorOnHomophilousGraph) {
+  SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.3, 9));
+  Rng rng(5);
+  auto known = SampleKnownMask(g, 0.7, rng);
+  auto local = MakeLocalClassifier(LocalModel::kNaiveBayes);
+  auto outcome = RunAttack(g, known, AttackModel::kCollective, *local);
+  // Majority class is 72%; planted dependencies should lift the attack well
+  // above random guessing among 4 labels and above chance-level.
+  EXPECT_GT(outcome.accuracy, 0.6);
+  EXPECT_GT(outcome.evaluated, 0u);
+}
+
+TEST(EvaluationTest, AllThreeLocalModelsRun) {
+  SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.1, 9));
+  Rng rng(5);
+  auto known = SampleKnownMask(g, 0.7, rng);
+  for (LocalModel m : {LocalModel::kNaiveBayes, LocalModel::kKnn, LocalModel::kRst}) {
+    auto local = MakeLocalClassifier(m);
+    for (AttackModel a :
+         {AttackModel::kAttrOnly, AttackModel::kLinkOnly, AttackModel::kCollective}) {
+      auto outcome = RunAttack(g, known, a, *local);
+      EXPECT_GE(outcome.accuracy, 0.0);
+      EXPECT_LE(outcome.accuracy, 1.0);
+    }
+  }
+}
+
+TEST(EvaluationTest, RepeatedAttackStatistics) {
+  SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.2, 9));
+  auto result = RepeatedAttack(g, 0.7, /*repeats=*/5, AttackModel::kAttrOnly,
+                               LocalModel::kNaiveBayes, {}, /*seed=*/3);
+  ASSERT_EQ(result.accuracies.size(), 5u);
+  for (double a : result.accuracies) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+  EXPECT_GE(result.stddev, 0.0);
+  EXPECT_NEAR(result.mean,
+              (result.accuracies[0] + result.accuracies[1] + result.accuracies[2] +
+               result.accuracies[3] + result.accuracies[4]) /
+                  5.0,
+              1e-12);
+  // Deterministic for a fixed seed.
+  auto again = RepeatedAttack(g, 0.7, 5, AttackModel::kAttrOnly, LocalModel::kNaiveBayes, {}, 3);
+  EXPECT_EQ(result.accuracies, again.accuracies);
+}
+
+TEST(EvaluationTest, NamesAreStable) {
+  EXPECT_STREQ(AttackModelName(AttackModel::kAttrOnly), "AttrOnly");
+  EXPECT_STREQ(AttackModelName(AttackModel::kLinkOnly), "LinkOnly");
+  EXPECT_STREQ(AttackModelName(AttackModel::kCollective), "CC");
+  EXPECT_STREQ(AttackModelName(AttackModel::kGibbs), "Gibbs");
+  EXPECT_STREQ(LocalModelName(LocalModel::kRst), "RST");
+}
+
+TEST(EvaluationTest, GibbsAttackModelRuns) {
+  SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.15, 9));
+  Rng rng(5);
+  auto known = SampleKnownMask(g, 0.7, rng);
+  auto local = MakeLocalClassifier(LocalModel::kNaiveBayes);
+  auto outcome = RunAttack(g, known, AttackModel::kGibbs, *local);
+  EXPECT_GT(outcome.accuracy, 0.4);
+  EXPECT_LE(outcome.accuracy, 1.0);
+}
+
+TEST(TuneAlphaBetaTest, ReturnsGridMemberWithComplementBeta) {
+  SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.2, 9));
+  Rng rng(5);
+  auto known = SampleKnownMask(g, 0.7, rng);
+  std::vector<double> grid = {0.1, 0.5, 0.9};
+  auto choice = TuneAlphaBeta(g, known, LocalModel::kNaiveBayes, grid, 0.25, 3);
+  EXPECT_TRUE(std::find(grid.begin(), grid.end(), choice.alpha) != grid.end());
+  EXPECT_DOUBLE_EQ(choice.alpha + choice.beta, 1.0);
+  EXPECT_GE(choice.validation_accuracy, 0.0);
+  EXPECT_LE(choice.validation_accuracy, 1.0);
+}
+
+TEST(TuneAlphaBetaTest, PicksAttributeHeavyMixOnAttributeDrivenGraph) {
+  // Kill the link signal entirely (no homophily at all): the best α must be
+  // at the attribute-heavy end of the grid.
+  graph::SyntheticGraphConfig config = graph::CaltechLikeConfig(0.3, 9);
+  config.homophily_consistency = 0.0;
+  config.locality = 0.0;
+  config.triadic_closure = 0.0;
+  SocialGraph g = GenerateSyntheticGraph(config);
+  Rng rng(5);
+  auto known = SampleKnownMask(g, 0.7, rng);
+  auto choice = TuneAlphaBeta(g, known, LocalModel::kNaiveBayes, {0.1, 0.5, 0.9}, 0.3, 3);
+  EXPECT_GE(choice.alpha, 0.5);
+}
+
+TEST(TuneAlphaBetaTest, DeterministicForSeed) {
+  SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.2, 9));
+  Rng rng(5);
+  auto known = SampleKnownMask(g, 0.7, rng);
+  auto a = TuneAlphaBeta(g, known, LocalModel::kNaiveBayes, {0.2, 0.8}, 0.25, 11);
+  auto b = TuneAlphaBeta(g, known, LocalModel::kNaiveBayes, {0.2, 0.8}, 0.25, 11);
+  EXPECT_DOUBLE_EQ(a.alpha, b.alpha);
+  EXPECT_DOUBLE_EQ(a.validation_accuracy, b.validation_accuracy);
+}
+
+TEST(ConfusionMatrixTest, HandComputedValues) {
+  SocialGraph g({{"h", 2}}, 2);
+  // Hidden nodes: truths {0, 0, 1, 1}; predictions {0, 1, 1, 1}.
+  for (graph::Label y : {0, 0, 1, 1}) g.AddNode({0}, y);
+  std::vector<bool> known(4, false);
+  std::vector<LabelDistribution> dists = {
+      {0.9, 0.1}, {0.2, 0.8}, {0.3, 0.7}, {0.1, 0.9}};
+  ConfusionMatrix matrix = BuildConfusionMatrix(g, known, dists);
+  EXPECT_EQ(matrix.total, 4u);
+  EXPECT_EQ(matrix.counts[0][0], 1u);
+  EXPECT_EQ(matrix.counts[0][1], 1u);
+  EXPECT_EQ(matrix.counts[1][1], 2u);
+  EXPECT_DOUBLE_EQ(matrix.Accuracy(), 0.75);
+  EXPECT_DOUBLE_EQ(matrix.Recall(0), 0.5);
+  EXPECT_DOUBLE_EQ(matrix.Recall(1), 1.0);
+  EXPECT_DOUBLE_EQ(matrix.Precision(1), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(matrix.MacroRecall(), 0.75);
+}
+
+TEST(ConfusionMatrixTest, MatchesAccuracyFunction) {
+  SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.2, 9));
+  Rng rng(5);
+  auto known = SampleKnownMask(g, 0.7, rng);
+  auto local = MakeLocalClassifier(LocalModel::kNaiveBayes);
+  auto outcome = RunAttack(g, known, AttackModel::kCollective, *local);
+  ConfusionMatrix matrix = BuildConfusionMatrix(g, known, outcome.distributions);
+  EXPECT_NEAR(matrix.Accuracy(), outcome.accuracy, 1e-12);
+  EXPECT_LE(matrix.MacroRecall(), 1.0);
+  EXPECT_GE(matrix.MacroRecall(), 0.0);
+}
+
+}  // namespace
+}  // namespace ppdp::classify

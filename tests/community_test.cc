@@ -1,0 +1,88 @@
+#include "classify/community.h"
+
+#include <gtest/gtest.h>
+
+#include "classify/evaluation.h"
+#include "common/rng.h"
+#include "graph/graph_generators.h"
+
+namespace ppdp::classify {
+namespace {
+
+using graph::SocialGraph;
+
+/// Two dense cliques joined by one bridge edge.
+SocialGraph TwoCliques(size_t size_each) {
+  SocialGraph g({{"h", 2}}, 2);
+  for (size_t i = 0; i < 2 * size_each; ++i) {
+    g.AddNode({0}, i < size_each ? 0 : 1);
+  }
+  for (graph::NodeId u = 0; u < size_each; ++u) {
+    for (graph::NodeId v = u + 1; v < size_each; ++v) g.AddEdge(u, v);
+  }
+  for (graph::NodeId u = size_each; u < 2 * size_each; ++u) {
+    for (graph::NodeId v = u + 1; v < 2 * size_each; ++v) g.AddEdge(u, v);
+  }
+  g.AddEdge(0, static_cast<graph::NodeId>(size_each));  // the bridge
+  return g;
+}
+
+TEST(CommunityDetectionTest, SeparatesTwoCliques) {
+  SocialGraph g = TwoCliques(8);
+  auto communities = DetectCommunities(g, 20, /*seed=*/3);
+  // Everyone inside a clique shares its community; the two differ.
+  for (graph::NodeId u = 1; u < 8; ++u) EXPECT_EQ(communities[u], communities[0]);
+  for (graph::NodeId u = 9; u < 16; ++u) EXPECT_EQ(communities[u], communities[8]);
+  EXPECT_EQ(NumCommunities(communities), 2u);
+}
+
+TEST(CommunityDetectionTest, IsolatedNodesKeepSingletons) {
+  SocialGraph g({{"h", 2}}, 2);
+  for (int i = 0; i < 3; ++i) g.AddNode({0}, 0);
+  auto communities = DetectCommunities(g, 5, 1);
+  EXPECT_EQ(NumCommunities(communities), 3u);
+}
+
+TEST(CommunityDetectionTest, DeterministicGivenSeed) {
+  SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.2, 3));
+  auto a = DetectCommunities(g, 20, 7);
+  auto b = DetectCommunities(g, 20, 7);
+  EXPECT_EQ(a, b);
+}
+
+TEST(CommunityAttackTest, PredictsCliqueMajority) {
+  SocialGraph g = TwoCliques(8);
+  auto communities = DetectCommunities(g, 20, 3);
+  // Half of each clique known.
+  std::vector<bool> known(16, false);
+  for (graph::NodeId u = 0; u < 4; ++u) known[u] = true;
+  for (graph::NodeId u = 8; u < 12; ++u) known[u] = true;
+  auto dists = CommunityAttack(g, known, communities);
+  EXPECT_DOUBLE_EQ(Accuracy(g, known, dists), 1.0);  // cliques are label-pure
+}
+
+TEST(CommunityAttackTest, FallsBackToGlobalPrior) {
+  SocialGraph g({{"h", 2}}, 2);
+  g.AddNode({0}, 0);  // known
+  g.AddNode({0}, 0);  // known
+  g.AddNode({0}, 1);  // hidden, isolated -> own community, no known members
+  std::vector<bool> known = {true, true, false};
+  auto communities = DetectCommunities(g, 5, 1);
+  auto dists = CommunityAttack(g, known, communities);
+  // Global fallback with +1 smoothing over {2+1, 0+1} known labels.
+  EXPECT_NEAR(dists[2][0], 0.75, 1e-12);
+}
+
+TEST(CommunityAttackTest, BeatsChanceOnHomophilousGraph) {
+  SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.3, 9));
+  Rng rng(5);
+  auto known = SampleKnownMask(g, 0.7, rng);
+  auto communities = DetectCommunities(g, 30, 11);
+  auto dists = CommunityAttack(g, known, communities);
+  // Communities correlate with labels through homophily; the attack should
+  // at least reach the majority-class rate (~0.72).
+  EXPECT_GT(Accuracy(g, known, dists), 0.6);
+}
+
+}  // namespace
+}  // namespace ppdp::classify

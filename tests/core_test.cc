@@ -1,0 +1,95 @@
+#include "core/ppdp.h"
+
+#include <gtest/gtest.h>
+
+namespace ppdp::core {
+namespace {
+
+TEST(SocialPublisherTest, AttackAndSanitizeFlow) {
+  graph::SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.2, 11));
+  SocialPublisher pub(g, /*known_fraction=*/0.7, /*seed=*/1);
+
+  double before = pub.AttackAccuracy(classify::AttackModel::kCollective,
+                                     classify::LocalModel::kNaiveBayes);
+  EXPECT_GT(before, pub.PriorAccuracy() - 0.1);
+
+  auto report = pub.SanitizeCollective({.utility_category = 1, .generalization_level = 4});
+  EXPECT_FALSE(report.analysis.privacy_dependent.empty());
+
+  double after = pub.AttackAccuracy(classify::AttackModel::kCollective,
+                                    classify::LocalModel::kNaiveBayes);
+  EXPECT_LE(after, before + 0.05);  // sanitization never substantially helps the attacker
+}
+
+TEST(SocialPublisherTest, AttributeAndLinkMovesShrinkAttackSurface) {
+  graph::SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.2, 11));
+  SocialPublisher pub(g, 0.7, 1);
+  EXPECT_EQ(pub.RemoveTopPrivacyAttributes(2, /*utility_category=*/1), 2u);
+  size_t edges_before = pub.graph().num_edges();
+  EXPECT_EQ(pub.RemoveIndistinguishableLinks(30), 30u);
+  EXPECT_EQ(pub.graph().num_edges(), edges_before - 30);
+}
+
+TEST(SocialPublisherTest, MeasurePrivacyUtility) {
+  graph::SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.2, 11));
+  SocialPublisher pub(g, 0.7, 1);
+  auto pu = pub.MeasurePrivacyUtility(1, classify::LocalModel::kNaiveBayes);
+  EXPECT_GT(pu.privacy_accuracy, 0.0);
+  EXPECT_GT(pu.utility_accuracy, 0.0);
+}
+
+TEST(TradeoffPublisherTest, OptimizeAndApply) {
+  graph::SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.2, 11));
+  TradeoffPublisher pub(g, 0.7, 1);
+
+  auto optimal = pub.OptimizeAttributeStrategy(/*delta=*/0.4);
+  ASSERT_TRUE(optimal.ok()) << optimal.status().ToString();
+  EXPECT_GE(optimal->latent_privacy, 0.0);
+  EXPECT_LE(optimal->prediction_utility_loss, 0.4 + 1e-6);
+
+  tradeoff::TradeoffConfig config;
+  config.num_attributes = 2;
+  config.num_links = 10;
+  config.epsilon = 80.0;
+  config.utility_category = 1;
+  auto outcome = pub.Apply(tradeoff::Strategy::kCollectiveSanitization, config);
+  EXPECT_GE(outcome.latent_privacy, 0.0);
+  EXPECT_LE(outcome.structure_loss, config.epsilon + 1e-9);
+}
+
+TEST(GenomePublisherTest, AttackAndPublishFlow) {
+  Rng rng(5);
+  genomics::SyntheticCatalogConfig config;
+  config.num_snps = 120;
+  config.snps_per_trait = 4;
+  genomics::GwasCatalog catalog = genomics::GenerateSyntheticCatalog(config, rng);
+  genomics::Individual person = genomics::SampleIndividual(catalog, rng);
+  genomics::TargetView view = genomics::MakeTargetView(catalog, person, {});
+
+  GenomePublisher pub(catalog, view);
+  size_t released_before = pub.ReleasedSnps();
+  auto attack = pub.Attack(genomics::AttackMethod::kBeliefPropagation);
+  EXPECT_EQ(attack.trait_marginals.size(), catalog.num_traits());
+
+  std::vector<size_t> targets = {0, 3};
+  auto before = pub.Privacy(targets, genomics::AttackMethod::kBeliefPropagation);
+  auto result = pub.PublishWithDeltaPrivacy(/*delta=*/0.5, targets);
+  auto after = pub.Privacy(targets, genomics::AttackMethod::kBeliefPropagation);
+  EXPECT_GE(after.min_entropy, before.min_entropy - 1e-9);
+  EXPECT_EQ(pub.ReleasedSnps(), released_before - result.sanitized.size());
+}
+
+TEST(GenomePublisherTest, ZeroDeltaRequiresNoSanitization) {
+  Rng rng(5);
+  genomics::SyntheticCatalogConfig config;
+  config.num_snps = 80;
+  genomics::GwasCatalog catalog = genomics::GenerateSyntheticCatalog(config, rng);
+  genomics::Individual person = genomics::SampleIndividual(catalog, rng);
+  GenomePublisher pub(catalog, genomics::MakeTargetView(catalog, person, {}));
+  auto result = pub.PublishWithDeltaPrivacy(0.0, {0});
+  EXPECT_TRUE(result.satisfied);
+  EXPECT_TRUE(result.sanitized.empty());
+}
+
+}  // namespace
+}  // namespace ppdp::core

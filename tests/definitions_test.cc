@@ -1,0 +1,103 @@
+// The chapter-3 formal definitions as executable checks.
+#include "sanitize/definitions.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/graph_generators.h"
+#include "sanitize/attribute_selection.h"
+#include "sanitize/collective_sanitizer.h"
+
+namespace ppdp::sanitize {
+namespace {
+
+using graph::SocialGraph;
+
+ClassifierSet FastSet() {
+  // A single Bayes/collective pair keeps the checkers quick in tests.
+  ClassifierSet set;
+  set.attacks = {classify::AttackModel::kAttrOnly, classify::AttackModel::kCollective};
+  set.locals = {classify::LocalModel::kNaiveBayes};
+  return set;
+}
+
+TEST(DeltaPrivacyTest, RawGraphIsNotPrivate) {
+  SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.3, 9));
+  Rng rng(5);
+  auto known = classify::SampleKnownMask(g, 0.7, rng);
+  auto verdict = CheckDeltaPrivacy(g, known, /*delta=*/0.02, FastSet());
+  EXPECT_GT(verdict.best_accuracy, verdict.prior_accuracy);
+  EXPECT_FALSE(verdict.is_private);
+  EXPECT_NEAR(verdict.gain, verdict.best_accuracy - verdict.prior_accuracy, 1e-12);
+}
+
+TEST(DeltaPrivacyTest, GenerousDeltaAlwaysPasses) {
+  SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.2, 9));
+  Rng rng(5);
+  auto known = classify::SampleKnownMask(g, 0.7, rng);
+  EXPECT_TRUE(CheckDeltaPrivacy(g, known, 1.0, FastSet()).is_private);
+}
+
+TEST(DeltaPrivacyTest, SanitizationShrinksTheGain) {
+  SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.3, 9));
+  Rng rng(5);
+  auto known = classify::SampleKnownMask(g, 0.7, rng);
+  double gain_before = CheckDeltaPrivacy(g, known, 0.0, FastSet()).gain;
+  auto ranked = RankPrivacyDependence(g, /*utility_category=*/0);
+  for (size_t i = 0; i < 3 && i < ranked.size(); ++i) g.MaskCategory(ranked[i].first);
+  double gain_after = CheckDeltaPrivacy(g, known, 0.0, FastSet()).gain;
+  EXPECT_LT(gain_after, gain_before + 0.02);
+}
+
+TEST(UtilityTest, IdentitySanitizationSatisfiesGenerousThresholds) {
+  SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.3, 9));
+  Rng rng(5);
+  auto known = classify::SampleKnownMask(g, 0.7, rng);
+  auto verdict = CheckUtility(g, g, known, /*utility_category=*/0, /*epsilon=*/0.0,
+                              /*delta=*/0.0, FastSet());
+  EXPECT_DOUBLE_EQ(verdict.structure_disparity, 0.0);
+  EXPECT_TRUE(verdict.structure_ok);
+  EXPECT_TRUE(verdict.prediction_ok);  // gain >= 0 always holds at delta = 0
+  EXPECT_TRUE(verdict.satisfied);
+}
+
+TEST(UtilityTest, CollectiveMethodPreservesUtilityGain) {
+  SocialGraph original = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.3, 9));
+  Rng rng(5);
+  auto known = classify::SampleKnownMask(original, 0.7, rng);
+  SocialGraph sanitized = original;
+  CollectiveSanitize(sanitized, {.utility_category = 0, .generalization_level = 5});
+  auto verdict =
+      CheckUtility(original, sanitized, known, 0, /*epsilon=*/0.1, /*delta=*/0.0, FastSet());
+  // Attribute-only sanitization leaves the structure untouched.
+  EXPECT_DOUBLE_EQ(verdict.structure_disparity, 0.0);
+  EXPECT_TRUE(verdict.satisfied);
+  // The utility prediction still beats the prior (condition (ii) content).
+  EXPECT_GT(verdict.best_accuracy, verdict.prior_accuracy - 1e-9);
+}
+
+TEST(UtilityTest, TightEpsilonFlagsLinkDamage) {
+  SocialGraph original = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.25, 9));
+  Rng rng(5);
+  auto known = classify::SampleKnownMask(original, 0.7, rng);
+  SocialGraph pruned = original;
+  auto edges = pruned.Edges();
+  for (size_t i = 0; i < edges.size() / 2; ++i) {
+    pruned.RemoveEdge(edges[i].first, edges[i].second);
+  }
+  auto verdict = CheckUtility(original, pruned, known, 0, /*epsilon=*/1e-4, /*delta=*/0.0,
+                              FastSet());
+  EXPECT_GT(verdict.structure_disparity, 1e-4);
+  EXPECT_FALSE(verdict.structure_ok);
+  EXPECT_FALSE(verdict.satisfied);
+}
+
+TEST(UtilityDeathTest, MismatchedGraphsRejected) {
+  SocialGraph a = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.1, 9));
+  SocialGraph b = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.2, 9));
+  std::vector<bool> known(a.num_nodes(), true);
+  EXPECT_DEATH(CheckUtility(a, b, known, 0, 1.0, 0.0), "users");
+}
+
+}  // namespace
+}  // namespace ppdp::sanitize

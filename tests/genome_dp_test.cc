@@ -1,0 +1,122 @@
+// End-to-end DP genomic publishing: synthetic panels must preserve the
+// GWAS association signal at generous budgets and degrade gracefully.
+#include "genomics/genome_dp.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "genomics/gwas_catalog.h"
+
+namespace ppdp::genomics {
+namespace {
+
+CaseControlPanel RealPanel(size_t snps = 30, size_t cases = 200, size_t controls = 200,
+                           uint64_t seed = 5) {
+  Rng rng(seed);
+  SyntheticCatalogConfig config;
+  config.num_snps = snps;
+  config.snps_per_trait = 3;
+  config.min_odds_ratio = 2.0;
+  config.max_odds_ratio = 3.0;
+  GwasCatalog catalog = GenerateSyntheticCatalog(config, rng);
+  return GenerateAmdLike(catalog, /*index_trait=*/7, cases, controls, rng);
+}
+
+TEST(GroupRafTest, MatchesHandCount) {
+  CaseControlPanel panel;
+  panel.index_trait = 0;
+  Individual a, b, c;
+  a.genotypes = {2};
+  a.traits = {kTraitPresent};
+  b.genotypes = {1};
+  b.traits = {kTraitPresent};
+  c.genotypes = {0};
+  c.traits = {kTraitAbsent};
+  panel.individuals = {a, b, c};
+  panel.is_case = {true, true, false};
+  EXPECT_DOUBLE_EQ(GroupRaf(panel, 0, true), 3.0 / 4.0);   // (2+1)/(2*2)
+  EXPECT_DOUBLE_EQ(GroupRaf(panel, 0, false), 0.0);
+}
+
+TEST(GroupRafTest, SkipsUnknownGenotypes) {
+  CaseControlPanel panel;
+  Individual a, b;
+  a.genotypes = {2};
+  a.traits = {kTraitPresent};
+  b.genotypes = {kUnknownGenotype};
+  b.traits = {kTraitPresent};
+  panel.individuals = {a, b};
+  panel.is_case = {true, true};
+  EXPECT_DOUBLE_EQ(GroupRaf(panel, 0, true), 1.0);
+  EXPECT_DOUBLE_EQ(GroupRaf(panel, 0, false), 0.5);  // empty group fallback
+}
+
+TEST(SynthesizeDpPanelTest, ShapeAndMembershipPreserved) {
+  CaseControlPanel real = RealPanel();
+  DpPanelConfig config;
+  config.epsilon = 5.0;
+  auto synthetic = SynthesizeDpPanel(real, config);
+  ASSERT_TRUE(synthetic.ok()) << synthetic.status().ToString();
+  EXPECT_EQ(synthetic->individuals.size(), real.individuals.size());
+  size_t real_cases = 0, synthetic_cases = 0;
+  for (bool b : real.is_case) real_cases += b ? 1 : 0;
+  for (bool b : synthetic->is_case) synthetic_cases += b ? 1 : 0;
+  EXPECT_EQ(real_cases, synthetic_cases);
+  for (size_t i = 0; i < synthetic->individuals.size(); ++i) {
+    const Individual& person = synthetic->individuals[i];
+    EXPECT_EQ(person.genotypes.size(), real.individuals[0].genotypes.size());
+    EXPECT_EQ(person.traits[synthetic->index_trait],
+              synthetic->is_case[i] ? kTraitPresent : kTraitAbsent);
+    for (Genotype g : person.genotypes) {
+      EXPECT_GE(g, 0);
+      EXPECT_LT(g, kNumGenotypes);
+    }
+  }
+}
+
+TEST(SynthesizeDpPanelTest, HighBudgetPreservesGwasSignal) {
+  CaseControlPanel real = RealPanel();
+  DpPanelConfig config;
+  config.epsilon = 100.0;
+  auto synthetic = SynthesizeDpPanel(real, config);
+  ASSERT_TRUE(synthetic.ok());
+  // RAF-gap error well below the typical planted gap (~0.15-0.25).
+  EXPECT_LT(GwasSignalError(real, *synthetic), 0.06);
+}
+
+TEST(SynthesizeDpPanelTest, TinyBudgetDegradesSignal) {
+  CaseControlPanel real = RealPanel();
+  double high_error, low_error;
+  {
+    DpPanelConfig config;
+    config.epsilon = 100.0;
+    high_error = GwasSignalError(real, *SynthesizeDpPanel(real, config));
+  }
+  {
+    DpPanelConfig config;
+    config.epsilon = 0.02;
+    low_error = GwasSignalError(real, *SynthesizeDpPanel(real, config));
+  }
+  EXPECT_GT(low_error, high_error);
+}
+
+TEST(SynthesizeDpPanelTest, EmptyPanelRejected) {
+  CaseControlPanel empty;
+  EXPECT_FALSE(SynthesizeDpPanel(empty, {}).ok());
+}
+
+TEST(SynthesizeDpPanelTest, DeterministicForSeed) {
+  CaseControlPanel real = RealPanel(20, 60, 60);
+  DpPanelConfig config;
+  config.epsilon = 2.0;
+  config.seed = 9;
+  auto a = SynthesizeDpPanel(real, config);
+  auto b = SynthesizeDpPanel(real, config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a->individuals.size(); ++i) {
+    EXPECT_EQ(a->individuals[i].genotypes, b->individuals[i].genotypes);
+  }
+}
+
+}  // namespace
+}  // namespace ppdp::genomics

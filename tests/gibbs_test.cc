@@ -1,0 +1,120 @@
+#include "classify/gibbs.h"
+
+#include <gtest/gtest.h>
+
+#include "classify/evaluation.h"
+#include "classify/naive_bayes.h"
+#include "common/rng.h"
+#include "graph/graph_generators.h"
+
+namespace ppdp::classify {
+namespace {
+
+using graph::SocialGraph;
+
+SocialGraph TestGraph(uint64_t seed = 9) {
+  return GenerateSyntheticGraph(graph::CaltechLikeConfig(0.3, seed));
+}
+
+TEST(GibbsTest, OutputsAreDistributions) {
+  SocialGraph g = TestGraph();
+  Rng rng(1);
+  auto known = SampleKnownMask(g, 0.7, rng);
+  NaiveBayesClassifier nb;
+  auto result = GibbsCollectiveInference(g, known, nb);
+  ASSERT_EQ(result.distributions.size(), g.num_nodes());
+  for (const auto& dist : result.distributions) {
+    double sum = 0.0;
+    for (double p : dist) {
+      EXPECT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(GibbsTest, KnownNodesStayClamped) {
+  SocialGraph g = TestGraph();
+  Rng rng(1);
+  auto known = SampleKnownMask(g, 0.7, rng);
+  NaiveBayesClassifier nb;
+  auto result = GibbsCollectiveInference(g, known, nb);
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (!known[u]) continue;
+    EXPECT_DOUBLE_EQ(result.distributions[u][static_cast<size_t>(g.GetLabel(u))], 1.0);
+  }
+}
+
+TEST(GibbsTest, DeterministicGivenSeed) {
+  SocialGraph g = TestGraph();
+  Rng rng(1);
+  auto known = SampleKnownMask(g, 0.7, rng);
+  GibbsConfig config;
+  config.seed = 42;
+  NaiveBayesClassifier nb1, nb2;
+  auto a = GibbsCollectiveInference(g, known, nb1, config);
+  auto b = GibbsCollectiveInference(g, known, nb2, config);
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(a.distributions[u], b.distributions[u]);
+  }
+}
+
+TEST(GibbsTest, AccuracyComparableToIca) {
+  SocialGraph g = TestGraph();
+  Rng rng(1);
+  auto known = SampleKnownMask(g, 0.7, rng);
+
+  NaiveBayesClassifier nb_gibbs;
+  GibbsConfig gibbs_config;
+  gibbs_config.samples = 120;
+  auto gibbs = GibbsCollectiveInference(g, known, nb_gibbs, gibbs_config);
+  double gibbs_accuracy = Accuracy(g, known, gibbs.distributions);
+
+  NaiveBayesClassifier nb_ica;
+  auto ica = CollectiveInference(g, known, nb_ica, {});
+  double ica_accuracy = Accuracy(g, known, ica.distributions);
+
+  // The two collective-classification algorithms should land in the same
+  // accuracy neighborhood (Section 3.4 treats them as interchangeable).
+  EXPECT_NEAR(gibbs_accuracy, ica_accuracy, 0.12);
+  EXPECT_GT(gibbs_accuracy, 0.5);
+}
+
+TEST(GibbsTest, MoreSamplesSmootherBeliefs) {
+  SocialGraph g = TestGraph();
+  Rng rng(1);
+  auto known = SampleKnownMask(g, 0.7, rng);
+  // With one retained sample every belief is one-hot; with many samples the
+  // average per-node max probability must drop for uncertain nodes.
+  auto max_mass = [&](size_t samples) {
+    GibbsConfig config;
+    config.samples = samples;
+    NaiveBayesClassifier nb;
+    auto result = GibbsCollectiveInference(g, known, nb, config);
+    double total = 0.0;
+    size_t hidden = 0;
+    for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (known[u]) continue;
+      double best = 0.0;
+      for (double p : result.distributions[u]) best = std::max(best, p);
+      total += best;
+      ++hidden;
+    }
+    return total / static_cast<double>(hidden);
+  };
+  EXPECT_DOUBLE_EQ(max_mass(1), 1.0);
+  EXPECT_LT(max_mass(100), 1.0);
+}
+
+TEST(GibbsDeathTest, InvalidConfigRejected) {
+  SocialGraph g = TestGraph();
+  std::vector<bool> known(g.num_nodes(), true);
+  NaiveBayesClassifier nb;
+  GibbsConfig config;
+  config.alpha = 0.0;
+  config.beta = 0.0;
+  EXPECT_DEATH(GibbsCollectiveInference(g, known, nb, config), "");
+}
+
+}  // namespace
+}  // namespace ppdp::classify

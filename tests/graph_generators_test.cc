@@ -1,0 +1,126 @@
+#include "graph/graph_generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/graph_metrics.h"
+
+namespace ppdp::graph {
+namespace {
+
+TEST(GeneratorTest, SnapLikeMatchesTable33Shape) {
+  SocialGraph g = GenerateSyntheticGraph(SnapLikeConfig(1.0, 7));
+  EXPECT_EQ(g.num_nodes(), 792u);
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), 14024.0, 14024.0 * 0.02);
+  EXPECT_EQ(g.num_categories(), 20u);
+  EXPECT_EQ(g.num_labels(), 2);
+  Components comps = FindComponents(g);
+  EXPECT_EQ(comps.num_components(), 10u);
+  // Largest component holds almost everything, as in Table 3.3 (775/792).
+  EXPECT_GT(comps.sizes[comps.LargestId()], g.num_nodes() * 9 / 10);
+}
+
+TEST(GeneratorTest, CaltechLikeMatchesTable33Shape) {
+  SocialGraph g = GenerateSyntheticGraph(CaltechLikeConfig(1.0, 11));
+  EXPECT_EQ(g.num_nodes(), 769u);
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), 16656.0, 16656.0 * 0.02);
+  EXPECT_EQ(g.num_categories(), 7u);
+  EXPECT_EQ(g.num_labels(), 4);
+  EXPECT_EQ(FindComponents(g).num_components(), 4u);
+}
+
+TEST(GeneratorTest, MitLikeScaledDown) {
+  SocialGraph g = GenerateSyntheticGraph(MitLikeConfig(0.2, 13));
+  EXPECT_EQ(g.num_nodes(), 1288u);
+  EXPECT_EQ(g.num_labels(), 7);
+  EXPECT_EQ(g.num_categories(), 7u);
+}
+
+TEST(GeneratorTest, MajorityClassFractionPlanted) {
+  SocialGraph g = GenerateSyntheticGraph(SnapLikeConfig(1.0, 7));
+  size_t majority = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (g.GetLabel(u) == 0) ++majority;
+  }
+  EXPECT_NEAR(static_cast<double>(majority) / static_cast<double>(g.num_nodes()), 0.65, 0.05);
+}
+
+TEST(GeneratorTest, DeterministicForFixedSeed) {
+  SocialGraph a = GenerateSyntheticGraph(CaltechLikeConfig(0.3, 5));
+  SocialGraph b = GenerateSyntheticGraph(CaltechLikeConfig(0.3, 5));
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId u = 0; u < a.num_nodes(); ++u) {
+    EXPECT_EQ(a.GetLabel(u), b.GetLabel(u));
+    for (size_t c = 0; c < a.num_categories(); ++c) {
+      EXPECT_EQ(a.Attribute(u, c), b.Attribute(u, c));
+    }
+  }
+  EXPECT_EQ(a.Edges(), b.Edges());
+}
+
+TEST(GeneratorTest, SeedsChangeTheGraph) {
+  SocialGraph a = GenerateSyntheticGraph(CaltechLikeConfig(0.3, 5));
+  SocialGraph b = GenerateSyntheticGraph(CaltechLikeConfig(0.3, 6));
+  EXPECT_NE(a.Edges(), b.Edges());
+}
+
+TEST(GeneratorTest, HomophilyPlanted) {
+  SocialGraph g = GenerateSyntheticGraph(SnapLikeConfig(0.5, 3));
+  size_t same = 0, total = 0;
+  for (const auto& [u, v] : g.Edges()) {
+    ++total;
+    if (g.GetLabel(u) == g.GetLabel(v)) ++same;
+  }
+  // With 65/35 labels and homophily 0.72, same-label edges far exceed the
+  // random-mixing baseline of 0.65^2 + 0.35^2 ≈ 0.545.
+  EXPECT_GT(static_cast<double>(same) / static_cast<double>(total), 0.55);
+}
+
+TEST(GeneratorTest, AttributesPredictLabels) {
+  // The first (strongly dependent) category should agree with the label's
+  // preferred value far more often than chance.
+  SocialGraph g = GenerateSyntheticGraph(CaltechLikeConfig(1.0, 11));
+  size_t matches = 0, published = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    AttributeValue v = g.Attribute(u, 0);
+    if (v == kMissingAttribute) continue;
+    ++published;
+    // Recover the planted preferred value relation indirectly: nodes with
+    // the same label should cluster on the same value in category 0.
+  }
+  EXPECT_GT(published, g.num_nodes() * 8 / 10);
+  // Cluster check: per label, the modal value of category 0 covers most
+  // published nodes of that label.
+  for (Label y = 0; y < g.num_labels(); ++y) {
+    std::vector<size_t> counts(static_cast<size_t>(g.categories()[0].num_values), 0);
+    size_t label_total = 0;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (g.GetLabel(u) != y) continue;
+      AttributeValue v = g.Attribute(u, 0);
+      if (v == kMissingAttribute) continue;
+      ++counts[static_cast<size_t>(v)];
+      ++label_total;
+    }
+    if (label_total < 20) continue;
+    size_t modal = *std::max_element(counts.begin(), counts.end());
+    EXPECT_GT(static_cast<double>(modal) / static_cast<double>(label_total), 0.3);
+  }
+  (void)matches;
+}
+
+TEST(GeneratorTest, MissingRateApproximatelyRespected) {
+  SocialGraph g = GenerateSyntheticGraph(SnapLikeConfig(1.0, 7));
+  size_t missing = 0, total = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (size_t c = 0; c < g.num_categories(); ++c) {
+      ++total;
+      if (g.Attribute(u, c) == kMissingAttribute) ++missing;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(missing) / static_cast<double>(total), 0.06, 0.02);
+}
+
+}  // namespace
+}  // namespace ppdp::graph

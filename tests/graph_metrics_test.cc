@@ -1,0 +1,103 @@
+#include "graph/graph_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/social_graph.h"
+
+namespace ppdp::graph {
+namespace {
+
+SocialGraph EmptyGraph(size_t nodes) {
+  SocialGraph g({{"h1", 2}}, 2);
+  for (size_t i = 0; i < nodes; ++i) g.AddNode({0}, 0);
+  return g;
+}
+
+TEST(ComponentsTest, PathPlusIsolatedNode) {
+  SocialGraph g = EmptyGraph(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  Components comps = FindComponents(g);
+  EXPECT_EQ(comps.num_components(), 2u);
+  EXPECT_EQ(comps.sizes[comps.LargestId()], 4u);
+  EXPECT_EQ(comps.component_of[0], comps.component_of[3]);
+  EXPECT_NE(comps.component_of[0], comps.component_of[4]);
+}
+
+TEST(ComponentsTest, StatsForComponent) {
+  SocialGraph g = EmptyGraph(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(3, 4);
+  Components comps = FindComponents(g);
+  ComponentStats stats = StatsForComponent(g, comps, comps.component_of[0]);
+  EXPECT_EQ(stats.nodes, 3u);
+  EXPECT_EQ(stats.edges, 2u);
+}
+
+TEST(EccentricityTest, PathGraph) {
+  SocialGraph g = EmptyGraph(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  EXPECT_EQ(Eccentricity(g, 0), 3u);
+  EXPECT_EQ(Eccentricity(g, 1), 2u);
+}
+
+TEST(DiameterTest, PathGraphExact) {
+  SocialGraph g = EmptyGraph(6);
+  for (NodeId u = 0; u + 1 < 6; ++u) g.AddEdge(u, u + 1);
+  EXPECT_EQ(ApproxDiameter(g), 5u);
+}
+
+TEST(DiameterTest, UsesLargestComponent) {
+  SocialGraph g = EmptyGraph(7);
+  // Component A: path of 5 (diameter 4); component B: edge (diameter 1).
+  for (NodeId u = 0; u < 4; ++u) g.AddEdge(u, u + 1);
+  g.AddEdge(5, 6);
+  EXPECT_EQ(ApproxDiameter(g), 4u);
+}
+
+TEST(SharedFriendsTest, CountsCommonNeighbors) {
+  SocialGraph g = EmptyGraph(5);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(1, 4);
+  EXPECT_EQ(SharedFriends(g, 0, 1), 2u);  // nodes 2 and 3
+  EXPECT_EQ(SharedFriends(g, 0, 4), 0u);
+}
+
+TEST(ClusteringTest, TriangleIsOne) {
+  SocialGraph g = EmptyGraph(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  EXPECT_DOUBLE_EQ(ClusteringCoefficient(g, 0), 1.0);
+  EXPECT_DOUBLE_EQ(AverageClustering(g), 1.0);
+}
+
+TEST(ClusteringTest, StarCenterIsZero) {
+  SocialGraph g = EmptyGraph(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  EXPECT_DOUBLE_EQ(ClusteringCoefficient(g, 0), 0.0);
+  EXPECT_DOUBLE_EQ(ClusteringCoefficient(g, 1), 0.0);  // degree < 2
+}
+
+TEST(DegreeHistogramTest, CountsDegrees) {
+  SocialGraph g = EmptyGraph(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  auto hist = DegreeHistogram(g);
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[0], 1u);  // node 3
+  EXPECT_EQ(hist[1], 2u);  // nodes 1, 2
+  EXPECT_EQ(hist[2], 1u);  // node 0
+}
+
+}  // namespace
+}  // namespace ppdp::graph

@@ -1,0 +1,108 @@
+#include "genomics/imputation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ppdp::genomics {
+namespace {
+
+/// Panel whose loci form an explicit LD chain: locus i+1 copies locus i
+/// with probability `correlation`, otherwise draws HWE(raf).
+CaseControlPanel ChainPanel(size_t rows, size_t loci, double correlation, double raf,
+                            uint64_t seed) {
+  Rng rng(seed);
+  CaseControlPanel panel;
+  for (size_t r = 0; r < rows; ++r) {
+    Individual person;
+    person.traits = {kTraitAbsent};
+    person.genotypes.resize(loci);
+    person.genotypes[0] = static_cast<Genotype>(rng.Categorical(HardyWeinberg(raf)));
+    for (size_t i = 1; i < loci; ++i) {
+      person.genotypes[i] = rng.Bernoulli(correlation)
+                                ? person.genotypes[i - 1]
+                                : static_cast<Genotype>(rng.Categorical(HardyWeinberg(raf)));
+    }
+    panel.individuals.push_back(std::move(person));
+    panel.is_case.push_back(false);
+  }
+  return panel;
+}
+
+TEST(LdChainTest, EstimatesRafAndCorrelation) {
+  CaseControlPanel panel = ChainPanel(4000, 10, 0.8, 0.3, 3);
+  auto chain = EstimateLdChain(panel);
+  ASSERT_TRUE(chain.ok());
+  ASSERT_EQ(chain->num_loci(), 10u);
+  for (double f : chain->raf) EXPECT_NEAR(f, 0.3, 0.04);
+  for (double c : chain->correlation) EXPECT_NEAR(c, 0.8, 0.08);
+}
+
+TEST(LdChainTest, UncorrelatedLociEstimateNearZero) {
+  CaseControlPanel panel = ChainPanel(4000, 6, 0.0, 0.3, 3);
+  auto chain = EstimateLdChain(panel);
+  ASSERT_TRUE(chain.ok());
+  for (double c : chain->correlation) EXPECT_LT(c, 0.08);
+}
+
+TEST(LdChainTest, EmptyPanelRejected) {
+  EXPECT_FALSE(EstimateLdChain(CaseControlPanel{}).ok());
+}
+
+TEST(ImputeTest, KnownEntriesComeBackOneHot) {
+  CaseControlPanel panel = ChainPanel(500, 5, 0.7, 0.3, 3);
+  LdChain chain = EstimateLdChain(panel).value();
+  Individual person = panel.individuals[0];
+  auto marginals = ImputeGenotypes(person, chain);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(marginals[i][static_cast<size_t>(person.genotypes[i])], 1.0);
+  }
+}
+
+TEST(ImputeTest, StrongChainPullsTowardNeighbors) {
+  LdChain chain;
+  chain.raf = {0.3, 0.3, 0.3};
+  chain.correlation = {0.95, 0.95};
+  Individual person;
+  person.genotypes = {2, kUnknownGenotype, 2};
+  person.traits = {};
+  auto marginals = ImputeGenotypes(person, chain);
+  // Flanked by rr on both sides at correlation 0.95, the middle locus must
+  // be confidently rr despite HWE(0.3) giving it prior mass only 0.09.
+  EXPECT_GT(marginals[1][2], 0.9);
+  Individual filled = ImputeFill(person, chain);
+  EXPECT_EQ(filled.genotypes[1], 2);
+}
+
+TEST(ImputeTest, ZeroCorrelationFallsBackToPrior) {
+  LdChain chain;
+  chain.raf = {0.3, 0.3};
+  chain.correlation = {0.0};
+  Individual person;
+  person.genotypes = {2, kUnknownGenotype};
+  person.traits = {};
+  auto marginals = ImputeGenotypes(person, chain);
+  auto hw = HardyWeinberg(0.3);
+  for (int g = 0; g < kNumGenotypes; ++g) {
+    EXPECT_NEAR(marginals[1][static_cast<size_t>(g)], hw[static_cast<size_t>(g)], 1e-6);
+  }
+}
+
+TEST(ImputeTest, MaskedAccuracyBeatsHweBaselineOnCorrelatedChain) {
+  CaseControlPanel panel = ChainPanel(150, 20, 0.85, 0.3, 7);
+  double baseline = 0.0;
+  double accuracy = MaskedImputationAccuracy(panel, /*mask_fraction=*/0.3, /*seed=*/9,
+                                             &baseline);
+  EXPECT_GT(accuracy, baseline + 0.1);
+  EXPECT_GT(accuracy, 0.6);
+}
+
+TEST(ImputeTest, NoEdgeWithoutCorrelation) {
+  CaseControlPanel panel = ChainPanel(150, 20, 0.0, 0.3, 7);
+  double baseline = 0.0;
+  double accuracy = MaskedImputationAccuracy(panel, 0.3, 9, &baseline);
+  EXPECT_NEAR(accuracy, baseline, 0.06);
+}
+
+}  // namespace
+}  // namespace ppdp::genomics

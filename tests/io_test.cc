@@ -1,0 +1,158 @@
+// CSV parsing and dataset persistence round-trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/csv.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "genomics/genome_io.h"
+#include "graph/graph_generators.h"
+#include "graph/graph_io.h"
+
+namespace ppdp {
+namespace {
+
+TEST(CsvTest, ParsesPlainRows) {
+  auto rows = ParseCsv("a,b,c\n1,2,3\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(CsvTest, HandlesQuotesCommasNewlines) {
+  auto rows = ParseCsv("x,\"has,comma\"\ny,\"has\"\"quote\"\nz,\"two\nlines\"\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[0][1], "has,comma");
+  EXPECT_EQ((*rows)[1][1], "has\"quote");
+  EXPECT_EQ((*rows)[2][1], "two\nlines");
+}
+
+TEST(CsvTest, EmptyCellsAndCrlf) {
+  auto rows = ParseCsv("a,,c\r\n,,\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(CsvTest, MissingFinalNewlineTolerated) {
+  auto rows = ParseCsv("a,b");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CsvTest, MalformedQuotingRejected) {
+  EXPECT_FALSE(ParseCsv("a\"b,c\n").ok());
+  EXPECT_FALSE(ParseCsv("\"unterminated\n").ok());
+}
+
+TEST(CsvTest, MissingFileIsNotFound) {
+  auto rows = ReadCsv("/nonexistent/file.csv");
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kNotFound);
+}
+
+/// Property: random tables survive WriteCsv -> ReadCsv byte-for-byte,
+/// including hostile cell contents.
+class CsvRoundTripProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsvRoundTripProperty, WriteThenReadIsIdentity) {
+  Rng rng(GetParam());
+  const size_t cols = 1 + rng.Uniform(5);
+  const size_t rows = rng.Uniform(8);
+  std::vector<std::string> header;
+  for (size_t c = 0; c < cols; ++c) header.push_back("col" + std::to_string(c));
+  Table table(header);
+  const std::string alphabet = "abc,\"\n x7";
+  std::vector<std::vector<std::string>> expected = {header};
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<std::string> row;
+    for (size_t c = 0; c < cols; ++c) {
+      std::string cell;
+      size_t len = rng.Uniform(6);
+      for (size_t i = 0; i < len; ++i) cell += alphabet[rng.Uniform(alphabet.size())];
+      row.push_back(cell);
+    }
+    table.AddRow(row);
+    expected.push_back(row);
+  }
+  std::string path = ::testing::TempDir() + "/csv_roundtrip_" +
+                     std::to_string(GetParam()) + ".csv";
+  ASSERT_TRUE(table.WriteCsv(path).ok());
+  auto parsed = ReadCsv(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, expected);
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvRoundTripProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(GraphIoTest, RoundTripPreservesEverything) {
+  graph::SocialGraph original =
+      GenerateSyntheticGraph(graph::CaltechLikeConfig(0.15, 5));
+  original.SetLabel(3, graph::kUnknownLabel);  // exercise blank labels
+  std::string base = ::testing::TempDir() + "/graph_io_test";
+  ASSERT_TRUE(SaveGraph(original, base).ok());
+
+  auto loaded = graph::LoadGraph(base);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_nodes(), original.num_nodes());
+  ASSERT_EQ(loaded->num_edges(), original.num_edges());
+  ASSERT_EQ(loaded->num_categories(), original.num_categories());
+  EXPECT_EQ(loaded->num_labels(), original.num_labels());
+  for (graph::NodeId u = 0; u < original.num_nodes(); ++u) {
+    EXPECT_EQ(loaded->GetLabel(u), original.GetLabel(u));
+    for (size_t c = 0; c < original.num_categories(); ++c) {
+      EXPECT_EQ(loaded->Attribute(u, c), original.Attribute(u, c));
+    }
+  }
+  EXPECT_EQ(loaded->Edges(), original.Edges());
+  for (const char* suffix : {".schema.csv", ".nodes.csv", ".edges.csv"}) {
+    std::remove((base + suffix).c_str());
+  }
+}
+
+TEST(GraphIoTest, LoadMissingFileFails) {
+  EXPECT_FALSE(graph::LoadGraph("/nonexistent/base").ok());
+}
+
+TEST(GenomeIoTest, PanelRoundTrip) {
+  Rng rng(5);
+  genomics::SyntheticCatalogConfig config;
+  config.num_snps = 40;
+  auto catalog = GenerateSyntheticCatalog(config, rng);
+  auto panel = GenerateAmdLike(catalog, /*index_trait=*/7, 10, 6, rng);
+  panel.individuals[0].genotypes[5] = genomics::kUnknownGenotype;
+  panel.individuals[1].traits[2] = genomics::kUnknownTrait;
+
+  std::string path = ::testing::TempDir() + "/panel_io_test.csv";
+  ASSERT_TRUE(SavePanel(panel, path).ok());
+  auto loaded = genomics::LoadPanel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->individuals.size(), panel.individuals.size());
+  for (size_t i = 0; i < panel.individuals.size(); ++i) {
+    EXPECT_EQ(loaded->is_case[i], panel.is_case[i]);
+    EXPECT_EQ(loaded->individuals[i].traits, panel.individuals[i].traits);
+    EXPECT_EQ(loaded->individuals[i].genotypes, panel.individuals[i].genotypes);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GenomeIoTest, RejectsBadContent) {
+  std::string path = ::testing::TempDir() + "/bad_panel.csv";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("case,t0,s0\n1,9,0\n", f);  // trait status 9 out of range
+    fclose(f);
+  }
+  EXPECT_FALSE(genomics::LoadPanel(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ppdp

@@ -1,0 +1,106 @@
+#include "iot/collection.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ppdp::iot {
+namespace {
+
+std::vector<SensorSchema> TwoSensors() {
+  return {{"activity", 4}, {"occupancy", 2}};
+}
+
+TEST(PrivacyProxyTest, PerturbsWithinDomain) {
+  PrivacyProxy proxy(TwoSensors(), {{1.0, 100.0}, {2.0, 100.0}}, /*seed=*/1);
+  for (int i = 0; i < 50; ++i) {
+    auto reading = proxy.Report(0, 2);
+    ASSERT_TRUE(reading.ok());
+    EXPECT_LT(reading->value, 4u);
+    EXPECT_DOUBLE_EQ(reading->epsilon, 1.0);
+  }
+}
+
+TEST(PrivacyProxyTest, BudgetEnforced) {
+  PrivacyProxy proxy(TwoSensors(), {{1.0, 2.5}, {1.0, 100.0}}, 1);
+  EXPECT_TRUE(proxy.Report(0, 0).ok());
+  EXPECT_TRUE(proxy.Report(0, 0).ok());
+  auto third = proxy.Report(0, 0);  // 3.0 > 2.5
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NEAR(proxy.RemainingBudget(0), 0.5, 1e-12);
+  // The other sensor's budget is independent.
+  EXPECT_TRUE(proxy.Report(1, 1).ok());
+}
+
+TEST(PrivacyProxyTest, NeverPreferenceRefuses) {
+  PrivacyProxy proxy(TwoSensors(), {{0.0, 100.0}, {1.0, 100.0}}, 1);
+  auto reading = proxy.Report(0, 1);
+  ASSERT_FALSE(reading.ok());
+  EXPECT_EQ(reading.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PrivacyProxyTest, InvalidInputsRejected) {
+  PrivacyProxy proxy(TwoSensors(), {{1.0, 10.0}, {1.0, 10.0}}, 1);
+  EXPECT_EQ(proxy.Report(9, 0).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(proxy.Report(0, 9).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AggregationServerTest, DebiasedEstimateRecoversFrequencies) {
+  // 30/70 occupancy split, high epsilon -> accurate estimate.
+  PrivacyProxy proxy({{"occupancy", 2}}, {{3.0, 1e9}}, 2);
+  AggregationServer server({{"occupancy", 2}});
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    size_t truth = i < n * 3 / 10 ? 0 : 1;
+    auto reading = proxy.Report(0, truth);
+    ASSERT_TRUE(reading.ok());
+    ASSERT_TRUE(server.Ingest(*reading).ok());
+  }
+  auto estimate = server.EstimateFrequencies(0);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_NEAR((*estimate)[0], 0.3, 0.03);
+  EXPECT_NEAR((*estimate)[1], 0.7, 0.03);
+  EXPECT_EQ(server.ReadingCount(0), static_cast<size_t>(n));
+}
+
+TEST(AggregationServerTest, QualityGrowsWithEpsilon) {
+  std::vector<double> truth = {0.5, 0.2, 0.2, 0.1};
+  auto quality_at = [&](double epsilon) {
+    PrivacyProxy proxy({{"activity", 4}}, {{epsilon, 1e9}}, 3);
+    AggregationServer server({{"activity", 4}});
+    Rng rng(4);
+    for (int i = 0; i < 8000; ++i) {
+      size_t value = rng.Categorical(truth);
+      auto reading = proxy.Report(0, value);
+      server.Ingest(*reading).ok();
+    }
+    return ServiceQuality(server.EstimateFrequencies(0).value(), truth);
+  };
+  double low = quality_at(0.2);
+  double high = quality_at(4.0);
+  EXPECT_GT(high, low);
+  EXPECT_GT(high, 0.95);
+}
+
+TEST(AggregationServerTest, MixedEpsilonsRejected) {
+  AggregationServer server({{"occupancy", 2}});
+  EXPECT_TRUE(server.Ingest({0, 1, 1.0}).ok());
+  EXPECT_EQ(server.Ingest({0, 1, 2.0}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AggregationServerTest, NoDataIsFailedPrecondition) {
+  AggregationServer server(TwoSensors());
+  EXPECT_EQ(server.EstimateFrequencies(0).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ServiceQualityTest, BoundsAndExtremes) {
+  EXPECT_DOUBLE_EQ(ServiceQuality({0.5, 0.5}, {0.5, 0.5}), 1.0);
+  EXPECT_DOUBLE_EQ(ServiceQuality({1.0, 0.0}, {0.0, 1.0}), 0.0);
+  double partial = ServiceQuality({0.6, 0.4}, {0.5, 0.5});
+  EXPECT_GT(partial, 0.0);
+  EXPECT_LT(partial, 1.0);
+}
+
+}  // namespace
+}  // namespace ppdp::iot

@@ -1,0 +1,91 @@
+#include "graph/rewire.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/graph_generators.h"
+#include "graph/graph_metrics.h"
+
+namespace ppdp::graph {
+namespace {
+
+TEST(RewireTest, PreservesDegreeSequenceAndEdgeCount) {
+  SocialGraph g = GenerateSyntheticGraph(CaltechLikeConfig(0.2, 3));
+  std::vector<size_t> degrees_before(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) degrees_before[u] = g.Degree(u);
+  size_t edges_before = g.num_edges();
+
+  Rng rng(7);
+  size_t performed = RewireEdges(g, 500, rng);
+  EXPECT_GT(performed, 400u);  // dense graph: most swaps succeed
+  EXPECT_EQ(g.num_edges(), edges_before);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(g.Degree(u), degrees_before[u]) << "node " << u;
+  }
+}
+
+TEST(RewireTest, NoSelfLoopsOrDuplicates) {
+  SocialGraph g = GenerateSyntheticGraph(CaltechLikeConfig(0.15, 3));
+  Rng rng(7);
+  RewireEdges(g, 300, rng);
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const auto& edge : g.Edges()) {
+    EXPECT_NE(edge.first, edge.second);
+    EXPECT_TRUE(seen.insert(edge).second) << "duplicate edge";
+  }
+}
+
+TEST(RewireTest, WashesOutHomophily) {
+  // Strongly homophilous wiring (every node consistent, no locality noise)
+  // so the planted signal is unambiguous before rewiring.
+  graph::SyntheticGraphConfig config = CaltechLikeConfig(0.3, 3);
+  config.homophily = 0.9;
+  config.homophily_consistency = 1.0;
+  config.locality = 0.0;
+  config.triadic_closure = 0.0;
+  SocialGraph g = GenerateSyntheticGraph(config);
+  double before = SameLabelEdgeFraction(g);
+  EXPECT_GT(before, 0.75);
+  // Degree-preserving randomization converges to the configuration-model
+  // (stub-matching) baseline Σ_y (stubs_y / 2m)² — NOT the node-count
+  // mixing rate, because homophilous wiring concentrates degree mass on the
+  // majority label.
+  std::vector<double> stubs(static_cast<size_t>(g.num_labels()), 0.0);
+  double total_stubs = 0.0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    stubs[static_cast<size_t>(g.GetLabel(u))] += static_cast<double>(g.Degree(u));
+    total_stubs += static_cast<double>(g.Degree(u));
+  }
+  double baseline = 0.0;
+  for (double s : stubs) baseline += (s / total_stubs) * (s / total_stubs);
+  EXPECT_GT(before, baseline + 0.1);
+
+  Rng rng(7);
+  RewireEdges(g, g.num_edges() * 10, rng);
+  double after = SameLabelEdgeFraction(g);
+  EXPECT_NEAR(after, baseline, 0.05);
+}
+
+TEST(RewireTest, TinyGraphsAreSafe) {
+  SocialGraph g({{"h", 2}}, 2);
+  g.AddNode({0}, 0);
+  g.AddNode({0}, 1);
+  g.AddEdge(0, 1);
+  Rng rng(1);
+  EXPECT_EQ(RewireEdges(g, 10, rng), 0u);  // a single edge cannot swap
+  EXPECT_TRUE(g.HasEdge(0, 1));
+}
+
+TEST(SameLabelFractionTest, IgnoresUnknownLabels) {
+  SocialGraph g({{"h", 2}}, 2);
+  g.AddNode({0}, 0);
+  g.AddNode({0}, 0);
+  g.AddNode({0}, kUnknownLabel);
+  g.AddEdge(0, 1);  // same label
+  g.AddEdge(1, 2);  // one endpoint unlabeled -> skipped
+  EXPECT_DOUBLE_EQ(SameLabelEdgeFraction(g), 1.0);
+}
+
+}  // namespace
+}  // namespace ppdp::graph

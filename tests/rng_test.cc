@@ -1,0 +1,125 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace ppdp {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Uniform(1000), b.Uniform(1000));
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differences = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform(1000000) != b.Uniform(1000000)) ++differences;
+  }
+  EXPECT_GT(differences, 90);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Uniform(13), 13u);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformRealInHalfOpenUnit) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformReal();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughRate) {
+  Rng rng(7);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, CategoricalRespectsZeroWeights) {
+  Rng rng(9);
+  std::vector<double> weights = {0.0, 1.0, 0.0, 2.0};
+  for (int i = 0; i < 500; ++i) {
+    size_t pick = rng.Categorical(weights);
+    EXPECT_TRUE(pick == 1 || pick == 3);
+  }
+}
+
+TEST(RngTest, CategoricalProportions) {
+  Rng rng(9);
+  std::vector<double> weights = {1.0, 3.0};
+  int count1 = 0;
+  for (int i = 0; i < 20000; ++i) count1 += rng.Categorical(weights) == 1 ? 1 : 0;
+  EXPECT_NEAR(count1 / 20000.0, 0.75, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(11);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(13);
+  std::vector<size_t> sample = rng.SampleWithoutReplacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (size_t s : sample) EXPECT_LT(s, 50u);
+}
+
+TEST(RngTest, SampleWithoutReplacementClampsK) {
+  Rng rng(13);
+  EXPECT_EQ(rng.SampleWithoutReplacement(5, 99).size(), 5u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(17);
+  Rng forked = a.Fork();
+  // Consuming the fork must not alter the parent relative to a replay.
+  Rng b(17);
+  Rng forked_b = b.Fork();
+  (void)forked_b;
+  for (int i = 0; i < 20; ++i) (void)forked.Uniform(100);
+  EXPECT_EQ(a.Uniform(1000000), b.Uniform(1000000));
+}
+
+TEST(RngDeathTest, UniformZeroDies) {
+  Rng rng(1);
+  EXPECT_DEATH((void)rng.Uniform(0), "Uniform");
+}
+
+}  // namespace
+}  // namespace ppdp

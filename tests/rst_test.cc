@@ -1,0 +1,269 @@
+// Validates the RST substrate against the dissertation's own worked
+// examples over Tables 3.1 and 3.2 (Examples 3.3.2 - 3.3.6).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/math_util.h"
+#include "rst/decision_rules.h"
+#include "rst/indiscernibility.h"
+#include "rst/information_system.h"
+#include "rst/reduct.h"
+
+namespace ppdp::rst {
+namespace {
+
+// Table 3.1 encoding:
+//   h1 (Favorite musical): Taylor Swift=0, Carrie Underwood=1, George Strait=2
+//   h2 (Favorite movies):  God's Not Dead=0, Son of God=1, Fast&Furious=2, Transformers=3
+//   h3 (Favorite books):   Heaven Is For Real=0, I Declare=1, Hunger Games=2
+//   d  (Political view):   Conservative=0, Liberal=1, Green=2
+InformationSystem Table31() {
+  InformationSystem is({"h1", "h2", "h3"}, /*num_decisions=*/3);
+  is.AddObject({0, 0, 0}, 0);  // u1
+  is.AddObject({1, 1, 1}, 0);  // u2
+  is.AddObject({1, 0, 0}, 1);  // u3
+  is.AddObject({2, 2, 0}, 2);  // u4
+  is.AddObject({2, 1, 1}, 1);  // u5
+  is.AddObject({0, 3, 2}, 0);  // u6
+  is.AddObject({2, 1, 2}, 1);  // u7
+  is.AddObject({0, 3, 1}, 0);  // u8
+  return is;
+}
+
+// Table 3.2 encoding:
+//   h1: Taylor Swift=0, Carrie Underwood=1, George Strait=2
+//   h2: God's Not Dead=0, Son of God=1, Transformers=2
+//   d:  Conservative=0, Liberal=1
+InformationSystem Table32() {
+  InformationSystem is({"h1", "h2"}, /*num_decisions=*/2);
+  is.AddObject({0, 0}, 0);  // u1
+  is.AddObject({1, 1}, 0);  // u2
+  is.AddObject({0, 0}, 0);  // u3
+  is.AddObject({1, 1}, 0);  // u4
+  is.AddObject({2, 1}, 1);  // u5
+  is.AddObject({2, 1}, 1);  // u6
+  is.AddObject({0, 2}, 0);  // u7
+  is.AddObject({0, 2}, 1);  // u8
+  is.AddObject({0, 0}, 0);  // u9
+  return is;
+}
+
+// Example 3.3.2: [u]_{h2,h3} = {{u1,u3},{u2,u5},{u4},{u6},{u7},{u8}}.
+TEST(IndiscernibilityTest, Example332) {
+  InformationSystem is = Table31();
+  Partition p = IndiscernibilityClasses(is, {1, 2});
+  Partition expected = {{0, 2}, {1, 4}, {3}, {5}, {6}, {7}};
+  EXPECT_TRUE(SamePartition(p, expected));
+}
+
+TEST(IndiscernibilityTest, EmptyCategorySetOneClass) {
+  InformationSystem is = Table31();
+  Partition p = IndiscernibilityClasses(is, {});
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0].size(), 8u);
+}
+
+TEST(IndiscernibilityTest, PartitionCoversAllObjectsDisjointly) {
+  InformationSystem is = Table31();
+  for (const std::vector<size_t>& cats :
+       std::vector<std::vector<size_t>>{{0}, {1}, {2}, {0, 1}, {0, 2}, {1, 2}, {0, 1, 2}}) {
+    Partition p = IndiscernibilityClasses(is, cats);
+    std::vector<bool> seen(is.num_objects(), false);
+    for (const auto& eq_class : p) {
+      for (size_t obj : eq_class) {
+        EXPECT_FALSE(seen[obj]) << "object " << obj << " in two classes";
+        seen[obj] = true;
+      }
+    }
+    EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+  }
+}
+
+// Example 3.3.3: for V' = {u1,u2,u6,u8} and H' = {h2,h3},
+// lower = {u6,u8}, upper = {u1,u2,u3,u5,u6,u8}.
+TEST(ApproximationTest, Example333) {
+  InformationSystem is = Table31();
+  std::vector<bool> target = {true, true, false, false, false, true, false, true};
+  std::vector<bool> lower = LowerApproximation(is, {1, 2}, target);
+  std::vector<bool> upper = UpperApproximation(is, {1, 2}, target);
+  std::vector<bool> expected_lower = {false, false, false, false, false, true, false, true};
+  std::vector<bool> expected_upper = {true, true, true, false, true, true, false, true};
+  EXPECT_EQ(lower, expected_lower);
+  EXPECT_EQ(upper, expected_upper);
+}
+
+TEST(ApproximationTest, LowerSubsetOfTargetSubsetOfUpper) {
+  InformationSystem is = Table31();
+  std::vector<bool> target = {true, false, true, false, true, false, true, false};
+  std::vector<bool> lower = LowerApproximation(is, {1}, target);
+  std::vector<bool> upper = UpperApproximation(is, {1}, target);
+  for (size_t i = 0; i < 8; ++i) {
+    if (lower[i]) {
+      EXPECT_TRUE(target[i]);
+    }
+    if (target[i]) {
+      EXPECT_TRUE(upper[i]);
+    }
+  }
+}
+
+// Example 3.3.4: POS_{h2,h3}(d) = {u4,u6,u7,u8}, γ = 1/2.
+TEST(DependencyTest, Example334) {
+  InformationSystem is = Table31();
+  std::vector<bool> pos = PositiveRegion(is, {1, 2});
+  std::vector<bool> expected = {false, false, false, true, false, true, true, true};
+  EXPECT_EQ(pos, expected);
+  EXPECT_DOUBLE_EQ(DependencyDegree(is, {1, 2}), 0.5);
+}
+
+TEST(DependencyTest, FullCategorySetTotalDependency) {
+  InformationSystem is = Table31();
+  // All rows distinct on {h1,h2,h3} -> every class pure -> γ = 1.
+  EXPECT_DOUBLE_EQ(DependencyDegree(is, {0, 1, 2}), 1.0);
+}
+
+TEST(DependencyTest, MonotoneInCategories) {
+  InformationSystem is = Table31();
+  // Adding categories can only grow the positive region.
+  EXPECT_LE(DependencyDegree(is, {1}), DependencyDegree(is, {1, 2}));
+  EXPECT_LE(DependencyDegree(is, {1, 2}), DependencyDegree(is, {0, 1, 2}));
+}
+
+TEST(MajorityDependencyTest, BoundsAndKnownValues) {
+  InformationSystem is = Table31();
+  // Empty set: one class of 8 objects, majority decision Conservative (4).
+  EXPECT_DOUBLE_EQ(MajorityDependencyDegree(is, {}), 0.5);
+  // Full set: all singleton classes, every object covered.
+  EXPECT_DOUBLE_EQ(MajorityDependencyDegree(is, {0, 1, 2}), 1.0);
+  // {h2,h3}: classes {u1,u3}(C,L) 1, {u2,u5}(C,L) 1, singletons 4 -> 6/8.
+  EXPECT_DOUBLE_EQ(MajorityDependencyDegree(is, {1, 2}), 0.75);
+}
+
+TEST(MajorityDependencyTest, DominatesStrictGamma) {
+  InformationSystem is = Table31();
+  for (const std::vector<size_t>& cats :
+       std::vector<std::vector<size_t>>{{0}, {1}, {2}, {0, 1}, {1, 2}}) {
+    EXPECT_GE(MajorityDependencyDegree(is, cats), DependencyDegree(is, cats));
+  }
+}
+
+TEST(InformationGainTest, BoundsAndMonotonicity) {
+  InformationSystem is = Table31();
+  EXPECT_DOUBLE_EQ(InformationGain(is, {}), 0.0);
+  // Full discernibility recovers the whole decision entropy H(4/8,3/8,1/8).
+  double full = InformationGain(is, {0, 1, 2});
+  double h_d = Entropy({4.0, 3.0, 1.0});
+  EXPECT_NEAR(full, h_d, 1e-12);
+  // Gain grows (weakly) with more categories.
+  EXPECT_LE(InformationGain(is, {1}), InformationGain(is, {1, 2}) + 1e-12);
+  EXPECT_LE(InformationGain(is, {1, 2}), full + 1e-12);
+  for (const std::vector<size_t>& cats :
+       std::vector<std::vector<size_t>>{{0}, {1}, {2}}) {
+    EXPECT_GE(InformationGain(is, cats), 0.0);
+  }
+}
+
+// Example 3.3.5's conclusion: {h1,h2} and {h1,h3} are reducts of Table 3.1,
+// {h2,h3} is not.
+TEST(ReductTest, Example335AllReducts) {
+  InformationSystem is = Table31();
+  auto reducts = AllReducts(is);
+  std::vector<std::vector<size_t>> expected = {{0, 1}, {0, 2}};
+  ASSERT_EQ(reducts.size(), 2u);
+  EXPECT_TRUE(std::find(reducts.begin(), reducts.end(), expected[0]) != reducts.end());
+  EXPECT_TRUE(std::find(reducts.begin(), reducts.end(), expected[1]) != reducts.end());
+}
+
+TEST(ReductTest, GreedyReductPreservesPositiveRegion) {
+  InformationSystem is = Table31();
+  std::vector<size_t> reduct = GreedyReduct(is);
+  std::vector<size_t> all = {0, 1, 2};
+  EXPECT_EQ(PositiveRegion(is, reduct), PositiveRegion(is, all));
+  EXPECT_LT(reduct.size(), 3u);  // something must be droppable
+}
+
+TEST(ReductTest, GreedyReductIsMinimalUnderSingleRemovals) {
+  InformationSystem is = Table31();
+  std::vector<size_t> reduct = GreedyReduct(is);
+  std::vector<bool> full_pos = PositiveRegion(is, {0, 1, 2});
+  for (size_t drop : reduct) {
+    std::vector<size_t> without;
+    for (size_t c : reduct) {
+      if (c != drop) without.push_back(c);
+    }
+    EXPECT_NE(PositiveRegion(is, without), full_pos)
+        << "category " << drop << " is redundant in the greedy reduct";
+  }
+}
+
+TEST(ReductTest, SingleCategoryDependenciesSorted) {
+  InformationSystem is = Table31();
+  auto ranked = SingleCategoryDependencies(is);
+  ASSERT_EQ(ranked.size(), 3u);
+  for (size_t i = 1; i < ranked.size(); ++i) EXPECT_GE(ranked[i - 1].second, ranked[i].second);
+}
+
+// Example 3.3.6: decision rules over Table 3.2 with R = {h1,h2}.
+TEST(DecisionRuleTest, Example336) {
+  InformationSystem is = Table32();
+  RuleSet rules = RuleSet::Learn(is, {0, 1});
+  ASSERT_EQ(rules.rules().size(), 4u);
+  EXPECT_EQ(rules.num_deterministic(), 3u);
+
+  // (Taylor Swift, God's Not Dead) -> Conservative, deterministic, support 3.
+  auto dist = rules.Classify({0, 0});
+  EXPECT_DOUBLE_EQ(dist[0], 1.0);
+  // (Carrie Underwood, Son of God) -> Conservative.
+  dist = rules.Classify({1, 1});
+  EXPECT_DOUBLE_EQ(dist[0], 1.0);
+  // (George Strait, Son of God) -> Liberal.
+  dist = rules.Classify({2, 1});
+  EXPECT_DOUBLE_EQ(dist[1], 1.0);
+  // (Taylor Swift, Transformers) -> indeterministic 50/50 (u7 Cons, u8 Lib).
+  dist = rules.Classify({0, 2});
+  EXPECT_DOUBLE_EQ(dist[0], 0.5);
+  EXPECT_DOUBLE_EQ(dist[1], 0.5);
+}
+
+TEST(DecisionRuleTest, UnseenConditionFallsBackToNearestRules) {
+  InformationSystem is = Table32();
+  RuleSet rules = RuleSet::Learn(is, {0, 1});
+  // (George Strait, God's Not Dead) is unseen; nearest rules at Hamming
+  // distance 1 are (0,0)->C (support 3), (2,1)->L (support 2), so the
+  // fallback favors Conservative but keeps Liberal mass.
+  auto dist = rules.Classify({2, 0});
+  EXPECT_GT(dist[0], 0.0);
+  EXPECT_GT(dist[1], 0.0);
+  EXPECT_GT(dist[0], dist[1]);
+}
+
+TEST(DecisionRuleTest, PriorMatchesLabelFrequencies) {
+  InformationSystem is = Table32();
+  RuleSet rules = RuleSet::Learn(is, {0, 1});
+  EXPECT_DOUBLE_EQ(rules.prior()[0], 6.0 / 9.0);
+  EXPECT_DOUBLE_EQ(rules.prior()[1], 3.0 / 9.0);
+}
+
+TEST(DecisionRuleTest, RuleSupportsSumToObjects) {
+  InformationSystem is = Table32();
+  RuleSet rules = RuleSet::Learn(is, {0, 1});
+  size_t total = 0;
+  for (const auto& rule : rules.rules()) total += rule.support;
+  EXPECT_EQ(total, is.num_objects());
+}
+
+TEST(InformationSystemTest, FromGraphSkipsUnknownLabels) {
+  graph::SocialGraph g({{"a", 2}, {"b", 2}}, 2);
+  g.AddNode({0, 1}, 0);
+  g.AddNode({1, 0}, graph::kUnknownLabel);
+  g.AddNode({1, 1}, 1);
+  std::vector<graph::NodeId> mapping;
+  InformationSystem is = InformationSystem::FromGraph(g, &mapping);
+  EXPECT_EQ(is.num_objects(), 2u);
+  EXPECT_EQ(mapping, (std::vector<graph::NodeId>{0, 2}));
+  EXPECT_EQ(is.Decision(1), 1);
+}
+
+}  // namespace
+}  // namespace ppdp::rst

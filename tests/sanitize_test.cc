@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "classify/evaluation.h"
+#include "classify/naive_bayes.h"
+#include "classify/relational.h"
+#include "common/rng.h"
+#include "graph/graph_generators.h"
+#include "sanitize/attribute_selection.h"
+#include "sanitize/collective_sanitizer.h"
+#include "sanitize/generalization.h"
+#include "sanitize/link_selection.h"
+
+namespace ppdp::sanitize {
+namespace {
+
+using graph::SocialGraph;
+
+SocialGraph SmallCaltech(uint64_t seed = 11) {
+  return GenerateSyntheticGraph(graph::CaltechLikeConfig(0.25, seed));
+}
+
+TEST(AttributeSelectionTest, AnalysisPartitionsConsistently) {
+  SocialGraph g = SmallCaltech();
+  DependencyAnalysis analysis = AnalyzeDependencies(g, /*utility_category=*/1);
+  // Core ⊆ PDAs and Core ⊆ UDAs; PDA−Core and Core partition PDAs.
+  for (size_t c : analysis.core) {
+    EXPECT_TRUE(std::binary_search(analysis.privacy_dependent.begin(),
+                                   analysis.privacy_dependent.end(), c));
+    EXPECT_TRUE(std::binary_search(analysis.utility_dependent.begin(),
+                                   analysis.utility_dependent.end(), c));
+  }
+  EXPECT_EQ(analysis.core.size() + analysis.pda_minus_core.size(),
+            analysis.privacy_dependent.size());
+  // Nothing references the utility category itself.
+  for (size_t c : analysis.privacy_dependent) EXPECT_NE(c, 1u);
+  for (size_t c : analysis.utility_dependent) EXPECT_NE(c, 1u);
+}
+
+TEST(AttributeSelectionTest, LabelReductPreservesPositiveRegion) {
+  SocialGraph g = SmallCaltech();
+  std::vector<size_t> reduct = LabelReduct(g, /*utility_category=*/1);
+  EXPECT_FALSE(reduct.empty());
+  EXPECT_LE(reduct.size(), g.num_categories() - 1);
+  for (size_t c : reduct) EXPECT_NE(c, 1u);  // utility category excluded
+}
+
+TEST(AttributeSelectionTest, PdasAreTheMostDependentCategories) {
+  SocialGraph g = SmallCaltech();
+  DependencyAnalysis analysis = AnalyzeDependencies(g, 1);
+  ASSERT_FALSE(analysis.privacy_dependent.empty());
+  // Every selected PDA must rank above every unselected condition category.
+  auto ranked = RankPrivacyDependence(g, 1);
+  double min_selected = 1e9, max_unselected = -1e9;
+  for (const auto& [c, gain] : ranked) {
+    bool selected = std::binary_search(analysis.privacy_dependent.begin(),
+                                       analysis.privacy_dependent.end(), c);
+    if (selected) {
+      min_selected = std::min(min_selected, gain);
+    } else {
+      max_unselected = std::max(max_unselected, gain);
+    }
+  }
+  EXPECT_GE(min_selected, max_unselected - 1e-12);
+}
+
+TEST(AttributeSelectionTest, RankPrivacyDependenceDescending) {
+  SocialGraph g = SmallCaltech();
+  auto ranked = RankPrivacyDependence(g, 1);
+  EXPECT_EQ(ranked.size(), g.num_categories() - 1);
+  for (size_t i = 1; i < ranked.size(); ++i) EXPECT_GE(ranked[i - 1].second, ranked[i].second);
+}
+
+TEST(AttributeSelectionTest, WithDecisionCategoryReindexes) {
+  SocialGraph g = SmallCaltech();
+  SocialGraph view = WithDecisionCategory(g, 1);
+  EXPECT_EQ(view.num_categories(), g.num_categories() - 1);
+  EXPECT_EQ(view.num_labels(), g.categories()[1].num_values);
+  EXPECT_EQ(view.num_nodes(), g.num_nodes());
+  EXPECT_EQ(view.num_edges(), g.num_edges());
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    graph::AttributeValue expected = g.Attribute(u, 1);
+    if (expected == graph::kMissingAttribute) {
+      EXPECT_EQ(view.GetLabel(u), graph::kUnknownLabel);
+    } else {
+      EXPECT_EQ(view.GetLabel(u), expected);
+    }
+    EXPECT_EQ(view.Attribute(u, 0), g.Attribute(u, 0));
+    EXPECT_EQ(view.Attribute(u, 1), g.Attribute(u, 2));  // shifted past the decision
+  }
+}
+
+TEST(LinkSelectionTest, RankingSortedByVariance) {
+  SocialGraph g = SmallCaltech();
+  Rng rng(3);
+  auto known = classify::SampleKnownMask(g, 0.7, rng);
+  classify::NaiveBayesClassifier nb;
+  nb.Train(g, known);
+  auto estimates = classify::BootstrapDistributions(g, known, nb);
+  auto ranked = RankIndistinguishableLinks(g, known, estimates);
+  ASSERT_FALSE(ranked.empty());
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_LE(ranked[i - 1].variance, ranked[i].variance);
+  }
+  // Only hidden-label endpoints appear as u.
+  for (const auto& link : ranked) EXPECT_FALSE(known[link.u]);
+}
+
+TEST(LinkSelectionTest, RemovalCountsAndShrinksGraph) {
+  SocialGraph g = SmallCaltech();
+  Rng rng(3);
+  auto known = classify::SampleKnownMask(g, 0.7, rng);
+  classify::NaiveBayesClassifier nb;
+  nb.Train(g, known);
+  auto estimates = classify::BootstrapDistributions(g, known, nb);
+  size_t before = g.num_edges();
+  size_t removed = RemoveIndistinguishableLinks(g, known, estimates, 50);
+  EXPECT_EQ(removed, 50u);
+  EXPECT_EQ(g.num_edges(), before - 50);
+}
+
+TEST(GeneralizationTest, HierarchyWalksUpLevels) {
+  GenericAttributeHierarchy gah("American film");
+  ASSERT_TRUE(gah.AddConcept("American film", "Fantasy").ok());
+  ASSERT_TRUE(gah.AddConcept("Fantasy", "Star Wars").ok());
+  EXPECT_EQ(gah.Generalize("Star Wars", 1).value(), "Fantasy");
+  EXPECT_EQ(gah.Generalize("Star Wars", 2).value(), "American film");
+  EXPECT_EQ(gah.Generalize("Star Wars", 99).value(), "American film");  // clamps at root
+  EXPECT_EQ(gah.Depth("Star Wars").value(), 2);
+  EXPECT_EQ(gah.Depth("American film").value(), 0);
+}
+
+TEST(GeneralizationTest, HierarchyErrors) {
+  GenericAttributeHierarchy gah("root");
+  EXPECT_EQ(gah.AddConcept("missing", "x").code(), StatusCode::kNotFound);
+  ASSERT_TRUE(gah.AddConcept("root", "x").ok());
+  EXPECT_EQ(gah.AddConcept("root", "x").code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(gah.Generalize("unknown", 1).ok());
+}
+
+TEST(GeneralizationTest, NumericBinningAlgorithm4) {
+  SocialGraph g({{"h1", 10}}, 2);
+  for (int v = 0; v < 10; ++v) g.AddNode({v}, 0);
+  GeneralizeNumericCategory(g, 0, /*level=*/5);
+  // MAX=9, MIN=0, Range = 9/5 + 1 = 2 -> values 0..4.
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(g.Attribute(u, 0), static_cast<graph::AttributeValue>(u / 2));
+  }
+}
+
+TEST(GeneralizationTest, HigherLevelMeansFinerBins) {
+  for (int32_t level : {2, 4, 8}) {
+    SocialGraph g({{"h1", 16}}, 2);
+    for (int v = 0; v < 16; ++v) g.AddNode({v}, 0);
+    GeneralizeNumericCategory(g, 0, level);
+    std::vector<bool> seen(16, false);
+    size_t distinct = 0;
+    for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+      auto v = static_cast<size_t>(g.Attribute(u, 0));
+      if (!seen[v]) {
+        seen[v] = true;
+        ++distinct;
+      }
+    }
+    EXPECT_LE(distinct, static_cast<size_t>(level) + 1);
+    EXPECT_GE(distinct, static_cast<size_t>(level) / 2);
+  }
+}
+
+TEST(GeneralizationTest, MissingValuesUntouched) {
+  SocialGraph g({{"h1", 10}}, 2);
+  g.AddNode({graph::kMissingAttribute}, 0);
+  g.AddNode({8}, 0);
+  GeneralizeNumericCategory(g, 0, 2);
+  EXPECT_EQ(g.Attribute(0, 0), graph::kMissingAttribute);
+}
+
+TEST(CollectiveSanitizerTest, ReportsWhatItDid) {
+  SocialGraph g = SmallCaltech();
+  CollectiveSanitizeOptions options;
+  options.utility_category = 1;
+  SanitizeReport report = CollectiveSanitize(g, options);
+  // Removed categories are fully masked.
+  for (size_t c : report.removed_categories) {
+    for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+      EXPECT_EQ(g.Attribute(u, c), graph::kMissingAttribute);
+    }
+  }
+  // If a core exists, it was perturbed, not removed.
+  if (!report.analysis.core.empty()) {
+    EXPECT_EQ(report.perturbed_categories, report.analysis.core);
+    EXPECT_EQ(report.removed_categories, report.analysis.pda_minus_core);
+  } else {
+    EXPECT_EQ(report.removed_categories, report.analysis.privacy_dependent);
+  }
+}
+
+TEST(CollectiveSanitizerTest, RemovingPdasLowersAttackAccuracy) {
+  SocialGraph original = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.35, 21));
+  Rng rng(4);
+  auto known = classify::SampleKnownMask(original, 0.7, rng);
+
+  auto attack = [&](const SocialGraph& g) {
+    auto local = classify::MakeLocalClassifier(classify::LocalModel::kNaiveBayes);
+    return classify::RunAttack(g, known, classify::AttackModel::kAttrOnly, *local).accuracy;
+  };
+
+  double before = attack(original);
+  SocialGraph sanitized = original;
+  // Remove the top privacy-dependent categories outright.
+  auto ranked = RankPrivacyDependence(sanitized, 1);
+  for (size_t i = 0; i < 3 && i < ranked.size(); ++i) sanitized.MaskCategory(ranked[i].first);
+  double after = attack(sanitized);
+  EXPECT_LT(after, before + 1e-9);
+}
+
+TEST(CollectiveSanitizerTest, MeasureProducesBothSides) {
+  SocialGraph g = SmallCaltech();
+  Rng rng(4);
+  auto known = classify::SampleKnownMask(g, 0.7, rng);
+  PrivacyUtility pu =
+      MeasurePrivacyUtility(g, known, /*utility_category=*/1, classify::LocalModel::kNaiveBayes);
+  EXPECT_GT(pu.privacy_accuracy, 0.0);
+  EXPECT_GT(pu.utility_accuracy, 0.0);
+  EXPECT_GT(pu.Ratio(), 0.0);
+}
+
+TEST(CollectiveSanitizerTest, PriorOnlyAccuracyMatchesMajorityRate) {
+  SocialGraph g({{"h1", 2}}, 2);
+  // 3 known: labels {0,0,1} -> majority 0. 4 hidden: labels {0,0,1,1} -> 0.5.
+  for (graph::Label y : {0, 0, 1}) g.AddNode({0}, y);
+  for (graph::Label y : {0, 0, 1, 1}) g.AddNode({0}, y);
+  std::vector<bool> known = {true, true, true, false, false, false, false};
+  EXPECT_DOUBLE_EQ(PriorOnlyAccuracy(g, known), 0.5);
+}
+
+}  // namespace
+}  // namespace ppdp::sanitize

@@ -1,0 +1,209 @@
+#include "opt/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace ppdp::opt {
+namespace {
+
+TEST(SimplexTest, SimpleBoxMaximum) {
+  // max x + y s.t. x <= 2, y <= 3.
+  SimplexSolver lp({1.0, 1.0});
+  lp.AddLessEqual({1.0, 0.0}, 2.0);
+  lp.AddLessEqual({0.0, 1.0}, 3.0);
+  auto result = lp.Solve();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->objective, 5.0, 1e-9);
+  EXPECT_NEAR(result->x[0], 2.0, 1e-9);
+  EXPECT_NEAR(result->x[1], 3.0, 1e-9);
+}
+
+TEST(SimplexTest, TextbookTwoVariable) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> optimum 36 at (2, 6).
+  SimplexSolver lp({3.0, 5.0});
+  lp.AddLessEqual({1.0, 0.0}, 4.0);
+  lp.AddLessEqual({0.0, 2.0}, 12.0);
+  lp.AddLessEqual({3.0, 2.0}, 18.0);
+  auto result = lp.Solve();
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->objective, 36.0, 1e-9);
+  EXPECT_NEAR(result->x[0], 2.0, 1e-9);
+  EXPECT_NEAR(result->x[1], 6.0, 1e-9);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // max x s.t. x + y = 1 -> x = 1.
+  SimplexSolver lp({1.0, 0.0});
+  lp.AddEqual({1.0, 1.0}, 1.0);
+  auto result = lp.Solve();
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->objective, 1.0, 1e-9);
+  EXPECT_NEAR(result->x[0], 1.0, 1e-9);
+  EXPECT_NEAR(result->x[1], 0.0, 1e-9);
+}
+
+TEST(SimplexTest, GreaterEqualConstraint) {
+  // min x + y s.t. x + y >= 2 (as max of negative) -> objective -2.
+  SimplexSolver lp({-1.0, -1.0});
+  lp.AddGreaterEqual({1.0, 1.0}, 2.0);
+  auto result = lp.Solve();
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->objective, -2.0, 1e-9);
+}
+
+TEST(SimplexTest, NegativeRhsNormalized) {
+  // max x s.t. -x <= -1 (i.e. x >= 1), x <= 3.
+  SimplexSolver lp({1.0});
+  lp.AddLessEqual({-1.0}, -1.0);
+  lp.AddLessEqual({1.0}, 3.0);
+  auto result = lp.Solve();
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->objective, 3.0, 1e-9);
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  // x <= 1 and x >= 2 cannot hold.
+  SimplexSolver lp({1.0});
+  lp.AddLessEqual({1.0}, 1.0);
+  lp.AddGreaterEqual({1.0}, 2.0);
+  auto result = lp.Solve();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  SimplexSolver lp({1.0, 0.0});
+  lp.AddLessEqual({0.0, 1.0}, 1.0);  // x unconstrained above
+  auto result = lp.Solve();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SimplexTest, DegenerateProgramTerminates) {
+  // Redundant constraints create degeneracy; Bland's rule must still finish.
+  SimplexSolver lp({1.0, 1.0});
+  lp.AddLessEqual({1.0, 1.0}, 1.0);
+  lp.AddLessEqual({1.0, 1.0}, 1.0);
+  lp.AddLessEqual({2.0, 2.0}, 2.0);
+  lp.AddLessEqual({1.0, 0.0}, 1.0);
+  auto result = lp.Solve();
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->objective, 1.0, 1e-9);
+}
+
+TEST(SimplexTest, ProbabilityDistributionProgram) {
+  // The chapter-4 shape: maximize expected disparity over a distribution.
+  // max 0.1 p1 + 0.7 p2 + 0.4 p3 s.t. sum p = 1, p2 <= 0.5 -> 0.7*0.5 + 0.4*0.5.
+  SimplexSolver lp({0.1, 0.7, 0.4});
+  lp.AddEqual({1.0, 1.0, 1.0}, 1.0);
+  lp.AddLessEqual({0.0, 1.0, 0.0}, 0.5);
+  auto result = lp.Solve();
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->objective, 0.55, 1e-9);
+}
+
+/// Property test: on random feasible bounded LPs, the simplex solution is
+/// feasible and at least as good as a large random sample of feasible
+/// points.
+class SimplexRandomProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimplexRandomProperty, BeatsRandomFeasiblePoints) {
+  Rng rng(GetParam());
+  const size_t n = 2 + rng.Uniform(3);  // 2-4 variables
+  const size_t m = 2 + rng.Uniform(3);  // 2-4 constraints
+  std::vector<double> c(n);
+  for (double& v : c) v = rng.UniformReal() * 2.0 - 1.0;
+  SimplexSolver lp(c);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> rhs;
+  for (size_t i = 0; i < m; ++i) {
+    std::vector<double> a(n);
+    for (double& v : a) v = rng.UniformReal();  // non-negative => bounded with x <= box
+    double b = 1.0 + rng.UniformReal() * 4.0;
+    lp.AddLessEqual(a, b);
+    rows.push_back(a);
+    rhs.push_back(b);
+  }
+  // Box to guarantee boundedness.
+  for (size_t j = 0; j < n; ++j) {
+    std::vector<double> a(n, 0.0);
+    a[j] = 1.0;
+    lp.AddLessEqual(a, 10.0);
+    rows.push_back(a);
+    rhs.push_back(10.0);
+  }
+  auto result = lp.Solve();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Feasibility of the reported optimum.
+  for (size_t i = 0; i < rows.size(); ++i) {
+    double lhs = 0.0;
+    for (size_t j = 0; j < n; ++j) lhs += rows[i][j] * result->x[j];
+    EXPECT_LE(lhs, rhs[i] + 1e-6);
+  }
+  for (double xj : result->x) EXPECT_GE(xj, -1e-9);
+
+  // Optimality against random feasible points.
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<double> x(n);
+    for (double& v : x) v = rng.UniformReal() * 10.0;
+    bool feasible = true;
+    for (size_t i = 0; i < rows.size() && feasible; ++i) {
+      double lhs = 0.0;
+      for (size_t j = 0; j < n; ++j) lhs += rows[i][j] * x[j];
+      feasible = lhs <= rhs[i];
+    }
+    if (!feasible) continue;
+    double obj = 0.0;
+    for (size_t j = 0; j < n; ++j) obj += c[j] * x[j];
+    EXPECT_LE(obj, result->objective + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16));
+
+/// Property: with random equality constraints (the chapter-4 LP's shape:
+/// distribution rows summing to one), the returned optimum satisfies every
+/// equality to numerical precision.
+class SimplexEqualityProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimplexEqualityProperty, EqualitiesHoldAtOptimum) {
+  Rng rng(GetParam());
+  const size_t groups = 2 + rng.Uniform(3);  // distributions
+  const size_t per_group = 2 + rng.Uniform(3);
+  const size_t n = groups * per_group;
+  std::vector<double> c(n);
+  for (double& v : c) v = rng.UniformReal();
+  SimplexSolver lp(c);
+  // Each group's variables sum to exactly 1 (a strategy row).
+  for (size_t g = 0; g < groups; ++g) {
+    std::vector<double> row(n, 0.0);
+    for (size_t j = 0; j < per_group; ++j) row[g * per_group + j] = 1.0;
+    lp.AddEqual(std::move(row), 1.0);
+  }
+  // A random coupling budget keeps things interesting but feasible
+  // (coefficients <= 1, so total mass `groups` always admits rhs >= groups).
+  {
+    std::vector<double> row(n);
+    for (double& v : row) v = rng.UniformReal();
+    lp.AddLessEqual(std::move(row), static_cast<double>(groups));
+  }
+  auto result = lp.Solve();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (size_t g = 0; g < groups; ++g) {
+    double sum = 0.0;
+    for (size_t j = 0; j < per_group; ++j) sum += result->x[g * per_group + j];
+    EXPECT_NEAR(sum, 1.0, 1e-7) << "group " << g;
+  }
+  for (double xj : result->x) EXPECT_GE(xj, -1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexEqualityProperty,
+                         ::testing::Values(21, 22, 23, 24, 25, 26, 27, 28, 29, 30));
+
+}  // namespace
+}  // namespace ppdp::opt

@@ -1,0 +1,105 @@
+#include "graph/social_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace ppdp::graph {
+namespace {
+
+SocialGraph MakeTriangle() {
+  SocialGraph g({{"h1", 3}, {"h2", 2}}, /*num_labels=*/2);
+  g.AddNode({0, 1}, 0);
+  g.AddNode({0, 1}, 1);
+  g.AddNode({2, 0}, 0);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  return g;
+}
+
+TEST(SocialGraphTest, AddNodesAndEdges) {
+  SocialGraph g = MakeTriangle();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));  // undirected
+  EXPECT_EQ(g.Degree(1), 2u);
+}
+
+TEST(SocialGraphTest, SelfLoopsAndDuplicatesRejected) {
+  SocialGraph g = MakeTriangle();
+  EXPECT_FALSE(g.AddEdge(0, 0));
+  EXPECT_FALSE(g.AddEdge(0, 1));
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(SocialGraphTest, RemoveEdgeSymmetric) {
+  SocialGraph g = MakeTriangle();
+  EXPECT_TRUE(g.RemoveEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.RemoveEdge(0, 1));
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.Degree(0), 1u);
+}
+
+TEST(SocialGraphTest, AttributesAndLabels) {
+  SocialGraph g = MakeTriangle();
+  EXPECT_EQ(g.Attribute(0, 0), 0);
+  EXPECT_EQ(g.Attribute(2, 0), 2);
+  EXPECT_EQ(g.GetLabel(1), 1);
+  g.SetAttribute(0, 0, kMissingAttribute);
+  EXPECT_EQ(g.Attribute(0, 0), kMissingAttribute);
+  g.SetLabel(0, kUnknownLabel);
+  EXPECT_EQ(g.GetLabel(0), kUnknownLabel);
+}
+
+TEST(SocialGraphTest, MaskCategoryHidesAllValues) {
+  SocialGraph g = MakeTriangle();
+  g.MaskCategory(1);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(g.Attribute(u, 1), kMissingAttribute);
+  }
+  EXPECT_NE(g.Attribute(0, 0), kMissingAttribute);
+}
+
+TEST(SocialGraphTest, EdgesListsEachOnce) {
+  SocialGraph g = MakeTriangle();
+  auto edges = g.Edges();
+  EXPECT_EQ(edges.size(), 3u);
+  for (const auto& [u, v] : edges) EXPECT_LT(u, v);
+}
+
+TEST(SocialGraphTest, LinkWeightMatchesEquation42) {
+  // Node 0 publishes (0, 1); node 1 publishes (0, 1): share both -> 1.0.
+  // Node 2 publishes (2, 0): shares nothing with node 0 -> 0.0.
+  SocialGraph g = MakeTriangle();
+  EXPECT_DOUBLE_EQ(g.LinkWeight(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(g.LinkWeight(0, 2), 0.0);
+}
+
+TEST(SocialGraphTest, LinkWeightAsymmetric) {
+  SocialGraph g({{"h1", 3}, {"h2", 2}}, 2);
+  g.AddNode({0, kMissingAttribute}, 0);  // publishes 1 attribute
+  g.AddNode({0, 1}, 0);                  // publishes 2 attributes
+  g.AddEdge(0, 1);
+  EXPECT_DOUBLE_EQ(g.LinkWeight(0, 1), 1.0);  // 1 shared / 1 published
+  EXPECT_DOUBLE_EQ(g.LinkWeight(1, 0), 0.5);  // 1 shared / 2 published
+}
+
+TEST(SocialGraphTest, LinkWeightZeroWhenNothingPublished) {
+  SocialGraph g({{"h1", 3}}, 2);
+  g.AddNode({kMissingAttribute}, 0);
+  g.AddNode({1}, 0);
+  g.AddEdge(0, 1);
+  EXPECT_DOUBLE_EQ(g.LinkWeight(0, 1), 0.0);
+}
+
+TEST(SocialGraphDeathTest, OutOfRangeChecks) {
+  SocialGraph g = MakeTriangle();
+  EXPECT_DEATH((void)g.Attribute(99, 0), "out of range");
+  EXPECT_DEATH((void)g.Attribute(0, 99), "out of range");
+  EXPECT_DEATH(g.SetAttribute(0, 0, 99), "out of range");
+  EXPECT_DEATH(g.SetLabel(0, 99), "");
+}
+
+}  // namespace
+}  // namespace ppdp::graph

@@ -1,0 +1,66 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ppdp {
+namespace {
+
+TEST(TableTest, PrintAlignsColumns) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22"});
+  std::ostringstream os;
+  t.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+}
+
+TEST(TableTest, NumericRowFormatting) {
+  Table t({"a", "b"});
+  t.AddNumericRow({1.23456, 2.0}, 2);
+  EXPECT_EQ(t.row(0)[0], "1.23");
+  EXPECT_EQ(t.row(0)[1], "2.00");
+}
+
+TEST(TableTest, FormatDouble) {
+  EXPECT_EQ(Table::FormatDouble(3.14159, 3), "3.142");
+  EXPECT_EQ(Table::FormatDouble(1.0, 0), "1");
+}
+
+TEST(TableTest, CsvRoundTripWithEscaping) {
+  Table t({"x", "note"});
+  t.AddRow({"1", "plain"});
+  t.AddRow({"2", "has,comma"});
+  t.AddRow({"3", "has\"quote"});
+  std::string path = ::testing::TempDir() + "/table_test.csv";
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,note");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,plain");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2,\"has,comma\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,\"has\"\"quote\"");
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, WriteToBadPathFails) {
+  Table t({"x"});
+  EXPECT_FALSE(t.WriteCsv("/nonexistent_dir_zz/file.csv").ok());
+}
+
+TEST(TableDeathTest, RowWidthMismatchDies) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "cells");
+}
+
+}  // namespace
+}  // namespace ppdp

@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "classify/evaluation.h"
+#include "classify/naive_bayes.h"
+#include "classify/relational.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "graph/graph_generators.h"
+#include "tradeoff/attribute_strategy.h"
+#include "tradeoff/collective_strategy.h"
+#include "tradeoff/link_strategy.h"
+#include "tradeoff/profile.h"
+#include "tradeoff/utility_loss.h"
+
+namespace ppdp::tradeoff {
+namespace {
+
+using graph::SocialGraph;
+
+SocialGraph SmallGraph(uint64_t seed = 11) {
+  return GenerateSyntheticGraph(graph::CaltechLikeConfig(0.2, seed));
+}
+
+StrategyProblem TinyProblem(double delta) {
+  // Two candidate sets mapping to different latent labels.
+  StrategyProblem p;
+  p.profile.attribute_sets = {{0, 0}, {1, 1}};
+  p.profile.prior = {0.6, 0.4};
+  p.utility_disparity = {{0.0, 1.0}, {1.0, 0.0}};
+  p.latent_guess = {0, 1};
+  p.num_labels = 2;
+  p.delta = delta;
+  return p;
+}
+
+TEST(ProfileTest, BuildFoldsTailIntoCandidates) {
+  SocialGraph g = SmallGraph();
+  Profile profile = BuildProfileFromGraph(g, 5);
+  EXPECT_LE(profile.size(), 5u);
+  double sum = 0.0;
+  for (double p : profile.prior) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ProfileTest, MostFrequentVectorFirst) {
+  SocialGraph g({{"a", 2}}, 2);
+  for (int i = 0; i < 7; ++i) g.AddNode({0}, 0);
+  for (int i = 0; i < 3; ++i) g.AddNode({1}, 1);
+  Profile profile = BuildProfileFromGraph(g, 2);
+  ASSERT_EQ(profile.size(), 2u);
+  EXPECT_EQ(profile.attribute_sets[0], (std::vector<graph::AttributeValue>{0}));
+  EXPECT_DOUBLE_EQ(profile.prior[0], 0.7);
+}
+
+TEST(ProfileTest, StratificationYieldsDiverseGuesses) {
+  // With label-informative attribute vectors, the candidate space must not
+  // collapse onto the majority label (that would make every sanitization
+  // strategy equally transparent; see LatentGuessPerSet).
+  SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.5, 8));
+  Profile profile = BuildProfileFromGraph(g, 6);
+  auto guesses = LatentGuessPerSet(g, profile);
+  std::set<graph::Label> distinct(guesses.begin(), guesses.end());
+  EXPECT_GE(distinct.size(), 2u);
+}
+
+TEST(ProfileTest, HammingDisparityProperties) {
+  SocialGraph g = SmallGraph();
+  Profile profile = BuildProfileFromGraph(g, 6);
+  auto du = HammingDisparity(profile);
+  for (size_t i = 0; i < profile.size(); ++i) {
+    EXPECT_DOUBLE_EQ(du[i][i], 0.0);
+    for (size_t j = 0; j < profile.size(); ++j) {
+      EXPECT_DOUBLE_EQ(du[i][j], du[j][i]);
+      EXPECT_GE(du[i][j], 0.0);
+      EXPECT_LE(du[i][j], 1.0);
+    }
+  }
+}
+
+TEST(StrategyTest, ZeroDeltaForcesIdentityLikeStrategy) {
+  // With delta = 0 no mass may move between disparate sets, so the adversary
+  // sees the truth and privacy is 0.
+  auto result = SolveOptimalStrategy(TinyProblem(0.0));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->latent_privacy, 0.0, 1e-9);
+  EXPECT_NEAR(result->strategy[0][0], 1.0, 1e-9);
+  EXPECT_NEAR(result->strategy[1][1], 1.0, 1e-9);
+}
+
+TEST(StrategyTest, LargeDeltaReachesMaximumConfusion) {
+  // With delta = 1 everything is allowed; the optimum mixes the two sets so
+  // the adversary errs with probability min(ψ) mass-balanced -> 0.4+... the
+  // LP value must be the game value 0.4 (all of the minority mass can hide).
+  auto result = SolveOptimalStrategy(TinyProblem(1.0));
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->latent_privacy, 0.35);
+  EXPECT_LE(result->latent_privacy, 0.5 + 1e-9);
+  EXPECT_LE(result->prediction_utility_loss, 1.0 + 1e-9);
+}
+
+TEST(StrategyTest, RowsAreDistributions) {
+  auto result = SolveOptimalStrategy(TinyProblem(0.5));
+  ASSERT_TRUE(result.ok());
+  for (const auto& row : result->strategy) {
+    double sum = 0.0;
+    for (double v : row) {
+      EXPECT_GE(v, -1e-9);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+}
+
+TEST(StrategyTest, DeltaBoundRespected) {
+  for (double delta : {0.1, 0.2, 0.4, 0.8}) {
+    auto result = SolveOptimalStrategy(TinyProblem(delta));
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->prediction_utility_loss, delta + 1e-6);
+  }
+}
+
+/// Privacy is monotone nondecreasing in the allowed utility loss δ.
+class StrategyMonotoneProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StrategyMonotoneProperty, PrivacyMonotoneInDelta) {
+  Rng rng(GetParam());
+  StrategyProblem p;
+  size_t n = 3 + rng.Uniform(3);
+  p.num_labels = 2 + static_cast<int32_t>(rng.Uniform(2));
+  p.profile.attribute_sets.assign(n, {});
+  p.profile.prior.assign(n, 0.0);
+  p.latent_guess.assign(n, 0);
+  p.utility_disparity.assign(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    p.profile.prior[i] = rng.UniformReal() + 0.1;
+    p.latent_guess[i] = static_cast<graph::Label>(rng.Uniform(p.num_labels));
+    for (size_t j = i + 1; j < n; ++j) {
+      p.utility_disparity[i][j] = p.utility_disparity[j][i] = rng.UniformReal();
+    }
+  }
+  NormalizeInPlace(p.profile.prior);
+
+  double previous = -1.0;
+  for (double delta : {0.0, 0.1, 0.25, 0.5, 1.0}) {
+    p.delta = delta;
+    auto result = SolveOptimalStrategy(p);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_GE(result->latent_privacy, previous - 1e-7);
+    EXPECT_LE(result->prediction_utility_loss, delta + 1e-6);
+    previous = result->latent_privacy;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrategyMonotoneProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(StrategyTest, LpDominatesDiscretizedSearch) {
+  StrategyProblem p = TinyProblem(0.6);
+  auto lp = SolveOptimalStrategy(p);
+  ASSERT_TRUE(lp.ok());
+  Rng rng(3);
+  StrategyResult grid = SolveDiscretizedStrategy(p, /*granularity=*/4, /*samples=*/300, rng);
+  EXPECT_GE(lp->latent_privacy, grid.latent_privacy - 1e-7);
+  EXPECT_LE(grid.prediction_utility_loss, p.delta + 1e-9);
+}
+
+TEST(AdversaryTest, FullKnowledgeIsStrongest) {
+  StrategyProblem p = TinyProblem(0.8);
+  auto lp = SolveOptimalStrategy(p);
+  ASSERT_TRUE(lp.ok());
+  double full =
+      EvaluatePrivacyUnderAdversary(p, lp->strategy, AdversaryKnowledge::kProfileAndStrategy);
+  for (AdversaryKnowledge weaker :
+       {AdversaryKnowledge::kProfileOnly, AdversaryKnowledge::kStrategyOnly,
+        AdversaryKnowledge::kUnknownBoth}) {
+    EXPECT_GE(EvaluatePrivacyUnderAdversary(p, lp->strategy, weaker), full - 1e-9)
+        << AdversaryKnowledgeName(weaker);
+  }
+}
+
+TEST(AdversaryTest, FullKnowledgeMatchesLpObjective) {
+  StrategyProblem p = TinyProblem(0.5);
+  auto lp = SolveOptimalStrategy(p);
+  ASSERT_TRUE(lp.ok());
+  double full =
+      EvaluatePrivacyUnderAdversary(p, lp->strategy, AdversaryKnowledge::kProfileAndStrategy);
+  EXPECT_NEAR(full, lp->latent_privacy, 1e-6);
+}
+
+TEST(UtilityLossTest, StructureLossAdditive) {
+  SocialGraph g = SmallGraph();
+  auto edges = g.Edges();
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> chosen(edges.begin(), edges.begin() + 5);
+  double total = StructureUtilityLoss(g, chosen);
+  double manual = 0.0;
+  for (const auto& [u, v] : chosen) manual += StructureUtilityValue(g, u, v);
+  EXPECT_DOUBLE_EQ(total, manual);
+}
+
+TEST(UtilityLossTest, LatentPrivacyBounds) {
+  SocialGraph g = SmallGraph();
+  Rng rng(2);
+  auto known = classify::SampleKnownMask(g, 0.7, rng);
+  classify::NaiveBayesClassifier nb;
+  nb.Train(g, known);
+  auto dists = classify::BootstrapDistributions(g, known, nb);
+  double privacy = LatentPrivacyOfGraph(g, known, dists);
+  EXPECT_GE(privacy, 0.0);
+  EXPECT_LE(privacy, 1.0);
+}
+
+TEST(LinkStrategyTest, BudgetAndCapRespected) {
+  SocialGraph g = SmallGraph();
+  Rng rng(2);
+  auto known = classify::SampleKnownMask(g, 0.7, rng);
+  classify::NaiveBayesClassifier nb;
+  nb.Train(g, known);
+  auto estimates = classify::BootstrapDistributions(g, known, nb);
+  size_t edges_before = g.num_edges();
+  LinkStrategyResult result =
+      RemoveVulnerableLinks(g, known, estimates, /*epsilon_budget=*/50.0, /*max_links=*/10);
+  EXPECT_LE(result.removed.size(), 10u);
+  EXPECT_LE(result.structure_loss, 50.0 + 1e-9);
+  EXPECT_EQ(g.num_edges(), edges_before - result.removed.size());
+}
+
+TEST(LinkStrategyTest, RandomRemovalRespectsBudget) {
+  SocialGraph g = SmallGraph();
+  Rng rng(7);
+  size_t edges_before = g.num_edges();
+  LinkStrategyResult result = RemoveRandomLinks(g, /*epsilon_budget=*/30.0, /*count=*/15, rng);
+  EXPECT_LE(result.structure_loss, 30.0 + 1e-9);
+  EXPECT_EQ(g.num_edges(), edges_before - result.removed.size());
+}
+
+TEST(CollectiveStrategyTest, AllStrategiesProduceSaneOutcomes) {
+  SocialGraph g = SmallGraph();
+  Rng rng(3);
+  auto known = classify::SampleKnownMask(g, 0.7, rng);
+  TradeoffConfig config;
+  config.num_attributes = 2;
+  config.num_links = 20;
+  config.epsilon = 100.0;
+  config.utility_category = 1;
+  for (Strategy s : {Strategy::kAttributeRemoval, Strategy::kAttributePerturbing,
+                     Strategy::kLinkRemoval, Strategy::kRandomLinkRemoval,
+                     Strategy::kCollectiveSanitization}) {
+    TradeoffOutcome outcome = ApplyStrategy(g, known, s, config);
+    EXPECT_GE(outcome.latent_privacy, 0.0) << StrategyName(s);
+    EXPECT_LE(outcome.latent_privacy, 1.0) << StrategyName(s);
+    EXPECT_GE(outcome.prediction_loss, 0.0) << StrategyName(s);
+    EXPECT_LE(outcome.structure_loss, config.epsilon + 1e-9) << StrategyName(s);
+  }
+}
+
+TEST(CollectiveStrategyTest, SanitizingRaisesPrivacyOverDoingNothing) {
+  SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.3, 17));
+  Rng rng(3);
+  auto known = classify::SampleKnownMask(g, 0.7, rng);
+  TradeoffConfig config;
+  config.utility_category = 1;
+  config.num_attributes = 0;
+  config.num_links = 0;
+  double baseline = ApplyStrategy(g, known, Strategy::kAttributeRemoval, config).latent_privacy;
+  config.num_attributes = 3;
+  config.num_links = 60;
+  config.epsilon = 500.0;
+  double sanitized =
+      ApplyStrategy(g, known, Strategy::kCollectiveSanitization, config).latent_privacy;
+  EXPECT_GT(sanitized, baseline - 0.02);  // never meaningfully worse
+}
+
+}  // namespace
+}  // namespace ppdp::tradeoff
