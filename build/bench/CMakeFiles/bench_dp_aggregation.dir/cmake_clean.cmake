@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dp_aggregation.dir/bench_dp_aggregation.cc.o"
+  "CMakeFiles/bench_dp_aggregation.dir/bench_dp_aggregation.cc.o.d"
+  "bench_dp_aggregation"
+  "bench_dp_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dp_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dp_synthesis.dir/bench_dp_synthesis.cc.o"
+  "CMakeFiles/bench_dp_synthesis.dir/bench_dp_synthesis.cc.o.d"
+  "bench_dp_synthesis"
+  "bench_dp_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dp_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

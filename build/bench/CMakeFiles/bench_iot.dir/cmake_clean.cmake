@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_iot.dir/bench_iot.cc.o"
+  "CMakeFiles/bench_iot.dir/bench_iot.cc.o.d"
+  "bench_iot"
+  "bench_iot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_iot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kin.dir/bench_kin.cc.o"
+  "CMakeFiles/bench_kin.dir/bench_kin.cc.o.d"
+  "bench_kin"
+  "bench_kin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ld.dir/bench_ld.cc.o"
+  "CMakeFiles/bench_ld.dir/bench_ld.cc.o.d"
+  "bench_ld"
+  "bench_ld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_7to12.dir/bench_table3_7to12.cc.o"
+  "CMakeFiles/bench_table3_7to12.dir/bench_table3_7to12.cc.o.d"
+  "bench_table3_7to12"
+  "bench_table3_7to12.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_7to12.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_synthesis.dir/dp_synthesis.cpp.o"
+  "CMakeFiles/dp_synthesis.dir/dp_synthesis.cpp.o.d"
+  "dp_synthesis"
+  "dp_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genome_privacy.dir/genome_privacy.cpp.o"
+  "CMakeFiles/genome_privacy.dir/genome_privacy.cpp.o.d"
+  "genome_privacy"
+  "genome_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genome_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_collection.dir/iot_collection.cpp.o"
+  "CMakeFiles/iot_collection.dir/iot_collection.cpp.o.d"
+  "iot_collection"
+  "iot_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

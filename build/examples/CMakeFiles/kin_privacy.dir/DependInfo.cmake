@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/kin_privacy.cpp" "examples/CMakeFiles/kin_privacy.dir/kin_privacy.cpp.o" "gcc" "examples/CMakeFiles/kin_privacy.dir/kin_privacy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ppdp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tradeoff/CMakeFiles/ppdp_tradeoff.dir/DependInfo.cmake"
+  "/root/repo/build/src/genomics/CMakeFiles/ppdp_genomics.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ppdp_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/anonymize/CMakeFiles/ppdp_anonymize.dir/DependInfo.cmake"
+  "/root/repo/build/src/sanitize/CMakeFiles/ppdp_sanitize.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/ppdp_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/rst/CMakeFiles/ppdp_rst.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ppdp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/iot/CMakeFiles/ppdp_iot.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/ppdp_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ppdp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kin_privacy.dir/kin_privacy.cpp.o"
+  "CMakeFiles/kin_privacy.dir/kin_privacy.cpp.o.d"
+  "kin_privacy"
+  "kin_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kin_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

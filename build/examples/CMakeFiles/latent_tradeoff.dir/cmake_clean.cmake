@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latent_tradeoff.dir/latent_tradeoff.cpp.o"
+  "CMakeFiles/latent_tradeoff.dir/latent_tradeoff.cpp.o.d"
+  "latent_tradeoff"
+  "latent_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latent_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

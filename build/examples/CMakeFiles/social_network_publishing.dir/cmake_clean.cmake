@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_network_publishing.dir/social_network_publishing.cpp.o"
+  "CMakeFiles/social_network_publishing.dir/social_network_publishing.cpp.o.d"
+  "social_network_publishing"
+  "social_network_publishing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_network_publishing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("opt")
+subdirs("graph")
+subdirs("rst")
+subdirs("classify")
+subdirs("sanitize")
+subdirs("tradeoff")
+subdirs("genomics")
+subdirs("dp")
+subdirs("core")
+subdirs("anonymize")
+subdirs("iot")

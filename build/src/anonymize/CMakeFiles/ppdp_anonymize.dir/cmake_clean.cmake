@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdp_anonymize.dir/kanonymity.cc.o"
+  "CMakeFiles/ppdp_anonymize.dir/kanonymity.cc.o.d"
+  "libppdp_anonymize.a"
+  "libppdp_anonymize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdp_anonymize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ppdp_anonymize.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classify/collective.cc" "src/classify/CMakeFiles/ppdp_classify.dir/collective.cc.o" "gcc" "src/classify/CMakeFiles/ppdp_classify.dir/collective.cc.o.d"
+  "/root/repo/src/classify/community.cc" "src/classify/CMakeFiles/ppdp_classify.dir/community.cc.o" "gcc" "src/classify/CMakeFiles/ppdp_classify.dir/community.cc.o.d"
+  "/root/repo/src/classify/evaluation.cc" "src/classify/CMakeFiles/ppdp_classify.dir/evaluation.cc.o" "gcc" "src/classify/CMakeFiles/ppdp_classify.dir/evaluation.cc.o.d"
+  "/root/repo/src/classify/gibbs.cc" "src/classify/CMakeFiles/ppdp_classify.dir/gibbs.cc.o" "gcc" "src/classify/CMakeFiles/ppdp_classify.dir/gibbs.cc.o.d"
+  "/root/repo/src/classify/knn.cc" "src/classify/CMakeFiles/ppdp_classify.dir/knn.cc.o" "gcc" "src/classify/CMakeFiles/ppdp_classify.dir/knn.cc.o.d"
+  "/root/repo/src/classify/naive_bayes.cc" "src/classify/CMakeFiles/ppdp_classify.dir/naive_bayes.cc.o" "gcc" "src/classify/CMakeFiles/ppdp_classify.dir/naive_bayes.cc.o.d"
+  "/root/repo/src/classify/relational.cc" "src/classify/CMakeFiles/ppdp_classify.dir/relational.cc.o" "gcc" "src/classify/CMakeFiles/ppdp_classify.dir/relational.cc.o.d"
+  "/root/repo/src/classify/rst_classifier.cc" "src/classify/CMakeFiles/ppdp_classify.dir/rst_classifier.cc.o" "gcc" "src/classify/CMakeFiles/ppdp_classify.dir/rst_classifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ppdp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ppdp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rst/CMakeFiles/ppdp_rst.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

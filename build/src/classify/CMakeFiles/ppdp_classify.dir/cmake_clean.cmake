@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdp_classify.dir/collective.cc.o"
+  "CMakeFiles/ppdp_classify.dir/collective.cc.o.d"
+  "CMakeFiles/ppdp_classify.dir/community.cc.o"
+  "CMakeFiles/ppdp_classify.dir/community.cc.o.d"
+  "CMakeFiles/ppdp_classify.dir/evaluation.cc.o"
+  "CMakeFiles/ppdp_classify.dir/evaluation.cc.o.d"
+  "CMakeFiles/ppdp_classify.dir/gibbs.cc.o"
+  "CMakeFiles/ppdp_classify.dir/gibbs.cc.o.d"
+  "CMakeFiles/ppdp_classify.dir/knn.cc.o"
+  "CMakeFiles/ppdp_classify.dir/knn.cc.o.d"
+  "CMakeFiles/ppdp_classify.dir/naive_bayes.cc.o"
+  "CMakeFiles/ppdp_classify.dir/naive_bayes.cc.o.d"
+  "CMakeFiles/ppdp_classify.dir/relational.cc.o"
+  "CMakeFiles/ppdp_classify.dir/relational.cc.o.d"
+  "CMakeFiles/ppdp_classify.dir/rst_classifier.cc.o"
+  "CMakeFiles/ppdp_classify.dir/rst_classifier.cc.o.d"
+  "libppdp_classify.a"
+  "libppdp_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdp_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

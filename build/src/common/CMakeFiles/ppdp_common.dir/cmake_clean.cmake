@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdp_common.dir/csv.cc.o"
+  "CMakeFiles/ppdp_common.dir/csv.cc.o.d"
+  "CMakeFiles/ppdp_common.dir/flags.cc.o"
+  "CMakeFiles/ppdp_common.dir/flags.cc.o.d"
+  "CMakeFiles/ppdp_common.dir/math_util.cc.o"
+  "CMakeFiles/ppdp_common.dir/math_util.cc.o.d"
+  "CMakeFiles/ppdp_common.dir/rng.cc.o"
+  "CMakeFiles/ppdp_common.dir/rng.cc.o.d"
+  "CMakeFiles/ppdp_common.dir/status.cc.o"
+  "CMakeFiles/ppdp_common.dir/status.cc.o.d"
+  "CMakeFiles/ppdp_common.dir/table.cc.o"
+  "CMakeFiles/ppdp_common.dir/table.cc.o.d"
+  "libppdp_common.a"
+  "libppdp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdp_core.dir/genome_publisher.cc.o"
+  "CMakeFiles/ppdp_core.dir/genome_publisher.cc.o.d"
+  "CMakeFiles/ppdp_core.dir/social_publisher.cc.o"
+  "CMakeFiles/ppdp_core.dir/social_publisher.cc.o.d"
+  "CMakeFiles/ppdp_core.dir/tradeoff_publisher.cc.o"
+  "CMakeFiles/ppdp_core.dir/tradeoff_publisher.cc.o.d"
+  "libppdp_core.a"
+  "libppdp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

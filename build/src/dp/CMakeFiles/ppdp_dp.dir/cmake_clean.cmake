@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdp_dp.dir/aggregation.cc.o"
+  "CMakeFiles/ppdp_dp.dir/aggregation.cc.o.d"
+  "CMakeFiles/ppdp_dp.dir/mechanisms.cc.o"
+  "CMakeFiles/ppdp_dp.dir/mechanisms.cc.o.d"
+  "CMakeFiles/ppdp_dp.dir/synthesizer.cc.o"
+  "CMakeFiles/ppdp_dp.dir/synthesizer.cc.o.d"
+  "libppdp_dp.a"
+  "libppdp_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdp_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

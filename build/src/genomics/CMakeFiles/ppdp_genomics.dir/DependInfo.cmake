@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/genomics/factor_graph.cc" "src/genomics/CMakeFiles/ppdp_genomics.dir/factor_graph.cc.o" "gcc" "src/genomics/CMakeFiles/ppdp_genomics.dir/factor_graph.cc.o.d"
+  "/root/repo/src/genomics/genome_data.cc" "src/genomics/CMakeFiles/ppdp_genomics.dir/genome_data.cc.o" "gcc" "src/genomics/CMakeFiles/ppdp_genomics.dir/genome_data.cc.o.d"
+  "/root/repo/src/genomics/genome_dp.cc" "src/genomics/CMakeFiles/ppdp_genomics.dir/genome_dp.cc.o" "gcc" "src/genomics/CMakeFiles/ppdp_genomics.dir/genome_dp.cc.o.d"
+  "/root/repo/src/genomics/genome_io.cc" "src/genomics/CMakeFiles/ppdp_genomics.dir/genome_io.cc.o" "gcc" "src/genomics/CMakeFiles/ppdp_genomics.dir/genome_io.cc.o.d"
+  "/root/repo/src/genomics/gwas_catalog.cc" "src/genomics/CMakeFiles/ppdp_genomics.dir/gwas_catalog.cc.o" "gcc" "src/genomics/CMakeFiles/ppdp_genomics.dir/gwas_catalog.cc.o.d"
+  "/root/repo/src/genomics/imputation.cc" "src/genomics/CMakeFiles/ppdp_genomics.dir/imputation.cc.o" "gcc" "src/genomics/CMakeFiles/ppdp_genomics.dir/imputation.cc.o.d"
+  "/root/repo/src/genomics/inference_attack.cc" "src/genomics/CMakeFiles/ppdp_genomics.dir/inference_attack.cc.o" "gcc" "src/genomics/CMakeFiles/ppdp_genomics.dir/inference_attack.cc.o.d"
+  "/root/repo/src/genomics/pedigree.cc" "src/genomics/CMakeFiles/ppdp_genomics.dir/pedigree.cc.o" "gcc" "src/genomics/CMakeFiles/ppdp_genomics.dir/pedigree.cc.o.d"
+  "/root/repo/src/genomics/privacy_metrics.cc" "src/genomics/CMakeFiles/ppdp_genomics.dir/privacy_metrics.cc.o" "gcc" "src/genomics/CMakeFiles/ppdp_genomics.dir/privacy_metrics.cc.o.d"
+  "/root/repo/src/genomics/snp.cc" "src/genomics/CMakeFiles/ppdp_genomics.dir/snp.cc.o" "gcc" "src/genomics/CMakeFiles/ppdp_genomics.dir/snp.cc.o.d"
+  "/root/repo/src/genomics/snp_sanitizer.cc" "src/genomics/CMakeFiles/ppdp_genomics.dir/snp_sanitizer.cc.o" "gcc" "src/genomics/CMakeFiles/ppdp_genomics.dir/snp_sanitizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ppdp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ppdp_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/ppdp_dp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

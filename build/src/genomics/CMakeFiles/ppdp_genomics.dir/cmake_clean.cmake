@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdp_genomics.dir/factor_graph.cc.o"
+  "CMakeFiles/ppdp_genomics.dir/factor_graph.cc.o.d"
+  "CMakeFiles/ppdp_genomics.dir/genome_data.cc.o"
+  "CMakeFiles/ppdp_genomics.dir/genome_data.cc.o.d"
+  "CMakeFiles/ppdp_genomics.dir/genome_dp.cc.o"
+  "CMakeFiles/ppdp_genomics.dir/genome_dp.cc.o.d"
+  "CMakeFiles/ppdp_genomics.dir/genome_io.cc.o"
+  "CMakeFiles/ppdp_genomics.dir/genome_io.cc.o.d"
+  "CMakeFiles/ppdp_genomics.dir/gwas_catalog.cc.o"
+  "CMakeFiles/ppdp_genomics.dir/gwas_catalog.cc.o.d"
+  "CMakeFiles/ppdp_genomics.dir/imputation.cc.o"
+  "CMakeFiles/ppdp_genomics.dir/imputation.cc.o.d"
+  "CMakeFiles/ppdp_genomics.dir/inference_attack.cc.o"
+  "CMakeFiles/ppdp_genomics.dir/inference_attack.cc.o.d"
+  "CMakeFiles/ppdp_genomics.dir/pedigree.cc.o"
+  "CMakeFiles/ppdp_genomics.dir/pedigree.cc.o.d"
+  "CMakeFiles/ppdp_genomics.dir/privacy_metrics.cc.o"
+  "CMakeFiles/ppdp_genomics.dir/privacy_metrics.cc.o.d"
+  "CMakeFiles/ppdp_genomics.dir/snp.cc.o"
+  "CMakeFiles/ppdp_genomics.dir/snp.cc.o.d"
+  "CMakeFiles/ppdp_genomics.dir/snp_sanitizer.cc.o"
+  "CMakeFiles/ppdp_genomics.dir/snp_sanitizer.cc.o.d"
+  "libppdp_genomics.a"
+  "libppdp_genomics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdp_genomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

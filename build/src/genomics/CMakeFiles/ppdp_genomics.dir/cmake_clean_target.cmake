@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libppdp_genomics.a"
+)

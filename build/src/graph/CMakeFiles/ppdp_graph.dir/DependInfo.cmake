@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/centrality.cc" "src/graph/CMakeFiles/ppdp_graph.dir/centrality.cc.o" "gcc" "src/graph/CMakeFiles/ppdp_graph.dir/centrality.cc.o.d"
+  "/root/repo/src/graph/graph_generators.cc" "src/graph/CMakeFiles/ppdp_graph.dir/graph_generators.cc.o" "gcc" "src/graph/CMakeFiles/ppdp_graph.dir/graph_generators.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/graph/CMakeFiles/ppdp_graph.dir/graph_io.cc.o" "gcc" "src/graph/CMakeFiles/ppdp_graph.dir/graph_io.cc.o.d"
+  "/root/repo/src/graph/graph_metrics.cc" "src/graph/CMakeFiles/ppdp_graph.dir/graph_metrics.cc.o" "gcc" "src/graph/CMakeFiles/ppdp_graph.dir/graph_metrics.cc.o.d"
+  "/root/repo/src/graph/rewire.cc" "src/graph/CMakeFiles/ppdp_graph.dir/rewire.cc.o" "gcc" "src/graph/CMakeFiles/ppdp_graph.dir/rewire.cc.o.d"
+  "/root/repo/src/graph/social_graph.cc" "src/graph/CMakeFiles/ppdp_graph.dir/social_graph.cc.o" "gcc" "src/graph/CMakeFiles/ppdp_graph.dir/social_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ppdp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdp_graph.dir/centrality.cc.o"
+  "CMakeFiles/ppdp_graph.dir/centrality.cc.o.d"
+  "CMakeFiles/ppdp_graph.dir/graph_generators.cc.o"
+  "CMakeFiles/ppdp_graph.dir/graph_generators.cc.o.d"
+  "CMakeFiles/ppdp_graph.dir/graph_io.cc.o"
+  "CMakeFiles/ppdp_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/ppdp_graph.dir/graph_metrics.cc.o"
+  "CMakeFiles/ppdp_graph.dir/graph_metrics.cc.o.d"
+  "CMakeFiles/ppdp_graph.dir/rewire.cc.o"
+  "CMakeFiles/ppdp_graph.dir/rewire.cc.o.d"
+  "CMakeFiles/ppdp_graph.dir/social_graph.cc.o"
+  "CMakeFiles/ppdp_graph.dir/social_graph.cc.o.d"
+  "libppdp_graph.a"
+  "libppdp_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdp_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

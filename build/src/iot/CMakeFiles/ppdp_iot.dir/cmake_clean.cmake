@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdp_iot.dir/collection.cc.o"
+  "CMakeFiles/ppdp_iot.dir/collection.cc.o.d"
+  "libppdp_iot.a"
+  "libppdp_iot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdp_iot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdp_opt.dir/simplex.cc.o"
+  "CMakeFiles/ppdp_opt.dir/simplex.cc.o.d"
+  "CMakeFiles/ppdp_opt.dir/submodular.cc.o"
+  "CMakeFiles/ppdp_opt.dir/submodular.cc.o.d"
+  "libppdp_opt.a"
+  "libppdp_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdp_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

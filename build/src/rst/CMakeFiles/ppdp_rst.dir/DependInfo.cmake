@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rst/decision_rules.cc" "src/rst/CMakeFiles/ppdp_rst.dir/decision_rules.cc.o" "gcc" "src/rst/CMakeFiles/ppdp_rst.dir/decision_rules.cc.o.d"
+  "/root/repo/src/rst/indiscernibility.cc" "src/rst/CMakeFiles/ppdp_rst.dir/indiscernibility.cc.o" "gcc" "src/rst/CMakeFiles/ppdp_rst.dir/indiscernibility.cc.o.d"
+  "/root/repo/src/rst/information_system.cc" "src/rst/CMakeFiles/ppdp_rst.dir/information_system.cc.o" "gcc" "src/rst/CMakeFiles/ppdp_rst.dir/information_system.cc.o.d"
+  "/root/repo/src/rst/reduct.cc" "src/rst/CMakeFiles/ppdp_rst.dir/reduct.cc.o" "gcc" "src/rst/CMakeFiles/ppdp_rst.dir/reduct.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ppdp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ppdp_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdp_rst.dir/decision_rules.cc.o"
+  "CMakeFiles/ppdp_rst.dir/decision_rules.cc.o.d"
+  "CMakeFiles/ppdp_rst.dir/indiscernibility.cc.o"
+  "CMakeFiles/ppdp_rst.dir/indiscernibility.cc.o.d"
+  "CMakeFiles/ppdp_rst.dir/information_system.cc.o"
+  "CMakeFiles/ppdp_rst.dir/information_system.cc.o.d"
+  "CMakeFiles/ppdp_rst.dir/reduct.cc.o"
+  "CMakeFiles/ppdp_rst.dir/reduct.cc.o.d"
+  "libppdp_rst.a"
+  "libppdp_rst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdp_rst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sanitize/attribute_selection.cc" "src/sanitize/CMakeFiles/ppdp_sanitize.dir/attribute_selection.cc.o" "gcc" "src/sanitize/CMakeFiles/ppdp_sanitize.dir/attribute_selection.cc.o.d"
+  "/root/repo/src/sanitize/collective_sanitizer.cc" "src/sanitize/CMakeFiles/ppdp_sanitize.dir/collective_sanitizer.cc.o" "gcc" "src/sanitize/CMakeFiles/ppdp_sanitize.dir/collective_sanitizer.cc.o.d"
+  "/root/repo/src/sanitize/definitions.cc" "src/sanitize/CMakeFiles/ppdp_sanitize.dir/definitions.cc.o" "gcc" "src/sanitize/CMakeFiles/ppdp_sanitize.dir/definitions.cc.o.d"
+  "/root/repo/src/sanitize/generalization.cc" "src/sanitize/CMakeFiles/ppdp_sanitize.dir/generalization.cc.o" "gcc" "src/sanitize/CMakeFiles/ppdp_sanitize.dir/generalization.cc.o.d"
+  "/root/repo/src/sanitize/link_selection.cc" "src/sanitize/CMakeFiles/ppdp_sanitize.dir/link_selection.cc.o" "gcc" "src/sanitize/CMakeFiles/ppdp_sanitize.dir/link_selection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ppdp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ppdp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rst/CMakeFiles/ppdp_rst.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/ppdp_classify.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdp_sanitize.dir/attribute_selection.cc.o"
+  "CMakeFiles/ppdp_sanitize.dir/attribute_selection.cc.o.d"
+  "CMakeFiles/ppdp_sanitize.dir/collective_sanitizer.cc.o"
+  "CMakeFiles/ppdp_sanitize.dir/collective_sanitizer.cc.o.d"
+  "CMakeFiles/ppdp_sanitize.dir/definitions.cc.o"
+  "CMakeFiles/ppdp_sanitize.dir/definitions.cc.o.d"
+  "CMakeFiles/ppdp_sanitize.dir/generalization.cc.o"
+  "CMakeFiles/ppdp_sanitize.dir/generalization.cc.o.d"
+  "CMakeFiles/ppdp_sanitize.dir/link_selection.cc.o"
+  "CMakeFiles/ppdp_sanitize.dir/link_selection.cc.o.d"
+  "libppdp_sanitize.a"
+  "libppdp_sanitize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdp_sanitize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tradeoff/attribute_strategy.cc" "src/tradeoff/CMakeFiles/ppdp_tradeoff.dir/attribute_strategy.cc.o" "gcc" "src/tradeoff/CMakeFiles/ppdp_tradeoff.dir/attribute_strategy.cc.o.d"
+  "/root/repo/src/tradeoff/collective_strategy.cc" "src/tradeoff/CMakeFiles/ppdp_tradeoff.dir/collective_strategy.cc.o" "gcc" "src/tradeoff/CMakeFiles/ppdp_tradeoff.dir/collective_strategy.cc.o.d"
+  "/root/repo/src/tradeoff/link_strategy.cc" "src/tradeoff/CMakeFiles/ppdp_tradeoff.dir/link_strategy.cc.o" "gcc" "src/tradeoff/CMakeFiles/ppdp_tradeoff.dir/link_strategy.cc.o.d"
+  "/root/repo/src/tradeoff/profile.cc" "src/tradeoff/CMakeFiles/ppdp_tradeoff.dir/profile.cc.o" "gcc" "src/tradeoff/CMakeFiles/ppdp_tradeoff.dir/profile.cc.o.d"
+  "/root/repo/src/tradeoff/utility_loss.cc" "src/tradeoff/CMakeFiles/ppdp_tradeoff.dir/utility_loss.cc.o" "gcc" "src/tradeoff/CMakeFiles/ppdp_tradeoff.dir/utility_loss.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ppdp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ppdp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/ppdp_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ppdp_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sanitize/CMakeFiles/ppdp_sanitize.dir/DependInfo.cmake"
+  "/root/repo/build/src/rst/CMakeFiles/ppdp_rst.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdp_tradeoff.dir/attribute_strategy.cc.o"
+  "CMakeFiles/ppdp_tradeoff.dir/attribute_strategy.cc.o.d"
+  "CMakeFiles/ppdp_tradeoff.dir/collective_strategy.cc.o"
+  "CMakeFiles/ppdp_tradeoff.dir/collective_strategy.cc.o.d"
+  "CMakeFiles/ppdp_tradeoff.dir/link_strategy.cc.o"
+  "CMakeFiles/ppdp_tradeoff.dir/link_strategy.cc.o.d"
+  "CMakeFiles/ppdp_tradeoff.dir/profile.cc.o"
+  "CMakeFiles/ppdp_tradeoff.dir/profile.cc.o.d"
+  "CMakeFiles/ppdp_tradeoff.dir/utility_loss.cc.o"
+  "CMakeFiles/ppdp_tradeoff.dir/utility_loss.cc.o.d"
+  "libppdp_tradeoff.a"
+  "libppdp_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdp_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genome_dp_test.dir/genome_dp_test.cc.o"
+  "CMakeFiles/genome_dp_test.dir/genome_dp_test.cc.o.d"
+  "genome_dp_test"
+  "genome_dp_test.pdb"
+  "genome_dp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genome_dp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

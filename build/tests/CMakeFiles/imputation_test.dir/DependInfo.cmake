@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/imputation_test.cc" "tests/CMakeFiles/imputation_test.dir/imputation_test.cc.o" "gcc" "tests/CMakeFiles/imputation_test.dir/imputation_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/genomics/CMakeFiles/ppdp_genomics.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ppdp_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/ppdp_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ppdp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

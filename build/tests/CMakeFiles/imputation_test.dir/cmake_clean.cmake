@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imputation_test.dir/imputation_test.cc.o"
+  "CMakeFiles/imputation_test.dir/imputation_test.cc.o.d"
+  "imputation_test"
+  "imputation_test.pdb"
+  "imputation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imputation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

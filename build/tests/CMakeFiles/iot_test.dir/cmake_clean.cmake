@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_test.dir/iot_test.cc.o"
+  "CMakeFiles/iot_test.dir/iot_test.cc.o.d"
+  "iot_test"
+  "iot_test.pdb"
+  "iot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/submodular_test.dir/submodular_test.cc.o"
+  "CMakeFiles/submodular_test.dir/submodular_test.cc.o.d"
+  "submodular_test"
+  "submodular_test.pdb"
+  "submodular_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/submodular_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

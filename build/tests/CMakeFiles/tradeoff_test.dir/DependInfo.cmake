@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tradeoff_test.cc" "tests/CMakeFiles/tradeoff_test.dir/tradeoff_test.cc.o" "gcc" "tests/CMakeFiles/tradeoff_test.dir/tradeoff_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tradeoff/CMakeFiles/ppdp_tradeoff.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ppdp_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sanitize/CMakeFiles/ppdp_sanitize.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/ppdp_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/rst/CMakeFiles/ppdp_rst.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ppdp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ppdp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
