@@ -7,6 +7,7 @@
 #include <string>
 
 #include "bench_util.h"
+#include "dp/mechanisms.h"
 #include "dp/synthesizer.h"
 #include "genomics/genome_data.h"
 #include "genomics/genome_dp.h"
@@ -34,14 +35,26 @@ int main(int argc, char** argv) {
                                                rng);
 
   ppdp::Table table({"epsilon", "model", "marginal L1", "pairwise L1", "GWAS signal err"});
+  ppdp::Table audit({"epsilon", "model", "label", "mechanism", "calls", "epsilon spent"});
   for (double epsilon : {0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0}) {
     for (bool tree : {true, false}) {
       ppdp::dp::SynthesizerConfig config;
       config.epsilon = epsilon;
       config.structure_fraction = tree ? 0.3 : 0.0;
       config.seed = env.seed;
-      auto model = ppdp::dp::PrivateSynthesizer::Fit(data, config);
+      // Every mechanism invocation of this fit is audited against an
+      // accountant-backed ledger; an overrun would fail the fit here.
+      ppdp::dp::PrivacyAccountant accountant(epsilon);
+      ppdp::obs::PrivacyLedger ledger(
+          epsilon, [&accountant](double eps) { return accountant.Spend(eps); });
+      auto model = ppdp::dp::PrivateSynthesizer::Fit(data, config, &ledger);
       if (!model.ok()) continue;
+      const char* model_name = tree ? "pairwise tree" : "independent";
+      for (const auto& entry : ledger.entries()) {
+        audit.AddRow({ppdp::Table::FormatDouble(epsilon, 2), model_name, entry.label,
+                      entry.mechanism, std::to_string(entry.calls),
+                      ppdp::Table::FormatDouble(entry.total_epsilon, 4)});
+      }
       ppdp::Rng sample_rng(env.seed + 1);
       auto synthetic = model->Sample(rows, sample_rng);
       ppdp::genomics::DpPanelConfig panel_config;
@@ -51,13 +64,14 @@ int main(int argc, char** argv) {
       auto dp_panel = ppdp::genomics::SynthesizeDpPanel(panel, panel_config);
       double signal_error =
           dp_panel.ok() ? ppdp::genomics::GwasSignalError(panel, *dp_panel) : -1.0;
-      table.AddRow({ppdp::Table::FormatDouble(epsilon, 2),
-                    tree ? "pairwise tree" : "independent",
+      table.AddRow({ppdp::Table::FormatDouble(epsilon, 2), model_name,
                     ppdp::Table::FormatDouble(ppdp::dp::MarginalL1Error(data, synthetic, 3), 4),
                     ppdp::Table::FormatDouble(ppdp::dp::PairwiseL1Error(data, synthetic, 3), 4),
                     ppdp::Table::FormatDouble(signal_error, 4)});
     }
   }
   env.Emit(table, "dp_synthesis", "DP synthesis utility vs epsilon (tree vs independent)");
+  env.Emit(audit, "dp_synthesis_ledger",
+           "privacy ledger: epsilon spent per labeled mechanism call");
   return 0;
 }

@@ -7,6 +7,10 @@
 
 #include "common/flags.h"
 #include "common/table.h"
+#include "obs/ledger.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ppdp::bench {
 
@@ -14,18 +18,54 @@ namespace ppdp::bench {
 ///   --seed N        (default 7)    generator / mask seed
 ///   --scale X       (default per bench)  dataset scale factor
 ///   --out DIR       (default "bench_out")  CSV output directory
+///   --log_level L   (default warn)  debug|info|warn|error|off
+///   --trace_out F   (off by default)  write a Chrome trace_event JSON
+///
+/// On destruction (end of main) the harness emits the per-phase wall-time
+/// table recorded by the library's TraceSpans — printed and written to
+/// <out>/<bench>_phases.csv — and, when --trace_out was given, the full
+/// Chrome-loadable trace.
 struct BenchEnv {
   uint64_t seed = 7;
   double scale = 1.0;
   std::string out_dir = "bench_out";
+  std::string bench_name = "bench";
+  std::string trace_out;
 
   BenchEnv(int argc, char** argv, double default_scale) {
     Flags flags(argc, argv);
     seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
     scale = flags.GetDouble("scale", default_scale);
     out_dir = flags.GetString("out", "bench_out");
+    trace_out = flags.GetString("trace_out", "");
+    if (!obs::InitLoggingFromFlags(flags)) {
+      std::cerr << "warning: unknown --log_level '" << flags.GetString("log_level", "")
+                << "' ignored (want debug|info|warn|error|off)\n";
+    }
+    if (argc > 0) {
+      bench_name = std::filesystem::path(argv[0]).filename().string();
+    }
     std::error_code ec;
     std::filesystem::create_directories(out_dir, ec);
+    if (ec) {
+      std::cerr << "warning: cannot create output directory '" << out_dir
+                << "': " << ec.message() << " (error " << ec.value() << "); CSVs will fail\n";
+    }
+  }
+
+  BenchEnv(const BenchEnv&) = delete;
+  BenchEnv& operator=(const BenchEnv&) = delete;
+
+  ~BenchEnv() {
+    EmitPhaseTimings();
+    if (!trace_out.empty()) {
+      Status status = obs::TraceRecorder::Global().WriteChromeTrace(trace_out);
+      if (status.ok()) {
+        std::cout << "(trace: " << trace_out << ")\n";
+      } else {
+        std::cout << "(trace write failed: " << status.ToString() << ")\n";
+      }
+    }
   }
 
   /// Prints `table` under a heading and writes it to <out>/<name>.csv.
@@ -38,6 +78,27 @@ struct BenchEnv {
       std::cout << "(csv: " << path << ")\n\n";
     } else {
       std::cout << "(csv write failed: " << status.ToString() << ")\n\n";
+    }
+  }
+
+  /// Prints a privacy-ledger audit table and persists it as
+  /// <out>/<name>.csv.
+  void EmitLedger(const obs::PrivacyLedger& ledger, const std::string& name) const {
+    Emit(ledger.Summary(), name,
+         "privacy ledger (budget " + Table::FormatDouble(ledger.budget(), 4) + ", spent " +
+             Table::FormatDouble(ledger.spent(), 4) + ")");
+  }
+
+  /// Per-phase wall-time table from every TraceSpan recorded so far.
+  /// Called automatically at destruction; call earlier to interleave with
+  /// result tables.
+  void EmitPhaseTimings() const {
+    Table phases = obs::TraceRecorder::Global().PhaseSummary();
+    if (phases.num_rows() == 0) return;
+    Emit(phases, bench_name + "_phases", "per-phase timing (" + bench_name + ")");
+    size_t dropped = obs::TraceRecorder::Global().num_dropped();
+    if (dropped > 0) {
+      std::cout << "(trace buffer full: " << dropped << " spans not recorded)\n";
     }
   }
 };

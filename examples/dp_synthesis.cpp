@@ -5,13 +5,17 @@
 //   $ ./dp_synthesis [--snps 60] [--rows 800] [--epsilon 2.0] [--seed 3]
 #include <cstdio>
 #include <iostream>
+#include <optional>
 
 #include "common/flags.h"
 #include "common/table.h"
 #include "core/ppdp.h"
+#include "obs/ledger.h"
+#include "obs/log.h"
 
 int main(int argc, char** argv) {
   ppdp::Flags flags(argc, argv);
+  ppdp::obs::InitLoggingFromFlags(flags);
   size_t num_snps = static_cast<size_t>(flags.GetInt("snps", 60));
   size_t rows = static_cast<size_t>(flags.GetInt("rows", 800));
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 3));
@@ -31,11 +35,19 @@ int main(int argc, char** argv) {
   std::printf("panel: %zu individuals x %zu SNPs\n\n", rows, num_snps);
 
   ppdp::Table table({"epsilon", "marginal L1 error", "pairwise L1 error"});
+  std::optional<ppdp::Table> last_summary;
+  double last_budget = 0.0;
+  double last_spent = 0.0;
   for (double epsilon : {0.1, 0.5, 1.0, 2.0, 5.0, 20.0}) {
     ppdp::dp::SynthesizerConfig config;
     config.epsilon = epsilon;
     config.seed = seed;
-    auto model = ppdp::dp::PrivateSynthesizer::Fit(data, config);
+    // The accountant holds the formal ε budget; the ledger routes every
+    // mechanism call through it and keeps the labeled audit trail.
+    ppdp::dp::PrivacyAccountant accountant(epsilon);
+    ppdp::obs::PrivacyLedger ledger(
+        accountant.budget(), [&accountant](double eps) { return accountant.Spend(eps); });
+    auto model = ppdp::dp::PrivateSynthesizer::Fit(data, config, &ledger);
     if (!model.ok()) {
       std::printf("fit failed at epsilon %.2f: %s\n", epsilon,
                   model.status().ToString().c_str());
@@ -46,8 +58,33 @@ int main(int argc, char** argv) {
     table.AddRow({ppdp::Table::FormatDouble(epsilon, 2),
                   ppdp::Table::FormatDouble(ppdp::dp::MarginalL1Error(data, synthetic, 3), 4),
                   ppdp::Table::FormatDouble(ppdp::dp::PairwiseL1Error(data, synthetic, 3), 4)});
+    last_summary = ledger.Summary();
+    last_budget = ledger.budget();
+    last_spent = ledger.spent();
   }
   table.Print(std::cout);
   std::printf("\nsampling is post-processing: the synthetic rows can be published freely\n");
+
+  if (last_summary) {
+    std::printf("\nprivacy ledger for the last fit (budget %.2f, spent %.4f):\n", last_budget,
+                last_spent);
+    last_summary->Print(std::cout);
+  }
+
+  // The ledger is enforcing, not just descriptive: once the accountant's
+  // budget is gone, further mechanism invocations are rejected and the fit
+  // fails with a non-OK Status instead of silently overspending.
+  ppdp::dp::PrivacyAccountant tight(0.5);
+  ppdp::obs::PrivacyLedger tight_ledger(
+      /*budget=*/2.0, [&tight](double eps) { return tight.Spend(eps); });
+  ppdp::dp::SynthesizerConfig overrun_config;
+  overrun_config.epsilon = 2.0;  // asks for 4x what the accountant allows
+  overrun_config.seed = seed;
+  auto overrun = ppdp::dp::PrivateSynthesizer::Fit(data, overrun_config, &tight_ledger);
+  std::printf("\nfit with a 0.5-budget accountant but epsilon=2.0 -> %s\n",
+              overrun.ok() ? "unexpectedly succeeded"
+                           : overrun.status().ToString().c_str());
+  std::printf("rejected spends recorded by the ledger: %zu\n",
+              tight_ledger.rejected_spends());
   return 0;
 }

@@ -5,6 +5,9 @@
 #include "classify/relational.h"
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ppdp::classify {
 
@@ -13,6 +16,13 @@ CollectiveResult CollectiveInference(const SocialGraph& g, const std::vector<boo
   PPDP_CHECK(known.size() == g.num_nodes());
   PPDP_CHECK(config.alpha >= 0.0 && config.beta >= 0.0 && config.alpha + config.beta > 0.0)
       << "alpha/beta must be non-negative and not both zero";
+  obs::TraceSpan span("classify.ica");
+  static obs::Counter& runs = obs::MetricsRegistry::Global().counter("classify.ica.runs");
+  static obs::Counter& iterations =
+      obs::MetricsRegistry::Global().counter("classify.ica.iterations");
+  static obs::Histogram& sweep_seconds =
+      obs::MetricsRegistry::Global().histogram("classify.ica.sweep_seconds");
+  runs.Increment();
 
   local.Train(g, known);
 
@@ -27,6 +37,7 @@ CollectiveResult CollectiveInference(const SocialGraph& g, const std::vector<boo
 
   const double norm = config.alpha + config.beta;
   for (size_t iter = 0; iter < config.max_iterations; ++iter) {
+    double sweep_start = obs::MonotonicSeconds();
     double max_change = 0.0;
     std::vector<LabelDistribution> next = result.distributions;
     for (NodeId u = 0; u < g.num_nodes(); ++u) {
@@ -42,11 +53,17 @@ CollectiveResult CollectiveInference(const SocialGraph& g, const std::vector<boo
     }
     result.distributions = std::move(next);
     result.iterations = iter + 1;
+    iterations.Increment();
+    sweep_seconds.Observe(obs::MonotonicSeconds() - sweep_start);
     if (max_change < config.convergence_tol) {
       result.converged = true;
       break;
     }
   }
+  PPDP_LOG(DEBUG) << "ICA finished" << obs::Field("iterations", result.iterations)
+                  << obs::Field("converged", result.converged)
+                  << obs::Field("nodes", g.num_nodes())
+                  << obs::Field("seconds", span.ElapsedSeconds());
   return result;
 }
 

@@ -3,6 +3,9 @@
 #include "classify/relational.h"
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ppdp::classify {
 
@@ -12,6 +15,12 @@ CollectiveResult GibbsCollectiveInference(const SocialGraph& g, const std::vecto
   PPDP_CHECK(known.size() == g.num_nodes());
   PPDP_CHECK(config.alpha >= 0.0 && config.beta >= 0.0 && config.alpha + config.beta > 0.0);
   PPDP_CHECK(config.samples >= 1);
+  obs::TraceSpan span("classify.gibbs");
+  static obs::Counter& runs = obs::MetricsRegistry::Global().counter("classify.gibbs.runs");
+  static obs::Counter& sweeps = obs::MetricsRegistry::Global().counter("classify.gibbs.sweeps");
+  static obs::Histogram& sweep_seconds =
+      obs::MetricsRegistry::Global().histogram("classify.gibbs.sweep_seconds");
+  runs.Increment();
 
   local.Train(g, known);
   Rng rng(config.seed);
@@ -50,6 +59,7 @@ CollectiveResult GibbsCollectiveInference(const SocialGraph& g, const std::vecto
   std::vector<std::vector<double>> tallies(g.num_nodes(), std::vector<double>(labels, 0.0));
   const size_t total_sweeps = config.burn_in + config.samples;
   for (size_t sweep = 0; sweep < total_sweeps; ++sweep) {
+    double sweep_start = obs::MonotonicSeconds();
     for (NodeId u = 0; u < g.num_nodes(); ++u) {
       if (known[u]) continue;
       LabelDistribution vote = link_vote(u);
@@ -64,7 +74,12 @@ CollectiveResult GibbsCollectiveInference(const SocialGraph& g, const std::vecto
         tallies[u][static_cast<size_t>(state[u])] += 1.0;
       }
     }
+    sweeps.Increment();
+    sweep_seconds.Observe(obs::MonotonicSeconds() - sweep_start);
   }
+  PPDP_LOG(DEBUG) << "Gibbs chain finished" << obs::Field("sweeps", total_sweeps)
+                  << obs::Field("burn_in", config.burn_in) << obs::Field("nodes", g.num_nodes())
+                  << obs::Field("seconds", span.ElapsedSeconds());
 
   CollectiveResult result;
   result.iterations = total_sweeps;

@@ -2,6 +2,10 @@
 
 #include <utility>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ppdp::core {
 
 GenomePublisher::GenomePublisher(genomics::GwasCatalog catalog, genomics::TargetView view)
@@ -9,6 +13,10 @@ GenomePublisher::GenomePublisher(genomics::GwasCatalog catalog, genomics::Target
 
 genomics::GenomeAttackResult GenomePublisher::Attack(
     genomics::AttackMethod method, const genomics::FactorGraph::BpOptions& options) const {
+  obs::TraceSpan span("genome.attack");
+  static obs::Counter& attacks =
+      obs::MetricsRegistry::Global().counter("genome.attacks_measured");
+  attacks.Increment();
   return genomics::RunGenomeInference(catalog_, view_, method, options);
 }
 
@@ -19,6 +27,7 @@ genomics::PrivacyReport GenomePublisher::Privacy(const std::vector<size_t>& targ
 
 genomics::GputResult GenomePublisher::PublishWithDeltaPrivacy(
     double delta, const std::vector<size_t>& target_traits, genomics::AttackMethod method) {
+  obs::TraceSpan span("genome.publish_delta_privacy");
   genomics::GputOptions options;
   options.delta = delta;
   options.method = method;
@@ -26,6 +35,11 @@ genomics::GputResult GenomePublisher::PublishWithDeltaPrivacy(
   genomics::GputResult result =
       genomics::GreedySanitize(catalog_, view_, target_traits, options, &sanitized);
   view_ = std::move(sanitized);
+  PPDP_LOG(INFO) << "delta-privacy publish" << obs::Field("delta", delta)
+                 << obs::Field("snps_hidden", result.sanitized.size())
+                 << obs::Field("snps_released", result.released)
+                 << obs::Field("satisfied", result.satisfied)
+                 << obs::Field("seconds", span.ElapsedSeconds());
   return result;
 }
 

@@ -2,6 +2,9 @@
 
 #include "classify/naive_bayes.h"
 #include "classify/relational.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sanitize/attribute_selection.h"
 #include "sanitize/link_selection.h"
 
@@ -11,12 +14,21 @@ SocialPublisher::SocialPublisher(graph::SocialGraph graph, double known_fraction
     : graph_(std::move(graph)) {
   Rng rng(seed);
   known_ = classify::SampleKnownMask(graph_, known_fraction, rng);
+  PPDP_LOG(INFO) << "social publisher ready" << obs::Field("nodes", graph_.num_nodes())
+                 << obs::Field("known_fraction", known_fraction);
 }
 
 double SocialPublisher::AttackAccuracy(classify::AttackModel attack, classify::LocalModel local,
                                        const classify::CollectiveConfig& config) const {
+  obs::TraceSpan span("social.attack");
+  static obs::Counter& attacks =
+      obs::MetricsRegistry::Global().counter("social.attacks_measured");
+  attacks.Increment();
   auto classifier = classify::MakeLocalClassifier(local);
-  return classify::RunAttack(graph_, known_, attack, *classifier, config).accuracy;
+  double accuracy = classify::RunAttack(graph_, known_, attack, *classifier, config).accuracy;
+  PPDP_LOG(DEBUG) << "attack measured" << obs::Field("accuracy", accuracy)
+                  << obs::Field("seconds", span.ElapsedSeconds());
+  return accuracy;
 }
 
 double SocialPublisher::PriorAccuracy() const {
@@ -24,6 +36,7 @@ double SocialPublisher::PriorAccuracy() const {
 }
 
 size_t SocialPublisher::RemoveTopPrivacyAttributes(size_t count, size_t utility_category) {
+  obs::TraceSpan span("social.remove_attributes");
   auto ranked = sanitize::RankPrivacyDependence(graph_, utility_category);
   size_t removed = 0;
   for (const auto& [category, unused_gamma] : ranked) {
@@ -31,24 +44,37 @@ size_t SocialPublisher::RemoveTopPrivacyAttributes(size_t count, size_t utility_
     graph_.MaskCategory(category);
     ++removed;
   }
+  PPDP_LOG(INFO) << "masked privacy-dependent attributes" << obs::Field("removed", removed)
+                 << obs::Field("requested", count);
   return removed;
 }
 
 size_t SocialPublisher::RemoveIndistinguishableLinks(size_t count) {
+  obs::TraceSpan span("social.remove_links");
   classify::NaiveBayesClassifier nb;
   nb.Train(graph_, known_);
   auto estimates = classify::BootstrapDistributions(graph_, known_, nb);
-  return sanitize::RemoveIndistinguishableLinks(graph_, known_, estimates, count);
+  size_t removed = sanitize::RemoveIndistinguishableLinks(graph_, known_, estimates, count);
+  PPDP_LOG(INFO) << "removed indistinguishable links" << obs::Field("removed", removed)
+                 << obs::Field("requested", count);
+  return removed;
 }
 
 sanitize::SanitizeReport SocialPublisher::SanitizeCollective(
     const sanitize::CollectiveSanitizeOptions& options) {
-  return sanitize::CollectiveSanitize(graph_, options);
+  obs::TraceSpan span("social.sanitize_collective");
+  sanitize::SanitizeReport report = sanitize::CollectiveSanitize(graph_, options);
+  PPDP_LOG(INFO) << "collective sanitization done"
+                 << obs::Field("attributes_removed", report.removed_categories.size())
+                 << obs::Field("core_perturbed", report.perturbed_categories.size())
+                 << obs::Field("seconds", span.ElapsedSeconds());
+  return report;
 }
 
 sanitize::PrivacyUtility SocialPublisher::MeasurePrivacyUtility(
     size_t utility_category, classify::LocalModel local,
     const classify::CollectiveConfig& config) const {
+  obs::TraceSpan span("social.measure_privacy_utility");
   return sanitize::MeasurePrivacyUtility(graph_, known_, utility_category, local, config);
 }
 

@@ -2,6 +2,8 @@
 
 #include "classify/evaluation.h"
 #include "common/rng.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 
 namespace ppdp::core {
 
@@ -13,6 +15,7 @@ TradeoffPublisher::TradeoffPublisher(graph::SocialGraph graph, double known_frac
 }
 
 tradeoff::StrategyProblem TradeoffPublisher::BuildProblem(double delta, size_t max_sets) const {
+  obs::TraceSpan span("tradeoff.build_problem");
   tradeoff::StrategyProblem problem;
   problem.profile = tradeoff::BuildProfileFromGraph(graph_, max_sets);
   problem.utility_disparity = tradeoff::HammingDisparity(problem.profile);
@@ -24,11 +27,17 @@ tradeoff::StrategyProblem TradeoffPublisher::BuildProblem(double delta, size_t m
 
 Result<tradeoff::StrategyResult> TradeoffPublisher::OptimizeAttributeStrategy(
     double delta, size_t max_sets) const {
-  return tradeoff::SolveOptimalStrategy(BuildProblem(delta, max_sets));
+  obs::TraceSpan span("tradeoff.optimize_lp");
+  auto result = tradeoff::SolveOptimalStrategy(BuildProblem(delta, max_sets));
+  PPDP_LOG(INFO) << "attribute-strategy LP solved" << obs::Field("ok", result.ok())
+                 << obs::Field("delta", delta) << obs::Field("max_sets", max_sets)
+                 << obs::Field("seconds", span.ElapsedSeconds());
+  return result;
 }
 
 tradeoff::TradeoffOutcome TradeoffPublisher::Apply(tradeoff::Strategy strategy,
                                                    const tradeoff::TradeoffConfig& config) const {
+  obs::TraceSpan span("tradeoff.apply_strategy");
   return tradeoff::ApplyStrategy(graph_, known_, strategy, config);
 }
 

@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "dp/mechanisms.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ppdp::dp {
 
@@ -12,6 +14,9 @@ std::vector<double> NoisyHistogram(const std::vector<int64_t>& data, size_t doma
                                    double epsilon, Rng& rng) {
   PPDP_CHECK(domain_size >= 1);
   PPDP_CHECK(epsilon > 0.0);
+  static obs::Counter& releases =
+      obs::MetricsRegistry::Global().counter("dp.aggregation.histograms");
+  releases.Increment();
   std::vector<double> histogram(domain_size, 0.0);
   for (int64_t v : data) {
     PPDP_CHECK(v >= 0 && static_cast<size_t>(v) < domain_size) << "value out of domain: " << v;
@@ -32,6 +37,7 @@ Result<RangeCountSketch> RangeCountSketch::Build(const std::vector<int64_t>& dat
     }
   }
 
+  obs::TraceSpan span("dp.aggregation.range_sketch_build");
   RangeCountSketch sketch;
   sketch.domain_size_ = domain_size;
   sketch.padded_ = 1;

@@ -3,11 +3,25 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace ppdp::dp {
 
+namespace {
+
+/// Every mechanism invocation ticks a process-wide counter, so any run can
+/// audit how many noisy releases happened regardless of which pipeline
+/// triggered them (the per-ε attribution lives in obs::PrivacyLedger).
+obs::Counter& MechanismCounter(const char* name) {
+  return obs::MetricsRegistry::Global().counter(name);
+}
+
+}  // namespace
+
 double SampleLaplace(double scale, Rng& rng) {
   PPDP_CHECK(scale > 0.0) << "Laplace scale must be positive, got " << scale;
+  static obs::Counter& samples = MechanismCounter("dp.laplace.samples");
+  samples.Increment();
   // Inverse-CDF sampling: u uniform in (-1/2, 1/2).
   double u = rng.UniformReal() - 0.5;
   // Guard against log(0) on the boundary.
@@ -29,6 +43,8 @@ double LaplaceMechanism::Apply(double true_value, Rng& rng) const {
 
 int64_t SampleTwoSidedGeometric(double epsilon, double sensitivity, Rng& rng) {
   PPDP_CHECK(epsilon > 0.0 && sensitivity > 0.0);
+  static obs::Counter& samples = MechanismCounter("dp.geometric.samples");
+  samples.Increment();
   double alpha = std::exp(-epsilon / sensitivity);
   // P(0) = (1-α)/(1+α); P(±k) = P(0)·α^k. Sample sign and magnitude.
   double p0 = (1.0 - alpha) / (1.0 + alpha);
@@ -46,6 +62,8 @@ size_t ExponentialMechanism(const std::vector<double>& utilities, double epsilon
                             double sensitivity, Rng& rng) {
   PPDP_CHECK(!utilities.empty());
   PPDP_CHECK(epsilon > 0.0 && sensitivity > 0.0);
+  static obs::Counter& selections = MechanismCounter("dp.exponential.selections");
+  selections.Increment();
   // Shift by the max for numerical stability; weights ∝ exp(ε u / 2Δ).
   double max_u = utilities[0];
   for (double u : utilities) max_u = std::max(max_u, u);
@@ -66,6 +84,8 @@ RandomizedResponse::RandomizedResponse(size_t domain_size, double epsilon)
 
 size_t RandomizedResponse::Perturb(size_t value, Rng& rng) const {
   PPDP_CHECK(value < domain_size_) << "value out of domain";
+  static obs::Counter& perturbations = MechanismCounter("dp.randomized_response.perturbations");
+  perturbations.Increment();
   if (rng.Bernoulli(keep_)) return value;
   // Uniform over the other domain_size - 1 values.
   size_t other = rng.Uniform(domain_size_ - 1);

@@ -5,6 +5,9 @@
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "dp/mechanisms.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ppdp::dp {
 
@@ -50,6 +53,20 @@ std::vector<std::vector<double>> Marginals(const CategoricalData& data, int8_t d
 
 Result<PrivateSynthesizer> PrivateSynthesizer::Fit(const CategoricalData& data,
                                                    const SynthesizerConfig& config) {
+  // The previously free-floating PrivacyAccountant now backs every fit: the
+  // ledger records each labeled spend and the accountant enforces the total.
+  PrivacyAccountant accountant(config.epsilon > 0.0 ? config.epsilon : 1.0);
+  obs::PrivacyLedger ledger(accountant.budget(),
+                            [&accountant](double eps) { return accountant.Spend(eps); });
+  return Fit(data, config, &ledger);
+}
+
+Result<PrivateSynthesizer> PrivateSynthesizer::Fit(const CategoricalData& data,
+                                                   const SynthesizerConfig& config,
+                                                   obs::PrivacyLedger* ledger,
+                                                   const std::string& label_prefix) {
+  if (ledger == nullptr) return Fit(data, config);
+  obs::TraceSpan fit_span("dp.synthesizer.fit");
   if (data.empty()) return Status::InvalidArgument("no data to fit");
   if (config.epsilon <= 0.0) return Status::InvalidArgument("epsilon must be positive");
   if (config.structure_fraction < 0.0 || config.structure_fraction >= 1.0) {
@@ -83,6 +100,7 @@ Result<PrivateSynthesizer> PrivateSynthesizer::Fit(const CategoricalData& data,
   // earlier parents (PrivBayes-style k-degree network). MI sensitivity
   // under add/remove-one adjacency is O(log n / n).
   if (width > 1 && config.structure_fraction > 0.0) {
+    obs::TraceSpan structure_span("dp.synthesizer.structure");
     double eps_structure = config.epsilon * config.structure_fraction;
     double eps_per_choice =
         eps_structure / (static_cast<double>(width - 1) *
@@ -101,6 +119,8 @@ Result<PrivateSynthesizer> PrivateSynthesizer::Fit(const CategoricalData& data,
         for (size_t cand = 0; cand < j; ++cand) {
           if (used[cand]) masked[cand] = -1e9;
         }
+        PPDP_RETURN_IF_ERROR(
+            ledger->Spend(label_prefix + "structure_selection", "exponential", eps_per_choice));
         size_t parent = ExponentialMechanism(masked, eps_per_choice, mi_sensitivity, rng);
         if (used[parent]) continue;  // exponential tail hit a masked slot
         used[parent] = true;
@@ -116,6 +136,7 @@ Result<PrivateSynthesizer> PrivateSynthesizer::Fit(const CategoricalData& data,
   // across the per-attribute tables (sequential composition); each table's
   // counts change by at most 2 when one record changes (it leaves one cell
   // and enters another), so sensitivity 2.
+  obs::TraceSpan tables_span("dp.synthesizer.noisy_tables");
   double eps_tables = config.epsilon * (1.0 - config.structure_fraction);
   double eps_per_table = eps_tables / static_cast<double>(width);
   LaplaceMechanism laplace(/*sensitivity=*/2.0, eps_per_table);
@@ -131,6 +152,10 @@ Result<PrivateSynthesizer> PrivateSynthesizer::Fit(const CategoricalData& data,
 
   model.cpt_.resize(width);
   for (size_t j = 0; j < width; ++j) {
+    // One Laplace-mechanism release per attribute's (conditional) count
+    // table — sequential composition across the width tables.
+    PPDP_RETURN_IF_ERROR(
+        ledger->Spend(label_prefix + "conditional_tables", "laplace", eps_per_table));
     size_t parent_rows = 1;
     for (size_t unused = 0; unused < model.parents_[j].size(); ++unused) parent_rows *= k;
     std::vector<std::vector<double>> counts(parent_rows, std::vector<double>(k, 0.0));
@@ -146,10 +171,19 @@ Result<PrivateSynthesizer> PrivateSynthesizer::Fit(const CategoricalData& data,
     }
     model.cpt_[j] = std::move(counts);
   }
+  PPDP_LOG(INFO) << "synthesizer fit" << obs::Field("rows", data.size())
+                 << obs::Field("attributes", width) << obs::Field("epsilon", config.epsilon)
+                 << obs::Field("epsilon_spent", ledger->spent())
+                 << obs::Field("max_parents", config.max_parents)
+                 << obs::Field("seconds", fit_span.ElapsedSeconds());
   return model;
 }
 
 CategoricalData PrivateSynthesizer::Sample(size_t count, Rng& rng) const {
+  obs::TraceSpan span("dp.synthesizer.sample");
+  static obs::Counter& sampled =
+      obs::MetricsRegistry::Global().counter("dp.synthesizer.rows_sampled");
+  sampled.Increment(count);
   const size_t k = static_cast<size_t>(config_.domain);
   CategoricalData out;
   out.reserve(count);

@@ -2,10 +2,12 @@
 #define PPDP_DP_SYNTHESIZER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "obs/ledger.h"
 
 namespace ppdp::dp {
 
@@ -42,9 +44,22 @@ struct SynthesizerConfig {
 class PrivateSynthesizer {
  public:
   /// Fits the model on `data` (all rows same width, values in [0, domain)).
-  /// Fails on empty data or invalid configuration.
+  /// Fails on empty data or invalid configuration. Budget accounting runs
+  /// against an internal PrivacyAccountant-backed ledger sized to
+  /// config.epsilon.
   static Result<PrivateSynthesizer> Fit(const CategoricalData& data,
                                         const SynthesizerConfig& config);
+
+  /// Same, but every mechanism invocation is spent through `ledger` (labels
+  /// prefixed with `label_prefix`): structure selection as exponential-
+  /// mechanism spends, per-attribute count tables as Laplace spends. Fails
+  /// with the ledger's non-OK Status — instead of silently over-spending —
+  /// when the budget cannot cover the fit. A null ledger falls back to the
+  /// internal one.
+  static Result<PrivateSynthesizer> Fit(const CategoricalData& data,
+                                        const SynthesizerConfig& config,
+                                        obs::PrivacyLedger* ledger,
+                                        const std::string& label_prefix = "");
 
   /// Draws `count` synthetic rows by ancestral sampling (pure
   /// post-processing: spends no privacy budget).

@@ -4,6 +4,9 @@
 #include <cmath>
 
 #include "common/math_util.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ppdp::genomics {
 
@@ -95,6 +98,13 @@ FactorGraph::MapResult FactorGraph::RunMaxProduct(const BpOptions& options) cons
 
 FactorGraph::Messages FactorGraph::RunMessagePassing(const BpOptions& options,
                                                      bool max_product) const {
+  obs::TraceSpan span(max_product ? "genomics.bp.max_product" : "genomics.bp.sum_product");
+  static obs::Counter& runs = obs::MetricsRegistry::Global().counter("genomics.bp.runs");
+  static obs::Counter& iteration_count =
+      obs::MetricsRegistry::Global().counter("genomics.bp.iterations");
+  static obs::Histogram& iteration_seconds =
+      obs::MetricsRegistry::Global().histogram("genomics.bp.iteration_seconds");
+  runs.Increment();
   // Messages are indexed by (factor, position-within-factor).
   Messages messages;
   auto& to_factor = messages.to_factor;
@@ -120,6 +130,7 @@ FactorGraph::Messages FactorGraph::RunMessagePassing(const BpOptions& options,
   };
 
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    double iteration_start = obs::MonotonicSeconds();
     // Variable -> factor.
     for (size_t f = 0; f < factors_.size(); ++f) {
       const auto& vars = factors_[f].variables;
@@ -198,11 +209,18 @@ FactorGraph::Messages FactorGraph::RunMessagePassing(const BpOptions& options,
     }
 
     messages.iterations = iter + 1;
+    iteration_count.Increment();
+    iteration_seconds.Observe(obs::MonotonicSeconds() - iteration_start);
     if (max_change < options.tolerance) {
       messages.converged = true;
       break;
     }
   }
+  PPDP_LOG(DEBUG) << "BP finished" << obs::Field("iterations", messages.iterations)
+                  << obs::Field("converged", messages.converged)
+                  << obs::Field("variables", domains_.size())
+                  << obs::Field("factors", factors_.size())
+                  << obs::Field("seconds", span.ElapsedSeconds());
   return messages;
 }
 

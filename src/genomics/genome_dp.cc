@@ -4,6 +4,8 @@
 
 #include "common/logging.h"
 #include "dp/synthesizer.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 
 namespace ppdp::genomics {
 
@@ -30,6 +32,7 @@ dp::CategoricalData GroupRows(const CaseControlPanel& panel, bool cases) {
 
 Result<CaseControlPanel> SynthesizeDpPanel(const CaseControlPanel& real,
                                            const DpPanelConfig& config) {
+  obs::TraceSpan span("genomics.dp_panel");
   if (real.individuals.empty()) return Status::InvalidArgument("empty panel");
   size_t num_traits = real.individuals[0].traits.size();
   size_t num_snps = real.individuals[0].genotypes.size();
@@ -44,7 +47,9 @@ Result<CaseControlPanel> SynthesizeDpPanel(const CaseControlPanel& real,
     model_config.structure_fraction = config.structure_fraction;
     model_config.domain = kNumGenotypes;
     model_config.seed = config.seed + (cases ? 1 : 2);
-    PPDP_ASSIGN_OR_RETURN(auto model, dp::PrivateSynthesizer::Fit(rows, model_config));
+    PPDP_ASSIGN_OR_RETURN(
+        auto model, dp::PrivateSynthesizer::Fit(rows, model_config, config.ledger,
+                                                cases ? "case/" : "control/"));
     Rng rng(config.seed + (cases ? 11 : 12));
     dp::CategoricalData sampled = model.Sample(rows.size(), rng);
     for (const auto& row : sampled) {
@@ -62,6 +67,9 @@ Result<CaseControlPanel> SynthesizeDpPanel(const CaseControlPanel& real,
   if (synthetic.individuals.empty()) {
     return Status::InvalidArgument("panel has neither cases nor controls");
   }
+  PPDP_LOG(INFO) << "DP panel synthesized" << obs::Field("individuals", synthetic.individuals.size())
+                 << obs::Field("snps", num_snps) << obs::Field("epsilon", config.epsilon)
+                 << obs::Field("seconds", span.ElapsedSeconds());
   return synthetic;
 }
 

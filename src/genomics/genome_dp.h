@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "genomics/genome_data.h"
+#include "obs/ledger.h"
 
 namespace ppdp::genomics {
 
@@ -25,6 +26,12 @@ struct DpPanelConfig {
   double epsilon = 1.0;
   double structure_fraction = 0.3;
   uint64_t seed = 1;
+  /// Optional audit ledger. Both per-group fits record their spends here
+  /// under "case/" and "control/" labels. Because the groups are disjoint
+  /// (parallel composition) the release is ε-DP overall, but the ledger
+  /// records the raw sequential trail — so supply a budget of at least 2ε
+  /// when auditing both groups. Null = each fit audits internally.
+  obs::PrivacyLedger* ledger = nullptr;
 };
 
 Result<CaseControlPanel> SynthesizeDpPanel(const CaseControlPanel& real,

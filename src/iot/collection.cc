@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 
 namespace ppdp::iot {
 
@@ -29,15 +31,23 @@ Result<PerturbedReading> PrivacyProxy::Report(size_t sensor, size_t raw_value) {
   if (raw_value >= schema_[sensor].domain_size) {
     return Status::InvalidArgument("reading out of the sensor's domain");
   }
+  static obs::Counter& reports = obs::MetricsRegistry::Global().counter("iot.proxy.reports");
+  static obs::Counter& refused = obs::MetricsRegistry::Global().counter("iot.proxy.refused");
   const PrivacyPreference& pref = preferences_[sensor];
   if (pref.epsilon_per_reading <= 0.0) {
+    refused.Increment();
     return Status::FailedPrecondition("user preference forbids reporting " +
                                       schema_[sensor].name);
   }
   if (spent_[sensor] + pref.epsilon_per_reading > pref.total_budget + 1e-12) {
+    refused.Increment();
+    PPDP_LOG(WARN) << "sensor budget exhausted" << obs::Field("sensor", schema_[sensor].name)
+                   << obs::Field("spent", spent_[sensor])
+                   << obs::Field("budget", pref.total_budget);
     return Status::FailedPrecondition("lifetime privacy budget of " + schema_[sensor].name +
                                       " exhausted");
   }
+  reports.Increment();
   dp::RandomizedResponse mechanism(schema_[sensor].domain_size, pref.epsilon_per_reading);
   PerturbedReading reading;
   reading.sensor = sensor;

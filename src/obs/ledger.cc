@@ -1,0 +1,90 @@
+#include "obs/ledger.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace ppdp::obs {
+
+PrivacyLedger::PrivacyLedger(double budget) : budget_(budget) {
+  PPDP_CHECK(budget > 0.0) << "privacy budget must be positive, got " << budget;
+}
+
+PrivacyLedger::PrivacyLedger(double budget, std::function<Status(double)> enforcer)
+    : budget_(budget), enforcer_(std::move(enforcer)) {
+  PPDP_CHECK(budget > 0.0) << "privacy budget must be positive, got " << budget;
+  PPDP_CHECK(enforcer_ != nullptr) << "enforcer must be callable";
+}
+
+Status PrivacyLedger::Spend(std::string_view label, std::string_view mechanism, double epsilon,
+                            uint64_t invocations) {
+  static Counter& spends = MetricsRegistry::Global().counter("obs.ledger.spends");
+  static Counter& rejections = MetricsRegistry::Global().counter("obs.ledger.rejected");
+  if (invocations == 0) return Status::InvalidArgument("invocations must be positive");
+  double total = epsilon * static_cast<double>(invocations);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Status verdict;
+  if (epsilon <= 0.0) {
+    verdict = Status::InvalidArgument("epsilon must be positive");
+  } else if (enforcer_) {
+    verdict = enforcer_(total);
+  } else if (spent_ + total > budget_ + 1e-12) {
+    verdict = Status::FailedPrecondition(
+        "privacy budget exhausted: spending " + Table::FormatDouble(total, 6) + " for \"" +
+        std::string(label) + "\" would exceed remaining " +
+        Table::FormatDouble(budget_ - spent_, 6));
+  }
+  if (!verdict.ok()) {
+    ++rejected_;
+    rejections.Increment();
+    PPDP_LOG(WARN) << "privacy ledger rejected spend" << Field("label", std::string(label))
+                   << Field("mechanism", std::string(mechanism)) << Field("epsilon", total)
+                   << Field("remaining", budget_ - spent_);
+    return verdict;
+  }
+  spent_ += total;
+  spends.Increment(invocations);
+  for (Entry& entry : entries_) {
+    if (entry.label == label && entry.mechanism == mechanism) {
+      entry.calls += invocations;
+      entry.total_epsilon += total;
+      return Status::Ok();
+    }
+  }
+  entries_.push_back(Entry{std::string(label), std::string(mechanism), invocations, total});
+  return Status::Ok();
+}
+
+double PrivacyLedger::budget() const { return budget_; }
+
+double PrivacyLedger::spent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spent_;
+}
+
+uint64_t PrivacyLedger::rejected_spends() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_;
+}
+
+std::vector<PrivacyLedger::Entry> PrivacyLedger::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_;
+}
+
+Table PrivacyLedger::Summary() const {
+  Table table({"label", "mechanism", "calls", "epsilon spent", "share of budget"});
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Entry& entry : entries_) {
+    table.AddRow({entry.label, entry.mechanism, std::to_string(entry.calls),
+                  Table::FormatDouble(entry.total_epsilon, 6),
+                  Table::FormatDouble(entry.total_epsilon / budget_, 4)});
+  }
+  table.AddRow({"TOTAL", "", "", Table::FormatDouble(spent_, 6),
+                Table::FormatDouble(spent_ / budget_, 4)});
+  return table;
+}
+
+}  // namespace ppdp::obs

@@ -1,0 +1,78 @@
+#ifndef PPDP_OBS_LEDGER_H_
+#define PPDP_OBS_LEDGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/table.h"
+
+namespace ppdp::obs {
+
+/// Auditable privacy-budget ledger: every differential-privacy mechanism
+/// invocation is recorded as a labeled ε spend and checked against a budget
+/// *before* it happens, so budget exhaustion surfaces as a non-OK Status at
+/// the offending call instead of silent over-spending.
+///
+/// Enforcement is pluggable: by default the ledger applies sequential
+/// composition against its own budget; alternatively an external enforcer
+/// (e.g. a dp::PrivacyAccountant's Spend) can be attached, making the
+/// ledger the audit trail in front of an existing accountant:
+///
+///   dp::PrivacyAccountant accountant(1.0);
+///   obs::PrivacyLedger ledger(1.0, [&](double e) { return accountant.Spend(e); });
+///   PPDP_RETURN_IF_ERROR(ledger.Spend("cpt", "laplace", 0.1));
+///
+/// Thread-safe; entries aggregate by (label, mechanism).
+class PrivacyLedger {
+ public:
+  /// Spends are enforced by sequential composition against `budget`
+  /// (must be positive).
+  explicit PrivacyLedger(double budget);
+
+  /// Delegates the budget check to `enforcer` (called once per Spend with
+  /// the total ε of that call); `budget` is kept for reporting.
+  PrivacyLedger(double budget, std::function<Status(double)> enforcer);
+
+  /// Records `invocations` applications of `mechanism` costing `epsilon`
+  /// each, under `label`. Fails (recording nothing) when ε is not positive
+  /// or the remaining budget cannot cover the spend; the failure itself is
+  /// tallied and visible via rejected_spends().
+  Status Spend(std::string_view label, std::string_view mechanism, double epsilon,
+               uint64_t invocations = 1);
+
+  double budget() const;
+  double spent() const;
+  double remaining() const { return budget() - spent(); }
+  uint64_t rejected_spends() const;
+
+  /// One aggregated line of the audit trail.
+  struct Entry {
+    std::string label;
+    std::string mechanism;
+    uint64_t calls = 0;
+    double total_epsilon = 0.0;
+  };
+  /// Entries in first-spend order.
+  std::vector<Entry> entries() const;
+
+  /// Audit table: label, mechanism, calls, epsilon spent, share of budget —
+  /// plus a TOTAL row.
+  Table Summary() const;
+
+ private:
+  double budget_;
+  std::function<Status(double)> enforcer_;  ///< empty = internal composition
+  mutable std::mutex mutex_;
+  double spent_ = 0.0;
+  uint64_t rejected_ = 0;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ppdp::obs
+
+#endif  // PPDP_OBS_LEDGER_H_

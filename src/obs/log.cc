@@ -1,0 +1,160 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+
+#include "common/flags.h"
+
+namespace ppdp::obs {
+
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarn)};
+
+std::mutex& SinkMutex() {
+  static std::mutex m;
+  return m;
+}
+
+LogSink& SinkSlot() {
+  static LogSink sink;  // empty = default stderr sink
+  return sink;
+}
+
+void DefaultSink(const LogRecord& r) {
+  std::ostringstream line;
+  line << '[' << LogLevelName(r.level) << ' ' << std::fixed << r.elapsed_seconds << "s] "
+       << r.file << ':' << r.line << ' ' << r.message << '\n';
+  std::cerr << line.str();
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+std::chrono::steady_clock::time_point ProcessStart() {
+  static const auto start = std::chrono::steady_clock::now();
+  return start;
+}
+
+/// Forces the start timestamp to be captured at static-init time rather
+/// than on first log.
+[[maybe_unused]] const auto g_process_start_anchor = ProcessStart();
+
+}  // namespace
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - ProcessStart()).count();
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "UNKNOWN";
+}
+
+bool ParseLogLevel(std::string_view text, LogLevel* level) {
+  std::string lower(text);
+  for (char& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *level = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning") {
+    *level = LogLevel::kWarn;
+  } else if (lower == "error") {
+    *level = LogLevel::kError;
+  } else if (lower == "off" || lower == "none") {
+    *level = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed)); }
+
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkSlot() = std::move(sink);
+}
+
+bool InitLoggingFromFlags(const Flags& flags) {
+  if (!flags.Has("log_level")) return true;
+  LogLevel level;
+  if (!ParseLogLevel(flags.GetString("log_level", ""), &level)) {
+    PPDP_LOG(WARN) << "unrecognized --log_level value"
+                   << Field("value", flags.GetString("log_level", ""));
+    return false;
+  }
+  SetLogLevel(level);
+  return true;
+}
+
+Field::Field(std::string_view key, double value) : key_(key) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  FormatValue(buffer);
+}
+
+Field::Field(std::string_view key, bool value) : key_(key) { value_ = value ? "true" : "false"; }
+
+void Field::FormatValue(std::string raw) {
+  bool needs_quotes = raw.empty() || raw.find(' ') != std::string::npos ||
+                      raw.find('"') != std::string::npos;
+  if (!needs_quotes) {
+    value_ = std::move(raw);
+    return;
+  }
+  value_ = "\"";
+  for (char c : raw) {
+    if (c == '"') value_ += '\\';
+    value_ += c;
+  }
+  value_ += '"';
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(Basename(file)), line_(line) {}
+
+LogMessage::~LogMessage() {
+  LogRecord record;
+  record.level = level_;
+  record.file = file_;
+  record.line = line_;
+  record.elapsed_seconds = MonotonicSeconds();
+  record.message = stream_.str();
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  const LogSink& sink = SinkSlot();
+  if (sink) {
+    sink(record);
+  } else {
+    DefaultSink(record);
+  }
+}
+
+}  // namespace internal
+
+}  // namespace ppdp::obs

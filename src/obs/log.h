@@ -1,0 +1,131 @@
+#ifndef PPDP_OBS_LOG_H_
+#define PPDP_OBS_LOG_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "common/logging.h"
+
+namespace ppdp {
+class Flags;
+}  // namespace ppdp
+
+namespace ppdp::obs {
+
+/// Severity of a log record, ordered. kOff is only a threshold value (a
+/// record can never carry it); setting the global level to kOff silences
+/// everything.
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/// Stable upper-case name ("DEBUG", "INFO", ...).
+const char* LogLevelName(LogLevel level);
+
+/// Severity constants spelled the way the PPDP_LOG macro writes them:
+/// PPDP_LOG(WARN) expands to ::ppdp::obs::severity::WARN.
+namespace severity {
+inline constexpr LogLevel DEBUG = LogLevel::kDebug;
+inline constexpr LogLevel INFO = LogLevel::kInfo;
+inline constexpr LogLevel WARN = LogLevel::kWarn;
+inline constexpr LogLevel ERROR = LogLevel::kError;
+}  // namespace severity
+
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive; "warning"
+/// also accepted). Returns false and leaves *level untouched on junk.
+bool ParseLogLevel(std::string_view text, LogLevel* level);
+
+/// Global minimum severity; records below it are dropped before their
+/// message is even formatted. Default kWarn so library instrumentation is
+/// silent unless a binary opts in.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// True when a record at `level` would currently be emitted.
+inline bool LogEnabled(LogLevel level) { return level >= GetLogLevel() && level < LogLevel::kOff; }
+
+/// One emitted record, as handed to the sink.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  const char* file = "";  ///< basename of the emitting source file
+  int line = 0;
+  double elapsed_seconds = 0.0;  ///< monotonic time since process start
+  std::string message;           ///< formatted message incl. key=value fields
+};
+
+/// Pluggable destination for log records. The default sink writes
+///   [LEVEL elapsed] file:line message
+/// to stderr. Passing nullptr restores the default. The sink is called
+/// under an internal mutex, so it need not be re-entrant but must not log.
+using LogSink = std::function<void(const LogRecord&)>;
+void SetLogSink(LogSink sink);
+
+/// Applies "--log_level LEVEL" from parsed flags (no-op when absent);
+/// returns false when the flag was present but unparsable.
+bool InitLoggingFromFlags(const Flags& flags);
+
+/// A structured key=value field: streams as ` key=value`; string values
+/// containing spaces are quoted. Use inside PPDP_LOG chains:
+///   PPDP_LOG(INFO) << "fit done" << Field("epsilon", eps) << Field("rows", n);
+class Field {
+ public:
+  template <typename T>
+  Field(std::string_view key, const T& value) : key_(key) {
+    std::ostringstream os;
+    os << value;
+    FormatValue(os.str());
+  }
+  Field(std::string_view key, double value);  ///< fixed 6-digit formatting
+  Field(std::string_view key, bool value);
+
+  friend std::ostream& operator<<(std::ostream& os, const Field& f) {
+    return os << ' ' << f.key_ << '=' << f.value_;
+  }
+
+ private:
+  void FormatValue(std::string raw);
+
+  std::string key_;
+  std::string value_;
+};
+
+namespace internal {
+
+/// Accumulates one record's stream; dispatches to the sink on destruction
+/// (end of the full PPDP_LOG expression).
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Seconds since process start on the monotonic clock (also the timebase of
+/// trace events and log records).
+double MonotonicSeconds();
+
+}  // namespace ppdp::obs
+
+/// Leveled structured logging: PPDP_LOG(INFO) << "msg" << Field("k", v);
+/// The stream is not evaluated when the level is disabled. Levels: DEBUG,
+/// INFO, WARN, ERROR.
+#define PPDP_LOG(sev)                                                            \
+  !::ppdp::obs::LogEnabled(::ppdp::obs::severity::sev)                           \
+      ? static_cast<void>(0)                                                     \
+      : ::ppdp::internal_logging::Voidify() &                                    \
+            ::ppdp::obs::internal::LogMessage(::ppdp::obs::severity::sev,        \
+                                              __FILE__, __LINE__)               \
+                .stream()
+
+#endif  // PPDP_OBS_LOG_H_

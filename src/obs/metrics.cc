@@ -1,0 +1,213 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ppdp::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  PPDP_CHECK(!bounds_.empty()) << "histogram needs at least one bucket bound";
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    PPDP_CHECK(bounds_[i] > bounds_[i - 1]) << "bucket bounds must be strictly increasing";
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  ++counts_[bucket];
+  sum_ += value;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  ++count_;
+}
+
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_;
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counts_;
+}
+
+double Histogram::ApproxQuantile(double q) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double rank = q * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    double lo = b == 0 ? std::min(min_, bounds_[0]) : bounds_[b - 1];
+    double hi = b < bounds_.size() ? bounds_[b] : max_;
+    if (static_cast<double>(seen + counts_[b]) >= rank) {
+      // Interpolate within the bucket (clamped to the observed extremes).
+      double within = counts_[b] == 0
+                          ? 0.0
+                          : (rank - static_cast<double>(seen)) / static_cast<double>(counts_[b]);
+      return std::clamp(lo + within * (hi - lo), min_, max_);
+    }
+    seen += counts_[b];
+  }
+  return max_;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+const std::vector<double>& DefaultLatencyBoundsSeconds() {
+  static const std::vector<double> bounds = {1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2,
+                                             3e-2, 1e-1, 3e-1, 1.0,  3.0,  10.0};
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // intentionally leaked
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(bounds.empty() ? DefaultLatencyBoundsSeconds() : bounds);
+  }
+  return *slot;
+}
+
+Table MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Table table({"metric", "type", "count", "value", "mean", "p50", "p95", "max"});
+  for (const auto& [name, c] : counters_) {
+    table.AddRow({name, "counter", std::to_string(c->value()), std::to_string(c->value()), "", "",
+                  "", ""});
+  }
+  for (const auto& [name, g] : gauges_) {
+    table.AddRow({name, "gauge", "", Table::FormatDouble(g->value(), 6), "", "", "", ""});
+  }
+  for (const auto& [name, h] : histograms_) {
+    table.AddRow({name, "histogram", std::to_string(h->count()),
+                  Table::FormatDouble(h->sum(), 6), Table::FormatDouble(h->mean(), 6),
+                  Table::FormatDouble(h->ApproxQuantile(0.5), 6),
+                  Table::FormatDouble(h->ApproxQuantile(0.95), 6),
+                  Table::FormatDouble(h->max(), 6)});
+  }
+  return table;
+}
+
+namespace {
+
+void AppendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ",";
+    first = false;
+  };
+  for (const auto& [name, c] : counters_) {
+    comma();
+    AppendJsonString(out, name);
+    out += ":{\"type\":\"counter\",\"value\":" + std::to_string(c->value()) + "}";
+  }
+  for (const auto& [name, g] : gauges_) {
+    comma();
+    AppendJsonString(out, name);
+    out += ":{\"type\":\"gauge\",\"value\":" + Table::FormatDouble(g->value(), 9) + "}";
+  }
+  for (const auto& [name, h] : histograms_) {
+    comma();
+    AppendJsonString(out, name);
+    out += ":{\"type\":\"histogram\",\"count\":" + std::to_string(h->count()) +
+           ",\"sum\":" + Table::FormatDouble(h->sum(), 9) + ",\"bounds\":[";
+    const auto& bounds = h->bounds();
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      if (i) out += ",";
+      out += Table::FormatDouble(bounds[i], 9);
+    }
+    out += "],\"buckets\":[";
+    auto counts = h->bucket_counts();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (i) out += ",";
+      out += std::to_string(counts[i]);
+    }
+    out += "]}";
+  }
+  out += "}";
+  return out;
+}
+
+Status MetricsRegistry::WriteJson(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return Status::NotFound("cannot open " + path + " for writing");
+  file << ToJson() << "\n";
+  if (!file.good()) return Status::Internal("write to " + path + " failed");
+  return Status::Ok();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace ppdp::obs

@@ -1,0 +1,124 @@
+#ifndef PPDP_OBS_METRICS_H_
+#define PPDP_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/table.h"
+
+namespace ppdp::obs {
+
+/// Monotonically increasing event count. Lock-free; safe to increment from
+/// any thread.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, remaining budget, ...).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i]; one
+/// implicit overflow bucket counts the rest. Tracks count/sum/min/max for
+/// exact means. Thread-safe (mutex; observations are rare enough that
+/// contention is irrelevant here).
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  uint64_t count() const;
+  double sum() const;
+  double mean() const;  ///< 0 when empty
+  double min() const;   ///< 0 when empty
+  double max() const;   ///< 0 when empty
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bucket_counts()[i] pairs with bounds()[i]; the final entry is the
+  /// overflow bucket.
+  std::vector<uint64_t> bucket_counts() const;
+  /// Linear-interpolated quantile estimate from the buckets, q in [0, 1].
+  double ApproxQuantile(double q) const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  mutable std::mutex mutex_;
+  std::vector<uint64_t> counts_;  ///< bounds_.size() + 1 entries
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Default latency buckets in seconds: 10µs .. 10s, one per decade plus
+/// half-decades — wide enough for both per-iteration and per-phase timings.
+const std::vector<double>& DefaultLatencyBoundsSeconds();
+
+/// Process-wide named-metric registry. Lookup creates on first use and
+/// returns a stable reference (entries are never removed; Reset() zeroes
+/// values but keeps registrations, so cached references stay valid).
+///
+///   static Counter& sweeps = MetricsRegistry::Global().counter("ica.sweeps");
+///   sweeps.Increment();
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// First registration fixes the bucket bounds; later calls with the same
+  /// name ignore `bounds`.
+  Histogram& histogram(const std::string& name, const std::vector<double>& bounds = {});
+
+  /// One row per metric: metric, type, count, value, mean, p50, p95, max.
+  /// Counters/gauges fill count/value only. Rows are name-sorted.
+  Table Snapshot() const;
+
+  /// Compact JSON object keyed by metric name; histograms include bucket
+  /// bounds and counts.
+  std::string ToJson() const;
+  Status WriteJson(const std::string& path) const;
+
+  /// Zeroes every metric (registrations survive). For tests and benches.
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace ppdp::obs
+
+#endif  // PPDP_OBS_METRICS_H_

@@ -1,0 +1,136 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <map>
+
+#include "obs/log.h"
+
+namespace ppdp::obs {
+
+namespace {
+
+uint32_t ThisThreadOrdinal() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();  // intentionally leaked
+  return *recorder;
+}
+
+void TraceRecorder::SetEnabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_ = enabled;
+}
+
+bool TraceRecorder::enabled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return enabled_;
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_) return;
+  if (events_.size() >= kMaxEvents) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+size_t TraceRecorder::num_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+size_t TraceRecorder::num_dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+Table TraceRecorder::PhaseSummary() const {
+  struct Agg {
+    size_t count = 0;
+    double total_us = 0.0;
+    double min_us = 0.0;
+    double max_us = 0.0;
+  };
+  std::map<std::string, Agg> phases;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const TraceEvent& e : events_) {
+      Agg& agg = phases[e.name];
+      if (agg.count == 0 || e.duration_us < agg.min_us) agg.min_us = e.duration_us;
+      if (agg.count == 0 || e.duration_us > agg.max_us) agg.max_us = e.duration_us;
+      agg.total_us += e.duration_us;
+      ++agg.count;
+    }
+  }
+  std::vector<std::pair<std::string, Agg>> sorted(phases.begin(), phases.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.second.total_us > b.second.total_us; });
+  Table table({"phase", "count", "total ms", "mean ms", "min ms", "max ms"});
+  for (const auto& [name, agg] : sorted) {
+    double n = static_cast<double>(agg.count);
+    table.AddRow({name, std::to_string(agg.count), Table::FormatDouble(agg.total_us / 1e3, 3),
+                  Table::FormatDouble(agg.total_us / n / 1e3, 3),
+                  Table::FormatDouble(agg.min_us / 1e3, 3),
+                  Table::FormatDouble(agg.max_us / 1e3, 3)});
+  }
+  return table;
+}
+
+Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return Status::NotFound("cannot open " + path + " for writing");
+  std::vector<TraceEvent> snapshot = events();
+  file << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    const TraceEvent& e = snapshot[i];
+    if (i) file << ",";
+    file << "\n{\"name\":\"";
+    for (char c : e.name) {
+      if (c == '"' || c == '\\') file << '\\';
+      file << c;
+    }
+    file << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.thread << ",\"ts\":"
+         << Table::FormatDouble(e.start_us, 3) << ",\"dur\":"
+         << Table::FormatDouble(e.duration_us, 3) << "}";
+  }
+  file << "\n]}\n";
+  if (!file.good()) return Status::Internal("write to " + path + " failed");
+  return Status::Ok();
+}
+
+TraceSpan::TraceSpan(std::string name)
+    : name_(std::move(name)), start_us_(MonotonicSeconds() * 1e6) {}
+
+double TraceSpan::ElapsedSeconds() const { return MonotonicSeconds() - start_us_ / 1e6; }
+
+TraceSpan::~TraceSpan() {
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.thread = ThisThreadOrdinal();
+  event.start_us = start_us_;
+  event.duration_us = MonotonicSeconds() * 1e6 - start_us_;
+  TraceRecorder::Global().Record(std::move(event));
+}
+
+}  // namespace ppdp::obs

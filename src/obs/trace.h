@@ -1,0 +1,85 @@
+#ifndef PPDP_OBS_TRACE_H_
+#define PPDP_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/table.h"
+
+namespace ppdp::obs {
+
+/// One completed span on the monotonic timeline (timestamps in microseconds
+/// since process start).
+struct TraceEvent {
+  std::string name;
+  uint32_t thread = 0;  ///< small per-process thread ordinal
+  double start_us = 0.0;
+  double duration_us = 0.0;
+};
+
+/// Process-wide collector of completed TraceSpans. Always on by default;
+/// recording is one mutex-guarded vector push, and the event count is
+/// capped (drops are counted) so pathological span rates cannot exhaust
+/// memory.
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void SetEnabled(bool enabled);
+  bool enabled() const;
+
+  void Record(TraceEvent event);
+  size_t num_events() const;
+  size_t num_dropped() const;
+  std::vector<TraceEvent> events() const;
+  void Clear();
+
+  /// Wall-time aggregate by span name: phase, count, total ms, mean ms,
+  /// min ms, max ms. Rows sorted by descending total.
+  Table PhaseSummary() const;
+
+  /// Writes the Chrome trace_event JSON format ("X" complete events; load
+  /// via chrome://tracing or https://ui.perfetto.dev).
+  Status WriteChromeTrace(const std::string& path) const;
+
+  /// Maximum retained events before new ones are dropped.
+  static constexpr size_t kMaxEvents = 1 << 18;
+
+ private:
+  mutable std::mutex mutex_;
+  bool enabled_ = true;
+  std::vector<TraceEvent> events_;
+  size_t dropped_ = 0;
+};
+
+/// RAII scoped timer: measures the enclosed scope on the monotonic clock
+/// and records a TraceEvent on destruction. Nestable (inner spans simply
+/// record their own shorter intervals) and thread-safe (each span is local;
+/// the recorder synchronizes).
+///
+///   { TraceSpan span("synth.fit.structure"); ... }
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name);
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan();
+
+  /// Seconds elapsed since construction.
+  double ElapsedSeconds() const;
+
+ private:
+  std::string name_;
+  double start_us_;
+};
+
+}  // namespace ppdp::obs
+
+#endif  // PPDP_OBS_TRACE_H_

@@ -1,0 +1,139 @@
+#include "obs/ledger.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "dp/mechanisms.h"
+#include "dp/synthesizer.h"
+
+namespace ppdp::obs {
+namespace {
+
+TEST(PrivacyLedgerTest, SequentialCompositionAddsSpends) {
+  PrivacyLedger ledger(1.0);
+  EXPECT_TRUE(ledger.Spend("marginals", "laplace", 0.25).ok());
+  EXPECT_TRUE(ledger.Spend("structure", "exponential", 0.1, /*invocations=*/5).ok());
+  EXPECT_DOUBLE_EQ(ledger.spent(), 0.75);
+  EXPECT_DOUBLE_EQ(ledger.remaining(), 0.25);
+  EXPECT_EQ(ledger.rejected_spends(), 0u);
+
+  auto entries = ledger.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].label, "marginals");
+  EXPECT_EQ(entries[0].calls, 1u);
+  EXPECT_DOUBLE_EQ(entries[0].total_epsilon, 0.25);
+  EXPECT_EQ(entries[1].label, "structure");
+  EXPECT_EQ(entries[1].calls, 5u);
+  EXPECT_DOUBLE_EQ(entries[1].total_epsilon, 0.5);
+}
+
+TEST(PrivacyLedgerTest, RepeatedLabelsAggregate) {
+  PrivacyLedger ledger(10.0);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ledger.Spend("cpt", "laplace", 0.5).ok());
+  }
+  auto entries = ledger.entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].calls, 4u);
+  EXPECT_DOUBLE_EQ(entries[0].total_epsilon, 2.0);
+}
+
+TEST(PrivacyLedgerTest, OverrunRejectedAndNothingRecorded) {
+  PrivacyLedger ledger(0.5);
+  EXPECT_TRUE(ledger.Spend("first", "laplace", 0.4).ok());
+
+  Status overrun = ledger.Spend("second", "laplace", 0.2);
+  EXPECT_FALSE(overrun.ok());
+  EXPECT_EQ(overrun.code(), StatusCode::kFailedPrecondition);
+  EXPECT_DOUBLE_EQ(ledger.spent(), 0.4) << "a rejected spend must not be charged";
+  EXPECT_EQ(ledger.entries().size(), 1u);
+  EXPECT_EQ(ledger.rejected_spends(), 1u);
+
+  // The remaining sliver is still spendable.
+  EXPECT_TRUE(ledger.Spend("third", "laplace", 0.1).ok());
+  EXPECT_NEAR(ledger.remaining(), 0.0, 1e-12);
+}
+
+TEST(PrivacyLedgerTest, ExactBudgetSpendAllowedDespiteFloatDrift) {
+  PrivacyLedger ledger(1.0);
+  // 10 x 0.1 does not sum to exactly 1.0 in binary floating point; the
+  // ledger's tolerance must still admit every installment.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ledger.Spend("installment", "laplace", 0.1).ok()) << "installment " << i;
+  }
+  EXPECT_EQ(ledger.rejected_spends(), 0u);
+}
+
+TEST(PrivacyLedgerTest, NonPositiveEpsilonRejected) {
+  PrivacyLedger ledger(1.0);
+  EXPECT_FALSE(ledger.Spend("bad", "laplace", 0.0).ok());
+  EXPECT_FALSE(ledger.Spend("bad", "laplace", -0.5).ok());
+  EXPECT_EQ(ledger.entries().size(), 0u);
+}
+
+TEST(PrivacyLedgerTest, ExternalAccountantEnforces) {
+  dp::PrivacyAccountant accountant(0.5);
+  PrivacyLedger ledger(0.5, [&accountant](double eps) { return accountant.Spend(eps); });
+
+  EXPECT_TRUE(ledger.Spend("query", "laplace", 0.3).ok());
+  EXPECT_DOUBLE_EQ(accountant.spent(), 0.3) << "spends must flow through the accountant";
+
+  Status overrun = ledger.Spend("query", "laplace", 0.3);
+  EXPECT_FALSE(overrun.ok());
+  EXPECT_DOUBLE_EQ(accountant.spent(), 0.3);
+  EXPECT_DOUBLE_EQ(ledger.spent(), 0.3);
+  EXPECT_EQ(ledger.rejected_spends(), 1u);
+}
+
+TEST(PrivacyLedgerTest, SummaryHasTotalRowAndShares) {
+  PrivacyLedger ledger(2.0);
+  ASSERT_TRUE(ledger.Spend("structure", "exponential", 0.5).ok());
+  ASSERT_TRUE(ledger.Spend("tables", "laplace", 1.0).ok());
+
+  Table summary = ledger.Summary();
+  ASSERT_EQ(summary.num_rows(), 3u);
+  EXPECT_EQ(summary.row(0)[0], "structure");
+  EXPECT_EQ(summary.row(1)[0], "tables");
+  EXPECT_EQ(summary.row(2)[0], "TOTAL");
+  // Shares of budget: 0.25, 0.5, total 0.75.
+  EXPECT_EQ(summary.row(0)[4], Table::FormatDouble(0.25, 4));
+  EXPECT_EQ(summary.row(2)[4], Table::FormatDouble(0.75, 4));
+}
+
+TEST(PrivacyLedgerTest, SynthesizerFitStaysWithinDeclaredEpsilon) {
+  // End-to-end: a Fit wired through the ledger spends exactly its config
+  // epsilon (up to float drift) and never overruns.
+  dp::CategoricalData data;
+  Rng rng(11);
+  for (size_t i = 0; i < 60; ++i) {
+    dp::CategoricalRow row(4);
+    for (auto& v : row) v = static_cast<int8_t>(rng.Uniform(3));
+    data.push_back(row);
+  }
+  dp::SynthesizerConfig config;
+  config.epsilon = 1.0;
+  config.seed = 11;
+
+  dp::PrivacyAccountant accountant(config.epsilon);
+  PrivacyLedger ledger(accountant.budget(),
+                       [&accountant](double eps) { return accountant.Spend(eps); });
+  auto model = dp::PrivateSynthesizer::Fit(data, config, &ledger);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_EQ(ledger.rejected_spends(), 0u);
+  EXPECT_NEAR(ledger.spent(), config.epsilon, 1e-9);
+  EXPECT_NEAR(accountant.spent(), config.epsilon, 1e-9);
+
+  // An accountant holding less than the synthesizer needs fails the fit.
+  dp::PrivacyAccountant tight(config.epsilon / 4.0);
+  PrivacyLedger tight_ledger(config.epsilon,
+                             [&tight](double eps) { return tight.Spend(eps); });
+  auto failed = dp::PrivateSynthesizer::Fit(data, config, &tight_ledger);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_GE(tight_ledger.rejected_spends(), 1u);
+}
+
+}  // namespace
+}  // namespace ppdp::obs

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ppdp::obs {
+namespace {
+
+/// Restores the global log level and default sink after each test so the
+/// fixture never leaks state into the rest of the suite.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_level_ = GetLogLevel(); }
+  void TearDown() override {
+    SetLogSink(nullptr);
+    SetLogLevel(previous_level_);
+  }
+
+  LogLevel previous_level_ = LogLevel::kWarn;
+};
+
+TEST_F(ObsTest, ParseLogLevelAcceptsKnownNames) {
+  LogLevel level = LogLevel::kOff;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("INFO", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("Warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(ParseLogLevel("off", &level));
+  EXPECT_EQ(level, LogLevel::kOff);
+
+  level = LogLevel::kInfo;
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_EQ(level, LogLevel::kInfo) << "junk must leave the level untouched";
+}
+
+TEST_F(ObsTest, LevelThresholdFiltersRecords) {
+  std::vector<LogRecord> captured;
+  SetLogSink([&captured](const LogRecord& r) { captured.push_back(r); });
+
+  SetLogLevel(LogLevel::kWarn);
+  PPDP_LOG(INFO) << "filtered out";
+  PPDP_LOG(WARN) << "kept";
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].level, LogLevel::kWarn);
+  EXPECT_EQ(captured[0].message, "kept");
+
+  SetLogLevel(LogLevel::kDebug);
+  PPDP_LOG(DEBUG) << "now visible";
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[1].level, LogLevel::kDebug);
+
+  SetLogLevel(LogLevel::kOff);
+  PPDP_LOG(ERROR) << "silenced";
+  EXPECT_EQ(captured.size(), 2u);
+}
+
+TEST_F(ObsTest, DisabledLevelDoesNotEvaluateStream) {
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations]() {
+    ++evaluations;
+    return std::string("costly");
+  };
+  PPDP_LOG(DEBUG) << expensive();
+  EXPECT_EQ(evaluations, 0) << "stream operands must be skipped below the threshold";
+  PPDP_LOG(ERROR) << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(ObsTest, SinkReceivesFileLineAndFields) {
+  std::vector<LogRecord> captured;
+  SetLogSink([&captured](const LogRecord& r) { captured.push_back(r); });
+  SetLogLevel(LogLevel::kInfo);
+
+  PPDP_LOG(INFO) << "fit done" << Field("epsilon", 0.5) << Field("rows", 42)
+                 << Field("label", "two words") << Field("ok", true);
+  ASSERT_EQ(captured.size(), 1u);
+  const LogRecord& r = captured[0];
+  EXPECT_STREQ(r.file, "obs_test.cc");
+  EXPECT_GT(r.line, 0);
+  EXPECT_GE(r.elapsed_seconds, 0.0);
+  EXPECT_EQ(r.message, "fit done epsilon=0.5 rows=42 label=\"two words\" ok=true");
+}
+
+TEST_F(ObsTest, CounterMath) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Increment();
+  counter.Increment(9);
+  EXPECT_EQ(counter.value(), 10u);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST_F(ObsTest, GaugeSetAndAdd) {
+  Gauge gauge;
+  gauge.Set(2.5);
+  gauge.Add(-1.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 1.5);
+}
+
+TEST_F(ObsTest, HistogramBucketsAndStats) {
+  Histogram histogram({1.0, 2.0, 4.0});
+  for (double v : {0.5, 1.5, 1.7, 3.0, 100.0}) histogram.Observe(v);
+
+  EXPECT_EQ(histogram.count(), 5u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 0.5 + 1.5 + 1.7 + 3.0 + 100.0);
+  EXPECT_DOUBLE_EQ(histogram.mean(), histogram.sum() / 5.0);
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.5);
+  EXPECT_DOUBLE_EQ(histogram.max(), 100.0);
+
+  std::vector<uint64_t> expected = {1, 2, 1, 1};  // <=1, <=2, <=4, overflow
+  EXPECT_EQ(histogram.bucket_counts(), expected);
+
+  // The median falls in the (1, 2] bucket; quantiles must be monotone.
+  double p50 = histogram.ApproxQuantile(0.5);
+  EXPECT_GT(p50, 1.0);
+  EXPECT_LE(p50, 2.0);
+  EXPECT_LE(histogram.ApproxQuantile(0.25), p50);
+  EXPECT_LE(p50, histogram.ApproxQuantile(0.95));
+
+  histogram.Reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 0.0);
+}
+
+TEST_F(ObsTest, RegistryReturnsStableReferencesAcrossReset) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("test.counter");
+  counter.Increment(3);
+  EXPECT_EQ(&registry.counter("test.counter"), &counter);
+
+  registry.Reset();
+  EXPECT_EQ(counter.value(), 0u) << "Reset zeroes but keeps the registration";
+  counter.Increment();
+  EXPECT_EQ(registry.counter("test.counter").value(), 1u);
+}
+
+TEST_F(ObsTest, RegistrySnapshotListsEveryMetric) {
+  MetricsRegistry registry;
+  registry.counter("a.count").Increment(7);
+  registry.gauge("b.gauge").Set(1.25);
+  registry.histogram("c.hist", {1.0, 10.0}).Observe(0.5);
+
+  Table snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.num_rows(), 3u);
+  EXPECT_EQ(snapshot.row(0)[0], "a.count");
+  EXPECT_EQ(snapshot.row(1)[0], "b.gauge");
+  EXPECT_EQ(snapshot.row(2)[0], "c.hist");
+
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"a.count\""), std::string::npos);
+  EXPECT_NE(json.find("\"c.hist\""), std::string::npos);
+}
+
+TEST_F(ObsTest, NestedTraceSpansHaveMonotonicTiming) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+
+  {
+    TraceSpan outer("obs_test.outer");
+    {
+      TraceSpan inner("obs_test.inner");
+      // Do a little real work so the inner duration is non-trivial.
+      volatile double sink = 0.0;
+      for (int i = 0; i < 50000; ++i) sink += static_cast<double>(i) * 1e-9;
+      EXPECT_GE(inner.ElapsedSeconds(), 0.0);
+    }
+    EXPECT_GE(outer.ElapsedSeconds(), 0.0);
+  }
+
+  auto events = recorder.events();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner destructs first, so it is recorded first.
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  EXPECT_EQ(inner.name, "obs_test.inner");
+  EXPECT_EQ(outer.name, "obs_test.outer");
+  // The inner span starts no earlier and ends no later than the outer one.
+  EXPECT_GE(inner.start_us, outer.start_us);
+  EXPECT_LE(inner.start_us + inner.duration_us, outer.start_us + outer.duration_us + 1e-3);
+  EXPECT_GE(outer.duration_us, inner.duration_us);
+
+  Table phases = recorder.PhaseSummary();
+  EXPECT_EQ(phases.num_rows(), 2u);
+  recorder.Clear();
+}
+
+TEST_F(ObsTest, TraceRecorderDisableDropsSpans) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  recorder.SetEnabled(false);
+  { TraceSpan span("obs_test.disabled"); }
+  EXPECT_EQ(recorder.num_events(), 0u);
+  recorder.SetEnabled(true);
+  { TraceSpan span("obs_test.enabled"); }
+  EXPECT_EQ(recorder.num_events(), 1u);
+  recorder.Clear();
+}
+
+TEST_F(ObsTest, TraceSpansFromMultipleThreadsAllRecorded) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 25;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) TraceSpan span("obs_test.mt");
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(recorder.num_events(), static_cast<size_t>(kThreads * kSpansPerThread));
+  recorder.Clear();
+}
+
+}  // namespace
+}  // namespace ppdp::obs
