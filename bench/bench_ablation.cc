@@ -177,8 +177,13 @@ int main(int argc, char** argv) {
 
   // --- 4. LP vs discretized strategy search. ----------------------------------
   {
-    ppdp::core::TradeoffPublisher publisher(g, 0.7, env.seed);
-    auto problem = publisher.BuildProblem(/*delta=*/0.4);
+    auto publisher = ppdp::core::TradeoffPublisher::Create(
+        g, {.known_fraction = 0.7, .seed = env.seed, .threads = env.threads});
+    if (!publisher.ok()) {
+      std::cerr << "tradeoff publisher: " << publisher.status().ToString() << "\n";
+      return 1;
+    }
+    auto problem = publisher->BuildProblem(/*delta=*/0.4);
     auto lp = ppdp::tradeoff::SolveOptimalStrategy(problem);
     ppdp::Table table({"method", "granularity d", "samples", "latent privacy"});
     if (lp.ok()) {

@@ -73,5 +73,19 @@ int main(int argc, char** argv) {
   env.Emit(table, "dp_synthesis", "DP synthesis utility vs epsilon (tree vs independent)");
   env.Emit(audit, "dp_synthesis_ledger",
            "privacy ledger: epsilon spent per labeled mechanism call");
+
+  // Serial-vs-parallel wall time of the heaviest fit (tree structure at
+  // ε = 1): MI pair scoring and noisy-table release are the parallel paths.
+  env.EmitSpeedup(
+      [&](int threads) {
+        ppdp::dp::SynthesizerConfig config;
+        config.epsilon = 1.0;
+        config.structure_fraction = 0.3;
+        config.seed = env.seed;
+        config.threads = threads;
+        auto model = ppdp::dp::PrivateSynthesizer::Fit(data, config);
+        if (!model.ok()) std::cerr << "speedup fit failed: " << model.status().ToString() << "\n";
+      },
+      "dp_synthesis", "DP synthesizer fit: serial vs parallel");
   return 0;
 }

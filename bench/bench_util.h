@@ -1,12 +1,16 @@
 #ifndef PPDP_BENCH_BENCH_UTIL_H_
 #define PPDP_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <filesystem>
+#include <functional>
 #include <iostream>
 #include <string>
 
 #include "common/flags.h"
 #include "common/table.h"
+#include "exec/exec_config.h"
+#include "exec/thread_pool.h"
 #include "obs/ledger.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -20,6 +24,8 @@ namespace ppdp::bench {
 ///   --out DIR       (default "bench_out")  CSV output directory
 ///   --log_level L   (default warn)  debug|info|warn|error|off
 ///   --trace_out F   (off by default)  write a Chrome trace_event JSON
+///   --threads N     (default 0)    execution width: 0 = hardware
+///                   concurrency, 1 = exact serial fallback
 ///
 /// On destruction (end of main) the harness emits the per-phase wall-time
 /// table recorded by the library's TraceSpans — printed and written to
@@ -31,6 +37,7 @@ struct BenchEnv {
   std::string out_dir = "bench_out";
   std::string bench_name = "bench";
   std::string trace_out;
+  int threads = 0;
 
   BenchEnv(int argc, char** argv, double default_scale) {
     Flags flags(argc, argv);
@@ -38,6 +45,13 @@ struct BenchEnv {
     scale = flags.GetDouble("scale", default_scale);
     out_dir = flags.GetString("out", "bench_out");
     trace_out = flags.GetString("trace_out", "");
+    threads = static_cast<int>(flags.GetInt("threads", 0));
+    Status pool_status = exec::ThreadPool::SetGlobalThreads(threads);
+    if (!pool_status.ok()) {
+      std::cerr << "warning: --threads rejected: " << pool_status.ToString()
+                << "; falling back to hardware concurrency\n";
+      threads = 0;
+    }
     if (!obs::InitLoggingFromFlags(flags)) {
       std::cerr << "warning: unknown --log_level '" << flags.GetString("log_level", "")
                 << "' ignored (want debug|info|warn|error|off)\n";
@@ -87,6 +101,37 @@ struct BenchEnv {
     Emit(ledger.Summary(), name,
          "privacy ledger (budget " + Table::FormatDouble(ledger.budget(), 4) + ", spent " +
              Table::FormatDouble(ledger.spent(), 4) + ")");
+  }
+
+  /// Times `workload` once at --threads 1 (exact serial fallback) and once
+  /// at the resolved --threads width, and emits a serial/parallel/speedup
+  /// table as <out>/<name>_speedup.csv. `workload` receives the execution
+  /// width to use and must produce identical results at every width (the
+  /// determinism contract of exec::ParallelFor), so the two runs are
+  /// directly comparable. Skipped when only one hardware thread is
+  /// available or the user pinned --threads 1, since the two runs would
+  /// measure the same configuration.
+  void EmitSpeedup(const std::function<void(int threads)>& workload,
+                   const std::string& name, const std::string& heading) const {
+    const int parallel_width = static_cast<int>(exec::ExecConfig{threads}.ResolvedThreads());
+    if (parallel_width <= 1) {
+      std::cout << "== " << heading << " ==\n"
+                << "(speedup table skipped: execution width resolves to 1 thread)\n\n";
+      return;
+    }
+    auto timed = [&](int width) {
+      auto start = std::chrono::steady_clock::now();
+      workload(width);
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    };
+    const double serial_seconds = timed(1);
+    const double parallel_seconds = timed(parallel_width);
+    Table table({"threads", "serial s", "parallel s", "speedup"});
+    table.AddRow({std::to_string(parallel_width), Table::FormatDouble(serial_seconds, 4),
+                  Table::FormatDouble(parallel_seconds, 4),
+                  Table::FormatDouble(
+                      parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0, 2)});
+    Emit(table, name + "_speedup", heading);
   }
 
   /// Per-phase wall-time table from every TraceSpan recorded so far.

@@ -29,8 +29,14 @@ int main(int argc, char** argv) {
               catalog.num_traits(), catalog.associations().size());
 
   auto person = ppdp::genomics::SampleIndividual(catalog, rng);
-  ppdp::core::GenomePublisher publisher(
-      catalog, ppdp::genomics::MakeTargetView(catalog, person, /*known_traits=*/{}));
+  auto created = ppdp::core::GenomePublisher::Create(
+      catalog, ppdp::genomics::MakeTargetView(catalog, person, /*known_traits=*/{}),
+      {.seed = seed});
+  if (!created.ok()) {
+    std::printf("genome publisher: %s\n", created.status().ToString().c_str());
+    return 1;
+  }
+  ppdp::core::GenomePublisher& publisher = *created;
   std::printf("target publishes %zu associated SNPs; every trait is hidden\n\n",
               publisher.ReleasedSnps());
 

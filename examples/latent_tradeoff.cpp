@@ -22,7 +22,13 @@ int main(int argc, char** argv) {
 
   ppdp::graph::SocialGraph graph =
       ppdp::graph::GenerateSyntheticGraph(ppdp::graph::CaltechLikeConfig(scale, seed));
-  ppdp::core::TradeoffPublisher publisher(graph, /*known_fraction=*/0.7, seed);
+  auto created = ppdp::core::TradeoffPublisher::Create(
+      graph, {.known_fraction = 0.7, .seed = seed});
+  if (!created.ok()) {
+    std::printf("tradeoff publisher: %s\n", created.status().ToString().c_str());
+    return 1;
+  }
+  ppdp::core::TradeoffPublisher& publisher = *created;
 
   std::printf("-- optimal attribute strategy f(X'|X) across δ --\n");
   ppdp::Table sweep({"delta", "latent privacy (LP)", "prediction loss", "discretized search"});

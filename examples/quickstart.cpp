@@ -1,6 +1,10 @@
 // Quickstart: the three chapters of the library in thirty lines each.
 //
-//   $ ./quickstart [--seed N]
+//   $ ./quickstart [--seed N] [--threads N]
+//
+// --threads sets the execution width of every parallel path (0, the
+// default, means hardware concurrency; 1 forces the exact serial
+// fallback). Results are bit-identical at every width.
 //
 // 1. Social publishing (Ch.3): measure a collective inference attack on a
 //    synthetic Facebook-like graph, sanitize with the collective method,
@@ -17,31 +21,42 @@
 int main(int argc, char** argv) {
   ppdp::Flags flags(argc, argv);
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  int threads = static_cast<int>(flags.GetInt("threads", 0));
+  ppdp::core::PublisherOptions options{
+      .known_fraction = 0.7, .seed = seed, .threads = threads};
 
   // ----- Chapter 3: social data publishing --------------------------------
   std::printf("== Social publishing (Ch.3) ==\n");
   ppdp::graph::SocialGraph graph =
       ppdp::graph::GenerateSyntheticGraph(ppdp::graph::CaltechLikeConfig(0.3, seed));
-  ppdp::core::SocialPublisher social(graph, /*known_fraction=*/0.7, seed);
+  auto social = ppdp::core::SocialPublisher::Create(graph, options);
+  if (!social.ok()) {
+    std::printf("social publisher: %s\n", social.status().ToString().c_str());
+    return 1;
+  }
 
-  double before = social.AttackAccuracy(ppdp::classify::AttackModel::kCollective,
-                                        ppdp::classify::LocalModel::kRst);
+  double before = social->AttackAccuracy(ppdp::classify::AttackModel::kCollective,
+                                         ppdp::classify::LocalModel::kRst);
   std::printf("collective attack accuracy before sanitization: %.3f (prior %.3f)\n", before,
-              social.PriorAccuracy());
+              social->PriorAccuracy());
 
-  auto report = social.SanitizeCollective({.utility_category = 1, .generalization_level = 5});
+  auto report = social->SanitizeCollective({.utility_category = 1, .generalization_level = 5});
   std::printf("collective method: removed %zu categories, perturbed %zu (core size %zu)\n",
               report.removed_categories.size(), report.perturbed_categories.size(),
               report.analysis.core.size());
 
-  double after = social.AttackAccuracy(ppdp::classify::AttackModel::kCollective,
-                                       ppdp::classify::LocalModel::kRst);
+  double after = social->AttackAccuracy(ppdp::classify::AttackModel::kCollective,
+                                        ppdp::classify::LocalModel::kRst);
   std::printf("collective attack accuracy after sanitization:  %.3f\n\n", after);
 
   // ----- Chapter 4: optimal privacy-utility tradeoff ----------------------
   std::printf("== Latent-data privacy LP (Ch.4) ==\n");
-  ppdp::core::TradeoffPublisher tradeoff(graph, 0.7, seed);
-  auto strategy = tradeoff.OptimizeAttributeStrategy(/*delta=*/0.4);
+  auto tradeoff = ppdp::core::TradeoffPublisher::Create(graph, options);
+  if (!tradeoff.ok()) {
+    std::printf("tradeoff publisher: %s\n", tradeoff.status().ToString().c_str());
+    return 1;
+  }
+  auto strategy = tradeoff->OptimizeAttributeStrategy(/*delta=*/0.4);
   if (strategy.ok()) {
     std::printf("optimal f(X'|X): latent privacy %.4f at prediction loss %.4f (δ=0.4)\n\n",
                 strategy->latent_privacy, strategy->prediction_utility_loss);
@@ -56,17 +71,21 @@ int main(int argc, char** argv) {
   catalog_config.num_snps = 200;
   auto catalog = ppdp::genomics::GenerateSyntheticCatalog(catalog_config, rng);
   auto person = ppdp::genomics::SampleIndividual(catalog, rng);
-  ppdp::core::GenomePublisher genome(catalog,
-                                     ppdp::genomics::MakeTargetView(catalog, person, {}));
+  auto genome = ppdp::core::GenomePublisher::Create(
+      catalog, ppdp::genomics::MakeTargetView(catalog, person, {}), options);
+  if (!genome.ok()) {
+    std::printf("genome publisher: %s\n", genome.status().ToString().c_str());
+    return 1;
+  }
 
   // Target the common diseases; the rare ones have near-deterministic
   // priors that no sanitization can lift to high entropy.
   std::vector<size_t> hidden_traits = {2, 3, 5};  // Heart, Hypertension, Osteoporosis
-  auto privacy = genome.Privacy(hidden_traits, ppdp::genomics::AttackMethod::kBeliefPropagation);
+  auto privacy = genome->Privacy(hidden_traits, ppdp::genomics::AttackMethod::kBeliefPropagation);
   std::printf("BP attack on hidden traits: min entropy privacy %.3f, mean error %.3f\n",
               privacy.min_entropy, privacy.mean_error);
 
-  auto published = genome.PublishWithDeltaPrivacy(/*delta=*/0.5, hidden_traits);
+  auto published = genome->PublishWithDeltaPrivacy(/*delta=*/0.5, hidden_traits);
   std::printf("δ-private publishing: sanitized %zu SNPs, released %zu, δ=0.5 %s\n",
               published.sanitized.size(), published.released,
               published.satisfied ? "satisfied" : "not reachable");

@@ -48,7 +48,13 @@ int main(int argc, char** argv) {
   std::printf("SNAP-like graph: %zu nodes, %zu edges, %zu categories, %d labels\n\n",
               graph.num_nodes(), graph.num_edges(), graph.num_categories(), graph.num_labels());
 
-  ppdp::core::SocialPublisher publisher(graph, known, seed);
+  auto created =
+      ppdp::core::SocialPublisher::Create(graph, {.known_fraction = known, .seed = seed});
+  if (!created.ok()) {
+    std::printf("social publisher: %s\n", created.status().ToString().c_str());
+    return 1;
+  }
+  ppdp::core::SocialPublisher& publisher = *created;
   std::printf("-- attack accuracy on the raw graph (prior %.3f) --\n",
               publisher.PriorAccuracy());
   AttackMatrix(publisher);
@@ -62,7 +68,13 @@ int main(int argc, char** argv) {
   AttackMatrix(publisher);
 
   std::printf("\n-- collective method (Algorithm 2) on a fresh copy --\n");
-  ppdp::core::SocialPublisher collective(graph, known, seed);
+  auto fresh =
+      ppdp::core::SocialPublisher::Create(graph, {.known_fraction = known, .seed = seed});
+  if (!fresh.ok()) {
+    std::printf("social publisher: %s\n", fresh.status().ToString().c_str());
+    return 1;
+  }
+  ppdp::core::SocialPublisher& collective = *fresh;
   auto report = collective.SanitizeCollective({.utility_category = 1, .generalization_level = 6});
   std::printf("PDAs: %zu, UDAs: %zu, Core: %zu -> removed %zu, perturbed %zu\n",
               report.analysis.privacy_dependent.size(), report.analysis.utility_dependent.size(),

@@ -1,21 +1,45 @@
 #include "classify/collective.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "classify/relational.h"
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "exec/parallel.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace ppdp::classify {
 
+namespace {
+/// Per-node work (a Predict or a relational mix) is light; batch enough
+/// nodes per chunk that scheduling cost disappears.
+constexpr size_t kNodeGrain = 64;
+}  // namespace
+
+Status CollectiveConfig::Validate() const {
+  if (!(std::isfinite(alpha) && std::isfinite(beta)) || alpha < 0.0 || beta < 0.0) {
+    return Status::InvalidArgument("alpha and beta must be finite and non-negative");
+  }
+  if (alpha + beta <= 0.0) {
+    return Status::InvalidArgument("alpha + beta must be positive (both zero disables Eq. 3.5)");
+  }
+  if (max_iterations == 0) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+  if (!(convergence_tol >= 0.0)) {
+    return Status::InvalidArgument("convergence_tol must be non-negative");
+  }
+  return exec::ExecConfig{threads}.Validate();
+}
+
 CollectiveResult CollectiveInference(const SocialGraph& g, const std::vector<bool>& known,
                                      AttributeClassifier& local, const CollectiveConfig& config) {
   PPDP_CHECK(known.size() == g.num_nodes());
-  PPDP_CHECK(config.alpha >= 0.0 && config.beta >= 0.0 && config.alpha + config.beta > 0.0)
-      << "alpha/beta must be non-negative and not both zero";
+  Status valid = config.Validate();
+  PPDP_CHECK(valid.ok()) << valid.ToString();
   obs::TraceSpan span("classify.ica");
   static obs::Counter& runs = obs::MetricsRegistry::Global().counter("classify.ica.runs");
   static obs::Counter& iterations =
@@ -24,33 +48,50 @@ CollectiveResult CollectiveInference(const SocialGraph& g, const std::vector<boo
       obs::MetricsRegistry::Global().histogram("classify.ica.sweep_seconds");
   runs.Increment();
 
+  const exec::ExecConfig exec_config{config.threads};
   local.Train(g, known);
 
   CollectiveResult result;
-  result.distributions = BootstrapDistributions(g, known, local);
+  result.distributions = BootstrapDistributions(g, known, local, config.threads);
 
   // Cache the (fixed) attribute posteriors; only P_L changes per round.
+  // Each node's posterior is an independent Predict — fan the nodes out.
   std::vector<LabelDistribution> attribute_posterior(g.num_nodes());
-  for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    if (!known[u]) attribute_posterior[u] = local.Predict(g, u);
-  }
+  exec::ParallelFor(
+      0, g.num_nodes(), kNodeGrain,
+      [&](size_t u) {
+        if (!known[u]) attribute_posterior[u] = local.Predict(g, static_cast<NodeId>(u));
+      },
+      exec_config);
 
   const double norm = config.alpha + config.beta;
+  std::vector<double> node_change(g.num_nodes(), 0.0);
   for (size_t iter = 0; iter < config.max_iterations; ++iter) {
     double sweep_start = obs::MonotonicSeconds();
-    double max_change = 0.0;
     std::vector<LabelDistribution> next = result.distributions;
-    for (NodeId u = 0; u < g.num_nodes(); ++u) {
-      if (known[u]) continue;
-      LabelDistribution link = RelationalPredict(g, u, result.distributions);
-      LabelDistribution mixed(link.size());
-      for (size_t y = 0; y < mixed.size(); ++y) {
-        mixed[y] = (config.alpha * attribute_posterior[u][y] + config.beta * link[y]) / norm;
-      }
-      NormalizeInPlace(mixed);
-      max_change = std::max(max_change, L1Distance(mixed, result.distributions[u]));
-      next[u] = std::move(mixed);
-    }
+    // Every node's re-estimate reads only the previous round's distributions
+    // and writes its own slot, so the sweep parallelizes without changing a
+    // single bit of the serial result.
+    exec::ParallelFor(
+        0, g.num_nodes(), kNodeGrain,
+        [&](size_t u) {
+          if (known[u]) {
+            node_change[u] = 0.0;
+            return;
+          }
+          LabelDistribution link =
+              RelationalPredict(g, static_cast<NodeId>(u), result.distributions);
+          LabelDistribution mixed(link.size());
+          for (size_t y = 0; y < mixed.size(); ++y) {
+            mixed[y] = (config.alpha * attribute_posterior[u][y] + config.beta * link[y]) / norm;
+          }
+          NormalizeInPlace(mixed);
+          node_change[u] = L1Distance(mixed, result.distributions[u]);
+          next[u] = std::move(mixed);
+        },
+        exec_config);
+    double max_change = 0.0;
+    for (double change : node_change) max_change = std::max(max_change, change);
     result.distributions = std::move(next);
     result.iterations = iter + 1;
     iterations.Increment();

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "classify/classifier.h"
+#include "common/status.h"
 
 namespace ppdp::classify {
 
@@ -14,6 +15,13 @@ struct CollectiveConfig {
   double beta = 0.5;             ///< weight of the link classifier P_L
   size_t max_iterations = 10;    ///< ICA refinement rounds
   double convergence_tol = 1e-4; ///< stop when max per-node L1 change drops below
+  int threads = 0;               ///< exec convention: 0 = all cores, 1 = serial
+
+  /// Rejects non-finite or negative α/β, α = β = 0, zero max_iterations,
+  /// a negative tolerance, and a negative thread count. Called at every
+  /// inference entry point so misconfiguration surfaces as a non-OK Status
+  /// instead of silent garbage.
+  Status Validate() const;
 };
 
 /// Output of the collective attack.

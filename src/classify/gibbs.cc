@@ -1,89 +1,134 @@
 #include "classify/gibbs.h"
 
+#include <cmath>
+
 #include "classify/relational.h"
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "exec/parallel.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace ppdp::classify {
 
+Status GibbsConfig::Validate() const {
+  if (!(std::isfinite(alpha) && std::isfinite(beta)) || alpha < 0.0 || beta < 0.0) {
+    return Status::InvalidArgument("alpha and beta must be finite and non-negative");
+  }
+  if (alpha + beta <= 0.0) {
+    return Status::InvalidArgument("alpha + beta must be positive");
+  }
+  if (samples == 0) return Status::InvalidArgument("samples must be >= 1");
+  if (chains == 0) return Status::InvalidArgument("chains must be >= 1");
+  return exec::ExecConfig{threads}.Validate();
+}
+
 CollectiveResult GibbsCollectiveInference(const SocialGraph& g, const std::vector<bool>& known,
                                           AttributeClassifier& local,
                                           const GibbsConfig& config) {
   PPDP_CHECK(known.size() == g.num_nodes());
-  PPDP_CHECK(config.alpha >= 0.0 && config.beta >= 0.0 && config.alpha + config.beta > 0.0);
-  PPDP_CHECK(config.samples >= 1);
+  Status valid = config.Validate();
+  PPDP_CHECK(valid.ok()) << valid.ToString();
   obs::TraceSpan span("classify.gibbs");
   static obs::Counter& runs = obs::MetricsRegistry::Global().counter("classify.gibbs.runs");
   static obs::Counter& sweeps = obs::MetricsRegistry::Global().counter("classify.gibbs.sweeps");
-  static obs::Histogram& sweep_seconds =
-      obs::MetricsRegistry::Global().histogram("classify.gibbs.sweep_seconds");
+  static obs::Histogram& chain_seconds =
+      obs::MetricsRegistry::Global().histogram("classify.gibbs.chain_seconds");
   runs.Increment();
 
   local.Train(g, known);
-  Rng rng(config.seed);
   const size_t labels = static_cast<size_t>(g.num_labels());
   const double norm = config.alpha + config.beta;
-
-  // Fixed attribute posteriors; current hard assignment per node.
-  std::vector<LabelDistribution> attribute_posterior(g.num_nodes());
-  std::vector<graph::Label> state(g.num_nodes(), 0);
-  for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    if (known[u]) {
-      graph::Label y = g.GetLabel(u);
-      PPDP_CHECK(y != graph::kUnknownLabel) << "known node " << u << " has no label";
-      state[u] = y;
-    } else {
-      attribute_posterior[u] = local.Predict(g, u);
-      state[u] = static_cast<graph::Label>(rng.Categorical(attribute_posterior[u]));
-    }
-  }
-
-  // Weighted hard-label vote of u's neighborhood under the current state.
-  auto link_vote = [&](NodeId u) {
-    LabelDistribution vote(labels, 0.0);
-    double total = 0.0;
-    for (NodeId v : g.Neighbors(u)) {
-      double w = g.LinkWeight(u, v);
-      if (w <= 0.0) continue;
-      total += w;
-      vote[static_cast<size_t>(state[v])] += w;
-    }
-    if (total <= 0.0) return LabelDistribution(labels, 1.0 / static_cast<double>(labels));
-    for (double& p : vote) p /= total;
-    return vote;
-  };
-
-  std::vector<std::vector<double>> tallies(g.num_nodes(), std::vector<double>(labels, 0.0));
   const size_t total_sweeps = config.burn_in + config.samples;
-  for (size_t sweep = 0; sweep < total_sweeps; ++sweep) {
-    double sweep_start = obs::MonotonicSeconds();
+
+  // Fixed attribute posteriors, shared read-only by every chain.
+  std::vector<LabelDistribution> attribute_posterior(g.num_nodes());
+  exec::ParallelFor(
+      0, g.num_nodes(), /*grain=*/64,
+      [&](size_t u) {
+        if (!known[u]) attribute_posterior[u] = local.Predict(g, static_cast<NodeId>(u));
+      },
+      exec::ExecConfig{config.threads});
+
+  // One chain = the classic single-site sweep with its own hard-label state
+  // and its own index-addressed RNG stream. Chains never share mutable
+  // state, so running them concurrently cannot change any chain's result.
+  const Rng root(config.seed);
+  std::vector<std::vector<std::vector<double>>> chain_tallies(
+      config.chains,
+      std::vector<std::vector<double>>(g.num_nodes(), std::vector<double>(labels, 0.0)));
+  exec::ParallelFor(
+      0, config.chains, /*grain=*/1,
+      [&](size_t chain) {
+        double chain_start = obs::MonotonicSeconds();
+        Rng rng = root.Split(chain);
+        auto& tallies = chain_tallies[chain];
+
+        std::vector<graph::Label> state(g.num_nodes(), 0);
+        for (NodeId u = 0; u < g.num_nodes(); ++u) {
+          if (known[u]) {
+            graph::Label y = g.GetLabel(u);
+            PPDP_CHECK(y != graph::kUnknownLabel) << "known node " << u << " has no label";
+            state[u] = y;
+          } else {
+            state[u] = static_cast<graph::Label>(rng.Categorical(attribute_posterior[u]));
+          }
+        }
+
+        // Weighted hard-label vote of u's neighborhood under the current
+        // state.
+        auto link_vote = [&](NodeId u) {
+          LabelDistribution vote(labels, 0.0);
+          double total = 0.0;
+          for (NodeId v : g.Neighbors(u)) {
+            double w = g.LinkWeight(u, v);
+            if (w <= 0.0) continue;
+            total += w;
+            vote[static_cast<size_t>(state[v])] += w;
+          }
+          if (total <= 0.0) return LabelDistribution(labels, 1.0 / static_cast<double>(labels));
+          for (double& p : vote) p /= total;
+          return vote;
+        };
+
+        for (size_t sweep = 0; sweep < total_sweeps; ++sweep) {
+          for (NodeId u = 0; u < g.num_nodes(); ++u) {
+            if (known[u]) continue;
+            LabelDistribution vote = link_vote(u);
+            LabelDistribution conditional(labels);
+            for (size_t y = 0; y < labels; ++y) {
+              conditional[y] =
+                  (config.alpha * attribute_posterior[u][y] + config.beta * vote[y]) / norm;
+            }
+            state[u] = static_cast<graph::Label>(rng.Categorical(conditional));
+          }
+          if (sweep >= config.burn_in) {
+            for (NodeId u = 0; u < g.num_nodes(); ++u) {
+              tallies[u][static_cast<size_t>(state[u])] += 1.0;
+            }
+          }
+          sweeps.Increment();
+        }
+        chain_seconds.Observe(obs::MonotonicSeconds() - chain_start);
+      },
+      exec::ExecConfig{config.threads});
+
+  // Pool the chains in chain order (deterministic fold).
+  std::vector<std::vector<double>> tallies(g.num_nodes(), std::vector<double>(labels, 0.0));
+  for (const auto& per_chain : chain_tallies) {
     for (NodeId u = 0; u < g.num_nodes(); ++u) {
-      if (known[u]) continue;
-      LabelDistribution vote = link_vote(u);
-      LabelDistribution conditional(labels);
-      for (size_t y = 0; y < labels; ++y) {
-        conditional[y] = (config.alpha * attribute_posterior[u][y] + config.beta * vote[y]) / norm;
-      }
-      state[u] = static_cast<graph::Label>(rng.Categorical(conditional));
+      for (size_t y = 0; y < labels; ++y) tallies[u][y] += per_chain[u][y];
     }
-    if (sweep >= config.burn_in) {
-      for (NodeId u = 0; u < g.num_nodes(); ++u) {
-        tallies[u][static_cast<size_t>(state[u])] += 1.0;
-      }
-    }
-    sweeps.Increment();
-    sweep_seconds.Observe(obs::MonotonicSeconds() - sweep_start);
   }
-  PPDP_LOG(DEBUG) << "Gibbs chain finished" << obs::Field("sweeps", total_sweeps)
+  PPDP_LOG(DEBUG) << "Gibbs chains finished" << obs::Field("chains", config.chains)
+                  << obs::Field("sweeps_per_chain", total_sweeps)
                   << obs::Field("burn_in", config.burn_in) << obs::Field("nodes", g.num_nodes())
                   << obs::Field("seconds", span.ElapsedSeconds());
 
   CollectiveResult result;
   result.iterations = total_sweeps;
-  result.converged = true;  // fixed-length chain by construction
+  result.converged = true;  // fixed-length chains by construction
   result.distributions.resize(g.num_nodes());
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
     if (known[u]) {

@@ -16,8 +16,14 @@ struct GibbsConfig {
   double alpha = 0.5;        ///< attribute-posterior weight, as in Eq. 3.5
   double beta = 0.5;         ///< link-vote weight
   size_t burn_in = 20;       ///< sweeps discarded before collecting
-  size_t samples = 80;       ///< sweeps averaged into the output beliefs
+  size_t samples = 80;       ///< sweeps averaged into the output beliefs (per chain)
+  size_t chains = 1;         ///< independent chains pooled into the beliefs
   uint64_t seed = 1;
+  int threads = 0;           ///< exec convention: 0 = all cores, 1 = serial
+
+  /// Rejects invalid α/β (see CollectiveConfig), zero samples or chains,
+  /// and a negative thread count.
+  Status Validate() const;
 };
 
 /// Gibbs-sampling collective inference: unknown labels are initialized by
@@ -30,6 +36,13 @@ struct GibbsConfig {
 /// stochastically instead of propagating soft beliefs — the classic
 /// trade-off the collective-classification literature the chapter cites
 /// studies. `local` is trained inside.
+///
+/// With chains > 1 the procedure runs that many independent chains — chain
+/// c derives its randomness as Rng(seed).Split(c), so each chain's stream
+/// is index-addressed rather than shared — and pools their post-burn-in
+/// tallies. Chains execute in parallel under `threads`; because streams are
+/// per-chain and the pool fold is in chain order, the output is
+/// byte-identical at every thread count.
 CollectiveResult GibbsCollectiveInference(const SocialGraph& g, const std::vector<bool>& known,
                                           AttributeClassifier& local,
                                           const GibbsConfig& config = {});

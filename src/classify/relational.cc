@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "exec/parallel.h"
 
 namespace ppdp::classify {
 
@@ -27,20 +28,26 @@ LabelDistribution RelationalPredict(const SocialGraph& g, NodeId u,
 
 std::vector<LabelDistribution> BootstrapDistributions(const SocialGraph& g,
                                                       const std::vector<bool>& known,
-                                                      const AttributeClassifier& local) {
+                                                      const AttributeClassifier& local,
+                                                      int threads) {
   PPDP_CHECK(known.size() == g.num_nodes());
   const size_t labels = static_cast<size_t>(g.num_labels());
   std::vector<LabelDistribution> dists(g.num_nodes());
-  for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    if (known[u]) {
-      graph::Label y = g.GetLabel(u);
-      PPDP_CHECK(y != graph::kUnknownLabel) << "known node " << u << " has no label";
-      dists[u].assign(labels, 0.0);
-      dists[u][static_cast<size_t>(y)] = 1.0;
-    } else {
-      dists[u] = local.Predict(g, u);
-    }
-  }
+  // Pure per-node fan-out: each slot is written exactly once from a const
+  // classifier, so the bootstrap is thread-count-invariant.
+  exec::ParallelFor(
+      0, g.num_nodes(), /*grain=*/64,
+      [&](size_t u) {
+        if (known[u]) {
+          graph::Label y = g.GetLabel(static_cast<NodeId>(u));
+          PPDP_CHECK(y != graph::kUnknownLabel) << "known node " << u << " has no label";
+          dists[u].assign(labels, 0.0);
+          dists[u][static_cast<size_t>(y)] = 1.0;
+        } else {
+          dists[u] = local.Predict(g, static_cast<NodeId>(u));
+        }
+      },
+      exec::ExecConfig{threads});
   return dists;
 }
 

@@ -26,10 +26,13 @@ std::vector<LabelDistribution> LinkOnlyInference(const SocialGraph& g,
                                                  size_t passes = 1);
 
 /// Builds the initial per-node distributions: one-hot for known nodes,
-/// local-classifier posterior for unknown nodes.
+/// local-classifier posterior for unknown nodes. `threads` follows the exec
+/// convention (0 = all cores, 1 = serial); the result is identical at every
+/// setting.
 std::vector<LabelDistribution> BootstrapDistributions(const SocialGraph& g,
                                                       const std::vector<bool>& known,
-                                                      const AttributeClassifier& local);
+                                                      const AttributeClassifier& local,
+                                                      int threads = 1);
 
 }  // namespace ppdp::classify
 

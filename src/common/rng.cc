@@ -4,6 +4,26 @@
 
 namespace ppdp {
 
+namespace {
+
+/// SplitMix64 finalizer (Steele, Lea & Flood 2014): a full-avalanche 64-bit
+/// mixer, the standard way to derive well-separated seeds from correlated
+/// inputs.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Rng Rng::Split(uint64_t stream_id) const {
+  // Mix the stream id first so that nearby (seed, id) pairs land far apart,
+  // then fold in the seed and mix again. Pure function of (seed_, id).
+  return Rng(SplitMix64(seed_ ^ SplitMix64(stream_id + 0x632BE59BD9B4E019ULL)));
+}
+
 size_t Rng::Categorical(const std::vector<double>& weights) {
   double total = 0.0;
   for (double w : weights) {

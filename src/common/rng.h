@@ -15,7 +15,16 @@ namespace ppdp {
 class Rng {
  public:
   /// Seeds the generator. The same seed always yields the same stream.
-  explicit Rng(uint64_t seed) : engine_(seed) {}
+  explicit Rng(uint64_t seed) : seed_(seed), engine_(seed) {}
+
+  /// Not copyable: an accidental copy silently forks the stream, and the
+  /// two generators then replay identical deviates — a reproducibility
+  /// footgun. Pass by reference, or derive an explicit independent stream
+  /// with Fork() / Split().
+  Rng(const Rng&) = delete;
+  Rng& operator=(const Rng&) = delete;
+  Rng(Rng&&) = default;
+  Rng& operator=(Rng&&) = default;
 
   /// Returns an integer uniform in [0, n). Requires n > 0.
   uint64_t Uniform(uint64_t n) {
@@ -62,12 +71,26 @@ class Rng {
 
   /// Forks an independent generator whose stream is a deterministic function
   /// of this generator's state. Useful for giving sub-components their own
-  /// streams without coupling their consumption order.
+  /// streams without coupling their consumption order. Note that forking
+  /// *consumes* one deviate, so the order of Fork() calls matters; parallel
+  /// code should prefer Split(), which is index-addressed and const.
   Rng Fork() { return Rng(engine_()); }
 
+  /// Derives the independent stream addressed by `stream_id`: a pure
+  /// function of (construction seed, stream_id) that neither reads nor
+  /// advances this generator's state. Distinct ids give statistically
+  /// independent streams; the same id always gives the same stream, on
+  /// every platform (the mapping is fixed integer mixing and mt19937_64 is
+  /// specified bit-exactly by the standard). This is the determinism
+  /// primitive of the parallel hot loops: worker i uses Split(i), so
+  /// results cannot depend on how work is scheduled across threads.
+  Rng Split(uint64_t stream_id) const;
+
+  uint64_t seed() const { return seed_; }
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  uint64_t seed_;
   std::mt19937_64 engine_;
 };
 

@@ -8,6 +8,20 @@
 
 namespace ppdp::core {
 
+GenomePublisher::GenomePublisher(genomics::GwasCatalog catalog, genomics::TargetView view,
+                                 int threads)
+    : catalog_(std::move(catalog)), view_(std::move(view)), threads_(threads) {}
+
+Result<GenomePublisher> GenomePublisher::Create(genomics::GwasCatalog catalog,
+                                                genomics::TargetView view,
+                                                const PublisherOptions& options) {
+  PPDP_RETURN_IF_ERROR(options.Validate());
+  if (catalog.associations().empty()) {
+    return Status::InvalidArgument("cannot publish against an empty GWAS catalog");
+  }
+  return GenomePublisher(std::move(catalog), std::move(view), options.threads);
+}
+
 GenomePublisher::GenomePublisher(genomics::GwasCatalog catalog, genomics::TargetView view)
     : catalog_(std::move(catalog)), view_(std::move(view)) {}
 
@@ -17,7 +31,9 @@ genomics::GenomeAttackResult GenomePublisher::Attack(
   static obs::Counter& attacks =
       obs::MetricsRegistry::Global().counter("genome.attacks_measured");
   attacks.Increment();
-  return genomics::RunGenomeInference(catalog_, view_, method, options);
+  genomics::FactorGraph::BpOptions effective = options;
+  if (effective.threads == 0) effective.threads = threads_;
+  return genomics::RunGenomeInference(catalog_, view_, method, effective);
 }
 
 genomics::PrivacyReport GenomePublisher::Privacy(const std::vector<size_t>& target_traits,

@@ -3,6 +3,8 @@
 
 #include <vector>
 
+#include "common/result.h"
+#include "core/publisher_options.h"
 #include "genomics/genome_data.h"
 #include "genomics/gwas_catalog.h"
 #include "genomics/inference_attack.h"
@@ -15,14 +17,27 @@ namespace ppdp::core {
 /// view, exposes the inference attack for measurement and the greedy GPUT
 /// sanitizer for publishing with δ-privacy. Typical flow:
 ///
-///   GenomePublisher pub(catalog, view);
-///   auto before = pub.Attack(genomics::AttackMethod::kBeliefPropagation);
-///   auto result = pub.PublishWithDeltaPrivacy(/*delta=*/0.8, hidden_traits);
+///   auto pub = GenomePublisher::Create(catalog, view, {.threads = 4});
+///   if (!pub.ok()) return pub.status();
+///   auto before = pub->Attack(genomics::AttackMethod::kBeliefPropagation);
+///   auto result = pub->PublishWithDeltaPrivacy(/*delta=*/0.8, hidden_traits);
 class GenomePublisher {
  public:
+  /// Validates `options` and builds a publisher. The genome pipeline has no
+  /// attacker-visibility mask, so `options.known_fraction` and `options.seed`
+  /// are unused here; `options.threads` becomes the default execution width
+  /// for belief-propagation attacks whose per-call BpOptions leave threads
+  /// at 0.
+  static Result<GenomePublisher> Create(genomics::GwasCatalog catalog,
+                                        genomics::TargetView view,
+                                        const PublisherOptions& options);
+
+  /// Deprecated implicit constructor kept for one release; use Create.
+  [[deprecated("use GenomePublisher::Create(catalog, view, options)")]]
   GenomePublisher(genomics::GwasCatalog catalog, genomics::TargetView view);
 
-  /// Runs the inference attack on the current view.
+  /// Runs the inference attack on the current view. When `options` leaves
+  /// `threads` at 0 the publisher's construction default applies.
   genomics::GenomeAttackResult Attack(
       genomics::AttackMethod method,
       const genomics::FactorGraph::BpOptions& options = {}) const;
@@ -43,10 +58,14 @@ class GenomePublisher {
 
   const genomics::GwasCatalog& catalog() const { return catalog_; }
   const genomics::TargetView& view() const { return view_; }
+  int threads() const { return threads_; }
 
  private:
+  GenomePublisher(genomics::GwasCatalog catalog, genomics::TargetView view, int threads);
+
   genomics::GwasCatalog catalog_;
   genomics::TargetView view_;
+  int threads_ = 0;
 };
 
 }  // namespace ppdp::core

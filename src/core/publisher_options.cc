@@ -1,0 +1,16 @@
+#include "core/publisher_options.h"
+
+#include <cmath>
+
+#include "exec/exec_config.h"
+
+namespace ppdp::core {
+
+Status PublisherOptions::Validate() const {
+  if (!std::isfinite(known_fraction) || known_fraction <= 0.0 || known_fraction > 1.0) {
+    return Status::InvalidArgument("known_fraction must be in (0, 1]");
+  }
+  return exec::ExecConfig{threads}.Validate();
+}
+
+}  // namespace ppdp::core

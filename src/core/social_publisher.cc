@@ -1,5 +1,7 @@
 #include "core/social_publisher.h"
 
+#include <utility>
+
 #include "classify/naive_bayes.h"
 #include "classify/relational.h"
 #include "obs/log.h"
@@ -10,12 +12,36 @@
 
 namespace ppdp::core {
 
+SocialPublisher::SocialPublisher(graph::SocialGraph graph, std::vector<bool> known, int threads)
+    : graph_(std::move(graph)), known_(std::move(known)), threads_(threads) {
+  PPDP_LOG(INFO) << "social publisher ready" << obs::Field("nodes", graph_.num_nodes())
+                 << obs::Field("threads", threads_);
+}
+
+Result<SocialPublisher> SocialPublisher::Create(graph::SocialGraph graph,
+                                                const PublisherOptions& options) {
+  PPDP_RETURN_IF_ERROR(options.Validate());
+  if (graph.num_nodes() == 0) {
+    return Status::InvalidArgument("cannot publish an empty graph");
+  }
+  Rng rng(options.seed);
+  std::vector<bool> known = classify::SampleKnownMask(graph, options.known_fraction, rng);
+  return SocialPublisher(std::move(graph), std::move(known), options.threads);
+}
+
 SocialPublisher::SocialPublisher(graph::SocialGraph graph, double known_fraction, uint64_t seed)
     : graph_(std::move(graph)) {
   Rng rng(seed);
   known_ = classify::SampleKnownMask(graph_, known_fraction, rng);
   PPDP_LOG(INFO) << "social publisher ready" << obs::Field("nodes", graph_.num_nodes())
                  << obs::Field("known_fraction", known_fraction);
+}
+
+classify::CollectiveConfig SocialPublisher::Effective(
+    const classify::CollectiveConfig& config) const {
+  classify::CollectiveConfig effective = config;
+  if (effective.threads == 0) effective.threads = threads_;
+  return effective;
 }
 
 double SocialPublisher::AttackAccuracy(classify::AttackModel attack, classify::LocalModel local,
@@ -25,7 +51,8 @@ double SocialPublisher::AttackAccuracy(classify::AttackModel attack, classify::L
       obs::MetricsRegistry::Global().counter("social.attacks_measured");
   attacks.Increment();
   auto classifier = classify::MakeLocalClassifier(local);
-  double accuracy = classify::RunAttack(graph_, known_, attack, *classifier, config).accuracy;
+  double accuracy =
+      classify::RunAttack(graph_, known_, attack, *classifier, Effective(config)).accuracy;
   PPDP_LOG(DEBUG) << "attack measured" << obs::Field("accuracy", accuracy)
                   << obs::Field("seconds", span.ElapsedSeconds());
   return accuracy;
@@ -53,7 +80,7 @@ size_t SocialPublisher::RemoveIndistinguishableLinks(size_t count) {
   obs::TraceSpan span("social.remove_links");
   classify::NaiveBayesClassifier nb;
   nb.Train(graph_, known_);
-  auto estimates = classify::BootstrapDistributions(graph_, known_, nb);
+  auto estimates = classify::BootstrapDistributions(graph_, known_, nb, threads_);
   size_t removed = sanitize::RemoveIndistinguishableLinks(graph_, known_, estimates, count);
   PPDP_LOG(INFO) << "removed indistinguishable links" << obs::Field("removed", removed)
                  << obs::Field("requested", count);
@@ -75,7 +102,8 @@ sanitize::PrivacyUtility SocialPublisher::MeasurePrivacyUtility(
     size_t utility_category, classify::LocalModel local,
     const classify::CollectiveConfig& config) const {
   obs::TraceSpan span("social.measure_privacy_utility");
-  return sanitize::MeasurePrivacyUtility(graph_, known_, utility_category, local, config);
+  return sanitize::MeasurePrivacyUtility(graph_, known_, utility_category, local,
+                                         Effective(config));
 }
 
 }  // namespace ppdp::core

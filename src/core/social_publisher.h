@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "classify/evaluation.h"
+#include "common/result.h"
 #include "common/rng.h"
+#include "core/publisher_options.h"
 #include "graph/social_graph.h"
 #include "sanitize/collective_sanitizer.h"
 
@@ -16,18 +18,27 @@ namespace ppdp::core {
 /// the sanitization moves (attribute removal, indistinguishable-link
 /// removal, the collective method) for defense. Typical flow:
 ///
-///   SocialPublisher pub(graph, /*known_fraction=*/0.7, /*seed=*/1);
-///   double before = pub.AttackAccuracy(AttackModel::kCollective, LocalModel::kRst);
-///   pub.SanitizeCollective({.utility_category = 1});
-///   double after = pub.AttackAccuracy(AttackModel::kCollective, LocalModel::kRst);
+///   auto pub = SocialPublisher::Create(graph, {.known_fraction = 0.7, .seed = 1});
+///   if (!pub.ok()) return pub.status();
+///   double before = pub->AttackAccuracy(AttackModel::kCollective, LocalModel::kRst);
+///   pub->SanitizeCollective({.utility_category = 1});
+///   double after = pub->AttackAccuracy(AttackModel::kCollective, LocalModel::kRst);
 class SocialPublisher {
  public:
-  /// Takes a working copy of `graph`; `known_fraction` of node labels are
-  /// attacker-visible (sampled with `seed`).
+  /// Validates `options` and builds a publisher over a working copy of
+  /// `graph`; `options.known_fraction` of node labels are attacker-visible
+  /// (sampled with `options.seed`), and `options.threads` becomes the
+  /// default execution width of every attack measurement.
+  static Result<SocialPublisher> Create(graph::SocialGraph graph,
+                                        const PublisherOptions& options);
+
+  /// Deprecated throwing constructor kept for one release; use Create.
+  [[deprecated("use SocialPublisher::Create(graph, options)")]]
   SocialPublisher(graph::SocialGraph graph, double known_fraction, uint64_t seed);
 
   /// Accuracy of the given attack against the current (possibly sanitized)
-  /// graph.
+  /// graph. When `config` leaves `threads` at 0 the publisher's construction
+  /// default applies.
   double AttackAccuracy(classify::AttackModel attack, classify::LocalModel local,
                         const classify::CollectiveConfig& config = {}) const;
 
@@ -52,10 +63,18 @@ class SocialPublisher {
 
   const graph::SocialGraph& graph() const { return graph_; }
   const std::vector<bool>& known() const { return known_; }
+  int threads() const { return threads_; }
 
  private:
+  SocialPublisher(graph::SocialGraph graph, std::vector<bool> known, int threads);
+
+  /// Applies the publisher's default execution width to a per-call config
+  /// that did not pick one.
+  classify::CollectiveConfig Effective(const classify::CollectiveConfig& config) const;
+
   graph::SocialGraph graph_;
   std::vector<bool> known_;
+  int threads_ = 0;
 };
 
 }  // namespace ppdp::core

@@ -1,11 +1,28 @@
 #include "core/tradeoff_publisher.h"
 
+#include <utility>
+
 #include "classify/evaluation.h"
 #include "common/rng.h"
 #include "obs/log.h"
 #include "obs/trace.h"
 
 namespace ppdp::core {
+
+TradeoffPublisher::TradeoffPublisher(graph::SocialGraph graph, std::vector<bool> known,
+                                     int threads)
+    : graph_(std::move(graph)), known_(std::move(known)), threads_(threads) {}
+
+Result<TradeoffPublisher> TradeoffPublisher::Create(graph::SocialGraph graph,
+                                                    const PublisherOptions& options) {
+  PPDP_RETURN_IF_ERROR(options.Validate());
+  if (graph.num_nodes() == 0) {
+    return Status::InvalidArgument("cannot publish an empty graph");
+  }
+  Rng rng(options.seed);
+  std::vector<bool> known = classify::SampleKnownMask(graph, options.known_fraction, rng);
+  return TradeoffPublisher(std::move(graph), std::move(known), options.threads);
+}
 
 TradeoffPublisher::TradeoffPublisher(graph::SocialGraph graph, double known_fraction,
                                      uint64_t seed)

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/publisher_options.h"
 #include "graph/social_graph.h"
 #include "tradeoff/attribute_strategy.h"
 #include "tradeoff/collective_strategy.h"
@@ -16,11 +17,19 @@ namespace ppdp::core {
 /// prediction-utility threshold, and runs the graph-level strategy
 /// comparisons. Typical flow:
 ///
-///   TradeoffPublisher pub(graph, /*known_fraction=*/0.7, /*seed=*/1);
-///   auto optimal = pub.OptimizeAttributeStrategy(/*delta=*/0.4);
-///   auto outcome = pub.Apply(tradeoff::Strategy::kCollectiveSanitization, config);
+///   auto pub = TradeoffPublisher::Create(graph, {.known_fraction = 0.7, .seed = 1});
+///   if (!pub.ok()) return pub.status();
+///   auto optimal = pub->OptimizeAttributeStrategy(/*delta=*/0.4);
+///   auto outcome = pub->Apply(tradeoff::Strategy::kCollectiveSanitization, config);
 class TradeoffPublisher {
  public:
+  /// Validates `options` and builds a publisher over a working copy of
+  /// `graph` (mask sampled as in SocialPublisher::Create).
+  static Result<TradeoffPublisher> Create(graph::SocialGraph graph,
+                                          const PublisherOptions& options);
+
+  /// Deprecated throwing constructor kept for one release; use Create.
+  [[deprecated("use TradeoffPublisher::Create(graph, options)")]]
   TradeoffPublisher(graph::SocialGraph graph, double known_fraction, uint64_t seed);
 
   /// Builds the (ε, δ)-UtiOptPri attribute-side problem over the
@@ -38,10 +47,14 @@ class TradeoffPublisher {
 
   const graph::SocialGraph& graph() const { return graph_; }
   const std::vector<bool>& known() const { return known_; }
+  int threads() const { return threads_; }
 
  private:
+  TradeoffPublisher(graph::SocialGraph graph, std::vector<bool> known, int threads);
+
   graph::SocialGraph graph_;
   std::vector<bool> known_;
+  int threads_ = 0;
 };
 
 }  // namespace ppdp::core

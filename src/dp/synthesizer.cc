@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "dp/mechanisms.h"
+#include "exec/parallel.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -49,7 +50,23 @@ std::vector<std::vector<double>> Marginals(const CategoricalData& data, int8_t d
   return result;
 }
 
+/// Stream-id base for the per-attribute noisy-table RNGs, keeping them
+/// disjoint from any other Split consumer of the same seed.
+constexpr uint64_t kTableStreamBase = 0x5459000000000000ULL;
+
 }  // namespace
+
+Status SynthesizerConfig::Validate() const {
+  if (!std::isfinite(epsilon) || epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (!(structure_fraction >= 0.0) || structure_fraction >= 1.0) {
+    return Status::InvalidArgument("structure_fraction must be in [0, 1)");
+  }
+  if (domain < 2) return Status::InvalidArgument("domain must be at least 2");
+  if (max_parents < 1) return Status::InvalidArgument("max_parents must be >= 1");
+  return exec::ExecConfig{threads}.Validate();
+}
 
 Result<PrivateSynthesizer> PrivateSynthesizer::Fit(const CategoricalData& data,
                                                    const SynthesizerConfig& config) {
@@ -67,12 +84,8 @@ Result<PrivateSynthesizer> PrivateSynthesizer::Fit(const CategoricalData& data,
                                                    const std::string& label_prefix) {
   if (ledger == nullptr) return Fit(data, config);
   obs::TraceSpan fit_span("dp.synthesizer.fit");
+  PPDP_RETURN_IF_ERROR(config.Validate());
   if (data.empty()) return Status::InvalidArgument("no data to fit");
-  if (config.epsilon <= 0.0) return Status::InvalidArgument("epsilon must be positive");
-  if (config.structure_fraction < 0.0 || config.structure_fraction >= 1.0) {
-    return Status::InvalidArgument("structure_fraction must be in [0, 1)");
-  }
-  if (config.domain < 2) return Status::InvalidArgument("domain must be at least 2");
   const size_t width = data[0].size();
   if (width == 0) return Status::InvalidArgument("zero-width rows");
   for (const auto& row : data) {
@@ -81,8 +94,6 @@ Result<PrivateSynthesizer> PrivateSynthesizer::Fit(const CategoricalData& data,
       if (v < 0 || v >= config.domain) return Status::InvalidArgument("value out of domain");
     }
   }
-
-  if (config.max_parents < 1) return Status::InvalidArgument("max_parents must be >= 1");
 
   PrivateSynthesizer model;
   model.config_ = config;
@@ -106,11 +117,28 @@ Result<PrivateSynthesizer> PrivateSynthesizer::Fit(const CategoricalData& data,
         eps_structure / (static_cast<double>(width - 1) *
                          static_cast<double>(config.max_parents));
     double mi_sensitivity = (std::log(n) + 1.0) / n;
+
+    // The O(d²) MI pair scores dominate the fit and are pure functions of
+    // the data — compute the whole triangle in parallel up front; the
+    // budget-spending exponential-mechanism draws below stay serial so the
+    // root RNG stream is consumed in a fixed order.
+    std::vector<std::pair<size_t, size_t>> mi_pairs;
+    mi_pairs.reserve(width * (width - 1) / 2);
     for (size_t j = 1; j < width; ++j) {
-      std::vector<double> scores(j);
-      for (size_t cand = 0; cand < j; ++cand) {
-        scores[cand] = MutualInformation(data, j, cand, config.domain);
-      }
+      for (size_t cand = 0; cand < j; ++cand) mi_pairs.emplace_back(j, cand);
+    }
+    std::vector<std::vector<double>> mi_scores(width);
+    for (size_t j = 1; j < width; ++j) mi_scores[j].assign(j, 0.0);
+    exec::ParallelFor(
+        0, mi_pairs.size(), /*grain=*/8,
+        [&](size_t p) {
+          auto [j, cand] = mi_pairs[p];
+          mi_scores[j][cand] = MutualInformation(data, j, cand, config.domain);
+        },
+        exec::ExecConfig{config.threads});
+
+    for (size_t j = 1; j < width; ++j) {
+      const std::vector<double>& scores = mi_scores[j];
       std::vector<bool> used(j, false);
       size_t want = std::min(config.max_parents, j);
       for (size_t pick = 0; pick < want; ++pick) {
@@ -150,27 +178,36 @@ Result<PrivateSynthesizer> PrivateSynthesizer::Fit(const CategoricalData& data,
     return index;
   };
 
+  // One Laplace-mechanism release per attribute's (conditional) count
+  // table — sequential composition across the width tables. Spend the
+  // budget serially first (the ledger's audit trail and failure point stay
+  // deterministic), then materialize the released tables in parallel: each
+  // attribute perturbs its counts from its own index-addressed stream
+  // (rng.Split), so the released tables are byte-identical at every thread
+  // count.
+  PPDP_RETURN_IF_ERROR(ledger->Spend(label_prefix + "conditional_tables", "laplace",
+                                     eps_per_table, /*invocations=*/width));
   model.cpt_.resize(width);
-  for (size_t j = 0; j < width; ++j) {
-    // One Laplace-mechanism release per attribute's (conditional) count
-    // table — sequential composition across the width tables.
-    PPDP_RETURN_IF_ERROR(
-        ledger->Spend(label_prefix + "conditional_tables", "laplace", eps_per_table));
-    size_t parent_rows = 1;
-    for (size_t unused = 0; unused < model.parents_[j].size(); ++unused) parent_rows *= k;
-    std::vector<std::vector<double>> counts(parent_rows, std::vector<double>(k, 0.0));
-    for (const auto& row : data) {
-      counts[parent_index(row, j)][static_cast<size_t>(row[j])] += 1.0;
-    }
-    for (auto& row_counts : counts) {
-      for (double& c : row_counts) {
-        c = std::max(0.0, laplace.Apply(c, rng));
-        c += 1e-6;  // smoothing so every row normalizes
-      }
-      NormalizeInPlace(row_counts);
-    }
-    model.cpt_[j] = std::move(counts);
-  }
+  exec::ParallelFor(
+      0, width, /*grain=*/1,
+      [&](size_t j) {
+        Rng table_rng = rng.Split(kTableStreamBase + j);
+        size_t parent_rows = 1;
+        for (size_t unused = 0; unused < model.parents_[j].size(); ++unused) parent_rows *= k;
+        std::vector<std::vector<double>> counts(parent_rows, std::vector<double>(k, 0.0));
+        for (const auto& row : data) {
+          counts[parent_index(row, j)][static_cast<size_t>(row[j])] += 1.0;
+        }
+        for (auto& row_counts : counts) {
+          for (double& c : row_counts) {
+            c = std::max(0.0, laplace.Apply(c, table_rng));
+            c += 1e-6;  // smoothing so every row normalizes
+          }
+          NormalizeInPlace(row_counts);
+        }
+        model.cpt_[j] = std::move(counts);
+      },
+      exec::ExecConfig{config.threads});
   PPDP_LOG(INFO) << "synthesizer fit" << obs::Field("rows", data.size())
                  << obs::Field("attributes", width) << obs::Field("epsilon", config.epsilon)
                  << obs::Field("epsilon_spent", ledger->spent())

@@ -23,6 +23,12 @@ struct SynthesizerConfig {
   int8_t domain = 3;                ///< values per attribute
   size_t max_parents = 1;           ///< parents per attribute (1 = tree; 2 = PrivBayes k=2)
   uint64_t seed = 1;                ///< structure-selection randomness
+  int threads = 0;                  ///< exec convention: 0 = all cores, 1 = serial
+
+  /// Rejects ε <= 0 (or non-finite), structure_fraction outside [0, 1),
+  /// domain < 2, max_parents < 1, and negative thread counts. Fit calls
+  /// this at entry and surfaces the failure as its Result's Status.
+  Status Validate() const;
 };
 
 /// The dissertation's high-dimensional DP publishing methodology

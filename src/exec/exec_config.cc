@@ -1,0 +1,25 @@
+#include "exec/exec_config.h"
+
+#include <thread>
+
+namespace ppdp::exec {
+
+Status ExecConfig::Validate() const {
+  if (threads < 0) {
+    return Status::InvalidArgument("threads must be >= 0 (0 = hardware concurrency), got " +
+                                   std::to_string(threads));
+  }
+  return Status::Ok();
+}
+
+size_t ExecConfig::ResolvedThreads() const {
+  if (threads <= 0) return HardwareThreads();
+  return static_cast<size_t>(threads);
+}
+
+size_t HardwareThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+}  // namespace ppdp::exec

@@ -1,0 +1,35 @@
+#ifndef PPDP_EXEC_EXEC_CONFIG_H_
+#define PPDP_EXEC_EXEC_CONFIG_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+
+namespace ppdp::exec {
+
+/// Execution knob shared by every parallelized hot path. The convention —
+/// surfaced to binaries as a `--threads` flag — is:
+///   0  use every hardware thread (the lazily started global pool),
+///   1  exact serial fallback (no pool involvement, byte-identical results),
+///   n  cap the computation at n threads.
+/// Results are deterministic at *every* setting: work is partitioned by
+/// index, never by arrival order, and stochastic code derives per-index
+/// streams via Rng::Split instead of sharing one engine.
+struct ExecConfig {
+  int threads = 0;
+
+  /// Rejects negative thread counts with InvalidArgument.
+  Status Validate() const;
+
+  /// The number of threads this config resolves to on this machine:
+  /// hardware concurrency for 0, the explicit count otherwise.
+  size_t ResolvedThreads() const;
+};
+
+/// Hardware concurrency with a floor of 1 (std::thread::hardware_concurrency
+/// may report 0 on exotic platforms).
+size_t HardwareThreads();
+
+}  // namespace ppdp::exec
+
+#endif  // PPDP_EXEC_EXEC_CONFIG_H_

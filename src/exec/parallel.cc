@@ -1,0 +1,137 @@
+#include "exec/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/logging.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ppdp::exec {
+
+namespace {
+
+/// Shared claim state of one parallel region. Lives on the caller's stack;
+/// the caller blocks until every helper has detached from it.
+struct Region {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t grain = 1;
+  size_t num_chunks = 0;
+  const std::function<void(size_t, size_t)>* body = nullptr;
+
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<uint64_t> helper_chunks{0};   ///< chunks run by pool workers
+  std::atomic<uint32_t> occupied_threads{0};  ///< threads that ran >= 1 chunk
+
+  std::mutex mutex;
+  std::condition_variable done;
+  size_t active_helpers = 0;
+
+  /// Claims and runs chunks until none remain; returns how many this thread
+  /// ran.
+  size_t Drain() {
+    size_t ran = 0;
+    for (;;) {
+      size_t chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= num_chunks) break;
+      size_t chunk_begin = begin + chunk * grain;
+      size_t chunk_end = std::min(end, chunk_begin + grain);
+      (*body)(chunk_begin, chunk_end);
+      ++ran;
+    }
+    if (ran > 0) occupied_threads.fetch_add(1, std::memory_order_relaxed);
+    return ran;
+  }
+};
+
+// Set while this thread is inside a parallel region; nested regions run
+// inline to keep pool workers from blocking on each other.
+thread_local bool t_in_parallel_region = false;
+
+}  // namespace
+
+void ParallelForChunked(size_t begin, size_t end, size_t grain,
+                        const std::function<void(size_t, size_t)>& body,
+                        const ExecConfig& config) {
+  Status valid = config.Validate();
+  PPDP_CHECK(valid.ok()) << valid.ToString();
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const size_t num_chunks = (end - begin + grain - 1) / grain;
+
+  static obs::Counter& calls = obs::MetricsRegistry::Global().counter("exec.parallel_for.calls");
+  static obs::Counter& serial_calls =
+      obs::MetricsRegistry::Global().counter("exec.parallel_for.serial_calls");
+  static obs::Counter& steals = obs::MetricsRegistry::Global().counter("exec.pool.steals");
+  static obs::Histogram& latency =
+      obs::MetricsRegistry::Global().histogram("exec.parallel_for.seconds");
+  static obs::Histogram& occupancy = obs::MetricsRegistry::Global().histogram(
+      "exec.parallel_for.occupancy", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+  calls.Increment();
+
+  const size_t width = config.threads == 0 ? ThreadPool::GlobalThreadTarget()
+                                           : static_cast<size_t>(config.threads);
+  // Serial fallback: --threads 1, a single chunk, or a nested region. The
+  // chunk boundaries match the parallel path exactly (required by
+  // ParallelReduce's in-order fold).
+  if (width <= 1 || num_chunks <= 1 || t_in_parallel_region) {
+    serial_calls.Increment();
+    double start = obs::MonotonicSeconds();
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      size_t chunk_begin = begin + chunk * grain;
+      body(chunk_begin, std::min(end, chunk_begin + grain));
+    }
+    latency.Observe(obs::MonotonicSeconds() - start);
+    occupancy.Observe(1.0);
+    return;
+  }
+
+  obs::TraceSpan span("exec.parallel_for");
+  ThreadPool& pool = ThreadPool::Global();
+  Region region;
+  region.begin = begin;
+  region.end = end;
+  region.grain = grain;
+  region.num_chunks = num_chunks;
+  region.body = &body;
+
+  // The caller is one execution thread; enlist at most width - 1 helpers,
+  // and never more than there are chunks to share.
+  size_t helpers = std::min({width - 1, pool.num_workers(), num_chunks - 1});
+  {
+    std::lock_guard<std::mutex> lock(region.mutex);
+    region.active_helpers = helpers;
+  }
+  for (size_t h = 0; h < helpers; ++h) {
+    pool.Submit([&region] {
+      obs::TraceSpan worker_span("exec.worker");
+      t_in_parallel_region = true;
+      size_t ran = region.Drain();
+      t_in_parallel_region = false;
+      region.helper_chunks.fetch_add(ran, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(region.mutex);
+        --region.active_helpers;
+      }
+      region.done.notify_one();
+    });
+  }
+
+  t_in_parallel_region = true;
+  region.Drain();
+  t_in_parallel_region = false;
+  {
+    std::unique_lock<std::mutex> lock(region.mutex);
+    region.done.wait(lock, [&region] { return region.active_helpers == 0; });
+  }
+
+  steals.Increment(region.helper_chunks.load(std::memory_order_relaxed));
+  latency.Observe(span.ElapsedSeconds());
+  occupancy.Observe(static_cast<double>(region.occupied_threads.load()));
+}
+
+}  // namespace ppdp::exec

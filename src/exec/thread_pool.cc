@@ -1,0 +1,101 @@
+#include "exec/thread_pool.h"
+
+#include <memory>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace ppdp::exec {
+
+namespace {
+
+std::mutex& GlobalMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+// Guarded by GlobalMutex().
+std::unique_ptr<ThreadPool>& GlobalSlot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+int& GlobalTarget() {
+  static int target = 0;  // 0 = hardware concurrency
+  return target;
+}
+
+size_t ResolveTarget(int target) { return ExecConfig{target}.ResolvedThreads(); }
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t workers) {
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  static obs::Counter& executed = obs::MetricsRegistry::Global().counter("exec.pool.tasks");
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    executed.Increment();
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(GlobalMutex());
+  auto& slot = GlobalSlot();
+  if (!slot) {
+    size_t total = ResolveTarget(GlobalTarget());
+    // The calling thread participates in every parallel region, so the pool
+    // itself only needs total - 1 workers.
+    slot = std::make_unique<ThreadPool>(total - 1);
+  }
+  return *slot;
+}
+
+Status ThreadPool::SetGlobalThreads(int threads) {
+  ExecConfig config{threads};
+  PPDP_RETURN_IF_ERROR(config.Validate());
+  std::lock_guard<std::mutex> lock(GlobalMutex());
+  GlobalTarget() = threads;
+  auto& slot = GlobalSlot();
+  if (slot && slot->num_workers() + 1 != config.ResolvedThreads()) {
+    slot.reset();  // next Global() call rebuilds at the new size
+  }
+  return Status::Ok();
+}
+
+size_t ThreadPool::GlobalThreadTarget() {
+  std::lock_guard<std::mutex> lock(GlobalMutex());
+  return ResolveTarget(GlobalTarget());
+}
+
+}  // namespace ppdp::exec

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/math_util.h"
+#include "exec/parallel.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -129,84 +130,104 @@ FactorGraph::Messages FactorGraph::RunMessagePassing(const BpOptions& options,
     return msg;
   };
 
+  const exec::ExecConfig exec_config{options.threads};
+  // Factors are tiny (pairwise tables over domains 2-3); batch enough per
+  // chunk that the fan-out cost amortizes.
+  constexpr size_t kFactorGrain = 32;
+  std::vector<double> factor_change(factors_.size(), 0.0);
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
     double iteration_start = obs::MonotonicSeconds();
-    // Variable -> factor.
-    for (size_t f = 0; f < factors_.size(); ++f) {
-      const auto& vars = factors_[f].variables;
-      for (size_t k = 0; k < vars.size(); ++k) {
-        size_t v = vars[k];
-        if (evidence_[v] >= 0) {
-          to_factor[f][k] = evidence_message(v);
-          continue;
-        }
-        std::vector<double> msg(domains_[v], 1.0);
-        for (size_t other_f : factors_of_variable_[v]) {
-          if (other_f == f) continue;
-          const auto& other_vars = factors_[other_f].variables;
-          for (size_t k2 = 0; k2 < other_vars.size(); ++k2) {
-            if (other_vars[k2] != v) continue;
-            for (size_t x = 0; x < domains_[v]; ++x) msg[x] *= to_variable[other_f][k2][x];
+    // Variable -> factor. Each (f, k) slot of to_factor is written exactly
+    // once and reads only the previous phase's to_variable — the flooding
+    // schedule is already double-buffered, so fanning the factors out
+    // changes nothing about the fixed point or the iterates.
+    exec::ParallelFor(
+        0, factors_.size(), kFactorGrain,
+        [&](size_t f) {
+          const auto& vars = factors_[f].variables;
+          for (size_t k = 0; k < vars.size(); ++k) {
+            size_t v = vars[k];
+            if (evidence_[v] >= 0) {
+              to_factor[f][k] = evidence_message(v);
+              continue;
+            }
+            std::vector<double> msg(domains_[v], 1.0);
+            for (size_t other_f : factors_of_variable_[v]) {
+              if (other_f == f) continue;
+              const auto& other_vars = factors_[other_f].variables;
+              for (size_t k2 = 0; k2 < other_vars.size(); ++k2) {
+                if (other_vars[k2] != v) continue;
+                for (size_t x = 0; x < domains_[v]; ++x) msg[x] *= to_variable[other_f][k2][x];
+              }
+            }
+            NormalizeInPlace(msg);
+            to_factor[f][k] = std::move(msg);
           }
-        }
-        NormalizeInPlace(msg);
-        to_factor[f][k] = std::move(msg);
-      }
-    }
+        },
+        exec_config);
 
     // Factor -> variable.
-    double max_change = 0.0;
-    for (size_t f = 0; f < factors_.size(); ++f) {
-      const auto& vars = factors_[f].variables;
-      std::vector<size_t> assignment(vars.size(), 0);
-      std::vector<std::vector<double>> fresh(vars.size());
-      for (size_t k = 0; k < vars.size(); ++k) fresh[k].assign(domains_[vars[k]], 0.0);
-      // One sweep over the joint table accumulates every outgoing message.
-      for (;;) {
-        double value = TableValue(factors_[f], assignment);
-        if (value > 0.0) {
-          // Precompute the product of all incoming messages, then divide out
-          // each position's own (guarding zero messages with a direct product).
+    exec::ParallelFor(
+        0, factors_.size(), kFactorGrain,
+        [&](size_t f) {
+          const auto& vars = factors_[f].variables;
+          std::vector<size_t> assignment(vars.size(), 0);
+          std::vector<std::vector<double>> fresh(vars.size());
+          for (size_t k = 0; k < vars.size(); ++k) fresh[k].assign(domains_[vars[k]], 0.0);
+          // One sweep over the joint table accumulates every outgoing
+          // message.
+          for (;;) {
+            double value = TableValue(factors_[f], assignment);
+            if (value > 0.0) {
+              // Precompute the product of all incoming messages, then divide
+              // out each position's own (guarding zero messages with a
+              // direct product).
+              for (size_t k = 0; k < vars.size(); ++k) {
+                double partial = value;
+                for (size_t k2 = 0; k2 < vars.size(); ++k2) {
+                  if (k2 == k) continue;
+                  partial *= to_factor[f][k2][assignment[k2]];
+                }
+                if (max_product) {
+                  fresh[k][assignment[k]] = std::max(fresh[k][assignment[k]], partial);
+                } else {
+                  fresh[k][assignment[k]] += partial;
+                }
+              }
+            }
+            // Mixed-radix increment (last variable fastest); exit on
+            // wrap-around.
+            size_t pos = vars.size();
+            bool wrapped = false;
+            for (;;) {
+              if (pos == 0) {
+                wrapped = true;
+                break;
+              }
+              --pos;
+              if (++assignment[pos] < domains_[vars[pos]]) break;
+              assignment[pos] = 0;
+            }
+            if (wrapped) break;
+          }
+          double change = 0.0;
           for (size_t k = 0; k < vars.size(); ++k) {
-            double partial = value;
-            for (size_t k2 = 0; k2 < vars.size(); ++k2) {
-              if (k2 == k) continue;
-              partial *= to_factor[f][k2][assignment[k2]];
+            NormalizeInPlace(fresh[k]);
+            if (options.damping > 0.0) {
+              for (size_t x = 0; x < fresh[k].size(); ++x) {
+                fresh[k][x] = (1.0 - options.damping) * fresh[k][x] +
+                              options.damping * to_variable[f][k][x];
+              }
+              NormalizeInPlace(fresh[k]);
             }
-            if (max_product) {
-              fresh[k][assignment[k]] = std::max(fresh[k][assignment[k]], partial);
-            } else {
-              fresh[k][assignment[k]] += partial;
-            }
+            change = std::max(change, L1Distance(fresh[k], to_variable[f][k]));
+            to_variable[f][k] = std::move(fresh[k]);
           }
-        }
-        // Mixed-radix increment (last variable fastest); exit on wrap-around.
-        size_t pos = vars.size();
-        bool wrapped = false;
-        for (;;) {
-          if (pos == 0) {
-            wrapped = true;
-            break;
-          }
-          --pos;
-          if (++assignment[pos] < domains_[vars[pos]]) break;
-          assignment[pos] = 0;
-        }
-        if (wrapped) break;
-      }
-      for (size_t k = 0; k < vars.size(); ++k) {
-        NormalizeInPlace(fresh[k]);
-        if (options.damping > 0.0) {
-          for (size_t x = 0; x < fresh[k].size(); ++x) {
-            fresh[k][x] = (1.0 - options.damping) * fresh[k][x] +
-                          options.damping * to_variable[f][k][x];
-          }
-          NormalizeInPlace(fresh[k]);
-        }
-        max_change = std::max(max_change, L1Distance(fresh[k], to_variable[f][k]));
-        to_variable[f][k] = std::move(fresh[k]);
-      }
-    }
+          factor_change[f] = change;
+        },
+        exec_config);
+    double max_change = 0.0;
+    for (double change : factor_change) max_change = std::max(max_change, change);
 
     messages.iterations = iter + 1;
     iteration_count.Increment();

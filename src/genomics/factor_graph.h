@@ -41,6 +41,11 @@ class FactorGraph {
     size_t max_iterations = 50;
     double damping = 0.0;   ///< 0 = plain updates; 0.3-0.5 helps loopy graphs
     double tolerance = 1e-8;  ///< max message L∞ change for convergence
+    /// Exec convention (0 = all cores, 1 = serial). The flooding schedule
+    /// double-buffers between variable-side and factor-side messages, so
+    /// per-factor updates within a phase are independent — marginals are
+    /// byte-identical at every thread count.
+    int threads = 0;
   };
 
   /// Per-variable marginals after message passing.

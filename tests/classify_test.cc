@@ -326,5 +326,26 @@ TEST(ConfusionMatrixTest, MatchesAccuracyFunction) {
   EXPECT_GE(matrix.MacroRecall(), 0.0);
 }
 
+
+TEST(CollectiveConfigTest, ValidateRejectsBadParameters) {
+  EXPECT_TRUE(CollectiveConfig{}.Validate().ok());
+  CollectiveConfig bad_alpha;
+  bad_alpha.alpha = -0.1;
+  EXPECT_EQ(bad_alpha.Validate().code(), StatusCode::kInvalidArgument);
+  CollectiveConfig zero_weights;
+  zero_weights.alpha = 0.0;
+  zero_weights.beta = 0.0;
+  EXPECT_EQ(zero_weights.Validate().code(), StatusCode::kInvalidArgument);
+  CollectiveConfig no_iterations;
+  no_iterations.max_iterations = 0;
+  EXPECT_EQ(no_iterations.Validate().code(), StatusCode::kInvalidArgument);
+  CollectiveConfig negative_tol;
+  negative_tol.convergence_tol = -1e-3;
+  EXPECT_EQ(negative_tol.Validate().code(), StatusCode::kInvalidArgument);
+  CollectiveConfig negative_threads;
+  negative_threads.threads = -2;
+  EXPECT_EQ(negative_threads.Validate().code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace ppdp::classify

@@ -7,7 +7,9 @@ namespace {
 
 TEST(SocialPublisherTest, AttackAndSanitizeFlow) {
   graph::SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.2, 11));
-  SocialPublisher pub(g, /*known_fraction=*/0.7, /*seed=*/1);
+  auto created = SocialPublisher::Create(g, {.known_fraction = 0.7, .seed = 1});
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  SocialPublisher& pub = *created;
 
   double before = pub.AttackAccuracy(classify::AttackModel::kCollective,
                                      classify::LocalModel::kNaiveBayes);
@@ -23,7 +25,9 @@ TEST(SocialPublisherTest, AttackAndSanitizeFlow) {
 
 TEST(SocialPublisherTest, AttributeAndLinkMovesShrinkAttackSurface) {
   graph::SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.2, 11));
-  SocialPublisher pub(g, 0.7, 1);
+  auto created = SocialPublisher::Create(g, {.known_fraction = 0.7, .seed = 1});
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  SocialPublisher& pub = *created;
   EXPECT_EQ(pub.RemoveTopPrivacyAttributes(2, /*utility_category=*/1), 2u);
   size_t edges_before = pub.graph().num_edges();
   EXPECT_EQ(pub.RemoveIndistinguishableLinks(30), 30u);
@@ -32,7 +36,9 @@ TEST(SocialPublisherTest, AttributeAndLinkMovesShrinkAttackSurface) {
 
 TEST(SocialPublisherTest, MeasurePrivacyUtility) {
   graph::SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.2, 11));
-  SocialPublisher pub(g, 0.7, 1);
+  auto created = SocialPublisher::Create(g, {.known_fraction = 0.7, .seed = 1});
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  SocialPublisher& pub = *created;
   auto pu = pub.MeasurePrivacyUtility(1, classify::LocalModel::kNaiveBayes);
   EXPECT_GT(pu.privacy_accuracy, 0.0);
   EXPECT_GT(pu.utility_accuracy, 0.0);
@@ -40,7 +46,9 @@ TEST(SocialPublisherTest, MeasurePrivacyUtility) {
 
 TEST(TradeoffPublisherTest, OptimizeAndApply) {
   graph::SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.2, 11));
-  TradeoffPublisher pub(g, 0.7, 1);
+  auto created = TradeoffPublisher::Create(g, {.known_fraction = 0.7, .seed = 1});
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  TradeoffPublisher& pub = *created;
 
   auto optimal = pub.OptimizeAttributeStrategy(/*delta=*/0.4);
   ASSERT_TRUE(optimal.ok()) << optimal.status().ToString();
@@ -66,7 +74,9 @@ TEST(GenomePublisherTest, AttackAndPublishFlow) {
   genomics::Individual person = genomics::SampleIndividual(catalog, rng);
   genomics::TargetView view = genomics::MakeTargetView(catalog, person, {});
 
-  GenomePublisher pub(catalog, view);
+  auto created = GenomePublisher::Create(catalog, view, {});
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  GenomePublisher& pub = *created;
   size_t released_before = pub.ReleasedSnps();
   auto attack = pub.Attack(genomics::AttackMethod::kBeliefPropagation);
   EXPECT_EQ(attack.trait_marginals.size(), catalog.num_traits());
@@ -85,10 +95,77 @@ TEST(GenomePublisherTest, ZeroDeltaRequiresNoSanitization) {
   config.num_snps = 80;
   genomics::GwasCatalog catalog = genomics::GenerateSyntheticCatalog(config, rng);
   genomics::Individual person = genomics::SampleIndividual(catalog, rng);
-  GenomePublisher pub(catalog, genomics::MakeTargetView(catalog, person, {}));
+  auto created = GenomePublisher::Create(catalog, genomics::MakeTargetView(catalog, person, {}), {});
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  GenomePublisher& pub = *created;
   auto result = pub.PublishWithDeltaPrivacy(0.0, {0});
   EXPECT_TRUE(result.satisfied);
   EXPECT_TRUE(result.sanitized.empty());
+}
+
+TEST(PublisherOptionsTest, ValidatesKnownFraction) {
+  EXPECT_TRUE((PublisherOptions{}).Validate().ok());
+  EXPECT_EQ((PublisherOptions{.known_fraction = 0.0}).Validate().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ((PublisherOptions{.known_fraction = 1.5}).Validate().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ((PublisherOptions{.known_fraction = -0.2}).Validate().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PublisherOptionsTest, ValidatesThreads) {
+  EXPECT_TRUE((PublisherOptions{.threads = 8}).Validate().ok());
+  EXPECT_EQ((PublisherOptions{.threads = -1}).Validate().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SocialPublisherTest, CreateRejectsBadOptionsAndEmptyGraph) {
+  graph::SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.2, 11));
+  EXPECT_EQ(SocialPublisher::Create(g, {.known_fraction = 2.0}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SocialPublisher::Create(g, {.threads = -3}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SocialPublisher::Create(graph::SocialGraph({}, 2), {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SocialPublisherTest, CreateStoresDefaultThreads) {
+  graph::SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.2, 11));
+  auto pub = SocialPublisher::Create(g, {.threads = 2});
+  ASSERT_TRUE(pub.ok());
+  EXPECT_EQ(pub->threads(), 2);
+}
+
+TEST(SocialPublisherTest, CreateMatchesDeprecatedConstructorMask) {
+  graph::SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.2, 11));
+  auto pub = SocialPublisher::Create(g, {.known_fraction = 0.7, .seed = 1});
+  ASSERT_TRUE(pub.ok());
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  SocialPublisher legacy(g, 0.7, 1);
+#pragma GCC diagnostic pop
+  EXPECT_EQ(pub->known(), legacy.known());
+}
+
+TEST(TradeoffPublisherTest, CreateRejectsBadOptionsAndEmptyGraph) {
+  graph::SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.2, 11));
+  EXPECT_EQ(TradeoffPublisher::Create(g, {.known_fraction = -1.0}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(TradeoffPublisher::Create(graph::SocialGraph({}, 2), {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GenomePublisherTest, CreateRejectsBadOptionsAndEmptyCatalog) {
+  Rng rng(5);
+  genomics::SyntheticCatalogConfig config;
+  config.num_snps = 40;
+  genomics::GwasCatalog catalog = genomics::GenerateSyntheticCatalog(config, rng);
+  genomics::Individual person = genomics::SampleIndividual(catalog, rng);
+  genomics::TargetView view = genomics::MakeTargetView(catalog, person, {});
+  EXPECT_EQ(GenomePublisher::Create(catalog, view, {.threads = -1}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(GenomePublisher::Create(genomics::GwasCatalog(0), view, {}).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 }  // namespace

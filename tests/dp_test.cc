@@ -283,5 +283,22 @@ TEST(SynthesizerTest, SampleShapeAndDomain) {
   }
 }
 
+
+TEST(SynthesizerConfigTest, ValidateRejectsBadParameters) {
+  EXPECT_TRUE(SynthesizerConfig{}.Validate().ok());
+  SynthesizerConfig bad_eps;
+  bad_eps.epsilon = 0.0;
+  EXPECT_EQ(bad_eps.Validate().code(), StatusCode::kInvalidArgument);
+  SynthesizerConfig bad_fraction;
+  bad_fraction.structure_fraction = 1.0;
+  EXPECT_EQ(bad_fraction.Validate().code(), StatusCode::kInvalidArgument);
+  SynthesizerConfig negative_fraction;
+  negative_fraction.structure_fraction = -0.1;
+  EXPECT_EQ(negative_fraction.Validate().code(), StatusCode::kInvalidArgument);
+  SynthesizerConfig negative_threads;
+  negative_threads.threads = -5;
+  EXPECT_EQ(negative_threads.Validate().code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace ppdp::dp

@@ -1,0 +1,129 @@
+#include "exec/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "exec/exec_config.h"
+#include "exec/thread_pool.h"
+
+namespace ppdp::exec {
+namespace {
+
+TEST(ExecConfigTest, ValidateRejectsNegativeThreads) {
+  EXPECT_TRUE(ExecConfig{0}.Validate().ok());
+  EXPECT_TRUE(ExecConfig{1}.Validate().ok());
+  EXPECT_TRUE(ExecConfig{64}.Validate().ok());
+  EXPECT_EQ(ExecConfig{-1}.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExecConfigTest, ResolvedThreads) {
+  EXPECT_EQ(ExecConfig{3}.ResolvedThreads(), 3u);
+  EXPECT_GE(ExecConfig{0}.ResolvedThreads(), 1u);  // hardware concurrency, floor 1
+  EXPECT_EQ(ExecConfig{0}.ResolvedThreads(), HardwareThreads());
+}
+
+TEST(ThreadPoolTest, SetGlobalThreadsRejectsNegative) {
+  EXPECT_EQ(ThreadPool::SetGlobalThreads(-4).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(ThreadPool::SetGlobalThreads(2).ok());
+  EXPECT_EQ(ThreadPool::GlobalThreadTarget(), 2u);
+  EXPECT_EQ(ThreadPool::Global().num_workers(), 1u);  // caller participates
+  ASSERT_TRUE(ThreadPool::SetGlobalThreads(0).ok());
+}
+
+TEST(ThreadPoolTest, SubmitExecutesTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  // The destructor drains the queue before joining.
+  while (done.load() < 100) std::this_thread::yield();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    std::vector<std::atomic<int>> hits(1000);
+    for (auto& h : hits) h.store(0);
+    ParallelFor(0, hits.size(), /*grain=*/7,
+                [&](size_t i) { hits[i].fetch_add(1); }, ExecConfig{threads});
+    for (size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " at threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelForTest, EmptyAndSingleChunkRanges) {
+  std::atomic<int> calls{0};
+  ParallelFor(5, 5, 4, [&](size_t) { calls.fetch_add(1); }, ExecConfig{8});
+  EXPECT_EQ(calls.load(), 0);
+  ParallelFor(0, 3, 100, [&](size_t) { calls.fetch_add(1); }, ExecConfig{8});
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ParallelForTest, ChunkBoundariesIndependentOfThreadCount) {
+  auto chunks_at = [](int threads) {
+    std::vector<std::pair<size_t, size_t>> chunks(13);  // ceil(100 / 8)
+    ParallelForChunked(
+        0, 100, 8,
+        [&](size_t b, size_t e) { chunks[b / 8] = {b, e}; }, ExecConfig{threads});
+    return chunks;
+  };
+  auto serial = chunks_at(1);
+  EXPECT_EQ(serial.front(), (std::pair<size_t, size_t>{0, 8}));
+  EXPECT_EQ(serial.back(), (std::pair<size_t, size_t>{96, 100}));
+  EXPECT_EQ(chunks_at(2), serial);
+  EXPECT_EQ(chunks_at(8), serial);
+}
+
+TEST(ParallelForTest, NestedRegionsRunInline) {
+  std::vector<std::atomic<int>> hits(64 * 64);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(0, 64, 1,
+              [&](size_t i) {
+                ParallelFor(0, 64, 4,
+                            [&](size_t j) { hits[i * 64 + j].fetch_add(1); }, ExecConfig{8});
+              },
+              ExecConfig{8});
+  for (size_t k = 0; k < hits.size(); ++k) ASSERT_EQ(hits[k].load(), 1) << "slot " << k;
+}
+
+TEST(ParallelReduceTest, FloatingPointSumIsByteIdenticalAcrossThreadCounts) {
+  // A sum whose value depends on association order: catastrophic mixing of
+  // magnitudes. The chunk-ordered fold must give the same bits regardless
+  // of execution width.
+  std::vector<double> values(4096);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = (i % 2 == 0 ? 1.0e16 : 1.0) / static_cast<double>(i + 1);
+  }
+  auto sum_at = [&](int threads) {
+    return ParallelReduce<double>(
+        0, values.size(), /*grain=*/17, 0.0,
+        [&](size_t b, size_t e) {
+          double partial = 0.0;
+          for (size_t i = b; i < e; ++i) partial += values[i];
+          return partial;
+        },
+        [](double a, double b) { return a + b; }, ExecConfig{threads});
+  };
+  const double serial = sum_at(1);
+  for (int threads : {2, 4, 8}) {
+    double parallel = sum_at(threads);
+    EXPECT_EQ(serial, parallel) << "threads=" << threads;  // exact, not NEAR
+  }
+}
+
+TEST(ParallelReduceTest, EmptyRangeReturnsIdentity) {
+  uint64_t result = ParallelReduce<uint64_t>(
+      10, 10, 4, 42u, [](size_t, size_t) { return 7u; },
+      [](uint64_t a, uint64_t b) { return a + b; }, ExecConfig{4});
+  EXPECT_EQ(result, 42u);
+}
+
+}  // namespace
+}  // namespace ppdp::exec

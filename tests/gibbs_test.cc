@@ -116,5 +116,22 @@ TEST(GibbsDeathTest, InvalidConfigRejected) {
   EXPECT_DEATH(GibbsCollectiveInference(g, known, nb, config), "");
 }
 
+
+TEST(GibbsConfigTest, ValidateRejectsBadParameters) {
+  EXPECT_TRUE(GibbsConfig{}.Validate().ok());
+  GibbsConfig bad_beta;
+  bad_beta.beta = -1.0;
+  EXPECT_EQ(bad_beta.Validate().code(), StatusCode::kInvalidArgument);
+  GibbsConfig no_samples;
+  no_samples.samples = 0;
+  EXPECT_EQ(no_samples.Validate().code(), StatusCode::kInvalidArgument);
+  GibbsConfig no_chains;
+  no_chains.chains = 0;
+  EXPECT_EQ(no_chains.Validate().code(), StatusCode::kInvalidArgument);
+  GibbsConfig negative_threads;
+  negative_threads.threads = -1;
+  EXPECT_EQ(negative_threads.Validate().code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace ppdp::classify

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <set>
+#include <type_traits>
 
 namespace ppdp {
 namespace {
@@ -114,6 +115,64 @@ TEST(RngTest, ForkProducesIndependentStream) {
   (void)forked_b;
   for (int i = 0; i < 20; ++i) (void)forked.Uniform(100);
   EXPECT_EQ(a.Uniform(1000000), b.Uniform(1000000));
+}
+
+TEST(RngTest, NotCopyable) {
+  // An accidental copy silently duplicates the stream; the type forbids it.
+  static_assert(!std::is_copy_constructible_v<Rng>);
+  static_assert(!std::is_copy_assignable_v<Rng>);
+  static_assert(std::is_move_constructible_v<Rng>);
+}
+
+TEST(RngTest, SplitIsPureAndIndexAddressed) {
+  Rng parent(99);
+  // Split neither reads nor advances the parent: identical ids give
+  // identical streams regardless of interleaving or parent consumption.
+  Rng first = parent.Split(4);
+  (void)parent.Uniform(1000);
+  Rng second = parent.Split(4);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(first.engine()(), second.engine()());
+  // And the parent stream itself is unaffected by splitting.
+  Rng replay(99);
+  (void)replay.Uniform(1000);
+  EXPECT_EQ(parent.engine()(), replay.engine()());
+}
+
+TEST(RngTest, SplitDistinctIdsDiverge) {
+  Rng parent(99);
+  Rng a = parent.Split(0);
+  Rng b = parent.Split(1);
+  int differences = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.engine()() != b.engine()()) ++differences;
+  }
+  EXPECT_GT(differences, 90);
+}
+
+TEST(RngTest, SplitOfSplitIsIndependentOfSiblings) {
+  // Nested splits (chain -> per-chain worker streams) must not collide.
+  Rng root(7);
+  Rng chain0 = root.Split(0);
+  Rng chain1 = root.Split(1);
+  Rng w00 = chain0.Split(0);
+  Rng w10 = chain1.Split(0);
+  int differences = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (w00.engine()() != w10.engine()()) ++differences;
+  }
+  EXPECT_GT(differences, 90);
+}
+
+TEST(RngTest, SplitStreamsAreStableAcrossPlatforms) {
+  // mt19937_64's raw output is specified bit-exactly by the standard and the
+  // split mapping is fixed integer mixing, so these goldens must hold on
+  // every platform. A change here breaks every recorded experiment.
+  Rng base(42);
+  Rng split = base.Split(7);
+  EXPECT_EQ(split.seed(), 15346810243613786311ULL);
+  EXPECT_EQ(split.engine()(), 15695461469568467979ULL);
+  EXPECT_EQ(split.engine()(), 16027320375949218882ULL);
+  EXPECT_EQ(base.Split(0).engine()(), 13160384004688195972ULL);
 }
 
 TEST(RngDeathTest, UniformZeroDies) {
