@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "exec/parallel.h"
+#include "fault/fault.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -35,72 +36,126 @@ Status CollectiveConfig::Validate() const {
   return exec::ExecConfig{threads}.Validate();
 }
 
-CollectiveResult CollectiveInference(const SocialGraph& g, const std::vector<bool>& known,
-                                     AttributeClassifier& local, const CollectiveConfig& config) {
-  PPDP_CHECK(known.size() == g.num_nodes());
-  Status valid = config.Validate();
+IcaSolver::IcaSolver(const SocialGraph& g, const std::vector<bool>& known,
+                     AttributeClassifier& local, const CollectiveConfig& config)
+    : g_(g), known_(known), config_(config) {
+  PPDP_CHECK(known_.size() == g_.num_nodes());
+  Status valid = config_.Validate();
   PPDP_CHECK(valid.ok()) << valid.ToString();
-  obs::TraceSpan span("classify.ica");
   static obs::Counter& runs = obs::MetricsRegistry::Global().counter("classify.ica.runs");
+  runs.Increment();
+
+  const exec::ExecConfig exec_config{config_.threads};
+  local.Train(g_, known_);
+  distributions_ = BootstrapDistributions(g_, known_, local, config_.threads);
+
+  // Cache the (fixed) attribute posteriors; only P_L changes per round.
+  // Each node's posterior is an independent Predict — fan the nodes out.
+  attribute_posterior_.resize(g_.num_nodes());
+  exec::ParallelFor(
+      0, g_.num_nodes(), kNodeGrain,
+      [&](size_t u) {
+        if (!known_[u]) attribute_posterior_[u] = local.Predict(g_, static_cast<NodeId>(u));
+      },
+      exec_config);
+  node_change_.assign(g_.num_nodes(), 0.0);
+}
+
+Status IcaSolver::Step() {
+  if (Done()) return Status::FailedPrecondition("ICA run already finished");
+  // Crash-before-write: an injected fault aborts before this round mutates
+  // anything, so resuming from the last Snapshot loses at most one round's
+  // work and never observes a half-applied sweep.
+  fault::FaultDecision fault_decision = PPDP_FAULT_POINT("classify.ica.round", fault::kMaskDrop);
+  if (fault_decision.drop()) return fault_decision.AsStatus("classify.ica.round");
+
   static obs::Counter& iterations =
       obs::MetricsRegistry::Global().counter("classify.ica.iterations");
   static obs::Histogram& sweep_seconds =
       obs::MetricsRegistry::Global().histogram("classify.ica.sweep_seconds");
-  runs.Increment();
+  const exec::ExecConfig exec_config{config_.threads};
+  const double norm = config_.alpha + config_.beta;
 
-  const exec::ExecConfig exec_config{config.threads};
-  local.Train(g, known);
-
-  CollectiveResult result;
-  result.distributions = BootstrapDistributions(g, known, local, config.threads);
-
-  // Cache the (fixed) attribute posteriors; only P_L changes per round.
-  // Each node's posterior is an independent Predict — fan the nodes out.
-  std::vector<LabelDistribution> attribute_posterior(g.num_nodes());
+  double sweep_start = obs::MonotonicSeconds();
+  std::vector<LabelDistribution> next = distributions_;
+  // Every node's re-estimate reads only the previous round's distributions
+  // and writes its own slot, so the sweep parallelizes without changing a
+  // single bit of the serial result.
   exec::ParallelFor(
-      0, g.num_nodes(), kNodeGrain,
+      0, g_.num_nodes(), kNodeGrain,
       [&](size_t u) {
-        if (!known[u]) attribute_posterior[u] = local.Predict(g, static_cast<NodeId>(u));
+        if (known_[u]) {
+          node_change_[u] = 0.0;
+          return;
+        }
+        LabelDistribution link = RelationalPredict(g_, static_cast<NodeId>(u), distributions_);
+        LabelDistribution mixed(link.size());
+        for (size_t y = 0; y < mixed.size(); ++y) {
+          mixed[y] = (config_.alpha * attribute_posterior_[u][y] + config_.beta * link[y]) / norm;
+        }
+        NormalizeInPlace(mixed);
+        node_change_[u] = L1Distance(mixed, distributions_[u]);
+        next[u] = std::move(mixed);
       },
       exec_config);
+  double max_change = 0.0;
+  for (double change : node_change_) max_change = std::max(max_change, change);
+  distributions_ = std::move(next);
+  ++iteration_;
+  iterations.Increment();
+  sweep_seconds.Observe(obs::MonotonicSeconds() - sweep_start);
+  if (max_change < config_.convergence_tol) converged_ = true;
+  return Status::Ok();
+}
 
-  const double norm = config.alpha + config.beta;
-  std::vector<double> node_change(g.num_nodes(), 0.0);
-  for (size_t iter = 0; iter < config.max_iterations; ++iter) {
-    double sweep_start = obs::MonotonicSeconds();
-    std::vector<LabelDistribution> next = result.distributions;
-    // Every node's re-estimate reads only the previous round's distributions
-    // and writes its own slot, so the sweep parallelizes without changing a
-    // single bit of the serial result.
-    exec::ParallelFor(
-        0, g.num_nodes(), kNodeGrain,
-        [&](size_t u) {
-          if (known[u]) {
-            node_change[u] = 0.0;
-            return;
-          }
-          LabelDistribution link =
-              RelationalPredict(g, static_cast<NodeId>(u), result.distributions);
-          LabelDistribution mixed(link.size());
-          for (size_t y = 0; y < mixed.size(); ++y) {
-            mixed[y] = (config.alpha * attribute_posterior[u][y] + config.beta * link[y]) / norm;
-          }
-          NormalizeInPlace(mixed);
-          node_change[u] = L1Distance(mixed, result.distributions[u]);
-          next[u] = std::move(mixed);
-        },
-        exec_config);
-    double max_change = 0.0;
-    for (double change : node_change) max_change = std::max(max_change, change);
-    result.distributions = std::move(next);
-    result.iterations = iter + 1;
-    iterations.Increment();
-    sweep_seconds.Observe(obs::MonotonicSeconds() - sweep_start);
-    if (max_change < config.convergence_tol) {
-      result.converged = true;
-      break;
-    }
+IcaCheckpoint IcaSolver::Snapshot() const {
+  IcaCheckpoint checkpoint;
+  checkpoint.distributions = distributions_;
+  checkpoint.iteration = iteration_;
+  checkpoint.converged = converged_;
+  return checkpoint;
+}
+
+Status IcaSolver::Restore(const IcaCheckpoint& checkpoint) {
+  if (checkpoint.distributions.size() != g_.num_nodes()) {
+    return Status::InvalidArgument("ICA checkpoint node count mismatch");
   }
+  if (checkpoint.iteration > config_.max_iterations) {
+    return Status::InvalidArgument("ICA checkpoint beyond this solver's round budget");
+  }
+  distributions_ = checkpoint.distributions;
+  iteration_ = checkpoint.iteration;
+  converged_ = checkpoint.converged;
+  return Status::Ok();
+}
+
+CollectiveResult IcaSolver::Finish() const {
+  CollectiveResult result;
+  result.distributions = distributions_;
+  result.iterations = iteration_;
+  result.converged = converged_;
+  return result;
+}
+
+CollectiveResult CollectiveInference(const SocialGraph& g, const std::vector<bool>& known,
+                                     AttributeClassifier& local, const CollectiveConfig& config) {
+  obs::TraceSpan span("classify.ica");
+  IcaSolver solver(g, known, local, config);
+  size_t consecutive_faults = 0;
+  while (!solver.Done()) {
+    Status stepped = solver.Step();
+    if (!stepped.ok()) {
+      // Injected round failure: the solver's state is intact, so retrying
+      // the round in place is the recovery. The cap turns a pathological
+      // rate-1.0 plan into a loud failure instead of a silent hang.
+      PPDP_CHECK(++consecutive_faults < 100)
+          << "ICA round failed " << consecutive_faults << " times in a row: "
+          << stepped.ToString();
+      continue;
+    }
+    consecutive_faults = 0;
+  }
+  CollectiveResult result = solver.Finish();
   PPDP_LOG(DEBUG) << "ICA finished" << obs::Field("iterations", result.iterations)
                   << obs::Field("converged", result.converged)
                   << obs::Field("nodes", g.num_nodes())

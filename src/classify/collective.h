@@ -31,6 +31,65 @@ struct CollectiveResult {
   bool converged = false;
 };
 
+/// Serializable mid-run state of an IcaSolver: everything a fresh process
+/// needs to continue the refinement byte-identically (the attribute
+/// posteriors are *not* stored — they are a deterministic function of the
+/// graph, mask and classifier, and are recomputed on Restore).
+struct IcaCheckpoint {
+  std::vector<LabelDistribution> distributions;
+  size_t iteration = 0;
+  bool converged = false;
+};
+
+/// Stepwise ICA with checkpoint/resume: the engine behind
+/// CollectiveInference, exposed so long runs can survive faults. One
+/// Step() is one refinement round; Snapshot()/Restore() capture and
+/// reinstall the mid-run state, and a run interrupted between rounds then
+/// resumed from its last checkpoint produces byte-identical distributions
+/// to an uninterrupted run (rounds are deterministic; no RNG is consumed
+/// after bootstrap).
+///
+/// Fault model: Step() evaluates the "classify.ica.round" failure point
+/// first and aborts with kUnavailable *before touching any state* when a
+/// drop fires — crash-before-write, so the last checkpoint is always
+/// consistent.
+///
+/// `g`, `known` and `local` are borrowed and must outlive the solver.
+class IcaSolver {
+ public:
+  /// Trains `local` and bootstraps every unknown node (rounds 0 state).
+  /// Config invariants are PPDP_CHECK-enforced, as in CollectiveInference.
+  IcaSolver(const SocialGraph& g, const std::vector<bool>& known, AttributeClassifier& local,
+            const CollectiveConfig& config = {});
+
+  /// One refinement round. kUnavailable on an injected fault (state
+  /// untouched), kFailedPrecondition when already Done().
+  Status Step();
+
+  /// Converged, or the round budget is exhausted.
+  bool Done() const { return converged_ || iteration_ >= config_.max_iterations; }
+  size_t iteration() const { return iteration_; }
+  bool converged() const { return converged_; }
+
+  IcaCheckpoint Snapshot() const;
+  /// Reinstalls a Snapshot taken from a solver over the same graph/mask.
+  /// kInvalidArgument on a shape mismatch.
+  Status Restore(const IcaCheckpoint& checkpoint);
+
+  /// The current estimates packaged as a CollectiveResult.
+  CollectiveResult Finish() const;
+
+ private:
+  const SocialGraph& g_;
+  const std::vector<bool>& known_;
+  CollectiveConfig config_;
+  std::vector<LabelDistribution> attribute_posterior_;
+  std::vector<LabelDistribution> distributions_;
+  std::vector<double> node_change_;
+  size_t iteration_ = 0;
+  bool converged_ = false;
+};
+
 /// Iterative Classification Algorithm with a pluggable local classifier
 /// (ICA-RST / ICA-Bayes / ICA-KNN, Algorithm 1):
 ///   1. train M_A on the attacker-visible labels,
@@ -39,6 +98,9 @@ struct CollectiveResult {
 ///        α · P_A(y | attributes) + β · P_L(y | neighbor estimates)
 ///      until the estimates converge or max_iterations is hit.
 /// `local` must be untrained or retrainable; Train is invoked inside.
+/// Runs on an IcaSolver; rounds aborted by an injected fault are retried
+/// in place (the solver's state survives), so the result under an armed
+/// FaultPlan equals the fault-free result.
 CollectiveResult CollectiveInference(const SocialGraph& g, const std::vector<bool>& known,
                                      AttributeClassifier& local,
                                      const CollectiveConfig& config = {});

@@ -2,6 +2,7 @@
 #define PPDP_CLASSIFY_GIBBS_H_
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "classify/classifier.h"
@@ -24,6 +25,81 @@ struct GibbsConfig {
   /// Rejects invalid α/β (see CollectiveConfig), zero samples or chains,
   /// and a negative thread count.
   Status Validate() const;
+};
+
+/// Serializable mid-run state of one Gibbs chain: hard-label state,
+/// post-burn-in tallies, sweep position and the chain's exact RNG stream
+/// position (Rng::SaveState). Restoring it resumes the chain's deviate
+/// sequence precisely where it stopped, which is what makes an
+/// interrupted-and-resumed run byte-identical to an uninterrupted one.
+struct GibbsChainCheckpoint {
+  size_t chain = 0;
+  size_t sweeps_done = 0;
+  std::vector<graph::Label> state;
+  std::vector<std::vector<double>> tallies;  ///< [node][label]
+  std::string rng_state;
+};
+
+/// Checkpointable multi-chain Gibbs engine behind GibbsCollectiveInference.
+/// Construction trains the local classifier, caches attribute posteriors
+/// and samples every chain's initial state; Run() then advances all
+/// unfinished chains to their sweep budget, in parallel under
+/// config.threads with the usual per-chain Split streams (results are
+/// byte-identical at every thread count).
+///
+/// Fault model: each sweep first evaluates the "classify.gibbs.sweep"
+/// failure point; a fired drop interrupts that chain *between* sweeps
+/// (sweeps are atomic), Run() returns kUnavailable, and the sampler can
+/// either Run() again (retry in place) or be Snapshot()-ed, destroyed,
+/// and later Restore()-d in a fresh sampler — both continuations finish
+/// with byte-identical pooled beliefs.
+///
+/// `g`, `known` and `local` are borrowed and must outlive the sampler.
+class GibbsSampler {
+ public:
+  GibbsSampler(const SocialGraph& g, const std::vector<bool>& known, AttributeClassifier& local,
+               const GibbsConfig& config = {});
+
+  /// Advances every unfinished chain toward burn_in + samples sweeps.
+  /// OK when all chains finished; kUnavailable when injected faults
+  /// interrupted at least one chain (partial progress is retained).
+  Status Run();
+
+  bool Finished() const;
+  /// Sweeps completed by chain `chain`.
+  size_t SweepsDone(size_t chain) const;
+
+  /// One checkpoint per chain, in chain order.
+  std::vector<GibbsChainCheckpoint> Snapshot() const;
+  /// Reinstalls checkpoints taken from a sampler with the same graph,
+  /// mask and config. kInvalidArgument on shape mismatch.
+  Status Restore(const std::vector<GibbsChainCheckpoint>& checkpoints);
+
+  /// Pools the chains' post-burn-in tallies into per-node distributions
+  /// (chain-order fold; PPDP_CHECKs Finished()).
+  CollectiveResult Collect() const;
+
+ private:
+  struct Chain {
+    size_t index = 0;
+    size_t sweeps_done = 0;
+    std::vector<graph::Label> state;
+    std::vector<std::vector<double>> tallies;
+    Rng rng;
+    explicit Chain(Rng r) : rng(std::move(r)) {}
+  };
+
+  /// One single-site sweep over all unknown nodes (+ tally when past
+  /// burn-in). The unit of atomicity for checkpoints and faults.
+  void SweepChain(Chain& chain);
+
+  const SocialGraph& g_;
+  const std::vector<bool>& known_;
+  GibbsConfig config_;
+  size_t labels_ = 0;
+  size_t total_sweeps_ = 0;
+  std::vector<LabelDistribution> attribute_posterior_;
+  std::vector<Chain> chains_;
 };
 
 /// Gibbs-sampling collective inference: unknown labels are initialized by

@@ -1,6 +1,7 @@
 #include "common/rng.h"
 
 #include <numeric>
+#include <sstream>
 
 namespace ppdp {
 
@@ -17,6 +18,24 @@ uint64_t SplitMix64(uint64_t x) {
 }
 
 }  // namespace
+
+std::string Rng::SaveState() const {
+  std::ostringstream out;
+  out << seed_ << ' ' << engine_;
+  return out.str();
+}
+
+Status Rng::LoadState(const std::string& blob) {
+  std::istringstream in(blob);
+  uint64_t seed = 0;
+  std::mt19937_64 engine;
+  if (!(in >> seed >> engine)) {
+    return Status::InvalidArgument("malformed Rng state blob");
+  }
+  seed_ = seed;
+  engine_ = engine;
+  return Status::Ok();
+}
 
 Rng Rng::Split(uint64_t stream_id) const {
   // Mix the stream id first so that nearby (seed, id) pairs land far apart,

@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/status.h"
 
 namespace ppdp {
 
@@ -85,6 +87,18 @@ class Rng {
   /// primitive of the parallel hot loops: worker i uses Split(i), so
   /// results cannot depend on how work is scheduled across threads.
   Rng Split(uint64_t stream_id) const;
+
+  /// Serializes the full generator state (construction seed + engine
+  /// position) into a portable ASCII string. Restoring it with LoadState
+  /// resumes the deviate stream exactly where SaveState left it — the
+  /// primitive behind checkpoint/resume of the long iterative solvers
+  /// (mt19937_64's textual state is specified by the standard, so the
+  /// round-trip is bit-exact across platforms).
+  std::string SaveState() const;
+
+  /// Restores a state produced by SaveState. kInvalidArgument on a
+  /// malformed blob; on failure this generator is left unchanged.
+  Status LoadState(const std::string& blob);
 
   uint64_t seed() const { return seed_; }
   std::mt19937_64& engine() { return engine_; }

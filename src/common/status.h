@@ -15,6 +15,9 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kUnimplemented,
+  kUnavailable,        ///< transient environment failure; retrying may succeed
+  kDeadlineExceeded,   ///< the operation's time budget ran out before it finished
+  kDataLoss,           ///< payload arrived but failed integrity verification
 };
 
 /// Returns a stable human-readable name for `code` ("OK",
@@ -50,10 +53,27 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) { return Status(StatusCode::kDataLoss, std::move(msg)); }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  /// Returns this status with `context` prepended to the message
+  /// ("context: original message"), preserving the error code — the
+  /// annotation idiom for adding call-site information while error codes
+  /// propagate unchanged through Result moves and the PPDP_* macros.
+  /// Annotating an OK status is a no-op.
+  Status Annotate(const std::string& context) const {
+    if (ok()) return *this;
+    return Status(code_, context + ": " + message_);
+  }
 
   /// "OK" or "<CODE>: <message>".
   std::string ToString() const;

@@ -15,15 +15,12 @@ GenomePublisher::GenomePublisher(genomics::GwasCatalog catalog, genomics::Target
 Result<GenomePublisher> GenomePublisher::Create(genomics::GwasCatalog catalog,
                                                 genomics::TargetView view,
                                                 const PublisherOptions& options) {
-  PPDP_RETURN_IF_ERROR(options.Validate());
+  PPDP_RETURN_IF_ERROR(options.Validate().Annotate("PublisherOptions"));
   if (catalog.associations().empty()) {
     return Status::InvalidArgument("cannot publish against an empty GWAS catalog");
   }
   return GenomePublisher(std::move(catalog), std::move(view), options.threads);
 }
-
-GenomePublisher::GenomePublisher(genomics::GwasCatalog catalog, genomics::TargetView view)
-    : catalog_(std::move(catalog)), view_(std::move(view)) {}
 
 genomics::GenomeAttackResult GenomePublisher::Attack(
     genomics::AttackMethod method, const genomics::FactorGraph::BpOptions& options) const {

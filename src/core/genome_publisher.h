@@ -32,10 +32,6 @@ class GenomePublisher {
                                         genomics::TargetView view,
                                         const PublisherOptions& options);
 
-  /// Deprecated implicit constructor kept for one release; use Create.
-  [[deprecated("use GenomePublisher::Create(catalog, view, options)")]]
-  GenomePublisher(genomics::GwasCatalog catalog, genomics::TargetView view);
-
   /// Runs the inference attack on the current view. When `options` leaves
   /// `threads` at 0 the publisher's construction default applies.
   genomics::GenomeAttackResult Attack(

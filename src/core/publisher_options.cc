@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "classify/evaluation.h"
+#include "common/rng.h"
 #include "exec/exec_config.h"
 
 namespace ppdp::core {
@@ -11,6 +13,16 @@ Status PublisherOptions::Validate() const {
     return Status::InvalidArgument("known_fraction must be in (0, 1]");
   }
   return exec::ExecConfig{threads}.Validate();
+}
+
+Result<std::vector<bool>> BuildKnownMask(const graph::SocialGraph& graph,
+                                         const PublisherOptions& options) {
+  PPDP_RETURN_IF_ERROR(options.Validate().Annotate("PublisherOptions"));
+  if (graph.num_nodes() == 0) {
+    return Status::InvalidArgument("cannot publish an empty graph");
+  }
+  Rng rng(options.seed);
+  return classify::SampleKnownMask(graph, options.known_fraction, rng);
 }
 
 }  // namespace ppdp::core

@@ -2,8 +2,11 @@
 #define PPDP_CORE_PUBLISHER_OPTIONS_H_
 
 #include <cstdint>
+#include <vector>
 
+#include "common/result.h"
 #include "common/status.h"
+#include "graph/social_graph.h"
 #include "obs/ledger.h"
 
 namespace ppdp::core {
@@ -31,6 +34,15 @@ struct PublisherOptions {
   /// Rejects known_fraction outside (0, 1] and negative thread counts.
   Status Validate() const;
 };
+
+/// Shared head of every graph publisher's Create chain: validates `options`,
+/// rejects an empty graph, and samples the attacker-visibility mask with
+/// `options.seed`. Factored out so Social/Tradeoff publishers stay in exact
+/// lockstep (same validation order, same deviate stream) and so the chain
+/// composes with PPDP_ASSIGN_OR_RETURN instead of hand-rolled branching.
+/// Errors are annotated with the failing stage.
+Result<std::vector<bool>> BuildKnownMask(const graph::SocialGraph& graph,
+                                         const PublisherOptions& options);
 
 }  // namespace ppdp::core
 

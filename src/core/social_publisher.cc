@@ -20,21 +20,9 @@ SocialPublisher::SocialPublisher(graph::SocialGraph graph, std::vector<bool> kno
 
 Result<SocialPublisher> SocialPublisher::Create(graph::SocialGraph graph,
                                                 const PublisherOptions& options) {
-  PPDP_RETURN_IF_ERROR(options.Validate());
-  if (graph.num_nodes() == 0) {
-    return Status::InvalidArgument("cannot publish an empty graph");
-  }
-  Rng rng(options.seed);
-  std::vector<bool> known = classify::SampleKnownMask(graph, options.known_fraction, rng);
+  std::vector<bool> known;
+  PPDP_ASSIGN_OR_RETURN(known, BuildKnownMask(graph, options));
   return SocialPublisher(std::move(graph), std::move(known), options.threads);
-}
-
-SocialPublisher::SocialPublisher(graph::SocialGraph graph, double known_fraction, uint64_t seed)
-    : graph_(std::move(graph)) {
-  Rng rng(seed);
-  known_ = classify::SampleKnownMask(graph_, known_fraction, rng);
-  PPDP_LOG(INFO) << "social publisher ready" << obs::Field("nodes", graph_.num_nodes())
-                 << obs::Field("known_fraction", known_fraction);
 }
 
 classify::CollectiveConfig SocialPublisher::Effective(

@@ -32,10 +32,6 @@ class SocialPublisher {
   static Result<SocialPublisher> Create(graph::SocialGraph graph,
                                         const PublisherOptions& options);
 
-  /// Deprecated throwing constructor kept for one release; use Create.
-  [[deprecated("use SocialPublisher::Create(graph, options)")]]
-  SocialPublisher(graph::SocialGraph graph, double known_fraction, uint64_t seed);
-
   /// Accuracy of the given attack against the current (possibly sanitized)
   /// graph. When `config` leaves `threads` at 0 the publisher's construction
   /// default applies.

@@ -15,20 +15,9 @@ TradeoffPublisher::TradeoffPublisher(graph::SocialGraph graph, std::vector<bool>
 
 Result<TradeoffPublisher> TradeoffPublisher::Create(graph::SocialGraph graph,
                                                     const PublisherOptions& options) {
-  PPDP_RETURN_IF_ERROR(options.Validate());
-  if (graph.num_nodes() == 0) {
-    return Status::InvalidArgument("cannot publish an empty graph");
-  }
-  Rng rng(options.seed);
-  std::vector<bool> known = classify::SampleKnownMask(graph, options.known_fraction, rng);
+  std::vector<bool> known;
+  PPDP_ASSIGN_OR_RETURN(known, BuildKnownMask(graph, options));
   return TradeoffPublisher(std::move(graph), std::move(known), options.threads);
-}
-
-TradeoffPublisher::TradeoffPublisher(graph::SocialGraph graph, double known_fraction,
-                                     uint64_t seed)
-    : graph_(std::move(graph)) {
-  Rng rng(seed);
-  known_ = classify::SampleKnownMask(graph_, known_fraction, rng);
 }
 
 tradeoff::StrategyProblem TradeoffPublisher::BuildProblem(double delta, size_t max_sets) const {

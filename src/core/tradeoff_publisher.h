@@ -28,10 +28,6 @@ class TradeoffPublisher {
   static Result<TradeoffPublisher> Create(graph::SocialGraph graph,
                                           const PublisherOptions& options);
 
-  /// Deprecated throwing constructor kept for one release; use Create.
-  [[deprecated("use TradeoffPublisher::Create(graph, options)")]]
-  TradeoffPublisher(graph::SocialGraph graph, double known_fraction, uint64_t seed);
-
   /// Builds the (ε, δ)-UtiOptPri attribute-side problem over the
   /// `max_sets` most frequent attribute vectors.
   tradeoff::StrategyProblem BuildProblem(double delta, size_t max_sets = 6) const;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 
 namespace ppdp::dp {
@@ -106,6 +107,11 @@ Status PrivacyAccountant::Spend(double epsilon) {
   if (spent_ + epsilon > budget_ + 1e-12) {
     return Status::FailedPrecondition("privacy budget exhausted");
   }
+  // Crash-before-write: a fired fault refuses the spend while spent_ is
+  // still untouched, so an accountant never records a charge the caller
+  // believes failed (or vice versa).
+  fault::FaultDecision fault_decision = PPDP_FAULT_POINT("dp.spend", fault::kMaskDrop);
+  if (fault_decision.drop()) return fault_decision.AsStatus("dp.spend");
   spent_ += epsilon;
   return Status::Ok();
 }

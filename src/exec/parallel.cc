@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <thread>
 
 #include "common/logging.h"
+#include "fault/fault.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -13,6 +16,16 @@
 namespace ppdp::exec {
 
 namespace {
+
+/// Scheduling-jitter fault: stall this thread before it runs a chunk. The
+/// claim order of later chunks shifts, which is exactly the perturbation
+/// determinism_test must be immune to — results may not change by a bit.
+void MaybeStallChunk() {
+  fault::FaultDecision fault_decision = PPDP_FAULT_POINT("exec.chunk", fault::kMaskDelay);
+  if (fault_decision.delay()) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(fault_decision.delay_ms));
+  }
+}
 
 /// Shared claim state of one parallel region. Lives on the caller's stack;
 /// the caller blocks until every helper has detached from it.
@@ -40,6 +53,7 @@ struct Region {
       if (chunk >= num_chunks) break;
       size_t chunk_begin = begin + chunk * grain;
       size_t chunk_end = std::min(end, chunk_begin + grain);
+      MaybeStallChunk();
       (*body)(chunk_begin, chunk_end);
       ++ran;
     }
@@ -83,6 +97,7 @@ void ParallelForChunked(size_t begin, size_t end, size_t grain,
     double start = obs::MonotonicSeconds();
     for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
       size_t chunk_begin = begin + chunk * grain;
+      MaybeStallChunk();
       body(chunk_begin, std::min(end, chunk_begin + grain));
     }
     latency.Observe(obs::MonotonicSeconds() - start);

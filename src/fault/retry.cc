@@ -1,0 +1,42 @@
+#include "fault/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ppdp::fault {
+
+Status RetryPolicy::Validate() const {
+  if (max_attempts == 0) return Status::InvalidArgument("max_attempts must be >= 1");
+  if (!(std::isfinite(initial_backoff_ms) && initial_backoff_ms >= 0.0)) {
+    return Status::InvalidArgument("initial_backoff_ms must be finite and non-negative");
+  }
+  if (!(std::isfinite(backoff_multiplier) && backoff_multiplier >= 1.0)) {
+    return Status::InvalidArgument("backoff_multiplier must be >= 1");
+  }
+  if (!(std::isfinite(max_backoff_ms) && max_backoff_ms >= 0.0)) {
+    return Status::InvalidArgument("max_backoff_ms must be finite and non-negative");
+  }
+  if (!(std::isfinite(jitter) && jitter >= 0.0 && jitter <= 1.0)) {
+    return Status::InvalidArgument("jitter must be in [0, 1]");
+  }
+  if (!(std::isfinite(deadline_ms) && deadline_ms >= 0.0)) {
+    return Status::InvalidArgument("deadline_ms must be finite and non-negative");
+  }
+  return Status::Ok();
+}
+
+double RetryPolicy::BackoffMs(uint64_t attempt, Rng& rng) const {
+  double base = initial_backoff_ms;
+  for (uint64_t i = 0; i < attempt && base < max_backoff_ms; ++i) base *= backoff_multiplier;
+  base = std::min(base, max_backoff_ms);
+  const double factor = 1.0 - jitter + 2.0 * jitter * rng.UniformReal();
+  return base * factor;
+}
+
+bool RetryPolicy::AllowsAttempt(uint64_t attempts, double elapsed_ms) const {
+  if (attempts >= max_attempts) return false;
+  if (deadline_ms > 0.0 && elapsed_ms >= deadline_ms) return false;
+  return true;
+}
+
+}  // namespace ppdp::fault

@@ -1,0 +1,45 @@
+#ifndef PPDP_FAULT_RETRY_H_
+#define PPDP_FAULT_RETRY_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace ppdp::fault {
+
+/// Exponential backoff with deterministic jitter, capped by a per-operation
+/// attempt count and deadline. All durations are in milliseconds on
+/// whatever clock the caller advances — the ResilientChannel runs it on a
+/// virtual clock so retry schedules are reproducible and tests never sleep.
+struct RetryPolicy {
+  uint64_t max_attempts = 8;       ///< total tries (first attempt included)
+  double initial_backoff_ms = 2.0; ///< wait before the 2nd attempt
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 64.0;
+  /// Jitter fraction in [0, 1]: each backoff is scaled by a factor drawn
+  /// uniformly from [1 - jitter, 1 + jitter] using the caller's Rng — so
+  /// the schedule is deterministic under a fixed seed but desynchronized
+  /// across devices (no thundering herd on a real deployment).
+  double jitter = 0.25;
+  /// Total time budget of the operation; attempts stop once the clock
+  /// passes it. 0 disables the deadline.
+  double deadline_ms = 1000.0;
+
+  /// Rejects zero attempts, non-finite/negative durations or multiplier
+  /// < 1, and jitter outside [0, 1].
+  Status Validate() const;
+
+  /// Backoff to wait after failed attempt `attempt` (0-based), jittered
+  /// with `rng`. attempt 0 -> ~initial_backoff_ms, growing geometrically
+  /// and truncated at max_backoff_ms before jitter is applied.
+  double BackoffMs(uint64_t attempt, Rng& rng) const;
+
+  /// True when another attempt is allowed for an operation that started at
+  /// clock 0 and has consumed `attempts` tries and `elapsed_ms` of clock.
+  bool AllowsAttempt(uint64_t attempts, double elapsed_ms) const;
+};
+
+}  // namespace ppdp::fault
+
+#endif  // PPDP_FAULT_RETRY_H_

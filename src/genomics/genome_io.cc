@@ -4,6 +4,7 @@
 
 #include "common/csv.h"
 #include "common/table.h"
+#include "fault/fault.h"
 
 namespace ppdp::genomics {
 
@@ -47,6 +48,10 @@ Status SavePanel(const CaseControlPanel& panel, const std::string& path) {
 }
 
 Result<CaseControlPanel> LoadPanel(const std::string& path) {
+  // Same CSV I/O failure point as graph::LoadGraph: a drop models an
+  // unreadable file and surfaces as a retryable kUnavailable.
+  fault::FaultDecision fault_decision = PPDP_FAULT_POINT("io.csv.read", fault::kMaskDrop);
+  if (fault_decision.drop()) return fault_decision.AsStatus("io.csv.read");
   PPDP_ASSIGN_OR_RETURN(auto rows, ReadCsv(path));
   if (rows.size() < 2) return Status::InvalidArgument("panel file has no data rows");
   const auto& header = rows[0];

@@ -5,6 +5,7 @@
 
 #include "common/csv.h"
 #include "common/table.h"
+#include "fault/fault.h"
 
 namespace ppdp::graph {
 
@@ -59,6 +60,10 @@ Status SaveGraph(const SocialGraph& g, const std::string& base_path) {
 }
 
 Result<SocialGraph> LoadGraph(const std::string& base_path) {
+  // CSV I/O failure point: a fired drop models a torn/unreadable file and
+  // surfaces as kUnavailable so callers can retry the load as a unit.
+  fault::FaultDecision fault_decision = PPDP_FAULT_POINT("io.csv.read", fault::kMaskDrop);
+  if (fault_decision.drop()) return fault_decision.AsStatus("io.csv.read");
   PPDP_ASSIGN_OR_RETURN(auto schema_rows, ReadCsv(base_path + ".schema.csv"));
   if (schema_rows.size() < 2) return Status::InvalidArgument("schema file too short");
 

@@ -1,0 +1,153 @@
+#include "iot/channel.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ppdp::iot {
+
+namespace {
+
+void HashMix(uint64_t& h, uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (value >> (8 * byte)) & 0xFFu;
+    h *= 0x100000001B3ULL;
+  }
+}
+
+}  // namespace
+
+uint64_t EnvelopeChecksum(const Envelope& envelope) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  HashMix(h, envelope.device);
+  HashMix(h, envelope.seq);
+  HashMix(h, static_cast<uint64_t>(envelope.reading.sensor));
+  HashMix(h, static_cast<uint64_t>(envelope.reading.value));
+  uint64_t epsilon_bits = 0;
+  static_assert(sizeof(envelope.reading.epsilon) == sizeof(epsilon_bits));
+  std::memcpy(&epsilon_bits, &envelope.reading.epsilon, sizeof(epsilon_bits));
+  HashMix(h, epsilon_bits);
+  return h;
+}
+
+Table ChannelReport::Summary() const {
+  Table table({"field", "value"});
+  table.AddRow({"sent", std::to_string(sent)});
+  table.AddRow({"delivered", std::to_string(delivered)});
+  table.AddRow({"attempts", std::to_string(attempts)});
+  table.AddRow({"retries", std::to_string(retries)});
+  table.AddRow({"drops", std::to_string(drops)});
+  table.AddRow({"duplicates", std::to_string(duplicates)});
+  table.AddRow({"corruptions", std::to_string(corruptions)});
+  table.AddRow({"checksum_rejects", std::to_string(checksum_rejects)});
+  table.AddRow({"dedup_hits", std::to_string(dedup_hits)});
+  table.AddRow({"gave_up", std::to_string(gave_up)});
+  table.AddRow({"observed_loss", Table::FormatDouble(ObservedLossRate(), 4)});
+  table.AddRow({"virtual_ms", Table::FormatDouble(virtual_ms, 3)});
+  return table;
+}
+
+ResilientChannel::ResilientChannel(AggregationServer* server, fault::RetryPolicy policy,
+                                   uint64_t seed, uint64_t device)
+    : server_(server), policy_(std::move(policy)), rng_(seed), device_(device) {
+  PPDP_CHECK(server_ != nullptr) << "ResilientChannel needs an aggregation server";
+  Status valid = policy_.Validate();
+  PPDP_CHECK(valid.ok()) << valid.ToString();
+}
+
+bool ResilientChannel::Deliver(Envelope envelope) {
+  if (EnvelopeChecksum(envelope) != envelope.checksum) {
+    ++report_.checksum_rejects;
+    return false;  // nack: sender retransmits the intact bytes
+  }
+  if (seen_.count(envelope.seq) > 0) {
+    static obs::Counter& dedup = obs::MetricsRegistry::Global().counter("channel.dedup_hits");
+    dedup.Increment();
+    ++report_.dedup_hits;
+    return true;  // redundant copy: ack without re-ingesting
+  }
+  Status ingested = server_->Ingest(envelope.reading);
+  if (!ingested.ok()) {
+    // A deterministic rejection (bad sensor, mixed epsilons, ...) — record
+    // it and ack so the sender stops retrying a hopeless payload.
+    ingest_error_ = ingested.Annotate("ResilientChannel receiver");
+    return true;
+  }
+  seen_.insert(envelope.seq);
+  ++report_.delivered;
+  return true;
+}
+
+bool ResilientChannel::TransmitOnce(const Envelope& envelope) {
+  ++report_.attempts;
+  fault::FaultDecision decision = PPDP_FAULT_POINT("iot.send", fault::kMaskAll);
+  if (decision.delay()) {
+    clock_ms_ += decision.delay_ms;
+    report_.virtual_ms += decision.delay_ms;
+  }
+  if (decision.drop()) {
+    ++report_.drops;
+    return false;  // lost in flight; no ack will arrive
+  }
+  Envelope wire = envelope;
+  if (decision.corrupt()) {
+    ++report_.corruptions;
+    wire.reading.value ^= size_t{1} << (decision.corrupt_bit % (8 * sizeof(size_t)));
+  }
+  bool acked = Deliver(wire);
+  if (decision.duplicate()) {
+    // The network replays the same bytes; the receiver's dedup (or the
+    // checksum) must keep the second copy from biasing the estimate.
+    ++report_.duplicates;
+    (void)Deliver(wire);
+  }
+  return acked;
+}
+
+Status ResilientChannel::Send(const PerturbedReading& reading) {
+  obs::TraceSpan span("channel.send");
+  static obs::Counter& retries_metric = obs::MetricsRegistry::Global().counter("channel.retries");
+  static obs::Counter& gave_up_metric = obs::MetricsRegistry::Global().counter("channel.gave_up");
+
+  Envelope envelope;
+  envelope.device = device_;
+  envelope.seq = next_seq_++;
+  envelope.reading = reading;
+  envelope.checksum = EnvelopeChecksum(envelope);
+  ++report_.sent;
+
+  ingest_error_ = Status::Ok();
+  const double start_ms = clock_ms_;
+  for (uint64_t attempt = 0;; ++attempt) {
+    if (!policy_.AllowsAttempt(attempt, clock_ms_ - start_ms)) {
+      ++report_.gave_up;
+      gave_up_metric.Increment();
+      PPDP_LOG(WARN) << "reading lost: retry budget exhausted"
+                     << obs::Field("seq", envelope.seq) << obs::Field("attempts", attempt)
+                     << obs::Field("elapsed_ms", clock_ms_ - start_ms);
+      if (attempt >= policy_.max_attempts) {
+        return Status::Unavailable("reading " + std::to_string(envelope.seq) +
+                                   " unacknowledged after " + std::to_string(attempt) +
+                                   " attempts");
+      }
+      return Status::DeadlineExceeded("reading " + std::to_string(envelope.seq) +
+                                      " missed its delivery deadline");
+    }
+    if (attempt > 0) {
+      ++report_.retries;
+      retries_metric.Increment();
+    }
+    if (TransmitOnce(envelope)) {
+      // Acked — but surface a deterministic server rejection to the caller.
+      return ingest_error_;
+    }
+    const double backoff = policy_.BackoffMs(attempt, rng_);
+    clock_ms_ += backoff;
+    report_.virtual_ms += backoff;
+  }
+}
+
+}  // namespace ppdp::iot

@@ -1,0 +1,116 @@
+#ifndef PPDP_IOT_CHANNEL_H_
+#define PPDP_IOT_CHANNEL_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "fault/fault.h"
+#include "fault/retry.h"
+#include "iot/collection.h"
+
+namespace ppdp::iot {
+
+/// A perturbed reading framed for transmission over an unreliable link:
+/// device + per-device sequence number identify the reading end-to-end (the
+/// dedup key), and the checksum detects in-flight corruption.
+struct Envelope {
+  uint64_t device = 0;
+  uint64_t seq = 0;
+  PerturbedReading reading;
+  uint64_t checksum = 0;
+};
+
+/// FNV-1a over the envelope's identifying fields and payload (checksum
+/// field excluded).
+uint64_t EnvelopeChecksum(const Envelope& envelope);
+
+/// Transport accounting of one channel. `sent` counts distinct readings
+/// accepted for transmission; everything else counts what the unreliable
+/// link did to them.
+struct ChannelReport {
+  uint64_t sent = 0;              ///< distinct readings handed to Send()
+  uint64_t delivered = 0;         ///< distinct readings the server ingested
+  uint64_t attempts = 0;          ///< transmissions on the wire (retries included)
+  uint64_t retries = 0;           ///< attempts beyond each reading's first
+  uint64_t drops = 0;             ///< injected in-flight losses
+  uint64_t duplicates = 0;        ///< injected replays put on the wire
+  uint64_t corruptions = 0;       ///< injected bit flips put on the wire
+  uint64_t checksum_rejects = 0;  ///< corrupted arrivals detected and refused
+  uint64_t dedup_hits = 0;        ///< redundant copies the receiver suppressed
+  uint64_t gave_up = 0;           ///< readings never acknowledged in budget
+  double virtual_ms = 0.0;        ///< virtual clock spent on backoff + delays
+
+  /// Fraction of accepted readings that never reached the server.
+  double ObservedLossRate() const {
+    if (sent == 0) return 0.0;
+    return 1.0 - static_cast<double>(delivered) / static_cast<double>(sent);
+  }
+
+  /// One-row-per-field accounting table (field, value).
+  Table Summary() const;
+};
+
+/// At-least-once delivery of already-perturbed readings from a device's
+/// PrivacyProxy to the AggregationServer, correct under the failure model
+/// of the "iot.send" fault point (drops, duplicates, bit corruption,
+/// latency).
+///
+/// The privacy-safety invariant: Send() transmits bytes whose privacy cost
+/// was charged exactly once, at perturbation time inside
+/// PrivacyProxy::Report. Retransmission replays the *same* perturbed
+/// value — never a re-randomization — so no failure/retry pattern can
+/// spend a user's budget twice, and the receiver's sequence-number dedup
+/// keeps the server's estimate unbiased under duplication. Both ends of
+/// the transport are modeled in-process; time is virtual (backoff and
+/// injected latency advance a logical clock), so retry schedules replay
+/// byte-identically from a seed and tests never sleep.
+class ResilientChannel {
+ public:
+  /// `server` must outlive the channel. `seed` drives retry jitter only —
+  /// fault behavior comes from the globally armed FaultPlan.
+  ResilientChannel(AggregationServer* server, fault::RetryPolicy policy, uint64_t seed,
+                   uint64_t device = 0);
+
+  /// Transmits one perturbed reading until the receiver acknowledges it or
+  /// the retry policy gives up. Returns:
+  ///  * OK — acknowledged (possibly after retransmissions),
+  ///  * kUnavailable — attempts exhausted (the reading is lost; its budget
+  ///    is already spent, which the loss report surfaces),
+  ///  * kDeadlineExceeded — the per-reading deadline lapsed,
+  ///  * any server-side Ingest error, annotated (not retried: a reading
+  ///    the server rejects deterministically can never succeed).
+  Status Send(const PerturbedReading& reading);
+
+  const ChannelReport& report() const { return report_; }
+  const fault::RetryPolicy& policy() const { return policy_; }
+  uint64_t device() const { return device_; }
+  double VirtualNowMs() const { return clock_ms_; }
+
+ private:
+  /// One wire attempt: applies the fault decision, delivers to the
+  /// receiver endpoint, returns true when acknowledged.
+  bool TransmitOnce(const Envelope& envelope);
+
+  /// Receiver endpoint: checksum verification, sequence dedup, ingest.
+  /// Returns true to acknowledge. Deterministic server rejections are
+  /// stored in ingest_error_ and acknowledged (retrying cannot help).
+  bool Deliver(Envelope envelope);
+
+  AggregationServer* server_;
+  fault::RetryPolicy policy_;
+  Rng rng_;
+  uint64_t device_;
+  uint64_t next_seq_ = 0;
+  double clock_ms_ = 0.0;
+  std::set<uint64_t> seen_;  ///< receiver-side acknowledged sequence numbers
+  Status ingest_error_;      ///< deterministic server rejection of the in-flight send
+  ChannelReport report_;
+};
+
+}  // namespace ppdp::iot
+
+#endif  // PPDP_IOT_CHANNEL_H_

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "fault/fault.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 
@@ -47,7 +48,27 @@ Result<PerturbedReading> PrivacyProxy::Report(size_t sensor, size_t raw_value) {
     return Status::FailedPrecondition("lifetime privacy budget of " + schema_[sensor].name +
                                       " exhausted");
   }
+  // Every validation has passed. A device-side fault injected here (sensor
+  // glitch, process crash before the mechanism ran) must abort before any
+  // budget is charged — the caller sees kUnavailable and RemainingBudget
+  // is untouched.
+  fault::FaultDecision fault_decision = PPDP_FAULT_POINT("iot.report", fault::kMaskDrop);
+  if (fault_decision.drop()) {
+    refused.Increment();
+    return fault_decision.AsStatus("iot.report");
+  }
+  // The attached ledger's enforcement is a *pre*-charge veto so the audit
+  // trail can never disagree with the device's own accounting.
+  if (ledger_ != nullptr) {
+    PPDP_RETURN_IF_ERROR(ledger_
+                             ->Spend(schema_[sensor].name, "randomized-response",
+                                     pref.epsilon_per_reading)
+                             .Annotate("PrivacyProxy::Report"));
+  }
   reports.Increment();
+  // Perturbation is the privacy event: ε is charged here, exactly once.
+  // The returned reading is safe to retransmit — resending these bytes
+  // reveals nothing more about the raw value.
   dp::RandomizedResponse mechanism(schema_[sensor].domain_size, pref.epsilon_per_reading);
   PerturbedReading reading;
   reading.sensor = sensor;
@@ -96,6 +117,46 @@ Result<std::vector<double>> AggregationServer::EstimateFrequencies(size_t sensor
     estimate[v] = std::max(0.0, mechanism.Debias(counts_[sensor][v] / n));
   }
   NormalizeInPlace(estimate);
+  return estimate;
+}
+
+Result<AggregationServer::RobustEstimate> AggregationServer::EstimateWithLoss(
+    size_t sensor, size_t expected, double degraded_threshold) const {
+  if (sensor >= schema_.size()) return Status::InvalidArgument("unknown sensor");
+  if (!(degraded_threshold >= 0.0 && degraded_threshold <= 1.0)) {
+    return Status::InvalidArgument("degraded_threshold must be in [0, 1]");
+  }
+  if (expected < totals_[sensor]) {
+    return Status::InvalidArgument("expected readings below the count actually received");
+  }
+  RobustEstimate estimate;
+  PPDP_ASSIGN_OR_RETURN(estimate.frequencies, EstimateFrequencies(sensor));
+  estimate.received = totals_[sensor];
+  estimate.expected = expected;
+  if (expected > 0) {
+    estimate.loss_rate =
+        1.0 - static_cast<double>(estimate.received) / static_cast<double>(expected);
+  }
+  estimate.degraded = estimate.loss_rate > degraded_threshold;
+  // Debiasing amplifies sampling noise by 1/(keep − lie); bound each
+  // component's 95% interval by the worst-case binomial sd 0.5/√n over the
+  // readings that actually arrived. Loss widens the interval through the
+  // smaller n — an honest price instead of a silent bias.
+  dp::RandomizedResponse mechanism(schema_[sensor].domain_size, epsilon_[sensor]);
+  const double lie =
+      (1.0 - mechanism.keep_probability()) / (static_cast<double>(schema_[sensor].domain_size) - 1.0);
+  const double slope = 1.0 / (mechanism.keep_probability() - lie);
+  const double n = static_cast<double>(estimate.received);
+  estimate.ci_halfwidth = 1.96 * slope * 0.5 / std::sqrt(n);
+  if (estimate.degraded) {
+    static obs::Counter& degraded_metric =
+        obs::MetricsRegistry::Global().counter("iot.server.degraded_estimates");
+    degraded_metric.Increment();
+    PPDP_LOG(WARN) << "degraded estimate: transport loss above threshold"
+                   << obs::Field("sensor", schema_[sensor].name)
+                   << obs::Field("loss", estimate.loss_rate)
+                   << obs::Field("threshold", degraded_threshold);
+  }
   return estimate;
 }
 

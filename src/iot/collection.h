@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "dp/mechanisms.h"
+#include "obs/ledger.h"
 
 namespace ppdp::iot {
 
@@ -57,12 +58,25 @@ class PrivacyProxy {
                uint64_t seed);
 
   /// Perturbs one raw reading of `sensor`. Fails with kFailedPrecondition
-  /// when the sensor's lifetime budget cannot cover another reading, and
-  /// kInvalidArgument on bad sensor/value.
+  /// when the sensor's lifetime budget cannot cover another reading,
+  /// kInvalidArgument on bad sensor/value, and kUnavailable when the
+  /// "iot.report" fault point fires (simulated device-side failure).
+  ///
+  /// Budget-safety invariant: ε is charged exactly once, at perturbation
+  /// time, and only after every validation has passed — a refused or
+  /// fault-aborted call leaves RemainingBudget untouched, and the returned
+  /// reading may be retransmitted any number of times at no further cost.
   Result<PerturbedReading> Report(size_t sensor, size_t raw_value);
 
   /// Remaining lifetime budget of a sensor.
   double RemainingBudget(size_t sensor) const;
+
+  /// Mirrors every successful Report into `ledger` (one Spend per reading,
+  /// labeled by sensor name, mechanism "randomized-response"). The ledger
+  /// must outlive the proxy; pass nullptr to detach. A ledger whose
+  /// enforcement refuses the spend vetoes the reading *before* any budget
+  /// is charged — the audit trail and the device agree by construction.
+  void AttachLedger(obs::PrivacyLedger* ledger) { ledger_ = ledger; }
 
   const std::vector<SensorSchema>& schema() const { return schema_; }
 
@@ -71,6 +85,7 @@ class PrivacyProxy {
   std::vector<PrivacyPreference> preferences_;
   std::vector<double> spent_;
   Rng rng_;
+  obs::PrivacyLedger* ledger_ = nullptr;
 };
 
 /// Server-side estimation (Toolset 2): collects perturbed readings and
@@ -86,6 +101,31 @@ class AggregationServer {
   /// Debiased frequency estimate for a sensor (sums to ~1; entries clamped
   /// to >= 0 then renormalized). kFailedPrecondition with no data.
   Result<std::vector<double>> EstimateFrequencies(size_t sensor) const;
+
+  /// A frequency estimate that is honest about transport loss. `degraded`
+  /// is the DegradedResult path: the estimate is still produced, but it is
+  /// explicitly flagged (and its confidence interval widened) instead of
+  /// silently pretending the lost readings never existed.
+  struct RobustEstimate {
+    std::vector<double> frequencies;
+    /// Loss-aware 95% half-width per component: the randomized-response
+    /// debiasing slope × the binomial sampling bound on the readings that
+    /// actually arrived. Fewer arrivals ⇒ wider interval.
+    double ci_halfwidth = 0.0;
+    size_t received = 0;
+    size_t expected = 0;
+    double loss_rate = 0.0;  ///< 1 − received/expected, clamped to [0, 1]
+    bool degraded = false;   ///< loss_rate exceeded the caller's threshold
+  };
+
+  /// Frequency estimate from the readings that survived the transport,
+  /// annotated with loss-aware confidence. `expected` is how many unique
+  /// readings were sent toward this sensor (e.g. ChannelReport::sent);
+  /// the estimate is flagged degraded when more than `degraded_threshold`
+  /// of them never arrived. kFailedPrecondition with no data,
+  /// kInvalidArgument on a bad sensor/threshold or expected < received.
+  Result<RobustEstimate> EstimateWithLoss(size_t sensor, size_t expected,
+                                          double degraded_threshold = 0.1) const;
 
   size_t ReadingCount(size_t sensor) const;
 

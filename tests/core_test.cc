@@ -136,15 +136,28 @@ TEST(SocialPublisherTest, CreateStoresDefaultThreads) {
   EXPECT_EQ(pub->threads(), 2);
 }
 
-TEST(SocialPublisherTest, CreateMatchesDeprecatedConstructorMask) {
+TEST(SocialPublisherTest, CreateMatchesBuildKnownMask) {
+  // The deprecated throwing constructors are gone; every publisher's mask
+  // now flows through the one BuildKnownMask head, so Create must agree
+  // with it (and with any other publisher built from the same options).
   graph::SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.2, 11));
-  auto pub = SocialPublisher::Create(g, {.known_fraction = 0.7, .seed = 1});
+  PublisherOptions options{.known_fraction = 0.7, .seed = 1};
+  auto pub = SocialPublisher::Create(g, options);
   ASSERT_TRUE(pub.ok());
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  SocialPublisher legacy(g, 0.7, 1);
-#pragma GCC diagnostic pop
-  EXPECT_EQ(pub->known(), legacy.known());
+  auto mask = BuildKnownMask(g, options);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ(pub->known(), *mask);
+  auto tradeoff = TradeoffPublisher::Create(g, options);
+  ASSERT_TRUE(tradeoff.ok());
+  EXPECT_EQ(tradeoff->known(), *mask);
+}
+
+TEST(PublisherOptionsTest, BuildKnownMaskAnnotatesValidationErrors) {
+  graph::SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.2, 11));
+  auto bad = BuildKnownMask(g, {.known_fraction = 0.0});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.status().message().find("PublisherOptions"), std::string::npos);
 }
 
 TEST(TradeoffPublisherTest, CreateRejectsBadOptionsAndEmptyGraph) {

@@ -18,6 +18,7 @@
 #include "classify/naive_bayes.h"
 #include "common/rng.h"
 #include "dp/synthesizer.h"
+#include "fault/fault.h"
 #include "genomics/genome_data.h"
 #include "genomics/gwas_catalog.h"
 #include "genomics/inference_attack.h"
@@ -106,6 +107,52 @@ TEST(DeterminismTest, BeliefPropagationIsByteIdenticalAcrossThreadCounts) {
     auto parallel = run(threads);
     EXPECT_EQ(serial.trait_marginals, parallel.trait_marginals) << "threads=" << threads;
     EXPECT_EQ(serial.snp_marginals, parallel.snp_marginals) << "threads=" << threads;
+  }
+}
+
+TEST(DeterminismTest, ByteIdenticalUnderInjectedSchedulingJitterAndRoundFaults) {
+  // Chaos determinism: the "exec.chunk" point stalls executor threads at
+  // random (reshuffling which worker claims which chunk) and the ICA/Gibbs
+  // round points abort and retry whole rounds — none of which may change a
+  // single output bit. The chaos CI matrix sweeps the plan via
+  // PPDP_TEST_FAULT_SEED / PPDP_TEST_FAULT_RATE.
+  SocialFixture fx;
+  auto ica = [&](int threads) {
+    classify::NaiveBayesClassifier local;
+    classify::CollectiveConfig config;
+    config.threads = threads;
+    return classify::CollectiveInference(fx.g, fx.known, local, config);
+  };
+  auto gibbs = [&](int threads) {
+    classify::NaiveBayesClassifier local;
+    classify::GibbsConfig config;
+    config.burn_in = 5;
+    config.samples = 15;
+    config.chains = 2;
+    config.seed = 11;
+    config.threads = threads;
+    return classify::GibbsCollectiveInference(fx.g, fx.known, local, config);
+  };
+  auto clean_ica = ica(1);
+  auto clean_gibbs = gibbs(1);
+
+  fault::FaultPlan plan = fault::PlanFromEnv(/*default_seed=*/1, /*default_rate=*/0.2);
+  // Scope the chaos to the points this suite exercises; the base rate from
+  // the environment becomes their per-point rate.
+  plan.point_rates["exec.chunk"] = plan.rate;
+  plan.point_rates["classify.ica.round"] = plan.rate;
+  plan.point_rates["classify.gibbs.sweep"] = plan.rate;
+  plan.rate = 0.0;
+  plan.max_delay_ms = 0.3;  // real sleeps in exec.chunk: keep them short
+  fault::ScopedFaultPlan scoped(plan);
+
+  for (int threads : ThreadSweep()) {
+    auto chaotic_ica = ica(threads);
+    EXPECT_EQ(clean_ica.distributions, chaotic_ica.distributions)
+        << "ICA differs under chaos at threads=" << threads;
+    auto chaotic_gibbs = gibbs(threads);
+    EXPECT_EQ(clean_gibbs.distributions, chaotic_gibbs.distributions)
+        << "Gibbs differs under chaos at threads=" << threads;
   }
 }
 

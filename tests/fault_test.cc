@@ -1,0 +1,427 @@
+#include "fault/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <tuple>
+#include <vector>
+
+#include "classify/collective.h"
+#include "classify/evaluation.h"
+#include "classify/gibbs.h"
+#include "classify/naive_bayes.h"
+#include "common/rng.h"
+#include "fault/retry.h"
+#include "graph/graph_generators.h"
+
+namespace ppdp::fault {
+namespace {
+
+using classify::CollectiveConfig;
+using classify::GibbsConfig;
+using classify::NaiveBayesClassifier;
+using graph::SocialGraph;
+
+/// Comparable projection of a decision (FaultDecision has no operator==).
+using DecisionTuple = std::tuple<FaultKind, uint32_t, double>;
+DecisionTuple AsTuple(const FaultDecision& d) { return {d.kind, d.corrupt_bit, d.delay_ms}; }
+
+std::vector<DecisionTuple> Record(const std::string& point, FaultMask mask, size_t n) {
+  std::vector<DecisionTuple> decisions;
+  decisions.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    decisions.push_back(AsTuple(FaultInjector::Global().Evaluate(point, mask)));
+  }
+  return decisions;
+}
+
+TEST(FaultPlanTest, ValidateRejectsBadRatesAndDelays) {
+  EXPECT_TRUE(FaultPlan{}.Validate().ok());
+  FaultPlan high_rate;
+  high_rate.rate = 1.5;
+  EXPECT_EQ(high_rate.Validate().code(), StatusCode::kInvalidArgument);
+  FaultPlan bad_point;
+  bad_point.point_rates["iot.send"] = -0.1;
+  EXPECT_EQ(bad_point.Validate().code(), StatusCode::kInvalidArgument);
+  FaultPlan bad_delay;
+  bad_delay.max_delay_ms = -1.0;
+  EXPECT_EQ(bad_delay.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FaultDecisionTest, AsStatusIsOkOnlyWhenNotFired) {
+  FaultDecision none;
+  EXPECT_TRUE(none.AsStatus("p").ok());
+  FaultDecision drop;
+  drop.kind = FaultKind::kDrop;
+  Status s = drop.AsStatus("iot.send");
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_NE(s.message().find("iot.send"), std::string::npos);
+}
+
+TEST(FaultInjectorTest, DisarmedEvaluationsNeverFire) {
+  FaultInjector::Global().Disarm();
+  for (const DecisionTuple& d : Record("any.point", kMaskAll, 100)) {
+    EXPECT_EQ(std::get<0>(d), FaultKind::kNone);
+  }
+}
+
+TEST(FaultInjectorTest, SameSeedReplaysIdenticalFaultSequence) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.rate = 0.5;
+  std::vector<DecisionTuple> first, second;
+  {
+    ScopedFaultPlan scoped(plan);
+    first = Record("replay.point", kMaskAll, 200);
+  }
+  {
+    ScopedFaultPlan scoped(plan);
+    second = Record("replay.point", kMaskAll, 200);
+  }
+  EXPECT_EQ(first, second);
+  // A different seed must produce a different sequence (else the replay
+  // guarantee would be vacuous).
+  plan.seed = 8;
+  ScopedFaultPlan scoped(plan);
+  EXPECT_NE(Record("replay.point", kMaskAll, 200), first);
+}
+
+TEST(FaultInjectorTest, PointStreamsAreIndependent) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.rate = 0.4;
+  std::vector<DecisionTuple> alone, interleaved;
+  {
+    ScopedFaultPlan scoped(plan);
+    alone = Record("independent.point", kMaskAll, 100);
+  }
+  {
+    ScopedFaultPlan scoped(plan);
+    interleaved.reserve(100);
+    for (size_t i = 0; i < 100; ++i) {
+      // Traffic at other points must not shift this point's stream.
+      FaultInjector::Global().Evaluate("noise.a", kMaskAll);
+      interleaved.push_back(AsTuple(FaultInjector::Global().Evaluate("independent.point", kMaskAll)));
+      FaultInjector::Global().Evaluate("noise.b", kMaskDrop);
+    }
+  }
+  EXPECT_EQ(alone, interleaved);
+}
+
+TEST(FaultInjectorTest, RateEndpointsAndPointOverrides) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.rate = 1.0;
+  plan.point_rates["quiet.point"] = 0.0;
+  ScopedFaultPlan scoped(plan);
+  for (const DecisionTuple& d : Record("loud.point", kMaskAll, 50)) {
+    EXPECT_NE(std::get<0>(d), FaultKind::kNone);
+  }
+  for (const DecisionTuple& d : Record("quiet.point", kMaskAll, 50)) {
+    EXPECT_EQ(std::get<0>(d), FaultKind::kNone);
+  }
+}
+
+TEST(FaultInjectorTest, MaskRestrictsFiredKinds) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.rate = 1.0;
+  plan.max_delay_ms = 2.0;
+  ScopedFaultPlan scoped(plan);
+  for (const DecisionTuple& d : Record("delay.only", kMaskDelay, 50)) {
+    EXPECT_EQ(std::get<0>(d), FaultKind::kDelay);
+    EXPECT_GE(std::get<2>(d), 0.0);
+    EXPECT_LT(std::get<2>(d), 2.0);
+  }
+  for (const DecisionTuple& d : Record("nothing.allowed", kMaskNone, 50)) {
+    EXPECT_EQ(std::get<0>(d), FaultKind::kNone);
+  }
+}
+
+TEST(FaultInjectorTest, StatsAndRegistrationTrackEvaluations) {
+  FaultPlan plan;
+  plan.seed = 13;
+  plan.rate = 0.5;
+  ScopedFaultPlan scoped(plan);
+  Record("stats.a", kMaskDrop, 40);
+  Record("stats.b", kMaskAll, 10);
+  FaultInjector& injector = FaultInjector::Global();
+  auto points = injector.RegisteredPoints();
+  EXPECT_EQ(points, (std::vector<std::string>{"stats.a", "stats.b"}));
+  FaultInjector::PointStats stats = injector.StatsFor("stats.a");
+  EXPECT_EQ(stats.evaluations, 40u);
+  EXPECT_GT(stats.fired, 0u);
+  EXPECT_EQ(stats.fired, stats.drops);  // drop-only mask
+  EXPECT_EQ(injector.Summary().num_rows(), 2u);
+  // Arming a fresh plan resets the session.
+  ASSERT_TRUE(injector.Arm(plan).ok());
+  EXPECT_TRUE(injector.RegisteredPoints().empty());
+}
+
+TEST(ScopedFaultPlanTest, RestoresPreviousPlanOnExit) {
+  FaultInjector& injector = FaultInjector::Global();
+  injector.Disarm();
+  FaultPlan outer;
+  outer.seed = 21;
+  outer.rate = 0.25;
+  {
+    ScopedFaultPlan outer_scope(outer);
+    FaultPlan inner;
+    inner.seed = 22;
+    inner.rate = 0.75;
+    {
+      ScopedFaultPlan inner_scope(inner);
+      EXPECT_EQ(injector.plan().seed, 22u);
+    }
+    EXPECT_TRUE(injector.armed());
+    EXPECT_EQ(injector.plan().seed, 21u);
+    EXPECT_DOUBLE_EQ(injector.plan().rate, 0.25);
+  }
+  EXPECT_FALSE(injector.armed());
+}
+
+TEST(PlanFromEnvTest, ReadsSeedAndRateWithFallbacks) {
+  unsetenv("PPDP_TEST_FAULT_SEED");
+  unsetenv("PPDP_TEST_FAULT_RATE");
+  FaultPlan defaults = PlanFromEnv(9, 0.3);
+  EXPECT_EQ(defaults.seed, 9u);
+  EXPECT_DOUBLE_EQ(defaults.rate, 0.3);
+
+  setenv("PPDP_TEST_FAULT_SEED", "123", 1);
+  setenv("PPDP_TEST_FAULT_RATE", "0.05", 1);
+  FaultPlan from_env = PlanFromEnv(9, 0.3);
+  EXPECT_EQ(from_env.seed, 123u);
+  EXPECT_DOUBLE_EQ(from_env.rate, 0.05);
+
+  setenv("PPDP_TEST_FAULT_SEED", "not-a-number", 1);
+  setenv("PPDP_TEST_FAULT_RATE", "7.5", 1);  // out of [0, 1]: ignored
+  FaultPlan garbage = PlanFromEnv(9, 0.3);
+  EXPECT_EQ(garbage.seed, 9u);
+  EXPECT_DOUBLE_EQ(garbage.rate, 0.3);
+  unsetenv("PPDP_TEST_FAULT_SEED");
+  unsetenv("PPDP_TEST_FAULT_RATE");
+}
+
+TEST(RetryPolicyTest, ValidateAndBackoffShape) {
+  RetryPolicy policy;
+  EXPECT_TRUE(policy.Validate().ok());
+  RetryPolicy zero_attempts;
+  zero_attempts.max_attempts = 0;
+  EXPECT_EQ(zero_attempts.Validate().code(), StatusCode::kInvalidArgument);
+  RetryPolicy shrinking;
+  shrinking.backoff_multiplier = 0.5;
+  EXPECT_EQ(shrinking.Validate().code(), StatusCode::kInvalidArgument);
+  RetryPolicy wild_jitter;
+  wild_jitter.jitter = 1.5;
+  EXPECT_EQ(wild_jitter.Validate().code(), StatusCode::kInvalidArgument);
+
+  policy.jitter = 0.0;  // make growth exact
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(0, rng), 2.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(1, rng), 4.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(10, rng), 64.0);  // truncated at max
+  // Jitter stays within its band and is deterministic under a fixed seed.
+  policy.jitter = 0.25;
+  Rng a(42), b(42);
+  for (uint64_t attempt = 0; attempt < 6; ++attempt) {
+    double jittered = policy.BackoffMs(attempt, a);
+    EXPECT_DOUBLE_EQ(jittered, policy.BackoffMs(attempt, b));
+    double base = std::min(2.0 * std::pow(2.0, static_cast<double>(attempt)), 64.0);
+    EXPECT_GE(jittered, base * 0.75 - 1e-12);
+    EXPECT_LE(jittered, base * 1.25 + 1e-12);
+  }
+}
+
+TEST(RetryPolicyTest, AllowsAttemptHonorsCapsAndDeadline) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.deadline_ms = 100.0;
+  EXPECT_TRUE(policy.AllowsAttempt(0, 0.0));
+  EXPECT_TRUE(policy.AllowsAttempt(2, 99.0));
+  EXPECT_FALSE(policy.AllowsAttempt(3, 0.0));
+  EXPECT_FALSE(policy.AllowsAttempt(1, 100.5));
+  policy.deadline_ms = 0.0;  // disabled
+  EXPECT_TRUE(policy.AllowsAttempt(1, 1e9));
+}
+
+SocialGraph CheckpointGraph() {
+  return GenerateSyntheticGraph(graph::CaltechLikeConfig(0.3, 9));
+}
+
+TEST(IcaCheckpointTest, InterruptedAndResumedRunIsByteIdentical) {
+  SocialGraph g = CheckpointGraph();
+  Rng rng(1);
+  auto known = classify::SampleKnownMask(g, 0.7, rng);
+  CollectiveConfig config;
+  config.threads = 1;
+
+  NaiveBayesClassifier nb_baseline;
+  classify::CollectiveResult baseline = classify::CollectiveInference(g, known, nb_baseline, config);
+
+  // Run two rounds, checkpoint, throw the solver away, restore into a fresh
+  // one and finish: every belief must match the uninterrupted run exactly.
+  classify::IcaCheckpoint checkpoint;
+  {
+    NaiveBayesClassifier nb;
+    classify::IcaSolver solver(g, known, nb, config);
+    ASSERT_TRUE(solver.Step().ok());
+    ASSERT_TRUE(solver.Step().ok());
+    checkpoint = solver.Snapshot();
+  }
+  NaiveBayesClassifier nb_resumed;
+  classify::IcaSolver resumed(g, known, nb_resumed, config);
+  ASSERT_TRUE(resumed.Restore(checkpoint).ok());
+  while (!resumed.Done()) ASSERT_TRUE(resumed.Step().ok());
+  classify::CollectiveResult result = resumed.Finish();
+
+  EXPECT_EQ(result.iterations, baseline.iterations);
+  EXPECT_EQ(result.converged, baseline.converged);
+  ASSERT_EQ(result.distributions.size(), baseline.distributions.size());
+  for (size_t u = 0; u < baseline.distributions.size(); ++u) {
+    EXPECT_EQ(result.distributions[u], baseline.distributions[u]) << "node " << u;
+  }
+}
+
+TEST(IcaCheckpointTest, RestoreRejectsShapeMismatch) {
+  SocialGraph g = CheckpointGraph();
+  Rng rng(1);
+  auto known = classify::SampleKnownMask(g, 0.7, rng);
+  NaiveBayesClassifier nb;
+  classify::IcaSolver solver(g, known, nb, {});
+  classify::IcaCheckpoint bad = solver.Snapshot();
+  bad.distributions.pop_back();
+  EXPECT_EQ(solver.Restore(bad).code(), StatusCode::kInvalidArgument);
+  classify::IcaCheckpoint beyond = solver.Snapshot();
+  beyond.iteration = 1000;
+  EXPECT_EQ(solver.Restore(beyond).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IcaCheckpointTest, InferenceUnderFaultsMatchesFaultFreeRun) {
+  SocialGraph g = CheckpointGraph();
+  Rng rng(1);
+  auto known = classify::SampleKnownMask(g, 0.7, rng);
+  CollectiveConfig config;
+  config.threads = 1;
+
+  NaiveBayesClassifier nb_clean;
+  classify::CollectiveResult clean = classify::CollectiveInference(g, known, nb_clean, config);
+
+  FaultPlan plan;
+  plan.seed = 17;
+  plan.point_rates["classify.ica.round"] = 0.5;  // every other round aborts
+  ScopedFaultPlan scoped(plan);
+  NaiveBayesClassifier nb_chaos;
+  classify::CollectiveResult chaos = classify::CollectiveInference(g, known, nb_chaos, config);
+
+  ASSERT_EQ(chaos.distributions.size(), clean.distributions.size());
+  for (size_t u = 0; u < clean.distributions.size(); ++u) {
+    EXPECT_EQ(chaos.distributions[u], clean.distributions[u]) << "node " << u;
+  }
+}
+
+TEST(GibbsCheckpointTest, InterruptedAndResumedRunIsByteIdentical) {
+  SocialGraph g = CheckpointGraph();
+  Rng rng(1);
+  auto known = classify::SampleKnownMask(g, 0.7, rng);
+  GibbsConfig config;
+  config.seed = 42;
+  config.chains = 2;
+  config.threads = 1;
+
+  NaiveBayesClassifier nb_baseline;
+  classify::CollectiveResult baseline =
+      classify::GibbsCollectiveInference(g, known, nb_baseline, config);
+
+  // Interrupt mid-run with injected sweep faults, checkpoint every chain
+  // (hard-label state + tallies + exact RNG stream position), destroy the
+  // sampler, restore into a fresh one and finish fault-free.
+  std::vector<classify::GibbsChainCheckpoint> checkpoints;
+  {
+    FaultPlan plan;
+    plan.seed = 23;
+    plan.point_rates["classify.gibbs.sweep"] = 0.02;
+    ScopedFaultPlan scoped(plan);
+    NaiveBayesClassifier nb;
+    classify::GibbsSampler sampler(g, known, nb, config);
+    Status ran = sampler.Run();
+    EXPECT_EQ(ran.code(), StatusCode::kUnavailable);  // seed 23 interrupts at 2%
+    EXPECT_FALSE(sampler.Finished());
+    checkpoints = sampler.Snapshot();
+  }
+  NaiveBayesClassifier nb_resumed;
+  classify::GibbsSampler resumed(g, known, nb_resumed, config);
+  ASSERT_TRUE(resumed.Restore(checkpoints).ok());
+  ASSERT_TRUE(resumed.Run().ok());
+  ASSERT_TRUE(resumed.Finished());
+  classify::CollectiveResult result = resumed.Collect();
+
+  ASSERT_EQ(result.distributions.size(), baseline.distributions.size());
+  for (size_t u = 0; u < baseline.distributions.size(); ++u) {
+    EXPECT_EQ(result.distributions[u], baseline.distributions[u]) << "node " << u;
+  }
+}
+
+TEST(GibbsCheckpointTest, RestoreRejectsShapeMismatch) {
+  SocialGraph g = CheckpointGraph();
+  Rng rng(1);
+  auto known = classify::SampleKnownMask(g, 0.7, rng);
+  GibbsConfig config;
+  config.chains = 2;
+  NaiveBayesClassifier nb;
+  classify::GibbsSampler sampler(g, known, nb, config);
+  auto wrong_count = sampler.Snapshot();
+  wrong_count.pop_back();
+  EXPECT_EQ(sampler.Restore(wrong_count).code(), StatusCode::kInvalidArgument);
+  auto wrong_rng = sampler.Snapshot();
+  wrong_rng[0].rng_state = "garbage";
+  EXPECT_EQ(sampler.Restore(wrong_rng).code(), StatusCode::kInvalidArgument);
+  auto too_far = sampler.Snapshot();
+  too_far[0].sweeps_done = 1u << 20;
+  EXPECT_EQ(sampler.Restore(too_far).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GibbsCheckpointTest, InferenceUnderFaultsMatchesFaultFreeRun) {
+  SocialGraph g = CheckpointGraph();
+  Rng rng(1);
+  auto known = classify::SampleKnownMask(g, 0.7, rng);
+  GibbsConfig config;
+  config.seed = 7;
+  config.threads = 1;
+
+  NaiveBayesClassifier nb_clean;
+  classify::CollectiveResult clean =
+      classify::GibbsCollectiveInference(g, known, nb_clean, config);
+
+  FaultPlan plan;
+  plan.seed = 31;
+  plan.point_rates["classify.gibbs.sweep"] = 0.05;
+  ScopedFaultPlan scoped(plan);
+  NaiveBayesClassifier nb_chaos;
+  classify::CollectiveResult chaos =
+      classify::GibbsCollectiveInference(g, known, nb_chaos, config);
+
+  ASSERT_EQ(chaos.distributions.size(), clean.distributions.size());
+  for (size_t u = 0; u < clean.distributions.size(); ++u) {
+    EXPECT_EQ(chaos.distributions[u], clean.distributions[u]) << "node " << u;
+  }
+}
+
+TEST(RngStateTest, SaveAndLoadResumeTheExactStream) {
+  Rng rng(99);
+  for (int i = 0; i < 17; ++i) rng.UniformReal();
+  std::string blob = rng.SaveState();
+  std::vector<double> expected;
+  for (int i = 0; i < 32; ++i) expected.push_back(rng.UniformReal());
+
+  Rng restored(1);  // different seed: LoadState must fully overwrite it
+  ASSERT_TRUE(restored.LoadState(blob).ok());
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_DOUBLE_EQ(restored.UniformReal(), expected[static_cast<size_t>(i)]);
+  }
+  EXPECT_EQ(restored.LoadState("not a state").code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ppdp::fault

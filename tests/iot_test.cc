@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "obs/ledger.h"
 
 namespace ppdp::iot {
 namespace {
@@ -44,6 +45,34 @@ TEST(PrivacyProxyTest, InvalidInputsRejected) {
   PrivacyProxy proxy(TwoSensors(), {{1.0, 10.0}, {1.0, 10.0}}, 1);
   EXPECT_EQ(proxy.Report(9, 0).status().code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(proxy.Report(0, 9).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PrivacyProxyTest, RefusedReportsNeverChargeBudget) {
+  // Regression guard on the charge ordering: ε is spent only after every
+  // validation passed, so a refused Report leaves the budget untouched.
+  PrivacyProxy proxy(TwoSensors(), {{1.0, 10.0}, {1.0, 10.0}}, 1);
+  double before = proxy.RemainingBudget(0);
+  EXPECT_FALSE(proxy.Report(0, 9).ok());   // out-of-domain value
+  EXPECT_FALSE(proxy.Report(9, 0).ok());   // unknown sensor
+  EXPECT_DOUBLE_EQ(proxy.RemainingBudget(0), before);
+  EXPECT_DOUBLE_EQ(proxy.RemainingBudget(1), 10.0);
+}
+
+TEST(PrivacyProxyTest, LedgerVetoBlocksTheChargeOnBothSides) {
+  // An attached ledger whose enforcement refuses the spend must veto the
+  // reading *before* the device charges anything: audit trail and device
+  // accounting can never diverge.
+  PrivacyProxy proxy(TwoSensors(), {{1.0, 10.0}, {1.0, 10.0}}, 1);
+  obs::PrivacyLedger ledger(1.5);  // covers one reading, not two
+  proxy.AttachLedger(&ledger);
+  EXPECT_TRUE(proxy.Report(0, 0).ok());
+  auto vetoed = proxy.Report(0, 0);
+  ASSERT_FALSE(vetoed.ok());
+  EXPECT_EQ(vetoed.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(vetoed.status().message().find("PrivacyProxy::Report"), std::string::npos);
+  EXPECT_DOUBLE_EQ(proxy.RemainingBudget(0), 9.0);  // one ε charged, not two
+  EXPECT_DOUBLE_EQ(ledger.spent(), 1.0);
+  EXPECT_EQ(ledger.rejected_spends(), 1u);
 }
 
 TEST(AggregationServerTest, DebiasedEstimateRecoversFrequencies) {

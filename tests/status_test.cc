@@ -38,9 +38,28 @@ TEST(StatusTest, AllCodesHaveNames) {
   for (StatusCode code :
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kOutOfRange, StatusCode::kFailedPrecondition, StatusCode::kInternal,
-        StatusCode::kUnimplemented}) {
+        StatusCode::kUnimplemented, StatusCode::kUnavailable, StatusCode::kDeadlineExceeded,
+        StatusCode::kDataLoss}) {
     EXPECT_STRNE(StatusCodeToString(code), "UNKNOWN");
   }
+}
+
+TEST(StatusTest, ResilienceCodesCarryTheirNames) {
+  EXPECT_EQ(Status::Unavailable("x").ToString(), "UNAVAILABLE: x");
+  EXPECT_EQ(Status::DeadlineExceeded("x").ToString(), "DEADLINE_EXCEEDED: x");
+  EXPECT_EQ(Status::DataLoss("x").ToString(), "DATA_LOSS: x");
+}
+
+TEST(StatusTest, AnnotatePrependsContextAndKeepsCode) {
+  Status inner = Status::Unavailable("link down");
+  Status outer = inner.Annotate("ResilientChannel").Annotate("PrivacyProxy::Report");
+  EXPECT_EQ(outer.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(outer.message(), "PrivacyProxy::Report: ResilientChannel: link down");
+}
+
+TEST(StatusTest, AnnotateOnOkIsIdentity) {
+  EXPECT_TRUE(Status::Ok().Annotate("context").ok());
+  EXPECT_TRUE(Status::Ok().Annotate("context").message().empty());
 }
 
 Status FailIfNegative(int x) {
@@ -82,6 +101,40 @@ TEST(ResultTest, MoveOutValue) {
 TEST(ResultDeathTest, ValueOnErrorDies) {
   Result<int> r(Status::Internal("boom"));
   EXPECT_DEATH((void)r.value(), "boom");
+}
+
+Result<int> HalveIfEven(int x) {
+  if (x % 2 != 0) return Status::FailedPrecondition("odd").Annotate("HalveIfEven");
+  return x / 2;
+}
+
+Result<std::string> QuarterAsText(int x) {
+  int half = 0;
+  PPDP_ASSIGN_OR_RETURN(half, HalveIfEven(x));
+  int quarter = 0;
+  PPDP_ASSIGN_OR_RETURN(quarter, HalveIfEven(half));
+  return std::to_string(quarter);
+}
+
+TEST(ResultTest, AssignOrReturnChainsAndPreservesAnnotatedStatus) {
+  Result<std::string> ok = QuarterAsText(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, "2");
+
+  // The error from the *second* macro expansion must flow out untouched —
+  // same code, same annotated message — after moving through the Result.
+  Result<std::string> err = QuarterAsText(6);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(err.status().message(), "HalveIfEven: odd");
+}
+
+TEST(ResultTest, ErrorStatusSurvivesResultMoves) {
+  Result<std::string> r(Status::DataLoss("checksum mismatch").Annotate("Deliver"));
+  Result<std::string> moved = std::move(r);
+  EXPECT_FALSE(moved.ok());
+  EXPECT_EQ(moved.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(moved.status().message(), "Deliver: checksum mismatch");
 }
 
 }  // namespace
