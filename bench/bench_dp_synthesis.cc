@@ -74,6 +74,21 @@ int main(int argc, char** argv) {
   env.Emit(audit, "dp_synthesis_ledger",
            "privacy ledger: epsilon spent per labeled mechanism call");
 
+  // Representative per-mechanism audit trail for the run report: the table
+  // above aggregates across all ε, but BENCH_dp_synthesis.json carries one
+  // full ledger (tree fit at ε = 1) with every labeled spend.
+  {
+    ppdp::dp::SynthesizerConfig config;
+    config.epsilon = 1.0;
+    config.structure_fraction = 0.3;
+    config.seed = env.seed;
+    ppdp::dp::PrivacyAccountant accountant(config.epsilon);
+    ppdp::obs::PrivacyLedger ledger(
+        config.epsilon, [&accountant](double eps) { return accountant.Spend(eps); });
+    auto model = ppdp::dp::PrivateSynthesizer::Fit(data, config, &ledger);
+    if (model.ok()) env.EmitLedger(ledger, "dp_synthesis_ledger_eps1");
+  }
+
   // Serial-vs-parallel wall time of the heaviest fit (tree structure at
   // ε = 1): MI pair scoring and noisy-table release are the parallel paths.
   env.EmitSpeedup(

@@ -74,6 +74,7 @@ int main(int argc, char** argv) {
     plan.seed = fault_seed;
     plan.point_rates["iot.send"] = fault_rate;
     ppdp::fault::ScopedFaultPlan scoped(plan);
+    env.RecordFaultPlan(plan);
 
     ppdp::iot::PrivacyProxy proxy({schema[0]}, {{epsilon, 1e12}}, env.seed);
     ppdp::iot::AggregationServer server({schema[0]});

@@ -2,11 +2,18 @@
 // belief propagation (the chapter-5 "linear complexity" claim), collective
 // inference, reduct computation, the simplex solver and link scoring.
 //
-//   $ ./bench_micro [--benchmark_filter=...]
+//   $ ./bench_micro [--benchmark_filter=...] [--report_out=F]
 #include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "classify/evaluation.h"
 #include "classify/naive_bayes.h"
+#include "obs/report.h"
 #include "classify/relational.h"
 #include "common/rng.h"
 #include "genomics/genome_data.h"
@@ -179,4 +186,50 @@ BENCHMARK(BM_GreedySubmodular)->Arg(0)->Arg(1);  // 0 = plain, 1 = lazy
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Not BENCHMARK_MAIN(): after the google-benchmark pass this binary also
+// emits the BENCH_micro.json run report (library kernels record TraceSpans
+// while the benchmarks drive them), keeping every bench binary's telemetry
+// diffable by ppdp_benchstat. The report flag is stripped before argv
+// reaches benchmark::Initialize, which rejects flags it does not know.
+int main(int argc, char** argv) {
+  std::string report_out = "bench_out/BENCH_micro.json";
+  std::vector<char*> bench_argv;
+  std::string report_value;  // backing store; must outlive bench_argv use
+  for (int i = 0; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    constexpr std::string_view kReportFlag = "--report_out";
+    if (arg.rfind(kReportFlag, 0) == 0) {
+      if (arg.size() > kReportFlag.size() && arg[kReportFlag.size()] == '=') {
+        report_out = std::string(arg.substr(kReportFlag.size() + 1));
+        continue;
+      }
+      if (arg.size() == kReportFlag.size()) {
+        if (i + 1 < argc) report_out = argv[++i];
+        continue;
+      }
+    }
+    bench_argv.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (report_out != "off") {
+    std::error_code ec;
+    std::filesystem::path parent = std::filesystem::path(report_out).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+    ppdp::obs::RunReport report;
+    report.name = "micro";
+    report.binary = "bench_micro";
+    ppdp::obs::CollectGlobalTelemetry(&report);
+    ppdp::Status status = report.WriteJson(report_out);
+    if (status.ok()) {
+      std::cout << "(report: " << report_out << ")\n";
+    } else {
+      std::cerr << "(report write failed: " << status.ToString() << ")\n";
+    }
+  }
+  return 0;
+}

@@ -5,15 +5,21 @@
 #include <filesystem>
 #include <functional>
 #include <iostream>
+#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/flags.h"
 #include "common/table.h"
 #include "exec/exec_config.h"
 #include "exec/thread_pool.h"
+#include "fault/fault.h"
 #include "obs/ledger.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/report.h"
 #include "obs/trace.h"
 
 namespace ppdp::bench {
@@ -23,14 +29,23 @@ namespace ppdp::bench {
 ///   --scale X       (default per bench)  dataset scale factor
 ///   --out DIR       (default "bench_out")  CSV output directory
 ///   --log_level L   (default warn)  debug|info|warn|error|off
+///   --log_json      (off by default)  one JSON object per log record
 ///   --trace_out F   (off by default)  write a Chrome trace_event JSON
 ///   --threads N     (default 0)    execution width: 0 = hardware
 ///                   concurrency, 1 = exact serial fallback
+///   --report_out F  (default <out>/BENCH_<name>.json; "off" disables)
+///                   machine-readable run report for ppdp_benchstat
+///   --flight_capacity N  (default 512)  flight-recorder ring size
+///   --flight_level L     (default warn) min log level the recorder keeps
+///   --flight_dump F      (default <out>/<bench>_flight.json; "off"
+///                   disables)  where crash/fatal-status dumps go
 ///
 /// On destruction (end of main) the harness emits the per-phase wall-time
 /// table recorded by the library's TraceSpans — printed and written to
-/// <out>/<bench>_phases.csv — and, when --trace_out was given, the full
-/// Chrome-loadable trace.
+/// <out>/<bench>_phases.csv — then the BENCH_<name>.json run report
+/// (invocation, build, fault plan, phase timings, histogram percentiles,
+/// ledger audits, and FNV-1a digests of every CSV written through Emit),
+/// and, when --trace_out was given, the full Chrome-loadable trace.
 struct BenchEnv {
   uint64_t seed = 7;
   double scale = 1.0;
@@ -41,6 +56,7 @@ struct BenchEnv {
 
   BenchEnv(int argc, char** argv, double default_scale) {
     Flags flags(argc, argv);
+    flag_values_ = flags.values();
     seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
     scale = flags.GetDouble("scale", default_scale);
     out_dir = flags.GetString("out", "bench_out");
@@ -65,6 +81,29 @@ struct BenchEnv {
       std::cerr << "warning: cannot create output directory '" << out_dir
                 << "': " << ec.message() << " (error " << ec.value() << "); CSVs will fail\n";
     }
+
+    report_out_ = flags.GetString("report_out", "");
+    if (report_out_.empty()) {
+      report_out_ = out_dir + "/BENCH_" + ShortName() + ".json";
+    }
+
+    obs::LogLevel flight_level = obs::LogLevel::kWarn;
+    std::string flight_level_text = flags.GetString("flight_level", "warn");
+    if (!obs::ParseLogLevel(flight_level_text, &flight_level)) {
+      std::cerr << "warning: unknown --flight_level '" << flight_level_text
+                << "' ignored (want debug|info|warn|error|off)\n";
+    }
+    size_t flight_capacity = static_cast<size_t>(
+        flags.GetInt("flight_capacity", static_cast<int64_t>(obs::FlightRecorder::kDefaultCapacity)));
+    obs::FlightRecorder::Global().Configure(
+        flight_capacity > 0 ? flight_capacity : obs::FlightRecorder::kDefaultCapacity,
+        flight_level);
+    std::string flight_dump =
+        flags.GetString("flight_dump", out_dir + "/" + bench_name + "_flight.json");
+    if (flight_dump != "off") {
+      obs::FlightRecorder::Global().SetDumpPath(flight_dump);
+      obs::FlightRecorder::InstallSignalDump();
+    }
   }
 
   BenchEnv(const BenchEnv&) = delete;
@@ -80,9 +119,19 @@ struct BenchEnv {
         std::cout << "(trace write failed: " << status.ToString() << ")\n";
       }
     }
+    if (report_out_ != "off") EmitRunReport();
+  }
+
+  /// Short report name: the binary name minus its "bench_" prefix
+  /// ("bench_iot" -> "iot"), the <name> of BENCH_<name>.json.
+  std::string ShortName() const {
+    constexpr const char* kPrefix = "bench_";
+    if (bench_name.rfind(kPrefix, 0) == 0) return bench_name.substr(6);
+    return bench_name;
   }
 
   /// Prints `table` under a heading and writes it to <out>/<name>.csv.
+  /// The CSV is digested into the run report at exit.
   void Emit(const Table& table, const std::string& name, const std::string& heading) const {
     std::cout << "== " << heading << " ==\n";
     table.Print(std::cout);
@@ -90,17 +139,31 @@ struct BenchEnv {
     Status status = table.WriteCsv(path);
     if (status.ok()) {
       std::cout << "(csv: " << path << ")\n\n";
+      RecordOutput(name, path);
     } else {
       std::cout << "(csv write failed: " << status.ToString() << ")\n\n";
     }
   }
 
-  /// Prints a privacy-ledger audit table and persists it as
-  /// <out>/<name>.csv.
+  /// Prints a privacy-ledger audit table, persists it as <out>/<name>.csv,
+  /// and captures the full audit trail into the run report.
   void EmitLedger(const obs::PrivacyLedger& ledger, const std::string& name) const {
+    obs::PrivacyLedger::BudgetSnapshot budget = ledger.snapshot();
     Emit(ledger.Summary(), name,
-         "privacy ledger (budget " + Table::FormatDouble(ledger.budget(), 4) + ", spent " +
-             Table::FormatDouble(ledger.spent(), 4) + ")");
+         "privacy ledger (budget " + Table::FormatDouble(budget.budget, 4) + ", spent " +
+             Table::FormatDouble(budget.spent, 4) + ")");
+    ledgers_.push_back({name, budget, ledger.entries()});
+  }
+
+  /// Captures the fault plan a bench armed (ScopedFaultPlan installs go out
+  /// of scope before the report is written, so the harness cannot observe
+  /// them at exit). Last recorded plan wins; chaos sweeps typically record
+  /// the env-derived plan once.
+  void RecordFaultPlan(const fault::FaultPlan& plan) const {
+    fault_.armed = true;
+    fault_.seed = plan.seed;
+    fault_.rate = plan.rate;
+    fault_.point_rates = plan.point_rates;
   }
 
   /// Times `workload` once at --threads 1 (exact serial fallback) and once
@@ -146,6 +209,66 @@ struct BenchEnv {
       std::cout << "(trace buffer full: " << dropped << " spans not recorded)\n";
     }
   }
+
+  /// Writes the BENCH_<name>.json run report. Called automatically at
+  /// destruction (unless --report_out off); exposed for tests.
+  void EmitRunReport() const {
+    obs::RunReport report;
+    report.name = ShortName();
+    report.binary = bench_name;
+    report.flags = flag_values_;
+    report.seed = seed;
+    report.threads = threads;
+    report.scale = scale;
+    obs::CollectGlobalTelemetry(&report);
+    report.fault = fault_;
+    if (!report.fault.armed && fault::FaultInjector::Global().armed()) {
+      fault::FaultPlan plan = fault::FaultInjector::Global().plan();
+      report.fault.armed = true;
+      report.fault.seed = plan.seed;
+      report.fault.rate = plan.rate;
+      report.fault.point_rates = plan.point_rates;
+    }
+    report.ledgers = ledgers_;
+    for (const auto& [name, path] : outputs_) {
+      obs::RunReport::OutputDigest digest;
+      digest.name = name;
+      digest.path = path;
+      std::error_code ec;
+      uintmax_t bytes = std::filesystem::file_size(path, ec);
+      digest.bytes = ec ? 0 : static_cast<uint64_t>(bytes);
+      Result<uint64_t> hash = obs::FileDigestFnv1a(path);
+      digest.fnv1a = hash.ok() ? obs::DigestToHex(*hash) : std::string();
+      report.outputs.push_back(std::move(digest));
+    }
+    Status status = report.WriteJson(report_out_);
+    if (status.ok()) {
+      std::cout << "(report: " << report_out_ << ")\n";
+    } else {
+      std::cout << "(report write failed: " << status.ToString() << ")\n";
+    }
+  }
+
+ private:
+  /// Remembers a CSV written through Emit, replacing an earlier write of
+  /// the same table name (benches may re-emit).
+  void RecordOutput(const std::string& name, const std::string& path) const {
+    for (auto& entry : outputs_) {
+      if (entry.first == name) {
+        entry.second = path;
+        return;
+      }
+    }
+    outputs_.emplace_back(name, path);
+  }
+
+  std::map<std::string, std::string> flag_values_;
+  std::string report_out_;
+  // Emit/EmitLedger are const (benches hold const refs in helpers); the
+  // report bookkeeping they feed is observational state, hence mutable.
+  mutable std::vector<std::pair<std::string, std::string>> outputs_;
+  mutable std::vector<obs::RunReport::LedgerAudit> ledgers_;
+  mutable obs::RunReport::FaultInfo fault_;
 };
 
 }  // namespace ppdp::bench

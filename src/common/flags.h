@@ -24,6 +24,10 @@ class Flags {
   bool Has(const std::string& name) const { return values_.count(name) > 0; }
   bool help() const { return help_; }
 
+  /// Every parsed --key=value pair, name-sorted. Run reports persist this
+  /// verbatim so any bench artifact records the exact invocation.
+  const std::map<std::string, std::string>& values() const { return values_; }
+
  private:
   std::map<std::string, std::string> values_;
   bool help_ = false;

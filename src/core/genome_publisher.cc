@@ -4,6 +4,7 @@
 
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 
 namespace ppdp::core {
@@ -15,9 +16,15 @@ GenomePublisher::GenomePublisher(genomics::GwasCatalog catalog, genomics::Target
 Result<GenomePublisher> GenomePublisher::Create(genomics::GwasCatalog catalog,
                                                 genomics::TargetView view,
                                                 const PublisherOptions& options) {
-  PPDP_RETURN_IF_ERROR(options.Validate().Annotate("PublisherOptions"));
+  Status valid = options.Validate().Annotate("PublisherOptions");
+  if (!valid.ok()) {
+    return obs::FlightRecorder::Global().NoteFatalStatus(std::move(valid),
+                                                         "GenomePublisher::Create");
+  }
   if (catalog.associations().empty()) {
-    return Status::InvalidArgument("cannot publish against an empty GWAS catalog");
+    return obs::FlightRecorder::Global().NoteFatalStatus(
+        Status::InvalidArgument("cannot publish against an empty GWAS catalog"),
+        "GenomePublisher::Create");
   }
   return GenomePublisher(std::move(catalog), std::move(view), options.threads);
 }

@@ -5,6 +5,7 @@
 #include "classify/evaluation.h"
 #include "common/rng.h"
 #include "exec/exec_config.h"
+#include "obs/recorder.h"
 
 namespace ppdp::core {
 
@@ -17,9 +18,16 @@ Status PublisherOptions::Validate() const {
 
 Result<std::vector<bool>> BuildKnownMask(const graph::SocialGraph& graph,
                                          const PublisherOptions& options) {
-  PPDP_RETURN_IF_ERROR(options.Validate().Annotate("PublisherOptions"));
+  // Errors here are the shared head of every graph publisher's Create chain;
+  // routing them through NoteFatalStatus gives a failed chaos run its
+  // flight-recorder dump at the first surfacing non-OK Status.
+  Status valid = options.Validate().Annotate("PublisherOptions");
+  if (!valid.ok()) {
+    return obs::FlightRecorder::Global().NoteFatalStatus(std::move(valid), "publisher.Create");
+  }
   if (graph.num_nodes() == 0) {
-    return Status::InvalidArgument("cannot publish an empty graph");
+    return obs::FlightRecorder::Global().NoteFatalStatus(
+        Status::InvalidArgument("cannot publish an empty graph"), "publisher.Create");
   }
   Rng rng(options.seed);
   return classify::SampleKnownMask(graph, options.known_fraction, rng);

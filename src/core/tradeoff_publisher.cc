@@ -5,6 +5,7 @@
 #include "classify/evaluation.h"
 #include "common/rng.h"
 #include "obs/log.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 
 namespace ppdp::core {
@@ -38,6 +39,10 @@ Result<tradeoff::StrategyResult> TradeoffPublisher::OptimizeAttributeStrategy(
   PPDP_LOG(INFO) << "attribute-strategy LP solved" << obs::Field("ok", result.ok())
                  << obs::Field("delta", delta) << obs::Field("max_sets", max_sets)
                  << obs::Field("seconds", span.ElapsedSeconds());
+  if (!result.ok()) {
+    return obs::FlightRecorder::Global().NoteFatalStatus(
+        result.status(), "TradeoffPublisher::OptimizeAttributeStrategy");
+  }
   return result;
 }
 

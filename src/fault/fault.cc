@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 
 namespace ppdp::fault {
 
@@ -138,6 +139,24 @@ FaultDecision FaultInjector::Evaluate(const std::string& point, FaultMask mask) 
   }
   ++state.stats.fired;
   fired_metric.Increment();
+  {
+    // Every fired decision goes to the flight recorder: a chaos postmortem
+    // names the exact fault points (and evaluation indices) that hit.
+    obs::FlightEvent event;
+    event.category = "fault";
+    event.severity = "WARN";
+    event.label = point;
+    const char* kind_name = decision.drop()        ? "drop"
+                            : decision.duplicate() ? "duplicate"
+                            : decision.corrupt()   ? "corrupt"
+                                                   : "delay";
+    event.message = std::string("kind=") + kind_name +
+                    " index=" + std::to_string(state.stats.evaluations - 1) +
+                    (decision.corrupt() ? " bit=" + std::to_string(decision.corrupt_bit) : "") +
+                    (decision.delay() ? " delay_ms=" + Table::FormatDouble(decision.delay_ms, 3)
+                                      : "");
+    obs::FlightRecorder::Global().Record(std::move(event));
+  }
   PPDP_LOG(DEBUG) << "fault fired" << obs::Field("point", point)
                   << obs::Field("kind", static_cast<int>(decision.kind))
                   << obs::Field("index", state.stats.evaluations - 1);

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 
 namespace ppdp::iot {
@@ -125,6 +126,11 @@ Status ResilientChannel::Send(const PerturbedReading& reading) {
     if (!policy_.AllowsAttempt(attempt, clock_ms_ - start_ms)) {
       ++report_.gave_up;
       gave_up_metric.Increment();
+      obs::FlightRecorder::Global().Record(
+          {0.0, "retry", "WARN", "iot.send",
+           "gave up on seq " + std::to_string(envelope.seq) + " after " +
+               std::to_string(attempt) + " attempts, " +
+               Table::FormatDouble(clock_ms_ - start_ms, 3) + " virtual ms"});
       PPDP_LOG(WARN) << "reading lost: retry budget exhausted"
                      << obs::Field("seq", envelope.seq) << obs::Field("attempts", attempt)
                      << obs::Field("elapsed_ms", clock_ms_ - start_ms);
@@ -139,6 +145,10 @@ Status ResilientChannel::Send(const PerturbedReading& reading) {
     if (attempt > 0) {
       ++report_.retries;
       retries_metric.Increment();
+      obs::FlightRecorder::Global().Record(
+          {0.0, "retry", "INFO", "iot.send",
+           "retransmit seq " + std::to_string(envelope.seq) + " attempt " +
+               std::to_string(attempt + 1)});
     }
     if (TransmitOnce(envelope)) {
       // Acked — but surface a deterministic server rejection to the caller.

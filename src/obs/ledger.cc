@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 
 namespace ppdp::obs {
 
@@ -39,6 +40,13 @@ Status PrivacyLedger::Spend(std::string_view label, std::string_view mechanism, 
   if (!verdict.ok()) {
     ++rejected_;
     rejections.Increment();
+    FlightEvent event;
+    event.category = "ledger";
+    event.severity = "ERROR";
+    event.label = std::string(label);
+    event.message = "rejected spend of " + Table::FormatDouble(total, 6) + " via " +
+                    std::string(mechanism) + ": " + verdict.ToString();
+    FlightRecorder::Global().Record(std::move(event));
     PPDP_LOG(WARN) << "privacy ledger rejected spend" << Field("label", std::string(label))
                    << Field("mechanism", std::string(mechanism)) << Field("epsilon", total)
                    << Field("remaining", budget_ - spent_);
@@ -62,6 +70,21 @@ double PrivacyLedger::budget() const { return budget_; }
 double PrivacyLedger::spent() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return spent_;
+}
+
+double PrivacyLedger::remaining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return budget_ - spent_;
+}
+
+PrivacyLedger::BudgetSnapshot PrivacyLedger::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  BudgetSnapshot snap;
+  snap.budget = budget_;
+  snap.spent = spent_;
+  snap.remaining = budget_ - spent_;
+  snap.rejected = rejected_;
+  return snap;
 }
 
 uint64_t PrivacyLedger::rejected_spends() const {

@@ -47,8 +47,21 @@ class PrivacyLedger {
 
   double budget() const;
   double spent() const;
-  double remaining() const { return budget() - spent(); }
+  /// Consistent remaining budget: budget and spent are read under one lock,
+  /// so a concurrent Spend can never be observed half-applied (the old
+  /// implementation computed budget() - spent() from two separate reads).
+  double remaining() const;
   uint64_t rejected_spends() const;
+
+  /// One-lock consistent view of the whole budget state — what run reports
+  /// persist, so the audit trail can never show spent + remaining != budget.
+  struct BudgetSnapshot {
+    double budget = 0.0;
+    double spent = 0.0;
+    double remaining = 0.0;
+    uint64_t rejected = 0;
+  };
+  BudgetSnapshot snapshot() const;
 
   /// One aggregated line of the audit trail.
   struct Entry {

@@ -9,6 +9,8 @@
 #include <mutex>
 
 #include "common/flags.h"
+#include "common/json.h"
+#include "obs/recorder.h"
 
 namespace ppdp::obs {
 
@@ -99,7 +101,29 @@ void SetLogSink(LogSink sink) {
   SinkSlot() = std::move(sink);
 }
 
+std::string FormatLogRecordJson(const LogRecord& record) {
+  char elapsed[32];
+  std::snprintf(elapsed, sizeof(elapsed), "%.6f", record.elapsed_seconds);
+  std::string out = "{\"level\":\"";
+  out += LogLevelName(record.level);
+  out += "\",\"elapsed_s\":";
+  out += elapsed;
+  out += ",\"file\":\"";
+  out += JsonEscape(record.file);
+  out += "\",\"line\":";
+  out += std::to_string(record.line);
+  out += ",\"message\":\"";
+  out += JsonEscape(record.message);
+  out += "\"}";
+  return out;
+}
+
+void UseJsonLogSink() {
+  SetLogSink([](const LogRecord& record) { std::cerr << FormatLogRecordJson(record) << '\n'; });
+}
+
 bool InitLoggingFromFlags(const Flags& flags) {
+  if (flags.GetBool("log_json", false)) UseJsonLogSink();
   if (!flags.Has("log_level")) return true;
   LogLevel level;
   if (!ParseLogLevel(flags.GetString("log_level", ""), &level)) {
@@ -146,13 +170,18 @@ LogMessage::~LogMessage() {
   record.line = line_;
   record.elapsed_seconds = MonotonicSeconds();
   record.message = stream_.str();
-  std::lock_guard<std::mutex> lock(SinkMutex());
-  const LogSink& sink = SinkSlot();
-  if (sink) {
-    sink(record);
-  } else {
-    DefaultSink(record);
+  {
+    std::lock_guard<std::mutex> lock(SinkMutex());
+    const LogSink& sink = SinkSlot();
+    if (sink) {
+      sink(record);
+    } else {
+      DefaultSink(record);
+    }
   }
+  // Outside the sink lock: the flight recorder keeps its own ring of recent
+  // records for postmortem dumps.
+  FlightRecorder::Global().RecordLog(record);
 }
 
 }  // namespace internal

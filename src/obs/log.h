@@ -60,8 +60,19 @@ struct LogRecord {
 using LogSink = std::function<void(const LogRecord&)>;
 void SetLogSink(LogSink sink);
 
-/// Applies "--log_level LEVEL" from parsed flags (no-op when absent);
-/// returns false when the flag was present but unparsable.
+/// Formats `record` as the one-line JSON object the --log_json sink emits:
+///   {"level":"WARN","elapsed_s":1.234567,"file":"x.cc","line":10,"message":"..."}
+std::string FormatLogRecordJson(const LogRecord& record);
+
+/// Installs a structured stderr sink that writes FormatLogRecordJson per
+/// record — one JSON object per line, so CI can grep/parse the log stream.
+/// Equivalent to SetLogSink with that formatter; SetLogSink(nullptr)
+/// restores the human-readable default.
+void UseJsonLogSink();
+
+/// Applies "--log_level LEVEL" (no-op when absent) and "--log_json"
+/// (boolean; installs the JSON sink) from parsed flags; returns false when
+/// --log_level was present but unparsable.
 bool InitLoggingFromFlags(const Flags& flags);
 
 /// A structured key=value field: streams as ` key=value`; string values

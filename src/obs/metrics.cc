@@ -24,6 +24,7 @@ void Histogram::Observe(double value) {
   sum_ += value;
   if (count_ == 0 || value < min_) min_ = value;
   if (count_ == 0 || value > max_) max_ = value;
+  if (samples_.size() < kExactSampleCap) samples_.push_back(value);
   ++count_;
 }
 
@@ -61,6 +62,29 @@ double Histogram::ApproxQuantile(double q) const {
   std::lock_guard<std::mutex> lock(mutex_);
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
+  return BucketQuantileLocked(q);
+}
+
+double Histogram::QuantileLocked(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (count_ <= samples_.size()) {
+    // Exact: type-7 (linear interpolation between closest ranks) over the
+    // retained raw observations. A single sample or all-equal samples
+    // collapse every quantile to that value.
+    std::vector<double> sorted(samples_);
+    std::sort(sorted.begin(), sorted.end());
+    double position = q * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(position);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double within = position - static_cast<double>(lo);
+    return sorted[lo] + within * (sorted[hi] - sorted[lo]);
+  }
+  return BucketQuantileLocked(q);
+}
+
+double Histogram::BucketQuantileLocked(double q) const {
+  // Interpolate within the covering bucket (clamped to observed extremes).
   double rank = q * static_cast<double>(count_);
   uint64_t seen = 0;
   for (size_t b = 0; b < counts_.size(); ++b) {
@@ -68,10 +92,7 @@ double Histogram::ApproxQuantile(double q) const {
     double lo = b == 0 ? std::min(min_, bounds_[0]) : bounds_[b - 1];
     double hi = b < bounds_.size() ? bounds_[b] : max_;
     if (static_cast<double>(seen + counts_[b]) >= rank) {
-      // Interpolate within the bucket (clamped to the observed extremes).
-      double within = counts_[b] == 0
-                          ? 0.0
-                          : (rank - static_cast<double>(seen)) / static_cast<double>(counts_[b]);
+      double within = (rank - static_cast<double>(seen)) / static_cast<double>(counts_[b]);
       return std::clamp(lo + within * (hi - lo), min_, max_);
     }
     seen += counts_[b];
@@ -79,9 +100,15 @@ double Histogram::ApproxQuantile(double q) const {
   return max_;
 }
 
+double Histogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return QuantileLocked(q);
+}
+
 void Histogram::Reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   std::fill(counts_.begin(), counts_.end(), 0);
+  samples_.clear();
   count_ = 0;
   sum_ = 0.0;
   min_ = 0.0;
@@ -124,22 +151,58 @@ Histogram& MetricsRegistry::histogram(const std::string& name, const std::vector
 
 Table MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  Table table({"metric", "type", "count", "value", "mean", "p50", "p95", "max"});
+  Table table({"metric", "type", "count", "value", "mean", "p50", "p95", "p99", "max"});
   for (const auto& [name, c] : counters_) {
     table.AddRow({name, "counter", std::to_string(c->value()), std::to_string(c->value()), "", "",
-                  "", ""});
+                  "", "", ""});
   }
   for (const auto& [name, g] : gauges_) {
-    table.AddRow({name, "gauge", "", Table::FormatDouble(g->value(), 6), "", "", "", ""});
+    table.AddRow({name, "gauge", "", Table::FormatDouble(g->value(), 6), "", "", "", "", ""});
   }
   for (const auto& [name, h] : histograms_) {
     table.AddRow({name, "histogram", std::to_string(h->count()),
                   Table::FormatDouble(h->sum(), 6), Table::FormatDouble(h->mean(), 6),
-                  Table::FormatDouble(h->ApproxQuantile(0.5), 6),
-                  Table::FormatDouble(h->ApproxQuantile(0.95), 6),
+                  Table::FormatDouble(h->Quantile(0.5), 6),
+                  Table::FormatDouble(h->Quantile(0.95), 6),
+                  Table::FormatDouble(h->Quantile(0.99), 6),
                   Table::FormatDouble(h->max(), 6)});
   }
   return table;
+}
+
+std::vector<MetricsRegistry::HistogramSummary> MetricsRegistry::HistogramSummaries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<HistogramSummary> rows;
+  rows.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSummary row;
+    row.name = name;
+    row.count = h->count();
+    row.mean = h->mean();
+    row.min = h->min();
+    row.max = h->max();
+    row.p50 = h->Quantile(0.5);
+    row.p95 = h->Quantile(0.95);
+    row.p99 = h->Quantile(0.99);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::CounterValues() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, uint64_t>> rows;
+  rows.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) rows.emplace_back(name, c->value());
+  return rows;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::GaugeValues() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, double>> rows;
+  rows.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) rows.emplace_back(name, g->value());
+  return rows;
 }
 
 namespace {
@@ -177,7 +240,10 @@ std::string MetricsRegistry::ToJson() const {
     comma();
     AppendJsonString(out, name);
     out += ":{\"type\":\"histogram\",\"count\":" + std::to_string(h->count()) +
-           ",\"sum\":" + Table::FormatDouble(h->sum(), 9) + ",\"bounds\":[";
+           ",\"sum\":" + Table::FormatDouble(h->sum(), 9) +
+           ",\"p50\":" + Table::FormatDouble(h->Quantile(0.5), 9) +
+           ",\"p95\":" + Table::FormatDouble(h->Quantile(0.95), 9) +
+           ",\"p99\":" + Table::FormatDouble(h->Quantile(0.99), 9) + ",\"bounds\":[";
     const auto& bounds = h->bounds();
     for (size_t i = 0; i < bounds.size(); ++i) {
       if (i) out += ",";

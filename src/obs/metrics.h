@@ -44,8 +44,11 @@ class Gauge {
 
 /// Fixed-bucket histogram: bucket i counts observations <= bounds[i]; one
 /// implicit overflow bucket counts the rest. Tracks count/sum/min/max for
-/// exact means. Thread-safe (mutex; observations are rare enough that
-/// contention is irrelevant here).
+/// exact means, and keeps the first kExactSampleCap raw observations so the
+/// latency percentiles published in run reports are *exact* for every
+/// realistic bench population (26 benches observe well under the cap) and
+/// only degrade to bucket interpolation beyond it. Thread-safe (mutex;
+/// observations are rare enough that contention is irrelevant here).
 class Histogram {
  public:
   /// `bounds` must be strictly increasing and non-empty.
@@ -64,12 +67,23 @@ class Histogram {
   std::vector<uint64_t> bucket_counts() const;
   /// Linear-interpolated quantile estimate from the buckets, q in [0, 1].
   double ApproxQuantile(double q) const;
+  /// Best available quantile: exact (linear interpolation over the retained
+  /// raw samples) while count() <= kExactSampleCap, bucket-interpolated
+  /// after; 0 when empty, the sample itself when count() == 1.
+  double Quantile(double q) const;
   void Reset();
 
+  /// Raw observations retained for exact quantiles.
+  static constexpr size_t kExactSampleCap = 4096;
+
  private:
+  double QuantileLocked(double q) const;        // requires mutex_ held
+  double BucketQuantileLocked(double q) const;  // requires mutex_ held
+
   std::vector<double> bounds_;
   mutable std::mutex mutex_;
   std::vector<uint64_t> counts_;  ///< bounds_.size() + 1 entries
+  std::vector<double> samples_;   ///< first kExactSampleCap observations
   uint64_t count_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;
@@ -100,9 +114,24 @@ class MetricsRegistry {
   /// name ignore `bounds`.
   Histogram& histogram(const std::string& name, const std::vector<double>& bounds = {});
 
-  /// One row per metric: metric, type, count, value, mean, p50, p95, max.
-  /// Counters/gauges fill count/value only. Rows are name-sorted.
+  /// One row per metric: metric, type, count, value, mean, p50, p95, p99,
+  /// max. Counters/gauges fill count/value only. Rows are name-sorted.
   Table Snapshot() const;
+
+  /// Structured read-outs for RunReport serialization (name-sorted).
+  struct HistogramSummary {
+    std::string name;
+    uint64_t count = 0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  std::vector<HistogramSummary> HistogramSummaries() const;
+  std::vector<std::pair<std::string, uint64_t>> CounterValues() const;
+  std::vector<std::pair<std::string, double>> GaugeValues() const;
 
   /// Compact JSON object keyed by metric name; histograms include bucket
   /// bounds and counts.

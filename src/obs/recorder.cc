@@ -1,0 +1,208 @@
+#include "obs/recorder.h"
+
+#include <atomic>
+#include <csignal>
+#include <fstream>
+#include <utility>
+
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace ppdp::obs {
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();  // intentionally leaked
+  return *recorder;
+}
+
+void FlightRecorder::Configure(size_t capacity, LogLevel min_log_level) {
+  PPDP_CHECK(capacity > 0) << "flight recorder capacity must be positive";
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity;
+  min_log_level_ = min_log_level;
+  TrimLocked();
+}
+
+size_t FlightRecorder::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+LogLevel FlightRecorder::min_log_level() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return min_log_level_;
+}
+
+void FlightRecorder::SetDumpPath(std::string path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  dump_path_ = std::move(path);
+}
+
+std::string FlightRecorder::dump_path() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dump_path_;
+}
+
+void FlightRecorder::TrimLocked() {
+  while (events_.size() > capacity_) events_.pop_front();
+}
+
+void FlightRecorder::Record(FlightEvent event) {
+  if (event.elapsed_seconds == 0.0) event.elapsed_seconds = MonotonicSeconds();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++total_recorded_;
+  events_.push_back(std::move(event));
+  TrimLocked();
+}
+
+void FlightRecorder::RecordLog(const LogRecord& record) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (record.level < min_log_level_ || record.level >= LogLevel::kOff) return;
+  }
+  FlightEvent event;
+  event.elapsed_seconds = record.elapsed_seconds;
+  event.category = "log";
+  event.severity = LogLevelName(record.level);
+  event.label = std::string(record.file) + ":" + std::to_string(record.line);
+  event.message = record.message;
+  Record(std::move(event));
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<FlightEvent>(events_.begin(), events_.end());
+}
+
+size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+uint64_t FlightRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_recorded_;
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  total_recorded_ = 0;
+  dumped_ = false;
+}
+
+bool FlightRecorder::dumped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dumped_;
+}
+
+std::string FlightRecorder::ToJson(std::string_view reason) const {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", JsonValue::String("ppdp.flight.v1"));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    doc.Set("capacity", JsonValue::Number(static_cast<double>(capacity_)));
+    doc.Set("recorded", JsonValue::Number(static_cast<double>(total_recorded_)));
+    doc.Set("dropped",
+            JsonValue::Number(static_cast<double>(total_recorded_ - events_.size())));
+    doc.Set("reason", JsonValue::String(std::string(reason)));
+    JsonValue events = JsonValue::Array();
+    for (const FlightEvent& e : events_) {
+      JsonValue event = JsonValue::Object();
+      event.Set("t", JsonValue::Number(e.elapsed_seconds));
+      event.Set("category", JsonValue::String(e.category));
+      event.Set("severity", JsonValue::String(e.severity));
+      event.Set("label", JsonValue::String(e.label));
+      event.Set("message", JsonValue::String(e.message));
+      events.Append(std::move(event));
+    }
+    doc.Set("events", std::move(events));
+  }
+  return doc.Dump();
+}
+
+Status FlightRecorder::Dump(const std::string& path, std::string_view reason) const {
+  std::ofstream file(path);
+  if (!file) return Status::NotFound("cannot open " + path + " for writing");
+  file << ToJson(reason) << "\n";
+  if (!file.good()) return Status::Internal("write to " + path + " failed");
+  return Status::Ok();
+}
+
+Status FlightRecorder::NoteFatalStatus(Status status, std::string_view origin) {
+  if (status.ok()) return status;
+  FlightEvent event;
+  event.category = "status";
+  event.severity = "ERROR";
+  event.label = std::string(origin);
+  event.message = status.ToString();
+  Record(std::move(event));
+
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!dumped_ && !dump_path_.empty()) {
+      dumped_ = true;
+      path = dump_path_;
+    }
+  }
+  if (!path.empty()) {
+    Status written = Dump(path, "first non-OK status from " + std::string(origin));
+    if (written.ok()) {
+      PPDP_LOG(WARN) << "flight recorder dumped" << Field("path", path)
+                     << Field("origin", std::string(origin));
+    } else {
+      PPDP_LOG(ERROR) << "flight recorder dump failed" << Field("path", path)
+                      << Field("error", written.ToString());
+    }
+  }
+  return status;
+}
+
+namespace {
+
+std::atomic<bool> g_dumping_on_signal{false};
+
+void SignalDumpHandler(int signal_number) {
+  // Best effort only: one attempt per process, then fall through to the
+  // default disposition so the crash itself is preserved.
+  if (!g_dumping_on_signal.exchange(true)) {
+    FlightRecorder::Global().DumpOnFatalSignal(signal_number);
+  }
+  std::signal(signal_number, SIG_DFL);
+  std::raise(signal_number);
+}
+
+}  // namespace
+
+void FlightRecorder::DumpOnFatalSignal(int signal_number) {
+  std::string path;
+  {
+    // try_lock: the signal may have interrupted a thread that holds the
+    // recorder mutex; a blocking lock would deadlock the dying process.
+    if (!mutex_.try_lock()) return;
+    path = dump_path_;
+    dumped_ = true;
+    mutex_.unlock();
+  }
+  if (path.empty()) return;
+  FlightEvent event;
+  event.category = "status";
+  event.severity = "ERROR";
+  event.label = "signal";
+  event.message = "fatal signal " + std::to_string(signal_number);
+  Record(std::move(event));
+  (void)Dump(path, "fatal signal " + std::to_string(signal_number));
+}
+
+void FlightRecorder::InstallSignalDump() {
+  static bool installed = [] {
+    for (int sig : {SIGSEGV, SIGABRT, SIGFPE, SIGILL, SIGBUS}) {
+      std::signal(sig, SignalDumpHandler);
+    }
+    return true;
+  }();
+  (void)installed;
+}
+
+}  // namespace ppdp::obs

@@ -1,0 +1,115 @@
+#ifndef PPDP_OBS_RECORDER_H_
+#define PPDP_OBS_RECORDER_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/log.h"
+
+namespace ppdp::obs {
+
+/// One entry of the flight-recorder ring: a structured event worth replaying
+/// in a postmortem. Categories in use:
+///   "log"    — a log record at or above the recorder's minimum level
+///   "fault"  — a FaultInjector decision that fired (label = point name)
+///   "retry"  — a RetryPolicy attempt beyond the first / a give-up
+///   "ledger" — a PrivacyLedger spend rejection
+///   "status" — a fatal Status or signal noted via NoteFatalStatus/signals
+struct FlightEvent {
+  double elapsed_seconds = 0.0;  ///< MonotonicSeconds() at record time
+  std::string category;
+  std::string severity;  ///< DEBUG | INFO | WARN | ERROR
+  std::string label;     ///< fault point / operation / ledger label / origin
+  std::string message;
+};
+
+/// Fixed-capacity in-memory ring buffer of recent FlightEvents — the chaos
+/// postmortem trail. Recording is cheap (one mutex push; oldest entries are
+/// evicted at capacity), always on, and the buffer is dumped as JSON when a
+/// run dies: on a fatal signal (InstallSignalDump) or on the first non-OK
+/// Status surfacing from a publisher Create/Run (NoteFatalStatus). Without a
+/// configured dump path the recorder is purely an in-memory log that tests
+/// and reports can snapshot.
+///
+/// The recorder never logs and takes no other lock while holding its own,
+/// so every instrumentation hook (logging sink, fault injector, retry loop,
+/// ledger) can record without lock-order concerns.
+class FlightRecorder {
+ public:
+  static FlightRecorder& Global();
+  static constexpr size_t kDefaultCapacity = 512;
+
+  FlightRecorder() = default;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Sets the ring capacity (entries beyond it evict the oldest; must be
+  /// positive) and the minimum level a log record needs to be captured.
+  /// Existing events are kept (trimmed to the new capacity).
+  void Configure(size_t capacity, LogLevel min_log_level);
+  size_t capacity() const;
+  LogLevel min_log_level() const;
+
+  /// Where automatic dumps go; empty (the default) disables auto-dumping.
+  void SetDumpPath(std::string path);
+  std::string dump_path() const;
+
+  void Record(FlightEvent event);
+  /// Hook for the logging layer: records `record` when its level passes
+  /// min_log_level().
+  void RecordLog(const LogRecord& record);
+
+  /// Events currently retained, oldest first.
+  std::vector<FlightEvent> Snapshot() const;
+  size_t size() const;
+  /// Events ever recorded (evicted ones included).
+  uint64_t total_recorded() const;
+  /// Clears events and re-arms the one-shot auto-dump; config persists.
+  void Clear();
+
+  /// {"schema":"ppdp.flight.v1","capacity":...,"recorded":...,
+  ///  "dropped":...,"reason":...,"events":[...]}
+  std::string ToJson(std::string_view reason = "") const;
+  Status Dump(const std::string& path, std::string_view reason = "") const;
+
+  /// Notes a non-OK status surfacing from `origin` (e.g.
+  /// "SocialPublisher::Create") as a "status" event and — the first time
+  /// only, when a dump path is set — dumps the buffer. Returns `status`
+  /// unchanged so error paths can wrap their return value:
+  ///   return FlightRecorder::Global().NoteFatalStatus(st, "x::Create");
+  /// OK statuses pass through untouched.
+  Status NoteFatalStatus(Status status, std::string_view origin);
+  /// True once an automatic dump (status or signal) has been written.
+  bool dumped() const;
+
+  /// Installs handlers for fatal signals (SIGSEGV/SIGABRT/SIGFPE/SIGILL/
+  /// SIGBUS) that dump the buffer to the configured path and re-raise.
+  /// Best effort: the handler is not strictly async-signal-safe, which is
+  /// an accepted trade for a postmortem artifact that would otherwise not
+  /// exist at all. Idempotent per process.
+  static void InstallSignalDump();
+
+  /// Called by the signal handler; exposed for tests. Appends a "status"
+  /// event for `signal_number` and dumps if a path is configured.
+  void DumpOnFatalSignal(int signal_number);
+
+ private:
+  void TrimLocked();  // requires mutex_ held
+
+  mutable std::mutex mutex_;
+  size_t capacity_ = kDefaultCapacity;
+  LogLevel min_log_level_ = LogLevel::kWarn;
+  std::string dump_path_;
+  std::deque<FlightEvent> events_;
+  uint64_t total_recorded_ = 0;
+  bool dumped_ = false;
+};
+
+}  // namespace ppdp::obs
+
+#endif  // PPDP_OBS_RECORDER_H_

@@ -1,0 +1,431 @@
+#include "obs/report.h"
+
+#include <ctime>
+#include <fstream>
+
+#include "obs/log.h"
+#include "obs/recorder.h"
+
+namespace ppdp::obs {
+
+Result<uint64_t> FileDigestFnv1a(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::NotFound("cannot open " + path + " for digesting");
+  uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a 64-bit offset basis
+  char buffer[4096];
+  while (file.read(buffer, sizeof(buffer)) || file.gcount() > 0) {
+    std::streamsize n = file.gcount();
+    for (std::streamsize i = 0; i < n; ++i) {
+      h ^= static_cast<unsigned char>(buffer[i]);
+      h *= 0x100000001B3ULL;  // FNV prime
+    }
+    if (!file) break;
+  }
+  return h;
+}
+
+std::string DigestToHex(uint64_t digest) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHex[digest & 0xF];
+    digest >>= 4;
+  }
+  return out;
+}
+
+const char* RunReport::SchemaTag() { return "ppdp.bench.v1"; }
+
+RunReport::BuildInfo CurrentBuildInfo() {
+  RunReport::BuildInfo info;
+#if defined(__VERSION__)
+  info.compiler = __VERSION__;
+#else
+  info.compiler = "unknown";
+#endif
+#if defined(NDEBUG)
+  info.build_type = "release";
+#else
+  info.build_type = "debug";
+#endif
+#if defined(__linux__)
+  info.platform = "linux";
+#elif defined(__APPLE__)
+  info.platform = "darwin";
+#else
+  info.platform = "unknown";
+#endif
+  info.platform += sizeof(void*) == 8 ? "-64bit" : "-32bit";
+  info.cxx_standard = static_cast<long>(__cplusplus);
+  return info;
+}
+
+double ProcessCpuSeconds() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+void CollectGlobalTelemetry(RunReport* report) {
+  report->build = CurrentBuildInfo();
+  report->phases = TraceRecorder::Global().PhaseStatsSorted();
+  report->histograms = MetricsRegistry::Global().HistogramSummaries();
+  report->counters = MetricsRegistry::Global().CounterValues();
+
+  FlightRecorder& recorder = FlightRecorder::Global();
+  report->flight.recorded = recorder.total_recorded();
+  report->flight.retained = recorder.size();
+  report->flight.dumped = recorder.dumped();
+
+  report->wall_seconds = MonotonicSeconds();
+  report->cpu_seconds = ProcessCpuSeconds();
+}
+
+JsonValue RunReport::ToJson() const {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", JsonValue::String(SchemaTag()));
+  doc.Set("schema_version", JsonValue::Number(kSchemaVersion));
+  doc.Set("name", JsonValue::String(name));
+  doc.Set("binary", JsonValue::String(binary));
+
+  JsonValue flag_obj = JsonValue::Object();
+  for (const auto& [key, value] : flags) flag_obj.Set(key, JsonValue::String(value));
+  doc.Set("flags", std::move(flag_obj));
+  doc.Set("seed", JsonValue::Number(static_cast<double>(seed)));
+  doc.Set("threads", JsonValue::Number(threads));
+  doc.Set("scale", JsonValue::Number(scale));
+
+  JsonValue build_obj = JsonValue::Object();
+  build_obj.Set("compiler", JsonValue::String(build.compiler));
+  build_obj.Set("build_type", JsonValue::String(build.build_type));
+  build_obj.Set("platform", JsonValue::String(build.platform));
+  build_obj.Set("cxx_standard", JsonValue::Number(static_cast<double>(build.cxx_standard)));
+  doc.Set("build", std::move(build_obj));
+
+  JsonValue fault_obj = JsonValue::Object();
+  fault_obj.Set("armed", JsonValue::Bool(fault.armed));
+  fault_obj.Set("seed", JsonValue::Number(static_cast<double>(fault.seed)));
+  fault_obj.Set("rate", JsonValue::Number(fault.rate));
+  JsonValue rates_obj = JsonValue::Object();
+  for (const auto& [point, rate] : fault.point_rates) {
+    rates_obj.Set(point, JsonValue::Number(rate));
+  }
+  fault_obj.Set("point_rates", std::move(rates_obj));
+  doc.Set("fault", std::move(fault_obj));
+
+  JsonValue phase_array = JsonValue::Array();
+  for (const TraceRecorder::PhaseStats& p : phases) {
+    JsonValue row = JsonValue::Object();
+    row.Set("name", JsonValue::String(p.name));
+    row.Set("count", JsonValue::Number(static_cast<double>(p.count)));
+    row.Set("wall_ms_total", JsonValue::Number(p.wall_ms_total));
+    row.Set("wall_ms_mean", JsonValue::Number(p.wall_ms_mean));
+    row.Set("wall_ms_min", JsonValue::Number(p.wall_ms_min));
+    row.Set("wall_ms_max", JsonValue::Number(p.wall_ms_max));
+    row.Set("cpu_ms_total", JsonValue::Number(p.cpu_ms_total));
+    phase_array.Append(std::move(row));
+  }
+  doc.Set("phases", std::move(phase_array));
+
+  JsonValue histo_array = JsonValue::Array();
+  for (const MetricsRegistry::HistogramSummary& h : histograms) {
+    JsonValue row = JsonValue::Object();
+    row.Set("name", JsonValue::String(h.name));
+    row.Set("count", JsonValue::Number(static_cast<double>(h.count)));
+    row.Set("mean", JsonValue::Number(h.mean));
+    row.Set("min", JsonValue::Number(h.min));
+    row.Set("max", JsonValue::Number(h.max));
+    row.Set("p50", JsonValue::Number(h.p50));
+    row.Set("p95", JsonValue::Number(h.p95));
+    row.Set("p99", JsonValue::Number(h.p99));
+    histo_array.Append(std::move(row));
+  }
+  doc.Set("histograms", std::move(histo_array));
+
+  JsonValue counter_obj = JsonValue::Object();
+  for (const auto& [counter_name, value] : counters) {
+    counter_obj.Set(counter_name, JsonValue::Number(static_cast<double>(value)));
+  }
+  doc.Set("counters", std::move(counter_obj));
+
+  JsonValue ledger_array = JsonValue::Array();
+  for (const LedgerAudit& audit : ledgers) {
+    JsonValue row = JsonValue::Object();
+    row.Set("name", JsonValue::String(audit.name));
+    row.Set("budget", JsonValue::Number(audit.budget.budget));
+    row.Set("spent", JsonValue::Number(audit.budget.spent));
+    row.Set("remaining", JsonValue::Number(audit.budget.remaining));
+    row.Set("rejected", JsonValue::Number(static_cast<double>(audit.budget.rejected)));
+    JsonValue entries = JsonValue::Array();
+    for (const PrivacyLedger::Entry& entry : audit.entries) {
+      JsonValue e = JsonValue::Object();
+      e.Set("label", JsonValue::String(entry.label));
+      e.Set("mechanism", JsonValue::String(entry.mechanism));
+      e.Set("calls", JsonValue::Number(static_cast<double>(entry.calls)));
+      e.Set("epsilon", JsonValue::Number(entry.total_epsilon));
+      entries.Append(std::move(e));
+    }
+    row.Set("entries", std::move(entries));
+    ledger_array.Append(std::move(row));
+  }
+  doc.Set("ledgers", std::move(ledger_array));
+
+  JsonValue output_array = JsonValue::Array();
+  for (const OutputDigest& out : outputs) {
+    JsonValue row = JsonValue::Object();
+    row.Set("name", JsonValue::String(out.name));
+    row.Set("path", JsonValue::String(out.path));
+    row.Set("bytes", JsonValue::Number(static_cast<double>(out.bytes)));
+    row.Set("fnv1a", JsonValue::String(out.fnv1a));
+    output_array.Append(std::move(row));
+  }
+  doc.Set("outputs", std::move(output_array));
+
+  doc.Set("wall_seconds", JsonValue::Number(wall_seconds));
+  doc.Set("cpu_seconds", JsonValue::Number(cpu_seconds));
+
+  JsonValue flight_obj = JsonValue::Object();
+  flight_obj.Set("recorded", JsonValue::Number(static_cast<double>(flight.recorded)));
+  flight_obj.Set("retained", JsonValue::Number(static_cast<double>(flight.retained)));
+  flight_obj.Set("dumped", JsonValue::Bool(flight.dumped));
+  doc.Set("flight", std::move(flight_obj));
+  return doc;
+}
+
+Status RunReport::WriteJson(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return Status::NotFound("cannot open " + path + " for writing");
+  file << ToJson().Dump() << "\n";
+  if (!file.good()) return Status::Internal("write to " + path + " failed");
+  return Status::Ok();
+}
+
+Result<RunReport> RunReport::FromJson(const JsonValue& doc) {
+  if (!doc.is_object()) return Status::InvalidArgument("run report must be a JSON object");
+  if (doc.GetStringOr("schema", "") != SchemaTag()) {
+    return Status::InvalidArgument("not a " + std::string(SchemaTag()) +
+                                   " document (schema=\"" + doc.GetStringOr("schema", "") +
+                                   "\")");
+  }
+  RunReport report;
+  report.name = doc.GetStringOr("name", "");
+  report.binary = doc.GetStringOr("binary", "");
+  report.seed = static_cast<uint64_t>(doc.GetNumberOr("seed", 0));
+  report.threads = static_cast<int>(doc.GetNumberOr("threads", 0));
+  report.scale = doc.GetNumberOr("scale", 1.0);
+  report.wall_seconds = doc.GetNumberOr("wall_seconds", 0.0);
+  report.cpu_seconds = doc.GetNumberOr("cpu_seconds", 0.0);
+
+  if (const JsonValue* flags = doc.Find("flags"); flags && flags->is_object()) {
+    for (const auto& [key, value] : flags->members()) {
+      if (value.is_string()) report.flags[key] = value.as_string();
+    }
+  }
+  if (const JsonValue* build = doc.Find("build"); build && build->is_object()) {
+    report.build.compiler = build->GetStringOr("compiler", "");
+    report.build.build_type = build->GetStringOr("build_type", "");
+    report.build.platform = build->GetStringOr("platform", "");
+    report.build.cxx_standard = static_cast<long>(build->GetNumberOr("cxx_standard", 0));
+  }
+  if (const JsonValue* fault = doc.Find("fault"); fault && fault->is_object()) {
+    report.fault.armed = fault->GetBoolOr("armed", false);
+    report.fault.seed = static_cast<uint64_t>(fault->GetNumberOr("seed", 0));
+    report.fault.rate = fault->GetNumberOr("rate", 0.0);
+    if (const JsonValue* rates = fault->Find("point_rates"); rates && rates->is_object()) {
+      for (const auto& [point, rate] : rates->members()) {
+        if (rate.is_number()) report.fault.point_rates[point] = rate.as_number();
+      }
+    }
+  }
+  if (const JsonValue* phases = doc.Find("phases"); phases && phases->is_array()) {
+    for (size_t i = 0; i < phases->size(); ++i) {
+      const JsonValue& row = phases->at(i);
+      if (!row.is_object()) {
+        return Status::InvalidArgument("phases[" + std::to_string(i) + "] is not an object");
+      }
+      TraceRecorder::PhaseStats p;
+      p.name = row.GetStringOr("name", "");
+      if (p.name.empty()) {
+        return Status::InvalidArgument("phases[" + std::to_string(i) + "] has no name");
+      }
+      p.count = static_cast<uint64_t>(row.GetNumberOr("count", 0));
+      p.wall_ms_total = row.GetNumberOr("wall_ms_total", 0.0);
+      p.wall_ms_mean = row.GetNumberOr("wall_ms_mean", 0.0);
+      p.wall_ms_min = row.GetNumberOr("wall_ms_min", 0.0);
+      p.wall_ms_max = row.GetNumberOr("wall_ms_max", 0.0);
+      p.cpu_ms_total = row.GetNumberOr("cpu_ms_total", 0.0);
+      report.phases.push_back(std::move(p));
+    }
+  }
+  if (const JsonValue* histos = doc.Find("histograms"); histos && histos->is_array()) {
+    for (size_t i = 0; i < histos->size(); ++i) {
+      const JsonValue& row = histos->at(i);
+      if (!row.is_object()) continue;
+      MetricsRegistry::HistogramSummary h;
+      h.name = row.GetStringOr("name", "");
+      h.count = static_cast<uint64_t>(row.GetNumberOr("count", 0));
+      h.mean = row.GetNumberOr("mean", 0.0);
+      h.min = row.GetNumberOr("min", 0.0);
+      h.max = row.GetNumberOr("max", 0.0);
+      h.p50 = row.GetNumberOr("p50", 0.0);
+      h.p95 = row.GetNumberOr("p95", 0.0);
+      h.p99 = row.GetNumberOr("p99", 0.0);
+      report.histograms.push_back(std::move(h));
+    }
+  }
+  if (const JsonValue* outputs = doc.Find("outputs"); outputs && outputs->is_array()) {
+    for (size_t i = 0; i < outputs->size(); ++i) {
+      const JsonValue& row = outputs->at(i);
+      if (!row.is_object()) continue;
+      OutputDigest out;
+      out.name = row.GetStringOr("name", "");
+      out.path = row.GetStringOr("path", "");
+      out.bytes = static_cast<uint64_t>(row.GetNumberOr("bytes", 0));
+      out.fnv1a = row.GetStringOr("fnv1a", "");
+      report.outputs.push_back(std::move(out));
+    }
+  }
+  return report;
+}
+
+Result<RunReport> RunReport::Load(const std::string& path) {
+  Result<JsonValue> doc = JsonValue::Load(path);
+  if (!doc.ok()) return doc.status();
+  Result<RunReport> report = FromJson(*doc);
+  if (!report.ok()) return report.status().Annotate(path);
+  return report;
+}
+
+Status ValidateReportJson(const JsonValue& doc) {
+  if (!doc.is_object()) return Status::InvalidArgument("report is not a JSON object");
+  if (doc.GetStringOr("schema", "") != RunReport::SchemaTag()) {
+    return Status::InvalidArgument("schema tag missing or wrong");
+  }
+  if (doc.GetNumberOr("schema_version", 0) < 1) {
+    return Status::InvalidArgument("schema_version missing");
+  }
+  struct Required {
+    const char* key;
+    JsonValue::Kind kind;
+  };
+  const Required required[] = {
+      {"name", JsonValue::Kind::kString},     {"binary", JsonValue::Kind::kString},
+      {"flags", JsonValue::Kind::kObject},    {"seed", JsonValue::Kind::kNumber},
+      {"threads", JsonValue::Kind::kNumber},  {"scale", JsonValue::Kind::kNumber},
+      {"build", JsonValue::Kind::kObject},    {"fault", JsonValue::Kind::kObject},
+      {"phases", JsonValue::Kind::kArray},    {"histograms", JsonValue::Kind::kArray},
+      {"counters", JsonValue::Kind::kObject}, {"ledgers", JsonValue::Kind::kArray},
+      {"outputs", JsonValue::Kind::kArray},   {"wall_seconds", JsonValue::Kind::kNumber},
+      {"cpu_seconds", JsonValue::Kind::kNumber}, {"flight", JsonValue::Kind::kObject},
+  };
+  for (const Required& r : required) {
+    const JsonValue* v = doc.Find(r.key);
+    if (!v) return Status::InvalidArgument(std::string("missing key \"") + r.key + "\"");
+    if (v->kind() != r.kind) {
+      return Status::InvalidArgument(std::string("key \"") + r.key + "\" has the wrong kind");
+    }
+  }
+  const JsonValue* phases = doc.Find("phases");
+  for (size_t i = 0; i < phases->size(); ++i) {
+    const JsonValue& row = phases->at(i);
+    if (!row.is_object() || row.GetStringOr("name", "").empty() ||
+        !row.Has("wall_ms_total") || !row.Has("cpu_ms_total") || !row.Has("count")) {
+      return Status::InvalidArgument("phases[" + std::to_string(i) + "] malformed");
+    }
+  }
+  const JsonValue* outputs = doc.Find("outputs");
+  for (size_t i = 0; i < outputs->size(); ++i) {
+    const JsonValue& row = outputs->at(i);
+    if (!row.is_object() || row.GetStringOr("path", "").empty() ||
+        row.GetStringOr("fnv1a", "").size() != 16) {
+      return Status::InvalidArgument("outputs[" + std::to_string(i) + "] malformed");
+    }
+  }
+  const JsonValue* fault = doc.Find("fault");
+  if (!fault->Has("armed") || !fault->Has("rate")) {
+    return Status::InvalidArgument("fault section malformed");
+  }
+  return Status::Ok();
+}
+
+ReportDiff DiffReports(const RunReport& baseline, const RunReport& current,
+                       const DiffOptions& options) {
+  ReportDiff diff;
+  std::map<std::string, const TraceRecorder::PhaseStats*> current_by_name;
+  for (const TraceRecorder::PhaseStats& p : current.phases) current_by_name[p.name] = &p;
+
+  std::map<std::string, bool> seen;
+  for (const TraceRecorder::PhaseStats& base : baseline.phases) {
+    PhaseDelta delta;
+    delta.name = base.name;
+    delta.baseline_ms = base.wall_ms_total;
+    diff.baseline_total_ms += base.wall_ms_total;
+    auto it = current_by_name.find(base.name);
+    if (it == current_by_name.end()) {
+      delta.only_in_baseline = true;
+    } else {
+      seen[base.name] = true;
+      delta.current_ms = it->second->wall_ms_total;
+      diff.current_total_ms += delta.current_ms;
+      delta.ratio = base.wall_ms_total > 0.0 ? delta.current_ms / base.wall_ms_total : 0.0;
+      // A regression needs both the relative threshold and the absolute
+      // floor: sub-noise phases can triple without meaning anything.
+      delta.regressed =
+          delta.current_ms > base.wall_ms_total * (1.0 + options.threshold) &&
+          delta.current_ms - base.wall_ms_total > options.min_ms;
+    }
+    diff.regressed = diff.regressed || delta.regressed;
+    diff.phases.push_back(std::move(delta));
+  }
+  for (const TraceRecorder::PhaseStats& cur : current.phases) {
+    if (seen.count(cur.name)) continue;
+    PhaseDelta delta;
+    delta.name = cur.name;
+    delta.current_ms = cur.wall_ms_total;
+    diff.current_total_ms += cur.wall_ms_total;
+    delta.only_in_current = true;
+    diff.phases.push_back(std::move(delta));
+  }
+
+  std::map<std::string, const RunReport::OutputDigest*> current_outputs;
+  for (const RunReport::OutputDigest& out : current.outputs) current_outputs[out.name] = &out;
+  for (const RunReport::OutputDigest& base : baseline.outputs) {
+    auto it = current_outputs.find(base.name);
+    if (it != current_outputs.end() && !base.fnv1a.empty() &&
+        base.fnv1a != it->second->fnv1a) {
+      diff.digest_mismatches.push_back(base.name);
+    }
+  }
+  if (options.check_digests && !diff.digest_mismatches.empty()) diff.regressed = true;
+  return diff;
+}
+
+Table ReportDiff::Summary() const {
+  Table table({"phase", "baseline ms", "current ms", "ratio", "verdict"});
+  for (const PhaseDelta& delta : phases) {
+    std::string verdict = delta.only_in_baseline ? "missing"
+                          : delta.only_in_current ? "new"
+                          : delta.regressed       ? "REGRESSED"
+                                                  : "ok";
+    table.AddRow({delta.name,
+                  delta.only_in_current ? "-" : Table::FormatDouble(delta.baseline_ms, 3),
+                  delta.only_in_baseline ? "-" : Table::FormatDouble(delta.current_ms, 3),
+                  delta.only_in_baseline || delta.only_in_current
+                      ? "-"
+                      : Table::FormatDouble(delta.ratio, 3),
+                  verdict});
+  }
+  table.AddRow({"TOTAL", Table::FormatDouble(baseline_total_ms, 3),
+                Table::FormatDouble(current_total_ms, 3),
+                baseline_total_ms > 0.0
+                    ? Table::FormatDouble(current_total_ms / baseline_total_ms, 3)
+                    : "-",
+                regressed ? "REGRESSED" : "ok"});
+  return table;
+}
+
+}  // namespace ppdp::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <ctime>
 #include <fstream>
 #include <map>
 
@@ -18,6 +19,16 @@ uint32_t ThisThreadOrdinal() {
 }
 
 }  // namespace
+
+double ThreadCpuSeconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+#else
+  return 0.0;
+#endif
+}
 
 TraceRecorder& TraceRecorder::Global() {
   static TraceRecorder* recorder = new TraceRecorder();  // intentionally leaked
@@ -65,12 +76,13 @@ void TraceRecorder::Clear() {
   dropped_ = 0;
 }
 
-Table TraceRecorder::PhaseSummary() const {
+std::vector<TraceRecorder::PhaseStats> TraceRecorder::PhaseStatsSorted() const {
   struct Agg {
     size_t count = 0;
     double total_us = 0.0;
     double min_us = 0.0;
     double max_us = 0.0;
+    double cpu_us = 0.0;
   };
   std::map<std::string, Agg> phases;
   {
@@ -80,19 +92,37 @@ Table TraceRecorder::PhaseSummary() const {
       if (agg.count == 0 || e.duration_us < agg.min_us) agg.min_us = e.duration_us;
       if (agg.count == 0 || e.duration_us > agg.max_us) agg.max_us = e.duration_us;
       agg.total_us += e.duration_us;
+      agg.cpu_us += e.cpu_us;
       ++agg.count;
     }
   }
-  std::vector<std::pair<std::string, Agg>> sorted(phases.begin(), phases.end());
-  std::sort(sorted.begin(), sorted.end(),
-            [](const auto& a, const auto& b) { return a.second.total_us > b.second.total_us; });
-  Table table({"phase", "count", "total ms", "mean ms", "min ms", "max ms"});
-  for (const auto& [name, agg] : sorted) {
-    double n = static_cast<double>(agg.count);
-    table.AddRow({name, std::to_string(agg.count), Table::FormatDouble(agg.total_us / 1e3, 3),
-                  Table::FormatDouble(agg.total_us / n / 1e3, 3),
-                  Table::FormatDouble(agg.min_us / 1e3, 3),
-                  Table::FormatDouble(agg.max_us / 1e3, 3)});
+  std::vector<PhaseStats> stats;
+  stats.reserve(phases.size());
+  for (const auto& [name, agg] : phases) {
+    PhaseStats row;
+    row.name = name;
+    row.count = agg.count;
+    row.wall_ms_total = agg.total_us / 1e3;
+    row.wall_ms_mean = agg.total_us / static_cast<double>(agg.count) / 1e3;
+    row.wall_ms_min = agg.min_us / 1e3;
+    row.wall_ms_max = agg.max_us / 1e3;
+    row.cpu_ms_total = agg.cpu_us / 1e3;
+    stats.push_back(std::move(row));
+  }
+  std::sort(stats.begin(), stats.end(), [](const PhaseStats& a, const PhaseStats& b) {
+    return a.wall_ms_total != b.wall_ms_total ? a.wall_ms_total > b.wall_ms_total
+                                              : a.name < b.name;
+  });
+  return stats;
+}
+
+Table TraceRecorder::PhaseSummary() const {
+  Table table({"phase", "count", "total ms", "mean ms", "min ms", "max ms", "cpu ms"});
+  for (const PhaseStats& s : PhaseStatsSorted()) {
+    table.AddRow({s.name, std::to_string(s.count), Table::FormatDouble(s.wall_ms_total, 3),
+                  Table::FormatDouble(s.wall_ms_mean, 3), Table::FormatDouble(s.wall_ms_min, 3),
+                  Table::FormatDouble(s.wall_ms_max, 3),
+                  Table::FormatDouble(s.cpu_ms_total, 3)});
   }
   return table;
 }
@@ -120,7 +150,9 @@ Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
 }
 
 TraceSpan::TraceSpan(std::string name)
-    : name_(std::move(name)), start_us_(MonotonicSeconds() * 1e6) {}
+    : name_(std::move(name)),
+      start_us_(MonotonicSeconds() * 1e6),
+      start_cpu_us_(ThreadCpuSeconds() * 1e6) {}
 
 double TraceSpan::ElapsedSeconds() const { return MonotonicSeconds() - start_us_ / 1e6; }
 
@@ -130,6 +162,7 @@ TraceSpan::~TraceSpan() {
   event.thread = ThisThreadOrdinal();
   event.start_us = start_us_;
   event.duration_us = MonotonicSeconds() * 1e6 - start_us_;
+  event.cpu_us = ThreadCpuSeconds() * 1e6 - start_cpu_us_;
   TraceRecorder::Global().Record(std::move(event));
 }
 

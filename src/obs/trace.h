@@ -12,13 +12,20 @@
 namespace ppdp::obs {
 
 /// One completed span on the monotonic timeline (timestamps in microseconds
-/// since process start).
+/// since process start). Besides wall time, each span carries the CPU time
+/// its own thread consumed while the span was open, so run reports can
+/// separate "slow because busy" from "slow because waiting".
 struct TraceEvent {
   std::string name;
   uint32_t thread = 0;  ///< small per-process thread ordinal
   double start_us = 0.0;
   double duration_us = 0.0;
+  double cpu_us = 0.0;  ///< thread CPU time consumed inside the span
 };
+
+/// CPU seconds consumed by the calling thread (CLOCK_THREAD_CPUTIME_ID
+/// where available; 0.0 on platforms without a thread CPU clock).
+double ThreadCpuSeconds();
 
 /// Process-wide collector of completed TraceSpans. Always on by default;
 /// recording is one mutex-guarded vector push, and the event count is
@@ -41,9 +48,21 @@ class TraceRecorder {
   std::vector<TraceEvent> events() const;
   void Clear();
 
-  /// Wall-time aggregate by span name: phase, count, total ms, mean ms,
-  /// min ms, max ms. Rows sorted by descending total.
+  /// Wall+CPU aggregate by span name: phase, count, total ms, mean ms,
+  /// min ms, max ms, cpu ms. Rows sorted by descending total.
   Table PhaseSummary() const;
+
+  /// The same aggregate as structured rows (for RunReport serialization).
+  struct PhaseStats {
+    std::string name;
+    uint64_t count = 0;
+    double wall_ms_total = 0.0;
+    double wall_ms_mean = 0.0;
+    double wall_ms_min = 0.0;
+    double wall_ms_max = 0.0;
+    double cpu_ms_total = 0.0;
+  };
+  std::vector<PhaseStats> PhaseStatsSorted() const;
 
   /// Writes the Chrome trace_event JSON format ("X" complete events; load
   /// via chrome://tracing or https://ui.perfetto.dev).
@@ -78,6 +97,7 @@ class TraceSpan {
  private:
   std::string name_;
   double start_us_;
+  double start_cpu_us_;
 };
 
 }  // namespace ppdp::obs

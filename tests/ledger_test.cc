@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
@@ -133,6 +137,67 @@ TEST(PrivacyLedgerTest, SynthesizerFitStaysWithinDeclaredEpsilon) {
   auto failed = dp::PrivateSynthesizer::Fit(data, config, &tight_ledger);
   EXPECT_FALSE(failed.ok());
   EXPECT_GE(tight_ledger.rejected_spends(), 1u);
+}
+
+TEST(PrivacyLedgerTest, SnapshotIsInternallyConsistent) {
+  PrivacyLedger ledger(2.0);
+  ASSERT_TRUE(ledger.Spend("a", "laplace", 0.75).ok());
+  ASSERT_FALSE(ledger.Spend("b", "laplace", 3.0).ok());
+
+  PrivacyLedger::BudgetSnapshot snap = ledger.snapshot();
+  EXPECT_DOUBLE_EQ(snap.budget, 2.0);
+  EXPECT_DOUBLE_EQ(snap.spent, 0.75);
+  EXPECT_DOUBLE_EQ(snap.remaining, snap.budget - snap.spent);
+  EXPECT_EQ(snap.rejected, 1u);
+}
+
+TEST(PrivacyLedgerTest, RemainingIsConsistentUnderConcurrentSpends) {
+  // Regression test for remaining() being computed from two separate locked
+  // reads (budget() then spent()): with spends of one fixed size racing the
+  // readers, every observed remaining value must correspond to a *whole*
+  // number of completed spends — a torn read would surface as a fraction.
+  constexpr double kBudget = 1000.0;
+  constexpr double kEpsilon = 1.0;
+  constexpr int kSpenders = 4;
+  constexpr int kSpendsPerThread = 100;
+  PrivacyLedger ledger(kBudget);
+
+  std::atomic<bool> start{false};
+  std::atomic<bool> done{false};
+  std::atomic<int> violations{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!start.load()) {
+      }
+      while (!done.load()) {
+        double remaining = ledger.remaining();
+        double spends = (kBudget - remaining) / kEpsilon;
+        if (std::abs(spends - std::round(spends)) > 1e-6) violations.fetch_add(1);
+        PrivacyLedger::BudgetSnapshot snap = ledger.snapshot();
+        if (snap.remaining != snap.budget - snap.spent) violations.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> spenders;
+  for (int t = 0; t < kSpenders; ++t) {
+    spenders.emplace_back([&] {
+      while (!start.load()) {
+      }
+      for (int i = 0; i < kSpendsPerThread; ++i) {
+        ASSERT_TRUE(ledger.Spend("worker", "laplace", kEpsilon).ok());
+      }
+    });
+  }
+  start.store(true);
+  for (auto& thread : spenders) thread.join();
+  done.store(true);
+  for (auto& thread : readers) thread.join();
+
+  EXPECT_EQ(violations.load(), 0) << "remaining()/snapshot() must never tear";
+  EXPECT_DOUBLE_EQ(ledger.spent(), kSpenders * kSpendsPerThread * kEpsilon);
+  EXPECT_DOUBLE_EQ(ledger.remaining(), kBudget - ledger.spent());
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/flags.h"
+#include "common/json.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -205,6 +207,115 @@ TEST_F(ObsTest, TraceRecorderDisableDropsSpans) {
   { TraceSpan span("obs_test.enabled"); }
   EXPECT_EQ(recorder.num_events(), 1u);
   recorder.Clear();
+}
+
+TEST_F(ObsTest, ParseLogLevelRejectsJunkAndBoundaryInputs) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_FALSE(ParseLogLevel(" warn", &level)) << "leading whitespace is not trimmed";
+  EXPECT_FALSE(ParseLogLevel("warn ", &level)) << "trailing whitespace is not trimmed";
+  EXPECT_FALSE(ParseLogLevel("warnn", &level));
+  EXPECT_FALSE(ParseLogLevel("debug,info", &level));
+  EXPECT_FALSE(ParseLogLevel("2", &level)) << "numeric levels are not a thing";
+  EXPECT_FALSE(ParseLogLevel("d\xc3\xa9" "bug", &level)) << "non-ASCII never matches";
+  EXPECT_FALSE(ParseLogLevel(std::string("off\0", 4), &level)) << "embedded NUL is junk";
+  EXPECT_EQ(level, LogLevel::kInfo) << "every rejection must leave the level untouched";
+
+  // Accepted aliases and case folding at the boundaries of the lexicon.
+  EXPECT_TRUE(ParseLogLevel("NONE", &level));
+  EXPECT_EQ(level, LogLevel::kOff);
+  EXPECT_TRUE(ParseLogLevel("wArNiNg", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+}
+
+TEST_F(ObsTest, HistogramQuantilesOnEmptySingleAndAllEqualSamples) {
+  Histogram empty({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0) << "empty histogram quantiles are 0";
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(empty.ApproxQuantile(0.5), 0.0);
+
+  Histogram single({1.0, 2.0});
+  single.Observe(1.7);
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(single.Quantile(q), 1.7) << "q=" << q;
+  }
+
+  Histogram equal({1.0, 2.0, 4.0});
+  for (int i = 0; i < 10; ++i) equal.Observe(3.0);
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(equal.Quantile(q), 3.0) << "q=" << q;
+  }
+
+  // Out-of-range q is clamped, not UB.
+  EXPECT_DOUBLE_EQ(equal.Quantile(-0.5), 3.0);
+  EXPECT_DOUBLE_EQ(equal.Quantile(2.0), 3.0);
+}
+
+TEST_F(ObsTest, HistogramQuantilesAreExactUnderTheSampleCap) {
+  Histogram histogram({10.0, 100.0});
+  for (int i = 1; i <= 99; ++i) histogram.Observe(static_cast<double>(i));
+  // Type-7 over 1..99: the median is exactly 50, p99 interpolates near the top.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 50.0);
+  EXPECT_NEAR(histogram.Quantile(0.99), 98.02, 1e-9);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 99.0);
+}
+
+TEST_F(ObsTest, HistogramQuantilesDegradeToBucketsBeyondTheCap) {
+  Histogram histogram({0.5});
+  const size_t n = Histogram::kExactSampleCap + 100;
+  for (size_t i = 0; i < n; ++i) {
+    histogram.Observe(static_cast<double>(i) / static_cast<double>(n - 1));
+  }
+  // Beyond the retention cap the estimate is bucket-interpolated: still
+  // monotone and clamped to the observed extremes.
+  double p50 = histogram.Quantile(0.5);
+  double p95 = histogram.Quantile(0.95);
+  double p99 = histogram.Quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, histogram.min());
+  EXPECT_LE(p99, histogram.max());
+  EXPECT_NEAR(p50, 0.5, 0.05);
+
+  histogram.Reset();
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 0.0) << "Reset must drop retained samples";
+}
+
+TEST_F(ObsTest, JsonLogRecordIsParseableAndEscaped) {
+  LogRecord record;
+  record.level = LogLevel::kWarn;
+  record.file = "x.cc";
+  record.line = 12;
+  record.elapsed_seconds = 1.5;
+  record.message = "path \"a\\b\"\nnext";
+
+  std::string line = FormatLogRecordJson(record);
+  auto doc = JsonValue::Parse(line);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString() << " in: " << line;
+  EXPECT_EQ(doc->GetStringOr("level", ""), "WARN");
+  EXPECT_EQ(doc->GetStringOr("file", ""), "x.cc");
+  EXPECT_DOUBLE_EQ(doc->GetNumberOr("line", 0), 12.0);
+  EXPECT_DOUBLE_EQ(doc->GetNumberOr("elapsed_s", 0), 1.5);
+  EXPECT_EQ(doc->GetStringOr("message", ""), "path \"a\\b\"\nnext")
+      << "escaping must round-trip through a JSON parser";
+}
+
+TEST_F(ObsTest, LogJsonFlagInstallsParseableSink) {
+  const char* argv[] = {"bench", "--log_json", "--log_level", "info"};
+  Flags flags(4, const_cast<char**>(argv));
+  ASSERT_TRUE(InitLoggingFromFlags(flags));
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+
+  // The JSON sink writes to stderr; capture it to prove one object per line.
+  ::testing::internal::CaptureStderr();
+  PPDP_LOG(INFO) << "structured" << Field("k", 1);
+  std::string err = ::testing::internal::GetCapturedStderr();
+  ASSERT_FALSE(err.empty());
+  ASSERT_EQ(err.back(), '\n');
+  auto doc = JsonValue::Parse(err.substr(0, err.size() - 1));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString() << " in: " << err;
+  EXPECT_EQ(doc->GetStringOr("message", ""), "structured k=1");
 }
 
 TEST_F(ObsTest, TraceSpansFromMultipleThreadsAllRecorded) {

@@ -1,0 +1,259 @@
+#include "obs/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "fault/fault.h"
+#include "fault/retry.h"
+#include "iot/channel.h"
+#include "iot/collection.h"
+#include "obs/ledger.h"
+#include "obs/log.h"
+
+namespace ppdp::obs {
+namespace {
+
+/// Resets the global recorder (shared across hooks) and silences logging so
+/// the recorder's own WARN/ERROR dump notices don't feed back into it.
+class RecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_level_ = GetLogLevel();
+    SetLogLevel(LogLevel::kOff);
+    FlightRecorder::Global().SetDumpPath("");
+    FlightRecorder::Global().Configure(FlightRecorder::kDefaultCapacity, LogLevel::kWarn);
+    FlightRecorder::Global().Clear();
+  }
+  void TearDown() override {
+    FlightRecorder::Global().SetDumpPath("");
+    FlightRecorder::Global().Clear();
+    SetLogSink(nullptr);
+    SetLogLevel(previous_level_);
+  }
+
+  static std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "/" + name;
+  }
+
+  LogLevel previous_level_ = LogLevel::kWarn;
+};
+
+TEST_F(RecorderTest, RingEvictsOldestAtCapacity) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  recorder.Configure(3, LogLevel::kWarn);
+  for (int i = 0; i < 5; ++i) {
+    recorder.Record({0.0, "status", "INFO", "e" + std::to_string(i), "msg"});
+  }
+  EXPECT_EQ(recorder.size(), 3u);
+  EXPECT_EQ(recorder.total_recorded(), 5u);
+  std::vector<FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].label, "e2") << "oldest retained event first";
+  EXPECT_EQ(events[2].label, "e4");
+  EXPECT_GT(events[0].elapsed_seconds, 0.0) << "Record must stamp the time when unset";
+}
+
+TEST_F(RecorderTest, ShrinkingCapacityTrimsExistingEvents) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  for (int i = 0; i < 10; ++i) recorder.Record({0.0, "log", "WARN", "l", "m"});
+  recorder.Configure(4, LogLevel::kWarn);
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.capacity(), 4u);
+}
+
+TEST_F(RecorderTest, LogHookHonorsMinimumLevel) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  recorder.Configure(16, LogLevel::kWarn);
+  SetLogLevel(LogLevel::kDebug);
+  PPDP_LOG(INFO) << "below the recorder threshold";
+  PPDP_LOG(ERROR) << "kept by the recorder";
+  std::vector<FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].category, "log");
+  EXPECT_EQ(events[0].severity, "ERROR");
+  EXPECT_NE(events[0].message.find("kept by the recorder"), std::string::npos);
+}
+
+TEST_F(RecorderTest, ToJsonIsParsableAndComplete) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  recorder.Configure(2, LogLevel::kWarn);
+  recorder.Record({1.5, "fault", "WARN", "iot.send", "kind=drop index=3"});
+  recorder.Record({2.0, "ledger", "ERROR", "cpt", "rejected"});
+  recorder.Record({2.5, "status", "ERROR", "x::Create", "boom"});
+
+  auto doc = JsonValue::Parse(recorder.ToJson("unit test"));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->GetStringOr("schema", ""), "ppdp.flight.v1");
+  EXPECT_EQ(doc->GetStringOr("reason", ""), "unit test");
+  EXPECT_DOUBLE_EQ(doc->GetNumberOr("capacity", 0), 2.0);
+  EXPECT_DOUBLE_EQ(doc->GetNumberOr("recorded", 0), 3.0);
+  EXPECT_DOUBLE_EQ(doc->GetNumberOr("dropped", 0), 1.0);
+  const JsonValue* events = doc->Find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->size(), 2u);
+  EXPECT_EQ(events->at(0).GetStringOr("category", ""), "ledger");
+  EXPECT_EQ(events->at(1).GetStringOr("label", ""), "x::Create");
+}
+
+TEST_F(RecorderTest, NoteFatalStatusDumpsOnceAndPassesStatusThrough) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  std::string path = TempPath("recorder_fatal.json");
+  std::remove(path.c_str());
+  recorder.SetDumpPath(path);
+
+  Status ok = recorder.NoteFatalStatus(Status::Ok(), "ignored");
+  EXPECT_TRUE(ok.ok());
+  EXPECT_FALSE(recorder.dumped()) << "OK statuses must not trigger a dump";
+
+  Status boom = recorder.NoteFatalStatus(Status::InvalidArgument("boom"), "Pub::Create");
+  EXPECT_EQ(boom.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(boom.message(), "boom") << "the status must pass through unchanged";
+  EXPECT_TRUE(recorder.dumped());
+
+  auto doc = JsonValue::Load(path);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* events = doc->Find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_GE(events->size(), 1u);
+  const JsonValue& last = events->at(events->size() - 1);
+  EXPECT_EQ(last.GetStringOr("category", ""), "status");
+  EXPECT_EQ(last.GetStringOr("label", ""), "Pub::Create");
+
+  // One-shot: a second fatal status must not rewrite the dump.
+  std::remove(path.c_str());
+  (void)recorder.NoteFatalStatus(Status::Internal("again"), "Pub::Create");
+  std::ifstream probe(path);
+  EXPECT_FALSE(probe.good()) << "auto-dump must fire at most once per run";
+}
+
+TEST_F(RecorderTest, ClearRearmsTheAutoDump) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  std::string path = TempPath("recorder_rearm.json");
+  recorder.SetDumpPath(path);
+  (void)recorder.NoteFatalStatus(Status::Internal("first"), "origin");
+  ASSERT_TRUE(recorder.dumped());
+  recorder.Clear();
+  EXPECT_FALSE(recorder.dumped());
+  std::remove(path.c_str());
+  (void)recorder.NoteFatalStatus(Status::Internal("second"), "origin");
+  EXPECT_TRUE(JsonValue::Load(path).ok());
+}
+
+TEST_F(RecorderTest, FiredFaultPointsAreRecordedWithTheirPointName) {
+  fault::FaultPlan plan;
+  plan.seed = 3;
+  plan.point_rates["recorder_test.point"] = 1.0;
+  fault::ScopedFaultPlan scoped(plan);
+  fault::FaultDecision decision =
+      PPDP_FAULT_POINT("recorder_test.point", fault::kMaskDrop);
+  ASSERT_TRUE(decision.fired());
+
+  std::vector<FlightEvent> events = FlightRecorder::Global().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].category, "fault");
+  EXPECT_EQ(events[0].label, "recorder_test.point");
+  EXPECT_NE(events[0].message.find("kind=drop"), std::string::npos);
+}
+
+TEST_F(RecorderTest, ChaosCrashDumpContainsTheTriggeringFaultEvent) {
+  // The acceptance path end to end: a chaos run hits a fault point, the
+  // failure surfaces as a fatal status, and the dump written at that moment
+  // contains the fault event that triggered it.
+  FlightRecorder& recorder = FlightRecorder::Global();
+  std::string path = TempPath("recorder_chaos.json");
+  std::remove(path.c_str());
+  recorder.SetDumpPath(path);
+
+  fault::FaultPlan plan;
+  plan.seed = 11;
+  plan.point_rates["recorder_test.chaos"] = 1.0;
+  fault::ScopedFaultPlan scoped(plan);
+  fault::FaultDecision decision =
+      PPDP_FAULT_POINT("recorder_test.chaos", fault::kMaskDrop);
+  ASSERT_TRUE(decision.fired());
+  (void)recorder.NoteFatalStatus(decision.AsStatus("recorder_test.chaos"),
+                                 "ChaosRun::Step");
+
+  auto doc = JsonValue::Load(path);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* events = doc->Find("events");
+  ASSERT_NE(events, nullptr);
+  bool saw_fault = false;
+  for (size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& e = events->at(i);
+    if (e.GetStringOr("category", "") == "fault" &&
+        e.GetStringOr("label", "") == "recorder_test.chaos") {
+      saw_fault = true;
+    }
+  }
+  EXPECT_TRUE(saw_fault) << "the dump must include the fault that triggered the crash";
+}
+
+TEST_F(RecorderTest, LedgerRejectionIsRecorded) {
+  PrivacyLedger ledger(0.5);
+  ASSERT_TRUE(ledger.Spend("fits", "laplace", 0.4).ok());
+  ASSERT_FALSE(ledger.Spend("fits", "laplace", 0.4).ok());
+
+  std::vector<FlightEvent> events = FlightRecorder::Global().Snapshot();
+  ASSERT_EQ(events.size(), 1u) << "only the rejection is recorded";
+  EXPECT_EQ(events[0].category, "ledger");
+  EXPECT_EQ(events[0].label, "fits");
+  EXPECT_NE(events[0].message.find("rejected"), std::string::npos);
+}
+
+TEST_F(RecorderTest, ChannelGiveUpIsRecordedAsRetryEvent) {
+  // Certain drop on the wire plus a one-attempt budget: the channel must
+  // give up and the recorder must hold the retry-category trail.
+  fault::FaultPlan plan;
+  plan.seed = 5;
+  plan.point_rates["iot.send"] = 1.0;
+  fault::ScopedFaultPlan scoped(plan);
+
+  iot::PrivacyProxy proxy({{"activity", 4}}, {{2.0, 1e9}}, 7);
+  iot::AggregationServer server({{"activity", 4}});
+  fault::RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.deadline_ms = 50.0;
+  iot::ResilientChannel channel(&server, policy, 9);
+  auto reading = proxy.Report(0, 1);
+  ASSERT_TRUE(reading.ok()) << reading.status().ToString();
+  Status sent = channel.Send(*reading);
+  ASSERT_FALSE(sent.ok());
+
+  bool saw_give_up = false;
+  for (const FlightEvent& event : FlightRecorder::Global().Snapshot()) {
+    if (event.category == "retry" && event.label == "iot.send" &&
+        event.message.find("gave up") != std::string::npos) {
+      saw_give_up = true;
+    }
+  }
+  EXPECT_TRUE(saw_give_up);
+}
+
+TEST_F(RecorderTest, DumpOnFatalSignalWritesTheSignalEvent) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  std::string path = TempPath("recorder_signal.json");
+  std::remove(path.c_str());
+  recorder.SetDumpPath(path);
+  recorder.Record({0.0, "fault", "WARN", "some.point", "kind=corrupt index=0"});
+
+  recorder.DumpOnFatalSignal(11);
+
+  auto doc = JsonValue::Load(path);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* events = doc->Find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_GE(events->size(), 2u);
+  const JsonValue& last = events->at(events->size() - 1);
+  EXPECT_EQ(last.GetStringOr("category", ""), "status");
+  EXPECT_NE(last.GetStringOr("message", "").find("signal 11"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppdp::obs

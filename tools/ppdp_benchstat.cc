@@ -1,0 +1,136 @@
+// Perf-regression gate over bench run reports.
+//
+//   $ ppdp_benchstat [flags] baseline.json current.json
+//
+// Diffs the per-phase wall-time totals of two BENCH_<name>.json artifacts
+// (as emitted by any bench binary) phase by phase and exits non-zero when
+// any phase slowed beyond BOTH the relative threshold and the absolute
+// floor — so CI can gate merges against a checked-in baseline without
+// tripping on sub-noise phases.
+//
+// Flags:
+//   --threshold X   (default 0.25)  relative slowdown tolerated (+25%)
+//   --min_ms X      (default 5.0)   absolute slowdown floor in milliseconds
+//   --check_digests (off)  also fail when an output CSV digest present in
+//                   both reports differs (determinism audit)
+//   --validate_only (off)  schema-validate both files and exit (no diff)
+//
+// Exit codes: 0 ok, 1 regression detected, 2 usage/IO/schema error.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/json.h"
+#include "common/result.h"
+#include "obs/report.h"
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: ppdp_benchstat [--threshold X] [--min_ms X] [--check_digests]\n"
+               "                      [--validate_only] baseline.json current.json\n";
+  return 2;
+}
+
+/// Loads and schema-validates one report file; prints to stderr on failure.
+bool LoadReport(const std::string& path, ppdp::obs::RunReport* report) {
+  ppdp::Result<ppdp::JsonValue> doc = ppdp::JsonValue::Load(path);
+  if (!doc.ok()) {
+    std::cerr << "ppdp_benchstat: " << doc.status().ToString() << "\n";
+    return false;
+  }
+  ppdp::Status valid = ppdp::obs::ValidateReportJson(*doc);
+  if (!valid.ok()) {
+    std::cerr << "ppdp_benchstat: " << path << ": " << valid.ToString() << "\n";
+    return false;
+  }
+  ppdp::Result<ppdp::obs::RunReport> parsed = ppdp::obs::RunReport::FromJson(*doc);
+  if (!parsed.ok()) {
+    std::cerr << "ppdp_benchstat: " << path << ": " << parsed.status().ToString() << "\n";
+    return false;
+  }
+  *report = std::move(*parsed);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Hand-rolled argument split: the generic Flags parser would consume the
+  // positional path after a bare boolean ("--validate_only baseline.json")
+  // as that flag's value. Boolean flags here never take a separate value;
+  // everything else takes exactly one ("--threshold 0.3" or "--threshold=0.3").
+  std::vector<std::string> positional;
+  std::vector<std::string> flag_args = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional.push_back(std::move(arg));
+      continue;
+    }
+    if (arg == "--help") return Usage();
+    if (arg == "--check_digests" || arg == "--validate_only") {
+      flag_args.push_back(arg + "=true");
+      continue;
+    }
+    if (arg.find('=') == std::string::npos) {
+      if (i + 1 >= argc) return Usage();
+      arg += "=";
+      arg += argv[++i];
+    }
+    flag_args.push_back(std::move(arg));
+  }
+  std::vector<char*> flag_argv;
+  flag_argv.reserve(flag_args.size());
+  for (std::string& arg : flag_args) flag_argv.push_back(arg.data());
+  ppdp::Flags flags(static_cast<int>(flag_argv.size()), flag_argv.data());
+
+  if (positional.size() != 2) return Usage();
+
+  ppdp::obs::RunReport baseline, current;
+  if (!LoadReport(positional[0], &baseline)) return 2;
+  if (!LoadReport(positional[1], &current)) return 2;
+
+  if (flags.GetBool("validate_only", false)) {
+    std::cout << "ppdp_benchstat: both reports schema-valid (" << baseline.name << ", "
+              << current.name << ")\n";
+    return 0;
+  }
+
+  if (baseline.name != current.name) {
+    std::cerr << "ppdp_benchstat: comparing different benches: \"" << baseline.name
+              << "\" vs \"" << current.name << "\"\n";
+    return 2;
+  }
+
+  ppdp::obs::DiffOptions options;
+  options.threshold = flags.GetDouble("threshold", options.threshold);
+  options.min_ms = flags.GetDouble("min_ms", options.min_ms);
+  options.check_digests = flags.GetBool("check_digests", false);
+  if (options.threshold < 0.0 || options.min_ms < 0.0) {
+    std::cerr << "ppdp_benchstat: --threshold and --min_ms must be non-negative\n";
+    return 2;
+  }
+
+  ppdp::obs::ReportDiff diff = ppdp::obs::DiffReports(baseline, current, options);
+  std::cout << "== benchstat: " << current.name << " (threshold +"
+            << static_cast<int>(options.threshold * 100) << "%, floor " << options.min_ms
+            << " ms) ==\n";
+  diff.Summary().Print(std::cout);
+  if (baseline.build.compiler != current.build.compiler ||
+      baseline.build.build_type != current.build.build_type) {
+    std::cout << "(builds differ: baseline " << current.build.build_type << " \""
+              << baseline.build.compiler << "\" vs current \"" << current.build.compiler
+              << "\")\n";
+  }
+  for (const std::string& name : diff.digest_mismatches) {
+    std::cout << "(output digest differs: " << name << ")\n";
+  }
+  if (diff.regressed) {
+    std::cout << "REGRESSION: at least one phase slowed beyond the gate\n";
+    return 1;
+  }
+  std::cout << "ok: no phase regressed\n";
+  return 0;
+}
