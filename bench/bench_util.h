@@ -6,6 +6,7 @@
 #include <functional>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -20,6 +21,8 @@
 #include "obs/metrics.h"
 #include "obs/recorder.h"
 #include "obs/report.h"
+#include "obs/sampler.h"
+#include "obs/telemetry_server.h"
 #include "obs/trace.h"
 
 namespace ppdp::bench {
@@ -39,6 +42,13 @@ namespace ppdp::bench {
 ///   --flight_level L     (default warn) min log level the recorder keeps
 ///   --flight_dump F      (default <out>/<bench>_flight.json; "off"
 ///                   disables)  where crash/fatal-status dumps go
+///   --telemetry_port P   (off unless given)  start the live introspection
+///                   HTTP server on 127.0.0.1:P; 0 picks an ephemeral port.
+///                   The resolved URL is printed at startup. Without this
+///                   flag no socket is opened and nothing is paid.
+///   --sample_period_ms N (default 500; 0 disables)  metric time-series
+///                   sampling interval; samples append to
+///                   <out>/<bench>_timeseries.jsonl (ppdp.timeseries.v1)
 ///
 /// On destruction (end of main) the harness emits the per-phase wall-time
 /// table recorded by the library's TraceSpans — printed and written to
@@ -104,12 +114,50 @@ struct BenchEnv {
       obs::FlightRecorder::Global().SetDumpPath(flight_dump);
       obs::FlightRecorder::InstallSignalDump();
     }
+
+    if (flags.Has("telemetry_port")) {
+      obs::TelemetryServer::Options telemetry_options;
+      telemetry_options.port = static_cast<int>(flags.GetInt("telemetry_port", 0));
+      telemetry_options.flags = flag_values_;
+      telemetry_options.seed = seed;
+      telemetry_options.threads = threads;
+      telemetry_ = std::make_unique<obs::TelemetryServer>(telemetry_options);
+      Status telemetry_status = telemetry_->Start();
+      if (telemetry_status.ok()) {
+        // Flushed immediately so a supervising process (the CI smoke job)
+        // can grep the resolved ephemeral port while the bench runs.
+        std::cout << "(telemetry: http://127.0.0.1:" << telemetry_->port() << "/)" << std::endl;
+      } else {
+        std::cerr << "warning: telemetry server not started: " << telemetry_status.ToString()
+                  << "\n";
+        telemetry_.reset();
+      }
+    }
+
+    int sample_period_ms = static_cast<int>(flags.GetInt("sample_period_ms", 500));
+    if (sample_period_ms > 0) {
+      obs::TimeSeriesSampler::Options sampler_options;
+      sampler_options.path = out_dir + "/" + bench_name + "_timeseries.jsonl";
+      sampler_options.period_ms = sample_period_ms;
+      sampler_ = std::make_unique<obs::TimeSeriesSampler>(sampler_options);
+      Status sampler_status = sampler_->Start();
+      if (!sampler_status.ok()) {
+        std::cerr << "warning: time-series sampler not started: " << sampler_status.ToString()
+                  << "\n";
+        sampler_.reset();
+      }
+    }
   }
 
   BenchEnv(const BenchEnv&) = delete;
   BenchEnv& operator=(const BenchEnv&) = delete;
 
   ~BenchEnv() {
+    if (sampler_ != nullptr) {
+      sampler_->Stop();  // writes the final sample
+      std::cout << "(timeseries: " << out_dir << "/" << bench_name << "_timeseries.jsonl, "
+                << sampler_->samples_written() << " samples)\n";
+    }
     EmitPhaseTimings();
     if (!trace_out.empty()) {
       Status status = obs::TraceRecorder::Global().WriteChromeTrace(trace_out);
@@ -120,6 +168,7 @@ struct BenchEnv {
       }
     }
     if (report_out_ != "off") EmitRunReport();
+    if (telemetry_ != nullptr) telemetry_->Stop();  // after reports: scrapable to the end
   }
 
   /// Short report name: the binary name minus its "bench_" prefix
@@ -264,6 +313,8 @@ struct BenchEnv {
 
   std::map<std::string, std::string> flag_values_;
   std::string report_out_;
+  std::unique_ptr<obs::TelemetryServer> telemetry_;
+  std::unique_ptr<obs::TimeSeriesSampler> sampler_;
   // Emit/EmitLedger are const (benches hold const refs in helpers); the
   // report bookkeeping they feed is observational state, hence mutable.
   mutable std::vector<std::pair<std::string, std::string>> outputs_;

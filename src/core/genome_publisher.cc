@@ -37,7 +37,12 @@ genomics::GenomeAttackResult GenomePublisher::Attack(
   attacks.Increment();
   genomics::FactorGraph::BpOptions effective = options;
   if (effective.threads == 0) effective.threads = threads_;
-  return genomics::RunGenomeInference(catalog_, view_, method, effective);
+  genomics::GenomeAttackResult result =
+      genomics::RunGenomeInference(catalog_, view_, method, effective);
+  // Per-phase progress counters for live /metrics scrapes of long runs.
+  static obs::Counter& done = obs::MetricsRegistry::Global().counter("genome.progress.attack");
+  done.Increment();
+  return result;
 }
 
 genomics::PrivacyReport GenomePublisher::Privacy(const std::vector<size_t>& target_traits,
@@ -60,6 +65,9 @@ genomics::GputResult GenomePublisher::PublishWithDeltaPrivacy(
                  << obs::Field("snps_released", result.released)
                  << obs::Field("satisfied", result.satisfied)
                  << obs::Field("seconds", span.ElapsedSeconds());
+  static obs::Counter& done =
+      obs::MetricsRegistry::Global().counter("genome.progress.publish_delta_privacy");
+  done.Increment();
   return result;
 }
 

@@ -43,6 +43,10 @@ double SocialPublisher::AttackAccuracy(classify::AttackModel attack, classify::L
       classify::RunAttack(graph_, known_, attack, *classifier, Effective(config)).accuracy;
   PPDP_LOG(DEBUG) << "attack measured" << obs::Field("accuracy", accuracy)
                   << obs::Field("seconds", span.ElapsedSeconds());
+  // Per-phase progress counters let a /metrics scrape see how far a long
+  // publishing pipeline has advanced while it runs.
+  static obs::Counter& done = obs::MetricsRegistry::Global().counter("social.progress.attack");
+  done.Increment();
   return accuracy;
 }
 
@@ -61,6 +65,9 @@ size_t SocialPublisher::RemoveTopPrivacyAttributes(size_t count, size_t utility_
   }
   PPDP_LOG(INFO) << "masked privacy-dependent attributes" << obs::Field("removed", removed)
                  << obs::Field("requested", count);
+  static obs::Counter& done =
+      obs::MetricsRegistry::Global().counter("social.progress.remove_attributes");
+  done.Increment();
   return removed;
 }
 
@@ -72,6 +79,9 @@ size_t SocialPublisher::RemoveIndistinguishableLinks(size_t count) {
   size_t removed = sanitize::RemoveIndistinguishableLinks(graph_, known_, estimates, count);
   PPDP_LOG(INFO) << "removed indistinguishable links" << obs::Field("removed", removed)
                  << obs::Field("requested", count);
+  static obs::Counter& done =
+      obs::MetricsRegistry::Global().counter("social.progress.remove_links");
+  done.Increment();
   return removed;
 }
 
@@ -83,6 +93,9 @@ sanitize::SanitizeReport SocialPublisher::SanitizeCollective(
                  << obs::Field("attributes_removed", report.removed_categories.size())
                  << obs::Field("core_perturbed", report.perturbed_categories.size())
                  << obs::Field("seconds", span.ElapsedSeconds());
+  static obs::Counter& done =
+      obs::MetricsRegistry::Global().counter("social.progress.sanitize_collective");
+  done.Increment();
   return report;
 }
 

@@ -5,6 +5,7 @@
 #include "classify/evaluation.h"
 #include "common/rng.h"
 #include "obs/log.h"
+#include "obs/metrics.h"
 #include "obs/recorder.h"
 #include "obs/trace.h"
 
@@ -29,6 +30,10 @@ tradeoff::StrategyProblem TradeoffPublisher::BuildProblem(double delta, size_t m
   problem.latent_guess = tradeoff::LatentGuessPerSet(graph_, problem.profile);
   problem.num_labels = graph_.num_labels();
   problem.delta = delta;
+  // Per-phase progress counters for live /metrics scrapes of long runs.
+  static obs::Counter& done =
+      obs::MetricsRegistry::Global().counter("tradeoff.progress.build_problem");
+  done.Increment();
   return problem;
 }
 
@@ -43,13 +48,20 @@ Result<tradeoff::StrategyResult> TradeoffPublisher::OptimizeAttributeStrategy(
     return obs::FlightRecorder::Global().NoteFatalStatus(
         result.status(), "TradeoffPublisher::OptimizeAttributeStrategy");
   }
+  static obs::Counter& done =
+      obs::MetricsRegistry::Global().counter("tradeoff.progress.optimize_lp");
+  done.Increment();
   return result;
 }
 
 tradeoff::TradeoffOutcome TradeoffPublisher::Apply(tradeoff::Strategy strategy,
                                                    const tradeoff::TradeoffConfig& config) const {
   obs::TraceSpan span("tradeoff.apply_strategy");
-  return tradeoff::ApplyStrategy(graph_, known_, strategy, config);
+  tradeoff::TradeoffOutcome outcome = tradeoff::ApplyStrategy(graph_, known_, strategy, config);
+  static obs::Counter& done =
+      obs::MetricsRegistry::Global().counter("tradeoff.progress.apply_strategy");
+  done.Increment();
+  return outcome;
 }
 
 }  // namespace ppdp::core

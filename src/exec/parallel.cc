@@ -129,10 +129,14 @@ void ParallelForChunked(size_t begin, size_t end, size_t grain,
       t_in_parallel_region = false;
       region.helper_chunks.fetch_add(ran, std::memory_order_relaxed);
       {
+        // Notify while still holding the mutex: the caller destroys Region
+        // (it lives on its stack) the moment it observes active_helpers ==
+        // 0, and it can only re-acquire the mutex after this unlock — so
+        // the condition variable is guaranteed to outlive the notify call.
         std::lock_guard<std::mutex> lock(region.mutex);
         --region.active_helpers;
+        region.done.notify_one();
       }
-      region.done.notify_one();
     });
   }
 

@@ -3,11 +3,31 @@
 #include <memory>
 #include <utility>
 
+#include "common/json.h"
 #include "obs/metrics.h"
+#include "obs/telemetry_server.h"
 
 namespace ppdp::exec {
 
 namespace {
+
+/// Contributes the live pool view to /statusz. Registered at static-init
+/// of this translation unit, which is linked into any binary that touches
+/// the pool — obs itself never has to know exec exists.
+const bool kStatuszRegistered = [] {
+  obs::RegisterStatuszSection("thread_pool", [] {
+    ThreadPool::PoolStats stats = ThreadPool::GlobalStats();
+    JsonValue section = JsonValue::Object();
+    section.Set("target_threads", JsonValue::Number(static_cast<double>(stats.target_threads)));
+    section.Set("workers", JsonValue::Number(static_cast<double>(stats.workers)));
+    section.Set("queue_depth", JsonValue::Number(static_cast<double>(stats.queue_depth)));
+    section.Set("active", JsonValue::Number(static_cast<double>(stats.active)));
+    section.Set("submitted", JsonValue::Number(static_cast<double>(stats.submitted)));
+    section.Set("executed", JsonValue::Number(static_cast<double>(stats.executed)));
+    return section;
+  });
+  return true;
+}();
 
 std::mutex& GlobalMutex() {
   static std::mutex mutex;
@@ -46,15 +66,22 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  static obs::Counter& submitted = obs::MetricsRegistry::Global().counter("exec.pool.submitted");
+  static obs::Gauge& depth = obs::MetricsRegistry::Global().gauge("exec.pool.queue_depth");
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
+    depth.Set(static_cast<double>(queue_.size()));
   }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  submitted.Increment();
   wake_.notify_one();
 }
 
 void ThreadPool::WorkerLoop() {
   static obs::Counter& executed = obs::MetricsRegistry::Global().counter("exec.pool.tasks");
+  static obs::Gauge& depth = obs::MetricsRegistry::Global().gauge("exec.pool.queue_depth");
+  static obs::Gauge& active = obs::MetricsRegistry::Global().gauge("exec.pool.active_workers");
   for (;;) {
     std::function<void()> task;
     {
@@ -63,10 +90,38 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stopping_ with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
+      depth.Set(static_cast<double>(queue_.size()));
     }
+    active_.fetch_add(1, std::memory_order_relaxed);
+    active.Add(1.0);
     task();
+    active_.fetch_sub(1, std::memory_order_relaxed);
+    active.Add(-1.0);
+    executed_.fetch_add(1, std::memory_order_relaxed);
     executed.Increment();
   }
+}
+
+ThreadPool::PoolStats ThreadPool::stats() const {
+  PoolStats stats;
+  stats.workers = workers_.size();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.queue_depth = queue_.size();
+  }
+  stats.active = active_.load(std::memory_order_relaxed);
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.executed = executed_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+ThreadPool::PoolStats ThreadPool::GlobalStats() {
+  std::lock_guard<std::mutex> lock(GlobalMutex());
+  auto& slot = GlobalSlot();
+  PoolStats stats;
+  if (slot) stats = slot->stats();
+  stats.target_threads = ResolveTarget(GlobalTarget());
+  return stats;
 }
 
 ThreadPool& ThreadPool::Global() {

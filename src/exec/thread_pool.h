@@ -1,8 +1,10 @@
 #ifndef PPDP_EXEC_THREAD_POOL_H_
 #define PPDP_EXEC_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -37,6 +39,26 @@ class ThreadPool {
   /// Enqueues a task for any idle worker.
   void Submit(std::function<void()> task);
 
+  /// Live utilization of one pool instance — what /metrics gauges and
+  /// /statusz report. Consistent enough for monitoring: queue_depth is read
+  /// under the queue lock, the counters are relaxed atomics.
+  struct PoolStats {
+    size_t target_threads = 0;  ///< configured total width (workers + caller)
+    size_t workers = 0;         ///< pool threads actually running
+    size_t queue_depth = 0;     ///< tasks waiting for a worker
+    size_t active = 0;          ///< tasks currently executing on workers
+    uint64_t submitted = 0;     ///< tasks ever enqueued
+    uint64_t executed = 0;      ///< tasks finished by workers
+  };
+  PoolStats stats() const;
+
+  /// Stats of the global pool, taken under the same lock SetGlobalThreads
+  /// holds while resizing — so a telemetry scrape can never read a pool
+  /// that a concurrent resize is tearing down (the race the plain
+  /// `Global().stats()` pattern would have). A not-yet-started pool reports
+  /// zero workers with the configured target.
+  static PoolStats GlobalStats();
+
   /// The process-wide pool, created on first use with
   /// SetGlobalThreads()'s target (default: hardware concurrency). The
   /// returned reference stays valid until the next SetGlobalThreads call
@@ -56,11 +78,14 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable wake_;
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> executed_{0};
+  std::atomic<size_t> active_{0};
 };
 
 }  // namespace ppdp::exec

@@ -89,6 +89,7 @@ FaultInjector::PointState& FaultInjector::StateFor(const std::string& point) {
     // stream a point sees does not depend on which other points exist or
     // when they were first hit.
     it = points_.emplace(point, PointState(Rng(plan_.seed).Split(PointHash(point)))).first;
+    it->second.fired_counter = &obs::MetricsRegistry::Global().counter("fault.fired." + point);
   }
   return it->second;
 }
@@ -97,6 +98,11 @@ FaultDecision FaultInjector::Evaluate(const std::string& point, FaultMask mask) 
   if (!armed_.load(std::memory_order_relaxed)) return {};
   static obs::Counter& fired_metric = obs::MetricsRegistry::Global().counter("fault.fired");
   static obs::Counter& eval_metric = obs::MetricsRegistry::Global().counter("fault.evaluations");
+  static obs::Counter& drops_metric = obs::MetricsRegistry::Global().counter("fault.drops");
+  static obs::Counter& dups_metric = obs::MetricsRegistry::Global().counter("fault.duplicates");
+  static obs::Counter& corrupt_metric =
+      obs::MetricsRegistry::Global().counter("fault.corruptions");
+  static obs::Counter& delay_metric = obs::MetricsRegistry::Global().counter("fault.delays");
 
   std::lock_guard<std::mutex> lock(mutex_);
   if (!armed_.load(std::memory_order_relaxed)) return {};  // lost a Disarm race
@@ -123,22 +129,27 @@ FaultDecision FaultInjector::Evaluate(const std::string& point, FaultMask mask) 
     case FaultKind::kCorrupt:
       decision.corrupt_bit = static_cast<uint32_t>(u_magnitude * 64.0);
       ++state.stats.corruptions;
+      corrupt_metric.Increment();
       break;
     case FaultKind::kDelay:
       decision.delay_ms = u_magnitude * plan_.max_delay_ms;
       ++state.stats.delays;
+      delay_metric.Increment();
       break;
     case FaultKind::kDrop:
       ++state.stats.drops;
+      drops_metric.Increment();
       break;
     case FaultKind::kDuplicate:
       ++state.stats.duplicates;
+      dups_metric.Increment();
       break;
     case FaultKind::kNone:
       break;
   }
   ++state.stats.fired;
   fired_metric.Increment();
+  if (state.fired_counter != nullptr) state.fired_counter->Increment();
   {
     // Every fired decision goes to the flight recorder: a chaos postmortem
     // names the exact fault points (and evaluation indices) that hit.

@@ -12,6 +12,10 @@
 #include "common/status.h"
 #include "common/table.h"
 
+namespace ppdp::obs {
+class Counter;
+}  // namespace ppdp::obs
+
 namespace ppdp::fault {
 
 /// What an armed failure point does to the operation passing through it.
@@ -130,6 +134,9 @@ class FaultInjector {
   struct PointState {
     Rng rng;
     PointStats stats;
+    /// Per-point "fault.fired.<point>" counter, resolved once at
+    /// registration so the fire path pays one atomic add.
+    obs::Counter* fired_counter = nullptr;
     explicit PointState(Rng r) : rng(std::move(r)) {}
   };
 

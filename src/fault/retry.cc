@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace ppdp::fault {
 
 Status RetryPolicy::Validate() const {
@@ -26,16 +28,30 @@ Status RetryPolicy::Validate() const {
 }
 
 double RetryPolicy::BackoffMs(uint64_t attempt, Rng& rng) const {
+  // Live chaos visibility: every computed backoff is tallied in the global
+  // registry so /metrics shows retry pressure while a run is in flight
+  // (the flight recorder only keeps the most recent events).
+  static obs::Counter& backoffs = obs::MetricsRegistry::Global().counter("retry.backoffs");
+  static obs::Gauge& backoff_total =
+      obs::MetricsRegistry::Global().gauge("retry.backoff_ms_total");
   double base = initial_backoff_ms;
   for (uint64_t i = 0; i < attempt && base < max_backoff_ms; ++i) base *= backoff_multiplier;
   base = std::min(base, max_backoff_ms);
   const double factor = 1.0 - jitter + 2.0 * jitter * rng.UniformReal();
-  return base * factor;
+  const double backoff = base * factor;
+  backoffs.Increment();
+  backoff_total.Add(backoff);
+  return backoff;
 }
 
 bool RetryPolicy::AllowsAttempt(uint64_t attempts, double elapsed_ms) const {
-  if (attempts >= max_attempts) return false;
-  if (deadline_ms > 0.0 && elapsed_ms >= deadline_ms) return false;
+  static obs::Counter& allowed = obs::MetricsRegistry::Global().counter("retry.attempts");
+  static obs::Counter& exhausted = obs::MetricsRegistry::Global().counter("retry.exhausted");
+  if (attempts >= max_attempts || (deadline_ms > 0.0 && elapsed_ms >= deadline_ms)) {
+    exhausted.Increment();
+    return false;
+  }
+  allowed.Increment();
   return true;
 }
 

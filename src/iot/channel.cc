@@ -112,6 +112,34 @@ Status ResilientChannel::Send(const PerturbedReading& reading) {
   obs::TraceSpan span("channel.send");
   static obs::Counter& retries_metric = obs::MetricsRegistry::Global().counter("channel.retries");
   static obs::Counter& gave_up_metric = obs::MetricsRegistry::Global().counter("channel.gave_up");
+  static obs::Counter& attempts_metric =
+      obs::MetricsRegistry::Global().counter("channel.attempts");
+  static obs::Gauge& in_flight_gauge = obs::MetricsRegistry::Global().gauge("channel.in_flight");
+  static obs::Gauge& retransmits_gauge =
+      obs::MetricsRegistry::Global().gauge("channel.retransmits");
+  static obs::Gauge& dedup_gauge = obs::MetricsRegistry::Global().gauge("channel.dedup_hits");
+  static obs::Gauge& virtual_ms_gauge =
+      obs::MetricsRegistry::Global().gauge("channel.virtual_ms");
+
+  // Live in-flight count across every channel in the process: +1 while this
+  // reading is unacknowledged, decremented on every exit path below. The
+  // guard also refreshes the last-write-wins transport gauges so a scrape
+  // between Send calls sees this channel's running totals.
+  in_flight_gauge.Add(1.0);
+  struct InFlightGuard {
+    obs::Gauge& in_flight;
+    obs::Gauge& retransmits;
+    obs::Gauge& dedup;
+    obs::Gauge& virtual_ms;
+    const ResilientChannel* channel;
+    ~InFlightGuard() {
+      in_flight.Add(-1.0);
+      retransmits.Set(static_cast<double>(channel->report().retries));
+      dedup.Set(static_cast<double>(channel->report().dedup_hits));
+      virtual_ms.Set(channel->VirtualNowMs());
+    }
+  } in_flight{in_flight_gauge, retransmits_gauge, dedup_gauge, virtual_ms_gauge, this};
+  attempts_metric.Increment();
 
   Envelope envelope;
   envelope.device = device_;

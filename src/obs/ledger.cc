@@ -1,5 +1,6 @@
 #include "obs/ledger.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -9,14 +10,69 @@
 
 namespace ppdp::obs {
 
+namespace {
+
+/// Live-ledger registry backing PrivacyLedger::SnapshotAll — the process's
+/// per-entity budget view. Creation order is preserved; destruction
+/// unregisters, so the telemetry server can never dereference a dead
+/// ledger.
+struct LedgerRegistry {
+  std::mutex mutex;
+  std::vector<PrivacyLedger*> live;
+  uint64_t created = 0;
+
+  static LedgerRegistry& Global() {
+    static LedgerRegistry* registry = new LedgerRegistry();  // intentionally leaked
+    return *registry;
+  }
+};
+
+}  // namespace
+
 PrivacyLedger::PrivacyLedger(double budget) : budget_(budget) {
   PPDP_CHECK(budget > 0.0) << "privacy budget must be positive, got " << budget;
+  LedgerRegistry& registry = LedgerRegistry::Global();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  name_ = "ledger" + std::to_string(registry.created++);
+  registry.live.push_back(this);
 }
 
 PrivacyLedger::PrivacyLedger(double budget, std::function<Status(double)> enforcer)
-    : budget_(budget), enforcer_(std::move(enforcer)) {
-  PPDP_CHECK(budget > 0.0) << "privacy budget must be positive, got " << budget;
-  PPDP_CHECK(enforcer_ != nullptr) << "enforcer must be callable";
+    : PrivacyLedger(budget) {
+  PPDP_CHECK(enforcer != nullptr) << "enforcer must be callable";
+  enforcer_ = std::move(enforcer);
+}
+
+PrivacyLedger::~PrivacyLedger() {
+  LedgerRegistry& registry = LedgerRegistry::Global();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = std::find(registry.live.begin(), registry.live.end(), this);
+  if (it != registry.live.end()) registry.live.erase(it);
+}
+
+void PrivacyLedger::SetName(std::string name) {
+  Gauge& gauge =
+      MetricsRegistry::Global().gauge("ledger." + name + ".remaining_epsilon");
+  std::lock_guard<std::mutex> lock(mutex_);
+  name_ = std::move(name);
+  remaining_gauge_ = &gauge;
+  remaining_gauge_->Set(budget_ - spent_);
+}
+
+std::string PrivacyLedger::name() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return name_;
+}
+
+std::vector<std::pair<std::string, PrivacyLedger::BudgetSnapshot>> PrivacyLedger::SnapshotAll() {
+  LedgerRegistry& registry = LedgerRegistry::Global();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::vector<std::pair<std::string, BudgetSnapshot>> snapshots;
+  snapshots.reserve(registry.live.size());
+  for (const PrivacyLedger* ledger : registry.live) {
+    snapshots.emplace_back(ledger->name(), ledger->snapshot());
+  }
+  return snapshots;
 }
 
 Status PrivacyLedger::Spend(std::string_view label, std::string_view mechanism, double epsilon,
@@ -53,6 +109,7 @@ Status PrivacyLedger::Spend(std::string_view label, std::string_view mechanism, 
     return verdict;
   }
   spent_ += total;
+  if (remaining_gauge_ != nullptr) remaining_gauge_->Set(budget_ - spent_);
   spends.Increment(invocations);
   for (Entry& entry : entries_) {
     if (entry.label == label && entry.mechanism == mechanism) {

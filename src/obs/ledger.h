@@ -6,6 +6,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -63,6 +64,21 @@ class PrivacyLedger {
   };
   BudgetSnapshot snapshot() const;
 
+  /// Names this ledger for live telemetry: it appears under `name` in
+  /// /statusz snapshots and exports a `ledger.<name>.remaining_epsilon`
+  /// gauge updated on every Spend (the gauge reference is resolved once
+  /// here, so the spend path pays a single atomic store). Unnamed ledgers
+  /// still show up in SnapshotAll under an auto-assigned "ledger<N>" but
+  /// register no gauge — short-lived ledgers in sweep loops would otherwise
+  /// grow the metric registry without bound.
+  void SetName(std::string name);
+  std::string name() const;
+
+  /// Live (name, budget snapshot) of every PrivacyLedger currently alive in
+  /// the process, in creation order — the per-entity budget view /statusz
+  /// serves mid-run.
+  static std::vector<std::pair<std::string, BudgetSnapshot>> SnapshotAll();
+
   /// One aggregated line of the audit trail.
   struct Entry {
     std::string label;
@@ -77,10 +93,16 @@ class PrivacyLedger {
   /// plus a TOTAL row.
   Table Summary() const;
 
+  ~PrivacyLedger();
+  PrivacyLedger(const PrivacyLedger&) = delete;
+  PrivacyLedger& operator=(const PrivacyLedger&) = delete;
+
  private:
   double budget_;
   std::function<Status(double)> enforcer_;  ///< empty = internal composition
   mutable std::mutex mutex_;
+  std::string name_;              ///< auto "ledger<N>" until SetName
+  class Gauge* remaining_gauge_ = nullptr;  ///< set by SetName; guarded by mutex_
   double spent_ = 0.0;
   uint64_t rejected_ = 0;
   std::vector<Entry> entries_;

@@ -1,7 +1,14 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
+#include <map>
+#include <set>
 #include <sstream>
 
 #include "common/logging.h"
@@ -56,6 +63,17 @@ double Histogram::max() const {
 std::vector<uint64_t> Histogram::bucket_counts() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return counts_;
+}
+
+std::vector<uint64_t> Histogram::CumulativeBucketCounts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<uint64_t> cumulative(counts_.size(), 0);
+  uint64_t running = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    running += counts_[i];
+    cumulative[i] = running;
+  }
+  return cumulative;
 }
 
 double Histogram::ApproxQuantile(double q) const {
@@ -113,6 +131,21 @@ void Histogram::Reset() {
   sum_ = 0.0;
   min_ = 0.0;
   max_ = 0.0;
+}
+
+std::string SanitizeMetricName(std::string_view name) {
+  auto valid = [](char c, bool first) {
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':') return true;
+    return !first && c >= '0' && c <= '9';
+  };
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (name.empty()) return "_";
+  if (!valid(name[0], /*first=*/true) && valid(name[0], /*first=*/false)) out += '_';
+  for (size_t i = 0; i < name.size(); ++i) {
+    out += valid(name[i], /*first=*/false) ? name[i] : '_';
+  }
+  return out;
 }
 
 const std::vector<double>& DefaultLatencyBoundsSeconds() {
@@ -218,6 +251,67 @@ void AppendJsonString(std::string& out, const std::string& s) {
 
 }  // namespace
 
+namespace {
+
+/// Prometheus sample-value formatting: shortest %g form wide enough to
+/// round-trip the counts/bounds this repo emits, with the spec's spellings
+/// for the non-finite values.
+std::string PromDouble(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", v);
+  return buffer;
+}
+
+void AppendHelpType(std::string& out, const std::string& name, const std::string& original,
+                    const char* type) {
+  out += "# HELP " + name + " ppdp metric " + original + "\n";
+  out += "# TYPE " + name + " ";
+  out += type;
+  out += "\n";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  std::set<std::string> emitted;
+  auto claim = [&emitted](const std::string& name) { return emitted.insert(name).second; };
+  for (const auto& [name, c] : counters_) {
+    const std::string prom = SanitizeMetricName(name);
+    if (!claim(prom)) continue;
+    AppendHelpType(out, prom, name, "counter");
+    out += prom + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string prom = SanitizeMetricName(name);
+    if (!claim(prom)) continue;
+    AppendHelpType(out, prom, name, "gauge");
+    out += prom + " " + PromDouble(g->value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string prom = SanitizeMetricName(name);
+    if (!claim(prom)) continue;
+    AppendHelpType(out, prom, name, "histogram");
+    const std::vector<double>& bounds = h->bounds();
+    // One consistent read: cumulative counts and the matching total. The
+    // +Inf bucket is the last cumulative entry, so _count always agrees
+    // with the bucket series even if observations land mid-render.
+    std::vector<uint64_t> cumulative = h->CumulativeBucketCounts();
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      out += prom + "_bucket{le=\"" + PromDouble(bounds[i]) + "\"} " +
+             std::to_string(cumulative[i]) + "\n";
+    }
+    const uint64_t total = cumulative.empty() ? 0 : cumulative.back();
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(total) + "\n";
+    out += prom + "_sum " + PromDouble(h->sum()) + "\n";
+    out += prom + "_count " + std::to_string(total) + "\n";
+  }
+  return out;
+}
+
 std::string MetricsRegistry::ToJson() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out = "{";
@@ -274,6 +368,252 @@ void MetricsRegistry::Reset() {
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();
+}
+
+namespace {
+
+bool IsValidMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  auto valid = [](char c, bool first) {
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':') return true;
+    return !first && c >= '0' && c <= '9';
+  };
+  for (size_t i = 0; i < name.size(); ++i) {
+    if (!valid(name[i], i == 0)) return false;
+  }
+  return true;
+}
+
+bool ParsePromValue(std::string_view token, double* out) {
+  if (token == "NaN") {
+    *out = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  if (token == "+Inf" || token == "Inf") {
+    *out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (token == "-Inf") {
+    *out = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (token.empty()) return false;
+  std::string copy(token);
+  char* end = nullptr;
+  errno = 0;
+  double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size() || errno == ERANGE) return false;
+  *out = value;
+  return true;
+}
+
+/// Splits a `{...}` label block into (name, value) pairs; false on syntax
+/// errors (unterminated strings, bad label names, missing '=').
+bool ParseLabels(std::string_view block,
+                 std::vector<std::pair<std::string, std::string>>* labels) {
+  size_t i = 0;
+  while (i < block.size()) {
+    size_t eq = block.find('=', i);
+    if (eq == std::string_view::npos) return false;
+    std::string name(block.substr(i, eq - i));
+    if (!IsValidMetricName(name) || name.find(':') != std::string::npos) return false;
+    if (eq + 1 >= block.size() || block[eq + 1] != '"') return false;
+    std::string value;
+    size_t j = eq + 2;
+    for (; j < block.size() && block[j] != '"'; ++j) {
+      if (block[j] == '\\') {
+        if (j + 1 >= block.size()) return false;
+        ++j;
+      }
+      value += block[j];
+    }
+    if (j >= block.size()) return false;  // unterminated value
+    labels->emplace_back(std::move(name), std::move(value));
+    i = j + 1;
+    if (i < block.size()) {
+      if (block[i] != ',') return false;
+      ++i;
+    }
+  }
+  return true;
+}
+
+/// Per-histogram completeness bookkeeping while scanning samples.
+struct HistogramSeries {
+  std::vector<double> les;
+  std::vector<double> bucket_values;
+  bool has_sum = false;
+  bool has_count = false;
+  double count_value = 0.0;
+};
+
+}  // namespace
+
+Status ValidatePrometheusText(std::string_view text) {
+  if (text.empty()) return Status::Ok();  // an empty registry is a valid scrape
+  if (text.back() != '\n') return Status::InvalidArgument("exposition must end with a newline");
+
+  std::map<std::string, std::string> type_of;     // metric -> declared TYPE
+  std::map<std::string, bool> has_help;           // metric -> HELP seen
+  std::map<std::string, HistogramSeries> series;  // histogram bookkeeping
+  std::vector<std::string> sample_order;          // metrics in first-sample order
+  std::string current;                            // metric of the open sample block
+
+  auto fail = [](size_t line_no, const std::string& why) {
+    return Status::InvalidArgument("exposition line " + std::to_string(line_no) + ": " + why);
+  };
+
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    ++line_no;
+    size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+
+    if (line[0] == '#') {
+      bool is_help = line.rfind("# HELP ", 0) == 0;
+      bool is_type = line.rfind("# TYPE ", 0) == 0;
+      if (!is_help && !is_type) continue;  // free-form comment
+      std::string_view rest = line.substr(7);
+      size_t space = rest.find(' ');
+      std::string name(rest.substr(0, space));
+      if (!IsValidMetricName(name)) return fail(line_no, "bad metric name in comment: " + name);
+      if (is_help) {
+        if (has_help[name]) return fail(line_no, "duplicate HELP for " + name);
+        has_help[name] = true;
+      } else {
+        std::string type(space == std::string_view::npos ? "" : rest.substr(space + 1));
+        if (type != "counter" && type != "gauge" && type != "histogram" && type != "summary" &&
+            type != "untyped") {
+          return fail(line_no, "unknown TYPE '" + type + "' for " + name);
+        }
+        if (type_of.count(name)) return fail(line_no, "duplicate TYPE for " + name);
+        for (const std::string& seen : sample_order) {
+          if (seen == name) return fail(line_no, "TYPE for " + name + " after its samples");
+        }
+        type_of[name] = type;
+      }
+      continue;
+    }
+
+    // Sample line: name[{labels}] value [timestamp]
+    size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string_view::npos) return fail(line_no, "sample has no value");
+    std::string sample_name(line.substr(0, name_end));
+    if (!IsValidMetricName(sample_name)) {
+      return fail(line_no, "bad sample name: " + sample_name);
+    }
+
+    std::vector<std::pair<std::string, std::string>> labels;
+    size_t value_start = name_end;
+    if (line[name_end] == '{') {
+      size_t close = line.find('}', name_end);
+      if (close == std::string_view::npos) return fail(line_no, "unterminated label block");
+      if (!ParseLabels(line.substr(name_end + 1, close - name_end - 1), &labels)) {
+        return fail(line_no, "malformed labels: " + sample_name);
+      }
+      value_start = close + 1;
+    }
+    while (value_start < line.size() && line[value_start] == ' ') ++value_start;
+    std::string_view value_part = line.substr(value_start);
+    size_t value_end = value_part.find(' ');
+    double value = 0.0;
+    if (!ParsePromValue(value_part.substr(0, value_end), &value)) {
+      return fail(line_no, "unparseable value for " + sample_name);
+    }
+    if (value_end != std::string_view::npos) {
+      // Optional timestamp: a (signed) integer of milliseconds.
+      std::string_view ts = value_part.substr(value_end + 1);
+      double ts_value = 0.0;
+      if (!ParsePromValue(ts, &ts_value)) return fail(line_no, "bad timestamp");
+    }
+
+    // Resolve the declared metric this sample belongs to: exact name, or a
+    // histogram child series (_bucket/_sum/_count).
+    std::string metric = sample_name;
+    bool is_bucket = false, is_sum = false, is_count = false;
+    if (!type_of.count(metric)) {
+      for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+        size_t len = std::char_traits<char>::length(suffix);
+        if (sample_name.size() > len &&
+            sample_name.compare(sample_name.size() - len, len, suffix) == 0) {
+          std::string base = sample_name.substr(0, sample_name.size() - len);
+          auto it = type_of.find(base);
+          if (it != type_of.end() && (it->second == "histogram" || it->second == "summary")) {
+            metric = base;
+            is_bucket = suffix[1] == 'b';
+            is_sum = suffix[1] == 's';
+            is_count = suffix[1] == 'c';
+            break;
+          }
+        }
+      }
+    }
+    if (!type_of.count(metric)) return fail(line_no, "sample without TYPE: " + sample_name);
+    if (!has_help[metric]) return fail(line_no, "sample without HELP: " + sample_name);
+    const std::string& type = type_of[metric];
+    const bool child_series = is_bucket || is_sum || is_count;
+    if (type == "histogram" && !child_series) {
+      return fail(line_no, "sample name does not match TYPE of " + metric);
+    }
+    if (child_series && type != "histogram" && type != "summary") {
+      return fail(line_no, "child series on non-histogram metric " + metric);
+    }
+
+    if (metric != current) {
+      for (const std::string& seen : sample_order) {
+        if (seen == metric) {
+          return fail(line_no, "samples of " + metric + " are not contiguous");
+        }
+      }
+      sample_order.push_back(metric);
+      current = metric;
+    }
+
+    if (type == "counter" && value < 0.0) return fail(line_no, "negative counter " + metric);
+    if (type == "histogram") {
+      HistogramSeries& h = series[metric];
+      if (is_bucket) {
+        double le = 0.0;
+        bool found = false;
+        for (const auto& [label_name, label_value] : labels) {
+          if (label_name != "le") continue;
+          if (!ParsePromValue(label_value, &le)) return fail(line_no, "bad le bucket bound");
+          found = true;
+        }
+        if (!found) return fail(line_no, metric + "_bucket without an le label");
+        if (!h.les.empty() && !(le > h.les.back())) {
+          return fail(line_no, metric + " le bounds are not increasing");
+        }
+        if (!h.bucket_values.empty() && value < h.bucket_values.back()) {
+          return fail(line_no, metric + " bucket counts are not cumulative");
+        }
+        h.les.push_back(le);
+        h.bucket_values.push_back(value);
+      } else if (is_sum) {
+        h.has_sum = true;
+      } else {
+        h.has_count = true;
+        h.count_value = value;
+      }
+    }
+  }
+
+  for (const auto& [metric, h] : series) {
+    if (h.les.empty() || !std::isinf(h.les.back()) || h.les.back() < 0.0) {
+      return Status::InvalidArgument("histogram " + metric + " lacks an le=\"+Inf\" bucket");
+    }
+    if (!h.has_sum || !h.has_count) {
+      return Status::InvalidArgument("histogram " + metric + " lacks _sum/_count");
+    }
+    if (h.count_value != h.bucket_values.back()) {
+      return Status::InvalidArgument("histogram " + metric +
+                                     " _count disagrees with its +Inf bucket");
+    }
+  }
+  return Status::Ok();
 }
 
 }  // namespace ppdp::obs

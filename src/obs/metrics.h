@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -65,6 +66,12 @@ class Histogram {
   /// bucket_counts()[i] pairs with bounds()[i]; the final entry is the
   /// overflow bucket.
   std::vector<uint64_t> bucket_counts() const;
+  /// Prometheus-style cumulative counts: entry i is the number of
+  /// observations <= bounds()[i]; the final entry is the "+Inf" bucket and
+  /// always equals count(). (bucket_counts() is per-bucket, which is what
+  /// the JSON exports keep emitting; the text exposition needs `le`
+  /// cumulative semantics.)
+  std::vector<uint64_t> CumulativeBucketCounts() const;
   /// Linear-interpolated quantile estimate from the buckets, q in [0, 1].
   double ApproxQuantile(double q) const;
   /// Best available quantile: exact (linear interpolation over the retained
@@ -93,6 +100,12 @@ class Histogram {
 /// Default latency buckets in seconds: 10µs .. 10s, one per decade plus
 /// half-decades — wide enough for both per-iteration and per-phase timings.
 const std::vector<double>& DefaultLatencyBoundsSeconds();
+
+/// Maps an internal metric name (dotted, e.g. "classify.ica.rounds") onto
+/// the Prometheus name grammar [a-zA-Z_:][a-zA-Z0-9_:]*: every invalid
+/// character becomes '_', and a leading digit gets a '_' prefix. Empty
+/// input becomes "_".
+std::string SanitizeMetricName(std::string_view name);
 
 /// Process-wide named-metric registry. Lookup creates on first use and
 /// returns a stable reference (entries are never removed; Reset() zeroes
@@ -138,6 +151,15 @@ class MetricsRegistry {
   std::string ToJson() const;
   Status WriteJson(const std::string& path) const;
 
+  /// Prometheus text exposition format 0.0.4: every metric gets a
+  /// `# HELP`/`# TYPE` pair followed by its samples, with names passed
+  /// through SanitizeMetricName. Histograms render cumulative
+  /// `_bucket{le="..."}` series (terminated by `le="+Inf"`) plus `_sum` and
+  /// `_count`. When two internal names sanitize to the same exposition
+  /// name, the first (in name-sorted order) wins and later ones are
+  /// skipped — duplicate series would make the whole scrape invalid.
+  std::string ToPrometheus() const;
+
   /// Zeroes every metric (registrations survive). For tests and benches.
   void Reset();
 
@@ -147,6 +169,17 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
+
+/// Strict structural check of a Prometheus text-exposition-0.0.4 document,
+/// as produced by MetricsRegistry::ToPrometheus and consumed by a scraper:
+/// every sample name obeys the name grammar and is preceded by `# HELP` +
+/// `# TYPE` lines, a metric's samples are contiguous and typed at most
+/// once, sample values parse as doubles (NaN/+Inf/-Inf spellings allowed),
+/// and each histogram's `_bucket{le=...}` series is cumulative
+/// (non-decreasing), ends at `le="+Inf"`, and agrees with its `_sum` /
+/// `_count` samples. Shared by telemetry_test and the ppdp_promcheck CI
+/// gate so a scrape that Prometheus would reject fails fast.
+Status ValidatePrometheusText(std::string_view text);
 
 }  // namespace ppdp::obs
 

@@ -1,0 +1,118 @@
+#include "obs/sampler.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace ppdp::obs {
+
+TimeSeriesSampler::TimeSeriesSampler(Options options) : options_(std::move(options)) {}
+
+TimeSeriesSampler::~TimeSeriesSampler() { Stop(); }
+
+Status TimeSeriesSampler::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("sampler already started");
+  }
+  if (options_.period_ms <= 0) {
+    return Status::InvalidArgument("sampler period_ms must be positive");
+  }
+  if (options_.path.empty()) {
+    return Status::InvalidArgument("sampler output path must be set");
+  }
+  std::FILE* file = std::fopen(options_.path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::Unavailable("cannot open timeseries file: " + options_.path);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    file_ = file;
+    stop_requested_ = false;
+  }
+  start_seconds_ = MonotonicSeconds();
+  samples_written_.store(0, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  WriteSample();  // a run shorter than one period still gets a start point
+  thread_ = std::thread([this] { Loop(); });
+  return Status::Ok();
+}
+
+void TimeSeriesSampler::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  WriteSample();  // final point: the series always covers the full run
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) {
+    std::fclose(static_cast<std::FILE*>(file_));
+    file_ = nullptr;
+  }
+}
+
+void TimeSeriesSampler::Loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    if (cv_.wait_for(lock, std::chrono::milliseconds(options_.period_ms),
+                     [this] { return stop_requested_; })) {
+      break;  // Stop writes the final sample after joining us
+    }
+    lock.unlock();
+    WriteSample();
+    lock.lock();
+  }
+}
+
+void TimeSeriesSampler::WriteSample() {
+  uint64_t sample = samples_written_.load(std::memory_order_relaxed);
+  JsonValue doc = SampleDocument(sample, MonotonicSeconds() - start_seconds_);
+  std::string line = doc.Dump();
+  line += '\n';
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return;
+  std::FILE* file = static_cast<std::FILE*>(file_);
+  std::fwrite(line.data(), 1, line.size(), file);
+  std::fflush(file);  // lines must be visible to a tail/scrape mid-run
+  samples_written_.store(sample + 1, std::memory_order_release);
+}
+
+JsonValue TimeSeriesSampler::SampleDocument(uint64_t sample, double t_seconds) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", JsonValue::String("ppdp.timeseries.v1"));
+  doc.Set("sample", JsonValue::Number(static_cast<double>(sample)));
+  doc.Set("t_seconds", JsonValue::Number(t_seconds));
+
+  JsonValue counters = JsonValue::Object();
+  for (const auto& [name, value] : registry.CounterValues()) {
+    counters.Set(name, JsonValue::Number(static_cast<double>(value)));
+  }
+  doc.Set("counters", counters);
+
+  JsonValue gauges = JsonValue::Object();
+  for (const auto& [name, value] : registry.GaugeValues()) {
+    gauges.Set(name, JsonValue::Number(value));
+  }
+  doc.Set("gauges", gauges);
+
+  JsonValue histograms = JsonValue::Object();
+  for (const MetricsRegistry::HistogramSummary& summary : registry.HistogramSummaries()) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("count", JsonValue::Number(static_cast<double>(summary.count)));
+    entry.Set("mean", JsonValue::Number(summary.mean));
+    entry.Set("p50", JsonValue::Number(summary.p50));
+    entry.Set("p95", JsonValue::Number(summary.p95));
+    entry.Set("max", JsonValue::Number(summary.max));
+    histograms.Set(summary.name, entry);
+  }
+  doc.Set("histograms", histograms);
+  return doc;
+}
+
+}  // namespace ppdp::obs

@@ -1,0 +1,75 @@
+#ifndef PPDP_OBS_SAMPLER_H_
+#define PPDP_OBS_SAMPLER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace ppdp::obs {
+
+/// Background thread that snapshots the global MetricsRegistry every
+/// `period_ms` into an append-only JSONL file, one "ppdp.timeseries.v1"
+/// document per line — the offline companion to the live /metrics endpoint
+/// (a scrape shows *now*; the series shows *how it got there*).
+///
+/// Start() writes an immediate first sample and Stop() writes a final one,
+/// so even a run shorter than the period yields a usable two-point series.
+/// Sampling never blocks the instrumented code: it reads the registry's
+/// regular snapshot accessors on its own thread.
+class TimeSeriesSampler {
+ public:
+  struct Options {
+    std::string path;        ///< output JSONL file (truncated at Start)
+    int period_ms = 500;     ///< snapshot interval; must be positive
+  };
+
+  explicit TimeSeriesSampler(Options options);
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+  /// Stops the sampler if still running.
+  ~TimeSeriesSampler();
+
+  /// Opens the output file, writes the first sample, and starts the
+  /// periodic thread. Calling Start twice is an error.
+  Status Start();
+
+  /// Writes one final sample, stops the thread, and closes the file.
+  /// Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// Samples written so far (including the Start and Stop samples).
+  uint64_t samples_written() const {
+    return samples_written_.load(std::memory_order_acquire);
+  }
+
+  /// One snapshot of the global registry as a "ppdp.timeseries.v1" document:
+  /// {"schema":...,"sample":N,"t_seconds":...,"counters":{name:value,...},
+  ///  "gauges":{...},"histograms":{name:{count,mean,p50,p95,max},...}}.
+  /// Exposed for tests; `sample` is the 0-based sequence number.
+  static JsonValue SampleDocument(uint64_t sample, double t_seconds);
+
+ private:
+  void Loop();
+  void WriteSample();  ///< appends one line; requires file open
+
+  Options options_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> samples_written_{0};
+  double start_seconds_ = 0.0;
+  std::mutex mutex_;  ///< guards stop_requested_ + the file handle
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  void* file_ = nullptr;  ///< FILE*; void* keeps <cstdio> out of the header
+  std::thread thread_;
+};
+
+}  // namespace ppdp::obs
+
+#endif  // PPDP_OBS_SAMPLER_H_

@@ -1,0 +1,374 @@
+#include "obs/telemetry_server.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/ledger.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace ppdp::obs {
+
+namespace {
+
+/// Registered /statusz extension sections (key -> provider).
+struct StatuszSections {
+  std::mutex mutex;
+  std::map<std::string, std::function<JsonValue()>> providers;
+
+  static StatuszSections& Global() {
+    static StatuszSections* sections = new StatuszSections();  // intentionally leaked
+    return *sections;
+  }
+};
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+std::string RenderResponse(int status, const std::string& content_type,
+                           const std::string& body) {
+  std::string response = "HTTP/1.1 " + std::to_string(status) + " " + StatusText(status) +
+                         "\r\nContent-Type: " + content_type +
+                         "\r\nContent-Length: " + std::to_string(body.size()) +
+                         "\r\nConnection: close\r\n\r\n";
+  response += body;
+  return response;
+}
+
+/// Writes the whole buffer; MSG_NOSIGNAL keeps a client that hung up from
+/// killing the process with SIGPIPE.
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer gone or socket shut down — nothing to salvage
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+void RegisterStatuszSection(const std::string& key, std::function<JsonValue()> provider) {
+  StatuszSections& sections = StatuszSections::Global();
+  std::lock_guard<std::mutex> lock(sections.mutex);
+  sections.providers[key] = std::move(provider);
+}
+
+void ClearStatuszSections() {
+  StatuszSections& sections = StatuszSections::Global();
+  std::lock_guard<std::mutex> lock(sections.mutex);
+  sections.providers.clear();
+}
+
+bool TelemetryDegraded() {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  if (registry.counter("channel.gave_up").value() > 0) return true;
+  if (registry.counter("iot.server.degraded_estimates").value() > 0) return true;
+  for (const auto& [name, snapshot] : PrivacyLedger::SnapshotAll()) {
+    if (snapshot.rejected > 0) return true;
+  }
+  return false;
+}
+
+TelemetryServer::TelemetryServer(Options options) : options_(std::move(options)) {}
+
+TelemetryServer::~TelemetryServer() { Stop(); }
+
+Status TelemetryServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("telemetry server already started");
+  }
+  if (options_.port < 0 || options_.port > 65535) {
+    return Status::InvalidArgument("telemetry port must be in [0, 65535]");
+  }
+  if (options_.max_connections < 1) {
+    return Status::InvalidArgument("telemetry max_connections must be >= 1");
+  }
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unavailable(std::string("telemetry socket(): ") + std::strerror(errno));
+  }
+  int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // introspection stays local
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Status::Unavailable(std::string("telemetry bind(): ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 16) != 0) {
+    Status status =
+        Status::Unavailable(std::string("telemetry listen(): ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    Status status =
+        Status::Unavailable(std::string("telemetry getsockname(): ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+
+  listen_fd_ = fd;
+  port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  start_seconds_ = MonotonicSeconds();
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  PPDP_LOG(INFO) << "telemetry server listening" << Field("port", port());
+  return Status::Ok();
+}
+
+void TelemetryServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  // Unblock the accept loop: poll() notices stopping_ within its timeout,
+  // and shutting the listening socket down makes any racing accept fail
+  // immediately instead of handing us one last connection.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Kick every in-flight connection out of its blocking read/write, then
+  // wait for the handlers to finish — no thread outlives Stop.
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto& connection : connections_) {
+      if (connection->fd >= 0) ::shutdown(connection->fd, SHUT_RDWR);
+    }
+  }
+  ReapConnections(/*all=*/true);
+  PPDP_LOG(INFO) << "telemetry server stopped";
+}
+
+void TelemetryServer::ReapConnections(bool all) {
+  std::list<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if (all || (*it)->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& connection : finished) {
+    if (connection->thread.joinable()) connection->thread.join();
+    // The fd is closed only here, after the join: the handler thread never
+    // touches Connection::fd's value, so Stop can safely shutdown() every
+    // still-listed connection without racing a close.
+    if (connection->fd >= 0) {
+      ::close(connection->fd);
+      connection->fd = -1;
+    }
+  }
+}
+
+void TelemetryServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (stopping_.load(std::memory_order_acquire)) break;
+    if (ready <= 0) continue;  // timeout or EINTR: re-check stopping_
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+
+    timeval timeout{};
+    timeout.tv_sec = static_cast<time_t>(options_.read_timeout_seconds);
+    timeout.tv_usec = static_cast<suseconds_t>(
+        (options_.read_timeout_seconds - static_cast<double>(timeout.tv_sec)) * 1e6);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+    ReapConnections(/*all=*/false);
+    size_t active;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      active = connections_.size();
+    }
+    if (active >= static_cast<size_t>(options_.max_connections)) {
+      // Fast-fail under load: a scrape storm gets an immediate 503 rather
+      // than an unbounded pile of handler threads.
+      SendAll(fd, RenderResponse(503, "text/plain; charset=utf-8",
+                                 "telemetry connection limit reached\n"));
+      ::close(fd);
+      continue;
+    }
+
+    auto connection = std::make_unique<Connection>();
+    connection->fd = fd;
+    Connection* raw = connection.get();
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(std::move(connection));
+    }
+    raw->thread = std::thread([this, raw] { HandleConnection(raw); });
+  }
+}
+
+void TelemetryServer::HandleConnection(Connection* connection) {
+  static Counter& scrapes = MetricsRegistry::Global().counter("telemetry.requests");
+  constexpr size_t kMaxRequestBytes = 8192;
+  std::string request;
+  char buffer[1024];
+  while (request.find("\r\n\r\n") == std::string::npos && request.size() < kMaxRequestBytes) {
+    ssize_t n = ::recv(connection->fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;  // EOF, timeout, or shutdown from Stop()
+    request.append(buffer, static_cast<size_t>(n));
+  }
+
+  const size_t header_end = request.find("\r\n\r\n");
+  if (header_end != std::string::npos) {
+    const size_t line_end = request.find("\r\n");
+    const std::string line = request.substr(0, line_end);
+    const size_t first_space = line.find(' ');
+    const size_t second_space =
+        first_space == std::string::npos ? std::string::npos : line.find(' ', first_space + 1);
+    std::string response;
+    if (first_space == std::string::npos || second_space == std::string::npos) {
+      response = RenderResponse(405, "text/plain; charset=utf-8", "malformed request line\n");
+    } else {
+      const std::string method = line.substr(0, first_space);
+      std::string path = line.substr(first_space + 1, second_space - first_space - 1);
+      const size_t query = path.find('?');
+      if (query != std::string::npos) path.resize(query);
+      if (method != "GET") {
+        response = RenderResponse(405, "text/plain; charset=utf-8", "only GET is supported\n");
+      } else {
+        int status = 200;
+        std::string content_type;
+        std::string body = HandlePath(path, &status, &content_type);
+        response = RenderResponse(status, content_type, body);
+        scrapes.Increment();
+      }
+    }
+    SendAll(connection->fd, response);
+  }
+
+  // ReapConnections closes the fd after joining this thread; closing here
+  // would race Stop()'s shutdown of the same descriptor.
+  ::shutdown(connection->fd, SHUT_RDWR);
+  connection->done.store(true, std::memory_order_release);
+}
+
+std::string TelemetryServer::HandlePath(const std::string& path, int* http_status,
+                                        std::string* content_type) const {
+  *http_status = 200;
+  if (path == "/metrics") {
+    *content_type = "text/plain; version=0.0.4; charset=utf-8";
+    return MetricsRegistry::Global().ToPrometheus();
+  }
+  if (path == "/healthz") {
+    *content_type = "text/plain; charset=utf-8";
+    return TelemetryDegraded() ? "degraded\n" : "ok\n";
+  }
+  if (path == "/statusz") {
+    *content_type = "application/json";
+    return StatuszDocument().Dump() + "\n";
+  }
+  if (path == "/flightz") {
+    *content_type = "application/json";
+    return FlightRecorder::Global().ToJson("flightz") + "\n";
+  }
+  if (path == "/" || path.empty()) {
+    *content_type = "text/plain; charset=utf-8";
+    return "ppdp telemetry endpoints:\n"
+           "  /metrics  Prometheus text exposition 0.0.4\n"
+           "  /healthz  liveness + degraded flag\n"
+           "  /statusz  live process status (JSON)\n"
+           "  /flightz  flight-recorder ring (JSON)\n";
+  }
+  *http_status = 404;
+  *content_type = "text/plain; charset=utf-8";
+  return "not found: " + path + "\n";
+}
+
+JsonValue TelemetryServer::StatuszDocument() const {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", JsonValue::String("ppdp.statusz.v1"));
+  doc.Set("uptime_seconds", JsonValue::Number(MonotonicSeconds() - start_seconds_));
+  doc.Set("degraded", JsonValue::Bool(TelemetryDegraded()));
+
+  RunReport::BuildInfo build = CurrentBuildInfo();
+  JsonValue build_json = JsonValue::Object();
+  build_json.Set("compiler", JsonValue::String(build.compiler));
+  build_json.Set("build_type", JsonValue::String(build.build_type));
+  build_json.Set("platform", JsonValue::String(build.platform));
+  build_json.Set("cxx_standard", JsonValue::Number(static_cast<double>(build.cxx_standard)));
+  doc.Set("build", build_json);
+
+  JsonValue flags = JsonValue::Object();
+  for (const auto& [key, value] : options_.flags) flags.Set(key, JsonValue::String(value));
+  doc.Set("flags", flags);
+  doc.Set("seed", JsonValue::Number(static_cast<double>(options_.seed)));
+  doc.Set("threads", JsonValue::Number(static_cast<double>(options_.threads)));
+
+  JsonValue ledgers = JsonValue::Array();
+  for (const auto& [name, snapshot] : PrivacyLedger::SnapshotAll()) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("name", JsonValue::String(name));
+    entry.Set("budget", JsonValue::Number(snapshot.budget));
+    entry.Set("spent", JsonValue::Number(snapshot.spent));
+    entry.Set("remaining", JsonValue::Number(snapshot.remaining));
+    entry.Set("rejected", JsonValue::Number(static_cast<double>(snapshot.rejected)));
+    ledgers.Append(std::move(entry));
+  }
+  doc.Set("ledgers", ledgers);
+
+  JsonValue spans = JsonValue::Array();
+  for (const ActiveSpanStack& stack : ActiveSpanStacks()) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("thread", JsonValue::Number(static_cast<double>(stack.thread)));
+    JsonValue names = JsonValue::Array();
+    for (const std::string& name : stack.spans) names.Append(JsonValue::String(name));
+    entry.Set("spans", names);
+    spans.Append(std::move(entry));
+  }
+  doc.Set("active_spans", spans);
+
+  {
+    StatuszSections& sections = StatuszSections::Global();
+    std::lock_guard<std::mutex> lock(sections.mutex);
+    for (const auto& [key, provider] : sections.providers) {
+      doc.Set(key, provider());
+    }
+  }
+
+  FlightRecorder& recorder = FlightRecorder::Global();
+  JsonValue flight = JsonValue::Object();
+  flight.Set("recorded", JsonValue::Number(static_cast<double>(recorder.total_recorded())));
+  flight.Set("retained", JsonValue::Number(static_cast<double>(recorder.size())));
+  flight.Set("dumped", JsonValue::Bool(recorder.dumped()));
+  doc.Set("flight", flight);
+  return doc;
+}
+
+}  // namespace ppdp::obs

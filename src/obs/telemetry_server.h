@@ -1,0 +1,122 @@
+#ifndef PPDP_OBS_TELEMETRY_SERVER_H_
+#define PPDP_OBS_TELEMETRY_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace ppdp::obs {
+
+/// Extra /statusz sections contributed by layers above obs (the exec thread
+/// pool registers itself here, the bench harness could add more) — obs
+/// serves them without linking against their libraries. Re-registering a
+/// key replaces the provider. Providers are called on a telemetry
+/// connection thread and must be thread-safe.
+void RegisterStatuszSection(const std::string& key, std::function<JsonValue()> provider);
+/// Removes every registered section (tests).
+void ClearStatuszSections();
+
+/// Process-health verdict backing /healthz: degraded when the chaos /
+/// budget machinery has already recorded user-visible damage — readings
+/// the ResilientChannel gave up on, loss-degraded aggregation estimates,
+/// or privacy-ledger spend rejections.
+bool TelemetryDegraded();
+
+/// A small, dependency-free HTTP/1.1 introspection server: blocking
+/// sockets, one thread per connection (bounded; excess connections are
+/// answered 503 immediately), loopback only, clean shutdown that unblocks
+/// in-flight reads. Endpoints:
+///
+///   /metrics  Prometheus text exposition 0.0.4 of the MetricsRegistry
+///   /healthz  "ok" / "degraded" liveness probe (TelemetryDegraded)
+///   /statusz  JSON: build metadata, verbatim flags, seed/threads, live
+///             per-entity PrivacyLedger snapshots, registered sections
+///             (thread pool ...), active TraceSpan stack per thread
+///   /flightz  the current FlightRecorder ring as ppdp.flight.v1 JSON
+///   /         plain-text index of the endpoints above
+///
+/// Off by default everywhere: a binary that never constructs the server
+/// opens no socket and pays nothing.
+class TelemetryServer {
+ public:
+  struct Options {
+    /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read the
+    /// result from port() after Start).
+    int port = 0;
+    /// Concurrent connection-handler threads; further connections get an
+    /// immediate 503 so a scrape storm cannot pile up threads.
+    int max_connections = 8;
+    /// Per-connection receive timeout; a stalled client is dropped after
+    /// this long.
+    double read_timeout_seconds = 5.0;
+    /// Invocation context served verbatim on /statusz.
+    std::map<std::string, std::string> flags;
+    uint64_t seed = 0;
+    int threads = 0;
+  };
+
+  explicit TelemetryServer(Options options);
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+  /// Stops the server if still running.
+  ~TelemetryServer();
+
+  /// Binds, listens, and starts the accept thread. Fails (kUnavailable /
+  /// kInvalidArgument) without leaking a socket when the port cannot be
+  /// bound. Calling Start twice is an error.
+  Status Start();
+
+  /// Clean shutdown: stops accepting, unblocks every in-flight connection
+  /// (their sockets are shut down), joins all threads. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (the resolved one when Options::port was 0); 0 before
+  /// Start.
+  int port() const { return port_.load(std::memory_order_acquire); }
+
+  /// Dispatches `path` exactly as a GET request would, without a socket —
+  /// the response body plus the HTTP status and content type that would be
+  /// sent. Exposed so tests can golden-check endpoints cheaply.
+  std::string HandlePath(const std::string& path, int* http_status,
+                         std::string* content_type) const;
+
+  /// The /statusz document (schema "ppdp.statusz.v1").
+  JsonValue StatuszDocument() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void HandleConnection(Connection* connection);
+  /// Joins finished connection threads; with `all`, joins every connection
+  /// (Stop path, after their sockets were shut down).
+  void ReapConnections(bool all);
+
+  Options options_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> port_{0};
+  int listen_fd_ = -1;
+  double start_seconds_ = 0.0;  ///< MonotonicSeconds at Start
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::list<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace ppdp::obs
+
+#endif  // PPDP_OBS_TELEMETRY_SERVER_H_

@@ -18,7 +18,45 @@ uint32_t ThisThreadOrdinal() {
   return id;
 }
 
+/// Registry of open-span stacks keyed by thread ordinal. Spans push/pop
+/// their own thread's stack (strict LIFO by RAII), readers snapshot the
+/// whole map; both sides take one short-lived mutex, which is cheap at span
+/// granularity (spans mark phases, not per-item work).
+struct ActiveSpanRegistry {
+  std::mutex mutex;
+  std::map<uint32_t, std::vector<std::string>> stacks;
+
+  static ActiveSpanRegistry& Global() {
+    static ActiveSpanRegistry* registry = new ActiveSpanRegistry();  // intentionally leaked
+    return *registry;
+  }
+
+  void Push(uint32_t thread, const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex);
+    stacks[thread].push_back(name);
+  }
+
+  void Pop(uint32_t thread) {
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = stacks.find(thread);
+    if (it == stacks.end() || it->second.empty()) return;
+    it->second.pop_back();
+    if (it->second.empty()) stacks.erase(it);
+  }
+};
+
 }  // namespace
+
+std::vector<ActiveSpanStack> ActiveSpanStacks() {
+  ActiveSpanRegistry& registry = ActiveSpanRegistry::Global();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::vector<ActiveSpanStack> stacks;
+  stacks.reserve(registry.stacks.size());
+  for (const auto& [thread, spans] : registry.stacks) {
+    stacks.push_back(ActiveSpanStack{thread, spans});
+  }
+  return stacks;
+}
 
 double ThreadCpuSeconds() {
 #if defined(CLOCK_THREAD_CPUTIME_ID)
@@ -152,11 +190,14 @@ Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
 TraceSpan::TraceSpan(std::string name)
     : name_(std::move(name)),
       start_us_(MonotonicSeconds() * 1e6),
-      start_cpu_us_(ThreadCpuSeconds() * 1e6) {}
+      start_cpu_us_(ThreadCpuSeconds() * 1e6) {
+  ActiveSpanRegistry::Global().Push(ThisThreadOrdinal(), name_);
+}
 
 double TraceSpan::ElapsedSeconds() const { return MonotonicSeconds() - start_us_ / 1e6; }
 
 TraceSpan::~TraceSpan() {
+  ActiveSpanRegistry::Global().Pop(ThisThreadOrdinal());
   TraceEvent event;
   event.name = std::move(name_);
   event.thread = ThisThreadOrdinal();

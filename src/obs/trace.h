@@ -27,6 +27,18 @@ struct TraceEvent {
 /// where available; 0.0 on platforms without a thread CPU clock).
 double ThreadCpuSeconds();
 
+/// The stack of TraceSpans currently open on one thread, outermost first —
+/// what /statusz shows as "where is every thread right now".
+struct ActiveSpanStack {
+  uint32_t thread = 0;  ///< the same per-process ordinal TraceEvent carries
+  std::vector<std::string> spans;
+};
+
+/// Live snapshot of every thread's open-span stack (threads with no open
+/// span are omitted). Sorted by thread ordinal. Safe to call from any
+/// thread at any time — the telemetry server polls it mid-run.
+std::vector<ActiveSpanStack> ActiveSpanStacks();
+
 /// Process-wide collector of completed TraceSpans. Always on by default;
 /// recording is one mutex-guarded vector push, and the event count is
 /// capped (drops are counted) so pathological span rates cannot exhaust

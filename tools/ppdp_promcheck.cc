@@ -1,0 +1,51 @@
+// Strict Prometheus text-exposition validator for CI scrape checks.
+//
+//   $ curl -s http://127.0.0.1:$PORT/metrics | ppdp_promcheck
+//   $ ppdp_promcheck scrape.txt
+//
+// Reads one exposition document (stdin, or each file argument) and runs it
+// through obs::ValidatePrometheusText — the same structural checks
+// telemetry_test applies to the in-process renderer: name grammar,
+// HELP/TYPE discipline, contiguous sample blocks, parseable values, and
+// cumulative le-terminated histogram series. Exits 0 when every input is a
+// document Prometheus would ingest, 1 on the first violation.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace {
+
+int CheckOne(const std::string& label, const std::string& text) {
+  ppdp::Status status = ppdp::obs::ValidatePrometheusText(text);
+  if (!status.ok()) {
+    std::cerr << "ppdp_promcheck: " << label << ": " << status.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "ppdp_promcheck: " << label << ": ok\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc <= 1) {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    return CheckOne("<stdin>", buffer.str());
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream file(argv[i]);
+    if (!file) {
+      std::cerr << "ppdp_promcheck: cannot open " << argv[i] << "\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    if (int status = CheckOne(argv[i], buffer.str()); status != 0) return status;
+  }
+  return 0;
+}
