@@ -8,6 +8,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "obs/ledger.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/recorder.h"
 #include "obs/report.h"
 #include "obs/sampler.h"
@@ -48,7 +50,15 @@ namespace ppdp::bench {
 ///                   flag no socket is opened and nothing is paid.
 ///   --sample_period_ms N (default 500; 0 disables)  metric time-series
 ///                   sampling interval; samples append to
-///                   <out>/<bench>_timeseries.jsonl (ppdp.timeseries.v1)
+///                   <out>/<bench>_timeseries.jsonl (ppdp.timeseries.v2)
+///   --profile_hz N  (default 0 = off)  sampling-profiler rate in samples
+///                   per second of per-thread CPU time; prime rates (97,
+///                   211) avoid lock-step with periodic work. Off pays
+///                   nothing — no timers, no buffers, no handler.
+///   --profile_out F (default <out>/PROFILE_<name>.json)  where the
+///                   ppdp.profile.v1 JSON goes when --profile_hz > 0; the
+///                   collapsed folded stacks land next to it with a
+///                   .folded suffix
 ///
 /// On destruction (end of main) the harness emits the per-phase wall-time
 /// table recorded by the library's TraceSpans — printed and written to
@@ -147,6 +157,18 @@ struct BenchEnv {
         sampler_.reset();
       }
     }
+
+    profile_hz_ = static_cast<int>(flags.GetInt("profile_hz", 0));
+    if (profile_hz_ > 0) {
+      profile_out_ = flags.GetString("profile_out", out_dir + "/PROFILE_" + ShortName() + ".json");
+      obs::Profiler::Options profiler_options;
+      profiler_options.hz = profile_hz_;
+      Status profiler_status = obs::Profiler::Global().Start(profiler_options);
+      if (!profiler_status.ok()) {
+        std::cerr << "warning: profiler not started: " << profiler_status.ToString() << "\n";
+        profile_hz_ = 0;
+      }
+    }
   }
 
   BenchEnv(const BenchEnv&) = delete;
@@ -158,6 +180,7 @@ struct BenchEnv {
       std::cout << "(timeseries: " << out_dir << "/" << bench_name << "_timeseries.jsonl, "
                 << sampler_->samples_written() << " samples)\n";
     }
+    if (profile_hz_ > 0) EmitProfile();
     EmitPhaseTimings();
     if (!trace_out.empty()) {
       Status status = obs::TraceRecorder::Global().WriteChromeTrace(trace_out);
@@ -259,6 +282,39 @@ struct BenchEnv {
     }
   }
 
+  /// Stops the sampling profiler and writes the ppdp.profile.v1 JSON plus
+  /// the folded-stack text. Called automatically at destruction when
+  /// --profile_hz > 0; the run report then links both files.
+  void EmitProfile() const {
+    obs::Profiler& profiler = obs::Profiler::Global();
+    profiler.Stop();
+    obs::CpuProfile profile = profiler.Collect(ShortName());
+    std::string folded_path = profile_out_;
+    constexpr std::string_view kJsonSuffix = ".json";
+    if (folded_path.size() > kJsonSuffix.size() &&
+        folded_path.compare(folded_path.size() - kJsonSuffix.size(), kJsonSuffix.size(),
+                            kJsonSuffix) == 0) {
+      folded_path.resize(folded_path.size() - kJsonSuffix.size());
+    }
+    folded_path += ".folded";
+    Status json_status = profile.WriteJson(profile_out_);
+    Status folded_status = profile.WriteFolded(folded_path);
+    if (json_status.ok() && folded_status.ok()) {
+      std::cout << "(profile: " << profile_out_ << ", " << profile.samples << " samples @ "
+                << profile_hz_ << " Hz across " << profile.threads_profiled << " threads; folded: "
+                << folded_path << ")\n";
+    } else {
+      std::cout << "(profile write failed: "
+                << (json_status.ok() ? folded_status : json_status).ToString() << ")\n";
+    }
+    profile_info_.enabled = true;
+    profile_info_.hz = profile_hz_;
+    profile_info_.path = profile_out_;
+    profile_info_.folded_path = folded_path;
+    profile_info_.samples = profile.samples;
+    profile_info_.dropped = profile.dropped;
+  }
+
   /// Writes the BENCH_<name>.json run report. Called automatically at
   /// destruction (unless --report_out off); exposed for tests.
   void EmitRunReport() const {
@@ -278,6 +334,7 @@ struct BenchEnv {
       report.fault.rate = plan.rate;
       report.fault.point_rates = plan.point_rates;
     }
+    report.profile = profile_info_;
     report.ledgers = ledgers_;
     for (const auto& [name, path] : outputs_) {
       obs::RunReport::OutputDigest digest;
@@ -313,6 +370,13 @@ struct BenchEnv {
 
   std::map<std::string, std::string> flag_values_;
   std::string report_out_;
+  int profile_hz_ = 0;
+  std::string profile_out_;
+  // The bench's main thread participates in parallel regions and runs the
+  // serial phases; register it for the profiler's whole-process view (free
+  // when no capture runs, including the --profile_hz=0 default).
+  obs::ProfiledThreadScope profiled_main_thread_;
+  mutable obs::RunReport::ProfileInfo profile_info_;
   std::unique_ptr<obs::TelemetryServer> telemetry_;
   std::unique_ptr<obs::TimeSeriesSampler> sampler_;
   // Emit/EmitLedger are const (benches hold const refs in helpers); the

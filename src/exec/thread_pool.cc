@@ -5,6 +5,7 @@
 
 #include "common/json.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/telemetry_server.h"
 
 namespace ppdp::exec {
@@ -79,6 +80,9 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::WorkerLoop() {
+  // Workers register with the sampling profiler for their whole lifetime so
+  // parallel regions are profiled; free when no capture is running.
+  obs::ProfiledThreadScope profiled;
   static obs::Counter& executed = obs::MetricsRegistry::Global().counter("exec.pool.tasks");
   static obs::Gauge& depth = obs::MetricsRegistry::Global().gauge("exec.pool.queue_depth");
   static obs::Gauge& active = obs::MetricsRegistry::Global().gauge("exec.pool.active_workers");

@@ -127,6 +127,8 @@ JsonValue RunReport::ToJson() const {
     row.Set("wall_ms_min", JsonValue::Number(p.wall_ms_min));
     row.Set("wall_ms_max", JsonValue::Number(p.wall_ms_max));
     row.Set("cpu_ms_total", JsonValue::Number(p.cpu_ms_total));
+    row.Set("alloc_bytes_total", JsonValue::Number(static_cast<double>(p.alloc_bytes_total)));
+    row.Set("rss_peak_bytes", JsonValue::Number(static_cast<double>(p.rss_peak_bytes)));
     phase_array.Append(std::move(row));
   }
   doc.Set("phases", std::move(phase_array));
@@ -193,6 +195,17 @@ JsonValue RunReport::ToJson() const {
   flight_obj.Set("retained", JsonValue::Number(static_cast<double>(flight.retained)));
   flight_obj.Set("dumped", JsonValue::Bool(flight.dumped));
   doc.Set("flight", std::move(flight_obj));
+
+  if (profile.enabled) {
+    JsonValue profile_obj = JsonValue::Object();
+    profile_obj.Set("enabled", JsonValue::Bool(true));
+    profile_obj.Set("hz", JsonValue::Number(profile.hz));
+    profile_obj.Set("path", JsonValue::String(profile.path));
+    profile_obj.Set("folded_path", JsonValue::String(profile.folded_path));
+    profile_obj.Set("samples", JsonValue::Number(static_cast<double>(profile.samples)));
+    profile_obj.Set("dropped", JsonValue::Number(static_cast<double>(profile.dropped)));
+    doc.Set("profile", std::move(profile_obj));
+  }
   return doc;
 }
 
@@ -258,6 +271,8 @@ Result<RunReport> RunReport::FromJson(const JsonValue& doc) {
       p.wall_ms_min = row.GetNumberOr("wall_ms_min", 0.0);
       p.wall_ms_max = row.GetNumberOr("wall_ms_max", 0.0);
       p.cpu_ms_total = row.GetNumberOr("cpu_ms_total", 0.0);
+      p.alloc_bytes_total = static_cast<uint64_t>(row.GetNumberOr("alloc_bytes_total", 0));
+      p.rss_peak_bytes = static_cast<uint64_t>(row.GetNumberOr("rss_peak_bytes", 0));
       report.phases.push_back(std::move(p));
     }
   }
@@ -288,6 +303,15 @@ Result<RunReport> RunReport::FromJson(const JsonValue& doc) {
       out.fnv1a = row.GetStringOr("fnv1a", "");
       report.outputs.push_back(std::move(out));
     }
+  }
+  // Optional since v6 writers only; pre-v6 reports simply have none.
+  if (const JsonValue* profile = doc.Find("profile"); profile && profile->is_object()) {
+    report.profile.enabled = profile->GetBoolOr("enabled", false);
+    report.profile.hz = static_cast<int>(profile->GetNumberOr("hz", 0));
+    report.profile.path = profile->GetStringOr("path", "");
+    report.profile.folded_path = profile->GetStringOr("folded_path", "");
+    report.profile.samples = static_cast<uint64_t>(profile->GetNumberOr("samples", 0));
+    report.profile.dropped = static_cast<uint64_t>(profile->GetNumberOr("dropped", 0));
   }
   return report;
 }
@@ -377,8 +401,19 @@ ReportDiff DiffReports(const RunReport& baseline, const RunReport& current,
       delta.regressed =
           delta.current_ms > base.wall_ms_total * (1.0 + options.threshold) &&
           delta.current_ms - base.wall_ms_total > options.min_ms;
+      delta.baseline_rss_peak = base.rss_peak_bytes;
+      delta.current_rss_peak = it->second->rss_peak_bytes;
+      // The memory gate is opt-in and only meaningful when both sides carry
+      // numbers (pre-v6 baselines report 0).
+      if (options.mem_threshold > 0.0 && delta.baseline_rss_peak > 0 &&
+          delta.current_rss_peak > 0) {
+        delta.mem_regressed =
+            static_cast<double>(delta.current_rss_peak) >
+                static_cast<double>(delta.baseline_rss_peak) * (1.0 + options.mem_threshold) &&
+            delta.current_rss_peak - delta.baseline_rss_peak > options.min_mem_bytes;
+      }
     }
-    diff.regressed = diff.regressed || delta.regressed;
+    diff.regressed = diff.regressed || delta.regressed || delta.mem_regressed;
     diff.phases.push_back(std::move(delta));
   }
   for (const TraceRecorder::PhaseStats& cur : current.phases) {
@@ -410,6 +445,7 @@ Table ReportDiff::Summary() const {
     std::string verdict = delta.only_in_baseline ? "missing"
                           : delta.only_in_current ? "new"
                           : delta.regressed       ? "REGRESSED"
+                          : delta.mem_regressed   ? "MEM REGRESSED"
                                                   : "ok";
     table.AddRow({delta.name,
                   delta.only_in_current ? "-" : Table::FormatDouble(delta.baseline_ms, 3),

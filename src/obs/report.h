@@ -90,6 +90,18 @@ struct RunReport {
   };
   FlightStats flight;
 
+  /// Link to the sampling profile captured alongside this run (absent when
+  /// --profile_hz=0, the default — the zero-overhead path writes nothing).
+  struct ProfileInfo {
+    bool enabled = false;
+    int hz = 0;
+    std::string path;         ///< the ppdp.profile.v1 JSON
+    std::string folded_path;  ///< collapsed stacks for flamegraph/speedscope
+    uint64_t samples = 0;
+    uint64_t dropped = 0;
+  };
+  ProfileInfo profile;
+
   JsonValue ToJson() const;
   Status WriteJson(const std::string& path) const;
   /// Tolerant reader: unknown keys are ignored, so newer writers stay
@@ -129,6 +141,12 @@ struct DiffOptions {
   /// (determinism audit; off by default since baselines may be produced by
   /// a different compiler).
   bool check_digests = false;
+  /// Relative growth of a phase's peak RSS tolerated before the phase
+  /// counts as a memory regression (0.5 = +50%). 0 disables the memory
+  /// gate — the default, since pre-v6 baselines carry no memory numbers.
+  double mem_threshold = 0.0;
+  /// Peak RSS must additionally grow by this many absolute bytes.
+  uint64_t min_mem_bytes = 16ull << 20;
 };
 
 struct PhaseDelta {
@@ -139,6 +157,9 @@ struct PhaseDelta {
   bool regressed = false;
   bool only_in_baseline = false;
   bool only_in_current = false;
+  uint64_t baseline_rss_peak = 0;  ///< bytes; 0 when the report predates v6
+  uint64_t current_rss_peak = 0;
+  bool mem_regressed = false;  ///< only when DiffOptions::mem_threshold > 0
 };
 
 struct ReportDiff {

@@ -6,6 +6,7 @@
 
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace ppdp::obs {
 
@@ -85,9 +86,21 @@ void TimeSeriesSampler::WriteSample() {
 JsonValue TimeSeriesSampler::SampleDocument(uint64_t sample, double t_seconds) {
   MetricsRegistry& registry = MetricsRegistry::Global();
   JsonValue doc = JsonValue::Object();
-  doc.Set("schema", JsonValue::String("ppdp.timeseries.v1"));
+  doc.Set("schema", JsonValue::String("ppdp.timeseries.v2"));
   doc.Set("sample", JsonValue::Number(static_cast<double>(sample)));
   doc.Set("t_seconds", JsonValue::Number(t_seconds));
+
+  // v2 addition: process-wide memory and CPU, so a dashboard can correlate
+  // memory growth with phase progress. Purely additive — every v1 key is
+  // emitted unchanged, so v1 readers (which ignore unknown keys) still work.
+  ProcessMemory memory = ReadProcessMemory();
+  ProcessCpu cpu = ReadProcessCpu();
+  JsonValue process = JsonValue::Object();
+  process.Set("rss_bytes", JsonValue::Number(static_cast<double>(memory.rss_bytes)));
+  process.Set("peak_rss_bytes", JsonValue::Number(static_cast<double>(memory.peak_rss_bytes)));
+  process.Set("cpu_user_seconds", JsonValue::Number(cpu.user_seconds));
+  process.Set("cpu_system_seconds", JsonValue::Number(cpu.system_seconds));
+  doc.Set("process", process);
 
   JsonValue counters = JsonValue::Object();
   for (const auto& [name, value] : registry.CounterValues()) {

@@ -14,9 +14,11 @@
 namespace ppdp::obs {
 
 /// Background thread that snapshots the global MetricsRegistry every
-/// `period_ms` into an append-only JSONL file, one "ppdp.timeseries.v1"
+/// `period_ms` into an append-only JSONL file, one "ppdp.timeseries.v2"
 /// document per line — the offline companion to the live /metrics endpoint
-/// (a scrape shows *now*; the series shows *how it got there*).
+/// (a scrape shows *now*; the series shows *how it got there*). v2 adds a
+/// "process" section (RSS, peak RSS, user/system CPU) on top of v1; every
+/// v1 key is emitted unchanged, so v1 readers keep working.
 ///
 /// Start() writes an immediate first sample and Stop() writes a final one,
 /// so even a run shorter than the period yields a usable two-point series.
@@ -49,9 +51,11 @@ class TimeSeriesSampler {
     return samples_written_.load(std::memory_order_acquire);
   }
 
-  /// One snapshot of the global registry as a "ppdp.timeseries.v1" document:
-  /// {"schema":...,"sample":N,"t_seconds":...,"counters":{name:value,...},
-  ///  "gauges":{...},"histograms":{name:{count,mean,p50,p95,max},...}}.
+  /// One snapshot of the global registry as a "ppdp.timeseries.v2" document:
+  /// {"schema":...,"sample":N,"t_seconds":...,
+  ///  "process":{rss_bytes,peak_rss_bytes,cpu_user_seconds,cpu_system_seconds},
+  ///  "counters":{name:value,...},"gauges":{...},
+  ///  "histograms":{name:{count,mean,p50,p95,max},...}}.
   /// Exposed for tests; `sample` is the 0-based sequence number.
   static JsonValue SampleDocument(uint64_t sample, double t_seconds);
 

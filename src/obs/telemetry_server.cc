@@ -1,6 +1,8 @@
 #include "obs/telemetry_server.h"
 
 #include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 #include <vector>
@@ -14,6 +16,7 @@
 #include "obs/ledger.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/recorder.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -36,11 +39,42 @@ struct StatuszSections {
 const char* StatusText(int status) {
   switch (status) {
     case 200: return "OK";
+    case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 503: return "Service Unavailable";
     default: return "Internal Server Error";
   }
+}
+
+/// Serializes /profilez captures: a second concurrent request gets a 503
+/// instead of fighting over the one global profiler.
+std::mutex& ProfilezMutex() {
+  static std::mutex* mutex = new std::mutex();  // intentionally leaked
+  return *mutex;
+}
+
+/// Value of `key` in an HTTP query string ("seconds=2&hz=97"), or
+/// `fallback` when absent/non-numeric.
+int QueryIntOr(const std::string& query, const std::string& key, int fallback) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t end = query.find('&', pos);
+    if (end == std::string::npos) end = query.size();
+    const std::string pair = query.substr(pos, end - pos);
+    const size_t eq = pair.find('=');
+    if (eq != std::string::npos && pair.substr(0, eq) == key) {
+      errno = 0;
+      char* rest = nullptr;
+      long value = std::strtol(pair.c_str() + eq + 1, &rest, 10);
+      if (errno == 0 && rest != pair.c_str() + eq + 1 && *rest == '\0') {
+        return static_cast<int>(value);
+      }
+      return fallback;
+    }
+    pos = end + 1;
+  }
+  return fallback;
 }
 
 std::string RenderResponse(int status, const std::string& content_type,
@@ -254,12 +288,14 @@ void TelemetryServer::HandleConnection(Connection* connection) {
         first_space == std::string::npos ? std::string::npos : line.find(' ', first_space + 1);
     std::string response;
     if (first_space == std::string::npos || second_space == std::string::npos) {
-      response = RenderResponse(405, "text/plain; charset=utf-8", "malformed request line\n");
+      // A garbled request line is the client's fault, not an unsupported
+      // method: 400, not 405.
+      response = RenderResponse(400, "text/plain; charset=utf-8", "malformed request line\n");
     } else {
       const std::string method = line.substr(0, first_space);
-      std::string path = line.substr(first_space + 1, second_space - first_space - 1);
-      const size_t query = path.find('?');
-      if (query != std::string::npos) path.resize(query);
+      // The query string travels with the path; HandlePath splits it so
+      // endpoints like /profilez?seconds=N see their parameters.
+      const std::string path = line.substr(first_space + 1, second_space - first_space - 1);
       if (method != "GET") {
         response = RenderResponse(405, "text/plain; charset=utf-8", "only GET is supported\n");
       } else {
@@ -271,6 +307,11 @@ void TelemetryServer::HandleConnection(Connection* connection) {
       }
     }
     SendAll(connection->fd, response);
+  } else if (!request.empty()) {
+    // Bytes arrived but the header never terminated (truncated or oversized
+    // request): answer with a proper error instead of silently hanging up.
+    SendAll(connection->fd,
+            RenderResponse(400, "text/plain; charset=utf-8", "incomplete request\n"));
   }
 
   // ReapConnections closes the fd after joining this thread; closing here
@@ -279,9 +320,15 @@ void TelemetryServer::HandleConnection(Connection* connection) {
   connection->done.store(true, std::memory_order_release);
 }
 
-std::string TelemetryServer::HandlePath(const std::string& path, int* http_status,
+std::string TelemetryServer::HandlePath(const std::string& request_path, int* http_status,
                                         std::string* content_type) const {
   *http_status = 200;
+  std::string path = request_path;
+  std::string query;
+  if (const size_t q = path.find('?'); q != std::string::npos) {
+    query = path.substr(q + 1);
+    path.resize(q);
+  }
   if (path == "/metrics") {
     *content_type = "text/plain; version=0.0.4; charset=utf-8";
     return MetricsRegistry::Global().ToPrometheus();
@@ -298,13 +345,49 @@ std::string TelemetryServer::HandlePath(const std::string& path, int* http_statu
     *content_type = "application/json";
     return FlightRecorder::Global().ToJson("flightz") + "\n";
   }
+  if (path == "/profilez") {
+    *content_type = "application/json";
+    Profiler& profiler = Profiler::Global();
+    if (profiler.running()) {
+      // A capture is already live (--profile_hz or another client): serve a
+      // snapshot of what it has gathered so far without disturbing it.
+      return profiler.Collect("profilez").ToJson().Dump() + "\n";
+    }
+    std::unique_lock<std::mutex> capture_lock(ProfilezMutex(), std::try_to_lock);
+    if (!capture_lock.owns_lock()) {
+      *http_status = 503;
+      *content_type = "text/plain; charset=utf-8";
+      return "profile capture already in progress\n";
+    }
+    int seconds = QueryIntOr(query, "seconds", 1);
+    if (seconds < 1) seconds = 1;
+    if (seconds > 30) seconds = 30;
+    int hz = QueryIntOr(query, "hz", 97);
+    Profiler::Options profiler_options;
+    profiler_options.hz = hz;
+    Status start_status = profiler.Start(profiler_options);
+    if (!start_status.ok()) {
+      *http_status = 503;
+      *content_type = "text/plain; charset=utf-8";
+      return "profiler unavailable: " + start_status.ToString() + "\n";
+    }
+    // Interruptible wait: server shutdown must not block on a capture.
+    for (int i = 0; i < seconds * 10 && !stopping_.load(std::memory_order_acquire); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    profiler.Stop();
+    CpuProfile profile = profiler.Collect("profilez");
+    profiler.ClearSamples();  // leave the global profiler clean for --profile_hz runs
+    return profile.ToJson().Dump() + "\n";
+  }
   if (path == "/" || path.empty()) {
     *content_type = "text/plain; charset=utf-8";
     return "ppdp telemetry endpoints:\n"
-           "  /metrics  Prometheus text exposition 0.0.4\n"
-           "  /healthz  liveness + degraded flag\n"
-           "  /statusz  live process status (JSON)\n"
-           "  /flightz  flight-recorder ring (JSON)\n";
+           "  /metrics   Prometheus text exposition 0.0.4\n"
+           "  /healthz   liveness + degraded flag\n"
+           "  /statusz   live process status (JSON)\n"
+           "  /flightz   flight-recorder ring (JSON)\n"
+           "  /profilez  on-demand CPU profile (JSON; ?seconds=N&hz=M)\n";
   }
   *http_status = 404;
   *content_type = "text/plain; charset=utf-8";
@@ -368,6 +451,25 @@ JsonValue TelemetryServer::StatuszDocument() const {
   flight.Set("retained", JsonValue::Number(static_cast<double>(recorder.size())));
   flight.Set("dumped", JsonValue::Bool(recorder.dumped()));
   doc.Set("flight", flight);
+
+  Profiler& profiler = Profiler::Global();
+  JsonValue profiler_json = JsonValue::Object();
+  profiler_json.Set("running", JsonValue::Bool(profiler.running()));
+  profiler_json.Set("hz", JsonValue::Number(profiler.hz()));
+  profiler_json.Set("threads_registered",
+                    JsonValue::Number(static_cast<double>(profiler.threads_registered())));
+  profiler_json.Set("samples", JsonValue::Number(static_cast<double>(profiler.samples_recorded())));
+  profiler_json.Set("dropped", JsonValue::Number(static_cast<double>(profiler.samples_dropped())));
+  doc.Set("profiler", profiler_json);
+
+  ProcessMemory memory = ReadProcessMemory();
+  ProcessCpu cpu = ReadProcessCpu();
+  JsonValue process = JsonValue::Object();
+  process.Set("rss_bytes", JsonValue::Number(static_cast<double>(memory.rss_bytes)));
+  process.Set("peak_rss_bytes", JsonValue::Number(static_cast<double>(memory.peak_rss_bytes)));
+  process.Set("cpu_user_seconds", JsonValue::Number(cpu.user_seconds));
+  process.Set("cpu_system_seconds", JsonValue::Number(cpu.system_seconds));
+  doc.Set("process", process);
   return doc;
 }
 

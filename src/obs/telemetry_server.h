@@ -36,13 +36,18 @@ bool TelemetryDegraded();
 /// answered 503 immediately), loopback only, clean shutdown that unblocks
 /// in-flight reads. Endpoints:
 ///
-///   /metrics  Prometheus text exposition 0.0.4 of the MetricsRegistry
-///   /healthz  "ok" / "degraded" liveness probe (TelemetryDegraded)
-///   /statusz  JSON: build metadata, verbatim flags, seed/threads, live
-///             per-entity PrivacyLedger snapshots, registered sections
-///             (thread pool ...), active TraceSpan stack per thread
-///   /flightz  the current FlightRecorder ring as ppdp.flight.v1 JSON
-///   /         plain-text index of the endpoints above
+///   /metrics   Prometheus text exposition 0.0.4 of the MetricsRegistry
+///   /healthz   "ok" / "degraded" liveness probe (TelemetryDegraded)
+///   /statusz   JSON: build metadata, verbatim flags, seed/threads, live
+///              per-entity PrivacyLedger snapshots, registered sections
+///              (thread pool ...), active TraceSpan stack per thread,
+///              profiler state, process RSS + user/system CPU
+///   /flightz   the current FlightRecorder ring as ppdp.flight.v1 JSON
+///   /profilez  on-demand CPU profile (ppdp.profile.v1 JSON). When a
+///              capture is already running (--profile_hz), serves a live
+///              snapshot; otherwise starts one for ?seconds=N (default 1,
+///              max 30) at ?hz=M (default 97). Concurrent captures get 503.
+///   /          plain-text index of the endpoints above
 ///
 /// Off by default everywhere: a binary that never constructs the server
 /// opens no socket and pays nothing.
@@ -84,10 +89,11 @@ class TelemetryServer {
   /// Start.
   int port() const { return port_.load(std::memory_order_acquire); }
 
-  /// Dispatches `path` exactly as a GET request would, without a socket —
-  /// the response body plus the HTTP status and content type that would be
-  /// sent. Exposed so tests can golden-check endpoints cheaply.
-  std::string HandlePath(const std::string& path, int* http_status,
+  /// Dispatches `request_path` (query string included, e.g.
+  /// "/profilez?seconds=1") exactly as a GET request would, without a
+  /// socket — the response body plus the HTTP status and content type that
+  /// would be sent. Exposed so tests can golden-check endpoints cheaply.
+  std::string HandlePath(const std::string& request_path, int* http_status,
                          std::string* content_type) const;
 
   /// The /statusz document (schema "ppdp.statusz.v1").

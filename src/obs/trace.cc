@@ -5,8 +5,10 @@
 #include <ctime>
 #include <fstream>
 #include <map>
+#include <unordered_map>
 
 #include "obs/log.h"
+#include "obs/profiler.h"
 
 namespace ppdp::obs {
 
@@ -17,6 +19,32 @@ uint32_t ThisThreadOrdinal() {
   thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
+
+/// Global intern table: span name -> small id, plus the reverse array the
+/// profiler symbolizes samples with offline. Both sides are leaked so a
+/// late signal (or a reader during shutdown) can never see freed memory.
+struct SpanNameTable {
+  std::mutex mutex;
+  std::unordered_map<std::string, uint32_t> ids;
+  std::vector<const std::string*> names;  ///< index id-1 -> leaked name
+
+  static SpanNameTable& Global() {
+    static SpanNameTable* table = new SpanNameTable();  // intentionally leaked
+    return *table;
+  }
+};
+
+/// Fixed-depth per-thread stack of interned span ids. The owning thread
+/// pushes/pops; its own SIGPROF handler reads the top. Atomics are ordered
+/// so the handler never reads a slot before the id was stored. Trivially
+/// destructible (plain atomics) so no TLS destructor can race a late
+/// signal.
+constexpr uint32_t kMaxSignalSpanDepth = 64;
+struct TlsSpanStack {
+  std::atomic<uint32_t> depth{0};
+  std::atomic<uint32_t> ids[kMaxSignalSpanDepth] = {};
+};
+thread_local TlsSpanStack t_span_stack;
 
 /// Registry of open-span stacks keyed by thread ordinal. Spans push/pop
 /// their own thread's stack (strict LIFO by RAII), readers snapshot the
@@ -46,6 +74,34 @@ struct ActiveSpanRegistry {
 };
 
 }  // namespace
+
+uint32_t InternSpanName(const std::string& name) {
+  SpanNameTable& table = SpanNameTable::Global();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  auto it = table.ids.find(name);
+  if (it != table.ids.end()) return it->second;
+  table.names.push_back(new std::string(name));  // intentionally leaked
+  uint32_t id = static_cast<uint32_t>(table.names.size());
+  table.ids.emplace(name, id);
+  return id;
+}
+
+const std::string& SpanNameForId(uint32_t id) {
+  static const std::string* kNone = new std::string("(none)");
+  SpanNameTable& table = SpanNameTable::Global();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  if (id == 0 || id > table.names.size()) return *kNone;
+  return *table.names[id - 1];
+}
+
+uint32_t CurrentThreadSpanId() {
+  uint32_t depth = t_span_stack.depth.load(std::memory_order_acquire);
+  if (depth == 0) return 0;
+  if (depth > kMaxSignalSpanDepth) depth = kMaxSignalSpanDepth;
+  return t_span_stack.ids[depth - 1].load(std::memory_order_relaxed);
+}
+
+void TouchSpanTls() { t_span_stack.depth.load(std::memory_order_relaxed); }
 
 std::vector<ActiveSpanStack> ActiveSpanStacks() {
   ActiveSpanRegistry& registry = ActiveSpanRegistry::Global();
@@ -121,6 +177,8 @@ std::vector<TraceRecorder::PhaseStats> TraceRecorder::PhaseStatsSorted() const {
     double min_us = 0.0;
     double max_us = 0.0;
     double cpu_us = 0.0;
+    uint64_t alloc_bytes = 0;
+    uint64_t rss_peak = 0;
   };
   std::map<std::string, Agg> phases;
   {
@@ -131,6 +189,8 @@ std::vector<TraceRecorder::PhaseStats> TraceRecorder::PhaseStatsSorted() const {
       if (agg.count == 0 || e.duration_us > agg.max_us) agg.max_us = e.duration_us;
       agg.total_us += e.duration_us;
       agg.cpu_us += e.cpu_us;
+      agg.alloc_bytes += e.alloc_bytes;
+      if (e.rss_bytes > agg.rss_peak) agg.rss_peak = e.rss_bytes;
       ++agg.count;
     }
   }
@@ -145,6 +205,8 @@ std::vector<TraceRecorder::PhaseStats> TraceRecorder::PhaseStatsSorted() const {
     row.wall_ms_min = agg.min_us / 1e3;
     row.wall_ms_max = agg.max_us / 1e3;
     row.cpu_ms_total = agg.cpu_us / 1e3;
+    row.alloc_bytes_total = agg.alloc_bytes;
+    row.rss_peak_bytes = agg.rss_peak;
     stats.push_back(std::move(row));
   }
   std::sort(stats.begin(), stats.end(), [](const PhaseStats& a, const PhaseStats& b) {
@@ -155,12 +217,15 @@ std::vector<TraceRecorder::PhaseStats> TraceRecorder::PhaseStatsSorted() const {
 }
 
 Table TraceRecorder::PhaseSummary() const {
-  Table table({"phase", "count", "total ms", "mean ms", "min ms", "max ms", "cpu ms"});
+  Table table({"phase", "count", "total ms", "mean ms", "min ms", "max ms", "cpu ms",
+               "alloc MB", "peak rss MB"});
   for (const PhaseStats& s : PhaseStatsSorted()) {
     table.AddRow({s.name, std::to_string(s.count), Table::FormatDouble(s.wall_ms_total, 3),
                   Table::FormatDouble(s.wall_ms_mean, 3), Table::FormatDouble(s.wall_ms_min, 3),
                   Table::FormatDouble(s.wall_ms_max, 3),
-                  Table::FormatDouble(s.cpu_ms_total, 3)});
+                  Table::FormatDouble(s.cpu_ms_total, 3),
+                  Table::FormatDouble(static_cast<double>(s.alloc_bytes_total) / (1 << 20), 2),
+                  Table::FormatDouble(static_cast<double>(s.rss_peak_bytes) / (1 << 20), 1)});
   }
   return table;
 }
@@ -190,13 +255,24 @@ Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
 TraceSpan::TraceSpan(std::string name)
     : name_(std::move(name)),
       start_us_(MonotonicSeconds() * 1e6),
-      start_cpu_us_(ThreadCpuSeconds() * 1e6) {
+      start_cpu_us_(ThreadCpuSeconds() * 1e6),
+      start_alloc_bytes_(ThreadAllocBytes()) {
+  // Publish the interned id for the profiler's signal handler: the id is
+  // stored before the depth that makes it visible.
+  uint32_t id = InternSpanName(name_);
+  uint32_t depth = t_span_stack.depth.load(std::memory_order_relaxed);
+  if (depth < kMaxSignalSpanDepth) {
+    t_span_stack.ids[depth].store(id, std::memory_order_relaxed);
+  }
+  t_span_stack.depth.store(depth + 1, std::memory_order_release);
   ActiveSpanRegistry::Global().Push(ThisThreadOrdinal(), name_);
 }
 
 double TraceSpan::ElapsedSeconds() const { return MonotonicSeconds() - start_us_ / 1e6; }
 
 TraceSpan::~TraceSpan() {
+  uint32_t depth = t_span_stack.depth.load(std::memory_order_relaxed);
+  if (depth > 0) t_span_stack.depth.store(depth - 1, std::memory_order_release);
   ActiveSpanRegistry::Global().Pop(ThisThreadOrdinal());
   TraceEvent event;
   event.name = std::move(name_);
@@ -204,6 +280,8 @@ TraceSpan::~TraceSpan() {
   event.start_us = start_us_;
   event.duration_us = MonotonicSeconds() * 1e6 - start_us_;
   event.cpu_us = ThreadCpuSeconds() * 1e6 - start_cpu_us_;
+  event.alloc_bytes = ThreadAllocBytes() - start_alloc_bytes_;
+  event.rss_bytes = CurrentRssBytesCached();
   TraceRecorder::Global().Record(std::move(event));
 }
 

@@ -14,14 +14,42 @@ namespace ppdp::obs {
 /// One completed span on the monotonic timeline (timestamps in microseconds
 /// since process start). Besides wall time, each span carries the CPU time
 /// its own thread consumed while the span was open, so run reports can
-/// separate "slow because busy" from "slow because waiting".
+/// separate "slow because busy" from "slow because waiting", plus the bytes
+/// this thread allocated inside the span and the process RSS sampled at
+/// close — the same phase names thereby break down time *and* memory.
 struct TraceEvent {
   std::string name;
   uint32_t thread = 0;  ///< small per-process thread ordinal
   double start_us = 0.0;
   double duration_us = 0.0;
   double cpu_us = 0.0;  ///< thread CPU time consumed inside the span
+  uint64_t alloc_bytes = 0;  ///< operator-new bytes this thread allocated in the span
+  uint64_t rss_bytes = 0;    ///< process RSS at span close (rate-limited sample)
 };
+
+/// ---- Span-name interning (shared with the sampling profiler) ----
+///
+/// Span names are interned into small stable ids so a SIGPROF handler can
+/// attribute a sample to the innermost open span without touching strings,
+/// locks, or the allocator. Id 0 is reserved for "no open span".
+
+/// Returns the id for `name`, assigning one on first use. Not signal-safe
+/// (takes a lock); called from TraceSpan construction only.
+uint32_t InternSpanName(const std::string& name);
+
+/// The name behind an interned id; "(none)" for 0 or an unknown id. The
+/// returned reference is to leaked storage and stays valid forever.
+const std::string& SpanNameForId(uint32_t id);
+
+/// Innermost open span id on the calling thread (0 when none). Reads only
+/// thread-local atomics, so it is async-signal-safe *provided the thread's
+/// TLS was touched before* — TouchSpanTls() at thread registration
+/// guarantees that.
+uint32_t CurrentThreadSpanId();
+
+/// Forces initialization of the calling thread's span TLS so a later signal
+/// handler cannot hit a lazy __tls_get_addr allocation.
+void TouchSpanTls();
 
 /// CPU seconds consumed by the calling thread (CLOCK_THREAD_CPUTIME_ID
 /// where available; 0.0 on platforms without a thread CPU clock).
@@ -73,6 +101,8 @@ class TraceRecorder {
     double wall_ms_min = 0.0;
     double wall_ms_max = 0.0;
     double cpu_ms_total = 0.0;
+    uint64_t alloc_bytes_total = 0;  ///< operator-new bytes across all events
+    uint64_t rss_peak_bytes = 0;     ///< max RSS sampled at any event's close
   };
   std::vector<PhaseStats> PhaseStatsSorted() const;
 
@@ -110,6 +140,7 @@ class TraceSpan {
   std::string name_;
   double start_us_;
   double start_cpu_us_;
+  uint64_t start_alloc_bytes_;
 };
 
 }  // namespace ppdp::obs

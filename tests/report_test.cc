@@ -270,6 +270,87 @@ TEST(DiffReportsTest, DigestMismatchRegressesOnlyWhenChecked) {
   EXPECT_TRUE(DiffReports(baseline, current, strict).regressed);
 }
 
+TEST(RunReportTest, PhaseMemoryAndProfileLinkSurviveTheRoundTrip) {
+  RunReport report = MakeReport();
+  report.phases[0].alloc_bytes_total = 48ull << 20;
+  report.phases[0].rss_peak_bytes = 512ull << 20;
+  report.profile.enabled = true;
+  report.profile.hz = 97;
+  report.profile.path = "bench_out/PROFILE_iot.json";
+  report.profile.folded_path = "bench_out/PROFILE_iot.folded";
+  report.profile.samples = 4242;
+  report.profile.dropped = 3;
+
+  std::string path = TempPath("report_mem_roundtrip.json");
+  ASSERT_TRUE(report.WriteJson(path).ok());
+  Result<RunReport> loaded = RunReport::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->phases[0].alloc_bytes_total, 48ull << 20);
+  EXPECT_EQ(loaded->phases[0].rss_peak_bytes, 512ull << 20);
+  EXPECT_TRUE(loaded->profile.enabled);
+  EXPECT_EQ(loaded->profile.hz, 97);
+  EXPECT_EQ(loaded->profile.path, "bench_out/PROFILE_iot.json");
+  EXPECT_EQ(loaded->profile.folded_path, "bench_out/PROFILE_iot.folded");
+  EXPECT_EQ(loaded->profile.samples, 4242u);
+  EXPECT_EQ(loaded->profile.dropped, 3u);
+  // Emitted JSON still passes the schema gate with the new sections.
+  EXPECT_TRUE(ValidateReportJson(report.ToJson()).ok());
+}
+
+TEST(RunReportTest, ProfileSectionIsOmittedWhenProfilingWasOff) {
+  // Pre-v6 readers (and diff tooling) must not see a bogus profile stanza
+  // on unprofiled runs, and pre-v6 reports load with the fields zeroed.
+  RunReport report = MakeReport();
+  EXPECT_FALSE(report.ToJson().Has("profile"));
+  std::string path = TempPath("report_no_profile.json");
+  ASSERT_TRUE(report.WriteJson(path).ok());
+  Result<RunReport> loaded = RunReport::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded->profile.enabled);
+  EXPECT_EQ(loaded->phases[0].alloc_bytes_total, 0u);
+}
+
+/// Injects `bloat_mb` of per-phase peak RSS on top of TimingReport.
+RunReport MemoryReport(double phase_ms, uint64_t a_mb, uint64_t b_mb) {
+  RunReport report = TimingReport(phase_ms, phase_ms);
+  report.phases[0].rss_peak_bytes = a_mb << 20;
+  report.phases[1].rss_peak_bytes = b_mb << 20;
+  return report;
+}
+
+TEST(DiffReportsTest, MemoryGateIsOffByDefault) {
+  // 100 MB -> 400 MB of injected bloat: invisible until --mem_threshold.
+  ReportDiff diff =
+      DiffReports(MemoryReport(50.0, 100, 100), MemoryReport(50.0, 400, 100), DiffOptions{});
+  EXPECT_FALSE(diff.regressed);
+}
+
+TEST(DiffReportsTest, InjectedBloatBeyondMemThresholdRegresses) {
+  DiffOptions options;
+  options.mem_threshold = 0.5;  // +50%
+  ReportDiff diff =
+      DiffReports(MemoryReport(50.0, 100, 100), MemoryReport(50.0, 400, 100), options);
+  EXPECT_TRUE(diff.regressed);
+  ASSERT_EQ(diff.phases.size(), 2u);
+  EXPECT_TRUE(diff.phases[0].mem_regressed) << "phase a quadrupled its peak RSS";
+  EXPECT_FALSE(diff.phases[0].regressed) << "timing itself did not move";
+  EXPECT_FALSE(diff.phases[1].mem_regressed);
+  EXPECT_EQ(diff.phases[0].baseline_rss_peak, 100ull << 20);
+  EXPECT_EQ(diff.phases[0].current_rss_peak, 400ull << 20);
+}
+
+TEST(DiffReportsTest, MemoryGateRespectsAbsoluteFloorAndMissingData) {
+  DiffOptions options;
+  options.mem_threshold = 0.5;
+  // Tripling 4 MB moves only 8 MB — under the 16 MB floor, not a regression.
+  EXPECT_FALSE(
+      DiffReports(MemoryReport(50.0, 4, 4), MemoryReport(50.0, 12, 4), options).regressed);
+  // A pre-v6 baseline carries no memory numbers: the gate must stay quiet
+  // rather than flag every phase as infinitely grown.
+  EXPECT_FALSE(
+      DiffReports(MemoryReport(50.0, 0, 0), MemoryReport(50.0, 400, 100), options).regressed);
+}
+
 TEST(DiffReportsTest, FasterRunsPassTheGate) {
   ReportDiff diff = DiffReports(TimingReport(100.0, 50.0), TimingReport(60.0, 20.0), DiffOptions{});
   EXPECT_FALSE(diff.regressed);

@@ -27,6 +27,7 @@
 #include "obs/ledger.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/sampler.h"
 #include "obs/telemetry_server.h"
 #include "obs/trace.h"
@@ -37,9 +38,11 @@ namespace {
 std::string TempPath(const std::string& name) { return ::testing::TempDir() + "/" + name; }
 
 /// Minimal blocking HTTP client against 127.0.0.1:`port`: sends `request`
-/// verbatim, reads until the server closes, and splits status code + body.
-/// Returns false when the connection itself fails.
-bool RawHttp(int port, const std::string& request, int* status, std::string* body) {
+/// verbatim, reads until the server closes, and splits status code, raw
+/// header block (optional), and body. Returns false when the connection
+/// itself fails.
+bool RawHttp(int port, const std::string& request, int* status, std::string* body,
+             std::string* headers = nullptr) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return false;
   sockaddr_in addr{};
@@ -68,8 +71,21 @@ bool RawHttp(int port, const std::string& request, int* status, std::string* bod
   *status = std::atoi(response.c_str() + space + 1);
   size_t header_end = response.find("\r\n\r\n");
   if (header_end == std::string::npos) return false;
+  if (headers != nullptr) *headers = response.substr(0, header_end + 2);
   *body = response.substr(header_end + 4);
   return true;
+}
+
+/// Case-sensitive lookup of one header value in a raw "\r\n"-joined block;
+/// empty string when absent.
+std::string HeaderValue(const std::string& headers, const std::string& name) {
+  const std::string needle = name + ": ";
+  size_t pos = headers.find(needle);
+  if (pos == std::string::npos) return "";
+  pos += needle.size();
+  size_t end = headers.find("\r\n", pos);
+  if (end == std::string::npos) end = headers.size();
+  return headers.substr(pos, end - pos);
 }
 
 bool HttpGet(int port, const std::string& path, int* status, std::string* body) {
@@ -326,6 +342,106 @@ TEST(TelemetryServerTest, ServesOverRealSockets) {
   EXPECT_EQ(status, 200);
 }
 
+TEST(TelemetryServerTest, EveryEndpointCarriesCorrectHeaders) {
+  // Golden header audit: every endpoint — success and error paths alike —
+  // must declare an accurate Content-Type and Content-Length, or a curl in
+  // a CI pipe silently mis-frames the body.
+  TelemetryServer server({});
+  ASSERT_TRUE(server.Start().ok());
+
+  struct Expectation {
+    std::string request;
+    int status;
+    std::string content_type;
+  };
+  const std::vector<Expectation> expectations = {
+      {"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n", 200,
+       "text/plain; version=0.0.4; charset=utf-8"},
+      {"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n", 200, "text/plain; charset=utf-8"},
+      {"GET /statusz HTTP/1.1\r\nHost: x\r\n\r\n", 200, "application/json"},
+      {"GET /flightz HTTP/1.1\r\nHost: x\r\n\r\n", 200, "application/json"},
+      {"GET / HTTP/1.1\r\nHost: x\r\n\r\n", 200, "text/plain; charset=utf-8"},
+      {"GET /missing HTTP/1.1\r\nHost: x\r\n\r\n", 404, "text/plain; charset=utf-8"},
+      {"POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n", 405, "text/plain; charset=utf-8"},
+      {"NONSENSE\r\n\r\n", 400, "text/plain; charset=utf-8"},
+  };
+  for (const Expectation& expectation : expectations) {
+    int status = 0;
+    std::string body, headers;
+    ASSERT_TRUE(RawHttp(server.port(), expectation.request, &status, &body, &headers))
+        << expectation.request;
+    EXPECT_EQ(status, expectation.status) << expectation.request;
+    EXPECT_EQ(HeaderValue(headers, "Content-Type"), expectation.content_type)
+        << expectation.request;
+    // Content-Length must match the bytes actually delivered.
+    EXPECT_EQ(HeaderValue(headers, "Content-Length"), std::to_string(body.size()))
+        << expectation.request << "\n" << headers;
+    EXPECT_EQ(HeaderValue(headers, "Connection"), "close") << expectation.request;
+    EXPECT_FALSE(body.empty()) << expectation.request;
+  }
+  server.Stop();
+}
+
+TEST(TelemetryServerTest, MalformedRequestLineGets400NotHang) {
+  TelemetryServer server({});
+  ASSERT_TRUE(server.Start().ok());
+  int status = 0;
+  std::string body;
+  // No second space in the request line: client error, not method error.
+  ASSERT_TRUE(RawHttp(server.port(), "GET\r\n\r\n", &status, &body));
+  EXPECT_EQ(status, 400);
+  EXPECT_NE(body.find("malformed"), std::string::npos);
+  server.Stop();
+}
+
+TEST(TelemetryServerTest, ProfilezCapturesSchemaValidProfile) {
+  if (Profiler::Global().running()) GTEST_SKIP() << "profiler busy elsewhere";
+  TelemetryServer server({});
+  int status = 0;
+  std::string content_type;
+  // Keep a registered thread burning CPU so the capture must collect real
+  // samples — this proves the live path arms each thread's *own* CPU clock
+  // (an idle capture thread arming CLOCK_THREAD_CPUTIME_ID would get zero).
+  std::atomic<bool> done{false};
+  std::thread burner([&] {
+    ProfiledThreadScope profiled;
+    volatile uint64_t sink = 0;
+    while (!done.load(std::memory_order_acquire)) sink = sink * 3 + 1;
+  });
+  std::string body = server.HandlePath("/profilez?seconds=1&hz=97", &status, &content_type);
+  done.store(true, std::memory_order_release);
+  burner.join();
+  ASSERT_EQ(status, 200) << body;
+  EXPECT_EQ(content_type, "application/json");
+  auto doc = JsonValue::Parse(body);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  Status valid = ValidateProfileJson(*doc);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+  EXPECT_EQ(doc->GetStringOr("schema", ""), "ppdp.profile.v1");
+  EXPECT_GT(doc->GetNumberOr("samples", 0), 0.0) << body;
+  // The one-shot capture must leave the global profiler stopped and clean.
+  EXPECT_FALSE(Profiler::Global().running());
+  EXPECT_EQ(Profiler::Global().samples_recorded(), 0u);
+
+  // A bad query degrades to defaults rather than erroring.
+  body = server.HandlePath("/profilez?seconds=bogus", &status, &content_type);
+  EXPECT_EQ(status, 200) << body;
+}
+
+TEST(TelemetryServerTest, StatuszReportsProfilerAndProcessSections) {
+  TelemetryServer server({});
+  JsonValue doc = server.StatuszDocument();
+  const JsonValue* profiler = doc.Find("profiler");
+  ASSERT_NE(profiler, nullptr) << doc.Dump();
+  EXPECT_FALSE(profiler->GetBoolOr("running", true));
+  EXPECT_GE(profiler->GetNumberOr("threads_registered", -1), 0.0);
+  const JsonValue* process = doc.Find("process");
+  ASSERT_NE(process, nullptr) << doc.Dump();
+  EXPECT_GT(process->GetNumberOr("rss_bytes", 0), 0.0);
+  EXPECT_GT(process->GetNumberOr("peak_rss_bytes", 0), 0.0);
+  EXPECT_GE(process->GetNumberOr("cpu_user_seconds", -1), 0.0);
+}
+
 TEST(TelemetryServerTest, DoubleStartFailsAndStopIsIdempotent) {
   TelemetryServer server({});
   ASSERT_TRUE(server.Start().ok());
@@ -487,7 +603,7 @@ TEST(TimeSeriesSamplerTest, WritesSchemaValidJsonl) {
   for (size_t i = 0; i < lines.size(); ++i) {
     auto doc = JsonValue::Parse(lines[i]);
     ASSERT_TRUE(doc.ok()) << "line " << i << ": " << doc.status().ToString();
-    EXPECT_EQ(doc->GetStringOr("schema", ""), "ppdp.timeseries.v1");
+    EXPECT_EQ(doc->GetStringOr("schema", ""), "ppdp.timeseries.v2");
     EXPECT_EQ(doc->GetNumberOr("sample", -1), static_cast<double>(i));
     double t = doc->GetNumberOr("t_seconds", -1);
     EXPECT_GE(t, last_t);
@@ -496,11 +612,38 @@ TEST(TimeSeriesSamplerTest, WritesSchemaValidJsonl) {
     ASSERT_TRUE(doc->Has("gauges"));
     ASSERT_TRUE(doc->Has("histograms"));
     EXPECT_TRUE(doc->Find("counters")->is_object());
+    // v2 addition: per-sample process memory and CPU.
+    const JsonValue* process = doc->Find("process");
+    ASSERT_NE(process, nullptr);
+    EXPECT_GT(process->GetNumberOr("rss_bytes", 0), 0.0);
+    EXPECT_GT(process->GetNumberOr("peak_rss_bytes", 0), 0.0);
+    EXPECT_GE(process->GetNumberOr("cpu_user_seconds", -1), 0.0);
+    EXPECT_GE(process->GetNumberOr("cpu_system_seconds", -1), 0.0);
   }
   // The counter bumped mid-run shows up in the final sample.
   auto final_doc = JsonValue::Parse(lines.back());
   ASSERT_TRUE(final_doc.ok());
   EXPECT_GE(final_doc->Find("counters")->GetNumberOr("sampler.test.ticks", 0), 10.0);
+}
+
+TEST(TimeSeriesSamplerTest, V2IsAdditiveOverV1) {
+  // Compatibility contract for the v1→v2 bump: a reader written against
+  // ppdp.timeseries.v1 consumes only the keys below and ignores the rest.
+  // Every one of them must still be present with its v1 shape.
+  JsonValue doc = TimeSeriesSampler::SampleDocument(7, 1.25);
+  EXPECT_EQ(doc.GetNumberOr("sample", -1), 7.0);
+  EXPECT_EQ(doc.GetNumberOr("t_seconds", -1), 1.25);
+  ASSERT_TRUE(doc.Has("counters"));
+  ASSERT_TRUE(doc.Has("gauges"));
+  ASSERT_TRUE(doc.Has("histograms"));
+  EXPECT_TRUE(doc.Find("counters")->is_object());
+  EXPECT_TRUE(doc.Find("gauges")->is_object());
+  EXPECT_TRUE(doc.Find("histograms")->is_object());
+  // The schema tag itself is the only v1 key whose *value* changed; a v1
+  // reader keying behavior on the "ppdp.timeseries." prefix still matches.
+  EXPECT_EQ(doc.GetStringOr("schema", "").rfind("ppdp.timeseries.", 0), 0u);
+  // And the v2 payload rides alongside without displacing anything.
+  ASSERT_TRUE(doc.Has("process"));
 }
 
 TEST(TimeSeriesSamplerTest, RejectsBadOptionsAndDoubleStart) {

@@ -9,13 +9,18 @@
 // tripping on sub-noise phases.
 //
 // Flags:
-//   --threshold X   (default 0.25)  relative slowdown tolerated (+25%)
-//   --min_ms X      (default 5.0)   absolute slowdown floor in milliseconds
-//   --check_digests (off)  also fail when an output CSV digest present in
-//                   both reports differs (determinism audit)
-//   --validate_only (off)  schema-validate both files and exit (no diff)
+//   --threshold X     (default 0.25)  relative slowdown tolerated (+25%)
+//   --min_ms X        (default 5.0)   absolute slowdown floor in milliseconds
+//   --mem_threshold X (default 0 = off)  relative per-phase peak-RSS growth
+//                     tolerated (0.5 = +50%); needs both reports to carry
+//                     memory numbers (v6+ writers)
+//   --min_mem_mb X    (default 16)  absolute peak-RSS growth floor in MB
+//   --check_digests   (off)  also fail when an output CSV digest present in
+//                     both reports differs (determinism audit)
+//   --validate_only   (off)  schema-validate both files and exit (no diff)
 //
 // Exit codes: 0 ok, 1 regression detected, 2 usage/IO/schema error.
+#include <cstdint>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -28,8 +33,9 @@
 namespace {
 
 int Usage() {
-  std::cerr << "usage: ppdp_benchstat [--threshold X] [--min_ms X] [--check_digests]\n"
-               "                      [--validate_only] baseline.json current.json\n";
+  std::cerr << "usage: ppdp_benchstat [--threshold X] [--min_ms X] [--mem_threshold X]\n"
+               "                      [--min_mem_mb X] [--check_digests] [--validate_only]\n"
+               "                      baseline.json current.json\n";
   return 2;
 }
 
@@ -108,15 +114,24 @@ int main(int argc, char** argv) {
   options.threshold = flags.GetDouble("threshold", options.threshold);
   options.min_ms = flags.GetDouble("min_ms", options.min_ms);
   options.check_digests = flags.GetBool("check_digests", false);
-  if (options.threshold < 0.0 || options.min_ms < 0.0) {
-    std::cerr << "ppdp_benchstat: --threshold and --min_ms must be non-negative\n";
+  options.mem_threshold = flags.GetDouble("mem_threshold", options.mem_threshold);
+  double min_mem_mb = flags.GetDouble("min_mem_mb", 16.0);
+  if (options.threshold < 0.0 || options.min_ms < 0.0 || options.mem_threshold < 0.0 ||
+      min_mem_mb < 0.0) {
+    std::cerr << "ppdp_benchstat: thresholds and floors must be non-negative\n";
     return 2;
   }
+  options.min_mem_bytes = static_cast<uint64_t>(min_mem_mb * (1 << 20));
 
   ppdp::obs::ReportDiff diff = ppdp::obs::DiffReports(baseline, current, options);
   std::cout << "== benchstat: " << current.name << " (threshold +"
             << static_cast<int>(options.threshold * 100) << "%, floor " << options.min_ms
-            << " ms) ==\n";
+            << " ms";
+  if (options.mem_threshold > 0.0) {
+    std::cout << "; mem +" << static_cast<int>(options.mem_threshold * 100) << "%, floor "
+              << min_mem_mb << " MB";
+  }
+  std::cout << ") ==\n";
   diff.Summary().Print(std::cout);
   if (baseline.build.compiler != current.build.compiler ||
       baseline.build.build_type != current.build.build_type) {
@@ -128,7 +143,7 @@ int main(int argc, char** argv) {
     std::cout << "(output digest differs: " << name << ")\n";
   }
   if (diff.regressed) {
-    std::cout << "REGRESSION: at least one phase slowed beyond the gate\n";
+    std::cout << "REGRESSION: at least one phase slowed (or grew memory) beyond the gate\n";
     return 1;
   }
   std::cout << "ok: no phase regressed\n";

@@ -1,0 +1,145 @@
+// Profile inspector and frame-level regression gate over sampling profiles.
+//
+//   $ ppdp_profstat [flags] profile.json              # validate + top tables
+//   $ ppdp_profstat [flags] baseline.json current.json  # frame-share diff
+//
+// Works on the ppdp.profile.v1 JSON a bench emits with --profile_hz (or the
+// telemetry server serves on /profilez). With one file it validates the
+// schema and prints the per-phase and top-frame tables; with two it diffs
+// self-sample *shares* frame by frame — like ppdp_benchstat for time, but a
+// level below phases — and exits non-zero when a frame's share of total
+// samples grew beyond BOTH the relative threshold and the absolute floor.
+//
+// Flags:
+//   --threshold X   (default 0.75)  relative share growth tolerated (+75%)
+//   --min_share X   (default 0.02)  absolute share growth floor (2pp)
+//   --top N         (default 20)    rows in the top-frames table
+//   --validate_only (off)  schema-validate the file(s) and exit
+//
+// Exit codes: 0 ok, 1 frame regression detected, 2 usage/IO/schema error.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/json.h"
+#include "common/result.h"
+#include "obs/profiler.h"
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: ppdp_profstat [--threshold X] [--min_share X] [--top N]\n"
+               "                     [--validate_only] profile.json [current.json]\n";
+  return 2;
+}
+
+/// Loads and schema-validates one profile file; prints to stderr on failure.
+bool LoadProfile(const std::string& path, ppdp::obs::CpuProfile* profile) {
+  ppdp::Result<ppdp::JsonValue> doc = ppdp::JsonValue::Load(path);
+  if (!doc.ok()) {
+    std::cerr << "ppdp_profstat: " << doc.status().ToString() << "\n";
+    return false;
+  }
+  ppdp::Status valid = ppdp::obs::ValidateProfileJson(*doc);
+  if (!valid.ok()) {
+    std::cerr << "ppdp_profstat: " << path << ": " << valid.ToString() << "\n";
+    return false;
+  }
+  ppdp::Result<ppdp::obs::CpuProfile> parsed = ppdp::obs::CpuProfile::FromJson(*doc);
+  if (!parsed.ok()) {
+    std::cerr << "ppdp_profstat: " << path << ": " << parsed.status().ToString() << "\n";
+    return false;
+  }
+  *profile = std::move(*parsed);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Same hand-rolled split as ppdp_benchstat: boolean flags never take a
+  // separate value, every other flag takes exactly one.
+  std::vector<std::string> positional;
+  std::vector<std::string> flag_args = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional.push_back(std::move(arg));
+      continue;
+    }
+    if (arg == "--help") return Usage();
+    if (arg == "--validate_only") {
+      flag_args.push_back(arg + "=true");
+      continue;
+    }
+    if (arg.find('=') == std::string::npos) {
+      if (i + 1 >= argc) return Usage();
+      arg += "=";
+      arg += argv[++i];
+    }
+    flag_args.push_back(std::move(arg));
+  }
+  std::vector<char*> flag_argv;
+  flag_argv.reserve(flag_args.size());
+  for (std::string& arg : flag_args) flag_argv.push_back(arg.data());
+  ppdp::Flags flags(static_cast<int>(flag_argv.size()), flag_argv.data());
+
+  if (positional.empty() || positional.size() > 2) return Usage();
+
+  ppdp::obs::CpuProfile profile;
+  if (!LoadProfile(positional[0], &profile)) return 2;
+
+  if (positional.size() == 1) {
+    if (flags.GetBool("validate_only", false)) {
+      std::cout << "ppdp_profstat: schema-valid (" << profile.name << ", " << profile.samples
+                << " samples @ " << profile.hz << " Hz, " << profile.threads_profiled
+                << " threads)\n";
+      return 0;
+    }
+    size_t top = static_cast<size_t>(flags.GetInt("top", 20));
+    std::cout << "== profile: " << profile.name << " (" << profile.samples << " samples @ "
+              << profile.hz << " Hz, " << profile.threads_profiled << " threads, "
+              << profile.dropped << " dropped) ==\n";
+    profile.PhaseTable().Print(std::cout);
+    std::cout << "\n== top " << top << " self frames ==\n";
+    profile.TopFramesTable(top).Print(std::cout);
+    if (profile.stacks_truncated > 0) {
+      std::cout << "(" << profile.stacks_truncated << " unique stacks beyond the top "
+                << ppdp::obs::CpuProfile::kMaxStacks << " not retained)\n";
+    }
+    return 0;
+  }
+
+  ppdp::obs::CpuProfile current;
+  if (!LoadProfile(positional[1], &current)) return 2;
+  if (flags.GetBool("validate_only", false)) {
+    std::cout << "ppdp_profstat: both profiles schema-valid (" << profile.name << ", "
+              << current.name << ")\n";
+    return 0;
+  }
+
+  ppdp::obs::ProfileDiffOptions options;
+  options.threshold = flags.GetDouble("threshold", options.threshold);
+  options.min_share = flags.GetDouble("min_share", options.min_share);
+  if (options.threshold < 0.0 || options.min_share < 0.0) {
+    std::cerr << "ppdp_profstat: --threshold and --min_share must be non-negative\n";
+    return 2;
+  }
+
+  ppdp::obs::ProfileDiff diff = ppdp::obs::DiffProfiles(profile, current, options);
+  std::cout << "== profstat: " << current.name << " (threshold +"
+            << static_cast<int>(options.threshold * 100) << "%, floor "
+            << options.min_share * 100 << "pp) ==\n";
+  diff.Summary().Print(std::cout);
+  if (profile.compiler != current.compiler || profile.build_type != current.build_type) {
+    std::cout << "(builds differ: baseline " << profile.build_type << " \"" << profile.compiler
+              << "\" vs current \"" << current.compiler << "\")\n";
+  }
+  if (diff.regressed) {
+    std::cout << "REGRESSION: at least one frame's self-share grew beyond the gate\n";
+    return 1;
+  }
+  std::cout << "ok: no frame regressed\n";
+  return 0;
+}
