@@ -1,0 +1,171 @@
+// Serving benchmark: drives an in-process ppdp_serve daemon (ephemeral
+// loopback port) with closed-loop client threads issuing the mixed traffic
+// a publishing service sees — mostly /v1/dp/aggregate and /v1/audit, with
+// ~--publish_pct% /v1/publish runs that exercise the coalescer — and
+// reports client-observed request latency (p50/p95/p99 exact while total
+// requests stay under the histogram's 4096-sample cap) plus throughput.
+//
+//   $ ./bench_serve [--clients 8] [--requests 2048] [--publish_pct 12]
+//                   [--min_qps 0] [--scale 0.25] [--genome_snps 300]
+//
+// --min_qps > 0 turns the run into a gate: exit 1 when achieved QPS falls
+// below it (what the CI perf job pins). The BENCH_serve.json run report
+// carries the serve.client.seconds histogram for ppdp_benchstat diffing.
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/json.h"
+#include "serve/client.h"
+#include "serve/serve_app.h"
+
+namespace {
+
+struct ClientStats {
+  uint64_t ok = 0;
+  uint64_t rejected = 0;   // 403/429: budget or queue pressure
+  uint64_t failed = 0;     // transport errors, 4xx/5xx outside the above
+  uint64_t coalesced = 0;  // publish responses served as batch followers
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ppdp::bench::BenchEnv env(argc, argv, /*default_scale=*/0.25);
+  ppdp::Flags flags(argc, argv);
+  const int clients = static_cast<int>(flags.GetInt("clients", 8));
+  const uint64_t total_requests = static_cast<uint64_t>(flags.GetInt("requests", 2048));
+  const int publish_pct = static_cast<int>(flags.GetInt("publish_pct", 12));
+  const double min_qps = flags.GetDouble("min_qps", 0.0);
+
+  ppdp::serve::ServeOptions options;
+  options.port = 0;
+  options.http_max_conns = clients + 4;
+  options.graph_scale = env.scale;
+  options.genome_snps = static_cast<size_t>(flags.GetInt("genome_snps", 300));
+  options.seed = env.seed;
+  options.threads = env.threads;
+  // The bench measures serving latency, not budget exhaustion; give every
+  // tenant room for its whole request share.
+  options.tenant_budget = flags.GetDouble("tenant_budget", 1e9);
+  options.max_tenants = static_cast<size_t>(clients) + 4;
+  options.max_pending = static_cast<int>(flags.GetInt("max_pending", clients * 8));
+
+  auto app = ppdp::serve::ServeApp::Create(options);
+  if (!app.ok()) {
+    std::cerr << "bench_serve: " << app.status().ToString() << "\n";
+    return 1;
+  }
+  if (ppdp::Status started = (*app)->Start(); !started.ok()) {
+    std::cerr << "bench_serve: " << started.ToString() << "\n";
+    return 1;
+  }
+  const int port = (*app)->port();
+
+  // Client-observed latency (connect + request + response). Bounds mirror
+  // the server-side serve.request.seconds histogram so the two line up in
+  // benchstat diffs.
+  ppdp::obs::Histogram& latency = ppdp::obs::MetricsRegistry::Global().histogram(
+      "serve.client.seconds",
+      {0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+       2.5});
+
+  std::atomic<uint64_t> next_request{0};
+  std::vector<ClientStats> stats(static_cast<size_t>(clients));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  const double bench_start = ppdp::obs::MonotonicSeconds();
+
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const std::string tenant = "bench" + std::to_string(c);
+      ClientStats& mine = stats[static_cast<size_t>(c)];
+      while (true) {
+        const uint64_t i = next_request.fetch_add(1, std::memory_order_relaxed);
+        if (i >= total_requests) break;
+
+        ppdp::JsonValue body = ppdp::JsonValue::Object();
+        body.Set("tenant", ppdp::JsonValue::String(tenant));
+        std::string path;
+        const uint64_t slot = i % 100;
+        if (slot < static_cast<uint64_t>(publish_pct)) {
+          // One shared config: concurrent publishes coalesce into one run.
+          path = "/v1/publish";
+          body.Set("kind", ppdp::JsonValue::String("genome"));
+          body.Set("epsilon", ppdp::JsonValue::Number(0.25));
+        } else if (slot < 90) {
+          path = "/v1/dp/aggregate";
+          body.Set("op", ppdp::JsonValue::String(slot % 2 == 0 ? "histogram" : "range_count"));
+          body.Set("epsilon", ppdp::JsonValue::Number(0.05));
+        } else {
+          // The tenant's first request is never an audit (slot >= 90 needs
+          // i >= 90 > clients), so the ledger already exists.
+          path = "/v1/audit";
+        }
+
+        const double start = ppdp::obs::MonotonicSeconds();
+        auto response = ppdp::serve::PostJson(port, path, body);
+        latency.Observe(ppdp::obs::MonotonicSeconds() - start);
+        if (!response.ok()) {
+          ++mine.failed;
+          continue;
+        }
+        if (response->status == 200) {
+          ++mine.ok;
+          if (path == "/v1/publish") {
+            auto doc = response->Json();
+            if (doc.ok() && doc->GetBoolOr("coalesced", false)) ++mine.coalesced;
+          }
+        } else if (response->status == 403 || response->status == 429) {
+          ++mine.rejected;
+        } else {
+          ++mine.failed;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double wall = ppdp::obs::MonotonicSeconds() - bench_start;
+
+  ClientStats total;
+  for (const ClientStats& s : stats) {
+    total.ok += s.ok;
+    total.rejected += s.rejected;
+    total.failed += s.failed;
+    total.coalesced += s.coalesced;
+  }
+  const double qps = wall > 0.0 ? static_cast<double>(total_requests) / wall : 0.0;
+
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  for (const auto& summary : ppdp::obs::MetricsRegistry::Global().HistogramSummaries()) {
+    if (summary.name == "serve.client.seconds") {
+      p50 = summary.p50;
+      p95 = summary.p95;
+      p99 = summary.p99;
+    }
+  }
+
+  ppdp::Table table({"clients", "requests", "ok", "rejected", "failed", "coalesced", "wall s",
+                     "qps", "p50 ms", "p95 ms", "p99 ms"});
+  table.AddRow({std::to_string(clients), std::to_string(total_requests),
+                std::to_string(total.ok), std::to_string(total.rejected),
+                std::to_string(total.failed), std::to_string(total.coalesced),
+                ppdp::Table::FormatDouble(wall, 3), ppdp::Table::FormatDouble(qps, 1),
+                ppdp::Table::FormatDouble(p50 * 1e3, 3), ppdp::Table::FormatDouble(p95 * 1e3, 3),
+                ppdp::Table::FormatDouble(p99 * 1e3, 3)});
+  env.Emit(table, "serve_throughput", "closed-loop serving throughput and client latency");
+
+  (*app)->Stop();
+
+  if (total.failed > 0) {
+    std::cerr << "bench_serve: " << total.failed << " requests failed\n";
+    return 1;
+  }
+  if (min_qps > 0.0 && qps < min_qps) {
+    std::cerr << "bench_serve: achieved " << qps << " qps < --min_qps " << min_qps << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -48,6 +48,9 @@ namespace ppdp::bench {
 ///                   HTTP server on 127.0.0.1:P; 0 picks an ephemeral port.
 ///                   The resolved URL is printed at startup. Without this
 ///                   flag no socket is opened and nothing is paid.
+///   --http_max_conns N   (default 8)  telemetry server connection cap;
+///                   connections beyond it get an immediate 503 (counted
+///                   by telemetry.rejected_connections)
 ///   --sample_period_ms N (default 500; 0 disables)  metric time-series
 ///                   sampling interval; samples append to
 ///                   <out>/<bench>_timeseries.jsonl (ppdp.timeseries.v2)
@@ -128,6 +131,8 @@ struct BenchEnv {
     if (flags.Has("telemetry_port")) {
       obs::TelemetryServer::Options telemetry_options;
       telemetry_options.port = static_cast<int>(flags.GetInt("telemetry_port", 0));
+      telemetry_options.max_connections =
+          static_cast<int>(flags.GetInt("http_max_conns", telemetry_options.max_connections));
       telemetry_options.flags = flag_values_;
       telemetry_options.seed = seed;
       telemetry_options.threads = threads;

@@ -50,6 +50,41 @@ genomics::PrivacyReport GenomePublisher::Privacy(const std::vector<size_t>& targ
   return genomics::EvaluateTraitPrivacy(Attack(method), target_traits);
 }
 
+Result<PublishOutput> GenomePublisher::Publish(const PublishConfig& config) const {
+  std::vector<size_t> traits = config.target_traits;
+  if (traits.empty()) traits.push_back(0);
+  for (size_t trait : traits) {
+    if (trait >= catalog_.num_traits()) {
+      return Status::InvalidArgument("target trait " + std::to_string(trait) +
+                                     " out of range (catalog has " +
+                                     std::to_string(catalog_.num_traits()) + " traits)");
+    }
+  }
+  obs::TraceSpan span("genome.publish");
+  genomics::GputOptions options;
+  options.delta = config.delta;
+  if (options.bp.threads == 0) options.bp.threads = threads_;
+  // GreedySanitize takes the view by value: the held view stays pristine,
+  // so Publish is repeatable and shareable across concurrent callers.
+  genomics::GputResult result = genomics::GreedySanitize(catalog_, view_, traits, options);
+
+  PublishOutput output;
+  output.kind = PublisherKindName(kind());
+  output.privacy_before = result.privacy_trace.empty() ? 0.0 : result.privacy_trace.front();
+  output.privacy_after = result.privacy_trace.empty() ? 0.0 : result.privacy_trace.back();
+  output.attributes_sanitized = result.sanitized.size();
+  output.items_released = result.released;
+  output.satisfied = result.satisfied;
+  const size_t published_before = genomics::ReleasedSnpCount(view_);
+  output.utility_loss =
+      published_before == 0
+          ? 0.0
+          : static_cast<double>(published_before - result.released) / published_before;
+  static obs::Counter& done = obs::MetricsRegistry::Global().counter("genome.progress.publish");
+  done.Increment();
+  return output;
+}
+
 genomics::GputResult GenomePublisher::PublishWithDeltaPrivacy(
     double delta, const std::vector<size_t>& target_traits, genomics::AttackMethod method) {
   obs::TraceSpan span("genome.publish_delta_privacy");

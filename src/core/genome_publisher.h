@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/publisher.h"
 #include "core/publisher_options.h"
 #include "genomics/genome_data.h"
 #include "genomics/gwas_catalog.h"
@@ -21,7 +22,7 @@ namespace ppdp::core {
 ///   if (!pub.ok()) return pub.status();
 ///   auto before = pub->Attack(genomics::AttackMethod::kBeliefPropagation);
 ///   auto result = pub->PublishWithDeltaPrivacy(/*delta=*/0.8, hidden_traits);
-class GenomePublisher {
+class GenomePublisher : public Publisher {
  public:
   /// Validates `options` and builds a publisher. The genome pipeline has no
   /// attacker-visibility mask, so `options.known_fraction` and `options.seed`
@@ -31,6 +32,15 @@ class GenomePublisher {
   static Result<GenomePublisher> Create(genomics::GwasCatalog catalog,
                                         genomics::TargetView view,
                                         const PublisherOptions& options);
+
+  PublisherKind kind() const override { return PublisherKind::kGenome; }
+
+  /// Unified entry point: greedy GPUT sanitization toward δ-privacy
+  /// (config.delta) of config.target_traits on a working copy — unlike
+  /// PublishWithDeltaPrivacy the held view is untouched. privacy_* is min
+  /// target-trait entropy; utility_loss is the fraction of previously
+  /// published SNPs withheld.
+  Result<PublishOutput> Publish(const PublishConfig& config) const override;
 
   /// Runs the inference attack on the current view. When `options` leaves
   /// `threads` at 0 the publisher's construction default applies.

@@ -18,6 +18,7 @@
 
 #include "classify/evaluation.h"
 #include "core/genome_publisher.h"
+#include "core/publisher.h"
 #include "core/publisher_options.h"
 #include "core/social_publisher.h"
 #include "core/tradeoff_publisher.h"

@@ -1,0 +1,68 @@
+#include "core/publisher.h"
+
+#include <utility>
+
+#include "core/genome_publisher.h"
+#include "core/social_publisher.h"
+#include "core/tradeoff_publisher.h"
+
+namespace ppdp::core {
+
+const char* PublisherKindName(PublisherKind kind) {
+  switch (kind) {
+    case PublisherKind::kSocial: return "social";
+    case PublisherKind::kTradeoff: return "tradeoff";
+    case PublisherKind::kGenome: return "genome";
+  }
+  return "unknown";
+}
+
+Result<PublisherKind> ParsePublisherKind(std::string_view name) {
+  if (name == "social") return PublisherKind::kSocial;
+  if (name == "tradeoff") return PublisherKind::kTradeoff;
+  if (name == "genome") return PublisherKind::kGenome;
+  return Status::InvalidArgument("unknown publisher kind: " + std::string(name));
+}
+
+JsonValue PublishOutput::ToJson() const {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("kind", JsonValue::String(kind));
+  doc.Set("privacy_before", JsonValue::Number(privacy_before));
+  doc.Set("privacy_after", JsonValue::Number(privacy_after));
+  doc.Set("utility_loss", JsonValue::Number(utility_loss));
+  doc.Set("attributes_sanitized", JsonValue::Number(static_cast<double>(attributes_sanitized)));
+  doc.Set("links_removed", JsonValue::Number(static_cast<double>(links_removed)));
+  doc.Set("items_released", JsonValue::Number(static_cast<double>(items_released)));
+  doc.Set("satisfied", JsonValue::Bool(satisfied));
+  return doc;
+}
+
+Result<std::unique_ptr<Publisher>> CreatePublisher(PublisherKind kind, graph::SocialGraph graph,
+                                                   const PublisherOptions& options) {
+  switch (kind) {
+    case PublisherKind::kSocial: {
+      PPDP_ASSIGN_OR_RETURN(SocialPublisher publisher,
+                            SocialPublisher::Create(std::move(graph), options));
+      return std::unique_ptr<Publisher>(new SocialPublisher(std::move(publisher)));
+    }
+    case PublisherKind::kTradeoff: {
+      PPDP_ASSIGN_OR_RETURN(TradeoffPublisher publisher,
+                            TradeoffPublisher::Create(std::move(graph), options));
+      return std::unique_ptr<Publisher>(new TradeoffPublisher(std::move(publisher)));
+    }
+    case PublisherKind::kGenome:
+      return Status::InvalidArgument(
+          "genome publisher needs a GWAS catalog corpus, not a social graph");
+  }
+  return Status::InvalidArgument("unknown publisher kind");
+}
+
+Result<std::unique_ptr<Publisher>> CreatePublisher(genomics::GwasCatalog catalog,
+                                                   genomics::TargetView view,
+                                                   const PublisherOptions& options) {
+  PPDP_ASSIGN_OR_RETURN(GenomePublisher publisher,
+                        GenomePublisher::Create(std::move(catalog), std::move(view), options));
+  return std::unique_ptr<Publisher>(new GenomePublisher(std::move(publisher)));
+}
+
+}  // namespace ppdp::core

@@ -99,6 +99,37 @@ sanitize::SanitizeReport SocialPublisher::SanitizeCollective(
   return report;
 }
 
+Result<PublishOutput> SocialPublisher::Publish(const PublishConfig& config) const {
+  if (config.utility_category >= graph_.num_categories()) {
+    return Status::InvalidArgument(
+        "utility_category " + std::to_string(config.utility_category) + " out of range (graph has " +
+        std::to_string(graph_.num_categories()) + " categories)");
+  }
+  obs::TraceSpan span("social.publish");
+  const classify::LocalModel local = classify::LocalModel::kNaiveBayes;
+  sanitize::PrivacyUtility before = MeasurePrivacyUtility(config.utility_category, local);
+
+  // The held graph stays pristine so Publish is repeatable (and shareable
+  // across concurrent callers); Algorithm 2 runs on a working copy.
+  graph::SocialGraph working = graph_;
+  sanitize::CollectiveSanitizeOptions sanitize_options;
+  sanitize_options.utility_category = config.utility_category;
+  sanitize::SanitizeReport report = sanitize::CollectiveSanitize(working, sanitize_options);
+  sanitize::PrivacyUtility after = sanitize::MeasurePrivacyUtility(
+      working, known_, config.utility_category, local, Effective({}));
+
+  PublishOutput output;
+  output.kind = PublisherKindName(kind());
+  output.privacy_before = before.privacy_accuracy;
+  output.privacy_after = after.privacy_accuracy;
+  output.utility_loss = before.utility_accuracy - after.utility_accuracy;
+  output.attributes_sanitized =
+      report.removed_categories.size() + report.perturbed_categories.size();
+  static obs::Counter& done = obs::MetricsRegistry::Global().counter("social.progress.publish");
+  done.Increment();
+  return output;
+}
+
 sanitize::PrivacyUtility SocialPublisher::MeasurePrivacyUtility(
     size_t utility_category, classify::LocalModel local,
     const classify::CollectiveConfig& config) const {

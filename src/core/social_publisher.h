@@ -7,6 +7,7 @@
 #include "classify/evaluation.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "core/publisher.h"
 #include "core/publisher_options.h"
 #include "graph/social_graph.h"
 #include "sanitize/collective_sanitizer.h"
@@ -23,7 +24,7 @@ namespace ppdp::core {
 ///   double before = pub->AttackAccuracy(AttackModel::kCollective, LocalModel::kRst);
 ///   pub->SanitizeCollective({.utility_category = 1});
 ///   double after = pub->AttackAccuracy(AttackModel::kCollective, LocalModel::kRst);
-class SocialPublisher {
+class SocialPublisher : public Publisher {
  public:
   /// Validates `options` and builds a publisher over a working copy of
   /// `graph`; `options.known_fraction` of node labels are attacker-visible
@@ -31,6 +32,14 @@ class SocialPublisher {
   /// default execution width of every attack measurement.
   static Result<SocialPublisher> Create(graph::SocialGraph graph,
                                         const PublisherOptions& options);
+
+  PublisherKind kind() const override { return PublisherKind::kSocial; }
+
+  /// Unified entry point: measures the collective-attack accuracy and
+  /// utility accuracy, runs Algorithm 2 on a working copy (the held graph
+  /// is untouched), and measures again. privacy_* is adversary accuracy on
+  /// the sensitive label; utility_loss is the utility-accuracy drop.
+  Result<PublishOutput> Publish(const PublishConfig& config) const override;
 
   /// Accuracy of the given attack against the current (possibly sanitized)
   /// graph. When `config` leaves `threads` at 0 the publisher's construction

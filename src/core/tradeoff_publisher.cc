@@ -54,6 +54,41 @@ Result<tradeoff::StrategyResult> TradeoffPublisher::OptimizeAttributeStrategy(
   return result;
 }
 
+Result<PublishOutput> TradeoffPublisher::Publish(const PublishConfig& config) const {
+  if (config.utility_category >= graph_.num_categories()) {
+    return Status::InvalidArgument(
+        "utility_category " + std::to_string(config.utility_category) + " out of range (graph has " +
+        std::to_string(graph_.num_categories()) + " categories)");
+  }
+  obs::TraceSpan span("tradeoff.publish");
+  tradeoff::TradeoffConfig tradeoff_config;
+  tradeoff_config.num_attributes = config.num_attributes;
+  tradeoff_config.num_links = config.num_links;
+  tradeoff_config.delta = config.delta;
+  tradeoff_config.utility_category = config.utility_category;
+
+  // A zero-op strategy run sanitizes nothing but still measures latent
+  // privacy, giving the unsanitized baseline on the same scale.
+  tradeoff::TradeoffConfig baseline_config = tradeoff_config;
+  baseline_config.num_attributes = 0;
+  baseline_config.num_links = 0;
+  tradeoff::TradeoffOutcome baseline =
+      Apply(tradeoff::Strategy::kAttributeRemoval, baseline_config);
+  tradeoff::TradeoffOutcome outcome = Apply(config.strategy, tradeoff_config);
+
+  PublishOutput output;
+  output.kind = PublisherKindName(kind());
+  output.privacy_before = baseline.latent_privacy;
+  output.privacy_after = outcome.latent_privacy;
+  output.utility_loss = outcome.prediction_loss;
+  output.attributes_sanitized = outcome.attributes_sanitized;
+  output.links_removed = outcome.links_removed;
+  static obs::Counter& done =
+      obs::MetricsRegistry::Global().counter("tradeoff.progress.publish");
+  done.Increment();
+  return output;
+}
+
 tradeoff::TradeoffOutcome TradeoffPublisher::Apply(tradeoff::Strategy strategy,
                                                    const tradeoff::TradeoffConfig& config) const {
   obs::TraceSpan span("tradeoff.apply_strategy");

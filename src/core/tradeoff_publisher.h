@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/publisher.h"
 #include "core/publisher_options.h"
 #include "graph/social_graph.h"
 #include "tradeoff/attribute_strategy.h"
@@ -21,12 +22,20 @@ namespace ppdp::core {
 ///   if (!pub.ok()) return pub.status();
 ///   auto optimal = pub->OptimizeAttributeStrategy(/*delta=*/0.4);
 ///   auto outcome = pub->Apply(tradeoff::Strategy::kCollectiveSanitization, config);
-class TradeoffPublisher {
+class TradeoffPublisher : public Publisher {
  public:
   /// Validates `options` and builds a publisher over a working copy of
   /// `graph` (mask sampled as in SocialPublisher::Create).
   static Result<TradeoffPublisher> Create(graph::SocialGraph graph,
                                           const PublisherOptions& options);
+
+  PublisherKind kind() const override { return PublisherKind::kTradeoff; }
+
+  /// Unified entry point: applies config.strategy with the config's counts
+  /// and δ, plus one zero-op strategy run to measure baseline latent
+  /// privacy. privacy_* is latent privacy (adversary 0/1 error, higher =
+  /// safer); utility_loss is the prediction loss.
+  Result<PublishOutput> Publish(const PublishConfig& config) const override;
 
   /// Builds the (ε, δ)-UtiOptPri attribute-side problem over the
   /// `max_sets` most frequent attribute vectors.

@@ -1,0 +1,83 @@
+#include "obs/http.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <utility>
+
+namespace ppdp::obs {
+
+int HttpRequest::QueryIntOr(const std::string& key, int fallback) const {
+  auto it = query.find(key);
+  if (it == query.end()) return fallback;
+  errno = 0;
+  char* rest = nullptr;
+  long value = std::strtol(it->second.c_str(), &rest, 10);
+  if (errno != 0 || rest == it->second.c_str() || *rest != '\0') return fallback;
+  return static_cast<int>(value);
+}
+
+std::string HttpRequest::QueryStringOr(const std::string& key, const std::string& fallback) const {
+  auto it = query.find(key);
+  return it == query.end() ? fallback : it->second;
+}
+
+void HttpResponse::Text(int status, std::string body) {
+  status_ = status;
+  content_type_ = "text/plain; charset=utf-8";
+  body_ = std::move(body);
+}
+
+void HttpResponse::Json(int status, const JsonValue& doc) {
+  status_ = status;
+  content_type_ = "application/json";
+  body_ = doc.Dump() + "\n";
+}
+
+void HttpResponse::RawJson(int status, std::string body) {
+  status_ = status;
+  content_type_ = "application/json";
+  body_ = std::move(body);
+}
+
+std::string HttpResponse::Render() const {
+  std::string response = "HTTP/1.1 " + std::to_string(status_) + " " + HttpStatusText(status_) +
+                         "\r\nContent-Type: " + content_type_ +
+                         "\r\nContent-Length: " + std::to_string(body_.size()) +
+                         "\r\nConnection: close\r\n\r\n";
+  response += body_;
+  return response;
+}
+
+const char* HttpStatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+std::map<std::string, std::string> ParseQueryString(std::string_view query) {
+  std::map<std::string, std::string> params;
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t end = query.find('&', pos);
+    if (end == std::string_view::npos) end = query.size();
+    std::string_view pair = query.substr(pos, end - pos);
+    if (!pair.empty()) {
+      size_t eq = pair.find('=');
+      std::string key(eq == std::string_view::npos ? pair : pair.substr(0, eq));
+      std::string value(eq == std::string_view::npos ? std::string_view() : pair.substr(eq + 1));
+      if (!key.empty()) params.emplace(std::move(key), std::move(value));
+    }
+    pos = end + 1;
+  }
+  return params;
+}
+
+}  // namespace ppdp::obs

@@ -1,0 +1,83 @@
+#ifndef PPDP_OBS_HTTP_H_
+#define PPDP_OBS_HTTP_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/json.h"
+#include "common/result.h"
+
+namespace ppdp::obs {
+
+/// One parsed HTTP request as a routed handler sees it: the request line's
+/// method and path (query string split off and decomposed into key/value
+/// pairs) plus the raw body. Handlers that expect JSON call Json() — the
+/// strict RFC 8259 parser in common/json.cc — instead of re-parsing by hand.
+struct HttpRequest {
+  std::string method;  ///< verbatim ("GET", "POST", ...)
+  std::string path;    ///< without the query string
+  std::map<std::string, std::string> query;
+  std::string body;
+
+  /// Parses the body as a complete JSON document.
+  Result<JsonValue> Json() const { return JsonValue::Parse(body); }
+
+  /// Query-parameter lookup with a fallback for absent/non-numeric values
+  /// (the tolerance /profilez?seconds=bogus has always had).
+  int QueryIntOr(const std::string& key, int fallback) const;
+  std::string QueryStringOr(const std::string& key, const std::string& fallback) const;
+};
+
+/// Response builder handlers fill in: status code, content type, body. The
+/// server renders the HTTP/1.1 framing (Content-Length, Connection: close)
+/// so a handler can never emit a mis-framed response.
+class HttpResponse {
+ public:
+  /// Defaults: 200, text/plain, empty body.
+  HttpResponse() = default;
+
+  void SetStatus(int status) { status_ = status; }
+  void SetContentType(std::string content_type) { content_type_ = std::move(content_type); }
+  void SetBody(std::string body) { body_ = std::move(body); }
+
+  /// One-call plain-text response ("text/plain; charset=utf-8").
+  void Text(int status, std::string body);
+  /// One-call JSON response: Dump()s `doc` with a trailing newline, exactly
+  /// the framing the pre-routing endpoints emitted.
+  void Json(int status, const JsonValue& doc);
+  /// JSON response with an explicit pre-serialized body (for documents that
+  /// are already strings, e.g. the flight-recorder ring).
+  void RawJson(int status, std::string body);
+
+  int status() const { return status_; }
+  const std::string& content_type() const { return content_type_; }
+  const std::string& body() const { return body_; }
+
+  /// Full HTTP/1.1 wire bytes: status line, Content-Type, Content-Length,
+  /// Connection: close, blank line, body.
+  std::string Render() const;
+
+ private:
+  int status_ = 200;
+  std::string content_type_ = "text/plain; charset=utf-8";
+  std::string body_;
+};
+
+/// A routed endpoint. Handlers run on server connection threads (or the
+/// caller's thread via TelemetryServer::HandlePath) and must be thread-safe.
+using HttpHandler = std::function<void(const HttpRequest&, HttpResponse*)>;
+
+/// Reason phrase for the status codes the servers in this repo emit;
+/// "Internal Server Error" for anything unrecognized.
+const char* HttpStatusText(int status);
+
+/// Decomposes "a=1&b=two" into {{"a","1"},{"b","two"}}. No percent-decoding
+/// — the telemetry surface never needed it and keeping the grammar small
+/// keeps the parser auditable. Later duplicates of a key are ignored.
+std::map<std::string, std::string> ParseQueryString(std::string_view query);
+
+}  // namespace ppdp::obs
+
+#endif  // PPDP_OBS_HTTP_H_

@@ -1,5 +1,7 @@
 #include "obs/telemetry_server.h"
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
@@ -36,17 +38,6 @@ struct StatuszSections {
   }
 };
 
-const char* StatusText(int status) {
-  switch (status) {
-    case 200: return "OK";
-    case 400: return "Bad Request";
-    case 404: return "Not Found";
-    case 405: return "Method Not Allowed";
-    case 503: return "Service Unavailable";
-    default: return "Internal Server Error";
-  }
-}
-
 /// Serializes /profilez captures: a second concurrent request gets a 503
 /// instead of fighting over the one global profiler.
 std::mutex& ProfilezMutex() {
@@ -54,37 +45,45 @@ std::mutex& ProfilezMutex() {
   return *mutex;
 }
 
-/// Value of `key` in an HTTP query string ("seconds=2&hz=97"), or
-/// `fallback` when absent/non-numeric.
-int QueryIntOr(const std::string& query, const std::string& key, int fallback) {
-  size_t pos = 0;
-  while (pos < query.size()) {
-    size_t end = query.find('&', pos);
-    if (end == std::string::npos) end = query.size();
-    const std::string pair = query.substr(pos, end - pos);
-    const size_t eq = pair.find('=');
-    if (eq != std::string::npos && pair.substr(0, eq) == key) {
-      errno = 0;
-      char* rest = nullptr;
-      long value = std::strtol(pair.c_str() + eq + 1, &rest, 10);
-      if (errno == 0 && rest != pair.c_str() + eq + 1 && *rest == '\0') {
-        return static_cast<int>(value);
-      }
-      return fallback;
-    }
-    pos = end + 1;
-  }
-  return fallback;
+/// Route-prefix match: exact, or a '/'-separated extension of the prefix.
+/// "/v1/publish" claims "/v1/publish" and "/v1/publish/x", never
+/// "/v1/publisher".
+bool PrefixClaims(const std::string& prefix, const std::string& path) {
+  if (path.size() < prefix.size()) return false;
+  if (path.compare(0, prefix.size(), prefix) != 0) return false;
+  if (path.size() == prefix.size()) return true;
+  return prefix.back() == '/' || path[prefix.size()] == '/';
 }
 
-std::string RenderResponse(int status, const std::string& content_type,
-                           const std::string& body) {
-  std::string response = "HTTP/1.1 " + std::to_string(status) + " " + StatusText(status) +
-                         "\r\nContent-Type: " + content_type +
-                         "\r\nContent-Length: " + std::to_string(body.size()) +
-                         "\r\nConnection: close\r\n\r\n";
-  response += body;
-  return response;
+/// Case-insensitive header lookup in the raw header block (everything
+/// between the request line and the blank line). Returns the trimmed value
+/// or an empty string.
+std::string HeaderValue(const std::string& headers, const std::string& name) {
+  size_t pos = 0;
+  while (pos < headers.size()) {
+    size_t end = headers.find("\r\n", pos);
+    if (end == std::string::npos) end = headers.size();
+    const size_t colon = headers.find(':', pos);
+    if (colon != std::string::npos && colon < end && colon - pos == name.size()) {
+      bool match = true;
+      for (size_t i = 0; i < name.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(headers[pos + i])) !=
+            std::tolower(static_cast<unsigned char>(name[i]))) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        size_t begin = colon + 1;
+        while (begin < end && headers[begin] == ' ') ++begin;
+        size_t stop = end;
+        while (stop > begin && headers[stop - 1] == ' ') --stop;
+        return headers.substr(begin, stop - begin);
+      }
+    }
+    pos = end + 2;
+  }
+  return "";
 }
 
 /// Writes the whole buffer; MSG_NOSIGNAL keeps a client that hung up from
@@ -96,6 +95,12 @@ void SendAll(int fd, const std::string& data) {
     if (n <= 0) return;  // peer gone or socket shut down — nothing to salvage
     sent += static_cast<size_t>(n);
   }
+}
+
+std::string PlainResponse(int status, const std::string& body) {
+  HttpResponse response;
+  response.Text(status, body);
+  return response.Render();
 }
 
 }  // namespace
@@ -122,9 +127,93 @@ bool TelemetryDegraded() {
   return false;
 }
 
-TelemetryServer::TelemetryServer(Options options) : options_(std::move(options)) {}
+TelemetryServer::TelemetryServer(Options options) : options_(std::move(options)) {
+  RegisterBuiltinRoutes();
+}
 
 TelemetryServer::~TelemetryServer() { Stop(); }
+
+void TelemetryServer::RegisterHandler(const std::string& method, const std::string& path_prefix,
+                                      HttpHandler handler) {
+  auto shared = std::make_shared<HttpHandler>(std::move(handler));
+  std::lock_guard<std::mutex> lock(routes_mutex_);
+  for (Route& route : routes_) {
+    if (route.method == method && route.prefix == path_prefix) {
+      route.handler = std::move(shared);
+      return;
+    }
+  }
+  routes_.push_back(Route{method, path_prefix, std::move(shared)});
+}
+
+void TelemetryServer::RegisterBuiltinRoutes() {
+  RegisterHandler("GET", "/metrics", [](const HttpRequest&, HttpResponse* response) {
+    response->SetStatus(200);
+    response->SetContentType("text/plain; version=0.0.4; charset=utf-8");
+    response->SetBody(MetricsRegistry::Global().ToPrometheus());
+  });
+  RegisterHandler("GET", "/healthz", [](const HttpRequest&, HttpResponse* response) {
+    response->Text(200, TelemetryDegraded() ? "degraded\n" : "ok\n");
+  });
+  RegisterHandler("GET", "/statusz", [this](const HttpRequest&, HttpResponse* response) {
+    response->RawJson(200, StatuszDocument().Dump() + "\n");
+  });
+  RegisterHandler("GET", "/flightz", [](const HttpRequest&, HttpResponse* response) {
+    response->RawJson(200, FlightRecorder::Global().ToJson("flightz") + "\n");
+  });
+  RegisterHandler("GET", "/profilez", [this](const HttpRequest& request, HttpResponse* response) {
+    HandleProfilez(request, response);
+  });
+  // The index owns the "/" prefix, which — by the longest-prefix rule —
+  // also makes it the fallback for every path no other route claims; it
+  // answers those with the 404 the server has always produced.
+  RegisterHandler("GET", "/", [](const HttpRequest& request, HttpResponse* response) {
+    if (request.path != "/" && !request.path.empty()) {
+      response->Text(404, "not found: " + request.path + "\n");
+      return;
+    }
+    response->Text(200,
+                   "ppdp telemetry endpoints:\n"
+                   "  /metrics   Prometheus text exposition 0.0.4\n"
+                   "  /healthz   liveness + degraded flag\n"
+                   "  /statusz   live process status (JSON)\n"
+                   "  /flightz   flight-recorder ring (JSON)\n"
+                   "  /profilez  on-demand CPU profile (JSON; ?seconds=N&hz=M)\n");
+  });
+}
+
+void TelemetryServer::HandleProfilez(const HttpRequest& request, HttpResponse* response) const {
+  Profiler& profiler = Profiler::Global();
+  if (profiler.running()) {
+    // A capture is already live (--profile_hz or another client): serve a
+    // snapshot of what it has gathered so far without disturbing it.
+    response->RawJson(200, profiler.Collect("profilez").ToJson().Dump() + "\n");
+    return;
+  }
+  std::unique_lock<std::mutex> capture_lock(ProfilezMutex(), std::try_to_lock);
+  if (!capture_lock.owns_lock()) {
+    response->Text(503, "profile capture already in progress\n");
+    return;
+  }
+  int seconds = request.QueryIntOr("seconds", 1);
+  if (seconds < 1) seconds = 1;
+  if (seconds > 30) seconds = 30;
+  Profiler::Options profiler_options;
+  profiler_options.hz = request.QueryIntOr("hz", 97);
+  Status start_status = profiler.Start(profiler_options);
+  if (!start_status.ok()) {
+    response->Text(503, "profiler unavailable: " + start_status.ToString() + "\n");
+    return;
+  }
+  // Interruptible wait: server shutdown must not block on a capture.
+  for (int i = 0; i < seconds * 10 && !stopping_.load(std::memory_order_acquire); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  profiler.Stop();
+  CpuProfile profile = profiler.Collect("profilez");
+  profiler.ClearSamples();  // leave the global profiler clean for --profile_hz runs
+  response->RawJson(200, profile.ToJson().Dump() + "\n");
+}
 
 Status TelemetryServer::Start() {
   if (running_.load(std::memory_order_acquire)) {
@@ -135,6 +224,9 @@ Status TelemetryServer::Start() {
   }
   if (options_.max_connections < 1) {
     return Status::InvalidArgument("telemetry max_connections must be >= 1");
+  }
+  if (options_.max_request_body_bytes < 1) {
+    return Status::InvalidArgument("telemetry max_request_body_bytes must be >= 1");
   }
 
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -228,6 +320,8 @@ void TelemetryServer::ReapConnections(bool all) {
 }
 
 void TelemetryServer::AcceptLoop() {
+  static Counter& rejected =
+      MetricsRegistry::Global().counter("telemetry.rejected_connections");
   while (!stopping_.load(std::memory_order_acquire)) {
     pollfd pfd{listen_fd_, POLLIN, 0};
     int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
@@ -251,8 +345,8 @@ void TelemetryServer::AcceptLoop() {
     if (active >= static_cast<size_t>(options_.max_connections)) {
       // Fast-fail under load: a scrape storm gets an immediate 503 rather
       // than an unbounded pile of handler threads.
-      SendAll(fd, RenderResponse(503, "text/plain; charset=utf-8",
-                                 "telemetry connection limit reached\n"));
+      rejected.Increment();
+      SendAll(fd, PlainResponse(503, "telemetry connection limit reached\n"));
       ::close(fd);
       continue;
     }
@@ -270,10 +364,13 @@ void TelemetryServer::AcceptLoop() {
 
 void TelemetryServer::HandleConnection(Connection* connection) {
   static Counter& scrapes = MetricsRegistry::Global().counter("telemetry.requests");
-  constexpr size_t kMaxRequestBytes = 8192;
+  // The request line + headers are capped well below any body limit: no
+  // telemetry or serve client has a legitimate reason to send kilobytes of
+  // headers, and the cap bounds memory before Content-Length is even known.
+  constexpr size_t kMaxHeaderBytes = 8192;
   std::string request;
   char buffer[1024];
-  while (request.find("\r\n\r\n") == std::string::npos && request.size() < kMaxRequestBytes) {
+  while (request.find("\r\n\r\n") == std::string::npos && request.size() < kMaxHeaderBytes) {
     ssize_t n = ::recv(connection->fd, buffer, sizeof(buffer), 0);
     if (n <= 0) break;  // EOF, timeout, or shutdown from Stop()
     request.append(buffer, static_cast<size_t>(n));
@@ -290,28 +387,62 @@ void TelemetryServer::HandleConnection(Connection* connection) {
     if (first_space == std::string::npos || second_space == std::string::npos) {
       // A garbled request line is the client's fault, not an unsupported
       // method: 400, not 405.
-      response = RenderResponse(400, "text/plain; charset=utf-8", "malformed request line\n");
+      response = PlainResponse(400, "malformed request line\n");
     } else {
-      const std::string method = line.substr(0, first_space);
-      // The query string travels with the path; HandlePath splits it so
-      // endpoints like /profilez?seconds=N see their parameters.
-      const std::string path = line.substr(first_space + 1, second_space - first_space - 1);
-      if (method != "GET") {
-        response = RenderResponse(405, "text/plain; charset=utf-8", "only GET is supported\n");
+      HttpRequest parsed;
+      parsed.method = line.substr(0, first_space);
+      parsed.path = line.substr(first_space + 1, second_space - first_space - 1);
+      if (const size_t q = parsed.path.find('?'); q != std::string::npos) {
+        parsed.query = ParseQueryString(std::string_view(parsed.path).substr(q + 1));
+        parsed.path.resize(q);
+      }
+
+      const std::string headers = request.substr(line_end + 2, header_end - line_end - 2);
+      const std::string content_length = HeaderValue(headers, "Content-Length");
+      size_t body_bytes = 0;
+      bool length_ok = true;
+      if (!content_length.empty()) {
+        errno = 0;
+        char* rest = nullptr;
+        const unsigned long long parsed_length =
+            std::strtoull(content_length.c_str(), &rest, 10);
+        if (errno != 0 || rest == content_length.c_str() || *rest != '\0') {
+          length_ok = false;
+        } else {
+          body_bytes = static_cast<size_t>(parsed_length);
+        }
+      }
+
+      if (!length_ok) {
+        response = PlainResponse(400, "malformed Content-Length\n");
+      } else if (body_bytes > options_.max_request_body_bytes) {
+        // Refuse before reading: the declared size alone is grounds for 413,
+        // so an oversized upload never occupies buffer memory.
+        response = PlainResponse(413, "request body exceeds " +
+                                          std::to_string(options_.max_request_body_bytes) +
+                                          " bytes\n");
       } else {
-        int status = 200;
-        std::string content_type;
-        std::string body = HandlePath(path, &status, &content_type);
-        response = RenderResponse(status, content_type, body);
-        scrapes.Increment();
+        const size_t total = header_end + 4 + body_bytes;
+        while (request.size() < total) {
+          ssize_t n = ::recv(connection->fd, buffer,
+                             std::min(sizeof(buffer), total - request.size()), 0);
+          if (n <= 0) break;
+          request.append(buffer, static_cast<size_t>(n));
+        }
+        if (request.size() < total) {
+          response = PlainResponse(400, "incomplete request body\n");
+        } else {
+          parsed.body = request.substr(header_end + 4, body_bytes);
+          response = Dispatch(parsed).Render();
+          scrapes.Increment();
+        }
       }
     }
     SendAll(connection->fd, response);
   } else if (!request.empty()) {
     // Bytes arrived but the header never terminated (truncated or oversized
     // request): answer with a proper error instead of silently hanging up.
-    SendAll(connection->fd,
-            RenderResponse(400, "text/plain; charset=utf-8", "incomplete request\n"));
+    SendAll(connection->fd, PlainResponse(400, "incomplete request\n"));
   }
 
   // ReapConnections closes the fd after joining this thread; closing here
@@ -320,78 +451,60 @@ void TelemetryServer::HandleConnection(Connection* connection) {
   connection->done.store(true, std::memory_order_release);
 }
 
+HttpResponse TelemetryServer::Dispatch(const HttpRequest& request) const {
+  // An empty path (HandlePath("")) has always meant the index.
+  HttpRequest normalized;
+  const HttpRequest* effective = &request;
+  if (request.path.empty()) {
+    normalized = request;
+    normalized.path = "/";
+    effective = &normalized;
+  }
+
+  std::shared_ptr<HttpHandler> handler;
+  bool path_claimed = false;
+  {
+    std::lock_guard<std::mutex> lock(routes_mutex_);
+    // Longest claiming prefix wins; among routes tied at that prefix the
+    // method must match, otherwise the request is answered 405.
+    size_t best_len = 0;
+    for (const Route& route : routes_) {
+      if (!PrefixClaims(route.prefix, effective->path)) continue;
+      path_claimed = true;
+      if (route.prefix.size() > best_len) {
+        best_len = route.prefix.size();
+        handler = nullptr;
+      }
+      if (route.prefix.size() == best_len && route.method == effective->method) {
+        handler = route.handler;
+      }
+    }
+  }
+
+  HttpResponse response;
+  if (handler != nullptr) {
+    (*handler)(*effective, &response);
+  } else if (path_claimed) {
+    response.Text(405, "method not allowed: " + effective->method + "\n");
+  } else {
+    response.Text(404, "not found: " + effective->path + "\n");
+  }
+  return response;
+}
+
 std::string TelemetryServer::HandlePath(const std::string& request_path, int* http_status,
                                         std::string* content_type) const {
-  *http_status = 200;
-  std::string path = request_path;
-  std::string query;
-  if (const size_t q = path.find('?'); q != std::string::npos) {
-    query = path.substr(q + 1);
-    path.resize(q);
+  HttpRequest request;
+  request.method = "GET";
+  request.path = request_path;
+  if (const size_t q = request.path.find('?'); q != std::string::npos) {
+    request.query = ParseQueryString(std::string_view(request.path).substr(q + 1));
+    request.path.resize(q);
   }
-  if (path == "/metrics") {
-    *content_type = "text/plain; version=0.0.4; charset=utf-8";
-    return MetricsRegistry::Global().ToPrometheus();
-  }
-  if (path == "/healthz") {
-    *content_type = "text/plain; charset=utf-8";
-    return TelemetryDegraded() ? "degraded\n" : "ok\n";
-  }
-  if (path == "/statusz") {
-    *content_type = "application/json";
-    return StatuszDocument().Dump() + "\n";
-  }
-  if (path == "/flightz") {
-    *content_type = "application/json";
-    return FlightRecorder::Global().ToJson("flightz") + "\n";
-  }
-  if (path == "/profilez") {
-    *content_type = "application/json";
-    Profiler& profiler = Profiler::Global();
-    if (profiler.running()) {
-      // A capture is already live (--profile_hz or another client): serve a
-      // snapshot of what it has gathered so far without disturbing it.
-      return profiler.Collect("profilez").ToJson().Dump() + "\n";
-    }
-    std::unique_lock<std::mutex> capture_lock(ProfilezMutex(), std::try_to_lock);
-    if (!capture_lock.owns_lock()) {
-      *http_status = 503;
-      *content_type = "text/plain; charset=utf-8";
-      return "profile capture already in progress\n";
-    }
-    int seconds = QueryIntOr(query, "seconds", 1);
-    if (seconds < 1) seconds = 1;
-    if (seconds > 30) seconds = 30;
-    int hz = QueryIntOr(query, "hz", 97);
-    Profiler::Options profiler_options;
-    profiler_options.hz = hz;
-    Status start_status = profiler.Start(profiler_options);
-    if (!start_status.ok()) {
-      *http_status = 503;
-      *content_type = "text/plain; charset=utf-8";
-      return "profiler unavailable: " + start_status.ToString() + "\n";
-    }
-    // Interruptible wait: server shutdown must not block on a capture.
-    for (int i = 0; i < seconds * 10 && !stopping_.load(std::memory_order_acquire); ++i) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(100));
-    }
-    profiler.Stop();
-    CpuProfile profile = profiler.Collect("profilez");
-    profiler.ClearSamples();  // leave the global profiler clean for --profile_hz runs
-    return profile.ToJson().Dump() + "\n";
-  }
-  if (path == "/" || path.empty()) {
-    *content_type = "text/plain; charset=utf-8";
-    return "ppdp telemetry endpoints:\n"
-           "  /metrics   Prometheus text exposition 0.0.4\n"
-           "  /healthz   liveness + degraded flag\n"
-           "  /statusz   live process status (JSON)\n"
-           "  /flightz   flight-recorder ring (JSON)\n"
-           "  /profilez  on-demand CPU profile (JSON; ?seconds=N&hz=M)\n";
-  }
-  *http_status = 404;
-  *content_type = "text/plain; charset=utf-8";
-  return "not found: " + path + "\n";
+  HttpResponse response = Dispatch(request);
+  *http_status = response.status();
+  *content_type = response.content_type();
+  return response.body();
 }
 
 JsonValue TelemetryServer::StatuszDocument() const {

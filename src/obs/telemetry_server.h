@@ -10,14 +10,16 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/json.h"
 #include "common/status.h"
+#include "obs/http.h"
 
 namespace ppdp::obs {
 
 /// Extra /statusz sections contributed by layers above obs (the exec thread
-/// pool registers itself here, the bench harness could add more) — obs
+/// pool registers itself here, the serve layer adds its queue state) — obs
 /// serves them without linking against their libraries. Re-registering a
 /// key replaces the provider. Providers are called on a telemetry
 /// connection thread and must be thread-safe.
@@ -31,10 +33,13 @@ void ClearStatuszSections();
 /// or privacy-ledger spend rejections.
 bool TelemetryDegraded();
 
-/// A small, dependency-free HTTP/1.1 introspection server: blocking
-/// sockets, one thread per connection (bounded; excess connections are
-/// answered 503 immediately), loopback only, clean shutdown that unblocks
-/// in-flight reads. Endpoints:
+/// A small, dependency-free routed HTTP/1.1 server: blocking sockets, one
+/// thread per connection (bounded; excess connections are answered 503
+/// immediately), loopback only, clean shutdown that unblocks in-flight
+/// reads. Endpoints are a routing table — RegisterHandler binds a (method,
+/// path prefix) to an HttpHandler, and the introspection endpoints below
+/// are pre-registered through the same table, so a layer above (the serve
+/// daemon) can add POST APIs or override /healthz without subclassing:
 ///
 ///   /metrics   Prometheus text exposition 0.0.4 of the MetricsRegistry
 ///   /healthz   "ok" / "degraded" liveness probe (TelemetryDegraded)
@@ -47,7 +52,12 @@ bool TelemetryDegraded();
 ///              capture is already running (--profile_hz), serves a live
 ///              snapshot; otherwise starts one for ?seconds=N (default 1,
 ///              max 30) at ?hz=M (default 97). Concurrent captures get 503.
-///   /          plain-text index of the endpoints above
+///   /          plain-text index of the endpoints above (404 for paths no
+///              longer-prefix route claims)
+///
+/// Protocol guardrails: request bodies above Options::max_request_body_bytes
+/// are refused with 413 before being read, a method the matched route set
+/// does not serve gets 405, and a garbled request line gets 400.
 ///
 /// Off by default everywhere: a binary that never constructs the server
 /// opens no socket and pays nothing.
@@ -58,11 +68,15 @@ class TelemetryServer {
     /// result from port() after Start).
     int port = 0;
     /// Concurrent connection-handler threads; further connections get an
-    /// immediate 503 so a scrape storm cannot pile up threads.
+    /// immediate 503 (counted by telemetry.rejected_connections) so a
+    /// scrape storm cannot pile up threads. Flag: --http_max_conns.
     int max_connections = 8;
     /// Per-connection receive timeout; a stalled client is dropped after
     /// this long.
     double read_timeout_seconds = 5.0;
+    /// Largest request body accepted before answering 413. The request
+    /// line + headers are separately capped at 8 KiB.
+    size_t max_request_body_bytes = 1 << 20;
     /// Invocation context served verbatim on /statusz.
     std::map<std::string, std::string> flags;
     uint64_t seed = 0;
@@ -74,6 +88,18 @@ class TelemetryServer {
   TelemetryServer& operator=(const TelemetryServer&) = delete;
   /// Stops the server if still running.
   ~TelemetryServer();
+
+  /// Adds `handler` for requests whose method equals `method` and whose
+  /// path lies under `path_prefix` (exact match, or a '/'-separated
+  /// extension: prefix "/v1/publish" claims "/v1/publish" and
+  /// "/v1/publish/batch" but not "/v1/publisher"). The longest matching
+  /// prefix wins; among routes with that prefix the method must match or
+  /// the request is answered 405. Re-registering the same (method, prefix)
+  /// replaces the handler — how the serve layer overrides /healthz.
+  /// Handlers run on connection threads and must be thread-safe; may be
+  /// called before or after Start.
+  void RegisterHandler(const std::string& method, const std::string& path_prefix,
+                       HttpHandler handler);
 
   /// Binds, listens, and starts the accept thread. Fails (kUnavailable /
   /// kInvalidArgument) without leaking a socket when the port cannot be
@@ -89,10 +115,15 @@ class TelemetryServer {
   /// Start.
   int port() const { return port_.load(std::memory_order_acquire); }
 
+  /// Routes `request` through the registered handler table exactly as a
+  /// socket request would — including the 404/405 fallbacks — without a
+  /// socket. Exposed so tests can golden-check endpoints cheaply.
+  HttpResponse Dispatch(const HttpRequest& request) const;
+
   /// Dispatches `request_path` (query string included, e.g.
   /// "/profilez?seconds=1") exactly as a GET request would, without a
   /// socket — the response body plus the HTTP status and content type that
-  /// would be sent. Exposed so tests can golden-check endpoints cheaply.
+  /// would be sent. Convenience wrapper over Dispatch.
   std::string HandlePath(const std::string& request_path, int* http_status,
                          std::string* content_type) const;
 
@@ -106,6 +137,14 @@ class TelemetryServer {
     std::atomic<bool> done{false};
   };
 
+  struct Route {
+    std::string method;
+    std::string prefix;
+    std::shared_ptr<HttpHandler> handler;
+  };
+
+  void RegisterBuiltinRoutes();
+  void HandleProfilez(const HttpRequest& request, HttpResponse* response) const;
   void AcceptLoop();
   void HandleConnection(Connection* connection);
   /// Joins finished connection threads; with `all`, joins every connection
@@ -121,6 +160,8 @@ class TelemetryServer {
   std::thread accept_thread_;
   std::mutex connections_mutex_;
   std::list<std::unique_ptr<Connection>> connections_;
+  mutable std::mutex routes_mutex_;
+  std::vector<Route> routes_;
 };
 
 }  // namespace ppdp::obs

@@ -1,0 +1,49 @@
+#include "serve/admission.h"
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace ppdp::serve {
+
+AdmissionSlot& AdmissionSlot::operator=(AdmissionSlot&& other) noexcept {
+  if (this != &other) {
+    if (controller_ != nullptr) controller_->Release();
+    controller_ = other.controller_;
+    other.controller_ = nullptr;
+  }
+  return *this;
+}
+
+AdmissionSlot::~AdmissionSlot() {
+  if (controller_ != nullptr) controller_->Release();
+}
+
+AdmissionSlot AdmissionController::TryAdmit() {
+  static obs::Counter& rejections =
+      obs::MetricsRegistry::Global().counter("serve.queue.rejected");
+  size_t current = pending_.load(std::memory_order_acquire);
+  while (true) {
+    if (current >= static_cast<size_t>(options_.max_pending)) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      last_rejected_seconds_.store(obs::MonotonicSeconds(), std::memory_order_release);
+      rejections.Increment();
+      return AdmissionSlot();
+    }
+    if (pending_.compare_exchange_weak(current, current + 1, std::memory_order_acq_rel)) {
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      return AdmissionSlot(this);
+    }
+  }
+}
+
+void AdmissionController::Release() { pending_.fetch_sub(1, std::memory_order_acq_rel); }
+
+bool AdmissionController::UnderPressure() const {
+  if (pending_.load(std::memory_order_acquire) >= static_cast<size_t>(options_.max_pending)) {
+    return true;
+  }
+  const double last = last_rejected_seconds_.load(std::memory_order_acquire);
+  return obs::MonotonicSeconds() - last < options_.pressure_window_seconds;
+}
+
+}  // namespace ppdp::serve

@@ -1,0 +1,79 @@
+#ifndef PPDP_SERVE_ADMISSION_H_
+#define PPDP_SERVE_ADMISSION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace ppdp::serve {
+
+class AdmissionController;
+
+/// RAII admission slot: releases back to the controller on destruction.
+/// A default-constructed / moved-from slot holds nothing.
+class AdmissionSlot {
+ public:
+  AdmissionSlot() = default;
+  explicit AdmissionSlot(AdmissionController* controller) : controller_(controller) {}
+  AdmissionSlot(AdmissionSlot&& other) noexcept : controller_(other.controller_) {
+    other.controller_ = nullptr;
+  }
+  AdmissionSlot& operator=(AdmissionSlot&& other) noexcept;
+  AdmissionSlot(const AdmissionSlot&) = delete;
+  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+  ~AdmissionSlot();
+
+  bool held() const { return controller_ != nullptr; }
+
+ private:
+  AdmissionController* controller_ = nullptr;
+};
+
+/// Bounded admission for work-bearing serve requests: at most `max_pending`
+/// requests may be queued-or-executing at once; the rest are refused
+/// immediately (the handler answers 429) instead of piling onto the exec
+/// thread pool. Lock-free — one CAS per admit — because it sits on every
+/// request's hot path.
+class AdmissionController {
+ public:
+  struct Options {
+    /// Admitted-but-unfinished request cap (the bounded queue in front of
+    /// the thread pool).
+    int max_pending = 64;
+    /// How long after a rejection the controller still reports pressure —
+    /// the hysteresis that makes /healthz "degraded" visible to a prober
+    /// instead of flickering with queue depth.
+    double pressure_window_seconds = 5.0;
+  };
+
+  explicit AdmissionController(Options options) : options_(options) {}
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Tries to take a slot. An empty (not held()) slot means the queue is
+  /// full; the rejection is counted and pressure-stamped.
+  AdmissionSlot TryAdmit();
+
+  size_t pending() const { return pending_.load(std::memory_order_acquire); }
+  uint64_t admitted() const { return admitted_.load(std::memory_order_relaxed); }
+  uint64_t rejected() const { return rejected_.load(std::memory_order_relaxed); }
+  int max_pending() const { return options_.max_pending; }
+
+  /// Sustained queue pressure: the queue is full right now, or a rejection
+  /// happened within the pressure window.
+  bool UnderPressure() const;
+
+ private:
+  friend class AdmissionSlot;
+  void Release();
+
+  Options options_;
+  std::atomic<size_t> pending_{0};
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<double> last_rejected_seconds_{-1.0e9};
+};
+
+}  // namespace ppdp::serve
+
+#endif  // PPDP_SERVE_ADMISSION_H_

@@ -1,0 +1,117 @@
+#include "serve/client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace ppdp::serve {
+
+namespace {
+
+/// Closes the fd on scope exit so every early return below stays leak-free.
+struct FdCloser {
+  int fd;
+  ~FdCloser() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+}  // namespace
+
+Result<ClientResponse> HttpRequest(int port, const std::string& method, const std::string& path,
+                                   const std::string& body, double timeout_seconds) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unavailable(std::string("client socket(): ") + std::strerror(errno));
+  }
+  FdCloser closer{fd};
+
+  timeval timeout{};
+  timeout.tv_sec = static_cast<time_t>(timeout_seconds);
+  timeout.tv_usec = static_cast<suseconds_t>(
+      (timeout_seconds - static_cast<double>(timeout.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Status::Unavailable(std::string("client connect(): ") + std::strerror(errno));
+  }
+
+  std::string request = method + " " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n";
+  if (!body.empty() || method == "POST") {
+    request += "Content-Type: application/json\r\nContent-Length: " +
+               std::to_string(body.size()) + "\r\n";
+  }
+  request += "Connection: close\r\n\r\n" + body;
+
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return Status::Unavailable(std::string("client send(): ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  std::string raw;
+  char buffer[4096];
+  while (true) {
+    ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      return Status::Unavailable(std::string("client recv(): ") + std::strerror(errno));
+    }
+    if (n == 0) break;
+    raw.append(buffer, static_cast<size_t>(n));
+  }
+
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::InvalidArgument("response missing header terminator");
+  }
+  const size_t line_end = raw.find("\r\n");
+  const std::string status_line = raw.substr(0, line_end);
+  const size_t first_space = status_line.find(' ');
+  if (first_space == std::string::npos || first_space + 4 > status_line.size()) {
+    return Status::InvalidArgument("malformed status line: " + status_line);
+  }
+
+  ClientResponse response;
+  response.status = std::atoi(status_line.c_str() + first_space + 1);
+  response.body = raw.substr(header_end + 4);
+
+  const std::string headers = raw.substr(line_end + 2, header_end - line_end - 2);
+  size_t pos = 0;
+  while (pos < headers.size()) {
+    size_t end = headers.find("\r\n", pos);
+    if (end == std::string::npos) end = headers.size();
+    const std::string header_line = headers.substr(pos, end - pos);
+    constexpr std::string_view kContentType = "Content-Type:";
+    if (header_line.size() > kContentType.size() &&
+        header_line.compare(0, kContentType.size(), kContentType) == 0) {
+      size_t begin = kContentType.size();
+      while (begin < header_line.size() && header_line[begin] == ' ') ++begin;
+      response.content_type = header_line.substr(begin);
+    }
+    pos = end + 2;
+  }
+  return response;
+}
+
+Result<ClientResponse> PostJson(int port, const std::string& path, const JsonValue& doc,
+                                double timeout_seconds) {
+  return HttpRequest(port, "POST", path, doc.Dump(), timeout_seconds);
+}
+
+Result<ClientResponse> Get(int port, const std::string& path, double timeout_seconds) {
+  return HttpRequest(port, "GET", path, "", timeout_seconds);
+}
+
+}  // namespace ppdp::serve

@@ -1,0 +1,38 @@
+#ifndef PPDP_SERVE_CLIENT_H_
+#define PPDP_SERVE_CLIENT_H_
+
+#include <string>
+
+#include "common/json.h"
+#include "common/result.h"
+
+namespace ppdp::serve {
+
+/// One parsed HTTP response from the blocking loopback client below.
+struct ClientResponse {
+  int status = 0;
+  std::string content_type;
+  std::string body;
+
+  /// Parses the body as JSON (serve responses are JSON documents).
+  Result<JsonValue> Json() const { return JsonValue::Parse(body); }
+};
+
+/// Minimal blocking HTTP/1.1 client for 127.0.0.1:<port> — what bench_serve
+/// and the serve tests drive requests with (Connection: close per request,
+/// mirroring the server's framing). kUnavailable on connect/IO failure,
+/// kInvalidArgument on an unparsable response.
+Result<ClientResponse> HttpRequest(int port, const std::string& method, const std::string& path,
+                                   const std::string& body = "",
+                                   double timeout_seconds = 10.0);
+
+/// POSTs `doc` as an application/json body.
+Result<ClientResponse> PostJson(int port, const std::string& path, const JsonValue& doc,
+                                double timeout_seconds = 10.0);
+
+/// Plain GET.
+Result<ClientResponse> Get(int port, const std::string& path, double timeout_seconds = 10.0);
+
+}  // namespace ppdp::serve
+
+#endif  // PPDP_SERVE_CLIENT_H_

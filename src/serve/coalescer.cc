@@ -1,0 +1,72 @@
+#include "serve/coalescer.h"
+
+#include <chrono>
+#include <utility>
+
+namespace ppdp::serve {
+
+BatchCoalescer::Outcome BatchCoalescer::Run(const std::string& key, const Runner& runner) {
+  std::shared_ptr<Batch> batch;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = open_batches_.find(key);
+    if (it != open_batches_.end()) {
+      // Joining is only sound while the leader's window is open; the open
+      // flag is checked under the batch's own lock to close the race with
+      // the leader ending its window.
+      std::lock_guard<std::mutex> batch_lock(it->second->mutex);
+      if (it->second->open) {
+        batch = it->second;
+        ++batch->members;
+      }
+    }
+    if (batch == nullptr) {
+      batch = std::make_shared<Batch>();
+      open_batches_[key] = batch;
+      leader = true;
+    }
+  }
+
+  if (leader) {
+    {
+      std::unique_lock<std::mutex> batch_lock(batch->mutex);
+      // The batching window: followers accumulate while the leader waits.
+      // Shutdown() short-circuits it so draining never waits out windows.
+      batch->cv.wait_for(batch_lock,
+                         std::chrono::duration<double>(options_.window_seconds),
+                         [this] { return stopping_.load(std::memory_order_acquire); });
+      batch->open = false;
+    }
+    {
+      // Un-list before running: arrivals during the (long) publisher run
+      // start a fresh batch instead of waiting two windows.
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = open_batches_.find(key);
+      if (it != open_batches_.end() && it->second == batch) open_batches_.erase(it);
+    }
+    Result<core::PublishOutput> result = runner();
+    batches_run_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> batch_lock(batch->mutex);
+      batch->result = std::move(result);
+      batch->done = true;
+    }
+    batch->cv.notify_all();
+  } else {
+    followers_served_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> batch_lock(batch->mutex);
+    batch->cv.wait(batch_lock, [&batch] { return batch->done; });
+  }
+
+  std::lock_guard<std::mutex> batch_lock(batch->mutex);
+  return Outcome{batch->result, leader, batch->members};
+}
+
+void BatchCoalescer::Shutdown() {
+  stopping_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, batch] : open_batches_) batch->cv.notify_all();
+}
+
+}  // namespace ppdp::serve

@@ -1,0 +1,78 @@
+#ifndef PPDP_SERVE_COALESCER_H_
+#define PPDP_SERVE_COALESCER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "core/publisher.h"
+
+namespace ppdp::serve {
+
+/// Request coalescing for publisher runs: requests that name the same
+/// corpus + sanitization config (same key) within a batching window share
+/// one run. The first arrival becomes the batch leader — it waits
+/// `window_seconds` for followers, closes the batch, executes the run once,
+/// and the result fans out to every member. Publisher::Publish is const and
+/// deterministic for equal configs, which is what makes sharing sound; ε
+/// accounting stays per-request (every member's tenant is charged by the
+/// caller before joining), so coalescing saves compute, never privacy
+/// budget.
+class BatchCoalescer {
+ public:
+  struct Options {
+    /// How long a leader holds the batch open for followers. Small on
+    /// purpose: it bounds the latency cost of coalescing at one window.
+    double window_seconds = 0.005;
+  };
+
+  using Runner = std::function<Result<core::PublishOutput>()>;
+
+  struct Outcome {
+    Result<core::PublishOutput> result;
+    bool leader = false;    ///< this call executed the run
+    size_t batch_size = 1;  ///< members (leader + followers) sharing the result
+  };
+
+  explicit BatchCoalescer(Options options) : options_(options) {}
+  BatchCoalescer(const BatchCoalescer&) = delete;
+  BatchCoalescer& operator=(const BatchCoalescer&) = delete;
+
+  /// Joins the open batch for `key`, or leads a new one. Blocks until the
+  /// batch's run has completed and returns its (shared) result.
+  Outcome Run(const std::string& key, const Runner& runner);
+
+  /// Wakes every leader still holding its window open so shutdown does not
+  /// wait out pending windows. In-flight runs still complete.
+  void Shutdown();
+
+  uint64_t batches_run() const { return batches_run_.load(std::memory_order_relaxed); }
+  uint64_t followers_served() const { return followers_served_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Batch {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool open = true;   ///< still accepting followers (leader in its window)
+    bool done = false;  ///< result is populated
+    size_t members = 1;
+    Result<core::PublishOutput> result = Status::Internal("batch pending");
+  };
+
+  Options options_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> batches_run_{0};
+  std::atomic<uint64_t> followers_served_{0};
+  std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Batch>> open_batches_;
+};
+
+}  // namespace ppdp::serve
+
+#endif  // PPDP_SERVE_COALESCER_H_

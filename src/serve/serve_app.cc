@@ -1,0 +1,550 @@
+#include "serve/serve_app.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/rng.h"
+#include "dp/aggregation.h"
+#include "exec/thread_pool.h"
+#include "genomics/genome_data.h"
+#include "genomics/gwas_catalog.h"
+#include "graph/graph_generators.h"
+#include "graph/social_graph.h"
+#include "obs/ledger.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace ppdp::serve {
+
+namespace {
+
+/// JSON error envelope every non-200 serve response uses, so clients parse
+/// one shape regardless of which guardrail fired.
+void JsonError(obs::HttpResponse* response, int status, const std::string& error,
+               JsonValue detail = JsonValue::Null()) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", JsonValue::String("ppdp.serve.error.v1"));
+  doc.Set("error", JsonValue::String(error));
+  if (!detail.is_null()) doc.Set("detail", std::move(detail));
+  response->Json(status, doc);
+}
+
+Result<tradeoff::Strategy> ParseStrategy(const std::string& name) {
+  if (name == "attribute_removal") return tradeoff::Strategy::kAttributeRemoval;
+  if (name == "attribute_perturbing") return tradeoff::Strategy::kAttributePerturbing;
+  if (name == "link_removal") return tradeoff::Strategy::kLinkRemoval;
+  if (name == "random_link_removal") return tradeoff::Strategy::kRandomLinkRemoval;
+  if (name == "collective") return tradeoff::Strategy::kCollectiveSanitization;
+  return Status::InvalidArgument("unknown strategy: " + name);
+}
+
+const char* StrategyTag(tradeoff::Strategy strategy) {
+  switch (strategy) {
+    case tradeoff::Strategy::kAttributeRemoval: return "attribute_removal";
+    case tradeoff::Strategy::kAttributePerturbing: return "attribute_perturbing";
+    case tradeoff::Strategy::kLinkRemoval: return "link_removal";
+    case tradeoff::Strategy::kRandomLinkRemoval: return "random_link_removal";
+    case tradeoff::Strategy::kCollectiveSanitization: return "collective";
+  }
+  return "unknown";
+}
+
+/// Parses the request's optional "config" object into a PublishConfig.
+Result<core::PublishConfig> ParsePublishConfig(const JsonValue& body) {
+  core::PublishConfig config;
+  const JsonValue* config_json = body.Find("config");
+  if (config_json == nullptr) return config;
+  if (!config_json->is_object()) return Status::InvalidArgument("config must be an object");
+  config.delta = config_json->GetNumberOr("delta", config.delta);
+  config.utility_category = static_cast<size_t>(
+      config_json->GetNumberOr("utility_category", static_cast<double>(config.utility_category)));
+  config.num_attributes = static_cast<size_t>(
+      config_json->GetNumberOr("num_attributes", static_cast<double>(config.num_attributes)));
+  config.num_links = static_cast<size_t>(
+      config_json->GetNumberOr("num_links", static_cast<double>(config.num_links)));
+  if (config_json->Has("strategy")) {
+    PPDP_ASSIGN_OR_RETURN(config.strategy,
+                          ParseStrategy(config_json->GetStringOr("strategy", "")));
+  }
+  if (const JsonValue* traits = config_json->Find("target_traits"); traits != nullptr) {
+    if (!traits->is_array()) return Status::InvalidArgument("target_traits must be an array");
+    for (size_t i = 0; i < traits->size(); ++i) {
+      if (!traits->at(i).is_number() || traits->at(i).as_number() < 0) {
+        return Status::InvalidArgument("target_traits entries must be non-negative numbers");
+      }
+      config.target_traits.push_back(static_cast<size_t>(traits->at(i).as_number()));
+    }
+  }
+  return config;
+}
+
+/// Canonical JSON of a PublishConfig — the coalescing key. Built from the
+/// *parsed* config, so two bodies that spell the same config differently
+/// (field order, omitted defaults) still coalesce.
+std::string CanonicalConfigKey(core::PublisherKind kind, const core::PublishConfig& config) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("kind", JsonValue::String(core::PublisherKindName(kind)));
+  doc.Set("delta", JsonValue::Number(config.delta));
+  doc.Set("utility_category", JsonValue::Number(static_cast<double>(config.utility_category)));
+  doc.Set("num_attributes", JsonValue::Number(static_cast<double>(config.num_attributes)));
+  doc.Set("num_links", JsonValue::Number(static_cast<double>(config.num_links)));
+  doc.Set("strategy", JsonValue::String(StrategyTag(config.strategy)));
+  JsonValue traits = JsonValue::Array();
+  for (size_t trait : config.target_traits) {
+    traits.Append(JsonValue::Number(static_cast<double>(trait)));
+  }
+  doc.Set("target_traits", std::move(traits));
+  return doc.Dump();
+}
+
+/// RAII in-flight marker backing the drain loop in Stop().
+class InflightScope {
+ public:
+  explicit InflightScope(std::atomic<size_t>* counter) : counter_(counter) {
+    counter_->fetch_add(1, std::memory_order_acq_rel);
+  }
+  ~InflightScope() { counter_->fetch_sub(1, std::memory_order_acq_rel); }
+  InflightScope(const InflightScope&) = delete;
+  InflightScope& operator=(const InflightScope&) = delete;
+
+ private:
+  std::atomic<size_t>* counter_;
+};
+
+obs::Histogram& RequestHistogram() {
+  static obs::Histogram& histogram = obs::MetricsRegistry::Global().histogram(
+      "serve.request.seconds",
+      {0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+       2.5});
+  return histogram;
+}
+
+}  // namespace
+
+ServeApp::ServeApp(const ServeOptions& options, std::vector<int64_t> degrees,
+                   size_t degree_domain, std::unique_ptr<core::Publisher> social,
+                   std::unique_ptr<core::Publisher> tradeoff,
+                   std::unique_ptr<core::Publisher> genome)
+    : options_(options),
+      degrees_(std::move(degrees)),
+      degree_domain_(degree_domain),
+      social_(std::move(social)),
+      tradeoff_(std::move(tradeoff)),
+      genome_(std::move(genome)),
+      tenants_(TenantRegistry::Options{options.tenant_budget, options.max_tenants}),
+      admission_(AdmissionController::Options{options.max_pending, /*pressure_window=*/5.0}) ,
+      coalescer_(BatchCoalescer::Options{options.coalesce_window_seconds}) {
+  obs::TelemetryServer::Options server_options;
+  server_options.port = options_.port;
+  server_options.max_connections = options_.http_max_conns;
+  server_options.max_request_body_bytes = options_.max_request_body_bytes;
+  server_options.seed = options_.seed;
+  server_options.threads = options_.threads;
+  server_options.flags["graph_scale"] = std::to_string(options_.graph_scale);
+  server_options.flags["tenant_budget"] = std::to_string(options_.tenant_budget);
+  server_options.flags["max_pending"] = std::to_string(options_.max_pending);
+  server_ = std::make_unique<obs::TelemetryServer>(std::move(server_options));
+  RegisterRoutes();
+  obs::RegisterStatuszSection("serve", [this] { return StatuszSection(); });
+}
+
+ServeApp::~ServeApp() {
+  Stop();
+  // The statusz section provider captures `this`; replace it with an inert
+  // one instead of leaving a dangling callback behind.
+  obs::RegisterStatuszSection("serve", [] { return JsonValue::Null(); });
+}
+
+Result<std::unique_ptr<ServeApp>> ServeApp::Create(const ServeOptions& options) {
+  if (options.graph_scale <= 0.0) {
+    return Status::InvalidArgument("graph_scale must be positive");
+  }
+  if (options.tenant_budget <= 0.0) {
+    return Status::InvalidArgument("tenant_budget must be positive");
+  }
+  if (options.max_pending < 1) {
+    return Status::InvalidArgument("max_pending must be >= 1");
+  }
+
+  // Load the corpora once; every request serves from these in-memory copies.
+  graph::SocialGraph graph =
+      graph::GenerateSyntheticGraph(graph::CaltechLikeConfig(options.graph_scale, options.seed));
+  std::vector<int64_t> degrees;
+  degrees.reserve(graph.num_nodes());
+  size_t max_degree = 0;
+  for (size_t node = 0; node < graph.num_nodes(); ++node) {
+    const size_t degree = graph.Degree(node);
+    max_degree = std::max(max_degree, degree);
+    degrees.push_back(static_cast<int64_t>(degree));
+  }
+
+  core::PublisherOptions publisher_options;
+  publisher_options.seed = options.seed;
+  publisher_options.threads = options.threads;
+
+  PPDP_ASSIGN_OR_RETURN(
+      std::unique_ptr<core::Publisher> social,
+      core::CreatePublisher(core::PublisherKind::kSocial, graph, publisher_options));
+  PPDP_ASSIGN_OR_RETURN(
+      std::unique_ptr<core::Publisher> tradeoff,
+      core::CreatePublisher(core::PublisherKind::kTradeoff, graph, publisher_options));
+
+  Rng genome_rng(options.seed);
+  genomics::SyntheticCatalogConfig catalog_config;
+  catalog_config.num_snps = options.genome_snps;
+  genomics::GwasCatalog catalog = genomics::GenerateSyntheticCatalog(catalog_config, genome_rng);
+  genomics::Individual person = genomics::SampleIndividual(catalog, genome_rng);
+  genomics::TargetView view = genomics::MakeTargetView(catalog, person, {});
+  PPDP_ASSIGN_OR_RETURN(
+      std::unique_ptr<core::Publisher> genome,
+      core::CreatePublisher(std::move(catalog), std::move(view), publisher_options));
+
+  PPDP_LOG(INFO) << "serve corpora loaded" << obs::Field("graph_nodes", graph.num_nodes())
+                 << obs::Field("degree_domain", max_degree + 1)
+                 << obs::Field("genome_snps", options.genome_snps);
+  return std::unique_ptr<ServeApp>(new ServeApp(options, std::move(degrees), max_degree + 1,
+                                                std::move(social), std::move(tradeoff),
+                                                std::move(genome)));
+}
+
+Status ServeApp::Start() { return server_->Start(); }
+
+void ServeApp::Stop() {
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+  draining_.store(true, std::memory_order_release);
+  coalescer_.Shutdown();
+  // Drain: requests already past the draining check finish normally (their
+  // sockets stay open); new arrivals are answered 503 by the handlers.
+  const double deadline = obs::MonotonicSeconds() + options_.drain_timeout_seconds;
+  while (inflight_.load(std::memory_order_acquire) > 0 && obs::MonotonicSeconds() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  if (inflight_.load(std::memory_order_acquire) > 0) {
+    PPDP_LOG(WARN) << "serve drain timeout" << obs::Field("inflight", inflight_.load());
+  }
+  server_->Stop();
+}
+
+core::Publisher* ServeApp::PublisherFor(core::PublisherKind kind) const {
+  switch (kind) {
+    case core::PublisherKind::kSocial: return social_.get();
+    case core::PublisherKind::kTradeoff: return tradeoff_.get();
+    case core::PublisherKind::kGenome: return genome_.get();
+  }
+  return nullptr;
+}
+
+Result<core::PublishOutput> ServeApp::RunPublish(
+    std::function<Result<core::PublishOutput>()> task) {
+  // Inline on the connection thread: the publisher's internal ParallelFor
+  // treats the caller as one execution thread and enlists pool workers as
+  // helpers, which is only safe when the caller is not itself a pool
+  // worker. Submitting the publish to the pool and blocking on a future
+  // deadlocks once every worker is parked in that wait (the helpers they
+  // enqueued can never start).
+  return task();
+}
+
+void ServeApp::RegisterRoutes() {
+  server_->RegisterHandler("POST", "/v1/publish",
+                           [this](const obs::HttpRequest& request, obs::HttpResponse* response) {
+                             HandlePublish(request, response);
+                           });
+  server_->RegisterHandler("POST", "/v1/audit",
+                           [this](const obs::HttpRequest& request, obs::HttpResponse* response) {
+                             HandleAudit(request, response);
+                           });
+  server_->RegisterHandler("POST", "/v1/dp/aggregate",
+                           [this](const obs::HttpRequest& request, obs::HttpResponse* response) {
+                             HandleAggregate(request, response);
+                           });
+  // Health folds in serving state: ledger rejections (TelemetryDegraded
+  // already sees tenant ledgers via SnapshotAll), queue pressure, draining.
+  server_->RegisterHandler("GET", "/healthz",
+                           [this](const obs::HttpRequest&, obs::HttpResponse* response) {
+                             const bool degraded = obs::TelemetryDegraded() ||
+                                                   admission_.UnderPressure() || draining();
+                             response->Text(200, degraded ? "degraded\n" : "ok\n");
+                           });
+  server_->RegisterHandler("GET", "/",
+                           [](const obs::HttpRequest& request, obs::HttpResponse* response) {
+                             if (request.path != "/" && !request.path.empty()) {
+                               response->Text(404, "not found: " + request.path + "\n");
+                               return;
+                             }
+                             response->Text(
+                                 200,
+                                 "ppdp serve endpoints:\n"
+                                 "  POST /v1/publish       run a publisher (tenant, kind, "
+                                 "epsilon, config)\n"
+                                 "  POST /v1/audit         tenant ledger audit (tenant)\n"
+                                 "  POST /v1/dp/aggregate  DP aggregate over the corpus "
+                                 "(tenant, op, epsilon)\n"
+                                 "telemetry endpoints:\n"
+                                 "  /metrics /healthz /statusz /flightz /profilez\n");
+                           });
+}
+
+void ServeApp::HandlePublish(const obs::HttpRequest& request, obs::HttpResponse* response) {
+  static obs::Counter& requests =
+      obs::MetricsRegistry::Global().counter("serve.publish.requests");
+  static obs::Counter& runs = obs::MetricsRegistry::Global().counter("serve.publish.runs");
+  static obs::Counter& fanout =
+      obs::MetricsRegistry::Global().counter("serve.coalesced.fanout");
+  static obs::Counter& budget_rejected =
+      obs::MetricsRegistry::Global().counter("serve.budget.rejected");
+  requests.Increment();
+  const double started = obs::MonotonicSeconds();
+  if (draining()) {
+    JsonError(response, 503, "draining");
+    return;
+  }
+  InflightScope inflight(&inflight_);
+
+  Result<JsonValue> body = request.Json();
+  if (!body.ok()) {
+    JsonError(response, 400, "invalid JSON body: " + body.status().ToString());
+    return;
+  }
+  const std::string tenant = body->GetStringOr("tenant", "");
+  const std::string kind_name = body->GetStringOr("kind", "social");
+  const double epsilon = body->GetNumberOr("epsilon", 0.5);
+  Result<core::PublisherKind> kind = core::ParsePublisherKind(kind_name);
+  if (!kind.ok()) {
+    JsonError(response, 400, kind.status().ToString());
+    return;
+  }
+  Result<core::PublishConfig> config = ParsePublishConfig(*body);
+  if (!config.ok()) {
+    JsonError(response, 400, config.status().ToString());
+    return;
+  }
+
+  // Admission before spending: a request refused for queue pressure must
+  // not have charged its tenant.
+  AdmissionSlot slot = admission_.TryAdmit();
+  if (!slot.held()) {
+    JsonValue detail = JsonValue::Object();
+    detail.Set("pending", JsonValue::Number(static_cast<double>(admission_.pending())));
+    detail.Set("max_pending", JsonValue::Number(static_cast<double>(admission_.max_pending())));
+    JsonError(response, 429, "admission queue full", std::move(detail));
+    return;
+  }
+
+  Result<obs::PrivacyLedger*> ledger = tenants_.ForTenant(tenant);
+  if (!ledger.ok()) {
+    const int status = ledger.status().code() == StatusCode::kFailedPrecondition ? 403 : 400;
+    JsonError(response, status, ledger.status().ToString());
+    return;
+  }
+  // Budget-once: each request charges its own tenant exactly once, before
+  // coalescing — a coalesced batch spends N tenants' ε for one run.
+  Status spend =
+      (*ledger)->Spend(core::PublisherKindName(*kind), "publish", epsilon);
+  if (!spend.ok()) {
+    budget_rejected.Increment();
+    obs::PrivacyLedger::BudgetSnapshot snapshot = (*ledger)->snapshot();
+    JsonValue detail = JsonValue::Object();
+    detail.Set("tenant", JsonValue::String(tenant));
+    detail.Set("requested_epsilon", JsonValue::Number(epsilon));
+    detail.Set("remaining_epsilon", JsonValue::Number(snapshot.remaining));
+    detail.Set("budget", JsonValue::Number(snapshot.budget));
+    JsonError(response, 403, "privacy budget exhausted", std::move(detail));
+    return;
+  }
+
+  core::Publisher* publisher = PublisherFor(*kind);
+  const core::PublishConfig publish_config = *config;
+  BatchCoalescer::Outcome outcome =
+      coalescer_.Run(CanonicalConfigKey(*kind, publish_config),
+                     [this, publisher, publish_config]() -> Result<core::PublishOutput> {
+                       return RunPublish(
+                           [publisher, publish_config] { return publisher->Publish(publish_config); });
+                     });
+  if (outcome.leader) {
+    runs.Increment();
+  } else {
+    fanout.Increment();
+  }
+  if (!outcome.result.ok()) {
+    JsonError(response, 400, outcome.result.status().ToString());
+    return;
+  }
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", JsonValue::String("ppdp.serve.publish.v1"));
+  doc.Set("tenant", JsonValue::String(tenant));
+  doc.Set("kind", JsonValue::String(core::PublisherKindName(*kind)));
+  doc.Set("coalesced", JsonValue::Bool(!outcome.leader));
+  doc.Set("batch_size", JsonValue::Number(static_cast<double>(outcome.batch_size)));
+  doc.Set("epsilon_spent", JsonValue::Number(epsilon));
+  doc.Set("remaining_epsilon", JsonValue::Number((*ledger)->remaining()));
+  doc.Set("output", outcome.result->ToJson());
+  response->Json(200, doc);
+  RequestHistogram().Observe(obs::MonotonicSeconds() - started);
+}
+
+void ServeApp::HandleAudit(const obs::HttpRequest& request, obs::HttpResponse* response) {
+  static obs::Counter& requests = obs::MetricsRegistry::Global().counter("serve.audit.requests");
+  requests.Increment();
+  const double started = obs::MonotonicSeconds();
+  if (draining()) {
+    JsonError(response, 503, "draining");
+    return;
+  }
+  InflightScope inflight(&inflight_);
+
+  Result<JsonValue> body = request.Json();
+  if (!body.ok()) {
+    JsonError(response, 400, "invalid JSON body: " + body.status().ToString());
+    return;
+  }
+  const std::string tenant = body->GetStringOr("tenant", "");
+  Status valid = TenantRegistry::ValidateName(tenant);
+  if (!valid.ok()) {
+    JsonError(response, 400, valid.ToString());
+    return;
+  }
+  obs::PrivacyLedger* ledger = tenants_.FindTenant(tenant);
+  if (ledger == nullptr) {
+    JsonError(response, 404, "unknown tenant: " + tenant);
+    return;
+  }
+
+  obs::PrivacyLedger::BudgetSnapshot snapshot = ledger->snapshot();
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", JsonValue::String("ppdp.serve.audit.v1"));
+  doc.Set("tenant", JsonValue::String(tenant));
+  doc.Set("budget", JsonValue::Number(snapshot.budget));
+  doc.Set("spent", JsonValue::Number(snapshot.spent));
+  doc.Set("remaining", JsonValue::Number(snapshot.remaining));
+  doc.Set("rejected", JsonValue::Number(static_cast<double>(snapshot.rejected)));
+  JsonValue entries = JsonValue::Array();
+  for (const obs::PrivacyLedger::Entry& entry : ledger->entries()) {
+    JsonValue entry_json = JsonValue::Object();
+    entry_json.Set("label", JsonValue::String(entry.label));
+    entry_json.Set("mechanism", JsonValue::String(entry.mechanism));
+    entry_json.Set("calls", JsonValue::Number(static_cast<double>(entry.calls)));
+    entry_json.Set("total_epsilon", JsonValue::Number(entry.total_epsilon));
+    entries.Append(std::move(entry_json));
+  }
+  doc.Set("entries", entries);
+  response->Json(200, doc);
+  RequestHistogram().Observe(obs::MonotonicSeconds() - started);
+}
+
+void ServeApp::HandleAggregate(const obs::HttpRequest& request, obs::HttpResponse* response) {
+  static obs::Counter& requests =
+      obs::MetricsRegistry::Global().counter("serve.aggregate.requests");
+  static obs::Counter& budget_rejected =
+      obs::MetricsRegistry::Global().counter("serve.budget.rejected");
+  requests.Increment();
+  const double started = obs::MonotonicSeconds();
+  if (draining()) {
+    JsonError(response, 503, "draining");
+    return;
+  }
+  InflightScope inflight(&inflight_);
+
+  Result<JsonValue> body = request.Json();
+  if (!body.ok()) {
+    JsonError(response, 400, "invalid JSON body: " + body.status().ToString());
+    return;
+  }
+  const std::string tenant = body->GetStringOr("tenant", "");
+  const std::string op = body->GetStringOr("op", "histogram");
+  const double epsilon = body->GetNumberOr("epsilon", 0.1);
+
+  AdmissionSlot slot = admission_.TryAdmit();
+  if (!slot.held()) {
+    JsonValue detail = JsonValue::Object();
+    detail.Set("pending", JsonValue::Number(static_cast<double>(admission_.pending())));
+    detail.Set("max_pending", JsonValue::Number(static_cast<double>(admission_.max_pending())));
+    JsonError(response, 429, "admission queue full", std::move(detail));
+    return;
+  }
+
+  Result<obs::PrivacyLedger*> ledger = tenants_.ForTenant(tenant);
+  if (!ledger.ok()) {
+    const int status = ledger.status().code() == StatusCode::kFailedPrecondition ? 403 : 400;
+    JsonError(response, status, ledger.status().ToString());
+    return;
+  }
+  Status spend = (*ledger)->Spend("dp.aggregate", op, epsilon);
+  if (!spend.ok()) {
+    budget_rejected.Increment();
+    obs::PrivacyLedger::BudgetSnapshot snapshot = (*ledger)->snapshot();
+    JsonValue detail = JsonValue::Object();
+    detail.Set("tenant", JsonValue::String(tenant));
+    detail.Set("requested_epsilon", JsonValue::Number(epsilon));
+    detail.Set("remaining_epsilon", JsonValue::Number(snapshot.remaining));
+    detail.Set("budget", JsonValue::Number(snapshot.budget));
+    JsonError(response, 403, "privacy budget exhausted", std::move(detail));
+    return;
+  }
+
+  // Fresh noise per request: the sequence number keeps streams disjoint
+  // while the base seed keeps a daemon run reproducible end to end.
+  Rng rng(options_.seed + 0x9e3779b97f4a7c15ULL *
+                              (1 + aggregate_sequence_.fetch_add(1, std::memory_order_relaxed)));
+  JsonValue result;
+  if (op == "histogram") {
+    std::vector<double> buckets = dp::NoisyHistogram(degrees_, degree_domain_, epsilon, rng);
+    result = JsonValue::Array();
+    for (double bucket : buckets) result.Append(JsonValue::Number(bucket));
+  } else if (op == "quantile") {
+    const double q = body->GetNumberOr("q", 0.5);
+    Result<int64_t> quantile = dp::PrivateQuantile(degrees_, degree_domain_, q, epsilon, rng);
+    if (!quantile.ok()) {
+      JsonError(response, 400, quantile.status().ToString());
+      return;
+    }
+    result = JsonValue::Number(static_cast<double>(*quantile));
+  } else if (op == "range_count") {
+    const int64_t lo = static_cast<int64_t>(body->GetNumberOr("lo", 0));
+    const int64_t hi = static_cast<int64_t>(
+        body->GetNumberOr("hi", static_cast<double>(degree_domain_ - 1)));
+    if (lo < 0 || hi < lo || static_cast<size_t>(hi) >= degree_domain_) {
+      JsonError(response, 400, "range [lo, hi] out of degree domain");
+      return;
+    }
+    size_t count = 0;
+    for (int64_t degree : degrees_) {
+      if (degree >= lo && degree <= hi) ++count;
+    }
+    result = JsonValue::Number(dp::NoisyCount(count, epsilon, rng));
+  } else {
+    JsonError(response, 400, "unknown op: " + op +
+                                 " (expected histogram | quantile | range_count)");
+    return;
+  }
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", JsonValue::String("ppdp.serve.aggregate.v1"));
+  doc.Set("tenant", JsonValue::String(tenant));
+  doc.Set("op", JsonValue::String(op));
+  doc.Set("epsilon_spent", JsonValue::Number(epsilon));
+  doc.Set("remaining_epsilon", JsonValue::Number((*ledger)->remaining()));
+  doc.Set("result", std::move(result));
+  response->Json(200, doc);
+  RequestHistogram().Observe(obs::MonotonicSeconds() - started);
+}
+
+JsonValue ServeApp::StatuszSection() const {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("tenants", JsonValue::Number(static_cast<double>(tenants_.size())));
+  doc.Set("inflight", JsonValue::Number(static_cast<double>(inflight())));
+  doc.Set("queue_pending", JsonValue::Number(static_cast<double>(admission_.pending())));
+  doc.Set("queue_max", JsonValue::Number(static_cast<double>(admission_.max_pending())));
+  doc.Set("queue_admitted", JsonValue::Number(static_cast<double>(admission_.admitted())));
+  doc.Set("queue_rejected", JsonValue::Number(static_cast<double>(admission_.rejected())));
+  doc.Set("batches_run", JsonValue::Number(static_cast<double>(coalescer_.batches_run())));
+  doc.Set("followers_served",
+          JsonValue::Number(static_cast<double>(coalescer_.followers_served())));
+  doc.Set("draining", JsonValue::Bool(draining()));
+  return doc;
+}
+
+}  // namespace ppdp::serve

@@ -1,0 +1,123 @@
+#ifndef PPDP_SERVE_SERVE_APP_H_
+#define PPDP_SERVE_SERVE_APP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "core/publisher.h"
+#include "obs/http.h"
+#include "obs/telemetry_server.h"
+#include "serve/admission.h"
+#include "serve/coalescer.h"
+#include "serve/tenants.h"
+
+namespace ppdp::serve {
+
+/// Daemon configuration (the ppdp_serve flags map onto this 1:1).
+struct ServeOptions {
+  int port = 0;                ///< 0 = ephemeral
+  int http_max_conns = 32;     ///< concurrent connection cap (--http_max_conns)
+  size_t max_request_body_bytes = 1 << 20;
+  double graph_scale = 0.25;   ///< Caltech-like corpus scale loaded at startup
+  size_t genome_snps = 300;    ///< synthetic GWAS catalog width
+  uint64_t seed = 7;
+  int threads = 0;             ///< exec width (0 = all cores)
+  double tenant_budget = 4.0;  ///< ε budget per tenant ledger
+  size_t max_tenants = 64;
+  int max_pending = 64;        ///< admission queue bound (429 beyond)
+  double coalesce_window_seconds = 0.005;
+  double drain_timeout_seconds = 10.0;
+};
+
+/// Publishing-as-a-service on top of the routed TelemetryServer: loads the
+/// graph/genome corpora once at Create, owns one unified core::Publisher
+/// per corpus kind, and serves
+///
+///   POST /v1/publish       one publisher run; body names tenant, kind
+///                          ("social" | "tradeoff" | "genome"), epsilon and
+///                          a sanitization config. Identical (kind, config)
+///                          requests inside the coalescing window share one
+///                          run; every request's tenant is charged its own
+///                          ε first (budget-once, per request).
+///   POST /v1/audit         a tenant's ledger snapshot + audit entries.
+///   POST /v1/dp/aggregate  ε-DP aggregate over the corpus degree
+///                          distribution (op: "histogram" | "quantile" |
+///                          "range_count").
+///
+/// plus the inherited introspection endpoints (/metrics, /statusz, ...).
+/// Degradation: an exhausted tenant gets 403 with remaining-ε detail while
+/// other tenants are unaffected; a full admission queue answers 429; both
+/// flip /healthz (overridden here) to "degraded". Stop() drains: new
+/// requests get 503 while in-flight ones finish, then the server stops.
+class ServeApp {
+ public:
+  /// Generates the corpora, builds the publishers and the HTTP routing
+  /// table. No socket is opened until Start.
+  static Result<std::unique_ptr<ServeApp>> Create(const ServeOptions& options);
+  ~ServeApp();
+  ServeApp(const ServeApp&) = delete;
+  ServeApp& operator=(const ServeApp&) = delete;
+
+  Status Start();
+  /// Graceful shutdown: drain in-flight requests (bounded by
+  /// drain_timeout_seconds), then stop the server. Idempotent.
+  void Stop();
+
+  int port() const { return server_->port(); }
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+  size_t inflight() const { return inflight_.load(std::memory_order_acquire); }
+
+  TenantRegistry& tenants() { return tenants_; }
+  AdmissionController& admission() { return admission_; }
+  BatchCoalescer& coalescer() { return coalescer_; }
+  obs::TelemetryServer& server() { return *server_; }
+
+  /// The "serve" /statusz section (tenants, queue, coalescing, drain state).
+  JsonValue StatuszSection() const;
+
+ private:
+  ServeApp(const ServeOptions& options, std::vector<int64_t> degrees, size_t degree_domain,
+           std::unique_ptr<core::Publisher> social, std::unique_ptr<core::Publisher> tradeoff,
+           std::unique_ptr<core::Publisher> genome);
+
+  void RegisterRoutes();
+  void HandlePublish(const obs::HttpRequest& request, obs::HttpResponse* response);
+  void HandleAudit(const obs::HttpRequest& request, obs::HttpResponse* response);
+  void HandleAggregate(const obs::HttpRequest& request, obs::HttpResponse* response);
+
+  /// Runs `task` inline on the calling connection thread. Publishers
+  /// parallelize internally via ParallelFor, which enlists pool workers as
+  /// helpers and requires the caller NOT to be a pool worker itself: a
+  /// worker blocked waiting on helpers it enqueued behind other blocked
+  /// workers deadlocks the pool. Connection threads are bounded by
+  /// http_max_conns, so running inline keeps concurrency capped without
+  /// ever parking a pool thread.
+  Result<core::PublishOutput> RunPublish(std::function<Result<core::PublishOutput>()> task);
+
+  core::Publisher* PublisherFor(core::PublisherKind kind) const;
+
+  ServeOptions options_;
+  std::vector<int64_t> degrees_;  ///< corpus degree list the DP aggregates run over
+  size_t degree_domain_ = 0;      ///< max degree + 1
+  std::unique_ptr<core::Publisher> social_;
+  std::unique_ptr<core::Publisher> tradeoff_;
+  std::unique_ptr<core::Publisher> genome_;
+  TenantRegistry tenants_;
+  AdmissionController admission_;
+  BatchCoalescer coalescer_;
+  std::unique_ptr<obs::TelemetryServer> server_;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<size_t> inflight_{0};
+  std::atomic<uint64_t> aggregate_sequence_{0};  ///< per-request DP noise stream
+};
+
+}  // namespace ppdp::serve
+
+#endif  // PPDP_SERVE_SERVE_APP_H_

@@ -1,0 +1,56 @@
+#include "serve/tenants.h"
+
+#include <utility>
+
+namespace ppdp::serve {
+
+Status TenantRegistry::ValidateName(const std::string& tenant) {
+  if (tenant.empty()) return Status::InvalidArgument("tenant name must not be empty");
+  if (tenant.size() > 64) return Status::InvalidArgument("tenant name exceeds 64 characters");
+  for (char c : tenant) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == '.' || c == '-';
+    if (!ok) {
+      return Status::InvalidArgument("tenant name may only contain [A-Za-z0-9_.-]: " + tenant);
+    }
+  }
+  return Status::Ok();
+}
+
+Result<obs::PrivacyLedger*> TenantRegistry::ForTenant(const std::string& tenant) {
+  PPDP_RETURN_IF_ERROR(ValidateName(tenant));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = ledgers_.find(tenant);
+  if (it != ledgers_.end()) return it->second.get();
+  if (ledgers_.size() >= options_.max_tenants) {
+    return Status::FailedPrecondition("tenant limit reached (" +
+                                      std::to_string(options_.max_tenants) +
+                                      "); tenant not admitted: " + tenant);
+  }
+  auto ledger = std::make_unique<obs::PrivacyLedger>(options_.budget_per_tenant);
+  ledger->SetName("tenant." + tenant);
+  obs::PrivacyLedger* raw = ledger.get();
+  ledgers_.emplace(tenant, std::move(ledger));
+  return raw;
+}
+
+obs::PrivacyLedger* TenantRegistry::FindTenant(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = ledgers_.find(tenant);
+  return it == ledgers_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> TenantRegistry::TenantNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(ledgers_.size());
+  for (const auto& [name, unused_ledger] : ledgers_) names.push_back(name);
+  return names;
+}
+
+size_t TenantRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ledgers_.size();
+}
+
+}  // namespace ppdp::serve

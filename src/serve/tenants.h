@@ -1,0 +1,65 @@
+#ifndef PPDP_SERVE_TENANTS_H_
+#define PPDP_SERVE_TENANTS_H_
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "obs/ledger.h"
+
+namespace ppdp::serve {
+
+/// Per-tenant privacy-budget bookkeeping for the serve daemon: every tenant
+/// named in a request gets its own PrivacyLedger (created on first use,
+/// named "tenant.<name>" so it shows up in /statusz snapshots and exports a
+/// ledger.tenant.<name>.remaining_epsilon gauge). Ledgers are never removed
+/// while the registry lives, so a returned pointer stays valid for the
+/// daemon's lifetime and one tenant's exhaustion cannot disturb another's
+/// ledger.
+class TenantRegistry {
+ public:
+  struct Options {
+    /// ε budget each tenant's ledger enforces by sequential composition.
+    double budget_per_tenant = 4.0;
+    /// Cap on distinct tenants: names are attacker-controlled input, and
+    /// each ledger registers a metric gauge, so an unbounded registry would
+    /// let a client grow process memory without limit.
+    size_t max_tenants = 64;
+  };
+
+  explicit TenantRegistry(Options options) : options_(options) {}
+  TenantRegistry(const TenantRegistry&) = delete;
+  TenantRegistry& operator=(const TenantRegistry&) = delete;
+
+  /// Tenant names travel in JSON request bodies: accept only non-empty
+  /// names up to 64 chars of [A-Za-z0-9_.-] so a hostile name cannot smuggle
+  /// metric-label or JSON structure.
+  static Status ValidateName(const std::string& tenant);
+
+  /// The tenant's ledger, created on first use. kInvalidArgument for a bad
+  /// name, kFailedPrecondition when the tenant cap is reached (existing
+  /// tenants are still served).
+  Result<obs::PrivacyLedger*> ForTenant(const std::string& tenant);
+
+  /// The ledger if the tenant already exists, else nullptr (audit reads
+  /// must not allocate ledgers for never-seen tenants).
+  obs::PrivacyLedger* FindTenant(const std::string& tenant) const;
+
+  std::vector<std::string> TenantNames() const;
+  size_t size() const;
+  double budget_per_tenant() const { return options_.budget_per_tenant; }
+
+ private:
+  Options options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<obs::PrivacyLedger>> ledgers_;
+};
+
+}  // namespace ppdp::serve
+
+#endif  // PPDP_SERVE_TENANTS_H_

@@ -181,5 +181,93 @@ TEST(GenomePublisherTest, CreateRejectsBadOptionsAndEmptyCatalog) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(PublisherInterfaceTest, KindNamesRoundTrip) {
+  for (PublisherKind kind :
+       {PublisherKind::kSocial, PublisherKind::kTradeoff, PublisherKind::kGenome}) {
+    auto parsed = ParsePublisherKind(PublisherKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_EQ(ParsePublisherKind("mystery").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PublisherInterfaceTest, GraphFactoryServesGraphKindsAndRejectsGenome) {
+  graph::SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.2, 11));
+  auto social = CreatePublisher(PublisherKind::kSocial, g, {.seed = 1});
+  ASSERT_TRUE(social.ok()) << social.status().ToString();
+  EXPECT_EQ((*social)->kind(), PublisherKind::kSocial);
+  auto tradeoff = CreatePublisher(PublisherKind::kTradeoff, g, {.seed = 1});
+  ASSERT_TRUE(tradeoff.ok());
+  EXPECT_EQ((*tradeoff)->kind(), PublisherKind::kTradeoff);
+  EXPECT_EQ(CreatePublisher(PublisherKind::kGenome, g, {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PublisherInterfaceTest, UnifiedPublishRunsEveryKind) {
+  graph::SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.2, 11));
+  Rng rng(5);
+  genomics::SyntheticCatalogConfig catalog_config;
+  catalog_config.num_snps = 60;
+  genomics::GwasCatalog catalog = genomics::GenerateSyntheticCatalog(catalog_config, rng);
+  genomics::Individual person = genomics::SampleIndividual(catalog, rng);
+  genomics::TargetView view = genomics::MakeTargetView(catalog, person, {});
+
+  std::vector<std::unique_ptr<Publisher>> publishers;
+  auto social = CreatePublisher(PublisherKind::kSocial, g, {.seed = 1, .threads = 2});
+  ASSERT_TRUE(social.ok());
+  publishers.push_back(std::move(*social));
+  auto tradeoff = CreatePublisher(PublisherKind::kTradeoff, g, {.seed = 1, .threads = 2});
+  ASSERT_TRUE(tradeoff.ok());
+  publishers.push_back(std::move(*tradeoff));
+  auto genome = CreatePublisher(std::move(catalog), std::move(view), {.threads = 2});
+  ASSERT_TRUE(genome.ok());
+  publishers.push_back(std::move(*genome));
+
+  PublishConfig config;
+  for (const auto& publisher : publishers) {
+    auto output = publisher->Publish(config);
+    ASSERT_TRUE(output.ok()) << output.status().ToString();
+    EXPECT_EQ(output->kind, PublisherKindName(publisher->kind()));
+    JsonValue json = output->ToJson();
+    EXPECT_TRUE(json.Has("privacy_before"));
+    EXPECT_TRUE(json.Has("privacy_after"));
+    EXPECT_TRUE(json.Has("utility_loss"));
+    EXPECT_TRUE(json.Has("satisfied"));
+
+    // Publish is const: a second identical run yields the identical output
+    // (the determinism request coalescing in the serve layer relies on).
+    auto again = publisher->Publish(config);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->privacy_before, output->privacy_before);
+    EXPECT_EQ(again->privacy_after, output->privacy_after);
+    EXPECT_EQ(again->attributes_sanitized, output->attributes_sanitized);
+  }
+}
+
+TEST(PublisherInterfaceTest, PublishRejectsBadConfigInsteadOfCrashing) {
+  graph::SocialGraph g = GenerateSyntheticGraph(graph::CaltechLikeConfig(0.2, 11));
+  auto social = CreatePublisher(PublisherKind::kSocial, g, {.seed = 1});
+  ASSERT_TRUE(social.ok());
+  PublishConfig bad_category;
+  bad_category.utility_category = 999;
+  EXPECT_EQ((*social)->Publish(bad_category).status().code(), StatusCode::kInvalidArgument);
+
+  auto tradeoff = CreatePublisher(PublisherKind::kTradeoff, g, {.seed = 1});
+  ASSERT_TRUE(tradeoff.ok());
+  EXPECT_EQ((*tradeoff)->Publish(bad_category).status().code(), StatusCode::kInvalidArgument);
+
+  Rng rng(5);
+  genomics::SyntheticCatalogConfig catalog_config;
+  catalog_config.num_snps = 40;
+  genomics::GwasCatalog catalog = genomics::GenerateSyntheticCatalog(catalog_config, rng);
+  genomics::Individual person = genomics::SampleIndividual(catalog, rng);
+  auto genome =
+      CreatePublisher(catalog, genomics::MakeTargetView(catalog, person, {}), {});
+  ASSERT_TRUE(genome.ok());
+  PublishConfig bad_trait;
+  bad_trait.target_traits = {catalog.num_traits() + 7};
+  EXPECT_EQ((*genome)->Publish(bad_trait).status().code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace ppdp::core

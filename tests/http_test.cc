@@ -1,0 +1,178 @@
+#include "obs/http.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/telemetry_server.h"
+#include "serve/client.h"
+
+namespace ppdp::obs {
+namespace {
+
+TEST(HttpResponseTest, RenderFramesStatusContentTypeAndLength) {
+  HttpResponse response;
+  response.Text(404, "gone\n");
+  std::string wire = response.Render();
+  EXPECT_NE(wire.find("HTTP/1.1 404 Not Found\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Type: text/plain; charset=utf-8\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_EQ(wire.substr(wire.size() - 5), "gone\n");
+}
+
+TEST(HttpResponseTest, JsonDumpsWithTrailingNewline) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("ok", JsonValue::Bool(true));
+  HttpResponse response;
+  response.Json(200, doc);
+  EXPECT_EQ(response.content_type(), "application/json");
+  EXPECT_EQ(response.body(), doc.Dump() + "\n");
+}
+
+TEST(ParseQueryStringTest, SplitsPairsAndIgnoresLaterDuplicates) {
+  auto query = ParseQueryString("a=1&b=two&a=9&bare");
+  EXPECT_EQ(query["a"], "1");
+  EXPECT_EQ(query["b"], "two");
+  EXPECT_EQ(query.count("bare"), 1u);
+}
+
+TEST(HttpRequestTest, QueryLookupsFallBackOnAbsentOrBadValues) {
+  HttpRequest request;
+  request.query = ParseQueryString("seconds=3&hz=bogus");
+  EXPECT_EQ(request.QueryIntOr("seconds", 1), 3);
+  EXPECT_EQ(request.QueryIntOr("hz", 97), 97);
+  EXPECT_EQ(request.QueryStringOr("missing", "fallback"), "fallback");
+}
+
+TEST(RoutingTest, LongestClaimingPrefixWins) {
+  TelemetryServer server({});
+  server.RegisterHandler("GET", "/v1", [](const HttpRequest&, HttpResponse* response) {
+    response->Text(200, "v1\n");
+  });
+  server.RegisterHandler("GET", "/v1/deep", [](const HttpRequest&, HttpResponse* response) {
+    response->Text(200, "deep\n");
+  });
+
+  HttpRequest request;
+  request.method = "GET";
+  request.path = "/v1/deep/child";
+  EXPECT_EQ(server.Dispatch(request).body(), "deep\n");
+  request.path = "/v1/other";
+  EXPECT_EQ(server.Dispatch(request).body(), "v1\n");
+}
+
+TEST(RoutingTest, PrefixClaimsOnlySlashSeparatedExtensions) {
+  TelemetryServer server({});
+  server.RegisterHandler("GET", "/v1/publish", [](const HttpRequest&, HttpResponse* response) {
+    response->Text(200, "publish\n");
+  });
+
+  HttpRequest request;
+  request.method = "GET";
+  request.path = "/v1/publish";
+  EXPECT_EQ(server.Dispatch(request).status(), 200);
+  request.path = "/v1/publish/batch";
+  EXPECT_EQ(server.Dispatch(request).status(), 200);
+  // Not a path-segment extension: must fall through to the index 404.
+  request.path = "/v1/publisher";
+  EXPECT_EQ(server.Dispatch(request).status(), 404);
+}
+
+TEST(RoutingTest, MethodMismatchOnClaimedPathIs405) {
+  TelemetryServer server({});
+  server.RegisterHandler("POST", "/v1/publish", [](const HttpRequest&, HttpResponse* response) {
+    response->Text(200, "posted\n");
+  });
+
+  HttpRequest request;
+  request.method = "GET";
+  request.path = "/v1/publish";
+  HttpResponse response = server.Dispatch(request);
+  EXPECT_EQ(response.status(), 405);
+
+  // The built-in telemetry endpoints reject non-GET the same way.
+  request.method = "DELETE";
+  request.path = "/metrics";
+  EXPECT_EQ(server.Dispatch(request).status(), 405);
+}
+
+TEST(RoutingTest, ReRegisteringSamePrefixReplacesHandler) {
+  TelemetryServer server({});
+  HttpRequest request;
+  request.method = "GET";
+  request.path = "/healthz";
+  EXPECT_EQ(server.Dispatch(request).body(), "ok\n");
+
+  server.RegisterHandler("GET", "/healthz", [](const HttpRequest&, HttpResponse* response) {
+    response->Text(200, "overridden\n");
+  });
+  EXPECT_EQ(server.Dispatch(request).body(), "overridden\n");
+}
+
+TEST(RoutingTest, SameMethodDifferentPrefixesCoexistWithGets) {
+  TelemetryServer server({});
+  server.RegisterHandler("POST", "/v1/publish", [](const HttpRequest&, HttpResponse* response) {
+    response->Text(200, "publish\n");
+  });
+
+  // The built-in GET endpoints are untouched by POST registrations.
+  HttpRequest request;
+  request.method = "GET";
+  request.path = "/healthz";
+  EXPECT_EQ(server.Dispatch(request).status(), 200);
+  request.path = "/";
+  EXPECT_EQ(server.Dispatch(request).status(), 200);
+}
+
+TEST(RoutingTest, OversizedBodyGets413BeforeHandlerRuns) {
+  TelemetryServer::Options options;
+  options.max_request_body_bytes = 64;
+  TelemetryServer server(std::move(options));
+  bool handler_ran = false;
+  server.RegisterHandler("POST", "/v1/echo",
+                         [&handler_ran](const HttpRequest& request, HttpResponse* response) {
+                           handler_ran = true;
+                           response->Text(200, request.body);
+                         });
+  ASSERT_TRUE(server.Start().ok());
+
+  auto small = serve::HttpRequest(server.port(), "POST", "/v1/echo", std::string(32, 'x'));
+  ASSERT_TRUE(small.ok()) << small.status().ToString();
+  EXPECT_EQ(small->status, 200);
+  EXPECT_TRUE(handler_ran);
+
+  handler_ran = false;
+  auto big = serve::HttpRequest(server.port(), "POST", "/v1/echo", std::string(65, 'x'));
+  ASSERT_TRUE(big.ok()) << big.status().ToString();
+  EXPECT_EQ(big->status, 413);
+  EXPECT_FALSE(handler_ran);
+  server.Stop();
+}
+
+TEST(RoutingTest, PostBodyReachesHandlerOverRealSocket) {
+  TelemetryServer server({});
+  server.RegisterHandler("POST", "/v1/echo",
+                         [](const HttpRequest& request, HttpResponse* response) {
+                           auto doc = request.Json();
+                           if (!doc.ok()) {
+                             response->Text(400, "bad json\n");
+                             return;
+                           }
+                           JsonValue reply = JsonValue::Object();
+                           reply.Set("echo", JsonValue::String(doc->GetStringOr("msg", "")));
+                           response->Json(200, reply);
+                         });
+  ASSERT_TRUE(server.Start().ok());
+
+  JsonValue body = JsonValue::Object();
+  body.Set("msg", JsonValue::String("ping"));
+  auto response = serve::PostJson(server.port(), "/v1/echo", body);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  auto doc = response->Json();
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->GetStringOr("echo", ""), "ping");
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace ppdp::obs

@@ -1,0 +1,392 @@
+#include "serve/serve_app.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/admission.h"
+#include "serve/client.h"
+#include "serve/coalescer.h"
+#include "serve/tenants.h"
+
+namespace ppdp::serve {
+namespace {
+
+/// Small corpus so each test's Create + publish runs stay fast.
+ServeOptions FastOptions() {
+  ServeOptions options;
+  options.port = 0;
+  options.graph_scale = 0.1;
+  options.genome_snps = 60;
+  options.seed = 11;
+  options.threads = 2;
+  return options;
+}
+
+JsonValue PublishBody(const std::string& tenant, double epsilon,
+                      const std::string& kind = "genome") {
+  JsonValue body = JsonValue::Object();
+  body.Set("tenant", JsonValue::String(tenant));
+  body.Set("kind", JsonValue::String(kind));
+  body.Set("epsilon", JsonValue::Number(epsilon));
+  return body;
+}
+
+JsonValue AggregateBody(const std::string& tenant, double epsilon,
+                        const std::string& op = "histogram") {
+  JsonValue body = JsonValue::Object();
+  body.Set("tenant", JsonValue::String(tenant));
+  body.Set("op", JsonValue::String(op));
+  body.Set("epsilon", JsonValue::Number(epsilon));
+  return body;
+}
+
+TEST(TenantRegistryTest, ValidatesNamesCreatesOnceAndCapsTenants) {
+  TenantRegistry registry({.budget_per_tenant = 2.0, .max_tenants = 2});
+  EXPECT_FALSE(TenantRegistry::ValidateName("").ok());
+  EXPECT_FALSE(TenantRegistry::ValidateName("bad name").ok());
+  EXPECT_FALSE(TenantRegistry::ValidateName(std::string(65, 'a')).ok());
+  EXPECT_TRUE(TenantRegistry::ValidateName("Tenant_1.a-b").ok());
+
+  auto first = registry.ForTenant("alpha");
+  ASSERT_TRUE(first.ok());
+  auto again = registry.ForTenant("alpha");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*first, *again);  // same ledger, not a new one
+  EXPECT_EQ((*first)->budget(), 2.0);
+
+  ASSERT_TRUE(registry.ForTenant("beta").ok());
+  auto third = registry.ForTenant("gamma");
+  EXPECT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), StatusCode::kFailedPrecondition);
+  // Existing tenants are still served at the cap.
+  EXPECT_TRUE(registry.ForTenant("beta").ok());
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.FindTenant("gamma"), nullptr);
+}
+
+TEST(AdmissionControllerTest, BoundsPendingAndReportsPressure) {
+  AdmissionController admission({.max_pending = 2, .pressure_window_seconds = 60.0});
+  EXPECT_FALSE(admission.UnderPressure());
+  AdmissionSlot a = admission.TryAdmit();
+  AdmissionSlot b = admission.TryAdmit();
+  EXPECT_TRUE(a.held());
+  EXPECT_TRUE(b.held());
+  AdmissionSlot c = admission.TryAdmit();
+  EXPECT_FALSE(c.held());
+  EXPECT_EQ(admission.rejected(), 1u);
+  EXPECT_TRUE(admission.UnderPressure());  // full now, and rejection stamped
+
+  { AdmissionSlot moved = std::move(a); }  // release via RAII
+  EXPECT_EQ(admission.pending(), 1u);
+  EXPECT_TRUE(admission.TryAdmit().held());
+  EXPECT_EQ(admission.admitted(), 3u);
+}
+
+TEST(BatchCoalescerTest, IdenticalKeysShareOneRun) {
+  BatchCoalescer coalescer({.window_seconds = 0.1});
+  std::atomic<int> runs{0};
+  auto runner = [&runs]() -> Result<core::PublishOutput> {
+    runs.fetch_add(1);
+    core::PublishOutput output;
+    output.kind = "test";
+    output.privacy_after = 0.5;
+    return output;
+  };
+
+  constexpr int kThreads = 6;
+  std::vector<std::optional<BatchCoalescer::Outcome>> outcomes(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] { outcomes[static_cast<size_t>(i)] = coalescer.Run("k", runner); });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(runs.load(), 1);
+  int leaders = 0;
+  for (const auto& maybe_outcome : outcomes) {
+    ASSERT_TRUE(maybe_outcome.has_value());
+    const BatchCoalescer::Outcome& outcome = *maybe_outcome;
+    ASSERT_TRUE(outcome.result.ok());
+    EXPECT_EQ(outcome.result->privacy_after, 0.5);
+    EXPECT_EQ(outcome.batch_size, static_cast<size_t>(kThreads));
+    leaders += outcome.leader ? 1 : 0;
+  }
+  EXPECT_EQ(leaders, 1);
+  EXPECT_EQ(coalescer.batches_run(), 1u);
+  EXPECT_EQ(coalescer.followers_served(), static_cast<uint64_t>(kThreads - 1));
+
+  // Different keys never share.
+  auto other = coalescer.Run("other", runner);
+  ASSERT_TRUE(other.result.ok());
+  EXPECT_TRUE(other.leader);
+  EXPECT_EQ(runs.load(), 2);
+}
+
+TEST(ServeAppTest, ConcurrentTenantsAreChargedExactlyOnceEach) {
+  ServeOptions options = FastOptions();
+  options.tenant_budget = 100.0;
+  auto app = ServeApp::Create(options);
+  ASSERT_TRUE(app.ok()) << app.status().ToString();
+  ASSERT_TRUE((*app)->Start().ok());
+  const int port = (*app)->port();
+
+  constexpr int kTenants = 4;
+  constexpr int kRequests = 6;
+  constexpr double kEpsilon = 0.5;
+  std::atomic<int> ok_responses{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kTenants; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string tenant = "tenant" + std::to_string(t);
+      for (int i = 0; i < kRequests; ++i) {
+        auto response = PostJson(port, "/v1/dp/aggregate",
+                                 AggregateBody(tenant, kEpsilon, i % 2 ? "histogram" : "quantile"));
+        if (response.ok() && response->status == 200) ok_responses.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(ok_responses.load(), kTenants * kRequests);
+
+  // Budget-once, no cross-charge: every tenant's ledger shows exactly its
+  // own spend.
+  for (int t = 0; t < kTenants; ++t) {
+    const std::string tenant = "tenant" + std::to_string(t);
+    JsonValue audit_body = JsonValue::Object();
+    audit_body.Set("tenant", JsonValue::String(tenant));
+    auto audit = PostJson(port, "/v1/audit", audit_body);
+    ASSERT_TRUE(audit.ok());
+    ASSERT_EQ(audit->status, 200);
+    auto doc = audit->Json();
+    ASSERT_TRUE(doc.ok());
+    EXPECT_NEAR(doc->GetNumberOr("spent", -1.0), kRequests * kEpsilon, 1e-9) << tenant;
+    EXPECT_EQ(doc->GetNumberOr("rejected", -1.0), 0.0) << tenant;
+  }
+  (*app)->Stop();
+}
+
+TEST(ServeAppTest, CoalescedPublishFansOutOneRunButChargesEveryTenant) {
+  ServeOptions options = FastOptions();
+  options.tenant_budget = 10.0;
+  options.coalesce_window_seconds = 0.25;  // wide window: all requests join one batch
+  auto app = ServeApp::Create(options);
+  ASSERT_TRUE(app.ok()) << app.status().ToString();
+  ASSERT_TRUE((*app)->Start().ok());
+  const int port = (*app)->port();
+
+  constexpr int kTenants = 4;
+  constexpr double kEpsilon = 0.5;
+  std::vector<double> privacy_after(kTenants, -1.0);
+  std::vector<double> batch_sizes(kTenants, 0.0);
+  std::atomic<int> coalesced{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kTenants; ++t) {
+    threads.emplace_back([&, t] {
+      auto response =
+          PostJson(port, "/v1/publish", PublishBody("pub" + std::to_string(t), kEpsilon));
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      ASSERT_EQ(response->status, 200) << response->body;
+      auto doc = response->Json();
+      ASSERT_TRUE(doc.ok());
+      if (doc->GetBoolOr("coalesced", false)) coalesced.fetch_add(1);
+      batch_sizes[static_cast<size_t>(t)] = doc->GetNumberOr("batch_size", 0.0);
+      const JsonValue* output = doc->Find("output");
+      ASSERT_NE(output, nullptr);
+      privacy_after[static_cast<size_t>(t)] = output->GetNumberOr("privacy_after", -2.0);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  // One run, everyone else fanned out — and all members saw the identical
+  // output (Publish is const + deterministic for equal configs).
+  EXPECT_EQ((*app)->coalescer().batches_run(), 1u);
+  EXPECT_EQ(coalesced.load(), kTenants - 1);
+  for (int t = 0; t < kTenants; ++t) {
+    EXPECT_EQ(batch_sizes[static_cast<size_t>(t)], static_cast<double>(kTenants));
+    EXPECT_EQ(privacy_after[static_cast<size_t>(t)], privacy_after[0]);
+  }
+  // ...but the ε accounting stayed per-request.
+  for (int t = 0; t < kTenants; ++t) {
+    obs::PrivacyLedger* ledger = (*app)->tenants().FindTenant("pub" + std::to_string(t));
+    ASSERT_NE(ledger, nullptr);
+    EXPECT_NEAR(ledger->spent(), kEpsilon, 1e-9);
+  }
+  (*app)->Stop();
+}
+
+TEST(ServeAppTest, ExhaustedTenantGets403WhileOthersServe) {
+  ServeOptions options = FastOptions();
+  options.tenant_budget = 1.0;
+  auto app = ServeApp::Create(options);
+  ASSERT_TRUE(app.ok()) << app.status().ToString();
+  ASSERT_TRUE((*app)->Start().ok());
+  const int port = (*app)->port();
+
+  auto first = PostJson(port, "/v1/dp/aggregate", AggregateBody("spender", 0.7));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->status, 200);
+
+  auto second = PostJson(port, "/v1/dp/aggregate", AggregateBody("spender", 0.7));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->status, 403);
+  auto error = second->Json();
+  ASSERT_TRUE(error.ok());
+  const JsonValue* detail = error->Find("detail");
+  ASSERT_NE(detail, nullptr);
+  EXPECT_NEAR(detail->GetNumberOr("remaining_epsilon", -1.0), 0.3, 1e-9);
+  EXPECT_NEAR(detail->GetNumberOr("budget", -1.0), 1.0, 1e-9);
+
+  // The rejection flips health to degraded; other tenants are unaffected.
+  auto health = Get(port, "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->body, "degraded\n");
+  auto other = PostJson(port, "/v1/dp/aggregate", AggregateBody("frugal", 0.2));
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(other->status, 200);
+  (*app)->Stop();
+}
+
+TEST(ServeAppTest, FullAdmissionQueueGets429AndDegradesHealth) {
+  ServeOptions options = FastOptions();
+  options.max_pending = 2;
+  auto app = ServeApp::Create(options);
+  ASSERT_TRUE(app.ok()) << app.status().ToString();
+  ASSERT_TRUE((*app)->Start().ok());
+  const int port = (*app)->port();
+
+  // Hold every slot so the next request is deterministically refused.
+  AdmissionSlot a = (*app)->admission().TryAdmit();
+  AdmissionSlot b = (*app)->admission().TryAdmit();
+  ASSERT_TRUE(a.held() && b.held());
+
+  auto refused = PostJson(port, "/v1/dp/aggregate", AggregateBody("queued", 0.1));
+  ASSERT_TRUE(refused.ok());
+  EXPECT_EQ(refused->status, 429);
+  auto error = refused->Json();
+  ASSERT_TRUE(error.ok());
+  const JsonValue* detail = error->Find("detail");
+  ASSERT_NE(detail, nullptr);
+  EXPECT_EQ(detail->GetNumberOr("max_pending", -1.0), 2.0);
+  // No charge happened: the tenant ledger was never created.
+  EXPECT_EQ((*app)->tenants().FindTenant("queued"), nullptr);
+
+  auto health = Get(port, "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->body, "degraded\n");
+
+  { AdmissionSlot drop_a = std::move(a), drop_b = std::move(b); }
+  auto admitted = PostJson(port, "/v1/dp/aggregate", AggregateBody("queued", 0.1));
+  ASSERT_TRUE(admitted.ok());
+  EXPECT_EQ(admitted->status, 200);
+  (*app)->Stop();
+}
+
+TEST(ServeAppTest, StopDrainsInFlightRequestsThenRefusesNewOnes) {
+  ServeOptions options = FastOptions();
+  // A long window keeps the publish in flight until Stop short-circuits it.
+  options.coalesce_window_seconds = 5.0;
+  auto app = ServeApp::Create(options);
+  ASSERT_TRUE(app.ok()) << app.status().ToString();
+  ASSERT_TRUE((*app)->Start().ok());
+  const int port = (*app)->port();
+
+  std::atomic<int> inflight_status{-1};
+  std::thread client([&] {
+    auto response = PostJson(port, "/v1/publish", PublishBody("drainer", 0.5), /*timeout=*/20.0);
+    inflight_status.store(response.ok() ? response->status : -2);
+  });
+  // Wait until the request is actually in flight (leader parked in its
+  // batching window).
+  for (int i = 0; i < 1000 && (*app)->inflight() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_GT((*app)->inflight(), 0u);
+
+  (*app)->Stop();  // must cut the window short, not wait out 5 s
+  client.join();
+  EXPECT_EQ(inflight_status.load(), 200);
+  EXPECT_TRUE((*app)->draining());
+  EXPECT_EQ((*app)->inflight(), 0u);
+
+  // The socket is down after Stop; a new request cannot even connect.
+  auto after = PostJson(port, "/v1/dp/aggregate", AggregateBody("late", 0.1));
+  EXPECT_FALSE(after.ok());
+}
+
+TEST(ServeAppTest, AggregateOpsValidateInputs) {
+  ServeOptions options = FastOptions();
+  auto app = ServeApp::Create(options);
+  ASSERT_TRUE(app.ok()) << app.status().ToString();
+  ASSERT_TRUE((*app)->Start().ok());
+  const int port = (*app)->port();
+
+  auto histogram = PostJson(port, "/v1/dp/aggregate", AggregateBody("ops", 0.2, "histogram"));
+  ASSERT_TRUE(histogram.ok());
+  ASSERT_EQ(histogram->status, 200) << histogram->body;
+  auto doc = histogram->Json();
+  ASSERT_TRUE(doc.ok());
+  const JsonValue* result = doc->Find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_TRUE(result->is_array());
+  EXPECT_GT(result->size(), 0u);
+
+  JsonValue quantile_body = AggregateBody("ops", 0.2, "quantile");
+  quantile_body.Set("q", JsonValue::Number(0.9));
+  auto quantile = PostJson(port, "/v1/dp/aggregate", quantile_body);
+  ASSERT_TRUE(quantile.ok());
+  EXPECT_EQ(quantile->status, 200) << quantile->body;
+
+  auto unknown = PostJson(port, "/v1/dp/aggregate", AggregateBody("ops", 0.2, "median"));
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_EQ(unknown->status, 400);
+
+  auto bad_json = HttpRequest(port, "POST", "/v1/dp/aggregate", "{not json");
+  ASSERT_TRUE(bad_json.ok());
+  EXPECT_EQ(bad_json->status, 400);
+
+  auto bad_tenant = PostJson(port, "/v1/dp/aggregate", AggregateBody("bad tenant!", 0.2));
+  ASSERT_TRUE(bad_tenant.ok());
+  EXPECT_EQ(bad_tenant->status, 400);
+
+  JsonValue unknown_audit = JsonValue::Object();
+  unknown_audit.Set("tenant", JsonValue::String("never-seen"));
+  auto audit = PostJson(port, "/v1/audit", unknown_audit);
+  ASSERT_TRUE(audit.ok());
+  EXPECT_EQ(audit->status, 404);
+
+  auto bad_kind = PostJson(port, "/v1/publish", PublishBody("ops", 0.2, "mystery"));
+  ASSERT_TRUE(bad_kind.ok());
+  EXPECT_EQ(bad_kind->status, 400);
+  (*app)->Stop();
+}
+
+TEST(ServeAppTest, StatuszCarriesServeSection) {
+  ServeOptions options = FastOptions();
+  auto app = ServeApp::Create(options);
+  ASSERT_TRUE(app.ok()) << app.status().ToString();
+  ASSERT_TRUE((*app)->Start().ok());
+  const int port = (*app)->port();
+
+  ASSERT_TRUE(PostJson(port, "/v1/dp/aggregate", AggregateBody("statusz", 0.1)).ok());
+  auto statusz = Get(port, "/statusz");
+  ASSERT_TRUE(statusz.ok());
+  ASSERT_EQ(statusz->status, 200);
+  auto doc = statusz->Json();
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+
+  JsonValue section = (*app)->StatuszSection();
+  EXPECT_GE(section.GetNumberOr("tenants", -1.0), 1.0);
+  EXPECT_EQ(section.GetNumberOr("queue_max", -1.0),
+            static_cast<double>((*app)->admission().max_pending()));
+  EXPECT_FALSE(section.GetBoolOr("draining", true));
+  (*app)->Stop();
+}
+
+}  // namespace
+}  // namespace ppdp::serve
