@@ -7,6 +7,12 @@
 //
 //   $ ./bench_serve [--clients 8] [--requests 2048] [--publish_pct 12]
 //                   [--min_qps 0] [--scale 0.25] [--genome_snps 300]
+//                   [--deadline_ms 0]
+//
+// --deadline_ms > 0 stamps every request with a client deadline the server
+// honors while queued for admission: expired requests come back 504 and are
+// counted in the rejected class (bench.serve.timeout_504), alongside the
+// 403/429 breakdown, in the ppdp.bench.v1 report counters.
 //
 // --min_qps > 0 turns the run into a gate: exit 1 when achieved QPS falls
 // below it (what the CI perf job pins). The BENCH_serve.json run report
@@ -25,9 +31,13 @@ namespace {
 
 struct ClientStats {
   uint64_t ok = 0;
-  uint64_t rejected = 0;   // 403/429: budget or queue pressure
-  uint64_t failed = 0;     // transport errors, 4xx/5xx outside the above
-  uint64_t coalesced = 0;  // publish responses served as batch followers
+  uint64_t rejected_403 = 0;  // budget exhausted
+  uint64_t rejected_429 = 0;  // admission queue full
+  uint64_t timeout_504 = 0;   // client deadline expired while queued
+  uint64_t failed = 0;        // transport errors, 4xx/5xx outside the above
+  uint64_t coalesced = 0;     // publish responses served as batch followers
+
+  uint64_t rejected() const { return rejected_403 + rejected_429 + timeout_504; }
 };
 
 }  // namespace
@@ -39,6 +49,7 @@ int main(int argc, char** argv) {
   const uint64_t total_requests = static_cast<uint64_t>(flags.GetInt("requests", 2048));
   const int publish_pct = static_cast<int>(flags.GetInt("publish_pct", 12));
   const double min_qps = flags.GetDouble("min_qps", 0.0);
+  const double deadline_ms = flags.GetDouble("deadline_ms", 0.0);
 
   ppdp::serve::ServeOptions options;
   options.port = 0;
@@ -104,6 +115,9 @@ int main(int argc, char** argv) {
           // i >= 90 > clients), so the ledger already exists.
           path = "/v1/audit";
         }
+        if (deadline_ms > 0.0 && path != "/v1/audit") {
+          body.Set("deadline_ms", ppdp::JsonValue::Number(deadline_ms));
+        }
 
         const double start = ppdp::obs::MonotonicSeconds();
         auto response = ppdp::serve::PostJson(port, path, body);
@@ -118,8 +132,12 @@ int main(int argc, char** argv) {
             auto doc = response->Json();
             if (doc.ok() && doc->GetBoolOr("coalesced", false)) ++mine.coalesced;
           }
-        } else if (response->status == 403 || response->status == 429) {
-          ++mine.rejected;
+        } else if (response->status == 403) {
+          ++mine.rejected_403;
+        } else if (response->status == 429) {
+          ++mine.rejected_429;
+        } else if (response->status == 504) {
+          ++mine.timeout_504;
         } else {
           ++mine.failed;
         }
@@ -132,10 +150,19 @@ int main(int argc, char** argv) {
   ClientStats total;
   for (const ClientStats& s : stats) {
     total.ok += s.ok;
-    total.rejected += s.rejected;
+    total.rejected_403 += s.rejected_403;
+    total.rejected_429 += s.rejected_429;
+    total.timeout_504 += s.timeout_504;
     total.failed += s.failed;
     total.coalesced += s.coalesced;
   }
+  // Response-class breakdown for the ppdp.bench.v1 run report (the global
+  // telemetry snapshot carries every counter).
+  ppdp::obs::MetricsRegistry::Global().counter("bench.serve.ok").Increment(total.ok);
+  ppdp::obs::MetricsRegistry::Global().counter("bench.serve.rejected_403").Increment(total.rejected_403);
+  ppdp::obs::MetricsRegistry::Global().counter("bench.serve.rejected_429").Increment(total.rejected_429);
+  ppdp::obs::MetricsRegistry::Global().counter("bench.serve.timeout_504").Increment(total.timeout_504);
+  ppdp::obs::MetricsRegistry::Global().counter("bench.serve.failed").Increment(total.failed);
   const double qps = wall > 0.0 ? static_cast<double>(total_requests) / wall : 0.0;
 
   double p50 = 0.0, p95 = 0.0, p99 = 0.0;
@@ -147,10 +174,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  ppdp::Table table({"clients", "requests", "ok", "rejected", "failed", "coalesced", "wall s",
-                     "qps", "p50 ms", "p95 ms", "p99 ms"});
+  ppdp::Table table({"clients", "requests", "ok", "403", "429", "504", "failed", "coalesced",
+                     "wall s", "qps", "p50 ms", "p95 ms", "p99 ms"});
   table.AddRow({std::to_string(clients), std::to_string(total_requests),
-                std::to_string(total.ok), std::to_string(total.rejected),
+                std::to_string(total.ok), std::to_string(total.rejected_403),
+                std::to_string(total.rejected_429), std::to_string(total.timeout_504),
                 std::to_string(total.failed), std::to_string(total.coalesced),
                 ppdp::Table::FormatDouble(wall, 3), ppdp::Table::FormatDouble(qps, 1),
                 ppdp::Table::FormatDouble(p50 * 1e3, 3), ppdp::Table::FormatDouble(p95 * 1e3, 3),

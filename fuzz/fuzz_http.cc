@@ -1,0 +1,20 @@
+// Fuzz surface: ParseHttpRequestHead in obs/http.cc — the single parser
+// behind both the telemetry server and ppdp_serve. Arbitrary header bytes
+// must yield either a parsed head or kInvalidArgument; any accepted head
+// must have a non-empty method and path (the routing table indexes on
+// both), and an accepted Content-Length must round-trip the flag.
+
+#include <cstdint>
+#include <cstdlib>
+#include <string_view>
+
+#include "obs/http.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view head(reinterpret_cast<const char*>(data), size);
+  ppdp::Result<ppdp::obs::HttpRequestHead> parsed = ppdp::obs::ParseHttpRequestHead(head);
+  if (!parsed.ok()) return 0;
+  if (parsed->method.empty() || parsed->path.empty()) std::abort();
+  if (!parsed->has_content_length && parsed->content_length != 0) std::abort();
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Fuzz surface: common/json.cc. Every byte string must either parse or
+// come back as a Status — never crash, never hang. Documents that do parse
+// must survive a Dump/re-Parse round trip and reach a dump fixed point
+// (Dump(Parse(Dump(v))) == Dump(v)); a violation means the printer and the
+// parser disagree about the grammar, which is exactly the class of bug a
+// durable-log reader cannot tolerate.
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "common/json.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  ppdp::Result<ppdp::JsonValue> parsed = ppdp::JsonValue::Parse(text);
+  if (!parsed.ok()) return 0;
+
+  const std::string dumped = parsed->Dump();
+  ppdp::Result<ppdp::JsonValue> reparsed = ppdp::JsonValue::Parse(dumped);
+  if (!reparsed.ok()) std::abort();       // printer emitted an unparseable doc
+  if (reparsed->Dump() != dumped) std::abort();  // no dump fixed point
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Fuzz surface: the CSV reader and the graph loader built on it. The input
+// is interpreted two ways:
+//   1. the whole buffer through ParseCsv — the raw grammar;
+//   2. split on the first two NUL bytes into (schema, nodes, edges) CSV
+//      documents through ParseGraphCsv — the semantic validation layer that
+//      must turn every hostile row into kInvalidArgument before it can
+//      reach a PPDP_CHECK abort inside SocialGraph.
+
+#include <cstdint>
+#include <string>
+
+#include "common/csv.h"
+#include "graph/graph_io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string input(reinterpret_cast<const char*>(data), size);
+  (void)ppdp::ParseCsv(input);
+
+  const size_t first = input.find('\0');
+  const size_t second = first == std::string::npos ? std::string::npos : input.find('\0', first + 1);
+  std::string schema = input.substr(0, first);
+  std::string nodes =
+      first == std::string::npos ? std::string() : input.substr(first + 1, second - first - 1);
+  std::string edges = second == std::string::npos ? std::string() : input.substr(second + 1);
+  (void)ppdp::graph::ParseGraphCsv(schema, nodes, edges);
+  return 0;
+}

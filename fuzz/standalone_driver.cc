@@ -1,0 +1,136 @@
+// Standalone replacement for libFuzzer's driver, linked when PPDP_FUZZ is
+// OFF (the container toolchain is gcc-only; libFuzzer needs clang). It is
+// not coverage-guided: it replays every corpus file verbatim, then runs a
+// fixed number of deterministically mutated variants (Rng-seeded bit
+// flips, byte splices, truncations) of random corpus picks. That is enough
+// for the ctest smoke tier — any crash in a parser is a real bug — while
+// the CI fuzz job builds the same LLVMFuzzerTestOneInput entry points with
+// clang for real coverage-guided runs.
+//
+// Usage: harness [--iterations=N] [--seed=S] <corpus file or dir>...
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+using Input = std::vector<uint8_t>;
+
+bool ReadFile(const std::string& path, Input* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  return true;
+}
+
+void CollectInputs(const std::string& path, std::vector<Input>* corpus) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    std::fprintf(stderr, "fuzz: cannot stat %s\n", path.c_str());
+    std::exit(1);
+  }
+  if (S_ISDIR(st.st_mode)) {
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) {
+      std::fprintf(stderr, "fuzz: cannot open dir %s\n", path.c_str());
+      std::exit(1);
+    }
+    // Sort entries so the mutation stream is independent of readdir order.
+    std::vector<std::string> names;
+    while (dirent* entry = ::readdir(dir)) {
+      if (entry->d_name[0] == '.') continue;
+      names.push_back(path + "/" + entry->d_name);
+    }
+    ::closedir(dir);
+    std::sort(names.begin(), names.end());
+    for (const auto& name : names) CollectInputs(name, corpus);
+    return;
+  }
+  Input bytes;
+  if (!ReadFile(path, &bytes)) {
+    std::fprintf(stderr, "fuzz: cannot read %s\n", path.c_str());
+    std::exit(1);
+  }
+  corpus->push_back(std::move(bytes));
+}
+
+Input Mutate(const Input& base, ppdp::Rng& rng) {
+  Input m = base;
+  const uint64_t rounds = 1 + rng.Uniform(4);
+  for (uint64_t r = 0; r < rounds; ++r) {
+    switch (rng.Uniform(5)) {
+      case 0:  // flip one bit
+        if (!m.empty()) m[rng.Uniform(m.size())] ^= static_cast<uint8_t>(1u << rng.Uniform(8));
+        break;
+      case 1:  // overwrite a byte with anything
+        if (!m.empty()) m[rng.Uniform(m.size())] = static_cast<uint8_t>(rng.Uniform(256));
+        break;
+      case 2:  // insert a byte
+        m.insert(m.begin() + static_cast<long>(rng.Uniform(m.size() + 1)),
+                 static_cast<uint8_t>(rng.Uniform(256)));
+        break;
+      case 3:  // delete a byte
+        if (!m.empty()) m.erase(m.begin() + static_cast<long>(rng.Uniform(m.size())));
+        break;
+      case 4:  // truncate
+        if (!m.empty()) m.resize(rng.Uniform(m.size()));
+        break;
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t iterations = 1000;
+  uint64_t seed = 1;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--iterations=", 0) == 0) {
+      iterations = std::strtoull(arg.c_str() + 13, nullptr, 10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("-", 0) == 0) {
+      std::fprintf(stderr, "fuzz: unknown flag %s\n", arg.c_str());
+      return 1;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  std::vector<Input> corpus;
+  for (const auto& path : paths) CollectInputs(path, &corpus);
+  if (corpus.empty()) {
+    std::fprintf(stderr, "fuzz: no corpus inputs given\n");
+    return 1;
+  }
+
+  for (const auto& input : corpus) {
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+
+  ppdp::Rng rng(seed);
+  for (uint64_t i = 0; i < iterations; ++i) {
+    const Input mutated = Mutate(corpus[rng.Uniform(corpus.size())], rng);
+    LLVMFuzzerTestOneInput(mutated.data(), mutated.size());
+  }
+
+  std::printf("fuzz: %zu corpus inputs + %llu mutated runs, 0 crashes\n", corpus.size(),
+              static_cast<unsigned long long>(iterations));
+  return 0;
+}

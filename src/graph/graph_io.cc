@@ -1,7 +1,9 @@
 #include "graph/graph_io.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "common/csv.h"
 #include "common/table.h"
@@ -11,14 +13,95 @@ namespace ppdp::graph {
 
 namespace {
 
+using Rows = std::vector<std::vector<std::string>>;
+
 Result<int64_t> ParseInt(const std::string& cell) {
   if (cell.empty()) return Status::InvalidArgument("empty integer cell");
+  errno = 0;
   char* end = nullptr;
   int64_t v = std::strtoll(cell.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    // strtoll silently clamps out-of-range values; a later narrowing cast
+    // would turn the clamp into an arbitrary int32, so refuse here.
+    return Status::InvalidArgument("integer out of range: '" + cell + "'");
+  }
   if (end == nullptr || *end != '\0') {
     return Status::InvalidArgument("not an integer: '" + cell + "'");
   }
   return v;
+}
+
+/// Upper bound on schema cardinalities (labels, per-category values): far
+/// above any real dataset, low enough that hostile input cannot request
+/// multi-gigabyte allocations.
+constexpr int64_t kMaxCardinality = 1 << 20;
+
+/// Shared builder behind LoadGraph and ParseGraphCsv: validates every cell
+/// against the schema so untrusted rows can never reach a PPDP_CHECK abort
+/// inside SocialGraph (the ctor requires num_values >= 1, AddNode requires
+/// labels/attributes in range).
+Result<SocialGraph> BuildGraph(const Rows& schema_rows, const Rows& node_rows,
+                               const Rows& edge_rows) {
+  if (schema_rows.size() < 2) return Status::InvalidArgument("schema file too short");
+
+  int32_t num_labels = 0;
+  std::vector<AttributeCategory> categories;
+  for (size_t r = 1; r < schema_rows.size(); ++r) {
+    const auto& row = schema_rows[r];
+    if (row.size() != 3) return Status::InvalidArgument("schema row needs 3 cells");
+    PPDP_ASSIGN_OR_RETURN(int64_t count, ParseInt(row[2]));
+    if (count < 1 || count > kMaxCardinality) {
+      return Status::InvalidArgument("schema cardinality out of range: " + row[2]);
+    }
+    if (row[0] == "labels") {
+      num_labels = static_cast<int32_t>(count);
+    } else {
+      categories.push_back({row[1], static_cast<int32_t>(count)});
+    }
+  }
+  if (num_labels < 2) return Status::InvalidArgument("schema is missing the labels row");
+
+  SocialGraph g(categories, num_labels);
+
+  if (node_rows.empty()) return Status::InvalidArgument("empty nodes file");
+  for (size_t r = 1; r < node_rows.size(); ++r) {
+    const auto& row = node_rows[r];
+    if (row.size() != 2 + categories.size()) {
+      return Status::InvalidArgument("nodes row " + std::to_string(r) + " has wrong width");
+    }
+    Label label = kUnknownLabel;
+    if (!row[1].empty()) {
+      PPDP_ASSIGN_OR_RETURN(int64_t y, ParseInt(row[1]));
+      if (y < 0 || y >= num_labels) {
+        return Status::InvalidArgument("node label out of range: " + row[1]);
+      }
+      label = static_cast<Label>(y);
+    }
+    std::vector<AttributeValue> attrs(categories.size(), kMissingAttribute);
+    for (size_t c = 0; c < categories.size(); ++c) {
+      if (row[2 + c].empty()) continue;
+      PPDP_ASSIGN_OR_RETURN(int64_t v, ParseInt(row[2 + c]));
+      if (v < 0 || v >= categories[c].num_values) {
+        return Status::InvalidArgument("attribute value out of range for category " +
+                                       categories[c].name + ": " + row[2 + c]);
+      }
+      attrs[c] = static_cast<AttributeValue>(v);
+    }
+    g.AddNode(std::move(attrs), label);
+  }
+
+  for (size_t r = 1; r < edge_rows.size(); ++r) {
+    const auto& row = edge_rows[r];
+    if (row.size() != 2) return Status::InvalidArgument("edges row needs 2 cells");
+    PPDP_ASSIGN_OR_RETURN(int64_t u, ParseInt(row[0]));
+    PPDP_ASSIGN_OR_RETURN(int64_t v, ParseInt(row[1]));
+    if (u < 0 || v < 0 || static_cast<size_t>(u) >= g.num_nodes() ||
+        static_cast<size_t>(v) >= g.num_nodes()) {
+      return Status::InvalidArgument("edge endpoint out of range");
+    }
+    g.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  return g;
 }
 
 }  // namespace
@@ -65,58 +148,17 @@ Result<SocialGraph> LoadGraph(const std::string& base_path) {
   fault::FaultDecision fault_decision = PPDP_FAULT_POINT("io.csv.read", fault::kMaskDrop);
   if (fault_decision.drop()) return fault_decision.AsStatus("io.csv.read");
   PPDP_ASSIGN_OR_RETURN(auto schema_rows, ReadCsv(base_path + ".schema.csv"));
-  if (schema_rows.size() < 2) return Status::InvalidArgument("schema file too short");
-
-  int32_t num_labels = 0;
-  std::vector<AttributeCategory> categories;
-  for (size_t r = 1; r < schema_rows.size(); ++r) {
-    const auto& row = schema_rows[r];
-    if (row.size() != 3) return Status::InvalidArgument("schema row needs 3 cells");
-    PPDP_ASSIGN_OR_RETURN(int64_t count, ParseInt(row[2]));
-    if (row[0] == "labels") {
-      num_labels = static_cast<int32_t>(count);
-    } else {
-      categories.push_back({row[1], static_cast<int32_t>(count)});
-    }
-  }
-  if (num_labels < 2) return Status::InvalidArgument("schema is missing the labels row");
-
-  SocialGraph g(categories, num_labels);
-
   PPDP_ASSIGN_OR_RETURN(auto node_rows, ReadCsv(base_path + ".nodes.csv"));
-  if (node_rows.empty()) return Status::InvalidArgument("empty nodes file");
-  for (size_t r = 1; r < node_rows.size(); ++r) {
-    const auto& row = node_rows[r];
-    if (row.size() != 2 + categories.size()) {
-      return Status::InvalidArgument("nodes row " + std::to_string(r) + " has wrong width");
-    }
-    Label label = kUnknownLabel;
-    if (!row[1].empty()) {
-      PPDP_ASSIGN_OR_RETURN(int64_t y, ParseInt(row[1]));
-      label = static_cast<Label>(y);
-    }
-    std::vector<AttributeValue> attrs(categories.size(), kMissingAttribute);
-    for (size_t c = 0; c < categories.size(); ++c) {
-      if (row[2 + c].empty()) continue;
-      PPDP_ASSIGN_OR_RETURN(int64_t v, ParseInt(row[2 + c]));
-      attrs[c] = static_cast<AttributeValue>(v);
-    }
-    g.AddNode(std::move(attrs), label);
-  }
-
   PPDP_ASSIGN_OR_RETURN(auto edge_rows, ReadCsv(base_path + ".edges.csv"));
-  for (size_t r = 1; r < edge_rows.size(); ++r) {
-    const auto& row = edge_rows[r];
-    if (row.size() != 2) return Status::InvalidArgument("edges row needs 2 cells");
-    PPDP_ASSIGN_OR_RETURN(int64_t u, ParseInt(row[0]));
-    PPDP_ASSIGN_OR_RETURN(int64_t v, ParseInt(row[1]));
-    if (u < 0 || v < 0 || static_cast<size_t>(u) >= g.num_nodes() ||
-        static_cast<size_t>(v) >= g.num_nodes()) {
-      return Status::InvalidArgument("edge endpoint out of range");
-    }
-    g.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v));
-  }
-  return g;
+  return BuildGraph(schema_rows, node_rows, edge_rows);
+}
+
+Result<SocialGraph> ParseGraphCsv(const std::string& schema_csv, const std::string& nodes_csv,
+                                  const std::string& edges_csv) {
+  PPDP_ASSIGN_OR_RETURN(auto schema_rows, ParseCsv(schema_csv));
+  PPDP_ASSIGN_OR_RETURN(auto node_rows, ParseCsv(nodes_csv));
+  PPDP_ASSIGN_OR_RETURN(auto edge_rows, ParseCsv(edges_csv));
+  return BuildGraph(schema_rows, node_rows, edge_rows);
 }
 
 }  // namespace ppdp::graph

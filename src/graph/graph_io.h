@@ -19,6 +19,15 @@ Status SaveGraph(const SocialGraph& g, const std::string& base_path);
 /// Loads a graph saved by SaveGraph (or hand-written in the same format).
 Result<SocialGraph> LoadGraph(const std::string& base_path);
 
+/// Builds a graph from the three CSV documents as in-memory strings — the
+/// same grammar and validation as LoadGraph without touching the
+/// filesystem (the fuzz harness drives this surface directly). Every
+/// defect in untrusted input — out-of-range labels/attributes/edges,
+/// categories with no values, overflowing integers — is a kInvalidArgument
+/// Status, never a CHECK-abort.
+Result<SocialGraph> ParseGraphCsv(const std::string& schema_csv, const std::string& nodes_csv,
+                                  const std::string& edges_csv);
+
 }  // namespace ppdp::graph
 
 #endif  // PPDP_GRAPH_GRAPH_IO_H_

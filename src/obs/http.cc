@@ -1,6 +1,8 @@
 #include "obs/http.h"
 
+#include <cctype>
 #include <cerrno>
+#include <cstdint>
 #include <cstdlib>
 #include <utility>
 
@@ -55,11 +57,117 @@ const char* HttpStatusText(int status) {
     case 403: return "Forbidden";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
     case 413: return "Payload Too Large";
     case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
     case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
     default: return "Internal Server Error";
   }
+}
+
+namespace {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace
+
+Result<HttpRequestHead> ParseHttpRequestHead(std::string_view head) {
+  size_t line_end = head.find("\r\n");
+  if (line_end == std::string_view::npos) line_end = head.size();
+  const std::string_view line = head.substr(0, line_end);
+
+  const size_t first_space = line.find(' ');
+  const size_t second_space =
+      first_space == std::string_view::npos ? std::string_view::npos
+                                            : line.find(' ', first_space + 1);
+  if (first_space == std::string_view::npos || second_space == std::string_view::npos ||
+      first_space == 0 || second_space == first_space + 1) {
+    return Status::InvalidArgument("malformed request line");
+  }
+  for (char c : line) {
+    if (static_cast<unsigned char>(c) < 0x20 || c == 0x7f) {
+      return Status::InvalidArgument("control byte in request line");
+    }
+  }
+
+  HttpRequestHead parsed;
+  parsed.method = std::string(line.substr(0, first_space));
+  parsed.path = std::string(line.substr(first_space + 1, second_space - first_space - 1));
+  if (parsed.path[0] != '/') {
+    // Only origin-form targets route: "?q=1" would otherwise split into an
+    // empty path, and absolute-form/authority-form targets are proxy
+    // business this server never speaks.
+    return Status::InvalidArgument("request target must be origin-form");
+  }
+  if (const size_t q = parsed.path.find('?'); q != std::string::npos) {
+    parsed.query = ParseQueryString(std::string_view(parsed.path).substr(q + 1));
+    parsed.path.resize(q);
+  }
+
+  size_t pos = line_end == head.size() ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t end = head.find("\r\n", pos);
+    if (end == std::string_view::npos) end = head.size();
+    const std::string_view header = head.substr(pos, end - pos);
+    pos = end == head.size() ? head.size() : end + 2;
+    if (header.empty()) continue;
+    const size_t colon = header.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Status::InvalidArgument("malformed header line");
+    }
+    const std::string_view name = header.substr(0, colon);
+    if (!name.empty() && (name.back() == ' ' || name.back() == '\t')) {
+      // RFC 7230 §3.2.4: whitespace between the field name and the colon is
+      // a smuggling-prone ambiguity; reject instead of trimming.
+      return Status::InvalidArgument("whitespace before header colon");
+    }
+    const std::string_view value = Trim(header.substr(colon + 1));
+
+    if (EqualsIgnoreCase(name, "Transfer-Encoding")) {
+      return Status::InvalidArgument("Transfer-Encoding not supported");
+    }
+    if (EqualsIgnoreCase(name, "Content-Length")) {
+      if (parsed.has_content_length) {
+        // Duplicates are rejected even when the values agree: a downstream
+        // parser that picks the other copy must never disagree with us
+        // about where the body ends.
+        return Status::InvalidArgument("duplicate Content-Length");
+      }
+      if (value.empty()) return Status::InvalidArgument("malformed Content-Length");
+      uint64_t length = 0;
+      for (char c : value) {
+        if (c < '0' || c > '9') {
+          return Status::InvalidArgument("malformed Content-Length");
+        }
+        if (length > (UINT64_MAX - 9) / 10) {
+          return Status::InvalidArgument("Content-Length overflow");
+        }
+        length = length * 10 + static_cast<uint64_t>(c - '0');
+      }
+      parsed.content_length = static_cast<size_t>(length);
+      parsed.has_content_length = true;
+    }
+  }
+  return parsed;
 }
 
 std::map<std::string, std::string> ParseQueryString(std::string_view query) {

@@ -73,6 +73,33 @@ using HttpHandler = std::function<void(const HttpRequest&, HttpResponse*)>;
 /// "Internal Server Error" for anything unrecognized.
 const char* HttpStatusText(int status);
 
+/// The parsed head (request line + header block) of an HTTP/1.1 request —
+/// what the server knows before any body byte is read.
+struct HttpRequestHead {
+  std::string method;
+  std::string path;    ///< without the query string
+  std::map<std::string, std::string> query;
+  size_t content_length = 0;   ///< 0 when absent
+  bool has_content_length = false;
+};
+
+/// Strict parse of everything before the blank line: `head` is the raw
+/// bytes up to (and excluding) the "\r\n\r\n" terminator. This is the one
+/// request-parse surface — the telemetry server, the golden header tests,
+/// and the HTTP fuzz harness all go through it.
+///
+/// Rejections (kInvalidArgument, message names the defect):
+///  - a request line without "METHOD SP TARGET" (or with control bytes)
+///  - a header line without a ':' or with an empty name
+///  - a Content-Length that is non-numeric, signed, overflowing, or
+///    repeated — even with equal values. First-wins parsing of duplicate
+///    lengths is a request-smuggling primitive: two parsers that pick
+///    different winners disagree about where the next request starts.
+///  - any Transfer-Encoding header (chunked framing is not implemented, and
+///    accepting the header while ignoring it would be the same smuggling
+///    hazard).
+Result<HttpRequestHead> ParseHttpRequestHead(std::string_view head);
+
 /// Decomposes "a=1&b=two" into {{"a","1"},{"b","two"}}. No percent-decoding
 /// — the telemetry surface never needed it and keeping the grammar small
 /// keeps the parser auditable. Later duplicates of a key are ignored.

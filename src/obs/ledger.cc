@@ -122,6 +122,25 @@ Status PrivacyLedger::Spend(std::string_view label, std::string_view mechanism, 
   return Status::Ok();
 }
 
+void PrivacyLedger::RestoreSpend(std::string_view label, std::string_view mechanism,
+                                 double epsilon, uint64_t invocations) {
+  static Counter& restored = MetricsRegistry::Global().counter("obs.ledger.restored");
+  if (invocations == 0 || epsilon <= 0.0) return;  // nothing real to restore
+  const double total = epsilon * static_cast<double>(invocations);
+  std::lock_guard<std::mutex> lock(mutex_);
+  spent_ += total;
+  if (remaining_gauge_ != nullptr) remaining_gauge_->Set(budget_ - spent_);
+  restored.Increment(invocations);
+  for (Entry& entry : entries_) {
+    if (entry.label == label && entry.mechanism == mechanism) {
+      entry.calls += invocations;
+      entry.total_epsilon += total;
+      return;
+    }
+  }
+  entries_.push_back(Entry{std::string(label), std::string(mechanism), invocations, total});
+}
+
 double PrivacyLedger::budget() const { return budget_; }
 
 double PrivacyLedger::spent() const {

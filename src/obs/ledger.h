@@ -46,6 +46,14 @@ class PrivacyLedger {
   Status Spend(std::string_view label, std::string_view mechanism, double epsilon,
                uint64_t invocations = 1);
 
+  /// Recovery-only: records a spend replayed from a durable log WITHOUT any
+  /// budget check. A charge-ahead WAL record proves the ε may already have
+  /// left the building, so it must be counted even if that pushes spent past
+  /// the budget (remaining then goes ≤ 0 and every later Spend rejects) —
+  /// the conservative direction. Never use this on a live request path.
+  void RestoreSpend(std::string_view label, std::string_view mechanism, double epsilon,
+                    uint64_t invocations = 1);
+
   double budget() const;
   double spent() const;
   /// Consistent remaining budget: budget and spent are read under one lock,

@@ -55,51 +55,73 @@ bool PrefixClaims(const std::string& prefix, const std::string& path) {
   return prefix.back() == '/' || path[prefix.size()] == '/';
 }
 
-/// Case-insensitive header lookup in the raw header block (everything
-/// between the request line and the blank line). Returns the trimmed value
-/// or an empty string.
-std::string HeaderValue(const std::string& headers, const std::string& name) {
-  size_t pos = 0;
-  while (pos < headers.size()) {
-    size_t end = headers.find("\r\n", pos);
-    if (end == std::string::npos) end = headers.size();
-    const size_t colon = headers.find(':', pos);
-    if (colon != std::string::npos && colon < end && colon - pos == name.size()) {
-      bool match = true;
-      for (size_t i = 0; i < name.size(); ++i) {
-        if (std::tolower(static_cast<unsigned char>(headers[pos + i])) !=
-            std::tolower(static_cast<unsigned char>(name[i]))) {
-          match = false;
-          break;
-        }
-      }
-      if (match) {
-        size_t begin = colon + 1;
-        while (begin < end && headers[begin] == ' ') ++begin;
-        size_t stop = end;
-        while (stop > begin && headers[stop - 1] == ' ') --stop;
-        return headers.substr(begin, stop - begin);
-      }
+/// Outcome of a deadline-bounded socket read.
+enum class RecvVerdict { kData, kClosed, kTimeout };
+
+/// Poll-bounded recv against an absolute MonotonicSeconds deadline. The
+/// deadline covers the WHOLE read (every call shares it), so a client
+/// trickling one byte per poll interval cannot keep the connection alive
+/// the way it could against a per-recv SO_RCVTIMEO.
+RecvVerdict RecvWithDeadline(int fd, char* buffer, size_t cap, double deadline, ssize_t* n_out) {
+  while (true) {
+    const double remaining = deadline - MonotonicSeconds();
+    if (remaining <= 0.0) return RecvVerdict::kTimeout;
+    pollfd pfd{fd, POLLIN, 0};
+    const int timeout_ms = static_cast<int>(std::min(remaining * 1000.0 + 1.0, 2.0e9));
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return RecvVerdict::kClosed;
     }
-    pos = end + 2;
+    if (ready == 0) return RecvVerdict::kTimeout;
+    const ssize_t n = ::recv(fd, buffer, cap, 0);
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+    if (n <= 0) return RecvVerdict::kClosed;
+    *n_out = n;
+    return RecvVerdict::kData;
   }
-  return "";
 }
 
-/// Writes the whole buffer; MSG_NOSIGNAL keeps a client that hung up from
-/// killing the process with SIGPIPE.
-void SendAll(int fd, const std::string& data) {
+/// Deadline-bounded full write; MSG_NOSIGNAL keeps a client that hung up
+/// from killing the process with SIGPIPE. Returns false when the peer
+/// stopped draining before the deadline (the write-timeout counterpart of
+/// the slow-loris read defense).
+bool SendAll(int fd, const std::string& data, double deadline) {
   size_t sent = 0;
   while (sent < data.size()) {
+    const double remaining = deadline - MonotonicSeconds();
+    if (remaining <= 0.0) return false;
+    pollfd pfd{fd, POLLOUT, 0};
+    const int timeout_ms = static_cast<int>(std::min(remaining * 1000.0 + 1.0, 2.0e9));
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (ready == 0) return false;
     ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) return;  // peer gone or socket shut down — nothing to salvage
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+    if (n <= 0) return false;  // peer gone or socket shut down — nothing to salvage
     sent += static_cast<size_t>(n);
   }
+  return true;
 }
 
 std::string PlainResponse(int status, const std::string& body) {
   HttpResponse response;
   response.Text(status, body);
+  return response.Render();
+}
+
+/// Structured error body (the ppdp.serve.error.v1 envelope the serve layer
+/// uses) for the protocol-level refusals this server emits itself, so a
+/// JSON client parses one error shape at every layer.
+std::string EnvelopeResponse(int status, const std::string& error) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", JsonValue::String("ppdp.serve.error.v1"));
+  doc.Set("error", JsonValue::String(error));
+  HttpResponse response;
+  response.Json(status, doc);
   return response.Render();
 }
 
@@ -343,10 +365,11 @@ void TelemetryServer::AcceptLoop() {
       active = connections_.size();
     }
     if (active >= static_cast<size_t>(options_.max_connections)) {
-      // Fast-fail under load: a scrape storm gets an immediate 503 rather
-      // than an unbounded pile of handler threads.
+      // Fast-fail under load: a scrape storm gets an immediate structured
+      // 503 rather than an unbounded pile of handler threads.
       rejected.Increment();
-      SendAll(fd, PlainResponse(503, "telemetry connection limit reached\n"));
+      SendAll(fd, EnvelopeResponse(503, "telemetry connection limit reached"),
+              MonotonicSeconds() + options_.write_timeout_seconds);
       ::close(fd);
       continue;
     }
@@ -364,85 +387,93 @@ void TelemetryServer::AcceptLoop() {
 
 void TelemetryServer::HandleConnection(Connection* connection) {
   static Counter& scrapes = MetricsRegistry::Global().counter("telemetry.requests");
-  // The request line + headers are capped well below any body limit: no
-  // telemetry or serve client has a legitimate reason to send kilobytes of
-  // headers, and the cap bounds memory before Content-Length is even known.
-  constexpr size_t kMaxHeaderBytes = 8192;
+  static Counter& read_timeouts = MetricsRegistry::Global().counter("telemetry.read_timeouts");
+  static Counter& write_timeouts = MetricsRegistry::Global().counter("telemetry.write_timeouts");
+  // One absolute deadline covers the whole request read: request line,
+  // headers, and body. Trickling bytes cannot extend it (slow-loris).
+  const double read_deadline = MonotonicSeconds() + options_.read_timeout_seconds;
+  const double write_deadline = read_deadline + options_.write_timeout_seconds;
+
   std::string request;
   char buffer[1024];
-  while (request.find("\r\n\r\n") == std::string::npos && request.size() < kMaxHeaderBytes) {
-    ssize_t n = ::recv(connection->fd, buffer, sizeof(buffer), 0);
-    if (n <= 0) break;  // EOF, timeout, or shutdown from Stop()
+  bool timed_out = false;
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() <= options_.max_header_bytes) {
+    ssize_t n = 0;
+    const RecvVerdict verdict =
+        RecvWithDeadline(connection->fd, buffer, sizeof(buffer), read_deadline, &n);
+    if (verdict == RecvVerdict::kTimeout) {
+      timed_out = true;
+      break;
+    }
+    if (verdict == RecvVerdict::kClosed) break;  // EOF or shutdown from Stop()
     request.append(buffer, static_cast<size_t>(n));
   }
 
   const size_t header_end = request.find("\r\n\r\n");
-  if (header_end != std::string::npos) {
-    const size_t line_end = request.find("\r\n");
-    const std::string line = request.substr(0, line_end);
-    const size_t first_space = line.find(' ');
-    const size_t second_space =
-        first_space == std::string::npos ? std::string::npos : line.find(' ', first_space + 1);
-    std::string response;
-    if (first_space == std::string::npos || second_space == std::string::npos) {
-      // A garbled request line is the client's fault, not an unsupported
-      // method: 400, not 405.
-      response = PlainResponse(400, "malformed request line\n");
+  std::string response;
+  if (timed_out) {
+    // The header section never completed within the deadline — whether the
+    // client sent nothing or dripped one byte at a time.
+    read_timeouts.Increment();
+    response = EnvelopeResponse(408, "read deadline exceeded");
+  } else if (header_end == std::string::npos) {
+    if (request.size() > options_.max_header_bytes) {
+      response = EnvelopeResponse(431, "header section exceeds " +
+                                           std::to_string(options_.max_header_bytes) + " bytes");
+    } else if (!request.empty()) {
+      // Bytes arrived but the header never terminated (client hung up
+      // mid-request): answer with a proper error instead of silently
+      // hanging up ourselves.
+      response = PlainResponse(400, "incomplete request\n");
+    }
+  } else {
+    Result<HttpRequestHead> head = ParseHttpRequestHead(
+        std::string_view(request).substr(0, header_end));
+    if (!head.ok()) {
+      // A garbled request line or smuggling-shaped headers (duplicate /
+      // non-numeric Content-Length, Transfer-Encoding) are the client's
+      // fault, not an unsupported method: 400, not 405.
+      response = PlainResponse(400, head.status().message() + "\n");
+    } else if (head->content_length > options_.max_request_body_bytes) {
+      // Refuse before reading: the declared size alone is grounds for 413,
+      // so an oversized upload never occupies buffer memory.
+      response = PlainResponse(413, "request body exceeds " +
+                                        std::to_string(options_.max_request_body_bytes) +
+                                        " bytes\n");
     } else {
-      HttpRequest parsed;
-      parsed.method = line.substr(0, first_space);
-      parsed.path = line.substr(first_space + 1, second_space - first_space - 1);
-      if (const size_t q = parsed.path.find('?'); q != std::string::npos) {
-        parsed.query = ParseQueryString(std::string_view(parsed.path).substr(q + 1));
-        parsed.path.resize(q);
-      }
-
-      const std::string headers = request.substr(line_end + 2, header_end - line_end - 2);
-      const std::string content_length = HeaderValue(headers, "Content-Length");
-      size_t body_bytes = 0;
-      bool length_ok = true;
-      if (!content_length.empty()) {
-        errno = 0;
-        char* rest = nullptr;
-        const unsigned long long parsed_length =
-            std::strtoull(content_length.c_str(), &rest, 10);
-        if (errno != 0 || rest == content_length.c_str() || *rest != '\0') {
-          length_ok = false;
-        } else {
-          body_bytes = static_cast<size_t>(parsed_length);
+      const size_t body_bytes = head->content_length;
+      const size_t total = header_end + 4 + body_bytes;
+      while (request.size() < total) {
+        ssize_t n = 0;
+        const RecvVerdict verdict =
+            RecvWithDeadline(connection->fd, buffer,
+                             std::min(sizeof(buffer), total - request.size()), read_deadline, &n);
+        if (verdict == RecvVerdict::kTimeout) {
+          timed_out = true;
+          break;
         }
+        if (verdict == RecvVerdict::kClosed) break;
+        request.append(buffer, static_cast<size_t>(n));
       }
-
-      if (!length_ok) {
-        response = PlainResponse(400, "malformed Content-Length\n");
-      } else if (body_bytes > options_.max_request_body_bytes) {
-        // Refuse before reading: the declared size alone is grounds for 413,
-        // so an oversized upload never occupies buffer memory.
-        response = PlainResponse(413, "request body exceeds " +
-                                          std::to_string(options_.max_request_body_bytes) +
-                                          " bytes\n");
+      if (timed_out) {
+        read_timeouts.Increment();
+        response = EnvelopeResponse(408, "read deadline exceeded");
+      } else if (request.size() < total) {
+        response = PlainResponse(400, "incomplete request body\n");
       } else {
-        const size_t total = header_end + 4 + body_bytes;
-        while (request.size() < total) {
-          ssize_t n = ::recv(connection->fd, buffer,
-                             std::min(sizeof(buffer), total - request.size()), 0);
-          if (n <= 0) break;
-          request.append(buffer, static_cast<size_t>(n));
-        }
-        if (request.size() < total) {
-          response = PlainResponse(400, "incomplete request body\n");
-        } else {
-          parsed.body = request.substr(header_end + 4, body_bytes);
-          response = Dispatch(parsed).Render();
-          scrapes.Increment();
-        }
+        HttpRequest parsed;
+        parsed.method = std::move(head->method);
+        parsed.path = std::move(head->path);
+        parsed.query = std::move(head->query);
+        parsed.body = request.substr(header_end + 4, body_bytes);
+        response = Dispatch(parsed).Render();
+        scrapes.Increment();
       }
     }
-    SendAll(connection->fd, response);
-  } else if (!request.empty()) {
-    // Bytes arrived but the header never terminated (truncated or oversized
-    // request): answer with a proper error instead of silently hanging up.
-    SendAll(connection->fd, PlainResponse(400, "incomplete request\n"));
+  }
+  if (!response.empty() && !SendAll(connection->fd, response, write_deadline)) {
+    write_timeouts.Increment();
   }
 
   // ReapConnections closes the fd after joining this thread; closing here

@@ -71,12 +71,21 @@ class TelemetryServer {
     /// immediate 503 (counted by telemetry.rejected_connections) so a
     /// scrape storm cannot pile up threads. Flag: --http_max_conns.
     int max_connections = 8;
-    /// Per-connection receive timeout; a stalled client is dropped after
-    /// this long.
+    /// Overall per-connection read deadline (request line + headers +
+    /// body). Poll-based: a slow-loris client trickling one byte per
+    /// second cannot reset it the way a per-recv timeout could — when the
+    /// deadline passes the connection gets a structured 408 (counted by
+    /// telemetry.read_timeouts) and is dropped.
     double read_timeout_seconds = 5.0;
-    /// Largest request body accepted before answering 413. The request
-    /// line + headers are separately capped at 8 KiB.
+    /// Per-connection response-write deadline; a client that stops
+    /// draining its socket is cut off after this long (counted by
+    /// telemetry.write_timeouts).
+    double write_timeout_seconds = 5.0;
+    /// Largest request body accepted before answering 413.
     size_t max_request_body_bytes = 1 << 20;
+    /// Cap on the request line + header section, enforced before
+    /// Content-Length is even known; beyond it the client gets 431.
+    size_t max_header_bytes = 8192;
     /// Invocation context served verbatim on /statusz.
     std::map<std::string, std::string> flags;
     uint64_t seed = 0;

@@ -1,5 +1,8 @@
 #include "serve/admission.h"
 
+#include <chrono>
+#include <thread>
+
 #include "obs/log.h"
 #include "obs/metrics.h"
 
@@ -34,6 +37,29 @@ AdmissionSlot AdmissionController::TryAdmit() {
       return AdmissionSlot(this);
     }
   }
+}
+
+AdmissionSlot AdmissionController::TryAdmitUntil(double deadline_seconds) {
+  // First attempt counts a rejection only if it is also the last: a queue
+  // that frees up within the deadline should not have pressure-stamped
+  // /healthz for a request that was ultimately admitted.
+  while (true) {
+    size_t current = pending_.load(std::memory_order_acquire);
+    while (current < static_cast<size_t>(options_.max_pending)) {
+      if (pending_.compare_exchange_weak(current, current + 1, std::memory_order_acq_rel)) {
+        admitted_.fetch_add(1, std::memory_order_relaxed);
+        return AdmissionSlot(this);
+      }
+    }
+    if (obs::MonotonicSeconds() >= deadline_seconds) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  static obs::Counter& rejections =
+      obs::MetricsRegistry::Global().counter("serve.queue.rejected");
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  last_rejected_seconds_.store(obs::MonotonicSeconds(), std::memory_order_release);
+  rejections.Increment();
+  return AdmissionSlot();
 }
 
 void AdmissionController::Release() { pending_.fetch_sub(1, std::memory_order_acq_rel); }

@@ -54,6 +54,14 @@ class AdmissionController {
   /// full; the rejection is counted and pressure-stamped.
   AdmissionSlot TryAdmit();
 
+  /// Deadline-bounded admit: polls for a free slot until
+  /// `deadline_seconds` (a MonotonicSeconds timestamp), so a client that
+  /// declared a request deadline waits in line instead of bouncing off a
+  /// transiently full queue. Returns an empty slot once the deadline has
+  /// passed (the handler answers 504 — never a wedged connection thread).
+  /// A deadline already in the past degenerates to TryAdmit.
+  AdmissionSlot TryAdmitUntil(double deadline_seconds);
+
   size_t pending() const { return pending_.load(std::memory_order_acquire); }
   uint64_t admitted() const { return admitted_.load(std::memory_order_relaxed); }
   uint64_t rejected() const { return rejected_.load(std::memory_order_relaxed); }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <thread>
 #include <utility>
 
@@ -121,6 +122,38 @@ obs::Histogram& RequestHistogram() {
   return histogram;
 }
 
+/// FNV-1a 64 over raw bytes — the corpus digests in the startup summary use
+/// the same scheme as the WAL records and run-report file digests.
+uint64_t DigestBytes(uint64_t h, const void* data, size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+constexpr uint64_t kFnvBasis = 0xCBF29CE484222325ULL;
+
+/// The client's optional "deadline_ms" as an absolute MonotonicSeconds
+/// timestamp, capped by the server-side maximum. 0 = no deadline declared.
+double RequestDeadline(const JsonValue& body, double started, double max_seconds) {
+  const double deadline_ms = body.GetNumberOr("deadline_ms", 0.0);
+  if (deadline_ms <= 0.0) return 0.0;
+  return started + std::min(deadline_ms / 1000.0, max_seconds);
+}
+
+obs::Counter& DeadlineExceededCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().counter("serve.deadline.exceeded");
+  return counter;
+}
+
+obs::Counter& WalUnavailableCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().counter("serve.wal.unavailable");
+  return counter;
+}
+
 }  // namespace
 
 ServeApp::ServeApp(const ServeOptions& options, std::vector<int64_t> degrees,
@@ -167,6 +200,9 @@ Result<std::unique_ptr<ServeApp>> ServeApp::Create(const ServeOptions& options) 
   if (options.max_pending < 1) {
     return Status::InvalidArgument("max_pending must be >= 1");
   }
+  if (options.request_deadline_seconds <= 0.0) {
+    return Status::InvalidArgument("request_deadline_seconds must be positive");
+  }
 
   // Load the corpora once; every request serves from these in-memory copies.
   graph::SocialGraph graph =
@@ -195,6 +231,15 @@ Result<std::unique_ptr<ServeApp>> ServeApp::Create(const ServeOptions& options) 
   genomics::SyntheticCatalogConfig catalog_config;
   catalog_config.num_snps = options.genome_snps;
   genomics::GwasCatalog catalog = genomics::GenerateSyntheticCatalog(catalog_config, genome_rng);
+  // Digest the association table before the catalog is moved into the
+  // publisher: it pins the genome corpus for the startup summary.
+  uint64_t genome_digest = kFnvBasis;
+  for (const genomics::SnpTraitAssociation& assoc : catalog.associations()) {
+    genome_digest = DigestBytes(genome_digest, &assoc.snp, sizeof(assoc.snp));
+    genome_digest = DigestBytes(genome_digest, &assoc.trait, sizeof(assoc.trait));
+    genome_digest = DigestBytes(genome_digest, &assoc.control_raf, sizeof(assoc.control_raf));
+    genome_digest = DigestBytes(genome_digest, &assoc.odds_ratio, sizeof(assoc.odds_ratio));
+  }
   genomics::Individual person = genomics::SampleIndividual(catalog, genome_rng);
   genomics::TargetView view = genomics::MakeTargetView(catalog, person, {});
   PPDP_ASSIGN_OR_RETURN(
@@ -204,9 +249,25 @@ Result<std::unique_ptr<ServeApp>> ServeApp::Create(const ServeOptions& options) 
   PPDP_LOG(INFO) << "serve corpora loaded" << obs::Field("graph_nodes", graph.num_nodes())
                  << obs::Field("degree_domain", max_degree + 1)
                  << obs::Field("genome_snps", options.genome_snps);
-  return std::unique_ptr<ServeApp>(new ServeApp(options, std::move(degrees), max_degree + 1,
-                                                std::move(social), std::move(tradeoff),
-                                                std::move(genome)));
+
+  // The degree sequence pins the graph corpus.
+  uint64_t graph_digest = kFnvBasis;
+  for (int64_t degree : degrees) graph_digest = DigestBytes(graph_digest, &degree, sizeof(degree));
+
+  std::unique_ptr<ServeApp> app(new ServeApp(options, std::move(degrees), max_degree + 1,
+                                             std::move(social), std::move(tradeoff),
+                                             std::move(genome)));
+  app->graph_digest_ = graph_digest;
+  app->genome_digest_ = genome_digest;
+
+  if (!options.ledger_wal.empty()) {
+    obs::LedgerWal::Options wal_options;
+    wal_options.path = options.ledger_wal;
+    wal_options.sync = options.ledger_sync;
+    PPDP_ASSIGN_OR_RETURN(app->wal_, obs::LedgerWal::Open(wal_options));
+    PPDP_RETURN_IF_ERROR(app->tenants_.AttachWal(app->wal_.get()));
+  }
+  return app;
 }
 
 Status ServeApp::Start() { return server_->Start(); }
@@ -225,6 +286,9 @@ void ServeApp::Stop() {
     PPDP_LOG(WARN) << "serve drain timeout" << obs::Field("inflight", inflight_.load());
   }
   server_->Stop();
+  // Flush the kBatch WAL tail so a clean shutdown loses nothing; best
+  // effort (a poisoned log already refused everything after the failure).
+  if (wal_ != nullptr) (void)wal_->Sync();
 }
 
 core::Publisher* ServeApp::PublisherFor(core::PublisherKind kind) const {
@@ -311,6 +375,7 @@ void ServeApp::HandlePublish(const obs::HttpRequest& request, obs::HttpResponse*
   const std::string tenant = body->GetStringOr("tenant", "");
   const std::string kind_name = body->GetStringOr("kind", "social");
   const double epsilon = body->GetNumberOr("epsilon", 0.5);
+  const double deadline = RequestDeadline(*body, started, options_.request_deadline_seconds);
   Result<core::PublisherKind> kind = core::ParsePublisherKind(kind_name);
   if (!kind.ok()) {
     JsonError(response, 400, kind.status().ToString());
@@ -323,13 +388,27 @@ void ServeApp::HandlePublish(const obs::HttpRequest& request, obs::HttpResponse*
   }
 
   // Admission before spending: a request refused for queue pressure must
-  // not have charged its tenant.
-  AdmissionSlot slot = admission_.TryAdmit();
+  // not have charged its tenant. A declared deadline waits in line for a
+  // slot until it expires (504); no deadline keeps the immediate 429.
+  AdmissionSlot slot = deadline > 0.0 ? admission_.TryAdmitUntil(deadline)
+                                      : admission_.TryAdmit();
   if (!slot.held()) {
+    if (deadline > 0.0) {
+      DeadlineExceededCounter().Increment();
+      JsonError(response, 504, "deadline exceeded while queued for admission");
+      return;
+    }
     JsonValue detail = JsonValue::Object();
     detail.Set("pending", JsonValue::Number(static_cast<double>(admission_.pending())));
     detail.Set("max_pending", JsonValue::Number(static_cast<double>(admission_.max_pending())));
     JsonError(response, 429, "admission queue full", std::move(detail));
+    return;
+  }
+  if (deadline > 0.0 && obs::MonotonicSeconds() >= deadline) {
+    // Expired before spending: the tenant must not be charged for work the
+    // client has already given up on.
+    DeadlineExceededCounter().Increment();
+    JsonError(response, 504, "deadline exceeded");
     return;
   }
 
@@ -340,10 +419,17 @@ void ServeApp::HandlePublish(const obs::HttpRequest& request, obs::HttpResponse*
     return;
   }
   // Budget-once: each request charges its own tenant exactly once, before
-  // coalescing — a coalesced batch spends N tenants' ε for one run.
+  // coalescing — a coalesced batch spends N tenants' ε for one run. With a
+  // WAL attached the charge is logged ahead of admission, so a crash here
+  // replays it as spent.
   Status spend =
-      (*ledger)->Spend(core::PublisherKindName(*kind), "publish", epsilon);
+      tenants_.SpendDurable(*ledger, tenant, core::PublisherKindName(*kind), "publish", epsilon);
   if (!spend.ok()) {
+    if (spend.code() == StatusCode::kUnavailable) {
+      WalUnavailableCounter().Increment();
+      JsonError(response, 503, spend.ToString());
+      return;
+    }
     budget_rejected.Increment();
     obs::PrivacyLedger::BudgetSnapshot snapshot = (*ledger)->snapshot();
     JsonValue detail = JsonValue::Object();
@@ -456,13 +542,25 @@ void ServeApp::HandleAggregate(const obs::HttpRequest& request, obs::HttpRespons
   const std::string tenant = body->GetStringOr("tenant", "");
   const std::string op = body->GetStringOr("op", "histogram");
   const double epsilon = body->GetNumberOr("epsilon", 0.1);
+  const double deadline = RequestDeadline(*body, started, options_.request_deadline_seconds);
 
-  AdmissionSlot slot = admission_.TryAdmit();
+  AdmissionSlot slot = deadline > 0.0 ? admission_.TryAdmitUntil(deadline)
+                                      : admission_.TryAdmit();
   if (!slot.held()) {
+    if (deadline > 0.0) {
+      DeadlineExceededCounter().Increment();
+      JsonError(response, 504, "deadline exceeded while queued for admission");
+      return;
+    }
     JsonValue detail = JsonValue::Object();
     detail.Set("pending", JsonValue::Number(static_cast<double>(admission_.pending())));
     detail.Set("max_pending", JsonValue::Number(static_cast<double>(admission_.max_pending())));
     JsonError(response, 429, "admission queue full", std::move(detail));
+    return;
+  }
+  if (deadline > 0.0 && obs::MonotonicSeconds() >= deadline) {
+    DeadlineExceededCounter().Increment();
+    JsonError(response, 504, "deadline exceeded");
     return;
   }
 
@@ -472,8 +570,13 @@ void ServeApp::HandleAggregate(const obs::HttpRequest& request, obs::HttpRespons
     JsonError(response, status, ledger.status().ToString());
     return;
   }
-  Status spend = (*ledger)->Spend("dp.aggregate", op, epsilon);
+  Status spend = tenants_.SpendDurable(*ledger, tenant, "dp.aggregate", op, epsilon);
   if (!spend.ok()) {
+    if (spend.code() == StatusCode::kUnavailable) {
+      WalUnavailableCounter().Increment();
+      JsonError(response, 503, spend.ToString());
+      return;
+    }
     budget_rejected.Increment();
     obs::PrivacyLedger::BudgetSnapshot snapshot = (*ledger)->snapshot();
     JsonValue detail = JsonValue::Object();
@@ -532,6 +635,35 @@ void ServeApp::HandleAggregate(const obs::HttpRequest& request, obs::HttpRespons
   RequestHistogram().Observe(obs::MonotonicSeconds() - started);
 }
 
+JsonValue ServeApp::StartupSummary() const {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", JsonValue::String("ppdp.serve.startup.v1"));
+  char digest[17];
+  std::snprintf(digest, sizeof(digest), "%016llx",
+                static_cast<unsigned long long>(graph_digest_));
+  doc.Set("graph_digest", JsonValue::String(digest));
+  std::snprintf(digest, sizeof(digest), "%016llx",
+                static_cast<unsigned long long>(genome_digest_));
+  doc.Set("genome_digest", JsonValue::String(digest));
+  doc.Set("tenants", JsonValue::Number(static_cast<double>(tenants_.size())));
+  doc.Set("tenant_budget", JsonValue::Number(options_.tenant_budget));
+  doc.Set("ledger_wal", JsonValue::String(options_.ledger_wal));
+  if (wal_ != nullptr) {
+    doc.Set("ledger_sync", JsonValue::String(
+        wal_->sync_policy() == obs::LedgerWal::SyncPolicy::kAlways ? "always" : "batch"));
+    const obs::WalRecovery& recovery = wal_->recovery();
+    doc.Set("wal_records", JsonValue::Number(static_cast<double>(recovery.records_read)));
+    doc.Set("wal_tail_truncated_bytes",
+            JsonValue::Number(static_cast<double>(recovery.truncated_bytes)));
+    JsonValue recovered = JsonValue::Object();
+    for (const auto& [tenant, epsilon] : tenants_.RecoveredEpsilon()) {
+      recovered.Set(tenant, JsonValue::Number(epsilon));
+    }
+    doc.Set("recovered_epsilon", std::move(recovered));
+  }
+  return doc;
+}
+
 JsonValue ServeApp::StatuszSection() const {
   JsonValue doc = JsonValue::Object();
   doc.Set("tenants", JsonValue::Number(static_cast<double>(tenants_.size())));
@@ -544,6 +676,14 @@ JsonValue ServeApp::StatuszSection() const {
   doc.Set("followers_served",
           JsonValue::Number(static_cast<double>(coalescer_.followers_served())));
   doc.Set("draining", JsonValue::Bool(draining()));
+  if (wal_ != nullptr) {
+    JsonValue wal = JsonValue::Object();
+    wal.Set("path", JsonValue::String(wal_->path()));
+    wal.Set("appends", JsonValue::Number(static_cast<double>(wal_->appends())));
+    wal.Set("fsyncs", JsonValue::Number(static_cast<double>(wal_->syncs())));
+    wal.Set("poisoned", JsonValue::Bool(wal_->poisoned()));
+    doc.Set("ledger_wal", std::move(wal));
+  }
   return doc;
 }
 

@@ -13,6 +13,7 @@
 #include "core/publisher.h"
 #include "obs/http.h"
 #include "obs/telemetry_server.h"
+#include "obs/wal.h"
 #include "serve/admission.h"
 #include "serve/coalescer.h"
 #include "serve/tenants.h"
@@ -33,6 +34,16 @@ struct ServeOptions {
   int max_pending = 64;        ///< admission queue bound (429 beyond)
   double coalesce_window_seconds = 0.005;
   double drain_timeout_seconds = 10.0;
+  /// Path of the privacy-ledger write-ahead log (--ledger_wal). Empty =
+  /// in-memory ledgers only: a restart forgets all spent ε.
+  std::string ledger_wal;
+  /// fsync policy for the WAL (--ledger_sync=always|batch).
+  obs::LedgerWal::SyncPolicy ledger_sync = obs::LedgerWal::SyncPolicy::kAlways;
+  /// Server-side cap on the per-request deadline a client may ask for via
+  /// the JSON "deadline_ms" field (--request_deadline_s). A request whose
+  /// deadline expires while queued for admission gets 504 instead of
+  /// wedging its connection thread.
+  double request_deadline_seconds = 30.0;
 };
 
 /// Publishing-as-a-service on top of the routed TelemetryServer: loads the
@@ -77,6 +88,12 @@ class ServeApp {
   AdmissionController& admission() { return admission_; }
   BatchCoalescer& coalescer() { return coalescer_; }
   obs::TelemetryServer& server() { return *server_; }
+  /// The attached ledger WAL, or nullptr when running in-memory only.
+  const obs::LedgerWal* wal() const { return wal_.get(); }
+
+  /// One-line structured startup summary: corpus digests, tenant count, and
+  /// recovered spent-ε per tenant (what ppdp_serve logs before "serving:").
+  JsonValue StartupSummary() const;
 
   /// The "serve" /statusz section (tenants, queue, coalescing, drain state).
   JsonValue StatuszSection() const;
@@ -105,6 +122,9 @@ class ServeApp {
   ServeOptions options_;
   std::vector<int64_t> degrees_;  ///< corpus degree list the DP aggregates run over
   size_t degree_domain_ = 0;      ///< max degree + 1
+  uint64_t graph_digest_ = 0;     ///< FNV-1a of the corpus degree sequence
+  uint64_t genome_digest_ = 0;    ///< FNV-1a of the GWAS catalog parameters
+  std::unique_ptr<obs::LedgerWal> wal_;  ///< null = in-memory ledgers
   std::unique_ptr<core::Publisher> social_;
   std::unique_ptr<core::Publisher> tradeoff_;
   std::unique_ptr<core::Publisher> genome_;

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace ppdp::serve {
 
 Status TenantRegistry::ValidateName(const std::string& tenant) {
@@ -32,6 +34,66 @@ Result<obs::PrivacyLedger*> TenantRegistry::ForTenant(const std::string& tenant)
   obs::PrivacyLedger* raw = ledger.get();
   ledgers_.emplace(tenant, std::move(ledger));
   return raw;
+}
+
+Status TenantRegistry::AttachWal(obs::LedgerWal* wal) {
+  // Replay outside the registry lock is unnecessary care here — AttachWal
+  // runs once, before the first request — but ForTenant takes mutex_, so
+  // stage the replay through the public surface rather than inlining it.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (wal_ != nullptr) return Status::FailedPrecondition("a ledger WAL is already attached");
+  }
+  for (const obs::WalSpend& spend : wal->recovery().spends) {
+    if (!ValidateName(spend.tenant).ok()) {
+      return Status::DataLoss("ledger WAL names a tenant that does not validate: '" +
+                              spend.tenant + "' (refusing to drop its recovered spend)");
+    }
+    PPDP_ASSIGN_OR_RETURN(obs::PrivacyLedger * ledger, ForTenant(spend.tenant));
+    ledger->RestoreSpend(spend.label, spend.mechanism, spend.epsilon, spend.invocations);
+    std::lock_guard<std::mutex> lock(mutex_);
+    recovered_[spend.tenant] += spend.total_epsilon();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [tenant, epsilon] : recovered_) {
+    obs::MetricsRegistry::Global()
+        .gauge("serve.ledger.recovered_epsilon." + tenant)
+        .Set(epsilon);
+  }
+  wal_ = wal;
+  return Status::Ok();
+}
+
+Status TenantRegistry::SpendDurable(obs::PrivacyLedger* ledger, const std::string& tenant,
+                                    std::string_view label, std::string_view mechanism,
+                                    double epsilon, uint64_t invocations) {
+  obs::LedgerWal* wal;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    wal = wal_;
+  }
+  if (wal == nullptr) return ledger->Spend(label, mechanism, epsilon, invocations);
+
+  uint64_t seq = 0;
+  Status logged = wal->AppendSpend(tenant, label, mechanism, epsilon, invocations, &seq);
+  if (!logged.ok()) {
+    // Charge-ahead could not be made durable: refuse the spend so a crash
+    // can never replay less than what was admitted.
+    return Status::Unavailable("ledger wal unavailable; spend refused")
+        .Annotate(logged.ToString());
+  }
+  Status admitted = ledger->Spend(label, mechanism, epsilon, invocations);
+  if (!admitted.ok()) {
+    // Best effort: if the abort itself cannot be logged, the recovered
+    // ledger will count this spend as spent — conservative, never unsafe.
+    (void)wal->AppendAbort(seq);
+  }
+  return admitted;
+}
+
+std::vector<std::pair<std::string, double>> TenantRegistry::RecoveredEpsilon() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {recovered_.begin(), recovered_.end()};
 }
 
 obs::PrivacyLedger* TenantRegistry::FindTenant(const std::string& tenant) const {

@@ -6,11 +6,14 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
 #include "obs/ledger.h"
+#include "obs/wal.h"
 
 namespace ppdp::serve {
 
@@ -50,14 +53,40 @@ class TenantRegistry {
   /// must not allocate ledgers for never-seen tenants).
   obs::PrivacyLedger* FindTenant(const std::string& tenant) const;
 
+  /// Makes every later SpendDurable charge-ahead through `wal` (non-owning;
+  /// the caller keeps it alive), then replays the spends `wal` recovered
+  /// into per-tenant ledgers via RestoreSpend — so remaining-ε is continuous
+  /// across a daemon restart. Recovered tenants count against max_tenants;
+  /// recovery fails (kFailedPrecondition) rather than silently dropping a
+  /// tenant's spent budget when the cap is too small, and fails
+  /// (kDataLoss) on a recovered tenant name that no longer validates.
+  /// Per-tenant recovered ε is exported as a
+  /// `serve.ledger.recovered_epsilon.<tenant>` gauge.
+  Status AttachWal(obs::LedgerWal* wal);
+
+  /// Durable spend: appends a charge-ahead WAL record, then asks `ledger`
+  /// to admit the spend; a ledger rejection is cancelled with an abort
+  /// record (best effort — a crash in between replays as spent, which only
+  /// over-counts). When the WAL cannot log (poisoned or IO failure) the
+  /// spend is refused with kUnavailable: an unlogged spend could leak
+  /// budget across a crash. Without an attached WAL this is plain Spend.
+  Status SpendDurable(obs::PrivacyLedger* ledger, const std::string& tenant,
+                      std::string_view label, std::string_view mechanism, double epsilon,
+                      uint64_t invocations = 1);
+
   std::vector<std::string> TenantNames() const;
   size_t size() const;
   double budget_per_tenant() const { return options_.budget_per_tenant; }
+
+  /// (tenant, replayed ε) recovered by AttachWal, in tenant-name order.
+  std::vector<std::pair<std::string, double>> RecoveredEpsilon() const;
 
  private:
   Options options_;
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<obs::PrivacyLedger>> ledgers_;
+  obs::LedgerWal* wal_ = nullptr;  ///< set once by AttachWal before serving
+  std::map<std::string, double> recovered_;
 };
 
 }  // namespace ppdp::serve

@@ -1,6 +1,14 @@
 #include "obs/http.h"
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
 
 #include "obs/telemetry_server.h"
 #include "serve/client.h"
@@ -171,6 +179,117 @@ TEST(RoutingTest, PostBodyReachesHandlerOverRealSocket) {
   auto doc = response->Json();
   ASSERT_TRUE(doc.ok());
   EXPECT_EQ(doc->GetStringOr("echo", ""), "ping");
+  server.Stop();
+}
+
+TEST(ParseHttpRequestHeadTest, AcceptsWellFormedRequestWithQueryAndLength) {
+  auto head = ParseHttpRequestHead(
+      "POST /v1/publish?budget=0.5&k=3 HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Content-Length: 42\r\n"
+      "Content-Type: application/json");
+  ASSERT_TRUE(head.ok()) << head.status().ToString();
+  EXPECT_EQ(head->method, "POST");
+  EXPECT_EQ(head->path, "/v1/publish");
+  EXPECT_EQ(head->query.at("budget"), "0.5");
+  EXPECT_TRUE(head->has_content_length);
+  EXPECT_EQ(head->content_length, 42u);
+}
+
+TEST(ParseHttpRequestHeadTest, RejectsSmugglingProneHeaders) {
+  // Duplicate Content-Length — even when the copies agree.
+  EXPECT_FALSE(
+      ParseHttpRequestHead("POST / HTTP/1.1\r\nContent-Length: 10\r\nContent-Length: 10").ok());
+  // Conflicting values, same rule.
+  EXPECT_FALSE(
+      ParseHttpRequestHead("POST / HTTP/1.1\r\nContent-Length: 10\r\nContent-Length: 11").ok());
+  // Non-numeric, signed, embedded-space, and overflowing lengths.
+  EXPECT_FALSE(ParseHttpRequestHead("POST / HTTP/1.1\r\nContent-Length: abc").ok());
+  EXPECT_FALSE(ParseHttpRequestHead("POST / HTTP/1.1\r\nContent-Length: +5").ok());
+  EXPECT_FALSE(ParseHttpRequestHead("POST / HTTP/1.1\r\nContent-Length: 1 0").ok());
+  EXPECT_FALSE(
+      ParseHttpRequestHead("POST / HTTP/1.1\r\nContent-Length: 99999999999999999999999").ok());
+  // Transfer-Encoding is not spoken here at all.
+  EXPECT_FALSE(ParseHttpRequestHead("POST / HTTP/1.1\r\nTransfer-Encoding: chunked").ok());
+  // Whitespace between field name and colon (RFC 7230 §3.2.4).
+  EXPECT_FALSE(ParseHttpRequestHead("GET / HTTP/1.1\r\nHost : x").ok());
+}
+
+TEST(ParseHttpRequestHeadTest, RejectsMalformedRequestLines) {
+  EXPECT_FALSE(ParseHttpRequestHead("").ok());
+  EXPECT_FALSE(ParseHttpRequestHead("GET").ok());
+  EXPECT_FALSE(ParseHttpRequestHead("GET /").ok());
+  EXPECT_FALSE(ParseHttpRequestHead(" / HTTP/1.1").ok());
+  EXPECT_FALSE(ParseHttpRequestHead("GET  HTTP/1.1").ok());
+  EXPECT_FALSE(ParseHttpRequestHead(std::string("GET /\0 HTTP/1.1", 15)).ok());
+  // Only origin-form targets route: "?q" would split to an empty path.
+  EXPECT_FALSE(ParseHttpRequestHead("GET ?q=1 HTTP/1.1").ok());
+  EXPECT_FALSE(ParseHttpRequestHead("GET http://evil/ HTTP/1.1").ok());
+}
+
+namespace {
+
+/// Sends raw bytes to the server and returns everything it answers —
+/// exercising framing the structured client cannot produce.
+std::string RawRequest(int port, const std::string& bytes, double linger_seconds = 0.0) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  EXPECT_EQ(::send(fd, bytes.data(), bytes.size(), 0), static_cast<ssize_t>(bytes.size()));
+  if (linger_seconds > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(linger_seconds));
+  }
+  std::string response;
+  char buffer[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+}  // namespace
+
+TEST(RequestHardeningTest, DuplicateContentLengthOverSocketGets400) {
+  TelemetryServer server({});
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response = RawRequest(
+      server.port(),
+      "POST /metrics HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nhi");
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos) << response;
+  EXPECT_NE(response.find("duplicate Content-Length"), std::string::npos) << response;
+  server.Stop();
+}
+
+TEST(RequestHardeningTest, SlowLorisTripsTheReadDeadlineWith408) {
+  TelemetryServer::Options options;
+  options.read_timeout_seconds = 0.25;
+  TelemetryServer server(std::move(options));
+  ASSERT_TRUE(server.Start().ok());
+
+  // Send a header fragment and stall: the absolute deadline fires even
+  // though the connection stayed "active" from a per-recv point of view.
+  const std::string response =
+      RawRequest(server.port(), "GET /metrics HTTP/1.1\r\nX-Slow: tri", /*linger=*/0.6);
+  EXPECT_NE(response.find("HTTP/1.1 408"), std::string::npos) << response;
+  EXPECT_NE(response.find("ppdp.serve.error.v1"), std::string::npos) << response;
+  server.Stop();
+}
+
+TEST(RequestHardeningTest, OversizedHeaderSectionGets431) {
+  TelemetryServer::Options options;
+  options.max_header_bytes = 256;
+  TelemetryServer server(std::move(options));
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response = RawRequest(
+      server.port(), "GET /metrics HTTP/1.1\r\nX-Big: " + std::string(1024, 'a') + "\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 431"), std::string::npos) << response;
+  EXPECT_NE(response.find("header section exceeds"), std::string::npos) << response;
   server.Stop();
 }
 

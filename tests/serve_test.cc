@@ -4,11 +4,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/wal.h"
 #include "serve/admission.h"
 #include "serve/client.h"
 #include "serve/coalescer.h"
@@ -385,6 +388,230 @@ TEST(ServeAppTest, StatuszCarriesServeSection) {
   EXPECT_EQ(section.GetNumberOr("queue_max", -1.0),
             static_cast<double>((*app)->admission().max_pending()));
   EXPECT_FALSE(section.GetBoolOr("draining", true));
+  (*app)->Stop();
+}
+
+std::string TempWalPath(const std::string& name) {
+  std::string path = ::testing::TempDir() + "/serve_wal_" + name + "_" +
+                     std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + ".wal";
+  std::remove(path.c_str());
+  return path;
+}
+
+double AuditedSpent(int port, const std::string& tenant) {
+  JsonValue body = JsonValue::Object();
+  body.Set("tenant", JsonValue::String(tenant));
+  auto audit = PostJson(port, "/v1/audit", body);
+  if (!audit.ok() || audit->status != 200) return -1.0;
+  auto doc = audit->Json();
+  return doc.ok() ? doc->GetNumberOr("spent", -1.0) : -1.0;
+}
+
+TEST(ServeAppWalTest, BudgetSurvivesRestart) {
+  const std::string wal_path = TempWalPath("restart");
+  ServeOptions options = FastOptions();
+  options.tenant_budget = 1.0;
+  options.ledger_wal = wal_path;
+
+  // First lifetime: spend 0.8 of the 1.0 budget.
+  {
+    auto app = ServeApp::Create(options);
+    ASSERT_TRUE(app.ok()) << app.status().ToString();
+    ASSERT_TRUE((*app)->Start().ok());
+    const int port = (*app)->port();
+    for (int i = 0; i < 2; ++i) {
+      auto response = PostJson(port, "/v1/dp/aggregate", AggregateBody("acme", 0.4));
+      ASSERT_TRUE(response.ok());
+      EXPECT_EQ(response->status, 200) << response->body;
+    }
+    EXPECT_DOUBLE_EQ(AuditedSpent(port, "acme"), 0.8);
+    (*app)->Stop();
+  }
+
+  // Second lifetime against the same WAL: the 0.8 is already spent, so a
+  // 0.4 request must be refused and a 0.2 one admitted — remaining ε is
+  // continuous across the restart.
+  {
+    auto app = ServeApp::Create(options);
+    ASSERT_TRUE(app.ok()) << app.status().ToString();
+    JsonValue summary = (*app)->StartupSummary();
+    const JsonValue* recovered = summary.Find("recovered_epsilon");
+    ASSERT_NE(recovered, nullptr);
+    EXPECT_DOUBLE_EQ(recovered->GetNumberOr("acme", -1.0), 0.8);
+
+    ASSERT_TRUE((*app)->Start().ok());
+    const int port = (*app)->port();
+    EXPECT_DOUBLE_EQ(AuditedSpent(port, "acme"), 0.8);
+
+    auto over = PostJson(port, "/v1/dp/aggregate", AggregateBody("acme", 0.4));
+    ASSERT_TRUE(over.ok());
+    EXPECT_EQ(over->status, 403) << over->body;
+    auto fits = PostJson(port, "/v1/dp/aggregate", AggregateBody("acme", 0.2));
+    ASSERT_TRUE(fits.ok());
+    EXPECT_EQ(fits->status, 200) << fits->body;
+    EXPECT_DOUBLE_EQ(AuditedSpent(port, "acme"), 1.0);
+    (*app)->Stop();
+  }
+
+  // Across both lifetimes no tenant ever exceeded its ε: the log's replay
+  // total is the ground truth.
+  auto recovery = obs::LedgerWal::Scan(wal_path);
+  ASSERT_TRUE(recovery.ok());
+  double total = 0.0;
+  for (const auto& spend : recovery->spends) total += spend.total_epsilon();
+  EXPECT_LE(total, options.tenant_budget + 1e-9);
+  std::remove(wal_path.c_str());
+}
+
+TEST(ServeAppWalTest, KillMidTrafficNeverUndercounts) {
+  const std::string wal_path = TempWalPath("kill");
+  ServeOptions options = FastOptions();
+  options.tenant_budget = 100.0;
+  options.ledger_wal = wal_path;
+
+  // First lifetime: concurrent traffic, then tear the app down abruptly
+  // (destructor path, no clean Stop) mid-lifetime. Count what clients saw
+  // admitted.
+  std::atomic<int> admitted{0};
+  {
+    auto app = ServeApp::Create(options);
+    ASSERT_TRUE(app.ok()) << app.status().ToString();
+    ASSERT_TRUE((*app)->Start().ok());
+    const int port = (*app)->port();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 3; ++t) {
+      threads.emplace_back([&, t] {
+        const std::string tenant = "killed" + std::to_string(t);
+        for (int i = 0; i < 4; ++i) {
+          auto response = PostJson(port, "/v1/dp/aggregate", AggregateBody(tenant, 0.25));
+          if (response.ok() && response->status == 200) admitted.fetch_add(1);
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+
+  // Charge-ahead: every admitted spend (and possibly a few in-flight ones)
+  // is on disk — recovery can over-count but never under-count.
+  auto recovery = obs::LedgerWal::Scan(wal_path);
+  ASSERT_TRUE(recovery.ok());
+  double replayed = 0.0;
+  for (const auto& spend : recovery->spends) replayed += spend.total_epsilon();
+  EXPECT_GE(replayed, 0.25 * admitted.load() - 1e-9);
+
+  // Second lifetime picks the replayed total up exactly.
+  auto app = ServeApp::Create(options);
+  ASSERT_TRUE(app.ok()) << app.status().ToString();
+  ASSERT_TRUE((*app)->Start().ok());
+  double audited = 0.0;
+  for (int t = 0; t < 3; ++t) {
+    double spent = AuditedSpent((*app)->port(), "killed" + std::to_string(t));
+    if (spent > 0.0) audited += spent;
+  }
+  EXPECT_NEAR(audited, replayed, 1e-9);
+  (*app)->Stop();
+  std::remove(wal_path.c_str());
+}
+
+TEST(ServeAppWalTest, CorruptTailRecoversPrefixAndKeepsServing) {
+  const std::string wal_path = TempWalPath("corrupt");
+  ServeOptions options = FastOptions();
+  options.tenant_budget = 2.0;
+  options.ledger_wal = wal_path;
+  {
+    auto app = ServeApp::Create(options);
+    ASSERT_TRUE(app.ok()) << app.status().ToString();
+    ASSERT_TRUE((*app)->Start().ok());
+    for (int i = 0; i < 3; ++i) {
+      auto response =
+          PostJson((*app)->port(), "/v1/dp/aggregate", AggregateBody("corrupted", 0.5));
+      ASSERT_TRUE(response.ok());
+      ASSERT_EQ(response->status, 200);
+    }
+    (*app)->Stop();
+  }
+
+  // Flip a bit inside the last record's payload.
+  {
+    std::fstream file(wal_path, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(file.good());
+    file.seekg(0, std::ios::end);
+    const std::streamoff size = file.tellg();
+    file.seekp(size - 3);
+    char byte = 0;
+    file.seekg(size - 3);
+    file.get(byte);
+    byte = static_cast<char>(byte ^ 0x10);
+    file.seekp(size - 3);
+    file.put(byte);
+  }
+
+  auto app = ServeApp::Create(options);
+  ASSERT_TRUE(app.ok()) << app.status().ToString();
+  // The corrupt last record is truncated; the intact prefix (2 spends)
+  // replays, and the daemon keeps serving on the repaired log.
+  JsonValue summary = (*app)->StartupSummary();
+  const JsonValue* recovered = summary.Find("recovered_epsilon");
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_DOUBLE_EQ(recovered->GetNumberOr("corrupted", -1.0), 1.0);
+  ASSERT_TRUE((*app)->Start().ok());
+  auto response = PostJson((*app)->port(), "/v1/dp/aggregate", AggregateBody("corrupted", 0.5));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 200) << response->body;
+  (*app)->Stop();
+  std::remove(wal_path.c_str());
+}
+
+TEST(ServeAppWalTest, EmptyWalStartsFresh) {
+  const std::string wal_path = TempWalPath("empty");
+  ServeOptions options = FastOptions();
+  options.ledger_wal = wal_path;
+  auto app = ServeApp::Create(options);
+  ASSERT_TRUE(app.ok()) << app.status().ToString();
+  JsonValue summary = (*app)->StartupSummary();
+  const JsonValue* recovered = summary.Find("recovered_epsilon");
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_TRUE(summary.GetStringOr("ledger_wal", "").size() > 0);
+  ASSERT_TRUE((*app)->Start().ok());
+  auto response = PostJson((*app)->port(), "/v1/dp/aggregate", AggregateBody("fresh", 0.1));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 200);
+  (*app)->Stop();
+  std::remove(wal_path.c_str());
+}
+
+TEST(ServeAppTest, DeadlineExceededWhileQueuedGets504) {
+  ServeOptions options = FastOptions();
+  options.max_pending = 1;
+  auto app = ServeApp::Create(options);
+  ASSERT_TRUE(app.ok()) << app.status().ToString();
+  ASSERT_TRUE((*app)->Start().ok());
+  const int port = (*app)->port();
+
+  // Hold the only slot: a deadline-carrying request waits, then times out.
+  AdmissionSlot slot = (*app)->admission().TryAdmit();
+  ASSERT_TRUE(slot.held());
+
+  JsonValue body = AggregateBody("deadlined", 0.1);
+  body.Set("deadline_ms", JsonValue::Number(150));
+  const auto started = std::chrono::steady_clock::now();
+  auto response = PostJson(port, "/v1/dp/aggregate", body);
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 504) << response->body;
+  auto error = response->Json();
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error->GetStringOr("schema", ""), "ppdp.serve.error.v1");
+  // It actually waited for the deadline rather than failing fast...
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 140);
+  // ...and no charge happened.
+  EXPECT_EQ((*app)->tenants().FindTenant("deadlined"), nullptr);
+
+  // With the slot free the same deadline is comfortably met.
+  { AdmissionSlot release = std::move(slot); }
+  auto admitted = PostJson(port, "/v1/dp/aggregate", body);
+  ASSERT_TRUE(admitted.ok());
+  EXPECT_EQ(admitted->status, 200) << admitted->body;
   (*app)->Stop();
 }
 

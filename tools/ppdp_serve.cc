@@ -19,6 +19,12 @@
 //   --max_pending N       admission queue bound; 429 beyond (64)
 //   --coalesce_window_ms X  publish batching window (5)
 //   --drain_timeout_s X   graceful-shutdown drain bound (10)
+//   --ledger_wal PATH     privacy-ledger write-ahead log; spends are logged
+//                         before admission and replayed at startup so
+//                         remaining-ε survives restarts (off: in-memory)
+//   --ledger_sync P       WAL fsync policy: always | batch (always)
+//   --request_deadline_s X  cap on client-declared "deadline_ms"; expired
+//                         requests get 504 (30)
 //   --log_level L         debug|info|warn|error|off (info)
 //
 // SIGTERM / SIGINT drain in-flight requests (new ones get 503), stop the
@@ -67,6 +73,15 @@ int main(int argc, char** argv) {
   options.max_pending = static_cast<int>(flags.GetInt("max_pending", options.max_pending));
   options.coalesce_window_seconds = flags.GetDouble("coalesce_window_ms", 5.0) / 1000.0;
   options.drain_timeout_seconds = flags.GetDouble("drain_timeout_s", 10.0);
+  options.ledger_wal = flags.GetString("ledger_wal", "");
+  options.request_deadline_seconds = flags.GetDouble("request_deadline_s", 30.0);
+  Result<obs::LedgerWal::SyncPolicy> sync_policy =
+      obs::ParseSyncPolicy(flags.GetString("ledger_sync", "always"));
+  if (!sync_policy.ok()) {
+    std::cerr << "ppdp_serve: " << sync_policy.status().ToString() << "\n";
+    return 1;
+  }
+  options.ledger_sync = *sync_policy;
 
   Status pool_status = exec::ThreadPool::SetGlobalThreads(options.threads);
   if (!pool_status.ok()) {
@@ -85,6 +100,9 @@ int main(int argc, char** argv) {
     std::cerr << "ppdp_serve: " << started.ToString() << "\n";
     return 1;
   }
+  // One structured line an operator (or the smoke job) can grep: what was
+  // loaded, and how much spent-ε the WAL carried across the restart.
+  std::cout << "(startup: " << (*app)->StartupSummary().Dump() << ")" << std::endl;
   // Flushed immediately so a supervising process (the CI smoke job) can
   // grep the resolved ephemeral port while the daemon runs.
   std::cout << "(serving: http://127.0.0.1:" << (*app)->port() << "/)" << std::endl;
