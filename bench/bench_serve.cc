@@ -7,7 +7,7 @@
 //
 //   $ ./bench_serve [--clients 8] [--requests 2048] [--publish_pct 12]
 //                   [--min_qps 0] [--scale 0.25] [--genome_snps 300]
-//                   [--deadline_ms 0]
+//                   [--deadline_ms 0] [--access_log PATH]
 //
 // --deadline_ms > 0 stamps every request with a client deadline the server
 // honors while queued for admission: expired requests come back 504 and are
@@ -17,7 +17,16 @@
 // --min_qps > 0 turns the run into a gate: exit 1 when achieved QPS falls
 // below it (what the CI perf job pins). The BENCH_serve.json run report
 // carries the serve.client.seconds histogram for ppdp_benchstat diffing.
+//
+// Every request carries a client-generated W3C traceparent header; the
+// server must echo a response traceparent with the same trace id (echo
+// mismatches fail the run). --access_log PATH additionally makes the
+// in-process daemon write its ppdp.access.v1 JSONL log, which the bench
+// reads back at the end into a server-side per-stage latency table
+// (serve_stage_breakdown) — the same numbers ppdp_tracestat aggregates.
 #include <atomic>
+#include <fstream>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,6 +34,7 @@
 #include "bench_util.h"
 #include "common/json.h"
 #include "serve/client.h"
+#include "serve/request_trace.h"
 #include "serve/serve_app.h"
 
 namespace {
@@ -36,6 +46,7 @@ struct ClientStats {
   uint64_t timeout_504 = 0;   // client deadline expired while queued
   uint64_t failed = 0;        // transport errors, 4xx/5xx outside the above
   uint64_t coalesced = 0;     // publish responses served as batch followers
+  uint64_t trace_mismatch = 0;  // response traceparent absent or wrong trace id
 
   uint64_t rejected() const { return rejected_403 + rejected_429 + timeout_504; }
 };
@@ -50,6 +61,7 @@ int main(int argc, char** argv) {
   const int publish_pct = static_cast<int>(flags.GetInt("publish_pct", 12));
   const double min_qps = flags.GetDouble("min_qps", 0.0);
   const double deadline_ms = flags.GetDouble("deadline_ms", 0.0);
+  const std::string access_log = flags.GetString("access_log", "");
 
   ppdp::serve::ServeOptions options;
   options.port = 0;
@@ -63,6 +75,7 @@ int main(int argc, char** argv) {
   options.tenant_budget = flags.GetDouble("tenant_budget", 1e9);
   options.max_tenants = static_cast<size_t>(clients) + 4;
   options.max_pending = static_cast<int>(flags.GetInt("max_pending", clients * 8));
+  options.access_log = access_log;
 
   auto app = ppdp::serve::ServeApp::Create(options);
   if (!app.ok()) {
@@ -119,12 +132,24 @@ int main(int argc, char** argv) {
           body.Set("deadline_ms", ppdp::JsonValue::Number(deadline_ms));
         }
 
+        // Propagate a client-minted trace id; the server must echo it.
+        const std::string trace_id = ppdp::serve::GenerateTraceId();
+        const std::map<std::string, std::string> headers = {
+            {"traceparent",
+             ppdp::serve::FormatTraceparent(trace_id, ppdp::serve::GenerateSpanId())}};
+
         const double start = ppdp::obs::MonotonicSeconds();
-        auto response = ppdp::serve::PostJson(port, path, body);
+        auto response = ppdp::serve::PostJson(port, path, body, /*timeout_seconds=*/10.0, headers);
         latency.Observe(ppdp::obs::MonotonicSeconds() - start);
         if (!response.ok()) {
           ++mine.failed;
           continue;
+        }
+        std::string echoed_trace_id;
+        if (!ppdp::serve::ParseTraceparent(response->HeaderOr("traceparent", ""),
+                                           &echoed_trace_id) ||
+            echoed_trace_id != trace_id) {
+          ++mine.trace_mismatch;
         }
         if (response->status == 200) {
           ++mine.ok;
@@ -155,6 +180,7 @@ int main(int argc, char** argv) {
     total.timeout_504 += s.timeout_504;
     total.failed += s.failed;
     total.coalesced += s.coalesced;
+    total.trace_mismatch += s.trace_mismatch;
   }
   // Response-class breakdown for the ppdp.bench.v1 run report (the global
   // telemetry snapshot carries every counter).
@@ -187,6 +213,50 @@ int main(int argc, char** argv) {
 
   (*app)->Stop();
 
+  // Server-side view: fold the access log's per-stage micros into the same
+  // breakdown ppdp_tracestat prints, so a bench run shows where request
+  // time went without a second tool invocation.
+  if (!access_log.empty()) {
+    struct StageAgg {
+      uint64_t count = 0;
+      double total_micros = 0.0;
+    };
+    std::map<std::string, StageAgg> stage_stats;
+    uint64_t logged = 0;
+    std::ifstream log_file(access_log);
+    std::string line;
+    while (std::getline(log_file, line)) {
+      if (line.empty()) continue;
+      auto doc = ppdp::JsonValue::Parse(line);
+      if (!doc.ok() || doc->GetStringOr("schema", "") != "ppdp.access.v1") continue;
+      ++logged;
+      StageAgg& whole = stage_stats["total"];
+      ++whole.count;
+      whole.total_micros += doc->GetNumberOr("total_micros", 0.0);
+      const ppdp::JsonValue* stages = doc->Find("stages");
+      if (stages == nullptr || !stages->is_object()) continue;
+      for (const auto& [stage, micros] : stages->members()) {
+        if (!micros.is_number()) continue;
+        StageAgg& agg = stage_stats[stage];
+        ++agg.count;
+        agg.total_micros += micros.as_number();
+      }
+    }
+    ppdp::Table stage_table({"stage", "count", "mean ms"});
+    for (const auto& [stage, agg] : stage_stats) {
+      stage_table.AddRow({stage, std::to_string(agg.count),
+                          ppdp::Table::FormatDouble(
+                              agg.count > 0 ? agg.total_micros / (1e3 * agg.count) : 0.0, 3)});
+    }
+    env.Emit(stage_table, "serve_stage_breakdown",
+             "server-side per-stage latency (" + std::to_string(logged) + " logged requests)");
+  }
+
+  if (total.trace_mismatch > 0) {
+    std::cerr << "bench_serve: " << total.trace_mismatch
+              << " responses missing the echoed traceparent\n";
+    return 1;
+  }
   if (total.failed > 0) {
     std::cerr << "bench_serve: " << total.failed << " requests failed\n";
     return 1;

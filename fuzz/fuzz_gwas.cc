@@ -1,0 +1,33 @@
+// Fuzz surface: the GWAS catalog CSV reader. ParseGwasCatalog is the
+// validation layer between hostile background-knowledge files and the
+// PPDP_CHECK-guarded GwasCatalog setters — every malformed row (bad index,
+// out-of-range prevalence/RAF/odds/correlation, oversized panel header)
+// must come back as kInvalidArgument, never an abort or an allocation
+// driven by unvalidated input. Accepted catalogs then exercise the index
+// accessors the chapter-5 attack pipeline reads.
+
+#include <cstdint>
+#include <string>
+
+#include "genomics/genome_io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string input(reinterpret_cast<const char*>(data), size);
+  auto catalog = ppdp::genomics::ParseGwasCatalog(input);
+  if (!catalog.ok()) return 0;
+
+  // Everything below is valid by construction; touching it verifies the
+  // parser's invariants (indices in range, per-SNP tables sized) hold.
+  for (size_t snp = 0; snp < catalog->num_snps() && snp < 64; ++snp) {
+    (void)catalog->BackgroundRaf(snp);
+    (void)catalog->AssociationsOfSnp(snp);
+  }
+  for (size_t trait = 0; trait < catalog->num_traits(); ++trait) {
+    (void)catalog->AssociationsOfTrait(trait);
+  }
+  for (const auto& pair : catalog->ld_pairs()) {
+    (void)catalog->BackgroundRaf(pair.a);
+    (void)catalog->BackgroundRaf(pair.b);
+  }
+  return 0;
+}

@@ -1,6 +1,9 @@
 #include "genomics/genome_io.h"
 
+#include <cmath>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 #include "common/csv.h"
 #include "common/table.h"
@@ -16,6 +19,25 @@ Result<int64_t> ParseInt(const std::string& cell) {
   int64_t v = std::strtoll(cell.c_str(), &end, 10);
   if (end == nullptr || *end != '\0') {
     return Status::InvalidArgument("not an integer: '" + cell + "'");
+  }
+  return v;
+}
+
+Result<size_t> ParseIndex(const std::string& cell, size_t bound, const char* what) {
+  PPDP_ASSIGN_OR_RETURN(int64_t v, ParseInt(cell));
+  if (v < 0 || static_cast<uint64_t>(v) >= bound) {
+    return Status::InvalidArgument(std::string(what) + " index " + cell + " out of range [0, " +
+                                   std::to_string(bound) + ")");
+  }
+  return static_cast<size_t>(v);
+}
+
+Result<double> ParseDouble(const std::string& cell) {
+  if (cell.empty()) return Status::InvalidArgument("empty numeric cell");
+  char* end = nullptr;
+  double v = std::strtod(cell.c_str(), &end);
+  if (end == nullptr || *end != '\0' || !std::isfinite(v)) {
+    return Status::InvalidArgument("not a finite number: '" + cell + "'");
   }
   return v;
 }
@@ -96,6 +118,108 @@ Result<CaseControlPanel> LoadPanel(const std::string& path) {
     panel.is_case.push_back(is_case != 0);
   }
   return panel;
+}
+
+Status SaveGwasCatalog(const GwasCatalog& catalog, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::Unavailable("cannot write catalog: " + path);
+  file << "gwas_catalog,v1," << catalog.num_snps() << "\n";
+  for (const Trait& trait : catalog.traits()) {
+    // Rows are written verbatim (no cell quoting), so names must not carry
+    // CSV structure.
+    if (trait.name.find_first_of(",\"\r\n") != std::string::npos) {
+      return Status::InvalidArgument("trait name '" + trait.name + "' contains CSV delimiters");
+    }
+    file << "trait," << trait.name << "," << Table::FormatDouble(trait.prevalence, 6) << "\n";
+  }
+  for (const SnpTraitAssociation& assoc : catalog.associations()) {
+    file << "assoc," << assoc.snp << "," << assoc.trait << ","
+         << Table::FormatDouble(assoc.control_raf, 6) << ","
+         << Table::FormatDouble(assoc.odds_ratio, 6) << "\n";
+  }
+  for (const LdPair& pair : catalog.ld_pairs()) {
+    file << "ld," << pair.a << "," << pair.b << "," << Table::FormatDouble(pair.correlation, 6)
+         << "\n";
+  }
+  file.flush();
+  if (!file) return Status::DataLoss("catalog write failed: " + path);
+  return Status::Ok();
+}
+
+Result<GwasCatalog> ParseGwasCatalog(const std::string& content) {
+  PPDP_ASSIGN_OR_RETURN(auto rows, ParseCsv(content));
+  if (rows.empty()) return Status::InvalidArgument("catalog file is empty");
+  const auto& header = rows[0];
+  if (header.size() != 3 || header[0] != "gwas_catalog" || header[1] != "v1") {
+    return Status::InvalidArgument("catalog header must be gwas_catalog,v1,<num_snps>");
+  }
+  PPDP_ASSIGN_OR_RETURN(int64_t num_snps, ParseInt(header[2]));
+  if (num_snps <= 0 || static_cast<uint64_t>(num_snps) > kMaxCatalogSnps) {
+    return Status::InvalidArgument("catalog num_snps " + header[2] + " outside (0, " +
+                                   std::to_string(kMaxCatalogSnps) + "]");
+  }
+
+  GwasCatalog catalog(static_cast<size_t>(num_snps));
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    const std::string where = " (row " + std::to_string(r) + ")";
+    if (row.empty() || row[0].empty()) {
+      return Status::InvalidArgument("empty catalog row" + where);
+    }
+    if (row[0] == "trait") {
+      if (row.size() != 3) return Status::InvalidArgument("trait rows are trait,name,prev" + where);
+      if (row[1].empty()) return Status::InvalidArgument("trait name must be non-empty" + where);
+      PPDP_ASSIGN_OR_RETURN(double prevalence, ParseDouble(row[2]));
+      if (prevalence <= 0.0 || prevalence >= 1.0) {
+        return Status::InvalidArgument("trait prevalence must be in (0, 1)" + where);
+      }
+      catalog.AddTrait(Trait{row[1], prevalence});
+    } else if (row[0] == "assoc") {
+      if (row.size() != 5) {
+        return Status::InvalidArgument("assoc rows are assoc,snp,trait,raf,odds" + where);
+      }
+      SnpTraitAssociation assoc;
+      PPDP_ASSIGN_OR_RETURN(assoc.snp, ParseIndex(row[1], catalog.num_snps(), "SNP"));
+      PPDP_ASSIGN_OR_RETURN(assoc.trait, ParseIndex(row[2], catalog.num_traits(), "trait"));
+      PPDP_ASSIGN_OR_RETURN(assoc.control_raf, ParseDouble(row[3]));
+      PPDP_ASSIGN_OR_RETURN(assoc.odds_ratio, ParseDouble(row[4]));
+      if (assoc.control_raf <= 0.0 || assoc.control_raf >= 1.0) {
+        return Status::InvalidArgument("control RAF must be in (0, 1)" + where);
+      }
+      if (assoc.odds_ratio <= 0.0) {
+        return Status::InvalidArgument("odds ratio must be positive" + where);
+      }
+      catalog.AddAssociation(assoc);
+    } else if (row[0] == "ld") {
+      if (row.size() != 4) return Status::InvalidArgument("ld rows are ld,a,b,corr" + where);
+      LdPair pair;
+      PPDP_ASSIGN_OR_RETURN(pair.a, ParseIndex(row[1], catalog.num_snps(), "LD"));
+      PPDP_ASSIGN_OR_RETURN(pair.b, ParseIndex(row[2], catalog.num_snps(), "LD"));
+      PPDP_ASSIGN_OR_RETURN(pair.correlation, ParseDouble(row[3]));
+      if (pair.a == pair.b) {
+        return Status::InvalidArgument("LD pair must link distinct loci" + where);
+      }
+      if (pair.correlation < 0.0 || pair.correlation > 1.0) {
+        return Status::InvalidArgument("LD correlation must be in [0, 1]" + where);
+      }
+      catalog.AddLdPair(pair);
+    } else {
+      return Status::InvalidArgument("unknown catalog row kind '" + row[0] + "'" + where);
+    }
+  }
+  return catalog;
+}
+
+Result<GwasCatalog> LoadGwasCatalog(const std::string& path) {
+  // Same CSV I/O fault point as LoadPanel: a drop models an unreadable
+  // file and surfaces as a retryable kUnavailable.
+  fault::FaultDecision fault_decision = PPDP_FAULT_POINT("io.csv.read", fault::kMaskDrop);
+  if (fault_decision.drop()) return fault_decision.AsStatus("io.csv.read");
+  std::ifstream file(path);
+  if (!file) return Status::Unavailable("cannot read catalog: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseGwasCatalog(buffer.str());
 }
 
 }  // namespace ppdp::genomics

@@ -18,6 +18,32 @@ Status SavePanel(const CaseControlPanel& panel, const std::string& path);
 /// from the header.
 Result<CaseControlPanel> LoadPanel(const std::string& path);
 
+/// Reader-side cap on a catalog's SNP panel width. The header's num_snps
+/// sizes per-SNP index vectors, so an unvalidated value would let a
+/// five-line file allocate arbitrarily; real panels (AMD: 90 449) sit far
+/// below this.
+inline constexpr size_t kMaxCatalogSnps = 1u << 20;
+
+/// Persists a GwasCatalog as CSV rows:
+///
+///   gwas_catalog,v1,<num_snps>
+///   trait,<name>,<prevalence>
+///   assoc,<snp>,<trait>,<control_raf>,<odds_ratio>
+///   ld,<a>,<b>,<correlation>
+///
+/// Round-trips through ParseGwasCatalog/LoadGwasCatalog.
+Status SaveGwasCatalog(const GwasCatalog& catalog, const std::string& path);
+
+/// Parses catalog CSV content. Every semantic rule the GwasCatalog setters
+/// PPDP_CHECK — prevalence/RAF in (0,1), positive odds ratio, in-range
+/// SNP/trait indices, distinct LD loci with correlation in [0,1] — is
+/// validated here first and surfaces as kInvalidArgument, so hostile input
+/// can never reach an abort. This is the fuzzed entry point (fuzz_gwas).
+Result<GwasCatalog> ParseGwasCatalog(const std::string& content);
+
+/// Reads and parses `path`.
+Result<GwasCatalog> LoadGwasCatalog(const std::string& path);
+
 }  // namespace ppdp::genomics
 
 #endif  // PPDP_GENOMICS_GENOME_IO_H_

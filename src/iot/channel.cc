@@ -1,5 +1,6 @@
 #include "iot/channel.h"
 
+#include <cmath>
 #include <cstring>
 
 #include "common/logging.h"
@@ -19,6 +20,24 @@ void HashMix(uint64_t& h, uint64_t value) {
   }
 }
 
+/// Frame magic: version-tagged so a future layout can bump the last byte.
+constexpr char kEnvelopeMagic[8] = {'P', 'P', 'D', 'P', 'i', 'o', 't', '1'};
+
+void PutWord(std::string* out, uint64_t word) {
+  for (int byte = 0; byte < 8; ++byte) {
+    out->push_back(static_cast<char>((word >> (8 * byte)) & 0xFFu));
+  }
+}
+
+uint64_t GetWord(std::string_view bytes, size_t offset) {
+  uint64_t word = 0;
+  for (int byte = 0; byte < 8; ++byte) {
+    word |= static_cast<uint64_t>(static_cast<uint8_t>(bytes[offset + static_cast<size_t>(byte)]))
+            << (8 * byte);
+  }
+  return word;
+}
+
 }  // namespace
 
 uint64_t EnvelopeChecksum(const Envelope& envelope) {
@@ -32,6 +51,42 @@ uint64_t EnvelopeChecksum(const Envelope& envelope) {
   std::memcpy(&epsilon_bits, &envelope.reading.epsilon, sizeof(epsilon_bits));
   HashMix(h, epsilon_bits);
   return h;
+}
+
+std::string EncodeEnvelope(const Envelope& envelope) {
+  std::string wire(kEnvelopeMagic, sizeof(kEnvelopeMagic));
+  wire.reserve(kEnvelopeWireBytes);
+  PutWord(&wire, envelope.device);
+  PutWord(&wire, envelope.seq);
+  PutWord(&wire, static_cast<uint64_t>(envelope.reading.sensor));
+  PutWord(&wire, static_cast<uint64_t>(envelope.reading.value));
+  uint64_t epsilon_bits = 0;
+  std::memcpy(&epsilon_bits, &envelope.reading.epsilon, sizeof(epsilon_bits));
+  PutWord(&wire, epsilon_bits);
+  PutWord(&wire, envelope.checksum);
+  return wire;
+}
+
+Result<Envelope> DecodeEnvelope(std::string_view bytes) {
+  if (bytes.size() != kEnvelopeWireBytes) {
+    return Status::InvalidArgument("envelope frame must be " + std::to_string(kEnvelopeWireBytes) +
+                                   " bytes, got " + std::to_string(bytes.size()));
+  }
+  if (std::memcmp(bytes.data(), kEnvelopeMagic, sizeof(kEnvelopeMagic)) != 0) {
+    return Status::InvalidArgument("bad envelope magic");
+  }
+  Envelope envelope;
+  envelope.device = GetWord(bytes, 8);
+  envelope.seq = GetWord(bytes, 16);
+  envelope.reading.sensor = static_cast<size_t>(GetWord(bytes, 24));
+  envelope.reading.value = static_cast<size_t>(GetWord(bytes, 32));
+  const uint64_t epsilon_bits = GetWord(bytes, 40);
+  std::memcpy(&envelope.reading.epsilon, &epsilon_bits, sizeof(epsilon_bits));
+  if (!std::isfinite(envelope.reading.epsilon) || envelope.reading.epsilon < 0.0) {
+    return Status::InvalidArgument("envelope epsilon must be finite and non-negative");
+  }
+  envelope.checksum = GetWord(bytes, 48);
+  return envelope;
 }
 
 Table ChannelReport::Summary() const {
@@ -59,11 +114,17 @@ ResilientChannel::ResilientChannel(AggregationServer* server, fault::RetryPolicy
   PPDP_CHECK(valid.ok()) << valid.ToString();
 }
 
-bool ResilientChannel::Deliver(Envelope envelope) {
-  if (EnvelopeChecksum(envelope) != envelope.checksum) {
+bool ResilientChannel::Deliver(std::string_view wire) {
+  // A frame that does not decode (corrupted magic/epsilon bits) and a frame
+  // whose payload mismatches its checksum are the same event from the
+  // transport's perspective: a damaged arrival, refused so the sender
+  // retransmits the intact bytes.
+  Result<Envelope> decoded = DecodeEnvelope(wire);
+  if (!decoded.ok() || EnvelopeChecksum(*decoded) != decoded->checksum) {
     ++report_.checksum_rejects;
     return false;  // nack: sender retransmits the intact bytes
   }
+  const Envelope& envelope = *decoded;
   if (seen_.count(envelope.seq) > 0) {
     static obs::Counter& dedup = obs::MetricsRegistry::Global().counter("channel.dedup_hits");
     dedup.Increment();
@@ -93,10 +154,13 @@ bool ResilientChannel::TransmitOnce(const Envelope& envelope) {
     ++report_.drops;
     return false;  // lost in flight; no ack will arrive
   }
-  Envelope wire = envelope;
+  std::string wire = EncodeEnvelope(envelope);
   if (decision.corrupt()) {
+    // Bit flips land anywhere in the frame — magic, payload, or the
+    // checksum itself; the receiver must refuse all of them.
     ++report_.corruptions;
-    wire.reading.value ^= size_t{1} << (decision.corrupt_bit % (8 * sizeof(size_t)));
+    const size_t bit = static_cast<size_t>(decision.corrupt_bit) % (8 * wire.size());
+    wire[bit / 8] = static_cast<char>(static_cast<uint8_t>(wire[bit / 8]) ^ (1u << (bit % 8)));
   }
   bool acked = Deliver(wire);
   if (decision.duplicate()) {

@@ -1,9 +1,11 @@
 #ifndef PPDP_IOT_CHANNEL_H_
 #define PPDP_IOT_CHANNEL_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <set>
 #include <string>
+#include <string_view>
 
 #include "common/result.h"
 #include "common/rng.h"
@@ -27,6 +29,23 @@ struct Envelope {
 /// FNV-1a over the envelope's identifying fields and payload (checksum
 /// field excluded).
 uint64_t EnvelopeChecksum(const Envelope& envelope);
+
+/// Fixed wire size of an encoded envelope: 8-byte magic + five 64-bit
+/// little-endian words (device, seq, sensor, value, epsilon bits) + the
+/// 64-bit checksum.
+inline constexpr size_t kEnvelopeWireBytes = 56;
+
+/// Serializes the envelope into its kEnvelopeWireBytes frame. What actually
+/// crosses the (simulated) link: fault-injected corruption flips bits in
+/// these bytes, and the receiver re-derives the struct via DecodeEnvelope.
+std::string EncodeEnvelope(const Envelope& envelope);
+
+/// Parses one wire frame. Structural validation only — wrong size, wrong
+/// magic, or a non-finite/negative epsilon payload is kInvalidArgument;
+/// checksum verification stays with the receiver (EnvelopeChecksum), which
+/// counts mismatches rather than erroring. Every accepted frame re-encodes
+/// byte-identically.
+Result<Envelope> DecodeEnvelope(std::string_view bytes);
 
 /// Transport accounting of one channel. `sent` counts distinct readings
 /// accepted for transmission; everything else counts what the unreliable
@@ -91,14 +110,16 @@ class ResilientChannel {
   double VirtualNowMs() const { return clock_ms_; }
 
  private:
-  /// One wire attempt: applies the fault decision, delivers to the
-  /// receiver endpoint, returns true when acknowledged.
+  /// One wire attempt: encodes the envelope, applies the fault decision to
+  /// the frame bytes, delivers to the receiver endpoint, returns true when
+  /// acknowledged.
   bool TransmitOnce(const Envelope& envelope);
 
-  /// Receiver endpoint: checksum verification, sequence dedup, ingest.
-  /// Returns true to acknowledge. Deterministic server rejections are
-  /// stored in ingest_error_ and acknowledged (retrying cannot help).
-  bool Deliver(Envelope envelope);
+  /// Receiver endpoint: frame decode, checksum verification, sequence
+  /// dedup, ingest. Returns true to acknowledge. Deterministic server
+  /// rejections are stored in ingest_error_ and acknowledged (retrying
+  /// cannot help).
+  bool Deliver(std::string_view wire);
 
   AggregationServer* server_;
   fault::RetryPolicy policy_;

@@ -23,6 +23,11 @@ std::string HttpRequest::QueryStringOr(const std::string& key, const std::string
   return it == query.end() ? fallback : it->second;
 }
 
+std::string HttpRequest::HeaderOr(const std::string& lower_name, const std::string& fallback) const {
+  auto it = headers.find(lower_name);
+  return it == headers.end() ? fallback : it->second;
+}
+
 void HttpResponse::Text(int status, std::string body) {
   status_ = status;
   content_type_ = "text/plain; charset=utf-8";
@@ -42,10 +47,13 @@ void HttpResponse::RawJson(int status, std::string body) {
 }
 
 std::string HttpResponse::Render() const {
-  std::string response = "HTTP/1.1 " + std::to_string(status_) + " " + HttpStatusText(status_) +
-                         "\r\nContent-Type: " + content_type_ +
-                         "\r\nContent-Length: " + std::to_string(body_.size()) +
-                         "\r\nConnection: close\r\n\r\n";
+  std::string response = "HTTP/1.1 " + std::to_string(status_) + " " + HttpStatusText(status_);
+  for (const auto& [name, value] : extra_headers_) {
+    response += "\r\n" + name + ": " + value;
+  }
+  response += "\r\nContent-Type: " + content_type_ +
+              "\r\nContent-Length: " + std::to_string(body_.size()) +
+              "\r\nConnection: close\r\n\r\n";
   response += body_;
   return response;
 }
@@ -141,6 +149,10 @@ Result<HttpRequestHead> ParseHttpRequestHead(std::string_view head) {
       return Status::InvalidArgument("whitespace before header colon");
     }
     const std::string_view value = Trim(header.substr(colon + 1));
+
+    std::string lower_name(name);
+    for (char& c : lower_name) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    parsed.headers.emplace(std::move(lower_name), std::string(value));
 
     if (EqualsIgnoreCase(name, "Transfer-Encoding")) {
       return Status::InvalidArgument("Transfer-Encoding not supported");

@@ -19,6 +19,10 @@ struct HttpRequest {
   std::string method;  ///< verbatim ("GET", "POST", ...)
   std::string path;    ///< without the query string
   std::map<std::string, std::string> query;
+  /// General headers, names lowercased, values trimmed. First occurrence
+  /// wins for repeated names (Content-Length duplicates are rejected at
+  /// parse time; nothing else in this repo is list-valued).
+  std::map<std::string, std::string> headers;
   std::string body;
 
   /// Parses the body as a complete JSON document.
@@ -28,6 +32,8 @@ struct HttpRequest {
   /// (the tolerance /profilez?seconds=bogus has always had).
   int QueryIntOr(const std::string& key, int fallback) const;
   std::string QueryStringOr(const std::string& key, const std::string& fallback) const;
+  /// Header lookup by lowercased name; empty-string fallback when absent.
+  std::string HeaderOr(const std::string& lower_name, const std::string& fallback) const;
 };
 
 /// Response builder handlers fill in: status code, content type, body. The
@@ -41,6 +47,13 @@ class HttpResponse {
   void SetStatus(int status) { status_ = status; }
   void SetContentType(std::string content_type) { content_type_ = std::move(content_type); }
   void SetBody(std::string body) { body_ = std::move(body); }
+  /// Adds (or replaces) an extra response header emitted before the fixed
+  /// framing. Names must not collide with the framing headers the server
+  /// owns (Content-Type, Content-Length, Connection) — those always win
+  /// because they render last from the authoritative fields.
+  void SetHeader(std::string name, std::string value) {
+    extra_headers_[std::move(name)] = std::move(value);
+  }
 
   /// One-call plain-text response ("text/plain; charset=utf-8").
   void Text(int status, std::string body);
@@ -63,6 +76,7 @@ class HttpResponse {
   int status_ = 200;
   std::string content_type_ = "text/plain; charset=utf-8";
   std::string body_;
+  std::map<std::string, std::string> extra_headers_;
 };
 
 /// A routed endpoint. Handlers run on server connection threads (or the
@@ -79,6 +93,9 @@ struct HttpRequestHead {
   std::string method;
   std::string path;    ///< without the query string
   std::map<std::string, std::string> query;
+  /// General headers, names lowercased, values trimmed, first-wins on
+  /// repeats. Content-Length is additionally parsed into the fields below.
+  std::map<std::string, std::string> headers;
   size_t content_length = 0;   ///< 0 when absent
   bool has_content_length = false;
 };

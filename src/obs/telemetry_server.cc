@@ -466,6 +466,7 @@ void TelemetryServer::HandleConnection(Connection* connection) {
         parsed.method = std::move(head->method);
         parsed.path = std::move(head->path);
         parsed.query = std::move(head->query);
+        parsed.headers = std::move(head->headers);
         parsed.body = request.substr(header_end + 4, body_bytes);
         response = Dispatch(parsed).Render();
         scrapes.Increment();

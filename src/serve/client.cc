@@ -1,5 +1,6 @@
 #include "serve/client.h"
 
+#include <cctype>
 #include <cerrno>
 #include <cstring>
 
@@ -23,7 +24,8 @@ struct FdCloser {
 }  // namespace
 
 Result<ClientResponse> HttpRequest(int port, const std::string& method, const std::string& path,
-                                   const std::string& body, double timeout_seconds) {
+                                   const std::string& body, double timeout_seconds,
+                                   const std::map<std::string, std::string>& extra_headers) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::Unavailable(std::string("client socket(): ") + std::strerror(errno));
@@ -46,6 +48,9 @@ Result<ClientResponse> HttpRequest(int port, const std::string& method, const st
   }
 
   std::string request = method + " " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    request += name + ": " + value + "\r\n";
+  }
   if (!body.empty() || method == "POST") {
     request += "Content-Type: application/json\r\nContent-Length: " +
                std::to_string(body.size()) + "\r\n";
@@ -93,21 +98,24 @@ Result<ClientResponse> HttpRequest(int port, const std::string& method, const st
     size_t end = headers.find("\r\n", pos);
     if (end == std::string::npos) end = headers.size();
     const std::string header_line = headers.substr(pos, end - pos);
-    constexpr std::string_view kContentType = "Content-Type:";
-    if (header_line.size() > kContentType.size() &&
-        header_line.compare(0, kContentType.size(), kContentType) == 0) {
-      size_t begin = kContentType.size();
-      while (begin < header_line.size() && header_line[begin] == ' ') ++begin;
-      response.content_type = header_line.substr(begin);
-    }
     pos = end + 2;
+    const size_t colon = header_line.find(':');
+    if (colon == std::string::npos || colon == 0) continue;
+    std::string name = header_line.substr(0, colon);
+    for (char& c : name) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    size_t begin = colon + 1;
+    while (begin < header_line.size() && header_line[begin] == ' ') ++begin;
+    std::string value = header_line.substr(begin);
+    if (name == "content-type") response.content_type = value;
+    response.headers.emplace(std::move(name), std::move(value));
   }
   return response;
 }
 
 Result<ClientResponse> PostJson(int port, const std::string& path, const JsonValue& doc,
-                                double timeout_seconds) {
-  return HttpRequest(port, "POST", path, doc.Dump(), timeout_seconds);
+                                double timeout_seconds,
+                                const std::map<std::string, std::string>& extra_headers) {
+  return HttpRequest(port, "POST", path, doc.Dump(), timeout_seconds, extra_headers);
 }
 
 Result<ClientResponse> Get(int port, const std::string& path, double timeout_seconds) {

@@ -1,6 +1,7 @@
 #ifndef PPDP_SERVE_CLIENT_H_
 #define PPDP_SERVE_CLIENT_H_
 
+#include <map>
 #include <string>
 
 #include "common/json.h"
@@ -12,23 +13,33 @@ namespace ppdp::serve {
 struct ClientResponse {
   int status = 0;
   std::string content_type;
+  /// All response headers, names lowercased (so traceparent echo tests and
+  /// bench_serve's trace joining read response.headers["traceparent"]).
+  std::map<std::string, std::string> headers;
   std::string body;
 
   /// Parses the body as JSON (serve responses are JSON documents).
   Result<JsonValue> Json() const { return JsonValue::Parse(body); }
+  std::string HeaderOr(const std::string& lower_name, const std::string& fallback) const {
+    auto it = headers.find(lower_name);
+    return it == headers.end() ? fallback : it->second;
+  }
 };
 
 /// Minimal blocking HTTP/1.1 client for 127.0.0.1:<port> — what bench_serve
 /// and the serve tests drive requests with (Connection: close per request,
 /// mirroring the server's framing). kUnavailable on connect/IO failure,
-/// kInvalidArgument on an unparsable response.
+/// kInvalidArgument on an unparsable response. `extra_headers` are emitted
+/// verbatim after the Host line (e.g. {"traceparent", "00-..."}).
 Result<ClientResponse> HttpRequest(int port, const std::string& method, const std::string& path,
                                    const std::string& body = "",
-                                   double timeout_seconds = 10.0);
+                                   double timeout_seconds = 10.0,
+                                   const std::map<std::string, std::string>& extra_headers = {});
 
 /// POSTs `doc` as an application/json body.
 Result<ClientResponse> PostJson(int port, const std::string& path, const JsonValue& doc,
-                                double timeout_seconds = 10.0);
+                                double timeout_seconds = 10.0,
+                                const std::map<std::string, std::string>& extra_headers = {});
 
 /// Plain GET.
 Result<ClientResponse> Get(int port, const std::string& path, double timeout_seconds = 10.0);

@@ -1,11 +1,13 @@
 #include "serve/coalescer.h"
 
 #include <chrono>
+#include <optional>
 #include <utility>
 
 namespace ppdp::serve {
 
-BatchCoalescer::Outcome BatchCoalescer::Run(const std::string& key, const Runner& runner) {
+BatchCoalescer::Outcome BatchCoalescer::Run(const std::string& key, RequestContext* context,
+                                            const Runner& runner) {
   std::shared_ptr<Batch> batch;
   bool leader = false;
   {
@@ -23,6 +25,7 @@ BatchCoalescer::Outcome BatchCoalescer::Run(const std::string& key, const Runner
     }
     if (batch == nullptr) {
       batch = std::make_shared<Batch>();
+      if (context != nullptr) batch->leader_request_id = context->record.request_id;
       open_batches_[key] = batch;
       leader = true;
     }
@@ -30,6 +33,9 @@ BatchCoalescer::Outcome BatchCoalescer::Run(const std::string& key, const Runner
 
   if (leader) {
     {
+      // The leader's coalesce.wait is exactly its batching window.
+      std::optional<StageTimer> wait_stage;
+      if (context != nullptr) wait_stage.emplace(context, "serve.coalesce.wait");
       std::unique_lock<std::mutex> batch_lock(batch->mutex);
       // The batching window: followers accumulate while the leader waits.
       // Shutdown() short-circuits it so draining never waits out windows.
@@ -45,7 +51,11 @@ BatchCoalescer::Outcome BatchCoalescer::Run(const std::string& key, const Runner
       auto it = open_batches_.find(key);
       if (it != open_batches_.end() && it->second == batch) open_batches_.erase(it);
     }
-    Result<core::PublishOutput> result = runner();
+    Result<core::PublishOutput> result = [&] {
+      std::optional<StageTimer> publish_stage;
+      if (context != nullptr) publish_stage.emplace(context, "serve.publish");
+      return runner();
+    }();
     batches_run_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> batch_lock(batch->mutex);
@@ -55,12 +65,16 @@ BatchCoalescer::Outcome BatchCoalescer::Run(const std::string& key, const Runner
     batch->cv.notify_all();
   } else {
     followers_served_.fetch_add(1, std::memory_order_relaxed);
+    // A waiter's whole latency inside the coalescer is wait: the leader's
+    // window plus the leader's publish run.
+    std::optional<StageTimer> wait_stage;
+    if (context != nullptr) wait_stage.emplace(context, "serve.coalesce.wait");
     std::unique_lock<std::mutex> batch_lock(batch->mutex);
     batch->cv.wait(batch_lock, [&batch] { return batch->done; });
   }
 
   std::lock_guard<std::mutex> batch_lock(batch->mutex);
-  return Outcome{batch->result, leader, batch->members};
+  return Outcome{batch->result, leader, batch->members, batch->leader_request_id};
 }
 
 void BatchCoalescer::Shutdown() {

@@ -12,6 +12,7 @@
 
 #include "common/result.h"
 #include "core/publisher.h"
+#include "serve/request_trace.h"
 
 namespace ppdp::serve {
 
@@ -38,6 +39,10 @@ class BatchCoalescer {
     Result<core::PublishOutput> result;
     bool leader = false;    ///< this call executed the run
     size_t batch_size = 1;  ///< members (leader + followers) sharing the result
+    /// Request id of the member that executed the run — for a waiter, the
+    /// id its latency should be attributed to. Empty when no context was
+    /// passed (coalescer unit tests).
+    std::string leader_request_id;
   };
 
   explicit BatchCoalescer(Options options) : options_(options) {}
@@ -45,8 +50,11 @@ class BatchCoalescer {
   BatchCoalescer& operator=(const BatchCoalescer&) = delete;
 
   /// Joins the open batch for `key`, or leads a new one. Blocks until the
-  /// batch's run has completed and returns its (shared) result.
-  Outcome Run(const std::string& key, const Runner& runner);
+  /// batch's run has completed and returns its (shared) result. When
+  /// `context` is non-null its stage timeline is annotated: the leader
+  /// records serve.coalesce.wait (its window) and serve.publish (the run);
+  /// a waiter records serve.coalesce.wait for its whole wait.
+  Outcome Run(const std::string& key, RequestContext* context, const Runner& runner);
 
   /// Wakes every leader still holding its window open so shutdown does not
   /// wait out pending windows. In-flight runs still complete.
@@ -62,6 +70,9 @@ class BatchCoalescer {
     bool open = true;   ///< still accepting followers (leader in its window)
     bool done = false;  ///< result is populated
     size_t members = 1;
+    /// Set by the leader before the batch is published in open_batches_
+    /// (so the registry lock orders it before any follower's read).
+    std::string leader_request_id;
     Result<core::PublishOutput> result = Status::Internal("batch pending");
   };
 

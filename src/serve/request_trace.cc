@@ -1,0 +1,351 @@
+#include "serve/request_trace.h"
+
+#include <cstdio>
+#include <random>
+#include <utility>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+
+namespace ppdp::serve {
+
+namespace {
+
+bool IsLowerHex(char c) { return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'); }
+
+bool AllLowerHex(std::string_view s) {
+  for (char c : s) {
+    if (!IsLowerHex(c)) return false;
+  }
+  return true;
+}
+
+bool AllZero(std::string_view s) {
+  for (char c : s) {
+    if (c != '0') return false;
+  }
+  return true;
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Request ids identify requests across processes, so — unlike every
+/// experiment-facing Rng in this repo — they mix in one draw of real
+/// entropy per process. Uniqueness within the process then comes from an
+/// atomic counter; SplitMix64 whitens the sequence.
+uint64_t NextIdWord() {
+  static const uint64_t salt = [] {
+    std::random_device device;
+    return (static_cast<uint64_t>(device()) << 32) ^ static_cast<uint64_t>(device());
+  }();
+  static std::atomic<uint64_t> counter{0};
+  return SplitMix64(salt + counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+std::string HexWord(uint64_t word) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx", static_cast<unsigned long long>(word));
+  return std::string(buffer);
+}
+
+/// Per-tenant metric names are only minted for strings that already satisfy
+/// the TenantRegistry grammar — the registry bounds how many such tenants
+/// can exist (max_tenants), which bounds the metric cardinality. Anything
+/// else (pre-validation garbage from a rejected request) must not create a
+/// metric family.
+bool SafeTenantForMetrics(const std::string& tenant) {
+  if (tenant.empty() || tenant.size() > 64) return false;
+  for (char c : tenant) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+const std::vector<double>& TenantLatencyBoundsMs() {
+  static const std::vector<double> bounds = {0.1, 0.25, 0.5,  1.0,  2.5,   5.0,   10.0,
+                                             25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0};
+  return bounds;
+}
+
+}  // namespace
+
+bool ParseTraceparent(std::string_view header, std::string* trace_id) {
+  // 00-<32 hex>-<16 hex>-<2 hex> = 55 bytes. Future versions may be longer,
+  // but we only speak version 00; anything else is ignored, never an error.
+  if (header.size() != 55) return false;
+  if (header.substr(0, 2) != "00") return false;
+  if (header[2] != '-' || header[35] != '-' || header[52] != '-') return false;
+  const std::string_view tid = header.substr(3, 32);
+  const std::string_view parent = header.substr(36, 16);
+  const std::string_view flags = header.substr(53, 2);
+  if (!AllLowerHex(tid) || !AllLowerHex(parent) || !AllLowerHex(flags)) return false;
+  if (AllZero(tid) || AllZero(parent)) return false;  // spec: all-zero ids are invalid
+  *trace_id = std::string(tid);
+  return true;
+}
+
+std::string FormatTraceparent(const std::string& trace_id, const std::string& span_id) {
+  return "00-" + trace_id + "-" + span_id + "-01";
+}
+
+std::string GenerateTraceId() {
+  std::string id = HexWord(NextIdWord()) + HexWord(NextIdWord());
+  if (AllZero(id)) id[31] = '1';  // the spec's one forbidden value
+  return id;
+}
+
+std::string GenerateSpanId() {
+  std::string id = HexWord(NextIdWord());
+  if (AllZero(id)) id[15] = '1';
+  return id;
+}
+
+double RequestRecord::StageMicrosSum() const {
+  double sum = 0.0;
+  for (const StageMicros& stage : stages) sum += stage.micros;
+  return sum;
+}
+
+JsonValue RequestRecord::ToJson() const {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", JsonValue::String("ppdp.access.v1"));
+  doc.Set("request_id", JsonValue::String(request_id));
+  doc.Set("span_id", JsonValue::String(span_id));
+  doc.Set("tenant", JsonValue::String(tenant));
+  doc.Set("endpoint", JsonValue::String(endpoint));
+  doc.Set("status", JsonValue::Number(static_cast<double>(status)));
+  doc.Set("epsilon", JsonValue::Number(epsilon));
+  doc.Set("total_micros", JsonValue::Number(total_micros));
+  doc.Set("bytes_in", JsonValue::Number(static_cast<double>(bytes_in)));
+  doc.Set("bytes_out", JsonValue::Number(static_cast<double>(bytes_out)));
+  doc.Set("coalesce", JsonValue::String(coalesce));
+  if (!leader_request_id.empty()) {
+    doc.Set("leader_request_id", JsonValue::String(leader_request_id));
+  }
+  JsonValue stage_obj = JsonValue::Object();
+  for (const StageMicros& stage : stages) {
+    stage_obj.Set(stage.name, JsonValue::Number(stage.micros));
+  }
+  doc.Set("stages", std::move(stage_obj));
+  return doc;
+}
+
+RequestContext::RequestContext(std::string endpoint, const obs::HttpRequest& request) {
+  start_seconds = obs::MonotonicSeconds();
+  record.endpoint = std::move(endpoint);
+  record.bytes_in = request.body.size();
+  const std::string traceparent = request.HeaderOr("traceparent", "");
+  if (!ParseTraceparent(traceparent, &record.request_id)) {
+    record.request_id = GenerateTraceId();
+  }
+  record.span_id = GenerateSpanId();
+}
+
+void RequestContext::AddStage(std::string name, double micros) {
+  // A stage re-entered on the same request (e.g. a retried spend) merges
+  // into one entry, keeping the access record one row per stage.
+  for (StageMicros& stage : record.stages) {
+    if (stage.name == name) {
+      stage.micros += micros;
+      return;
+    }
+  }
+  record.stages.push_back(StageMicros{std::move(name), micros});
+}
+
+StageTimer::StageTimer(RequestContext* context, std::string stage)
+    : context_(context), stage_(std::move(stage)) {
+  span_.emplace(stage_);
+  if (context_ != nullptr) {
+    context_->current_stage.store(obs::InternSpanName(stage_), std::memory_order_release);
+  }
+}
+
+double StageTimer::Stop() {
+  if (!span_.has_value()) return 0.0;
+  const double micros = span_->ElapsedSeconds() * 1e6;
+  span_.reset();
+  if (context_ != nullptr) {
+    context_->AddStage(stage_, micros);
+    context_->current_stage.store(0, std::memory_order_release);
+  }
+  return micros;
+}
+
+StageTimer::~StageTimer() { Stop(); }
+
+void RequestTracker::Begin(RequestContext* context) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  inflight_.push_back(context);
+}
+
+void RequestTracker::Complete(RequestContext* context) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < inflight_.size(); ++i) {
+    if (inflight_[i] == context) {
+      inflight_[i] = inflight_.back();
+      inflight_.pop_back();
+      break;
+    }
+  }
+  completed_.push_back(context->record);
+  ++completed_total_;
+  while (completed_.size() > kCompletedRing) completed_.pop_front();
+}
+
+size_t RequestTracker::inflight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return inflight_.size();
+}
+
+uint64_t RequestTracker::completed_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_total_;
+}
+
+JsonValue RequestTracker::ToJson(const std::string& tenant, double min_ms) const {
+  const double now = obs::MonotonicSeconds();
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", JsonValue::String("ppdp.requestz.v1"));
+  JsonValue live = JsonValue::Array();
+  JsonValue done = JsonValue::Array();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const RequestContext* context : inflight_) {
+      if (!tenant.empty() && context->record.tenant != tenant) continue;
+      JsonValue entry = JsonValue::Object();
+      entry.Set("request_id", JsonValue::String(context->record.request_id));
+      entry.Set("tenant", JsonValue::String(context->record.tenant));
+      entry.Set("endpoint", JsonValue::String(context->record.endpoint));
+      entry.Set("elapsed_ms", JsonValue::Number((now - context->start_seconds) * 1e3));
+      entry.Set("stage", JsonValue::String(obs::SpanNameForId(
+                             context->current_stage.load(std::memory_order_acquire))));
+      live.Append(std::move(entry));
+    }
+    for (auto it = completed_.rbegin(); it != completed_.rend(); ++it) {
+      if (!tenant.empty() && it->tenant != tenant) continue;
+      if (min_ms > 0.0 && it->total_micros < min_ms * 1e3) continue;
+      done.Append(it->ToJson());
+    }
+    doc.Set("completed_total", JsonValue::Number(static_cast<double>(completed_total_)));
+  }
+  doc.Set("inflight", std::move(live));
+  doc.Set("completed", std::move(done));
+  return doc;
+}
+
+AccessLog::~AccessLog() { Close(); }
+
+Status AccessLog::Open(const std::string& path, uint64_t max_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) return Status::FailedPrecondition("access log already open");
+  if (path.empty()) return Status::InvalidArgument("access log path must be non-empty");
+  if (max_bytes == 0) return Status::InvalidArgument("access log max size must be positive");
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) return Status::Unavailable("cannot open access log: " + path);
+  file_ = file;
+  path_ = path;
+  max_bytes_ = max_bytes;
+  const long at = std::ftell(file_);
+  bytes_written_ = at > 0 ? static_cast<uint64_t>(at) : 0;
+  return Status::Ok();
+}
+
+bool AccessLog::enabled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return file_ != nullptr;
+}
+
+Status AccessLog::Append(const RequestRecord& record) {
+  const std::string line = record.ToJson().Dump() + "\n";
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return Status::FailedPrecondition("access log not open");
+  if (bytes_written_ > 0 && bytes_written_ + line.size() > max_bytes_) {
+    // Size rotation: the current file becomes <path>.1 (replacing any
+    // previous generation) and logging continues into a fresh file.
+    std::fclose(file_);
+    file_ = nullptr;
+    const std::string rotated = path_ + ".1";
+    (void)std::remove(rotated.c_str());
+    if (std::rename(path_.c_str(), rotated.c_str()) != 0) {
+      return Status::Unavailable("access log rotation failed: " + path_);
+    }
+    std::FILE* file = std::fopen(path_.c_str(), "wb");
+    if (file == nullptr) return Status::Unavailable("cannot reopen access log: " + path_);
+    file_ = file;
+    bytes_written_ = 0;
+  }
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    return Status::DataLoss("access log write failed: " + path_);
+  }
+  // Flushed per line so tests and live tooling (tail, ppdp_tracestat) see
+  // complete records without waiting for shutdown; the log is opt-in, so
+  // the flush cost is never on the default path.
+  std::fflush(file_);
+  bytes_written_ += line.size();
+  return Status::Ok();
+}
+
+void AccessLog::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status RequestObserver::Configure(const RequestObsOptions& options) {
+  options_ = options;
+  if (!options.access_log.empty()) {
+    const double max_mb = options.access_log_max_mb > 0 ? options.access_log_max_mb : 64.0;
+    PPDP_RETURN_IF_ERROR(
+        log_.Open(options.access_log, static_cast<uint64_t>(max_mb * 1024.0 * 1024.0)));
+  }
+  return Status::Ok();
+}
+
+void RequestObserver::Begin(RequestContext* context) { tracker_.Begin(context); }
+
+void RequestObserver::Complete(RequestContext* context) {
+  RequestRecord& record = context->record;
+  record.total_micros = (obs::MonotonicSeconds() - context->start_seconds) * 1e6;
+
+  if (log_.enabled()) {
+    if (Status appended = log_.Append(record); !appended.ok()) {
+      PPDP_LOG(WARN) << "access log append failed" << obs::Field("status", appended.ToString());
+    }
+  }
+
+  const double total_ms = record.total_micros / 1e3;
+  const bool slow = options_.slow_request_ms > 0.0 && total_ms >= options_.slow_request_ms;
+  const bool failed = record.status < 200 || record.status >= 300;
+  if (slow || failed) {
+    obs::FlightEvent event;
+    event.elapsed_seconds = obs::MonotonicSeconds();
+    event.category = "request";
+    event.severity = failed ? "ERROR" : "WARN";
+    event.label = record.endpoint;
+    event.message = record.ToJson().Dump();
+    obs::FlightRecorder::Global().Record(std::move(event));
+  }
+
+  if (SafeTenantForMetrics(record.tenant)) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    const std::string prefix = "serve.tenant." + record.tenant;
+    registry.counter(prefix + ".requests").Increment();
+    if (record.status >= 400) registry.counter(prefix + ".rejected").Increment();
+    registry.histogram(prefix + ".latency_ms", TenantLatencyBoundsMs()).Observe(total_ms);
+  }
+
+  tracker_.Complete(context);
+}
+
+}  // namespace ppdp::serve

@@ -1,0 +1,246 @@
+#ifndef PPDP_SERVE_REQUEST_TRACE_H_
+#define PPDP_SERVE_REQUEST_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "obs/http.h"
+#include "obs/trace.h"
+
+namespace ppdp::serve {
+
+/// ---- W3C traceparent (version 00) ----
+///
+/// `traceparent: 00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>`
+///
+/// The serving path accepts a caller-supplied trace id via this header and
+/// echoes one on every response, so a client (or bench_serve) can join its
+/// records with the server's access log. Malformed headers are *ignored* —
+/// a fresh id is generated and the request proceeds; tracing must never be
+/// able to fail a request.
+
+/// Extracts the trace id from a traceparent header value. Returns false —
+/// leaving `trace_id` untouched — for anything that is not a well-formed
+/// version-00 header (wrong length, wrong version, non-hex digits, an
+/// all-zero trace id, which the spec declares invalid).
+bool ParseTraceparent(std::string_view header, std::string* trace_id);
+
+/// Renders a response traceparent: "00-<trace_id>-<span_id>-01".
+std::string FormatTraceparent(const std::string& trace_id, const std::string& span_id);
+
+/// Generates a fresh 128-bit (32 lowercase hex) trace id / 64-bit (16 hex)
+/// span id. Uniqueness comes from a process-wide random salt mixed with an
+/// atomic counter; ids are intentionally *not* derived from the experiment
+/// seed — they identify requests, not deviates.
+std::string GenerateTraceId();
+std::string GenerateSpanId();
+
+/// One lifecycle stage's wall time, as logged in the access record. Stage
+/// names are the span names: serve.parse, serve.admission.queue,
+/// serve.coalesce.wait, serve.publish, serve.ledger.spend, serve.write.
+struct StageMicros {
+  std::string name;
+  double micros = 0.0;
+};
+
+/// Everything the access log and the /requestz completed-ring retain about
+/// one finished request — the `ppdp.access.v1` record.
+struct RequestRecord {
+  std::string request_id;  ///< 32-hex trace id (client-supplied or fresh)
+  std::string span_id;     ///< 16-hex server-generated span id
+  std::string tenant;
+  std::string endpoint;  ///< request path ("/v1/publish", ...)
+  int status = 0;
+  double epsilon = 0.0;  ///< ε actually charged (0 when rejected pre-spend)
+  double total_micros = 0.0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  std::string coalesce;           ///< "" | "leader" | "waiter"
+  std::string leader_request_id;  ///< the leader's id, waiters only
+  std::vector<StageMicros> stages;
+
+  /// Sum over stages (the invariant serve_test asserts: <= total_micros).
+  double StageMicrosSum() const;
+  /// The ppdp.access.v1 JSON object (one access-log line, sans newline).
+  JsonValue ToJson() const;
+};
+
+/// Per-request context threaded through a handler: identity (trace id),
+/// the record under construction, and the current stage (interned span id,
+/// readable lock-free by /requestz). Owned by the connection thread; only
+/// `current_stage` is read cross-thread.
+class RequestContext {
+ public:
+  /// Stamps the start time, adopts the request's traceparent trace id (or
+  /// generates a fresh one), generates the server span id, and records the
+  /// endpoint + body size.
+  RequestContext(std::string endpoint, const obs::HttpRequest& request);
+
+  void AddStage(std::string name, double micros);
+
+  /// The response traceparent header value for this request.
+  std::string ResponseTraceparent() const {
+    return FormatTraceparent(record.request_id, record.span_id);
+  }
+
+  RequestRecord record;
+  double start_seconds = 0.0;
+  /// Interned span-name id of the currently open stage (0 = between stages).
+  std::atomic<uint32_t> current_stage{0};
+};
+
+/// RAII stage timer: opens an obs::TraceSpan (so stages show up in phase
+/// summaries, /statusz active stacks, and the profiler) and, on close, adds
+/// the elapsed wall micros to the context's stage list. Stop() ends the
+/// stage early; the destructor then no-ops.
+class StageTimer {
+ public:
+  StageTimer(RequestContext* context, std::string stage);
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+  ~StageTimer();
+
+  /// Closes the stage now and returns its wall micros.
+  double Stop();
+
+ private:
+  RequestContext* context_;
+  std::string stage_;
+  // Optional so Stop() can close the span at the stage boundary — the phase
+  // summary then shows the same interval the access record logs, not the
+  // enclosing handler scope.
+  std::optional<obs::TraceSpan> span_;
+};
+
+/// Tracks in-flight requests (for /requestz's live view) and a fixed ring
+/// of the last kCompletedRing completed records. Lock-light: registration
+/// and completion are one short mutex hold each; the live view reads each
+/// context's atomic current_stage without stopping the request.
+class RequestTracker {
+ public:
+  static constexpr size_t kCompletedRing = 256;
+
+  void Begin(RequestContext* context);
+  /// Unregisters `context` and copies its finished record into the ring.
+  void Complete(RequestContext* context);
+
+  size_t inflight() const;
+  uint64_t completed_total() const;
+
+  /// The /requestz document (`ppdp.requestz.v1`): in-flight requests with
+  /// their current stage, then completed records newest-first. `tenant`
+  /// non-empty keeps only that tenant; `min_ms` > 0 keeps only completed
+  /// requests at least that slow.
+  JsonValue ToJson(const std::string& tenant, double min_ms) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<RequestContext*> inflight_;
+  std::deque<RequestRecord> completed_;
+  uint64_t completed_total_ = 0;
+};
+
+/// Size-rotated JSONL access log: one ppdp.access.v1 object per line. At
+/// most one rotated generation is kept (`<path>.1`), so the log's disk
+/// footprint is bounded by ~2x max_bytes.
+class AccessLog {
+ public:
+  AccessLog() = default;
+  ~AccessLog();
+  AccessLog(const AccessLog&) = delete;
+  AccessLog& operator=(const AccessLog&) = delete;
+
+  /// Opens (appending) `path`; rotation triggers once the current file
+  /// exceeds `max_bytes`.
+  Status Open(const std::string& path, uint64_t max_bytes);
+  bool enabled() const;
+  Status Append(const RequestRecord& record);
+  void Close();
+
+ private:
+  mutable std::mutex mutex_;
+  std::string path_;
+  uint64_t max_bytes_ = 0;
+  std::FILE* file_ = nullptr;
+  uint64_t bytes_written_ = 0;
+};
+
+/// Observability knobs the ppdp_serve flags map onto.
+struct RequestObsOptions {
+  std::string access_log;          ///< empty = no access log
+  double access_log_max_mb = 64.0; ///< rotation threshold
+  double slow_request_ms = 0.0;    ///< > 0 captures slow requests in FlightRecorder
+};
+
+/// The per-app bundle the serving handlers talk to: tracker + access log +
+/// slow/non-2xx FlightRecorder capture + per-tenant metrics. Everything
+/// beyond the tracker's one mutex push is gated on its flag, keeping the
+/// no-flags configuration at effectively zero overhead.
+class RequestObserver {
+ public:
+  Status Configure(const RequestObsOptions& options);
+
+  void Begin(RequestContext* context);
+  /// Finalizes the record (total micros), then exports: access log line,
+  /// completed-ring entry, FlightRecorder capture for slow / non-2xx
+  /// requests, per-tenant serve.tenant.<t>.* metrics.
+  void Complete(RequestContext* context);
+
+  RequestTracker& tracker() { return tracker_; }
+  const RequestObsOptions& options() const { return options_; }
+
+ private:
+  RequestObsOptions options_;
+  RequestTracker tracker_;
+  AccessLog log_;
+};
+
+/// RAII begin/complete pair for a handler scope: completes the request on
+/// every exit path, after the handler has stamped status/bytes_out.
+class ScopedRequest {
+ public:
+  ScopedRequest(RequestObserver* observer, RequestContext* context)
+      : observer_(observer), context_(context) {
+    observer_->Begin(context_);
+  }
+  ScopedRequest(const ScopedRequest&) = delete;
+  ScopedRequest& operator=(const ScopedRequest&) = delete;
+  ~ScopedRequest() { observer_->Complete(context_); }
+
+ private:
+  RequestObserver* observer_;
+  RequestContext* context_;
+};
+
+/// Stamps the response's final status and body size into the record at
+/// scope exit. Construct *after* the ScopedRequest so it runs first: every
+/// return path then logs the status it actually answered with.
+class ResponseStamp {
+ public:
+  ResponseStamp(RequestContext* context, const obs::HttpResponse* response)
+      : context_(context), response_(response) {}
+  ResponseStamp(const ResponseStamp&) = delete;
+  ResponseStamp& operator=(const ResponseStamp&) = delete;
+  ~ResponseStamp() {
+    context_->record.status = response_->status();
+    context_->record.bytes_out = response_->body().size();
+  }
+
+ private:
+  RequestContext* context_;
+  const obs::HttpResponse* response_;
+};
+
+}  // namespace ppdp::serve
+
+#endif  // PPDP_SERVE_REQUEST_TRACE_H_

@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "dp/aggregation.h"
 #include "exec/thread_pool.h"
+#include "fault/fault.h"
 #include "genomics/genome_data.h"
 #include "genomics/gwas_catalog.h"
 #include "graph/graph_generators.h"
@@ -267,6 +268,12 @@ Result<std::unique_ptr<ServeApp>> ServeApp::Create(const ServeOptions& options) 
     PPDP_ASSIGN_OR_RETURN(app->wal_, obs::LedgerWal::Open(wal_options));
     PPDP_RETURN_IF_ERROR(app->tenants_.AttachWal(app->wal_.get()));
   }
+
+  RequestObsOptions obs_options;
+  obs_options.access_log = options.access_log;
+  obs_options.access_log_max_mb = options.access_log_max_mb;
+  obs_options.slow_request_ms = options.slow_request_ms;
+  PPDP_RETURN_IF_ERROR(app->observer_.Configure(obs_options));
   return app;
 }
 
@@ -324,6 +331,10 @@ void ServeApp::RegisterRoutes() {
                            [this](const obs::HttpRequest& request, obs::HttpResponse* response) {
                              HandleAggregate(request, response);
                            });
+  server_->RegisterHandler("GET", "/requestz",
+                           [this](const obs::HttpRequest& request, obs::HttpResponse* response) {
+                             HandleRequestz(request, response);
+                           });
   // Health folds in serving state: ledger rejections (TelemetryDegraded
   // already sees tenant ledgers via SnapshotAll), queue pressure, draining.
   server_->RegisterHandler("GET", "/healthz",
@@ -347,7 +358,8 @@ void ServeApp::RegisterRoutes() {
                                  "  POST /v1/dp/aggregate  DP aggregate over the corpus "
                                  "(tenant, op, epsilon)\n"
                                  "telemetry endpoints:\n"
-                                 "  /metrics /healthz /statusz /flightz /profilez\n");
+                                 "  /metrics /healthz /statusz /flightz /profilez "
+                                 "/requestz\n");
                            });
 }
 
@@ -360,38 +372,52 @@ void ServeApp::HandlePublish(const obs::HttpRequest& request, obs::HttpResponse*
   static obs::Counter& budget_rejected =
       obs::MetricsRegistry::Global().counter("serve.budget.rejected");
   requests.Increment();
-  const double started = obs::MonotonicSeconds();
+  RequestContext context("/v1/publish", request);
+  response->SetHeader("traceparent", context.ResponseTraceparent());
+  ScopedRequest scoped(&observer_, &context);
+  ResponseStamp stamp(&context, response);
+  const double started = context.start_seconds;
   if (draining()) {
     JsonError(response, 503, "draining");
     return;
   }
   InflightScope inflight(&inflight_);
 
-  Result<JsonValue> body = request.Json();
-  if (!body.ok()) {
-    JsonError(response, 400, "invalid JSON body: " + body.status().ToString());
-    return;
-  }
-  const std::string tenant = body->GetStringOr("tenant", "");
-  const std::string kind_name = body->GetStringOr("kind", "social");
-  const double epsilon = body->GetNumberOr("epsilon", 0.5);
-  const double deadline = RequestDeadline(*body, started, options_.request_deadline_seconds);
-  Result<core::PublisherKind> kind = core::ParsePublisherKind(kind_name);
-  if (!kind.ok()) {
-    JsonError(response, 400, kind.status().ToString());
-    return;
-  }
-  Result<core::PublishConfig> config = ParsePublishConfig(*body);
-  if (!config.ok()) {
-    JsonError(response, 400, config.status().ToString());
-    return;
+  std::string tenant, kind_name;
+  double epsilon = 0.5, deadline = 0.0;
+  Result<core::PublisherKind> kind = core::PublisherKind::kSocial;
+  Result<core::PublishConfig> config = core::PublishConfig{};
+  {
+    StageTimer parse_stage(&context, "serve.parse");
+    Result<JsonValue> body = request.Json();
+    if (!body.ok()) {
+      JsonError(response, 400, "invalid JSON body: " + body.status().ToString());
+      return;
+    }
+    tenant = body->GetStringOr("tenant", "");
+    context.record.tenant = tenant;
+    kind_name = body->GetStringOr("kind", "social");
+    epsilon = body->GetNumberOr("epsilon", 0.5);
+    deadline = RequestDeadline(*body, started, options_.request_deadline_seconds);
+    kind = core::ParsePublisherKind(kind_name);
+    if (!kind.ok()) {
+      JsonError(response, 400, kind.status().ToString());
+      return;
+    }
+    config = ParsePublishConfig(*body);
+    if (!config.ok()) {
+      JsonError(response, 400, config.status().ToString());
+      return;
+    }
   }
 
   // Admission before spending: a request refused for queue pressure must
   // not have charged its tenant. A declared deadline waits in line for a
   // slot until it expires (504); no deadline keeps the immediate 429.
+  StageTimer admit_stage(&context, "serve.admission.queue");
   AdmissionSlot slot = deadline > 0.0 ? admission_.TryAdmitUntil(deadline)
                                       : admission_.TryAdmit();
+  admit_stage.Stop();
   if (!slot.held()) {
     if (deadline > 0.0) {
       DeadlineExceededCounter().Increment();
@@ -412,6 +438,7 @@ void ServeApp::HandlePublish(const obs::HttpRequest& request, obs::HttpResponse*
     return;
   }
 
+  StageTimer spend_stage(&context, "serve.ledger.spend");
   Result<obs::PrivacyLedger*> ledger = tenants_.ForTenant(tenant);
   if (!ledger.ok()) {
     const int status = ledger.status().code() == StatusCode::kFailedPrecondition ? 403 : 400;
@@ -424,6 +451,7 @@ void ServeApp::HandlePublish(const obs::HttpRequest& request, obs::HttpResponse*
   // replays it as spent.
   Status spend =
       tenants_.SpendDurable(*ledger, tenant, core::PublisherKindName(*kind), "publish", epsilon);
+  spend_stage.Stop();
   if (!spend.ok()) {
     if (spend.code() == StatusCode::kUnavailable) {
       WalUnavailableCounter().Increment();
@@ -440,27 +468,41 @@ void ServeApp::HandlePublish(const obs::HttpRequest& request, obs::HttpResponse*
     JsonError(response, 403, "privacy budget exhausted", std::move(detail));
     return;
   }
+  context.record.epsilon = epsilon;
 
   core::Publisher* publisher = PublisherFor(*kind);
   const core::PublishConfig publish_config = *config;
   BatchCoalescer::Outcome outcome =
-      coalescer_.Run(CanonicalConfigKey(*kind, publish_config),
+      coalescer_.Run(CanonicalConfigKey(*kind, publish_config), &context,
                      [this, publisher, publish_config]() -> Result<core::PublishOutput> {
+                       // Chaos hook for the slow-request capture path: an
+                       // armed delay here stretches serve.publish, which
+                       // --slow_request_ms then flags into FlightRecorder.
+                       const fault::FaultDecision decision =
+                           PPDP_FAULT_POINT("serve.publish", fault::kMaskDelay);
+                       if (decision.delay()) {
+                         std::this_thread::sleep_for(
+                             std::chrono::duration<double, std::milli>(decision.delay_ms));
+                       }
                        return RunPublish(
                            [publisher, publish_config] { return publisher->Publish(publish_config); });
                      });
+  context.record.coalesce = outcome.leader ? "leader" : "waiter";
   if (outcome.leader) {
     runs.Increment();
   } else {
     fanout.Increment();
+    context.record.leader_request_id = outcome.leader_request_id;
   }
   if (!outcome.result.ok()) {
     JsonError(response, 400, outcome.result.status().ToString());
     return;
   }
 
+  StageTimer write_stage(&context, "serve.write");
   JsonValue doc = JsonValue::Object();
   doc.Set("schema", JsonValue::String("ppdp.serve.publish.v1"));
+  doc.Set("request_id", JsonValue::String(context.record.request_id));
   doc.Set("tenant", JsonValue::String(tenant));
   doc.Set("kind", JsonValue::String(core::PublisherKindName(*kind)));
   doc.Set("coalesced", JsonValue::Bool(!outcome.leader));
@@ -469,26 +511,34 @@ void ServeApp::HandlePublish(const obs::HttpRequest& request, obs::HttpResponse*
   doc.Set("remaining_epsilon", JsonValue::Number((*ledger)->remaining()));
   doc.Set("output", outcome.result->ToJson());
   response->Json(200, doc);
+  write_stage.Stop();
   RequestHistogram().Observe(obs::MonotonicSeconds() - started);
 }
 
 void ServeApp::HandleAudit(const obs::HttpRequest& request, obs::HttpResponse* response) {
   static obs::Counter& requests = obs::MetricsRegistry::Global().counter("serve.audit.requests");
   requests.Increment();
-  const double started = obs::MonotonicSeconds();
+  RequestContext context("/v1/audit", request);
+  response->SetHeader("traceparent", context.ResponseTraceparent());
+  ScopedRequest scoped(&observer_, &context);
+  ResponseStamp stamp(&context, response);
+  const double started = context.start_seconds;
   if (draining()) {
     JsonError(response, 503, "draining");
     return;
   }
   InflightScope inflight(&inflight_);
 
+  StageTimer parse_stage(&context, "serve.parse");
   Result<JsonValue> body = request.Json();
   if (!body.ok()) {
     JsonError(response, 400, "invalid JSON body: " + body.status().ToString());
     return;
   }
   const std::string tenant = body->GetStringOr("tenant", "");
+  context.record.tenant = tenant;
   Status valid = TenantRegistry::ValidateName(tenant);
+  parse_stage.Stop();
   if (!valid.ok()) {
     JsonError(response, 400, valid.ToString());
     return;
@@ -499,9 +549,11 @@ void ServeApp::HandleAudit(const obs::HttpRequest& request, obs::HttpResponse* r
     return;
   }
 
+  StageTimer write_stage(&context, "serve.write");
   obs::PrivacyLedger::BudgetSnapshot snapshot = ledger->snapshot();
   JsonValue doc = JsonValue::Object();
   doc.Set("schema", JsonValue::String("ppdp.serve.audit.v1"));
+  doc.Set("request_id", JsonValue::String(context.record.request_id));
   doc.Set("tenant", JsonValue::String(tenant));
   doc.Set("budget", JsonValue::Number(snapshot.budget));
   doc.Set("spent", JsonValue::Number(snapshot.spent));
@@ -518,6 +570,7 @@ void ServeApp::HandleAudit(const obs::HttpRequest& request, obs::HttpResponse* r
   }
   doc.Set("entries", entries);
   response->Json(200, doc);
+  write_stage.Stop();
   RequestHistogram().Observe(obs::MonotonicSeconds() - started);
 }
 
@@ -527,25 +580,34 @@ void ServeApp::HandleAggregate(const obs::HttpRequest& request, obs::HttpRespons
   static obs::Counter& budget_rejected =
       obs::MetricsRegistry::Global().counter("serve.budget.rejected");
   requests.Increment();
-  const double started = obs::MonotonicSeconds();
+  RequestContext context("/v1/dp/aggregate", request);
+  response->SetHeader("traceparent", context.ResponseTraceparent());
+  ScopedRequest scoped(&observer_, &context);
+  ResponseStamp stamp(&context, response);
+  const double started = context.start_seconds;
   if (draining()) {
     JsonError(response, 503, "draining");
     return;
   }
   InflightScope inflight(&inflight_);
 
+  StageTimer parse_stage(&context, "serve.parse");
   Result<JsonValue> body = request.Json();
   if (!body.ok()) {
     JsonError(response, 400, "invalid JSON body: " + body.status().ToString());
     return;
   }
   const std::string tenant = body->GetStringOr("tenant", "");
+  context.record.tenant = tenant;
   const std::string op = body->GetStringOr("op", "histogram");
   const double epsilon = body->GetNumberOr("epsilon", 0.1);
   const double deadline = RequestDeadline(*body, started, options_.request_deadline_seconds);
+  parse_stage.Stop();
 
+  StageTimer admit_stage(&context, "serve.admission.queue");
   AdmissionSlot slot = deadline > 0.0 ? admission_.TryAdmitUntil(deadline)
                                       : admission_.TryAdmit();
+  admit_stage.Stop();
   if (!slot.held()) {
     if (deadline > 0.0) {
       DeadlineExceededCounter().Increment();
@@ -564,6 +626,7 @@ void ServeApp::HandleAggregate(const obs::HttpRequest& request, obs::HttpRespons
     return;
   }
 
+  StageTimer spend_stage(&context, "serve.ledger.spend");
   Result<obs::PrivacyLedger*> ledger = tenants_.ForTenant(tenant);
   if (!ledger.ok()) {
     const int status = ledger.status().code() == StatusCode::kFailedPrecondition ? 403 : 400;
@@ -571,6 +634,7 @@ void ServeApp::HandleAggregate(const obs::HttpRequest& request, obs::HttpRespons
     return;
   }
   Status spend = tenants_.SpendDurable(*ledger, tenant, "dp.aggregate", op, epsilon);
+  spend_stage.Stop();
   if (!spend.ok()) {
     if (spend.code() == StatusCode::kUnavailable) {
       WalUnavailableCounter().Increment();
@@ -587,9 +651,11 @@ void ServeApp::HandleAggregate(const obs::HttpRequest& request, obs::HttpRespons
     JsonError(response, 403, "privacy budget exhausted", std::move(detail));
     return;
   }
+  context.record.epsilon = epsilon;
 
   // Fresh noise per request: the sequence number keeps streams disjoint
   // while the base seed keeps a daemon run reproducible end to end.
+  StageTimer publish_stage(&context, "serve.publish");
   Rng rng(options_.seed + 0x9e3779b97f4a7c15ULL *
                               (1 + aggregate_sequence_.fetch_add(1, std::memory_order_relaxed)));
   JsonValue result;
@@ -623,16 +689,26 @@ void ServeApp::HandleAggregate(const obs::HttpRequest& request, obs::HttpRespons
                                  " (expected histogram | quantile | range_count)");
     return;
   }
+  publish_stage.Stop();
 
+  StageTimer write_stage(&context, "serve.write");
   JsonValue doc = JsonValue::Object();
   doc.Set("schema", JsonValue::String("ppdp.serve.aggregate.v1"));
+  doc.Set("request_id", JsonValue::String(context.record.request_id));
   doc.Set("tenant", JsonValue::String(tenant));
   doc.Set("op", JsonValue::String(op));
   doc.Set("epsilon_spent", JsonValue::Number(epsilon));
   doc.Set("remaining_epsilon", JsonValue::Number((*ledger)->remaining()));
   doc.Set("result", std::move(result));
   response->Json(200, doc);
+  write_stage.Stop();
   RequestHistogram().Observe(obs::MonotonicSeconds() - started);
+}
+
+void ServeApp::HandleRequestz(const obs::HttpRequest& request, obs::HttpResponse* response) {
+  const std::string tenant = request.QueryStringOr("tenant", "");
+  const int min_ms = request.QueryIntOr("min_ms", 0);
+  response->Json(200, observer_.tracker().ToJson(tenant, static_cast<double>(min_ms)));
 }
 
 JsonValue ServeApp::StartupSummary() const {

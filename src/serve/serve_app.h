@@ -16,6 +16,7 @@
 #include "obs/wal.h"
 #include "serve/admission.h"
 #include "serve/coalescer.h"
+#include "serve/request_trace.h"
 #include "serve/tenants.h"
 
 namespace ppdp::serve {
@@ -44,6 +45,14 @@ struct ServeOptions {
   /// deadline expires while queued for admission gets 504 instead of
   /// wedging its connection thread.
   double request_deadline_seconds = 30.0;
+  /// JSONL access log path (--access_log). Empty = no access log.
+  std::string access_log;
+  /// Access-log size rotation threshold (--access_log_max_mb).
+  double access_log_max_mb = 64.0;
+  /// Requests at or above this wall time are captured in the FlightRecorder
+  /// ring (--slow_request_ms). 0 = slow capture off (non-2xx capture is
+  /// always on).
+  double slow_request_ms = 0.0;
 };
 
 /// Publishing-as-a-service on top of the routed TelemetryServer: loads the
@@ -87,6 +96,7 @@ class ServeApp {
   TenantRegistry& tenants() { return tenants_; }
   AdmissionController& admission() { return admission_; }
   BatchCoalescer& coalescer() { return coalescer_; }
+  RequestObserver& observer() { return observer_; }
   obs::TelemetryServer& server() { return *server_; }
   /// The attached ledger WAL, or nullptr when running in-memory only.
   const obs::LedgerWal* wal() const { return wal_.get(); }
@@ -107,6 +117,7 @@ class ServeApp {
   void HandlePublish(const obs::HttpRequest& request, obs::HttpResponse* response);
   void HandleAudit(const obs::HttpRequest& request, obs::HttpResponse* response);
   void HandleAggregate(const obs::HttpRequest& request, obs::HttpResponse* response);
+  void HandleRequestz(const obs::HttpRequest& request, obs::HttpResponse* response);
 
   /// Runs `task` inline on the calling connection thread. Publishers
   /// parallelize internally via ParallelFor, which enlists pool workers as
@@ -131,6 +142,7 @@ class ServeApp {
   TenantRegistry tenants_;
   AdmissionController admission_;
   BatchCoalescer coalescer_;
+  RequestObserver observer_;
   std::unique_ptr<obs::TelemetryServer> server_;
   std::atomic<bool> draining_{false};
   std::atomic<bool> stopped_{false};

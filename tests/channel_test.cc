@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -46,6 +48,59 @@ TEST(EnvelopeChecksumTest, DetectsAnyFieldFlip) {
   corrupted = envelope;
   corrupted.seq += 1;
   EXPECT_NE(EnvelopeChecksum(corrupted), envelope.checksum);
+}
+
+TEST(EnvelopeCodecTest, RoundTripsEveryField) {
+  Envelope envelope;
+  envelope.device = 7;
+  envelope.seq = 123456789;
+  envelope.reading = {2, 1, 0.75};
+  envelope.checksum = EnvelopeChecksum(envelope);
+
+  const std::string wire = EncodeEnvelope(envelope);
+  ASSERT_EQ(wire.size(), kEnvelopeWireBytes);
+  auto decoded = DecodeEnvelope(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->device, envelope.device);
+  EXPECT_EQ(decoded->seq, envelope.seq);
+  EXPECT_EQ(decoded->reading.sensor, envelope.reading.sensor);
+  EXPECT_EQ(decoded->reading.value, envelope.reading.value);
+  EXPECT_EQ(decoded->reading.epsilon, envelope.reading.epsilon);
+  EXPECT_EQ(decoded->checksum, envelope.checksum);
+  EXPECT_EQ(EncodeEnvelope(*decoded), wire);  // byte-identical re-encode
+}
+
+TEST(EnvelopeCodecTest, RejectsStructurallyInvalidFrames) {
+  Envelope envelope;
+  envelope.device = 1;
+  envelope.seq = 2;
+  envelope.reading = {0, 1, 0.5};
+  envelope.checksum = EnvelopeChecksum(envelope);
+  const std::string wire = EncodeEnvelope(envelope);
+
+  EXPECT_FALSE(DecodeEnvelope("").ok());
+  EXPECT_FALSE(DecodeEnvelope(wire.substr(0, kEnvelopeWireBytes - 1)).ok());
+  EXPECT_FALSE(DecodeEnvelope(wire + "x").ok());
+
+  std::string bad_magic = wire;
+  bad_magic[0] ^= 0x01;
+  EXPECT_FALSE(DecodeEnvelope(bad_magic).ok());
+
+  // A negative or non-finite epsilon is structural garbage, not a reading.
+  std::string bad_epsilon = wire;
+  const double negative = -1.0;
+  std::memcpy(&bad_epsilon[40], &negative, sizeof(negative));
+  auto rejected = DecodeEnvelope(bad_epsilon);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+
+  // Flipping a payload bit decodes fine structurally; the checksum layer
+  // (not the codec) is what catches it.
+  std::string flipped = wire;
+  flipped[20] ^= 0x40;
+  auto decoded = DecodeEnvelope(flipped);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_NE(EnvelopeChecksum(*decoded), decoded->checksum);
 }
 
 TEST(ResilientChannelTest, CleanLinkDeliversEverythingFirstTry) {

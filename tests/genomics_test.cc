@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "common/math_util.h"
 #include "common/rng.h"
 #include "genomics/factor_graph.h"
 #include "genomics/genome_data.h"
+#include "genomics/genome_io.h"
 #include "genomics/gwas_catalog.h"
 #include "genomics/inference_attack.h"
 #include "genomics/privacy_metrics.h"
@@ -100,6 +104,60 @@ TEST(CatalogTest, SyntheticCatalogShape) {
     found_shared = traits.size() >= 2;
   }
   EXPECT_TRUE(found_shared);
+}
+
+TEST(CatalogIoTest, SaveLoadRoundTripsSyntheticCatalog) {
+  Rng rng(9);
+  SyntheticCatalogConfig config;
+  config.num_snps = 120;
+  GwasCatalog catalog = GenerateSyntheticCatalog(config, rng);
+  const std::string path = ::testing::TempDir() + "/catalog_roundtrip.csv";
+
+  ASSERT_TRUE(SaveGwasCatalog(catalog, path).ok());
+  auto loaded = LoadGwasCatalog(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_snps(), catalog.num_snps());
+  ASSERT_EQ(loaded->num_traits(), catalog.num_traits());
+  ASSERT_EQ(loaded->associations().size(), catalog.associations().size());
+  ASSERT_EQ(loaded->ld_pairs().size(), catalog.ld_pairs().size());
+  for (size_t t = 0; t < catalog.num_traits(); ++t) {
+    EXPECT_EQ(loaded->traits()[t].name, catalog.traits()[t].name);
+    EXPECT_NEAR(loaded->traits()[t].prevalence, catalog.traits()[t].prevalence, 1e-6);
+  }
+  for (size_t a = 0; a < catalog.associations().size(); ++a) {
+    EXPECT_EQ(loaded->associations()[a].snp, catalog.associations()[a].snp);
+    EXPECT_EQ(loaded->associations()[a].trait, catalog.associations()[a].trait);
+    EXPECT_NEAR(loaded->associations()[a].control_raf, catalog.associations()[a].control_raf,
+                1e-6);
+    EXPECT_NEAR(loaded->associations()[a].odds_ratio, catalog.associations()[a].odds_ratio, 1e-6);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CatalogIoTest, ParseRejectsMalformedCatalogsWithInvalidArgument) {
+  const std::vector<std::string> bad = {
+      "",                                           // empty
+      "gwas_catalog,v2,10\n",                       // wrong version
+      "gwas_catalog,v1,0\n",                        // zero snps
+      "gwas_catalog,v1,9999999999\n",               // over kMaxCatalogSnps
+      "gwas_catalog,v1,10\ntrait,flu\n",            // trait row too narrow
+      "gwas_catalog,v1,10\ntrait,flu,1.5\n",        // prevalence out of range
+      "gwas_catalog,v1,10\ntrait,flu,0.1\nassoc,12,0,0.3,1.2\n",   // snp out of range
+      "gwas_catalog,v1,10\ntrait,flu,0.1\nassoc,1,4,0.3,1.2\n",    // trait out of range
+      "gwas_catalog,v1,10\ntrait,flu,0.1\nassoc,1,0,0.3,-2\n",     // negative odds
+      "gwas_catalog,v1,10\nld,3,3,0.5\n",           // self-paired LD
+      "gwas_catalog,v1,10\nld,1,2,1.5\n",           // correlation out of range
+      "gwas_catalog,v1,10\nmystery,1\n",            // unknown row kind
+  };
+  for (const std::string& content : bad) {
+    auto parsed = ParseGwasCatalog(content);
+    ASSERT_FALSE(parsed.ok()) << content;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << content;
+  }
+  // The smallest valid catalog parses.
+  auto minimal = ParseGwasCatalog("gwas_catalog,v1,1\n");
+  ASSERT_TRUE(minimal.ok());
+  EXPECT_EQ(minimal->num_snps(), 1u);
 }
 
 TEST(GenomeDataTest, SampleIndividualConsistentShape) {

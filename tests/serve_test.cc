@@ -6,15 +6,21 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <optional>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "fault/fault.h"
+#include "obs/recorder.h"
 #include "obs/wal.h"
 #include "serve/admission.h"
 #include "serve/client.h"
 #include "serve/coalescer.h"
+#include "serve/request_trace.h"
 #include "serve/tenants.h"
 
 namespace ppdp::serve {
@@ -106,7 +112,7 @@ TEST(BatchCoalescerTest, IdenticalKeysShareOneRun) {
   std::vector<std::optional<BatchCoalescer::Outcome>> outcomes(kThreads);
   std::vector<std::thread> threads;
   for (int i = 0; i < kThreads; ++i) {
-    threads.emplace_back([&, i] { outcomes[static_cast<size_t>(i)] = coalescer.Run("k", runner); });
+    threads.emplace_back([&, i] { outcomes[static_cast<size_t>(i)] = coalescer.Run("k", nullptr, runner); });
   }
   for (auto& thread : threads) thread.join();
 
@@ -125,7 +131,7 @@ TEST(BatchCoalescerTest, IdenticalKeysShareOneRun) {
   EXPECT_EQ(coalescer.followers_served(), static_cast<uint64_t>(kThreads - 1));
 
   // Different keys never share.
-  auto other = coalescer.Run("other", runner);
+  auto other = coalescer.Run("other", nullptr, runner);
   ASSERT_TRUE(other.result.ok());
   EXPECT_TRUE(other.leader);
   EXPECT_EQ(runs.load(), 2);
@@ -613,6 +619,292 @@ TEST(ServeAppTest, DeadlineExceededWhileQueuedGets504) {
   ASSERT_TRUE(admitted.ok());
   EXPECT_EQ(admitted->status, 200) << admitted->body;
   (*app)->Stop();
+}
+
+constexpr char kValidTraceparent[] = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01";
+
+TEST(RequestTraceTest, ParseTraceparentAcceptsOnlyWellFormedHeaders) {
+  std::string trace_id;
+  ASSERT_TRUE(ParseTraceparent(kValidTraceparent, &trace_id));
+  EXPECT_EQ(trace_id, "0af7651916cd43dd8448eb211c80319c");
+
+  EXPECT_FALSE(ParseTraceparent("", &trace_id));
+  EXPECT_FALSE(ParseTraceparent("garbage", &trace_id));
+  EXPECT_FALSE(ParseTraceparent("00-abc-def-01", &trace_id));  // too short
+  EXPECT_FALSE(ParseTraceparent(std::string(kValidTraceparent) + "ff", &trace_id));
+  // Wrong version, uppercase hex, misplaced dashes, all-zero ids.
+  EXPECT_FALSE(
+      ParseTraceparent("01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", &trace_id));
+  EXPECT_FALSE(
+      ParseTraceparent("00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01", &trace_id));
+  EXPECT_FALSE(
+      ParseTraceparent("00-0af7651916cd43dd8448eb211c80319cxb7ad6b7169203331-01", &trace_id));
+  EXPECT_FALSE(
+      ParseTraceparent("00-00000000000000000000000000000000-b7ad6b7169203331-01", &trace_id));
+  EXPECT_FALSE(
+      ParseTraceparent("00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01", &trace_id));
+
+  // Generated ids format into parseable headers.
+  const std::string generated = GenerateTraceId();
+  std::string round_tripped;
+  ASSERT_TRUE(ParseTraceparent(FormatTraceparent(generated, GenerateSpanId()), &round_tripped));
+  EXPECT_EQ(round_tripped, generated);
+  EXPECT_NE(GenerateTraceId(), generated);  // ids are unique within a process
+}
+
+std::string TempAccessLogPath(const std::string& name) {
+  std::string path = ::testing::TempDir() + "/serve_access_" + name + "_" +
+                     std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + ".jsonl";
+  std::remove(path.c_str());
+  return path;
+}
+
+std::vector<JsonValue> ReadAccessLog(const std::string& path) {
+  std::vector<JsonValue> records;
+  std::ifstream file(path);
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    auto doc = JsonValue::Parse(line);
+    EXPECT_TRUE(doc.ok()) << line;
+    if (doc.ok()) records.push_back(std::move(*doc));
+  }
+  return records;
+}
+
+TEST(ServeAppTraceTest, MalformedTraceparentIsIgnoredNeverRejected) {
+  auto app = ServeApp::Create(FastOptions());
+  ASSERT_TRUE(app.ok()) << app.status().ToString();
+  ASSERT_TRUE((*app)->Start().ok());
+  const int port = (*app)->port();
+
+  const std::vector<std::string> malformed = {
+      "garbage",
+      "00-abc-def-01",
+      "01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+      "00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01",
+      "00-00000000000000000000000000000000-b7ad6b7169203331-01",
+  };
+  for (const std::string& header : malformed) {
+    auto response = PostJson(port, "/v1/dp/aggregate", AggregateBody("tracer", 0.01), 10.0,
+                             {{"traceparent", header}});
+    ASSERT_TRUE(response.ok()) << header;
+    EXPECT_EQ(response->status, 200) << "malformed traceparent must not fail the request: "
+                                     << header;
+    // A fresh, well-formed id was issued and echoed.
+    std::string echoed;
+    ASSERT_TRUE(ParseTraceparent(response->HeaderOr("traceparent", ""), &echoed)) << header;
+    EXPECT_NE("00-" + echoed, header.substr(0, 35));
+    // The response body carries the same id.
+    auto doc = response->Json();
+    ASSERT_TRUE(doc.ok());
+    EXPECT_EQ(doc->GetStringOr("request_id", ""), echoed);
+  }
+
+  // A valid header's trace id is adopted end to end.
+  auto response = PostJson(port, "/v1/dp/aggregate", AggregateBody("tracer", 0.01), 10.0,
+                           {{"traceparent", kValidTraceparent}});
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200);
+  std::string echoed;
+  ASSERT_TRUE(ParseTraceparent(response->HeaderOr("traceparent", ""), &echoed));
+  EXPECT_EQ(echoed, "0af7651916cd43dd8448eb211c80319c");
+  (*app)->Stop();
+}
+
+TEST(ServeAppTraceTest, AccessLogRecordsEveryRequestOnceWithBoundedStageSums) {
+  const std::string log_path = TempAccessLogPath("once");
+  ServeOptions options = FastOptions();
+  options.access_log = log_path;
+  auto app = ServeApp::Create(options);
+  ASSERT_TRUE(app.ok()) << app.status().ToString();
+  ASSERT_TRUE((*app)->Start().ok());
+  const int port = (*app)->port();
+
+  size_t sent = 0;
+  auto expect_status = [&](Result<ClientResponse> response, int status) {
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->status, status) << response->body;
+    ++sent;
+  };
+  expect_status(PostJson(port, "/v1/dp/aggregate", AggregateBody("alpha", 0.1)), 200);
+  expect_status(PostJson(port, "/v1/dp/aggregate", AggregateBody("beta", 0.1)), 200);
+  expect_status(PostJson(port, "/v1/publish", PublishBody("alpha", 0.2)), 200);
+  JsonValue audit_body = JsonValue::Object();
+  audit_body.Set("tenant", JsonValue::String("alpha"));
+  expect_status(PostJson(port, "/v1/audit", audit_body), 200);
+  expect_status(PostJson(port, "/v1/publish", PublishBody("alpha", 0.2, "mystery")), 400);
+  expect_status(HttpRequest(port, "POST", "/v1/dp/aggregate", "{not json"), 400);
+  // Introspection endpoints are not request-traced and must not be logged.
+  ASSERT_TRUE(Get(port, "/metrics").ok());
+  (*app)->Stop();
+
+  const std::vector<JsonValue> records = ReadAccessLog(log_path);
+  ASSERT_EQ(records.size(), sent);
+  EXPECT_EQ((*app)->observer().tracker().completed_total(), sent);
+
+  std::set<std::string> ids;
+  std::map<int, int> by_status;
+  for (const JsonValue& record : records) {
+    EXPECT_EQ(record.GetStringOr("schema", ""), "ppdp.access.v1");
+    const std::string id = record.GetStringOr("request_id", "");
+    EXPECT_EQ(id.size(), 32u);
+    ids.insert(id);
+    ++by_status[static_cast<int>(record.GetNumberOr("status", 0.0))];
+
+    // The tentpole invariant: stages partition a subset of the request's
+    // wall time, so their sum can never exceed the logged total.
+    const JsonValue* stages = record.Find("stages");
+    ASSERT_NE(stages, nullptr);
+    double stage_sum = 0.0;
+    for (const auto& [name, micros] : stages->members()) {
+      EXPECT_TRUE(micros.is_number()) << name;
+      EXPECT_GE(micros.as_number(), 0.0) << name;
+      stage_sum += micros.as_number();
+    }
+    EXPECT_LE(stage_sum, record.GetNumberOr("total_micros", 0.0) + 0.5)
+        << record.GetStringOr("endpoint", "");
+    // ε is only logged when actually charged.
+    if (record.GetNumberOr("status", 0.0) != 200.0) {
+      EXPECT_EQ(record.GetNumberOr("epsilon", -1.0), 0.0);
+    }
+  }
+  EXPECT_EQ(ids.size(), sent);  // every request exactly once
+  EXPECT_EQ(by_status[200], 4);
+  EXPECT_EQ(by_status[400], 2);
+  std::remove(log_path.c_str());
+}
+
+TEST(ServeAppTraceTest, WaitersRecordTheLeadersRequestId) {
+  const std::string log_path = TempAccessLogPath("coalesce");
+  ServeOptions options = FastOptions();
+  options.access_log = log_path;
+  options.coalesce_window_seconds = 0.25;
+  auto app = ServeApp::Create(options);
+  ASSERT_TRUE(app.ok()) << app.status().ToString();
+  ASSERT_TRUE((*app)->Start().ok());
+  const int port = (*app)->port();
+
+  constexpr int kTenants = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kTenants; ++t) {
+    threads.emplace_back([&, t] {
+      auto response =
+          PostJson(port, "/v1/publish", PublishBody("join" + std::to_string(t), 0.1));
+      ASSERT_TRUE(response.ok());
+      EXPECT_EQ(response->status, 200) << response->body;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  ASSERT_EQ((*app)->coalescer().batches_run(), 1u);
+  (*app)->Stop();
+
+  std::string leader_id;
+  std::vector<std::string> waiter_leader_ids;
+  for (const JsonValue& record : ReadAccessLog(log_path)) {
+    const std::string role = record.GetStringOr("coalesce", "");
+    if (role == "leader") {
+      EXPECT_TRUE(leader_id.empty()) << "one batch has exactly one leader";
+      leader_id = record.GetStringOr("request_id", "");
+      // The leader waited out the window and ran the publish itself.
+      const JsonValue* stages = record.Find("stages");
+      ASSERT_NE(stages, nullptr);
+      EXPECT_TRUE(stages->Has("serve.coalesce.wait"));
+      EXPECT_TRUE(stages->Has("serve.publish"));
+    } else if (role == "waiter") {
+      waiter_leader_ids.push_back(record.GetStringOr("leader_request_id", ""));
+      const JsonValue* stages = record.Find("stages");
+      ASSERT_NE(stages, nullptr);
+      EXPECT_TRUE(stages->Has("serve.coalesce.wait"));
+      EXPECT_FALSE(stages->Has("serve.publish"));  // the leader ran it, not us
+    }
+  }
+  ASSERT_EQ(waiter_leader_ids.size(), static_cast<size_t>(kTenants - 1));
+  ASSERT_FALSE(leader_id.empty());
+  for (const std::string& id : waiter_leader_ids) EXPECT_EQ(id, leader_id);
+  std::remove(log_path.c_str());
+}
+
+TEST(ServeAppTraceTest, RequestzListsCompletedRequestsAndFilters) {
+  auto app = ServeApp::Create(FastOptions());
+  ASSERT_TRUE(app.ok()) << app.status().ToString();
+  ASSERT_TRUE((*app)->Start().ok());
+  const int port = (*app)->port();
+
+  ASSERT_TRUE(PostJson(port, "/v1/dp/aggregate", AggregateBody("watched", 0.1)).ok());
+  ASSERT_TRUE(PostJson(port, "/v1/dp/aggregate", AggregateBody("other", 0.1)).ok());
+
+  auto all = Get(port, "/requestz");
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->status, 200);
+  auto doc = all->Json();
+  ASSERT_TRUE(doc.ok()) << all->body;
+  EXPECT_EQ(doc->GetStringOr("schema", ""), "ppdp.requestz.v1");
+  const JsonValue* completed = doc->Find("completed");
+  ASSERT_NE(completed, nullptr);
+  EXPECT_EQ(completed->size(), 2u);
+  EXPECT_EQ(doc->GetNumberOr("completed_total", -1.0), 2.0);
+
+  auto filtered = Get(port, "/requestz?tenant=watched");
+  ASSERT_TRUE(filtered.ok());
+  auto filtered_doc = filtered->Json();
+  ASSERT_TRUE(filtered_doc.ok());
+  const JsonValue* filtered_completed = filtered_doc->Find("completed");
+  ASSERT_NE(filtered_completed, nullptr);
+  ASSERT_EQ(filtered_completed->size(), 1u);
+  EXPECT_EQ(filtered_completed->at(0).GetStringOr("tenant", ""), "watched");
+
+  // A prohibitive min_ms filter leaves nothing.
+  auto slow_only = Get(port, "/requestz?min_ms=3600000");
+  ASSERT_TRUE(slow_only.ok());
+  auto slow_doc = slow_only->Json();
+  ASSERT_TRUE(slow_doc.ok());
+  EXPECT_EQ(slow_doc->Find("completed")->size(), 0u);
+  (*app)->Stop();
+}
+
+TEST(ServeAppTraceTest, SlowFaultInjectedPublishIsCapturedInFlightRecorder) {
+  // Deterministically delay the leader's publish run via the serve.publish
+  // fault point, with a slow threshold the delayed request must cross.
+  fault::FaultPlan plan;
+  plan.seed = 17;
+  plan.rate = 0.0;
+  plan.point_rates["serve.publish"] = 1.0;
+  plan.max_delay_ms = 25.0;
+  fault::ScopedFaultPlan armed(plan);
+
+  ServeOptions options = FastOptions();
+  options.slow_request_ms = 1.0;
+  auto app = ServeApp::Create(options);
+  ASSERT_TRUE(app.ok()) << app.status().ToString();
+  ASSERT_TRUE((*app)->Start().ok());
+
+  auto response = PostJson((*app)->port(), "/v1/publish", PublishBody("slowpoke", 0.1));
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200) << response->body;
+  auto doc = response->Json();
+  ASSERT_TRUE(doc.ok());
+  const std::string request_id = doc->GetStringOr("request_id", "");
+  ASSERT_EQ(request_id.size(), 32u);
+  (*app)->Stop();
+
+  // The FlightRecorder ring holds the full access record, request id
+  // included, under the "request" category.
+  bool captured = false;
+  for (const obs::FlightEvent& event : obs::FlightRecorder::Global().Snapshot()) {
+    if (event.category != "request") continue;
+    if (event.message.find(request_id) == std::string::npos) continue;
+    captured = true;
+    EXPECT_EQ(event.severity, "WARN");  // slow but successful
+    auto record = JsonValue::Parse(event.message);
+    ASSERT_TRUE(record.ok());
+    EXPECT_EQ(record->GetStringOr("schema", ""), "ppdp.access.v1");
+    EXPECT_EQ(record->GetStringOr("tenant", ""), "slowpoke");
+    const JsonValue* stages = record->Find("stages");
+    ASSERT_NE(stages, nullptr);
+    EXPECT_TRUE(stages->Has("serve.publish"));
+  }
+  EXPECT_TRUE(captured) << "slow request " << request_id << " missing from the flight ring";
 }
 
 }  // namespace

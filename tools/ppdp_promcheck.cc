@@ -1,7 +1,7 @@
 // Strict Prometheus text-exposition validator for CI scrape checks.
 //
 //   $ curl -s http://127.0.0.1:$PORT/metrics | ppdp_promcheck
-//   $ ppdp_promcheck scrape.txt
+//   $ ppdp_promcheck --max_series=500 scrape.txt
 //
 // Reads one exposition document (stdin, or each file argument) and runs it
 // through obs::ValidatePrometheusText — the same structural checks
@@ -9,43 +9,99 @@
 // HELP/TYPE discipline, contiguous sample blocks, parseable values, and
 // cumulative le-terminated histogram series. Exits 0 when every input is a
 // document Prometheus would ingest, 1 on the first violation.
+//
+// --max_series=N additionally fails any document exposing more than N
+// sample series — the cardinality lint that keeps per-tenant metric
+// families (serve.tenant.<t>.*) from growing unbounded.
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "obs/metrics.h"
 
 namespace {
 
-int CheckOne(const std::string& label, const std::string& text) {
+/// Sample lines in the exposition: every non-empty line that is not a
+/// HELP/TYPE comment is one series sample.
+size_t CountSeries(const std::string& text) {
+  size_t series = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    ++series;
+  }
+  return series;
+}
+
+int CheckOne(const std::string& label, const std::string& text, long max_series) {
   ppdp::Status status = ppdp::obs::ValidatePrometheusText(text);
   if (!status.ok()) {
     std::cerr << "ppdp_promcheck: " << label << ": " << status.ToString() << "\n";
     return 1;
   }
-  std::cout << "ppdp_promcheck: " << label << ": ok\n";
+  const size_t series = CountSeries(text);
+  if (max_series > 0 && series > static_cast<size_t>(max_series)) {
+    std::cerr << "ppdp_promcheck: " << label << ": " << series
+              << " series exceeds --max_series=" << max_series << "\n";
+    return 1;
+  }
+  std::cout << "ppdp_promcheck: " << label << ": ok (" << series << " series)\n";
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc <= 1) {
+  long max_series = 0;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--max_series=", 0) == 0) {
+      char* rest = nullptr;
+      max_series = std::strtol(arg.c_str() + 13, &rest, 10);
+      if (rest == nullptr || *rest != '\0' || max_series <= 0) {
+        std::cerr << "ppdp_promcheck: --max_series wants a positive integer\n";
+        return 1;
+      }
+      continue;
+    }
+    if (arg == "--max_series") {
+      if (i + 1 >= argc) {
+        std::cerr << "ppdp_promcheck: --max_series wants a value\n";
+        return 1;
+      }
+      max_series = std::strtol(argv[++i], nullptr, 10);
+      if (max_series <= 0) {
+        std::cerr << "ppdp_promcheck: --max_series wants a positive integer\n";
+        return 1;
+      }
+      continue;
+    }
+    files.push_back(arg);
+  }
+
+  if (files.empty()) {
     std::ostringstream buffer;
     buffer << std::cin.rdbuf();
-    return CheckOne("<stdin>", buffer.str());
+    return CheckOne("<stdin>", buffer.str(), max_series);
   }
-  for (int i = 1; i < argc; ++i) {
-    std::ifstream file(argv[i]);
+  for (const std::string& path : files) {
+    std::ifstream file(path);
     if (!file) {
-      std::cerr << "ppdp_promcheck: cannot open " << argv[i] << "\n";
+      std::cerr << "ppdp_promcheck: cannot open " << path << "\n";
       return 1;
     }
     std::ostringstream buffer;
     buffer << file.rdbuf();
-    if (int status = CheckOne(argv[i], buffer.str()); status != 0) return status;
+    if (int status = CheckOne(path, buffer.str(), max_series); status != 0) return status;
   }
   return 0;
 }

@@ -25,6 +25,11 @@
 //   --ledger_sync P       WAL fsync policy: always | batch (always)
 //   --request_deadline_s X  cap on client-declared "deadline_ms"; expired
 //                         requests get 504 (30)
+//   --access_log PATH     JSONL access log (ppdp.access.v1, one object per
+//                         request, per-stage micros); off when empty
+//   --access_log_max_mb X access-log size rotation threshold (64)
+//   --slow_request_ms X   capture requests at/above this wall time in the
+//                         FlightRecorder ring; 0 = off (0)
 //   --log_level L         debug|info|warn|error|off (info)
 //
 // SIGTERM / SIGINT drain in-flight requests (new ones get 503), stop the
@@ -75,6 +80,9 @@ int main(int argc, char** argv) {
   options.drain_timeout_seconds = flags.GetDouble("drain_timeout_s", 10.0);
   options.ledger_wal = flags.GetString("ledger_wal", "");
   options.request_deadline_seconds = flags.GetDouble("request_deadline_s", 30.0);
+  options.access_log = flags.GetString("access_log", "");
+  options.access_log_max_mb = flags.GetDouble("access_log_max_mb", options.access_log_max_mb);
+  options.slow_request_ms = flags.GetDouble("slow_request_ms", options.slow_request_ms);
   Result<obs::LedgerWal::SyncPolicy> sync_policy =
       obs::ParseSyncPolicy(flags.GetString("ledger_sync", "always"));
   if (!sync_policy.ok()) {

@@ -1,0 +1,290 @@
+// Access-log analyzer and stage-level regression gate.
+//
+//   $ ppdp_tracestat access.jsonl                      # validate + aggregate
+//   $ ppdp_tracestat --validate_only access.jsonl      # schema check only
+//   $ ppdp_tracestat baseline.jsonl current.jsonl      # stage-level diff gate
+//
+// Reads ppdp.access.v1 JSONL access logs (as written by ppdp_serve
+// --access_log / bench_serve --access_log). With one input, prints
+// per-stage and per-tenant, per-stage latency breakdown tables — the
+// "where did this tenant's time go" view. With two inputs, diffs the
+// per-stage mean latency and exits 1 when any stage slowed beyond BOTH the
+// relative threshold and the absolute floor (same gate shape as
+// ppdp_benchstat).
+//
+// Flags:
+//   --threshold X    (default 0.25) relative per-stage slowdown tolerated
+//   --min_ms X       (default 1.0)  absolute per-stage slowdown floor
+//   --tenant T       (default all)  restrict aggregation/diff to one tenant
+//   --validate_only  (off)          validate records and exit
+//
+// Every record is validated either way: schema tag, well-formed request id,
+// non-negative timings, and the stage-sum invariant (sum of stage micros
+// <= total request micros). Exit codes: 0 ok, 1 regression, 2 usage/IO/
+// schema error.
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/json.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/table.h"
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: ppdp_tracestat [--threshold X] [--min_ms X] [--tenant T]\n"
+               "                      [--validate_only] access.jsonl [current.jsonl]\n";
+  return 2;
+}
+
+bool IsLowerHex(const std::string& s) {
+  for (char c : s) {
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+  }
+  return true;
+}
+
+/// One parsed + validated access record (the fields the aggregations use).
+struct AccessRecord {
+  std::string tenant;
+  std::string endpoint;
+  int status = 0;
+  double total_micros = 0.0;
+  std::vector<std::pair<std::string, double>> stages;
+};
+
+/// Structural validation of one ppdp.access.v1 object.
+ppdp::Status ValidateRecord(const ppdp::JsonValue& doc, AccessRecord* out) {
+  if (!doc.is_object()) return ppdp::Status::InvalidArgument("record is not an object");
+  if (doc.GetStringOr("schema", "") != "ppdp.access.v1") {
+    return ppdp::Status::InvalidArgument("schema is not ppdp.access.v1");
+  }
+  const std::string request_id = doc.GetStringOr("request_id", "");
+  if (request_id.size() != 32 || !IsLowerHex(request_id)) {
+    return ppdp::Status::InvalidArgument("request_id is not 32 lowercase hex chars");
+  }
+  const ppdp::JsonValue* status = doc.Find("status");
+  if (status == nullptr || !status->is_number()) {
+    return ppdp::Status::InvalidArgument("status missing or non-numeric");
+  }
+  out->status = static_cast<int>(status->as_number());
+  out->tenant = doc.GetStringOr("tenant", "");
+  out->endpoint = doc.GetStringOr("endpoint", "");
+  out->total_micros = doc.GetNumberOr("total_micros", -1.0);
+  if (!(out->total_micros >= 0.0)) {
+    return ppdp::Status::InvalidArgument("total_micros missing or negative");
+  }
+  const std::string coalesce = doc.GetStringOr("coalesce", "");
+  if (!coalesce.empty() && coalesce != "leader" && coalesce != "waiter") {
+    return ppdp::Status::InvalidArgument("coalesce must be empty, leader, or waiter");
+  }
+  if (coalesce == "waiter") {
+    const std::string leader = doc.GetStringOr("leader_request_id", "");
+    if (leader.size() != 32 || !IsLowerHex(leader)) {
+      return ppdp::Status::InvalidArgument("waiter without a well-formed leader_request_id");
+    }
+  }
+  const ppdp::JsonValue* stages = doc.Find("stages");
+  if (stages == nullptr || !stages->is_object()) {
+    return ppdp::Status::InvalidArgument("stages missing or not an object");
+  }
+  double stage_sum = 0.0;
+  for (const auto& [key, micros] : stages->members()) {
+    if (!micros.is_number() || micros.as_number() < 0.0) {
+      return ppdp::Status::InvalidArgument("stage \"" + key + "\" has a non-numeric/negative value");
+    }
+    stage_sum += micros.as_number();
+    out->stages.emplace_back(key, micros.as_number());
+  }
+  // The invariant the server guarantees by construction: stages are
+  // disjoint sub-intervals of the request, closed before the total is
+  // stamped. Half a microsecond of slack absorbs double rounding.
+  if (stage_sum > out->total_micros + 0.5) {
+    return ppdp::Status::InvalidArgument("stage micros sum exceeds total_micros");
+  }
+  return ppdp::Status::Ok();
+}
+
+/// Loads + validates one JSONL file; false (with stderr detail) on any bad
+/// line. `tenant` non-empty keeps only that tenant's records.
+bool LoadLog(const std::string& path, const std::string& tenant,
+             std::vector<AccessRecord>* records) {
+  std::ifstream file(path);
+  if (!file) {
+    std::cerr << "ppdp_tracestat: cannot open " << path << "\n";
+    return false;
+  }
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(file, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    ppdp::Result<ppdp::JsonValue> doc = ppdp::JsonValue::Parse(line);
+    if (!doc.ok()) {
+      std::cerr << "ppdp_tracestat: " << path << ":" << line_number << ": "
+                << doc.status().ToString() << "\n";
+      return false;
+    }
+    AccessRecord record;
+    if (ppdp::Status valid = ValidateRecord(*doc, &record); !valid.ok()) {
+      std::cerr << "ppdp_tracestat: " << path << ":" << line_number << ": " << valid.ToString()
+                << "\n";
+      return false;
+    }
+    if (!tenant.empty() && record.tenant != tenant) continue;
+    records->push_back(std::move(record));
+  }
+  return true;
+}
+
+struct StageStats {
+  uint64_t count = 0;
+  double total_micros = 0.0;
+  double max_micros = 0.0;
+
+  void Add(double micros) {
+    ++count;
+    total_micros += micros;
+    max_micros = std::max(max_micros, micros);
+  }
+  double mean_micros() const { return count == 0 ? 0.0 : total_micros / count; }
+};
+
+/// stage -> stats, over every record ("total" tracks whole-request time).
+std::map<std::string, StageStats> StageBreakdown(const std::vector<AccessRecord>& records) {
+  std::map<std::string, StageStats> stats;
+  for (const AccessRecord& record : records) {
+    stats["total"].Add(record.total_micros);
+    for (const auto& [stage, micros] : record.stages) stats[stage].Add(micros);
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Same hand-rolled split as ppdp_benchstat: boolean flags never consume
+  // the following positional path.
+  std::vector<std::string> positional;
+  std::vector<std::string> flag_args = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional.push_back(std::move(arg));
+      continue;
+    }
+    if (arg == "--help") return Usage();
+    if (arg == "--validate_only") {
+      flag_args.push_back(arg + "=true");
+      continue;
+    }
+    if (arg.find('=') == std::string::npos) {
+      if (i + 1 >= argc) return Usage();
+      arg += "=";
+      arg += argv[++i];
+    }
+    flag_args.push_back(std::move(arg));
+  }
+  std::vector<char*> flag_argv;
+  flag_argv.reserve(flag_args.size());
+  for (std::string& arg : flag_args) flag_argv.push_back(arg.data());
+  ppdp::Flags flags(static_cast<int>(flag_argv.size()), flag_argv.data());
+
+  if (positional.empty() || positional.size() > 2) return Usage();
+  const double threshold = flags.GetDouble("threshold", 0.25);
+  const double min_ms = flags.GetDouble("min_ms", 1.0);
+  const std::string tenant = flags.GetString("tenant", "");
+  if (threshold < 0.0 || min_ms < 0.0) {
+    std::cerr << "ppdp_tracestat: threshold and floor must be non-negative\n";
+    return 2;
+  }
+
+  std::vector<AccessRecord> records;
+  if (!LoadLog(positional[0], tenant, &records)) return 2;
+
+  if (flags.GetBool("validate_only", false)) {
+    std::cout << "ppdp_tracestat: " << positional[0] << ": " << records.size()
+              << " records valid\n";
+    if (positional.size() == 2) {
+      std::vector<AccessRecord> current;
+      if (!LoadLog(positional[1], tenant, &current)) return 2;
+      std::cout << "ppdp_tracestat: " << positional[1] << ": " << current.size()
+                << " records valid\n";
+    }
+    return 0;
+  }
+
+  if (positional.size() == 1) {
+    // Aggregation mode: per-stage summary, then tenant x stage breakdown.
+    const std::map<std::string, StageStats> stages = StageBreakdown(records);
+    ppdp::Table stage_table({"stage", "count", "total ms", "mean ms", "max ms"});
+    for (const auto& [stage, stats] : stages) {
+      stage_table.AddRow({stage, std::to_string(stats.count),
+                          ppdp::Table::FormatDouble(stats.total_micros / 1e3, 3),
+                          ppdp::Table::FormatDouble(stats.mean_micros() / 1e3, 3),
+                          ppdp::Table::FormatDouble(stats.max_micros / 1e3, 3)});
+    }
+    std::cout << "== tracestat: " << positional[0] << " (" << records.size()
+              << " requests) ==\n";
+    stage_table.Print(std::cout);
+
+    std::map<std::string, std::vector<AccessRecord>> by_tenant;
+    std::map<std::string, uint64_t> errors;
+    for (const AccessRecord& record : records) {
+      by_tenant[record.tenant].push_back(record);
+      if (record.status >= 400) ++errors[record.tenant];
+    }
+    ppdp::Table tenant_table({"tenant", "stage", "count", "mean ms", "max ms"});
+    for (const auto& [name, tenant_records] : by_tenant) {
+      for (const auto& [stage, stats] : StageBreakdown(tenant_records)) {
+        tenant_table.AddRow({name, stage, std::to_string(stats.count),
+                             ppdp::Table::FormatDouble(stats.mean_micros() / 1e3, 3),
+                             ppdp::Table::FormatDouble(stats.max_micros / 1e3, 3)});
+      }
+    }
+    tenant_table.Print(std::cout);
+    for (const auto& [name, count] : errors) {
+      std::cout << "(tenant " << name << ": " << count << " non-2xx responses)\n";
+    }
+    return 0;
+  }
+
+  // Diff mode: per-stage mean latency, baseline vs current.
+  std::vector<AccessRecord> current_records;
+  if (!LoadLog(positional[1], tenant, &current_records)) return 2;
+  const std::map<std::string, StageStats> baseline = StageBreakdown(records);
+  const std::map<std::string, StageStats> current = StageBreakdown(current_records);
+
+  bool regressed = false;
+  ppdp::Table diff({"stage", "base mean ms", "cur mean ms", "delta ms", "delta %", "verdict"});
+  for (const auto& [stage, cur] : current) {
+    auto it = baseline.find(stage);
+    if (it == baseline.end()) continue;  // new stage: nothing to gate against
+    const double base_mean = it->second.mean_micros();
+    const double cur_mean = cur.mean_micros();
+    const double delta = cur_mean - base_mean;
+    const double relative = base_mean > 0.0 ? delta / base_mean : 0.0;
+    const bool slow = delta >= min_ms * 1e3 && relative > threshold;
+    if (slow) regressed = true;
+    diff.AddRow({stage, ppdp::Table::FormatDouble(base_mean / 1e3, 3),
+                 ppdp::Table::FormatDouble(cur_mean / 1e3, 3),
+                 ppdp::Table::FormatDouble(delta / 1e3, 3),
+                 ppdp::Table::FormatDouble(relative * 100.0, 1), slow ? "REGRESSED" : "ok"});
+  }
+  std::cout << "== tracestat diff: " << positional[0] << " -> " << positional[1]
+            << " (threshold +" << static_cast<int>(threshold * 100) << "%, floor " << min_ms
+            << " ms) ==\n";
+  diff.Print(std::cout);
+  if (regressed) {
+    std::cout << "REGRESSION: at least one stage slowed beyond the gate\n";
+    return 1;
+  }
+  std::cout << "ok: no stage regressed\n";
+  return 0;
+}
