@@ -8,6 +8,7 @@
 //   $ ./bench_serve [--clients 8] [--requests 2048] [--publish_pct 12]
 //                   [--min_qps 0] [--scale 0.25] [--genome_snps 300]
 //                   [--deadline_ms 0] [--access_log PATH]
+//                   [--slo_config slo.json]
 //
 // --deadline_ms > 0 stamps every request with a client deadline the server
 // honors while queued for admission: expired requests come back 504 and are
@@ -24,6 +25,12 @@
 // in-process daemon write its ppdp.access.v1 JSONL log, which the bench
 // reads back at the end into a server-side per-stage latency table
 // (serve_stage_breakdown) — the same numbers ppdp_tracestat aggregates.
+//
+// The in-process daemon always runs its SLO engine (--slo_config loads a
+// ppdp.slo.v1 rule file; defaults otherwise). After the load completes the
+// bench queries the live attainment, prints a serve_slo table, and records
+// the rows into the run report's "slos" stanza — ppdp_benchstat prints
+// them informationally and never gates on them.
 #include <atomic>
 #include <fstream>
 #include <map>
@@ -76,6 +83,7 @@ int main(int argc, char** argv) {
   options.max_tenants = static_cast<size_t>(clients) + 4;
   options.max_pending = static_cast<int>(flags.GetInt("max_pending", clients * 8));
   options.access_log = access_log;
+  options.slo_config = flags.GetString("slo_config", "");
 
   auto app = ppdp::serve::ServeApp::Create(options);
   if (!app.ok()) {
@@ -210,6 +218,20 @@ int main(int argc, char** argv) {
                 ppdp::Table::FormatDouble(p50 * 1e3, 3), ppdp::Table::FormatDouble(p95 * 1e3, 3),
                 ppdp::Table::FormatDouble(p99 * 1e3, 3)});
   env.Emit(table, "serve_throughput", "closed-loop serving throughput and client latency");
+
+  // Live SLO attainment over the run's windows, straight from the daemon's
+  // engine — the same rows /sloz would serve. Recorded into the report's
+  // "slos" stanza (informational in ppdp_benchstat diffs).
+  (*app)->slo().Evaluate();
+  const std::vector<ppdp::obs::SloAttainment> slos = (*app)->slo().Attainment();
+  ppdp::Table slo_table({"rule", "signal", "tenant", "objective", "attained", "verdict"});
+  for (const ppdp::obs::SloAttainment& slo : slos) {
+    slo_table.AddRow({slo.rule, slo.signal, slo.tenant.empty() ? "-" : slo.tenant,
+                      ppdp::Table::FormatDouble(slo.objective, 4),
+                      ppdp::Table::FormatDouble(slo.attained, 4), slo.met ? "met" : "MISSED"});
+  }
+  env.Emit(slo_table, "serve_slo", "SLO attainment over the run");
+  env.RecordSloAttainment(slos);
 
   (*app)->Stop();
 

@@ -232,6 +232,14 @@ struct BenchEnv {
     ledgers_.push_back({name, budget, ledger.entries()});
   }
 
+  /// Captures SLO-attainment rows (bench_serve queries its in-process
+  /// SloEngine after the load completes) into the run report's optional
+  /// "slos" stanza. Repeated calls append; benches that never call this
+  /// emit byte-identical reports to pre-v10 writers.
+  void RecordSloAttainment(const std::vector<obs::SloAttainment>& rows) const {
+    slos_.insert(slos_.end(), rows.begin(), rows.end());
+  }
+
   /// Captures the fault plan a bench armed (ScopedFaultPlan installs go out
   /// of scope before the report is written, so the harness cannot observe
   /// them at exit). Last recorded plan wins; chaos sweeps typically record
@@ -341,6 +349,7 @@ struct BenchEnv {
     }
     report.profile = profile_info_;
     report.ledgers = ledgers_;
+    report.slos = slos_;
     for (const auto& [name, path] : outputs_) {
       obs::RunReport::OutputDigest digest;
       digest.name = name;
@@ -388,6 +397,7 @@ struct BenchEnv {
   // report bookkeeping they feed is observational state, hence mutable.
   mutable std::vector<std::pair<std::string, std::string>> outputs_;
   mutable std::vector<obs::RunReport::LedgerAudit> ledgers_;
+  mutable std::vector<obs::SloAttainment> slos_;
   mutable obs::RunReport::FaultInfo fault_;
 };
 

@@ -206,6 +206,22 @@ JsonValue RunReport::ToJson() const {
     profile_obj.Set("dropped", JsonValue::Number(static_cast<double>(profile.dropped)));
     doc.Set("profile", std::move(profile_obj));
   }
+
+  if (!slos.empty()) {
+    JsonValue slo_array = JsonValue::Array();
+    for (const SloAttainment& row : slos) {
+      JsonValue row_json = JsonValue::Object();
+      row_json.Set("rule", JsonValue::String(row.rule));
+      row_json.Set("signal", JsonValue::String(row.signal));
+      if (!row.tenant.empty()) row_json.Set("tenant", JsonValue::String(row.tenant));
+      row_json.Set("objective", JsonValue::Number(row.objective));
+      row_json.Set("attained", JsonValue::Number(row.attained));
+      row_json.Set("met", JsonValue::Bool(row.met));
+      row_json.Set("events", JsonValue::Number(static_cast<double>(row.events)));
+      slo_array.Append(std::move(row_json));
+    }
+    doc.Set("slos", std::move(slo_array));
+  }
   return doc;
 }
 
@@ -304,6 +320,23 @@ Result<RunReport> RunReport::FromJson(const JsonValue& doc) {
       report.outputs.push_back(std::move(out));
     }
   }
+  // Optional since v10 writers only (serving benches with SLO rules);
+  // older reports simply have none.
+  if (const JsonValue* slos = doc.Find("slos"); slos && slos->is_array()) {
+    for (size_t i = 0; i < slos->size(); ++i) {
+      const JsonValue& row = slos->at(i);
+      if (!row.is_object()) continue;
+      SloAttainment slo;
+      slo.rule = row.GetStringOr("rule", "");
+      slo.signal = row.GetStringOr("signal", "");
+      slo.tenant = row.GetStringOr("tenant", "");
+      slo.objective = row.GetNumberOr("objective", 0.0);
+      slo.attained = row.GetNumberOr("attained", 0.0);
+      slo.met = row.GetBoolOr("met", false);
+      slo.events = static_cast<uint64_t>(row.GetNumberOr("events", 0));
+      report.slos.push_back(std::move(slo));
+    }
+  }
   // Optional since v6 writers only; pre-v6 reports simply have none.
   if (const JsonValue* profile = doc.Find("profile"); profile && profile->is_object()) {
     report.profile.enabled = profile->GetBoolOr("enabled", false);
@@ -372,6 +405,19 @@ Status ValidateReportJson(const JsonValue& doc) {
   const JsonValue* fault = doc.Find("fault");
   if (!fault->Has("armed") || !fault->Has("rate")) {
     return Status::InvalidArgument("fault section malformed");
+  }
+  // "slos" is optional (v10+ serving benches); when present each row must
+  // be a complete attainment record.
+  if (const JsonValue* slos = doc.Find("slos"); slos != nullptr) {
+    if (!slos->is_array()) return Status::InvalidArgument("key \"slos\" has the wrong kind");
+    for (size_t i = 0; i < slos->size(); ++i) {
+      const JsonValue& row = slos->at(i);
+      if (!row.is_object() || row.GetStringOr("rule", "").empty() ||
+          row.GetStringOr("signal", "").empty() || !row.Has("objective") ||
+          !row.Has("attained") || !row.Has("met")) {
+        return Status::InvalidArgument("slos[" + std::to_string(i) + "] malformed");
+      }
+    }
   }
   return Status::Ok();
 }

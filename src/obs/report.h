@@ -13,6 +13,7 @@
 #include "common/table.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 
 namespace ppdp::obs {
@@ -89,6 +90,12 @@ struct RunReport {
     bool dumped = false;
   };
   FlightStats flight;
+
+  /// SLO attainment rows (bench_serve with --slo_config or defaults). Only
+  /// serialized when non-empty, so pre-v10 baselines and non-serving
+  /// benches are byte-unchanged; readers treat an absent stanza as "no SLOs
+  /// measured", never as a violation.
+  std::vector<SloAttainment> slos;
 
   /// Link to the sampling profile captured alongside this run (absent when
   /// --profile_hz=0, the default — the zero-overhead path writes nothing).

@@ -7,6 +7,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
+#include "obs/slo.h"
 
 namespace ppdp::serve {
 
@@ -242,66 +243,6 @@ JsonValue RequestTracker::ToJson(const std::string& tenant, double min_ms) const
   return doc;
 }
 
-AccessLog::~AccessLog() { Close(); }
-
-Status AccessLog::Open(const std::string& path, uint64_t max_bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (file_ != nullptr) return Status::FailedPrecondition("access log already open");
-  if (path.empty()) return Status::InvalidArgument("access log path must be non-empty");
-  if (max_bytes == 0) return Status::InvalidArgument("access log max size must be positive");
-  std::FILE* file = std::fopen(path.c_str(), "ab");
-  if (file == nullptr) return Status::Unavailable("cannot open access log: " + path);
-  file_ = file;
-  path_ = path;
-  max_bytes_ = max_bytes;
-  const long at = std::ftell(file_);
-  bytes_written_ = at > 0 ? static_cast<uint64_t>(at) : 0;
-  return Status::Ok();
-}
-
-bool AccessLog::enabled() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return file_ != nullptr;
-}
-
-Status AccessLog::Append(const RequestRecord& record) {
-  const std::string line = record.ToJson().Dump() + "\n";
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (file_ == nullptr) return Status::FailedPrecondition("access log not open");
-  if (bytes_written_ > 0 && bytes_written_ + line.size() > max_bytes_) {
-    // Size rotation: the current file becomes <path>.1 (replacing any
-    // previous generation) and logging continues into a fresh file.
-    std::fclose(file_);
-    file_ = nullptr;
-    const std::string rotated = path_ + ".1";
-    (void)std::remove(rotated.c_str());
-    if (std::rename(path_.c_str(), rotated.c_str()) != 0) {
-      return Status::Unavailable("access log rotation failed: " + path_);
-    }
-    std::FILE* file = std::fopen(path_.c_str(), "wb");
-    if (file == nullptr) return Status::Unavailable("cannot reopen access log: " + path_);
-    file_ = file;
-    bytes_written_ = 0;
-  }
-  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
-    return Status::DataLoss("access log write failed: " + path_);
-  }
-  // Flushed per line so tests and live tooling (tail, ppdp_tracestat) see
-  // complete records without waiting for shutdown; the log is opt-in, so
-  // the flush cost is never on the default path.
-  std::fflush(file_);
-  bytes_written_ += line.size();
-  return Status::Ok();
-}
-
-void AccessLog::Close() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (file_ != nullptr) {
-    std::fclose(file_);
-    file_ = nullptr;
-  }
-}
-
 Status RequestObserver::Configure(const RequestObsOptions& options) {
   options_ = options;
   if (!options.access_log.empty()) {
@@ -343,6 +284,11 @@ void RequestObserver::Complete(RequestContext* context) {
     registry.counter(prefix + ".requests").Increment();
     if (record.status >= 400) registry.counter(prefix + ".rejected").Increment();
     registry.histogram(prefix + ".latency_ms", TenantLatencyBoundsMs()).Observe(total_ms);
+  }
+
+  if (slo_ != nullptr) {
+    slo_->RecordRequest(record.status, record.total_micros / 1e6);
+    slo_->EvaluateIfDue();
   }
 
   tracker_.Complete(context);

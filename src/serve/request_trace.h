@@ -15,7 +15,12 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "obs/http.h"
+#include "obs/rotating_log.h"
 #include "obs/trace.h"
+
+namespace ppdp::obs {
+class SloEngine;
+}  // namespace ppdp::obs
 
 namespace ppdp::serve {
 
@@ -150,29 +155,31 @@ class RequestTracker {
   uint64_t completed_total_ = 0;
 };
 
-/// Size-rotated JSONL access log: one ppdp.access.v1 object per line. At
-/// most one rotated generation is kept (`<path>.1`), so the log's disk
-/// footprint is bounded by ~2x max_bytes.
+/// Size-rotated JSONL access log: one ppdp.access.v1 object per line. A
+/// thin typed veneer over obs::RotatingJsonlLog (which the SLO alert log
+/// shares), so both logs rotate, flush, and bound their disk footprint
+/// (~2x max_bytes, one `<path>.1` generation) identically.
 class AccessLog {
  public:
   AccessLog() = default;
-  ~AccessLog();
   AccessLog(const AccessLog&) = delete;
   AccessLog& operator=(const AccessLog&) = delete;
 
   /// Opens (appending) `path`; rotation triggers once the current file
   /// exceeds `max_bytes`.
-  Status Open(const std::string& path, uint64_t max_bytes);
-  bool enabled() const;
-  Status Append(const RequestRecord& record);
-  void Close();
+  Status Open(const std::string& path, uint64_t max_bytes) {
+    return log_.Open(path, max_bytes);
+  }
+  bool enabled() const { return log_.enabled(); }
+  Status Append(const RequestRecord& record) { return log_.Append(record.ToJson().Dump()); }
+  void Close() { log_.Close(); }
+
+  /// Underlying sink counters (tests, statusz).
+  uint64_t lines_written() const { return log_.lines_written(); }
+  uint64_t rotations() const { return log_.rotations(); }
 
  private:
-  mutable std::mutex mutex_;
-  std::string path_;
-  uint64_t max_bytes_ = 0;
-  std::FILE* file_ = nullptr;
-  uint64_t bytes_written_ = 0;
+  obs::RotatingJsonlLog log_;
 };
 
 /// Observability knobs the ppdp_serve flags map onto.
@@ -190,19 +197,26 @@ class RequestObserver {
  public:
   Status Configure(const RequestObsOptions& options);
 
+  /// Attaches the app's SLO engine: every completed request is then fed
+  /// into its sliding windows and triggers a (throttled) rule evaluation.
+  /// Must be called before serving starts; nullptr detaches.
+  void AttachSloEngine(obs::SloEngine* engine) { slo_ = engine; }
+
   void Begin(RequestContext* context);
   /// Finalizes the record (total micros), then exports: access log line,
   /// completed-ring entry, FlightRecorder capture for slow / non-2xx
-  /// requests, per-tenant serve.tenant.<t>.* metrics.
+  /// requests, per-tenant serve.tenant.<t>.* metrics, SLO windows.
   void Complete(RequestContext* context);
 
   RequestTracker& tracker() { return tracker_; }
   const RequestObsOptions& options() const { return options_; }
+  const AccessLog& access_log() const { return log_; }
 
  private:
   RequestObsOptions options_;
   RequestTracker tracker_;
   AccessLog log_;
+  obs::SloEngine* slo_ = nullptr;
 };
 
 /// RAII begin/complete pair for a handler scope: completes the request on

@@ -17,6 +17,7 @@
 #include "obs/ledger.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 
 namespace ppdp::serve {
 
@@ -274,6 +275,20 @@ Result<std::unique_ptr<ServeApp>> ServeApp::Create(const ServeOptions& options) 
   obs_options.access_log_max_mb = options.access_log_max_mb;
   obs_options.slow_request_ms = options.slow_request_ms;
   PPDP_RETURN_IF_ERROR(app->observer_.Configure(obs_options));
+
+  // The SLO engine is always on: custom rules from --slo_config, the
+  // built-in defaults otherwise. Every completed request feeds it via the
+  // observer; the spending handlers feed queue depth and ε burn directly.
+  obs::SloEngine::Options slo_options;
+  if (!options.slo_config.empty()) {
+    PPDP_ASSIGN_OR_RETURN(slo_options.rules, obs::LoadSloConfig(options.slo_config));
+  }
+  slo_options.eval_period_seconds = options.slo_eval_period_seconds;
+  slo_options.alert_log = options.alert_log;
+  slo_options.alert_log_max_mb = options.alert_log_max_mb;
+  slo_options.max_tenants = options.max_tenants;
+  PPDP_ASSIGN_OR_RETURN(app->slo_, obs::SloEngine::Create(std::move(slo_options)));
+  app->observer_.AttachSloEngine(app->slo_.get());
   return app;
 }
 
@@ -335,13 +350,24 @@ void ServeApp::RegisterRoutes() {
                            [this](const obs::HttpRequest& request, obs::HttpResponse* response) {
                              HandleRequestz(request, response);
                            });
-  // Health folds in serving state: ledger rejections (TelemetryDegraded
-  // already sees tenant ledgers via SnapshotAll), queue pressure, draining.
+  // Health folds in serving state: firing alerts (tri-state via the SLO
+  // engine), ledger rejections (TelemetryDegraded already sees tenant
+  // ledgers via SnapshotAll), queue pressure, WAL poisoning, draining.
   server_->RegisterHandler("GET", "/healthz",
+                           [this](const obs::HttpRequest& request, obs::HttpResponse* response) {
+                             HandleHealthz(request, response);
+                           });
+  // Both SLO surfaces evaluate on read, so a curl sees current verdicts
+  // even when no request traffic is driving EvaluateIfDue.
+  server_->RegisterHandler("GET", "/alertz",
                            [this](const obs::HttpRequest&, obs::HttpResponse* response) {
-                             const bool degraded = obs::TelemetryDegraded() ||
-                                                   admission_.UnderPressure() || draining();
-                             response->Text(200, degraded ? "degraded\n" : "ok\n");
+                             slo_->Evaluate();
+                             response->Json(200, slo_->AlertzDocument());
+                           });
+  server_->RegisterHandler("GET", "/sloz",
+                           [this](const obs::HttpRequest&, obs::HttpResponse* response) {
+                             slo_->Evaluate();
+                             response->Json(200, slo_->SlozDocument());
                            });
   server_->RegisterHandler("GET", "/",
                            [](const obs::HttpRequest& request, obs::HttpResponse* response) {
@@ -359,8 +385,91 @@ void ServeApp::RegisterRoutes() {
                                  "(tenant, op, epsilon)\n"
                                  "telemetry endpoints:\n"
                                  "  /metrics /healthz /statusz /flightz /profilez "
-                                 "/requestz\n");
+                                 "/requestz /alertz /sloz\n");
                            });
+}
+
+ServeApp::HealthVerdict ServeApp::Health() const {
+  HealthVerdict verdict;
+  auto add = [&verdict](std::string name, int severity, std::string detail) {
+    verdict.severity = std::max(verdict.severity, severity);
+    verdict.conditions.push_back(HealthCondition{std::move(name), severity, std::move(detail)});
+  };
+  for (const std::string& alert : slo_->FiringAlerts()) {
+    // "rule" or "rule/tenant"; the rule part maps back to its severity.
+    const std::string rule = alert.substr(0, alert.find('/'));
+    int severity = 1;
+    for (const obs::AlertRule& candidate : slo_->rules()) {
+      if (candidate.name == rule) {
+        severity = candidate.severity == obs::AlertRule::Severity::kPage ? 2 : 1;
+        break;
+      }
+    }
+    add("alert." + alert, severity, "alert firing");
+  }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  if (const uint64_t gave_up = registry.counter("channel.gave_up").value(); gave_up > 0) {
+    add("channel.gave_up", 1, std::to_string(gave_up) + " channel give-ups");
+  }
+  if (const uint64_t degraded_estimates =
+          registry.counter("iot.server.degraded_estimates").value();
+      degraded_estimates > 0) {
+    add("iot.degraded_estimates", 1, std::to_string(degraded_estimates) + " degraded estimates");
+  }
+  for (const auto& [name, snapshot] : obs::PrivacyLedger::SnapshotAll()) {
+    if (snapshot.rejected > 0) {
+      add("ledger." + name + ".rejections",
+          1, std::to_string(snapshot.rejected) + " spend rejections");
+    }
+  }
+  if (admission_.UnderPressure()) {
+    add("admission.pressure", 1,
+        std::to_string(admission_.pending()) + "/" + std::to_string(admission_.max_pending()) +
+            " pending");
+  }
+  if (draining()) add("draining", 1, "shutdown drain in progress");
+  if (wal_ != nullptr && wal_->poisoned()) {
+    add("ledger_wal.poisoned", 1, "WAL refused an append; durable spends disabled");
+  }
+  // A flight dump marks that a postmortem artifact exists — worth naming,
+  // but it describes a past event, not current serving health.
+  if (obs::FlightRecorder::Global().dumped()) {
+    add("flight.dumped", 0, "flight recorder dumped to " +
+                                obs::FlightRecorder::Global().dump_path());
+  }
+  return verdict;
+}
+
+void ServeApp::HandleHealthz(const obs::HttpRequest& request, obs::HttpResponse* response) {
+  slo_->EvaluateIfDue();
+  const HealthVerdict verdict = Health();
+  const char* text = verdict.severity >= 2 ? "failing" : verdict.severity == 1 ? "degraded" : "ok";
+  if (request.QueryIntOr("verbose", 0) == 0) {
+    // The plain body existing scrapers grep: one word, trailing newline.
+    response->Text(200, std::string(text) + "\n");
+    return;
+  }
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", JsonValue::String("ppdp.healthz.v1"));
+  doc.Set("health", JsonValue::String(text));
+  JsonValue conditions = JsonValue::Array();
+  for (const HealthCondition& condition : verdict.conditions) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("name", JsonValue::String(condition.name));
+    entry.Set("severity", JsonValue::String(condition.severity >= 2   ? "failing"
+                                            : condition.severity == 1 ? "degraded"
+                                                                      : "info"));
+    entry.Set("detail", JsonValue::String(condition.detail));
+    conditions.Append(std::move(entry));
+  }
+  doc.Set("conditions", std::move(conditions));
+  response->Json(200, doc);
+}
+
+void ServeApp::ObserveQueueDepth() {
+  const int max_pending = std::max(admission_.max_pending(), 1);
+  slo_->RecordQueueDepth(static_cast<double>(admission_.pending()) /
+                         static_cast<double>(max_pending));
 }
 
 void ServeApp::HandlePublish(const obs::HttpRequest& request, obs::HttpResponse* response) {
@@ -418,6 +527,7 @@ void ServeApp::HandlePublish(const obs::HttpRequest& request, obs::HttpResponse*
   AdmissionSlot slot = deadline > 0.0 ? admission_.TryAdmitUntil(deadline)
                                       : admission_.TryAdmit();
   admit_stage.Stop();
+  ObserveQueueDepth();
   if (!slot.held()) {
     if (deadline > 0.0) {
       DeadlineExceededCounter().Increment();
@@ -469,6 +579,13 @@ void ServeApp::HandlePublish(const obs::HttpRequest& request, obs::HttpResponse*
     return;
   }
   context.record.epsilon = epsilon;
+  {
+    // Feed the tenant's burn-rate window with the post-spend balance, then
+    // evaluate: the ledger-burn rule is what pages *before* the first 403.
+    const obs::PrivacyLedger::BudgetSnapshot snapshot = (*ledger)->snapshot();
+    slo_->RecordSpend(tenant, epsilon, snapshot.remaining, snapshot.budget);
+    slo_->EvaluateIfDue();
+  }
 
   core::Publisher* publisher = PublisherFor(*kind);
   const core::PublishConfig publish_config = *config;
@@ -608,6 +725,7 @@ void ServeApp::HandleAggregate(const obs::HttpRequest& request, obs::HttpRespons
   AdmissionSlot slot = deadline > 0.0 ? admission_.TryAdmitUntil(deadline)
                                       : admission_.TryAdmit();
   admit_stage.Stop();
+  ObserveQueueDepth();
   if (!slot.held()) {
     if (deadline > 0.0) {
       DeadlineExceededCounter().Increment();
@@ -652,6 +770,11 @@ void ServeApp::HandleAggregate(const obs::HttpRequest& request, obs::HttpRespons
     return;
   }
   context.record.epsilon = epsilon;
+  {
+    const obs::PrivacyLedger::BudgetSnapshot snapshot = (*ledger)->snapshot();
+    slo_->RecordSpend(tenant, epsilon, snapshot.remaining, snapshot.budget);
+    slo_->EvaluateIfDue();
+  }
 
   // Fresh noise per request: the sequence number keeps streams disjoint
   // while the base seed keeps a daemon run reproducible end to end.
@@ -752,6 +875,24 @@ JsonValue ServeApp::StatuszSection() const {
   doc.Set("followers_served",
           JsonValue::Number(static_cast<double>(coalescer_.followers_served())));
   doc.Set("draining", JsonValue::Bool(draining()));
+  if (slo_ != nullptr) {
+    JsonValue slo = JsonValue::Object();
+    slo.Set("rules", JsonValue::Number(static_cast<double>(slo_->rules().size())));
+    slo.Set("transitions", JsonValue::Number(static_cast<double>(slo_->transitions_total())));
+    JsonValue firing = JsonValue::Array();
+    for (const std::string& alert : slo_->FiringAlerts()) {
+      firing.Append(JsonValue::String(alert));
+    }
+    slo.Set("firing", std::move(firing));
+    if (const obs::RotatingJsonlLog* log = slo_->alert_log(); log != nullptr) {
+      JsonValue alert_log = JsonValue::Object();
+      alert_log.Set("path", JsonValue::String(options_.alert_log));
+      alert_log.Set("lines", JsonValue::Number(static_cast<double>(log->lines_written())));
+      alert_log.Set("rotations", JsonValue::Number(static_cast<double>(log->rotations())));
+      slo.Set("alert_log", std::move(alert_log));
+    }
+    doc.Set("slo", std::move(slo));
+  }
   if (wal_ != nullptr) {
     JsonValue wal = JsonValue::Object();
     wal.Set("path", JsonValue::String(wal_->path()));

@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "core/publisher.h"
 #include "obs/http.h"
+#include "obs/slo.h"
 #include "obs/telemetry_server.h"
 #include "obs/wal.h"
 #include "serve/admission.h"
@@ -53,6 +54,17 @@ struct ServeOptions {
   /// ring (--slow_request_ms). 0 = slow capture off (non-2xx capture is
   /// always on).
   double slow_request_ms = 0.0;
+  /// Path of a `ppdp.slo.v1` alert-rule config (--slo_config). Empty = the
+  /// built-in defaults (availability, latency p99, queue pressure, ledger
+  /// burn); the SLO engine itself is always on.
+  std::string slo_config;
+  /// JSONL alert log path (--alert_log, `ppdp.alertlog.v1`). Empty = alert
+  /// transitions only reach /metrics, /alertz and the FlightRecorder.
+  std::string alert_log;
+  /// Alert-log size rotation threshold (--alert_log_max_mb).
+  double alert_log_max_mb = 16.0;
+  /// Request-path alert evaluation throttle (--slo_eval_period_s).
+  double slo_eval_period_seconds = 1.0;
 };
 
 /// Publishing-as-a-service on top of the routed TelemetryServer: loads the
@@ -70,11 +82,15 @@ struct ServeOptions {
 ///                          distribution (op: "histogram" | "quantile" |
 ///                          "range_count").
 ///
-/// plus the inherited introspection endpoints (/metrics, /statusz, ...).
-/// Degradation: an exhausted tenant gets 403 with remaining-ε detail while
-/// other tenants are unaffected; a full admission queue answers 429; both
-/// flip /healthz (overridden here) to "degraded". Stop() drains: new
-/// requests get 503 while in-flight ones finish, then the server stops.
+/// plus the inherited introspection endpoints (/metrics, /statusz, ...) and
+/// the SLO surfaces /alertz and /sloz. Degradation: an exhausted tenant
+/// gets 403 with remaining-ε detail while other tenants are unaffected; a
+/// full admission queue answers 429. /healthz (overridden here) is
+/// tri-state — `failing` when a page-severity alert fires, `degraded` for
+/// firing ticket alerts or the legacy conditions (ledger rejections, queue
+/// pressure, draining) — and `?verbose=1` itemizes every contributing
+/// condition as JSON. Stop() drains: new requests get 503 while in-flight
+/// ones finish, then the server stops.
 class ServeApp {
  public:
   /// Generates the corpora, builds the publishers and the HTTP routing
@@ -98,6 +114,8 @@ class ServeApp {
   BatchCoalescer& coalescer() { return coalescer_; }
   RequestObserver& observer() { return observer_; }
   obs::TelemetryServer& server() { return *server_; }
+  /// The SLO engine (always present once Create succeeds).
+  obs::SloEngine& slo() { return *slo_; }
   /// The attached ledger WAL, or nullptr when running in-memory only.
   const obs::LedgerWal* wal() const { return wal_.get(); }
 
@@ -118,6 +136,24 @@ class ServeApp {
   void HandleAudit(const obs::HttpRequest& request, obs::HttpResponse* response);
   void HandleAggregate(const obs::HttpRequest& request, obs::HttpResponse* response);
   void HandleRequestz(const obs::HttpRequest& request, obs::HttpResponse* response);
+  void HandleHealthz(const obs::HttpRequest& request, obs::HttpResponse* response);
+
+  /// The tri-state health verdict + the conditions behind it (the verbose
+  /// /healthz body). Severity: 0 = ok, 1 = degraded, 2 = failing.
+  struct HealthCondition {
+    std::string name;      ///< "alert.<rule>", "ledger.rejections", ...
+    int severity = 0;      ///< 0 = info-only, 1 = degrades, 2 = fails
+    std::string detail;
+  };
+  struct HealthVerdict {
+    int severity = 0;  ///< max over conditions
+    std::vector<HealthCondition> conditions;
+  };
+  HealthVerdict Health() const;
+
+  /// Records the admission queue depth into the SLO engine (sampled after
+  /// each admission attempt on the spending endpoints).
+  void ObserveQueueDepth();
 
   /// Runs `task` inline on the calling connection thread. Publishers
   /// parallelize internally via ParallelFor, which enlists pool workers as
@@ -136,6 +172,7 @@ class ServeApp {
   uint64_t graph_digest_ = 0;     ///< FNV-1a of the corpus degree sequence
   uint64_t genome_digest_ = 0;    ///< FNV-1a of the GWAS catalog parameters
   std::unique_ptr<obs::LedgerWal> wal_;  ///< null = in-memory ledgers
+  std::unique_ptr<obs::SloEngine> slo_;
   std::unique_ptr<core::Publisher> social_;
   std::unique_ptr<core::Publisher> tradeoff_;
   std::unique_ptr<core::Publisher> genome_;

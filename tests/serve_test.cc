@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "fault/fault.h"
+#include "obs/metrics.h"
 #include "obs/recorder.h"
+#include "obs/slo.h"
 #include "obs/wal.h"
 #include "serve/admission.h"
 #include "serve/client.h"
@@ -251,10 +253,13 @@ TEST(ServeAppTest, ExhaustedTenantGets403WhileOthersServe) {
   EXPECT_NEAR(detail->GetNumberOr("remaining_epsilon", -1.0), 0.3, 1e-9);
   EXPECT_NEAR(detail->GetNumberOr("budget", -1.0), 1.0, 1e-9);
 
-  // The rejection flips health to degraded; other tenants are unaffected.
+  // The first 0.7 spend against a 1.0 budget already projects exhaustion
+  // inside the ledger-burn horizon, so the page alert fires before the
+  // first 403 and health reads failing (not merely degraded); other
+  // tenants are unaffected.
   auto health = Get(port, "/healthz");
   ASSERT_TRUE(health.ok());
-  EXPECT_EQ(health->body, "degraded\n");
+  EXPECT_EQ(health->body, "failing\n");
   auto other = PostJson(port, "/v1/dp/aggregate", AggregateBody("frugal", 0.2));
   ASSERT_TRUE(other.ok());
   EXPECT_EQ(other->status, 200);
@@ -905,6 +910,163 @@ TEST(ServeAppTraceTest, SlowFaultInjectedPublishIsCapturedInFlightRecorder) {
     EXPECT_TRUE(stages->Has("serve.publish"));
   }
   EXPECT_TRUE(captured) << "slow request " << request_id << " missing from the flight ring";
+}
+
+TEST(ServeAppSloTest, LedgerBurnPageFiresBeforeTheFirstRejection) {
+  const std::string alert_log =
+      ::testing::TempDir() + "/serve_slo_alerts_" +
+      std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + ".jsonl";
+  std::remove(alert_log.c_str());
+
+  ServeOptions options = FastOptions();
+  options.tenant_budget = 1.0;
+  options.slo_eval_period_seconds = 0.0;  // evaluate on every request
+  options.alert_log = alert_log;
+  auto app = ServeApp::Create(options);
+  ASSERT_TRUE(app.ok()) << app.status().ToString();
+  ASSERT_TRUE((*app)->Start().ok());
+  const int port = (*app)->port();
+
+  // One large spend: the tenant still has budget (no 403 anywhere yet),
+  // but the burn rate projects exhaustion well inside the 600 s horizon.
+  auto first = PostJson(port, "/v1/dp/aggregate", AggregateBody("burner", 0.7));
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->status, 200);
+
+  auto alertz = Get(port, "/alertz");
+  ASSERT_TRUE(alertz.ok());
+  ASSERT_EQ(alertz->status, 200);
+  auto doc = alertz->Json();
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->GetStringOr("schema", ""), "ppdp.alertz.v1");
+  bool firing_for_burner = false;
+  const JsonValue* rules = doc->Find("rules");
+  ASSERT_NE(rules, nullptr);
+  for (size_t r = 0; r < rules->size(); ++r) {
+    if (rules->at(r).GetStringOr("rule", "") != "ledger_burn") continue;
+    const JsonValue* instances = rules->at(r).Find("instances");
+    ASSERT_NE(instances, nullptr);
+    for (size_t i = 0; i < instances->size(); ++i) {
+      if (instances->at(i).GetStringOr("tenant", "") == "burner" &&
+          instances->at(i).GetStringOr("state", "") == "firing") {
+        firing_for_burner = true;
+      }
+    }
+  }
+  EXPECT_TRUE(firing_for_burner) << doc->Dump();
+
+  // The firing page alert fails health before any request was rejected.
+  auto health = Get(port, "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->body, "failing\n");
+
+  // Now exhaust: the 403 arrives after the alert, never before.
+  auto second = PostJson(port, "/v1/dp/aggregate", AggregateBody("burner", 0.7));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->status, 403);
+  (*app)->Stop();
+
+  // Every transition landed in the alert log as a valid record, in order.
+  std::ifstream file(alert_log);
+  ASSERT_TRUE(file.good());
+  std::string line;
+  size_t burner_transitions = 0;
+  while (std::getline(file, line)) {
+    auto record = JsonValue::Parse(line);
+    ASSERT_TRUE(record.ok()) << line;
+    ASSERT_TRUE(obs::ValidateAlertLogRecord(*record).ok()) << line;
+    if (record->GetStringOr("tenant", "") == "burner") ++burner_transitions;
+  }
+  EXPECT_GE(burner_transitions, 2u);  // pending then firing, at least
+  std::remove(alert_log.c_str());
+}
+
+TEST(ServeAppSloTest, PlainHealthzStaysByteIdenticalAndVerboseNamesConditions) {
+  auto app = ServeApp::Create(FastOptions());
+  ASSERT_TRUE(app.ok()) << app.status().ToString();
+  ASSERT_TRUE((*app)->Start().ok());
+  const int port = (*app)->port();
+
+  // The scrape contract existing monitors rely on: exactly "ok\n".
+  auto plain = Get(port, "/healthz");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->status, 200);
+  EXPECT_EQ(plain->body, "ok\n");
+
+  auto verbose = Get(port, "/healthz?verbose=1");
+  ASSERT_TRUE(verbose.ok());
+  ASSERT_EQ(verbose->status, 200);
+  auto doc = verbose->Json();
+  ASSERT_TRUE(doc.ok()) << verbose->body;
+  EXPECT_EQ(doc->GetStringOr("schema", ""), "ppdp.healthz.v1");
+  EXPECT_EQ(doc->GetStringOr("health", ""), "ok");
+  const JsonValue* conditions = doc->Find("conditions");
+  ASSERT_NE(conditions, nullptr);
+  EXPECT_TRUE(conditions->is_array());
+
+  // Drive one degrading condition (a 403 rejection) and re-read: the
+  // verbose document must name it.
+  ASSERT_EQ(PostJson(port, "/v1/dp/aggregate", AggregateBody("waster", 3.9))->status, 200);
+  auto rejected = PostJson(port, "/v1/dp/aggregate", AggregateBody("waster", 3.9));
+  ASSERT_TRUE(rejected.ok());
+  ASSERT_EQ(rejected->status, 403);
+
+  verbose = Get(port, "/healthz?verbose=1");
+  ASSERT_TRUE(verbose.ok());
+  doc = verbose->Json();
+  ASSERT_TRUE(doc.ok());
+  EXPECT_NE(doc->GetStringOr("health", ""), "ok");
+  conditions = doc->Find("conditions");
+  ASSERT_NE(conditions, nullptr);
+  bool named = false;
+  for (size_t i = 0; i < conditions->size(); ++i) {
+    const std::string name = conditions->at(i).GetStringOr("name", "");
+    if (name.find("ledger") != std::string::npos ||
+        name.find("alert") != std::string::npos) {
+      named = true;
+    }
+  }
+  EXPECT_TRUE(named) << verbose->body;
+  (*app)->Stop();
+}
+
+TEST(ServeAppSloTest, SlozAndMetricsStayWellFormedWhileAlertsFire) {
+  ServeOptions options = FastOptions();
+  options.tenant_budget = 1.0;
+  options.slo_eval_period_seconds = 0.0;
+  auto app = ServeApp::Create(options);
+  ASSERT_TRUE(app.ok()) << app.status().ToString();
+  ASSERT_TRUE((*app)->Start().ok());
+  const int port = (*app)->port();
+
+  ASSERT_EQ(PostJson(port, "/v1/dp/aggregate", AggregateBody("hot", 0.7))->status, 200);
+
+  auto sloz = Get(port, "/sloz");
+  ASSERT_TRUE(sloz.ok());
+  ASSERT_EQ(sloz->status, 200);
+  auto doc = sloz->Json();
+  ASSERT_TRUE(doc.ok()) << sloz->body;
+  EXPECT_EQ(doc->GetStringOr("schema", ""), "ppdp.sloz.v1");
+  const JsonValue* slos = doc->Find("slos");
+  ASSERT_NE(slos, nullptr);
+  ASSERT_TRUE(slos->is_array());
+  bool availability_met = false;
+  for (size_t i = 0; i < slos->size(); ++i) {
+    if (slos->at(i).GetStringOr("rule", "") == "availability" &&
+        slos->at(i).GetBoolOr("met", false)) {
+      availability_met = true;  // all requests succeeded
+    }
+  }
+  EXPECT_TRUE(availability_met) << sloz->body;
+
+  // The alert-state gauges minted by firing transitions must keep the
+  // exposition text valid.
+  auto metrics = Get(port, "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  ASSERT_EQ(metrics->status, 200);
+  EXPECT_TRUE(obs::ValidatePrometheusText(metrics->body).ok());
+  EXPECT_NE(metrics->body.find("slo_"), std::string::npos) << "no slo series exported";
+  (*app)->Stop();
 }
 
 }  // namespace

@@ -1,0 +1,512 @@
+#include "obs/slo.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "exec/thread_pool.h"
+#include "obs/rotating_log.h"
+
+namespace ppdp::obs {
+namespace {
+
+std::string TempPath(const std::string& name) { return ::testing::TempDir() + "/" + name; }
+
+// ---------------------------------------------------------------- windows
+
+TEST(SlidingWindowTest, CountsAndMeansOverTheWindow) {
+  SlidingWindow::Options options;
+  options.bucket_seconds = 1.0;
+  options.num_buckets = 16;
+  SlidingWindow window(options);
+  window.Add(2.0, 1.2);
+  window.Add(4.0, 1.8);
+  window.Add(6.0, 3.4);
+
+  SlidingWindow::WindowStats stats = window.StatsOver(10.0, 3.9);
+  EXPECT_EQ(stats.count, 3u);
+  EXPECT_DOUBLE_EQ(stats.sum, 12.0);
+  EXPECT_DOUBLE_EQ(stats.mean, 4.0);
+  EXPECT_DOUBLE_EQ(window.RateOver(10.0, 3.9), 12.0 / 10.0);
+}
+
+TEST(SlidingWindowTest, OldBucketsFallOutOfTheWindow) {
+  SlidingWindow::Options options;
+  options.bucket_seconds = 1.0;
+  options.num_buckets = 64;
+  SlidingWindow window(options);
+  for (int t = 1; t <= 10; ++t) window.Add(1.0, static_cast<double>(t));
+  // A 4-second window at t=10 covers buckets 7..10 only.
+  EXPECT_EQ(window.StatsOver(4.0, 10.0).count, 4u);
+  // Far in the future everything has expired.
+  EXPECT_EQ(window.StatsOver(4.0, 1000.0).count, 0u);
+}
+
+TEST(SlidingWindowTest, RingSlotsAreRecycledAfterWrapAround) {
+  SlidingWindow::Options options;
+  options.bucket_seconds = 1.0;
+  options.num_buckets = 4;  // tiny ring: t and t+4 share a slot
+  SlidingWindow window(options);
+  for (int t = 0; t <= 10; ++t) window.Add(1.0, static_cast<double>(t));
+  // The span clamps the window; stale generations must not leak counts.
+  EXPECT_EQ(window.StatsOver(4.0, 10.0).count, 4u);
+}
+
+TEST(SlidingWindowTest, QuantilesInterpolateWithinHistogramBounds) {
+  SlidingWindow::Options options;
+  options.bucket_seconds = 1.0;
+  options.num_buckets = 16;
+  options.bounds = {0.001, 0.01, 0.1, 1.0};
+  SlidingWindow window(options);
+  for (int i = 0; i < 90; ++i) window.Add(0.005, 2.0);
+  for (int i = 0; i < 10; ++i) window.Add(0.5, 2.5);
+
+  const double p50 = window.QuantileOver(10.0, 0.5, 3.0);
+  EXPECT_GE(p50, 0.001);
+  EXPECT_LE(p50, 0.01);
+  const double p99 = window.QuantileOver(10.0, 0.99, 3.0);
+  EXPECT_GE(p99, 0.1);
+  // Observed min/max clamp the interpolation: nothing above 0.5 was seen.
+  EXPECT_LE(p99, 0.5);
+  // Without bounds there is no quantile to give.
+  SlidingWindow counter({1.0, 16, {}});
+  counter.Add(1.0, 2.0);
+  EXPECT_DOUBLE_EQ(counter.QuantileOver(10.0, 0.99, 3.0), 0.0);
+}
+
+// ----------------------------------------------------------------- config
+
+JsonValue MustParse(const std::string& text) {
+  Result<JsonValue> doc = JsonValue::Parse(text);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return std::move(*doc);
+}
+
+TEST(SloConfigTest, ParsesRulesAndFillsDefaults) {
+  Result<std::vector<AlertRule>> rules = ParseSloConfig(MustParse(R"({
+    "schema": "ppdp.slo.v1",
+    "rules": [
+      {"name": "avail", "signal": "availability", "severity": "page",
+       "objective": 0.99, "burn_rate": 6.0},
+      {"name": "lat.p95", "signal": "latency", "quantile": 0.95, "threshold_ms": 250},
+      {"name": "tenant-burn", "signal": "ledger_burn", "severity": "page",
+       "horizon_s": 300, "fast_window_s": 30, "slow_window_s": 300}
+    ]})"));
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  ASSERT_EQ(rules->size(), 3u);
+
+  EXPECT_EQ((*rules)[0].signal, AlertRule::Signal::kAvailability);
+  EXPECT_EQ((*rules)[0].severity, AlertRule::Severity::kPage);
+  EXPECT_DOUBLE_EQ((*rules)[0].objective, 0.99);
+  EXPECT_DOUBLE_EQ((*rules)[0].fast_window_seconds, 60.0);   // default
+  EXPECT_DOUBLE_EQ((*rules)[0].slow_window_seconds, 600.0);  // default
+
+  EXPECT_EQ((*rules)[1].signal, AlertRule::Signal::kLatency);
+  EXPECT_EQ((*rules)[1].severity, AlertRule::Severity::kTicket);  // default
+  EXPECT_DOUBLE_EQ((*rules)[1].threshold, 0.25);  // threshold_ms -> seconds
+
+  EXPECT_EQ((*rules)[2].signal, AlertRule::Signal::kLedgerBurn);
+  EXPECT_DOUBLE_EQ((*rules)[2].horizon_seconds, 300.0);
+  EXPECT_DOUBLE_EQ((*rules)[2].fast_window_seconds, 30.0);
+}
+
+TEST(SloConfigTest, RejectsMalformedConfigs) {
+  auto rejects = [](const std::string& text) {
+    Result<std::vector<AlertRule>> rules = ParseSloConfig(MustParse(text));
+    EXPECT_FALSE(rules.ok()) << text;
+  };
+  // Wrong schema tag.
+  rejects(R"({"schema": "ppdp.slo.v2", "rules": [{"name": "a"}]})");
+  // No rules.
+  rejects(R"({"schema": "ppdp.slo.v1", "rules": []})");
+  // Unknown signal.
+  rejects(R"({"schema": "ppdp.slo.v1",
+              "rules": [{"name": "a", "signal": "uptime"}]})");
+  // Unknown severity.
+  rejects(R"({"schema": "ppdp.slo.v1",
+              "rules": [{"name": "a", "severity": "critical"}]})");
+  // Inverted windows.
+  rejects(R"({"schema": "ppdp.slo.v1",
+              "rules": [{"name": "a", "fast_window_s": 600, "slow_window_s": 60}]})");
+  // Name grammar (spaces).
+  rejects(R"({"schema": "ppdp.slo.v1", "rules": [{"name": "bad name"}]})");
+  // Duplicate names.
+  rejects(R"({"schema": "ppdp.slo.v1",
+              "rules": [{"name": "a"}, {"name": "a"}]})");
+  // Latency rule without a positive threshold.
+  rejects(R"({"schema": "ppdp.slo.v1",
+              "rules": [{"name": "a", "signal": "latency"}]})");
+  // Availability objective out of range.
+  rejects(R"({"schema": "ppdp.slo.v1",
+              "rules": [{"name": "a", "signal": "availability", "objective": 1.5}]})");
+}
+
+TEST(SloConfigTest, DefaultRulesAreValidAndCoverEverySignal) {
+  const std::vector<AlertRule> rules = DefaultSloRules();
+  ASSERT_EQ(rules.size(), 4u);
+  bool saw[4] = {false, false, false, false};
+  for (const AlertRule& rule : rules) saw[static_cast<int>(rule.signal)] = true;
+  EXPECT_TRUE(saw[0] && saw[1] && saw[2] && saw[3]);
+}
+
+// ----------------------------------------------------------------- engine
+
+/// One availability rule tuned so a scripted timeline walks the whole
+/// pending -> firing -> resolved lifecycle in ~30 scripted seconds.
+SloEngine::Options ScriptedEngineOptions(double* now) {
+  AlertRule rule;
+  rule.name = "avail";
+  rule.signal = AlertRule::Signal::kAvailability;
+  rule.severity = AlertRule::Severity::kPage;
+  rule.fast_window_seconds = 10.0;
+  rule.slow_window_seconds = 60.0;
+  rule.for_seconds = 5.0;
+  rule.resolve_seconds = 10.0;
+  rule.min_count = 1;
+  rule.objective = 0.9;  // 10% error budget
+  rule.burn_rate = 2.0;  // breach at >= 20% errors
+
+  SloEngine::Options options;
+  options.rules = {rule};
+  options.clock = [now] { return *now; };
+  options.eval_period_seconds = 0.0;
+  options.export_metrics = false;  // keep the global registry golden-clean
+  return options;
+}
+
+/// Replays the scripted outage and serializes every transition; the alert
+/// timeline must be byte-identical no matter the execution width.
+std::string RunScriptedTimeline() {
+  double now = 0.0;
+  Result<std::unique_ptr<SloEngine>> engine = SloEngine::Create(ScriptedEngineOptions(&now));
+  if (!engine.ok()) return "";  // the lifecycle test asserts creation works
+
+  std::string serialized;
+  auto evaluate = [&] {
+    for (const AlertTransition& transition : (*engine)->Evaluate()) {
+      serialized += transition.ToJson().Dump();
+      serialized += "\n";
+    }
+  };
+
+  for (int t = 1; t <= 4; ++t) {  // healthy traffic
+    now = t;
+    (*engine)->RecordRequest(200, 0.01);
+  }
+  now = 5.0;
+  evaluate();  // nothing breaches
+  for (int t = 6; t <= 10; ++t) {  // outage: every request 5xx
+    now = t;
+    (*engine)->RecordRequest(500, 0.01);
+  }
+  now = 10.0;
+  evaluate();  // breach in both windows -> pending
+  now = 12.0;
+  evaluate();  // held 2s < for 5s: still pending, silent
+  now = 16.0;
+  (*engine)->RecordRequest(200, 0.01);  // recovery begins
+  evaluate();                           // held 6s >= 5s -> firing
+  for (int t = 17; t <= 20; ++t) {
+    now = t;
+    (*engine)->RecordRequest(200, 0.01);
+  }
+  now = 20.0;
+  evaluate();  // fast window clean again: clear hold starts
+  now = 25.0;
+  evaluate();  // cleared 5s < resolve 10s: still firing, silent
+  now = 31.0;
+  evaluate();  // cleared 11s >= 10s -> resolved
+  return serialized;
+}
+
+TEST(SloEngineTest, ScriptedTimelineWalksTheAlertLifecycle) {
+  double now = 0.0;
+  Result<std::unique_ptr<SloEngine>> engine = SloEngine::Create(ScriptedEngineOptions(&now));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  std::vector<AlertTransition> all;
+  auto evaluate = [&] {
+    std::vector<AlertTransition> batch = (*engine)->Evaluate();
+    all.insert(all.end(), batch.begin(), batch.end());
+  };
+
+  for (int t = 1; t <= 4; ++t) {
+    now = t;
+    (*engine)->RecordRequest(200, 0.01);
+  }
+  now = 5.0;
+  evaluate();
+  EXPECT_TRUE(all.empty());
+  EXPECT_EQ((*engine)->WorstFiringSeverity(), 0);
+
+  for (int t = 6; t <= 10; ++t) {
+    now = t;
+    (*engine)->RecordRequest(500, 0.01);
+  }
+  now = 10.0;
+  evaluate();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].from, AlertState::kInactive);
+  EXPECT_EQ(all[0].to, AlertState::kPending);
+  EXPECT_DOUBLE_EQ(all[0].t_seconds, 10.0);
+  EXPECT_EQ((*engine)->WorstFiringSeverity(), 0);  // pending does not page
+
+  now = 12.0;
+  evaluate();
+  EXPECT_EQ(all.size(), 1u);  // hold not yet met: no new transition
+
+  now = 16.0;
+  (*engine)->RecordRequest(200, 0.01);
+  evaluate();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[1].from, AlertState::kPending);
+  EXPECT_EQ(all[1].to, AlertState::kFiring);
+  EXPECT_GT(all[1].burn_fast, 1.0);  // burning well past the 2x rule
+  EXPECT_EQ((*engine)->WorstFiringSeverity(), 2);
+  ASSERT_EQ((*engine)->FiringAlerts().size(), 1u);
+  EXPECT_EQ((*engine)->FiringAlerts()[0], "avail");
+
+  for (int t = 17; t <= 20; ++t) {
+    now = t;
+    (*engine)->RecordRequest(200, 0.01);
+  }
+  now = 20.0;
+  evaluate();
+  now = 25.0;
+  evaluate();
+  EXPECT_EQ(all.size(), 2u);  // clear hold not yet met
+  EXPECT_EQ((*engine)->WorstFiringSeverity(), 2);
+
+  now = 31.0;
+  evaluate();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[2].from, AlertState::kFiring);
+  EXPECT_EQ(all[2].to, AlertState::kResolved);
+  EXPECT_DOUBLE_EQ(all[2].t_seconds, 31.0);
+  EXPECT_EQ((*engine)->WorstFiringSeverity(), 0);
+  EXPECT_EQ((*engine)->transitions_total(), 3u);
+
+  // Every logged transition round-trips through the shared validator.
+  for (const AlertTransition& transition : all) {
+    EXPECT_TRUE(ValidateAlertLogRecord(transition.ToJson()).ok());
+  }
+}
+
+TEST(SloEngineTest, TimelineIsByteIdenticalAcrossThreadWidths) {
+  const std::string golden = RunScriptedTimeline();
+  EXPECT_FALSE(golden.empty());
+  for (int width : {1, 2, 4}) {
+    ASSERT_TRUE(exec::ThreadPool::SetGlobalThreads(width).ok());
+    EXPECT_EQ(RunScriptedTimeline(), golden) << "width " << width;
+  }
+  ASSERT_TRUE(exec::ThreadPool::SetGlobalThreads(0).ok());
+}
+
+TEST(SloEngineTest, LedgerBurnFiresBeforeExhaustionAndNamesTheTenant) {
+  AlertRule rule;
+  rule.name = "burn";
+  rule.signal = AlertRule::Signal::kLedgerBurn;
+  rule.severity = AlertRule::Severity::kPage;
+  rule.fast_window_seconds = 10.0;
+  rule.slow_window_seconds = 60.0;
+  rule.for_seconds = 0.0;  // pages the moment both windows project exhaustion
+  rule.min_count = 1;
+  rule.horizon_seconds = 600.0;
+
+  double now = 0.0;
+  SloEngine::Options options;
+  options.rules = {rule};
+  options.clock = [&now] { return now; };
+  options.eval_period_seconds = 0.0;
+  options.export_metrics = false;
+  Result<std::unique_ptr<SloEngine>> engine = SloEngine::Create(options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  // Tenant "acme" burns 0.3 eps/s against a budget of 1.0: the fast window
+  // projects exhaustion in ~3 seconds, far inside the 600 s horizon.
+  double remaining = 1.0;
+  for (int t = 1; t <= 3; ++t) {
+    now = t;
+    remaining -= 0.3;
+    (*engine)->RecordSpend("acme", 0.3, remaining, 1.0);
+  }
+  now = 3.0;
+  std::vector<AlertTransition> transitions = (*engine)->Evaluate();
+  ASSERT_EQ(transitions.size(), 2u);  // for_s = 0: pending + firing together
+  EXPECT_EQ(transitions[0].to, AlertState::kPending);
+  EXPECT_EQ(transitions[1].to, AlertState::kFiring);
+  EXPECT_EQ(transitions[1].tenant, "acme");
+  EXPECT_EQ((*engine)->WorstFiringSeverity(), 2);
+  ASSERT_EQ((*engine)->FiringAlerts().size(), 1u);
+  EXPECT_EQ((*engine)->FiringAlerts()[0], "burn/acme");
+
+  bool found = false;
+  for (const SloAttainment& slo : (*engine)->Attainment()) {
+    if (slo.rule != "burn") continue;
+    found = true;
+    EXPECT_EQ(slo.tenant, "acme");
+    EXPECT_FALSE(slo.met);
+    EXPECT_LE(slo.attained, rule.horizon_seconds);  // projected TTE
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SloEngineTest, AlertzAndSlozDocumentsCarryTheirSchemas) {
+  double now = 5.0;
+  Result<std::unique_ptr<SloEngine>> engine = SloEngine::Create(ScriptedEngineOptions(&now));
+  ASSERT_TRUE(engine.ok());
+  (*engine)->RecordRequest(200, 0.01);
+  (*engine)->Evaluate();
+
+  JsonValue alertz = (*engine)->AlertzDocument();
+  EXPECT_EQ(alertz.GetStringOr("schema", ""), "ppdp.alertz.v1");
+  const JsonValue* rules = alertz.Find("rules");
+  ASSERT_NE(rules, nullptr);
+  ASSERT_TRUE(rules->is_array());
+  ASSERT_EQ(rules->size(), 1u);
+  EXPECT_EQ(rules->at(0).GetStringOr("rule", ""), "avail");
+
+  JsonValue sloz = (*engine)->SlozDocument();
+  EXPECT_EQ(sloz.GetStringOr("schema", ""), "ppdp.sloz.v1");
+  ASSERT_NE(sloz.Find("slos"), nullptr);
+}
+
+TEST(SloEngineTest, TransitionsAppendToTheAlertLog) {
+  const std::string path = TempPath("slo_alertlog.jsonl");
+  std::remove(path.c_str());
+
+  double now = 0.0;
+  SloEngine::Options options = ScriptedEngineOptions(&now);
+  options.alert_log = path;
+  {
+    Result<std::unique_ptr<SloEngine>> engine = SloEngine::Create(options);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    for (int t = 1; t <= 10; ++t) {
+      now = t;
+      (*engine)->RecordRequest(500, 0.01);
+    }
+    now = 10.0;
+    (*engine)->Evaluate();  // -> pending
+    now = 16.0;
+    (*engine)->Evaluate();  // -> firing
+    ASSERT_NE((*engine)->alert_log(), nullptr);
+    EXPECT_EQ((*engine)->alert_log()->lines_written(), 2u);
+  }
+
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(file, line)) {
+    ++lines;
+    Result<JsonValue> doc = JsonValue::Parse(line);
+    ASSERT_TRUE(doc.ok()) << line;
+    EXPECT_TRUE(ValidateAlertLogRecord(*doc).ok()) << line;
+  }
+  EXPECT_EQ(lines, 2u);
+  std::remove(path.c_str());
+}
+
+// -------------------------------------------------------- alert-log schema
+
+TEST(ValidateAlertLogRecordTest, AcceptsLegalAndRejectsIllegalRecords) {
+  AlertTransition transition;
+  transition.t_seconds = 12.5;
+  transition.rule = "avail";
+  transition.from = AlertState::kPending;
+  transition.to = AlertState::kFiring;
+  transition.severity = AlertRule::Severity::kPage;
+  transition.burn_fast = 3.0;
+  transition.burn_slow = 2.0;
+  EXPECT_TRUE(ValidateAlertLogRecord(transition.ToJson()).ok());
+
+  JsonValue bad_schema = transition.ToJson();
+  bad_schema.Set("schema", JsonValue::String("ppdp.access.v1"));
+  EXPECT_FALSE(ValidateAlertLogRecord(bad_schema).ok());
+
+  JsonValue bad_time = transition.ToJson();
+  bad_time.Set("t_seconds", JsonValue::Number(-1.0));
+  EXPECT_FALSE(ValidateAlertLogRecord(bad_time).ok());
+
+  JsonValue no_rule = transition.ToJson();
+  no_rule.Set("rule", JsonValue::String(""));
+  EXPECT_FALSE(ValidateAlertLogRecord(no_rule).ok());
+
+  JsonValue bad_severity = transition.ToJson();
+  bad_severity.Set("severity", JsonValue::String("critical"));
+  EXPECT_FALSE(ValidateAlertLogRecord(bad_severity).ok());
+
+  // inactive -> firing skips pending: not a legal pair.
+  JsonValue bad_pair = transition.ToJson();
+  bad_pair.Set("from", JsonValue::String("inactive"));
+  EXPECT_FALSE(ValidateAlertLogRecord(bad_pair).ok());
+
+  JsonValue bad_burn = transition.ToJson();
+  bad_burn.Set("burn_fast", JsonValue::Number(-0.5));
+  EXPECT_FALSE(ValidateAlertLogRecord(bad_burn).ok());
+}
+
+// ------------------------------------------------------------ rotating log
+
+TEST(RotatingLogTest, ConcurrentWritersCrossingRotationLoseNothing) {
+  const std::string path = TempPath("slo_rotate.jsonl");
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+
+  // ~8 KB of records against a 6 KB threshold: exactly one rotation, so
+  // both generations together must hold every record exactly once.
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 50;
+  RotatingJsonlLog log;
+  ASSERT_TRUE(log.Open(path, 6 * 1024).ok());
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&log, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        JsonValue doc = JsonValue::Object();
+        doc.Set("writer", JsonValue::Number(w));
+        doc.Set("seq", JsonValue::Number(i));
+        doc.Set("pad", JsonValue::String("xxxxxxxxxxxxxxxx"));
+        ASSERT_TRUE(log.Append(doc.Dump()).ok());
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  log.Close();
+  EXPECT_EQ(log.lines_written(), static_cast<uint64_t>(kWriters * kPerWriter));
+  EXPECT_EQ(log.rotations(), 1u);
+
+  // Exactly-once across <path> + <path>.1, every line a complete document.
+  std::vector<std::vector<bool>> seen(kWriters, std::vector<bool>(kPerWriter, false));
+  size_t total = 0;
+  for (const std::string& generation : {path + ".1", path}) {
+    std::ifstream file(generation);
+    ASSERT_TRUE(file.good()) << generation;
+    std::string line;
+    while (std::getline(file, line)) {
+      Result<JsonValue> doc = JsonValue::Parse(line);
+      ASSERT_TRUE(doc.ok()) << "torn line: " << line;
+      const int w = static_cast<int>(doc->GetNumberOr("writer", -1.0));
+      const int i = static_cast<int>(doc->GetNumberOr("seq", -1.0));
+      ASSERT_GE(w, 0);
+      ASSERT_LT(w, kWriters);
+      ASSERT_GE(i, 0);
+      ASSERT_LT(i, kPerWriter);
+      EXPECT_FALSE(seen[static_cast<size_t>(w)][static_cast<size_t>(i)])
+          << "duplicate writer " << w << " seq " << i;
+      seen[static_cast<size_t>(w)][static_cast<size_t>(i)] = true;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, static_cast<size_t>(kWriters * kPerWriter));
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+}
+
+}  // namespace
+}  // namespace ppdp::obs

@@ -142,6 +142,16 @@ int main(int argc, char** argv) {
   for (const std::string& name : diff.digest_mismatches) {
     std::cout << "(output digest differs: " << name << ")\n";
   }
+  // SLO attainment is informational here, never a perf gate: pre-v10
+  // baselines carry no stanza, and an unmet SLO in a bench run is judged by
+  // ppdp_slostat / the bench itself, not the phase-latency diff.
+  if (!current.slos.empty()) {
+    std::cout << "(slos:";
+    for (const ppdp::obs::SloAttainment& slo : current.slos) {
+      std::cout << " " << slo.rule << "=" << (slo.met ? "met" : "MISSED");
+    }
+    std::cout << ")\n";
+  }
   if (diff.regressed) {
     std::cout << "REGRESSION: at least one phase slowed (or grew memory) beyond the gate\n";
     return 1;

@@ -30,6 +30,14 @@
 //   --access_log_max_mb X access-log size rotation threshold (64)
 //   --slow_request_ms X   capture requests at/above this wall time in the
 //                         FlightRecorder ring; 0 = off (0)
+//   --slo_config PATH     ppdp.slo.v1 alert-rule config; empty = built-in
+//                         defaults (availability, latency p99, queue
+//                         pressure, per-tenant ledger burn)
+//   --alert_log PATH      JSONL alert-transition log (ppdp.alertlog.v1);
+//                         off when empty
+//   --alert_log_max_mb X  alert-log size rotation threshold (16)
+//   --slo_eval_period_s X request-path alert evaluation throttle; /alertz
+//                         and /sloz always evaluate on read (1)
 //   --log_level L         debug|info|warn|error|off (info)
 //
 // SIGTERM / SIGINT drain in-flight requests (new ones get 503), stop the
@@ -83,6 +91,11 @@ int main(int argc, char** argv) {
   options.access_log = flags.GetString("access_log", "");
   options.access_log_max_mb = flags.GetDouble("access_log_max_mb", options.access_log_max_mb);
   options.slow_request_ms = flags.GetDouble("slow_request_ms", options.slow_request_ms);
+  options.slo_config = flags.GetString("slo_config", "");
+  options.alert_log = flags.GetString("alert_log", "");
+  options.alert_log_max_mb = flags.GetDouble("alert_log_max_mb", options.alert_log_max_mb);
+  options.slo_eval_period_seconds =
+      flags.GetDouble("slo_eval_period_s", options.slo_eval_period_seconds);
   Result<obs::LedgerWal::SyncPolicy> sync_policy =
       obs::ParseSyncPolicy(flags.GetString("ledger_sync", "always"));
   if (!sync_policy.ok()) {

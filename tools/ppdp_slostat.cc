@@ -1,0 +1,287 @@
+// Alert-log validator/aggregator and offline SLO-attainment gate.
+//
+//   $ ppdp_slostat alerts.jsonl                   # validate + aggregate
+//   $ ppdp_slostat --validate_only alerts.jsonl   # schema check only
+//   $ ppdp_slostat access.jsonl                   # offline SLO attainment
+//   $ ppdp_slostat --slo_config slo.json access.jsonl
+//
+// The input schema is auto-detected from the first record:
+//
+//   ppdp.alertlog.v1 (ppdp_serve --alert_log): every record is validated
+//   (schema tag, legal pending->firing->resolved transition pair,
+//   non-decreasing timestamps per alert instance), then a per-instance
+//   summary is printed: transitions, times fired, total seconds spent in
+//   the firing state.
+//
+//   ppdp.access.v1 (ppdp_serve --access_log / bench_serve): the requests
+//   are replayed against the availability and latency rules of
+//   --slo_config (or the built-in defaults) over the whole log — the
+//   offline "did we attain the SLO" verdict; --objective_only rules of
+//   other signals are skipped since the access log cannot answer them.
+//
+// Flags:
+//   --slo_config PATH  ppdp.slo.v1 rules for attainment mode (default:
+//                      built-in defaults)
+//   --validate_only    (off) validate records and exit
+//
+// Exit codes: 0 ok / attained, 1 SLO violated, 2 usage/IO/schema error.
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/json.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/table.h"
+#include "obs/slo.h"
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: ppdp_slostat [--slo_config slo.json] [--validate_only]\n"
+               "                    alerts.jsonl | access.jsonl\n";
+  return 2;
+}
+
+/// Loads every JSONL object from `path`; false (with stderr detail) on I/O
+/// or parse failure.
+bool LoadJsonl(const std::string& path, std::vector<ppdp::JsonValue>* records) {
+  std::ifstream file(path);
+  if (!file) {
+    std::cerr << "ppdp_slostat: cannot open " << path << "\n";
+    return false;
+  }
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(file, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    ppdp::Result<ppdp::JsonValue> doc = ppdp::JsonValue::Parse(line);
+    if (!doc.ok()) {
+      std::cerr << "ppdp_slostat: " << path << ":" << line_number << ": "
+                << doc.status().ToString() << "\n";
+      return false;
+    }
+    records->push_back(std::move(*doc));
+  }
+  return true;
+}
+
+/// Per-alert-instance roll-up of an alert log.
+struct InstanceSummary {
+  uint64_t transitions = 0;
+  uint64_t fired = 0;
+  double firing_seconds = 0.0;  ///< closed firing->resolved intervals only
+  double firing_since = -1.0;
+  double last_t = -1.0;
+  std::string last_state;
+  std::string severity;
+};
+
+int RunAlertLog(const std::string& path, const std::vector<ppdp::JsonValue>& records,
+                bool validate_only) {
+  std::map<std::string, InstanceSummary> instances;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const ppdp::JsonValue& doc = records[i];
+    if (ppdp::Status valid = ppdp::obs::ValidateAlertLogRecord(doc); !valid.ok()) {
+      std::cerr << "ppdp_slostat: " << path << ": record " << (i + 1) << ": " << valid.ToString()
+                << "\n";
+      return 2;
+    }
+    const std::string rule = doc.GetStringOr("rule", "");
+    const std::string tenant = doc.GetStringOr("tenant", "");
+    const std::string key = tenant.empty() ? rule : rule + "/" + tenant;
+    const double t = doc.GetNumberOr("t_seconds", 0.0);
+    InstanceSummary& summary = instances[key];
+    if (summary.last_t > t) {
+      std::cerr << "ppdp_slostat: " << path << ": record " << (i + 1) << ": timestamps for '"
+                << key << "' go backwards\n";
+      return 2;
+    }
+    const std::string from = doc.GetStringOr("from", "");
+    const std::string to = doc.GetStringOr("to", "");
+    if (!summary.last_state.empty() && summary.last_state != from) {
+      std::cerr << "ppdp_slostat: " << path << ": record " << (i + 1) << ": '" << key
+                << "' transitions from '" << from << "' but was last seen in '"
+                << summary.last_state << "'\n";
+      return 2;
+    }
+    summary.last_t = t;
+    summary.last_state = to;
+    summary.severity = doc.GetStringOr("severity", "");
+    ++summary.transitions;
+    if (to == "firing") {
+      ++summary.fired;
+      summary.firing_since = t;
+    } else if (to == "resolved" && summary.firing_since >= 0) {
+      summary.firing_seconds += t - summary.firing_since;
+      summary.firing_since = -1.0;
+    }
+  }
+  if (validate_only) {
+    std::cout << "ppdp_slostat: " << path << ": " << records.size() << " records valid\n";
+    return 0;
+  }
+  ppdp::Table table({"alert", "severity", "transitions", "fired", "firing s", "last state"});
+  for (const auto& [key, summary] : instances) {
+    table.AddRow({key, summary.severity, std::to_string(summary.transitions),
+                  std::to_string(summary.fired),
+                  ppdp::Table::FormatDouble(summary.firing_seconds, 3), summary.last_state});
+  }
+  std::cout << "== slostat: " << path << " (" << records.size() << " transitions, "
+            << instances.size() << " alert instances) ==\n";
+  table.Print(std::cout);
+  return 0;
+}
+
+int RunAccessLog(const std::string& path, const std::vector<ppdp::JsonValue>& records,
+                 const std::vector<ppdp::obs::AlertRule>& rules, bool validate_only) {
+  uint64_t requests = 0;
+  uint64_t errors_5xx = 0;
+  std::vector<double> latencies_seconds;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const ppdp::JsonValue& doc = records[i];
+    if (doc.GetStringOr("schema", "") != "ppdp.access.v1") {
+      std::cerr << "ppdp_slostat: " << path << ": record " << (i + 1)
+                << ": schema is not ppdp.access.v1\n";
+      return 2;
+    }
+    const double total_micros = doc.GetNumberOr("total_micros", -1.0);
+    const int status = static_cast<int>(doc.GetNumberOr("status", 0.0));
+    if (!(total_micros >= 0.0) || status <= 0) {
+      std::cerr << "ppdp_slostat: " << path << ": record " << (i + 1)
+                << ": missing status/total_micros\n";
+      return 2;
+    }
+    ++requests;
+    if (status >= 500) ++errors_5xx;
+    latencies_seconds.push_back(total_micros / 1e6);
+  }
+  if (validate_only) {
+    std::cout << "ppdp_slostat: " << path << ": " << records.size() << " records valid\n";
+    return 0;
+  }
+  if (requests == 0) {
+    std::cerr << "ppdp_slostat: " << path << ": no requests to judge\n";
+    return 2;
+  }
+  std::sort(latencies_seconds.begin(), latencies_seconds.end());
+
+  bool violated = false;
+  size_t judged = 0;
+  ppdp::Table table({"rule", "signal", "objective", "attained", "verdict"});
+  for (const ppdp::obs::AlertRule& rule : rules) {
+    // The access log answers availability and latency offline; queue and
+    // ledger-burn need live windows and are skipped (and said so).
+    if (rule.signal == ppdp::obs::AlertRule::Signal::kAvailability) {
+      const double attained =
+          1.0 - static_cast<double>(errors_5xx) / static_cast<double>(requests);
+      const bool met = attained >= rule.objective;
+      if (!met) violated = true;
+      ++judged;
+      table.AddRow({rule.name, "availability", ppdp::Table::FormatDouble(rule.objective, 4),
+                    ppdp::Table::FormatDouble(attained, 4), met ? "met" : "VIOLATED"});
+    } else if (rule.signal == ppdp::obs::AlertRule::Signal::kLatency) {
+      const double rank = rule.quantile * static_cast<double>(latencies_seconds.size() - 1);
+      const size_t lo = static_cast<size_t>(std::floor(rank));
+      const size_t hi = std::min(lo + 1, latencies_seconds.size() - 1);
+      const double attained =
+          latencies_seconds[lo] + (rank - std::floor(rank)) *
+                                      (latencies_seconds[hi] - latencies_seconds[lo]);
+      const bool met = attained <= rule.threshold;
+      if (!met) violated = true;
+      ++judged;
+      table.AddRow({rule.name, "latency", ppdp::Table::FormatDouble(rule.threshold, 4),
+                    ppdp::Table::FormatDouble(attained, 4), met ? "met" : "VIOLATED"});
+    } else {
+      table.AddRow({rule.name, ppdp::obs::SignalName(rule.signal), "-", "-", "skipped"});
+    }
+  }
+  std::cout << "== slostat attainment: " << path << " (" << requests << " requests, "
+            << errors_5xx << " 5xx) ==\n";
+  table.Print(std::cout);
+  if (judged == 0) {
+    std::cerr << "ppdp_slostat: no availability/latency rules to judge offline\n";
+    return 2;
+  }
+  if (violated) {
+    std::cout << "VIOLATED: at least one SLO missed its objective\n";
+    return 1;
+  }
+  std::cout << "ok: all judged SLOs attained\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Same hand-rolled split as ppdp_tracestat: boolean flags never consume
+  // the following positional path.
+  std::vector<std::string> positional;
+  std::vector<std::string> flag_args = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional.push_back(std::move(arg));
+      continue;
+    }
+    if (arg == "--help") return Usage();
+    if (arg == "--validate_only") {
+      flag_args.push_back(arg + "=true");
+      continue;
+    }
+    if (arg.find('=') == std::string::npos) {
+      if (i + 1 >= argc) return Usage();
+      arg += "=";
+      arg += argv[++i];
+    }
+    flag_args.push_back(std::move(arg));
+  }
+  std::vector<char*> flag_argv;
+  flag_argv.reserve(flag_args.size());
+  for (std::string& arg : flag_args) flag_argv.push_back(arg.data());
+  ppdp::Flags flags(static_cast<int>(flag_argv.size()), flag_argv.data());
+
+  if (positional.size() != 1) return Usage();
+  const bool validate_only = flags.GetBool("validate_only", false);
+
+  std::vector<ppdp::obs::AlertRule> rules;
+  if (const std::string config = flags.GetString("slo_config", ""); !config.empty()) {
+    ppdp::Result<std::vector<ppdp::obs::AlertRule>> loaded = ppdp::obs::LoadSloConfig(config);
+    if (!loaded.ok()) {
+      std::cerr << "ppdp_slostat: " << loaded.status().ToString() << "\n";
+      return 2;
+    }
+    rules = std::move(*loaded);
+  } else {
+    rules = ppdp::obs::DefaultSloRules();
+  }
+
+  std::vector<ppdp::JsonValue> records;
+  if (!LoadJsonl(positional[0], &records)) return 2;
+  if (records.empty()) {
+    if (validate_only) {
+      std::cout << "ppdp_slostat: " << positional[0] << ": 0 records valid\n";
+      return 0;
+    }
+    std::cerr << "ppdp_slostat: " << positional[0] << ": empty log\n";
+    return 2;
+  }
+
+  const std::string schema = records.front().GetStringOr("schema", "");
+  if (schema == "ppdp.alertlog.v1") {
+    return RunAlertLog(positional[0], records, validate_only);
+  }
+  if (schema == "ppdp.access.v1") {
+    return RunAccessLog(positional[0], records, rules, validate_only);
+  }
+  std::cerr << "ppdp_slostat: " << positional[0]
+            << ": unrecognized schema '" << schema
+            << "' (want ppdp.alertlog.v1 or ppdp.access.v1)\n";
+  return 2;
+}
